@@ -1,0 +1,94 @@
+//! Real (threaded) end-to-end comparison of the four distributed
+//! multiplication algorithms, plus an HSUMMA group-count ablation — the
+//! laptop-scale analogue of the paper's measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsumma_core::{cannon, fox, hsumma, summa, HierGrid, HsummaConfig, SummaConfig};
+use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_runtime::Runtime;
+
+const N: usize = 256;
+
+fn scattered(grid: GridShape) -> (Vec<hsumma_matrix::Matrix>, Vec<hsumma_matrix::Matrix>) {
+    let a = seeded_uniform(N, N, 1);
+    let b = seeded_uniform(N, N, 2);
+    let dist = BlockDist::new(grid, N, N);
+    (dist.scatter(&a), dist.scatter(&b))
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let grid = GridShape::new(4, 4);
+    let (at, bt) = scattered(grid);
+    let mut group = c.benchmark_group("distributed_matmul_4x4_n256");
+    group.sample_size(10);
+
+    group.bench_function("cannon", |bench| {
+        bench.iter(|| {
+            Runtime::run(grid.size(), |comm| {
+                cannon(
+                    comm,
+                    grid,
+                    N,
+                    &at[comm.rank()].clone(),
+                    &bt[comm.rank()].clone(),
+                    GemmKernel::Blocked,
+                )
+            })
+        });
+    });
+    group.bench_function("fox", |bench| {
+        bench.iter(|| {
+            Runtime::run(grid.size(), |comm| {
+                fox(
+                    comm,
+                    grid,
+                    N,
+                    &at[comm.rank()].clone(),
+                    &bt[comm.rank()].clone(),
+                    GemmKernel::Blocked,
+                )
+            })
+        });
+    });
+    let scfg = SummaConfig { block: 16, kernel: GemmKernel::Blocked, ..Default::default() };
+    group.bench_function("summa_b16", |bench| {
+        bench.iter(|| {
+            Runtime::run(grid.size(), |comm| {
+                summa(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &scfg)
+            })
+        });
+    });
+    let hcfg = HsummaConfig {
+        kernel: GemmKernel::Blocked,
+        ..HsummaConfig::uniform(GridShape::new(2, 2), 16)
+    };
+    group.bench_function("hsumma_g4_b16", |bench| {
+        bench.iter(|| {
+            Runtime::run(grid.size(), |comm| {
+                hsumma(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &hcfg)
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_hsumma_group_sweep(c: &mut Criterion) {
+    let grid = GridShape::new(4, 4);
+    let (at, bt) = scattered(grid);
+    let mut group = c.benchmark_group("hsumma_group_ablation_4x4");
+    group.sample_size(10);
+    for (g, groups) in HierGrid::valid_group_counts(grid) {
+        let cfg = HsummaConfig { kernel: GemmKernel::Blocked, ..HsummaConfig::uniform(groups, 16) };
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |bench, _| {
+            bench.iter(|| {
+                Runtime::run(grid.size(), |comm| {
+                    hsumma(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_hsumma_group_sweep);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Broadcast algorithms in the real threaded runtime (§II-B of the
+//! paper): which schedule wins at which message size. Ablation for the
+//! broadcast choices in SUMMA/HSUMMA configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsumma_runtime::{collectives, BcastAlgorithm, Runtime};
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcast_p8");
+    group.sample_size(20);
+    for &elems in &[1_024usize, 262_144] {
+        group.throughput(Throughput::Bytes((elems * 8) as u64));
+        for (name, algo) in [
+            ("flat", BcastAlgorithm::Flat),
+            ("binomial", BcastAlgorithm::Binomial),
+            ("binary", BcastAlgorithm::Binary),
+            ("ring", BcastAlgorithm::Ring),
+            ("pipelined8", BcastAlgorithm::Pipelined { segments: 8 }),
+            ("vdgeijn", BcastAlgorithm::ScatterAllgather),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, elems),
+                &elems,
+                |bench, &elems| {
+                    bench.iter(|| {
+                        Runtime::run(8, |comm| {
+                            let mut buf = if comm.rank() == 0 {
+                                vec![1.0f64; elems]
+                            } else {
+                                vec![0.0f64; elems]
+                            };
+                            collectives::bcast_f64(comm, algo, 0, &mut buf);
+                            buf[elems - 1]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_barrier_and_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_p8");
+    group.sample_size(20);
+    group.bench_function("barrier", |bench| {
+        bench.iter(|| {
+            Runtime::run(8, |comm| {
+                collectives::barrier(comm);
+            })
+        });
+    });
+    group.bench_function("allreduce_sum", |bench| {
+        bench.iter(|| {
+            Runtime::run(8, |comm| {
+                collectives::allreduce(comm, comm.rank() as u64, |a, b| a + b)
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_barrier_and_reduce);
+criterion_main!(benches);

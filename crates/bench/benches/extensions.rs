@@ -1,0 +1,97 @@
+//! Criterion benches for the extension kernels: distributed block LU
+//! (flat vs hierarchical), the 2.5D algorithm, and the zero-copy view
+//! GEMM vs panel copies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsumma_core::lu::{block_lu, LuConfig};
+use hsumma_core::summa::SummaConfig;
+use hsumma_core::twodotfive::{coords_3d, twodotfive, TwoDotFiveConfig};
+use hsumma_matrix::factor::seeded_diag_dominant;
+use hsumma_matrix::{
+    gemm, gemm_view, seeded_uniform, BlockDist, GemmKernel, GridShape, Matrix,
+};
+use hsumma_runtime::Runtime;
+
+fn bench_lu(c: &mut Criterion) {
+    let grid = GridShape::new(4, 4);
+    let n = 256;
+    let a = seeded_diag_dominant(n, 1);
+    let tiles = BlockDist::new(grid, n, n).scatter(&a);
+    let mut group = c.benchmark_group("block_lu_4x4_n256");
+    group.sample_size(10);
+    for (name, groups) in [("flat", None), ("hier_2x2", Some(GridShape::new(2, 2)))] {
+        let cfg = LuConfig { block: 16, kernel: GemmKernel::Blocked, groups, ..Default::default() };
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                Runtime::run(grid.size(), |comm| {
+                    block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_twodotfive(c: &mut Criterion) {
+    let q = 2;
+    let n = 256;
+    let grid = GridShape::new(q, q);
+    let a = seeded_uniform(n, n, 2);
+    let b = seeded_uniform(n, n, 3);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&b);
+    let mut group = c.benchmark_group("twodotfive_q2_n256");
+    group.sample_size(10);
+    for c_factor in [1usize, 2, 4] {
+        let cfg = TwoDotFiveConfig {
+            q,
+            c: c_factor,
+            summa: SummaConfig { block: 16, kernel: GemmKernel::Blocked, ..Default::default() },
+        };
+        group.bench_function(format!("c{c_factor}"), |bench| {
+            bench.iter(|| {
+                Runtime::run(q * q * c_factor, |comm| {
+                    let (layer, i, j) = coords_3d(comm.rank(), q);
+                    let (ai, bi) = if layer == 0 {
+                        (at[grid.rank(i, j)].clone(), bt[grid.rank(i, j)].clone())
+                    } else {
+                        let (th, tw) = dist.tile_shape();
+                        (Matrix::zeros(th, tw), Matrix::zeros(th, tw))
+                    };
+                    twodotfive(comm, n, &ai, &bi, &cfg)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_vs_copy(c: &mut Criterion) {
+    // Multiply an embedded 192x192 block: via copied panels vs views.
+    let parent_a = seeded_uniform(256, 256, 4);
+    let parent_b = seeded_uniform(256, 256, 5);
+    let mut group = c.benchmark_group("submatrix_gemm_192");
+    group.bench_function("copy_then_gemm", |bench| {
+        bench.iter(|| {
+            let a = parent_a.block(32, 32, 192, 192);
+            let b = parent_b.block(32, 32, 192, 192);
+            let mut c = Matrix::zeros(192, 192);
+            gemm(GemmKernel::Blocked, &a, &b, &mut c);
+            c
+        });
+    });
+    group.bench_function("gemm_view", |bench| {
+        bench.iter(|| {
+            let a = parent_a.block_view(32, 32, 192, 192);
+            let b = parent_b.block_view(32, 32, 192, 192);
+            let mut c = Matrix::zeros(192, 192);
+            gemm_view(&a, &b, &mut c);
+            c
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_twodotfive, bench_view_vs_copy);
+criterion_main!(benches);

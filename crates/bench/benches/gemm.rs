@@ -1,0 +1,36 @@
+//! Local GEMM kernel comparison — the substrate that stands in for
+//! ESSL/MKL DGEMM. Ablation for the kernel choice in `hsumma-matrix`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsumma_matrix::{gemm, seeded_uniform, GemmKernel, Matrix};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let a = seeded_uniform(n, n, 1);
+        let b = seeded_uniform(n, n, 2);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        for (name, kernel) in [
+            ("naive", GemmKernel::Naive),
+            ("blocked", GemmKernel::Blocked),
+            ("parallel", GemmKernel::Parallel),
+        ] {
+            // The naive kernel is the correctness oracle; cap its size so
+            // the suite stays fast.
+            if kernel == GemmKernel::Naive && n > 128 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| {
+                    let mut c = Matrix::zeros(n, n);
+                    gemm(kernel, &a, &b, &mut c);
+                    c
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

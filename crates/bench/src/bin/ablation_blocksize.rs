@@ -1,0 +1,57 @@
+//! Ablation: block size `b = B` — the Fig. 5 vs Fig. 6 discussion.
+//!
+//! "Smaller block sizes lead to a larger number of steps and this in
+//! turn will affect the latency cost" (§V-A). Sweeps `b` on both
+//! platforms under both profiles and reports SUMMA and best-G HSUMMA
+//! communication time. Under the ideal (van de Geijn) profile the gain
+//! shrinks as `b` grows — the Fig. 5 / Fig. 6 contrast, driven by the
+//! per-step α term. Under the measured-effective (serialized) profile
+//! both algorithms scale with `b` identically, so the gain is
+//! `b`-invariant: the paper's stronger-than-modelled `b` dependence is
+//! evidence of a fixed per-broadcast-call overhead on the real machines.
+
+use hsumma_bench::{grid_for, render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+fn main() {
+    println!("Ablation — block size b = B\n");
+
+    for (label, machine, n, p, blocks) in [
+        ("Grid5000", Machine::Grid5000, 8192usize, 128usize, vec![64usize, 128, 256, 512]),
+        ("BlueGene/P", Machine::BlueGeneP, 65536, 2048, vec![128, 256, 512, 1024]),
+    ] {
+        let grid = grid_for(p);
+        for profile in [Profile::Ideal, Profile::Measured] {
+            println!(
+                "== {label} : n = {n}, p = {p} (grid {}x{}), profile: {} ==",
+                grid.rows,
+                grid.cols,
+                profile.label()
+            );
+            let mut rows = Vec::new();
+            for &b in &blocks {
+                let sweep = run_sweep(profile, machine, n, p, b);
+                let best = best_by_comm(&sweep.points);
+                rows.push(vec![
+                    b.to_string(),
+                    (n / b).to_string(),
+                    secs(sweep.summa.comm_time),
+                    secs(best.report.comm_time),
+                    best.g.to_string(),
+                    format!("{:.2}x", sweep.summa.comm_time / best.report.comm_time),
+                ]);
+            }
+            println!(
+                "{}",
+                render_table(
+                    &["b", "steps", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                    &rows
+                )
+            );
+            println!();
+        }
+    }
+    println!("ideal profile: gain falls as b grows (latency share shrinks) — the");
+    println!("paper's Fig. 5 vs Fig. 6 contrast. measured profile: gain is flat in b");
+    println!("because the serialized model has no per-call fixed overhead beyond α.");
+}

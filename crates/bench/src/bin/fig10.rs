@@ -1,0 +1,55 @@
+//! Figure 10: prediction of SUMMA and HSUMMA on an exascale platform.
+//!
+//! Analytic-model sweep (the figure in the paper is itself theoretical):
+//! `p = 2²⁰ processors, n = 2²², b = 256`, exascale roadmap parameters
+//! (500 ns latency, 100 GB/s links, 1 EFLOP/s aggregate), van de Geijn
+//! broadcast. Paper shape: SUMMA constant; HSUMMA U-shaped with its
+//! minimum at interior `G`, several times below SUMMA.
+
+use hsumma_bench::{render_table, secs};
+use hsumma_model::predict::{best_point, power_of_two_gs, sweep_groups};
+use hsumma_model::{BcastModel, ModelParams};
+
+fn main() {
+    let params = ModelParams::exascale();
+    let p = (1u64 << 20) as f64;
+    let n = (1u64 << 22) as f64;
+    let b = 256.0;
+
+    let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
+
+    println!("Figure 10 — exascale prediction (analytic model)");
+    println!("p = 2^20, n = 2^22, b = B = {b}, van de Geijn broadcast");
+    println!("alpha = 500 ns, beta = 1e-11 s/B (100 GB/s), 1 EFLOP/s aggregate\n");
+
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|pt| {
+            vec![
+                format!("2^{}", pt.g.log2() as u32),
+                secs(pt.hsumma.comm()),
+                secs(pt.hsumma.total()),
+                secs(pt.summa.comm()),
+                secs(pt.summa.total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["G", "HSUMMA comm (s)", "HSUMMA total (s)", "SUMMA comm (s)", "SUMMA total (s)"],
+            &rows
+        )
+    );
+
+    let best = best_point(&sweep);
+    println!(
+        "predicted optimum: G = {} (√p = {}), comm {} s vs SUMMA {} s ({:.2}x less)",
+        best.g,
+        p.sqrt(),
+        secs(best.hsumma.comm()),
+        secs(best.summa.comm()),
+        best.summa.comm() / best.hsumma.comm()
+    );
+    println!("paper shape: U-curve over G with interior minimum; endpoints equal SUMMA.");
+}

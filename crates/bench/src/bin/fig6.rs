@@ -1,0 +1,55 @@
+//! Figure 6: HSUMMA vs SUMMA on Grid5000 with the largest block size.
+//!
+//! Same sweep as Fig. 5 but `b = B = 512` (the maximum for this
+//! configuration). Paper result: minimum communication times 2.81 s
+//! (HSUMMA) vs 4.53 s (SUMMA) — a 1.6× improvement, smaller than at
+//! `b = 64` because fewer steps means a smaller per-step-overhead share.
+
+use hsumma_bench::{grid_for, render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+fn main() {
+    let (n, p, b) = (8192usize, 128usize, 512usize);
+    let grid = grid_for(p);
+    println!("Figure 6 — HSUMMA on Grid5000, largest block (simulated)");
+    println!("b = B = {b}, n = {n}, p = {p} (grid {}x{})\n", grid.rows, grid.cols);
+
+    for profile in [Profile::Ideal, Profile::Measured] {
+        let sweep = run_sweep(profile, Machine::Grid5000, n, p, b);
+        println!("== profile: {} ==", profile.label());
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.g.to_string(),
+                    secs(pt.report.comm_time),
+                    secs(sweep.summa.comm_time),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["G", "HSUMMA comm (s)", "SUMMA comm (s)"], &rows)
+        );
+        let best = best_by_comm(&sweep.points);
+        println!(
+            "best G = {} -> comm {} s vs SUMMA {} s ({:.2}x less)",
+            best.g,
+            secs(best.report.comm_time),
+            secs(sweep.summa.comm_time),
+            sweep.summa.comm_time / best.report.comm_time
+        );
+        // The G=1 / G=p endpoints must coincide with SUMMA (paper: "HSUMMA
+        // can never be worse than SUMMA").
+        let g1 = sweep.points.first().expect("non-empty sweep");
+        let gp = sweep.points.last().expect("non-empty sweep");
+        println!(
+            "endpoint check: G=1 {} s, G=p {} s, SUMMA {} s\n",
+            secs(g1.report.comm_time),
+            secs(gp.report.comm_time),
+            secs(sweep.summa.comm_time)
+        );
+    }
+    println!("paper (measured): HSUMMA 2.81 s vs SUMMA 4.53 s (1.6x)");
+}

@@ -1,0 +1,42 @@
+//! Figure 7: scalability on Grid5000.
+//!
+//! Communication time of SUMMA and best-G HSUMMA against the number of
+//! processes `p ∈ {16, 32, 64, 128}`, `b = B = 512`, `n = 8192`. Paper
+//! result: equal on small platforms, HSUMMA pulling ahead as `p` grows.
+
+use hsumma_bench::{grid_for, render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+fn main() {
+    let (n, b) = (8192usize, 512usize);
+    println!("Figure 7 — SUMMA vs HSUMMA scalability on Grid5000 (simulated)");
+    println!("b = B = {b}, n = {n}\n");
+
+    for profile in [Profile::Ideal, Profile::Measured] {
+        println!("== profile: {} ==", profile.label());
+        let mut rows = Vec::new();
+        for p in [16usize, 32, 64, 128] {
+            let grid = grid_for(p);
+            let sweep = run_sweep(profile, Machine::Grid5000, n, p, b);
+            let best = best_by_comm(&sweep.points);
+            rows.push(vec![
+                p.to_string(),
+                format!("{}x{}", grid.rows, grid.cols),
+                secs(sweep.summa.comm_time),
+                secs(best.report.comm_time),
+                best.g.to_string(),
+                format!("{:.2}x", sweep.summa.comm_time / best.report.comm_time),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["p", "grid", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("paper (measured): curves overlap at p=16..64 and separate at p=128;");
+    println!("the trend 'HSUMMA more scalable' should be visible as growing gain.");
+}

@@ -1,0 +1,59 @@
+//! Figure 8: SUMMA and HSUMMA on 16384 BlueGene/P cores.
+//!
+//! Execution and communication time against the number of groups,
+//! `b = B = 256`, `n = 65536`, `p = 16384`. Paper results: SUMMA 50.2 s
+//! total / 36.46 s communication; HSUMMA at `G = 512` 21.26 s total /
+//! 6.19 s communication (5.89× less communication, 2.36× less total).
+//!
+//! Both simulator profiles are reported: *ideal* follows the paper's
+//! contention-free model (modest win, minimum at `G = √p`); *measured*
+//! uses effective parameters fitted to the paper's SUMMA measurement
+//! only, under which the HSUMMA sweep is a genuine prediction that
+//! should land close to the measured 21.26 s / 6.19 s.
+
+use hsumma_bench::{grid_for, render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+fn main() {
+    let (n, p, b) = (65536usize, 16384usize, 256usize);
+    let grid = grid_for(p);
+    println!("Figure 8 — SUMMA and HSUMMA on 16384 cores of BlueGene/P (simulated)");
+    println!("b = B = {b}, n = {n}, p = {p} (grid {}x{})\n", grid.rows, grid.cols);
+
+    for profile in [Profile::Ideal, Profile::Measured] {
+        let sweep = run_sweep(profile, Machine::BlueGeneP, n, p, b);
+        println!("== profile: {} ==", profile.label());
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.g.to_string(),
+                    format!("{}x{}", pt.groups.rows, pt.groups.cols),
+                    secs(pt.report.total_time),
+                    secs(pt.report.comm_time),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["G", "I x J", "HSUMMA total (s)", "HSUMMA comm (s)"], &rows)
+        );
+        let best = best_by_comm(&sweep.points);
+        println!(
+            "SUMMA: total {} s, comm {} s",
+            secs(sweep.summa.total_time),
+            secs(sweep.summa.comm_time)
+        );
+        println!(
+            "best HSUMMA: G = {} -> total {} s, comm {} s ({:.2}x less comm, {:.2}x less total)\n",
+            best.g,
+            secs(best.report.total_time),
+            secs(best.report.comm_time),
+            sweep.summa.comm_time / best.report.comm_time,
+            sweep.summa.total_time / best.report.total_time,
+        );
+    }
+    println!("paper (measured): SUMMA 50.2 s total / 36.46 s comm;");
+    println!("HSUMMA G=512: 21.26 s total / 6.19 s comm (5.89x comm, 2.36x total)");
+}

@@ -1,0 +1,51 @@
+//! Figure 9: communication scalability on BlueGene/P.
+//!
+//! Communication time of SUMMA and best-G HSUMMA against the core count
+//! `p ∈ {2048, 4096, 8192, 16384}`, `b = B = 256`, `n = 65536` (VN
+//! mode). Paper result: HSUMMA's communication time grows far more slowly
+//! than SUMMA's — the gap widens with `p` (2.08× at 2048 → 5.89× at
+//! 16384).
+
+use hsumma_bench::{grid_for, render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+fn main() {
+    let (n, b) = (65536usize, 256usize);
+    println!("Figure 9 — SUMMA vs HSUMMA communication scalability on BlueGene/P (simulated)");
+    println!("b = B = {b}, n = {n}\n");
+
+    for profile in [Profile::Ideal, Profile::Measured] {
+        println!("== profile: {} ==", profile.label());
+        let mut rows = Vec::new();
+        let mut gains = Vec::new();
+        for p in [2048usize, 4096, 8192, 16384] {
+            let grid = grid_for(p);
+            let sweep = run_sweep(profile, Machine::BlueGeneP, n, p, b);
+            let best = best_by_comm(&sweep.points);
+            let gain = sweep.summa.comm_time / best.report.comm_time;
+            gains.push(gain);
+            rows.push(vec![
+                p.to_string(),
+                format!("{}x{}", grid.rows, grid.cols),
+                secs(sweep.summa.comm_time),
+                secs(best.report.comm_time),
+                best.g.to_string(),
+                format!("{gain:.2}x"),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["p", "grid", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                &rows
+            )
+        );
+        let widening = gains.windows(2).all(|w| w[1] >= w[0] * 0.99);
+        println!(
+            "gain trend with p: {:?} ({})\n",
+            gains.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>(),
+            if widening { "widening, matching the paper" } else { "NOT monotone" }
+        );
+    }
+    println!("paper (measured): 2.08x less comm at 2048 cores, 5.89x at 16384 cores");
+}

@@ -1,0 +1,80 @@
+//! The paper's headline numbers (abstract / §VI): HSUMMA achieves
+//! 2.08× less communication time than SUMMA on 2048 BlueGene/P cores and
+//! 5.89× on 16384 cores; overall execution 1.2× and 2.36× less.
+//!
+//! Regenerates the two core counts under both simulator profiles and
+//! prints paper-vs-simulated side by side.
+
+use hsumma_bench::{render_table, run_sweep, secs, Machine, Profile};
+use hsumma_core::tuning::best_by_comm;
+
+struct PaperRow {
+    p: usize,
+    comm_gain: f64,
+    total_gain: f64,
+}
+
+fn main() {
+    let (n, b) = (65536usize, 256usize);
+    let paper = [
+        PaperRow { p: 2048, comm_gain: 2.08, total_gain: 1.2 },
+        PaperRow { p: 16384, comm_gain: 5.89, total_gain: 2.36 },
+    ];
+
+    println!("Headline comparison — BlueGene/P, n = {n}, b = B = {b}\n");
+    let mut rows = Vec::new();
+    for profile in [Profile::Ideal, Profile::Measured] {
+        for pr in &paper {
+            let sweep = run_sweep(profile, Machine::BlueGeneP, n, pr.p, b);
+            let best = best_by_comm(&sweep.points);
+            rows.push(vec![
+                match profile {
+                    Profile::Ideal => "ideal",
+                    Profile::Measured => "measured",
+                }
+                .to_string(),
+                pr.p.to_string(),
+                best.g.to_string(),
+                format!("{:.2}x", sweep.summa.comm_time / best.report.comm_time),
+                format!("{:.2}x", pr.comm_gain),
+                format!("{:.2}x", sweep.summa.total_time / best.report.total_time),
+                format!("{:.2}x", pr.total_gain),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "profile",
+                "p",
+                "best G",
+                "comm gain (sim)",
+                "comm gain (paper)",
+                "total gain (sim)",
+                "total gain (paper)",
+            ],
+            &rows
+        )
+    );
+
+    // Absolute times at 16384 under the measured profile, next to the
+    // paper's measurements.
+    let sweep = run_sweep(Profile::Measured, Machine::BlueGeneP, n, 16384, b);
+    let best = best_by_comm(&sweep.points);
+    println!("\nabsolute times at p = 16384 (measured profile vs paper):");
+    println!(
+        "{}",
+        render_table(
+            &["quantity", "simulated (s)", "paper (s)"],
+            &[
+                vec!["SUMMA total".into(), secs(sweep.summa.total_time), "50.2".into()],
+                vec!["SUMMA comm".into(), secs(sweep.summa.comm_time), "36.46".into()],
+                vec!["HSUMMA total".into(), secs(best.report.total_time), "21.26".into()],
+                vec!["HSUMMA comm".into(), secs(best.report.comm_time), "6.19".into()],
+            ]
+        )
+    );
+    println!("note: the measured profile is fitted to the SUMMA row only;");
+    println!("the HSUMMA rows are predictions of the simulator.");
+}

@@ -1,0 +1,57 @@
+//! Table I: SUMMA vs HSUMMA cost terms under the binomial-tree broadcast.
+//!
+//! Evaluates the symbolic rows of Table I at the paper's two experimental
+//! configurations. Key property of the binomial row: the latency and
+//! bandwidth *multipliers* split as `log₂(p/G) + log₂(G) = log₂(p)`, so
+//! under a purely logarithmic broadcast HSUMMA's two-level split is
+//! cost-neutral — all of HSUMMA's advantage must come from broadcast
+//! algorithms whose cost grows super-logarithmically (Table II).
+
+use hsumma_bench::render_table;
+use hsumma_model::{hsumma_cost, summa_cost, BcastModel, ModelParams};
+
+fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
+    println!("-- {config}: n = {n}, p = {p}, b = B = {b} --");
+    let g = p.sqrt();
+    let summa = summa_cost(params, BcastModel::Binomial, n, p, b);
+    let hsumma = hsumma_cost(params, BcastModel::Binomial, BcastModel::Binomial, n, p, g, b, b);
+
+    let rows = vec![
+        vec![
+            "SUMMA".to_string(),
+            format!("{:.4e}", summa.compute),
+            format!("{:.4e}", summa.latency),
+            format!("{:.4e}", summa.bandwidth),
+            format!("{:.4e}", summa.comm()),
+        ],
+        vec![
+            format!("HSUMMA (G=√p={g})"),
+            format!("{:.4e}", hsumma.compute),
+            format!("{:.4e}", hsumma.latency),
+            format!("{:.4e}", hsumma.bandwidth),
+            format!("{:.4e}", hsumma.comm()),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["algorithm", "compute (s)", "latency (s)", "bandwidth (s)", "comm (s)"],
+            &rows
+        )
+    );
+
+    // Table I's structural identity: multipliers add up to SUMMA's.
+    let split = (p / g).log2() + g.log2();
+    println!(
+        "multiplier identity: log2(p/G) + log2(G) = {split} = log2(p) = {} -> \
+         binomial HSUMMA comm == SUMMA comm (ratio {:.6})\n",
+        p.log2(),
+        hsumma.comm() / summa.comm()
+    );
+}
+
+fn main() {
+    println!("Table I — comparison with binomial tree broadcast (evaluated)\n");
+    emit("Grid5000 configuration", &ModelParams::grid5000(), 8192.0, 128.0, 64.0);
+    emit("BlueGene/P configuration", &ModelParams::bluegene_p(), 65536.0, 16384.0, 256.0);
+}

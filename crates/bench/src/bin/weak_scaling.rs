@@ -1,0 +1,52 @@
+//! Weak-scaling trajectory toward exascale (§I's motivation: "as HPC
+//! moves towards exascale, the cost of matrix multiplication will be
+//! dominated by communication cost").
+//!
+//! Holds per-processor memory constant (`n ∝ √p`) and walks `p` from
+//! BG/P scale to the exascale roadmap, reporting — via the analytic
+//! model — the *communication fraction* of SUMMA vs best-G HSUMMA. The
+//! paper's motivating claim corresponds to SUMMA's fraction climbing
+//! with `p`; HSUMMA's should climb markedly more slowly.
+
+use hsumma_bench::render_table;
+use hsumma_model::predict::{best_point, power_of_two_gs, sweep_groups};
+use hsumma_model::{summa_cost, BcastModel, ModelParams};
+
+fn main() {
+    let params = ModelParams::exascale();
+    let b = 256.0;
+    // n = 2^22 at p = 2^20 (the paper's exascale point) scaled as √p.
+    let n_per_sqrt_p = (1u64 << 22) as f64 / ((1u64 << 20) as f64).sqrt();
+
+    println!("Weak scaling toward exascale (analytic, van de Geijn broadcast)");
+    println!("memory per processor held constant: n = {n_per_sqrt_p:.0}·sqrt(p), b = B = {b}\n");
+
+    let mut rows = Vec::new();
+    for log2p in [14u32, 16, 18, 20, 22] {
+        let p = (1u64 << log2p) as f64;
+        let n = n_per_sqrt_p * p.sqrt();
+        let summa = summa_cost(&params, BcastModel::VanDeGeijn, n, p, b);
+        let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
+        let best = best_point(&sweep);
+        rows.push(vec![
+            format!("2^{log2p}"),
+            format!("{n:.0}"),
+            format!("{:.1}%", 100.0 * summa.comm() / summa.total()),
+            format!(
+                "{:.1}%",
+                100.0 * best.hsumma.comm() / best.hsumma.total()
+            ),
+            format!("{:.0}", best.g),
+            format!("{:.2}x", summa.comm() / best.hsumma.comm()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["p", "n", "SUMMA comm share", "HSUMMA comm share", "best G", "comm gain"],
+            &rows
+        )
+    );
+    println!("\nreading: under weak scaling SUMMA's communication share grows with p");
+    println!("(the paper's exascale motivation); HSUMMA defers that crossover.");
+}

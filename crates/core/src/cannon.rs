@@ -1,0 +1,117 @@
+//! Cannon's algorithm (1969) — the paper's historical baseline (§I).
+//!
+//! Works on a square `q × q` grid with one tile per processor. After an
+//! initial alignment (tile row `i` of `A` rotated left by `i`, tile column
+//! `j` of `B` rotated up by `j`), the algorithm performs `q` rounds of
+//! "multiply, then rotate `A` left and `B` up by one". Its restriction to
+//! square processor counts is exactly why SUMMA superseded it in general
+//! purpose libraries.
+
+use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
+use hsumma_runtime::Comm;
+
+const TAG_SHIFT_A: u64 = 11;
+const TAG_SHIFT_B: u64 = 12;
+
+/// Sends `mat` to `dst` and receives the replacement from `src` on `comm`
+/// (an `MPI_Sendrecv_replace`). Eager sends make the exchange deadlock-free.
+fn shift(comm: &Comm, dst: usize, src: usize, tag: u64, mat: Matrix) -> Matrix {
+    if dst == comm.rank() {
+        return mat; // rotation by zero
+    }
+    comm.send(dst, tag, mat);
+    comm.recv::<Matrix>(src, tag)
+}
+
+/// Runs Cannon's algorithm on the calling rank. SPMD over a square grid;
+/// operands block-checkerboard distributed. Returns the local `C` tile.
+///
+/// # Panics
+/// Panics if the grid is not square or tile shapes are inconsistent.
+pub fn cannon(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    kernel: GemmKernel,
+) -> Matrix {
+    assert_eq!(grid.rows, grid.cols, "Cannon requires a square processor grid");
+    let q = grid.rows;
+    assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
+    assert_eq!(n % q, 0, "n must be divisible by the grid side");
+    let ts = n / q;
+    assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
+    assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
+
+    let (i, j) = grid.coords(comm.rank());
+    let left = |steps: usize| grid.rank(i, (j + q - steps % q) % q);
+    let right = |steps: usize| grid.rank(i, (j + steps) % q);
+    let up = |steps: usize| grid.rank((i + q - steps % q) % q, j);
+    let down = |steps: usize| grid.rank((i + steps) % q, j);
+
+    // Initial alignment: A_i· moves i positions left, B·_j moves j up.
+    let mut a_cur = shift(comm, left(i), right(i), TAG_SHIFT_A, a.clone());
+    let mut b_cur = shift(comm, up(j), down(j), TAG_SHIFT_B, b.clone());
+
+    let mut c = Matrix::zeros(ts, ts);
+    for _ in 0..q {
+        comm.time_compute(|| gemm(kernel, &a_cur, &b_cur, &mut c));
+        a_cur = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur);
+        b_cur = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{distributed_product, reference_product};
+    use hsumma_matrix::seeded_uniform;
+
+    fn run_cannon_case(q: usize, n: usize) {
+        let grid = GridShape::new(q, q);
+        let a = seeded_uniform(n, n, 500);
+        let b = seeded_uniform(n, n, 600);
+        let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        });
+        let want = reference_product(&a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "q={q} n={n}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn cannon_2x2() {
+        run_cannon_case(2, 8);
+    }
+
+    #[test]
+    fn cannon_3x3() {
+        run_cannon_case(3, 9);
+    }
+
+    #[test]
+    fn cannon_4x4() {
+        run_cannon_case(4, 16);
+    }
+
+    #[test]
+    fn cannon_single_rank() {
+        run_cannon_case(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "square processor grid")]
+    fn cannon_rejects_rectangular_grid() {
+        let grid = GridShape::new(2, 4);
+        let a = seeded_uniform(8, 8, 1);
+        let b = seeded_uniform(8, 8, 2);
+        let _ = distributed_product(grid, 8, &a, &b, |comm, at, bt| {
+            cannon(comm, grid, 8, &at, &bt, GemmKernel::Blocked)
+        });
+    }
+}

@@ -1,0 +1,247 @@
+//! SUMMA over a block-cyclic distribution — the paper's future work.
+//!
+//! §VI: "we believe that by using block-cyclic distribution the
+//! communication can be better overlapped and parallelized and thus the
+//! communication cost can be reduced even further."
+//!
+//! With dealing blocks of edge `b` (the SUMMA panel width), pivot panel
+//! `k` is owned by grid column `k mod t` (for `A`) and grid row
+//! `k mod s` (for `B`) — the ScaLAPACK convention. Two consequences:
+//!
+//! * the broadcast *roots rotate every step* instead of every `n/(t·b)`
+//!   steps, which spreads the root's serialized sends over all ranks and
+//!   lets consecutive steps overlap (quantified by
+//!   [`sim_summa_cyclic`] against `simdrive::sim_summa` without per-step
+//!   synchronization);
+//! * correctness is unchanged: each rank's local rows/columns of the
+//!   pivot panels line up with its local `C` tile rows/columns under the
+//!   same cyclic dealing.
+
+use hsumma_matrix::{gemm, BlockCyclicDist, GridShape, Matrix};
+use hsumma_netsim::model::ELEM_BYTES;
+use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
+use hsumma_runtime::Comm;
+
+use crate::summa::{bcast_matrix, SummaConfig};
+
+/// Runs SUMMA on operands distributed block-cyclically with dealing
+/// block equal to `cfg.block`. SPMD over `comm`; tiles must come from a
+/// [`BlockCyclicDist`] with the same grid, extents and block size.
+/// Returns the local (cyclic) tile of `C`.
+///
+/// # Panics
+/// Panics if grid, tile shapes or block size are inconsistent (the
+/// global block grid `n/b × n/b` must be divisible by the processor
+/// grid, as `BlockCyclicDist` requires).
+pub fn summa_cyclic(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &SummaConfig,
+) -> Matrix {
+    let bs = cfg.block;
+    assert!(bs > 0, "block size must be positive");
+    // Validates divisibility; we only need it for the shape algebra.
+    let dist = BlockCyclicDist::new(grid, n, n, bs);
+    let (th, tw) = dist.tile_shape();
+    assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
+    assert_eq!(a.shape(), (th, tw), "A tile has wrong shape");
+    assert_eq!(b.shape(), (th, tw), "B tile has wrong shape");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let row_comm = comm.split(gi as u64, gj as i64);
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+
+    let mut c = Matrix::zeros(th, tw);
+    for k in 0..n / bs {
+        // Pivot column panel k of A lives in grid column k mod t, local
+        // block column k div t.
+        let owner_col = k % grid.cols;
+        let mut a_panel = if gj == owner_col {
+            a.block(0, (k / grid.cols) * bs, th, bs)
+        } else {
+            Matrix::zeros(th, bs)
+        };
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+
+        let owner_row = k % grid.rows;
+        let mut b_panel = if gi == owner_row {
+            b.block((k / grid.rows) * bs, 0, bs, tw)
+        } else {
+            Matrix::zeros(bs, tw)
+        };
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+
+        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+    }
+    c
+}
+
+/// Timed replay of the block-cyclic SUMMA schedule (rotating roots).
+/// Compare with `simdrive::sim_summa` (block distribution, sticky roots)
+/// under `step_sync = false` to quantify the overlap benefit §VI
+/// anticipates.
+pub fn sim_summa_cyclic(
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+    step_sync: bool,
+) -> SimReport {
+    assert!(b > 0, "block size must be positive");
+    assert_eq!((n / b) % grid.rows, 0, "block grid must divide processor grid rows");
+    assert_eq!((n / b) % grid.cols, 0, "block grid must divide processor grid cols");
+    let (th, tw) = (n / grid.rows, n / grid.cols);
+
+    let mut net = SimNet::new(grid.size(), platform.net);
+    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
+        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
+        .collect();
+    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
+        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
+        .collect();
+
+    let a_bytes = (th * b) as u64 * ELEM_BYTES;
+    let b_bytes = (b * tw) as u64 * ELEM_BYTES;
+    let pairs = (th * tw * b) as u64;
+    for k in 0..n / b {
+        for ranks in &row_ranks {
+            bcast.run(&mut net, ranks, k % grid.cols, a_bytes);
+        }
+        for ranks in &col_ranks {
+            bcast.run(&mut net, ranks, k % grid.rows, b_bytes);
+        }
+        for r in 0..net.size() {
+            net.compute(r, platform.gamma * pairs as f64);
+        }
+        if step_sync {
+            net.barrier_all();
+        }
+    }
+    net.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simdrive::sim_summa;
+    use crate::testutil::reference_product;
+    use hsumma_matrix::seeded_uniform;
+    use hsumma_runtime::Runtime;
+
+    fn run_cyclic_case(grid: GridShape, n: usize, block: usize) {
+        let a = seeded_uniform(n, n, 900);
+        let b = seeded_uniform(n, n, 901);
+        let dist = BlockCyclicDist::new(grid, n, n, block);
+        let at = dist.scatter(&a);
+        let bt = dist.scatter(&b);
+        let cfg = SummaConfig { block, ..Default::default() };
+        let ct = Runtime::run(grid.size(), |comm| {
+            summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+        });
+        let got = dist.gather(&ct);
+        let want = reference_product(&a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "grid {grid:?} n={n} block={block}: err {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn cyclic_summa_square_grid() {
+        run_cyclic_case(GridShape::new(2, 2), 8, 2);
+    }
+
+    #[test]
+    fn cyclic_summa_rectangular_grid() {
+        run_cyclic_case(GridShape::new(2, 4), 16, 2);
+    }
+
+    #[test]
+    fn cyclic_summa_multiple_rounds_of_dealing() {
+        // 4 block-columns per grid column: ownership wraps 4 times.
+        run_cyclic_case(GridShape::new(2, 2), 16, 2);
+    }
+
+    #[test]
+    fn cyclic_summa_single_rank() {
+        run_cyclic_case(GridShape::new(1, 1), 8, 2);
+    }
+
+    #[test]
+    fn cyclic_and_block_summa_same_product() {
+        use crate::summa::summa;
+        use crate::testutil::distributed_product;
+        let grid = GridShape::new(2, 2);
+        let n = 16;
+        let a = seeded_uniform(n, n, 31);
+        let b = seeded_uniform(n, n, 32);
+        let cfg = SummaConfig { block: 2, ..Default::default() };
+
+        let by_block = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa(comm, grid, n, &at, &bt, &cfg)
+        });
+
+        let dist = BlockCyclicDist::new(grid, n, n, 2);
+        let at = dist.scatter(&a);
+        let bt = dist.scatter(&b);
+        let ct = Runtime::run(grid.size(), |comm| {
+            summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+        });
+        let by_cyclic = dist.gather(&ct);
+
+        assert!(by_block.approx_eq(&by_cyclic, 1e-9));
+    }
+
+    #[test]
+    fn rotating_roots_move_same_data() {
+        let plat = Platform::grid5000();
+        let grid = GridShape::new(4, 4);
+        let (n, b) = (64usize, 8usize);
+        let block = sim_summa(&plat, grid, n, b, SimBcast::Flat);
+        let cyclic = sim_summa_cyclic(&plat, grid, n, b, SimBcast::Flat, false);
+        assert_eq!(block.msgs, cyclic.msgs);
+        assert_eq!(block.bytes, cyclic.bytes);
+    }
+
+    #[test]
+    fn rotating_roots_overlap_better_without_sync() {
+        // §VI's intuition: under a root-serialized (flat) broadcast with
+        // no artificial step barrier, rotating ownership spreads the
+        // serialization across ranks, so the cyclic schedule's makespan
+        // is at most the block schedule's — and strictly better when the
+        // root is the bottleneck.
+        let plat = Platform {
+            name: "root-bound",
+            net: hsumma_netsim::Hockney::new(1e-3, 1e-9),
+            gamma: 0.0,
+        };
+        let grid = GridShape::new(4, 4);
+        let (n, b) = (256usize, 8usize);
+        let block = sim_summa(&plat, grid, n, b, SimBcast::Flat);
+        let cyclic = sim_summa_cyclic(&plat, grid, n, b, SimBcast::Flat, false);
+        assert!(
+            cyclic.total_time < block.total_time,
+            "cyclic {} should beat block {} when roots serialize",
+            cyclic.total_time,
+            block.total_time
+        );
+    }
+
+    #[test]
+    fn with_step_sync_cyclic_equals_block_cost() {
+        // Under blocking-collective semantics each step costs the same
+        // regardless of which column owns the pivot.
+        let plat = Platform::grid5000();
+        let grid = GridShape::new(4, 4);
+        let (n, b) = (64usize, 8usize);
+        let block = crate::simdrive::sim_summa_sync(&plat, grid, n, b, SimBcast::Binomial);
+        let cyclic = sim_summa_cyclic(&plat, grid, n, b, SimBcast::Binomial, true);
+        let rel = (block.total_time - cyclic.total_time).abs() / block.total_time;
+        assert!(rel < 1e-9, "block {} vs cyclic {}", block.total_time, cyclic.total_time);
+    }
+}

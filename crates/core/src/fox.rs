@@ -1,0 +1,133 @@
+//! Fox's algorithm (1987) — broadcast-multiply-roll baseline (§I).
+//!
+//! Square `q × q` grid, one tile per processor. In round `k`, each
+//! processor row broadcasts its diagonal-offset tile `A[i][(i+k) mod q]`
+//! along the row, multiplies it with the current `B` tile, then rolls `B`
+//! one position up. Like Cannon's, the square-grid restriction kept it out
+//! of general-purpose libraries.
+
+use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
+use hsumma_runtime::{BcastAlgorithm, Comm};
+
+const TAG_ROLL_B: u64 = 21;
+
+/// Runs Fox's algorithm on the calling rank. SPMD over a square grid;
+/// operands block-checkerboard distributed. Returns the local `C` tile.
+///
+/// # Panics
+/// Panics if the grid is not square or tile shapes are inconsistent.
+pub fn fox(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    kernel: GemmKernel,
+) -> Matrix {
+    assert_eq!(grid.rows, grid.cols, "Fox requires a square processor grid");
+    let q = grid.rows;
+    assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
+    assert_eq!(n % q, 0, "n must be divisible by the grid side");
+    let ts = n / q;
+    assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
+    assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
+
+    let (i, j) = grid.coords(comm.rank());
+    let row_comm = comm.split(i as u64, j as i64);
+    let up = grid.rank((i + q - 1) % q, j);
+    let down = grid.rank((i + 1) % q, j);
+
+    let mut b_cur = b.clone();
+    let mut c = Matrix::zeros(ts, ts);
+    for k in 0..q {
+        // Broadcast A[i][(i+k) mod q] along row i.
+        let root = (i + k) % q;
+        let mut a_bc = if j == root { a.clone() } else { Matrix::zeros(ts, ts) };
+        crate::summa::bcast_matrix(&row_comm, BcastAlgorithm::Binomial, root, &mut a_bc);
+
+        comm.time_compute(|| gemm(kernel, &a_bc, &b_cur, &mut c));
+
+        // Roll B up by one (skip on a 1-wide column).
+        if q > 1 {
+            comm.send(up, TAG_ROLL_B, b_cur);
+            b_cur = comm.recv::<Matrix>(down, TAG_ROLL_B);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{distributed_product, reference_product};
+    use hsumma_matrix::seeded_uniform;
+
+    fn run_fox_case(q: usize, n: usize) {
+        let grid = GridShape::new(q, q);
+        let a = seeded_uniform(n, n, 700);
+        let b = seeded_uniform(n, n, 800);
+        let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        });
+        let want = reference_product(&a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "q={q} n={n}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn fox_2x2() {
+        run_fox_case(2, 8);
+    }
+
+    #[test]
+    fn fox_3x3() {
+        run_fox_case(3, 9);
+    }
+
+    #[test]
+    fn fox_4x4() {
+        run_fox_case(4, 16);
+    }
+
+    #[test]
+    fn fox_single_rank() {
+        run_fox_case(1, 4);
+    }
+
+    #[test]
+    fn fox_cannon_summa_hsumma_agree() {
+        use crate::hsumma::{hsumma, HsummaConfig};
+        use crate::summa::{summa, SummaConfig};
+
+        let grid = GridShape::new(2, 2);
+        let n = 8;
+        let a = seeded_uniform(n, n, 31);
+        let b = seeded_uniform(n, n, 32);
+        let want = reference_product(&a, &b);
+
+        let by_fox = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        });
+        let by_cannon = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            crate::cannon::cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        });
+        let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa(comm, grid, n, &at, &bt, &SummaConfig { block: 2, ..Default::default() })
+        });
+        let by_hsumma = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma(comm, grid, n, &at, &bt, &HsummaConfig::uniform(GridShape::new(2, 2), 2))
+        });
+
+        for (name, got) in [
+            ("fox", by_fox),
+            ("cannon", by_cannon),
+            ("summa", by_summa),
+            ("hsumma", by_hsumma),
+        ] {
+            assert!(got.approx_eq(&want, 1e-9), "{name} diverged from reference");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! SUMMA, Hierarchical SUMMA (HSUMMA) and the classic baselines — the
+//! paper's algorithms, both *executable* (real data over the threaded
+//! message-passing runtime) and *simulated* (timed schedule replay at
+//! BlueGene/P scale).
+//!
+//! Reproduction of Quintin, Hasanov & Lastovetsky, *"Hierarchical
+//! Parallel Matrix Multiplication on Large-Scale Distributed Memory
+//! Platforms"* (ICPP 2013).
+//!
+//! * [`grid`] — the two-level group hierarchy over a 2-D processor grid;
+//! * [`mod@summa`] — SUMMA (van de Geijn & Watts), the paper's baseline;
+//! * [`cyclic`] — SUMMA over a block-cyclic distribution (future work of
+//!   §VI), with the overlap benefit quantified in simulation;
+//! * [`mod@hsumma`] — HSUMMA per Algorithm 1, the paper's contribution;
+//! * [`mod@cannon`], [`mod@fox`] — the historical square-grid baselines of §I;
+//! * [`simdrive`] — schedule replay on `hsumma-netsim` clocks (Figs. 5–9);
+//! * [`tuning`] — optimal group count selection by sampling (§VI);
+//! * [`multilevel`] — ≥ 2 hierarchy levels (the paper's future work);
+//! * [`overlap`] — one-step-lookahead SUMMA hiding panel transfers
+//!   behind the local multiply (§VI's overlap remark);
+//! * [`twodotfive`] — the 2.5D algorithm of §I, executable, for the
+//!   memory-vs-communication trade-off comparison;
+//! * [`lu`] — distributed block LU with optional hierarchical panel
+//!   broadcasts, and [`tsqr`] — communication-avoiding tall-skinny QR
+//!   (the §VI plan to carry the approach to LU/QR);
+//! * [`rect`] — the general `(M, L, N)` rectangular forms of Algorithm 1;
+//! * [`testutil`] — scatter/run/gather drivers shared by tests, examples
+//!   and benchmarks.
+
+pub mod cannon;
+pub mod cyclic;
+pub mod fox;
+pub mod grid;
+pub mod hsumma;
+pub mod lu;
+pub mod multilevel;
+pub mod overlap;
+pub mod rect;
+pub mod simdrive;
+pub mod summa;
+pub mod testutil;
+pub mod tsqr;
+pub mod tuning;
+pub mod twodotfive;
+
+pub use cannon::cannon;
+pub use cyclic::summa_cyclic;
+pub use fox::fox;
+pub use grid::HierGrid;
+pub use hsumma::{hsumma, HsummaConfig};
+pub use lu::{block_lu, LuConfig};
+pub use overlap::{hsumma_overlap, summa_overlap};
+pub use rect::{hsumma_rect, summa_rect, MatMulDims};
+pub use simdrive::{sim_hsumma, sim_summa};
+pub use summa::{summa, SummaConfig};
+pub use tsqr::tsqr;
+pub use tuning::tuned_hsumma;
+pub use twodotfive::{twodotfive, TwoDotFiveConfig};
+
+/// Converts a runtime broadcast-algorithm selector into the simulator's,
+/// so executable and simulated configurations stay interchangeable.
+pub fn to_sim_bcast(algo: hsumma_runtime::BcastAlgorithm) -> hsumma_netsim::SimBcast {
+    use hsumma_netsim::SimBcast;
+    use hsumma_runtime::BcastAlgorithm as B;
+    match algo {
+        B::Flat => SimBcast::Flat,
+        B::Binomial => SimBcast::Binomial,
+        B::Binary => SimBcast::Binary,
+        B::Ring => SimBcast::Ring,
+        B::Pipelined { segments } => SimBcast::Pipelined { segments },
+        B::ScatterAllgather => SimBcast::ScatterAllgather,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsumma_netsim::SimBcast;
+    use hsumma_runtime::BcastAlgorithm;
+
+    #[test]
+    fn bcast_conversion_covers_all_variants() {
+        assert_eq!(to_sim_bcast(BcastAlgorithm::Flat), SimBcast::Flat);
+        assert_eq!(to_sim_bcast(BcastAlgorithm::Binomial), SimBcast::Binomial);
+        assert_eq!(to_sim_bcast(BcastAlgorithm::Binary), SimBcast::Binary);
+        assert_eq!(to_sim_bcast(BcastAlgorithm::Ring), SimBcast::Ring);
+        assert_eq!(
+            to_sim_bcast(BcastAlgorithm::Pipelined { segments: 7 }),
+            SimBcast::Pipelined { segments: 7 }
+        );
+        assert_eq!(
+            to_sim_bcast(BcastAlgorithm::ScatterAllgather),
+            SimBcast::ScatterAllgather
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! More than two hierarchy levels — the paper's future work (§VI).
+//!
+//! "We also plan to investigate the algorithm with more than two levels
+//! of hierarchy as we believe that in this case it is possible to get
+//! even better performance."
+//!
+//! With equal block sizes at every level (`b = B`, the paper's
+//! experimental setting), an `L`-level HSUMMA schedule is SUMMA whose
+//! row/column panel broadcast is replaced by an `L`-level *hierarchical
+//! broadcast*: broadcast among the leaders of the top-level subgroups,
+//! then recurse inside each subgroup. [`hier_bcast`] implements that
+//! schedule on the simulator, and [`sim_summa_hier`] runs the resulting
+//! multi-level algorithm. Two levels reproduce `sim_hsumma` exactly
+//! (verified by tests), so this is a strict generalization.
+
+use hsumma_matrix::GridShape;
+use hsumma_netsim::model::ELEM_BYTES;
+use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
+
+/// Hierarchically broadcasts `bytes` from `group[root]`: `levels[0]`
+/// subgroups at the top, recursing with `levels[1..]`. The product of
+/// `levels` must equal `group.len()`; a single level is a plain `algo`
+/// broadcast.
+///
+/// # Panics
+/// Panics if `levels` is empty or its product differs from the group size.
+pub fn hier_bcast(
+    net: &mut SimNet,
+    algo: SimBcast,
+    group: &[usize],
+    root: usize,
+    bytes: u64,
+    levels: &[usize],
+) {
+    assert!(!levels.is_empty(), "need at least one level");
+    assert_eq!(
+        levels.iter().product::<usize>(),
+        group.len(),
+        "levels {levels:?} must multiply to the group size {}",
+        group.len()
+    );
+    if levels.len() == 1 {
+        algo.run(net, group, root, bytes);
+        return;
+    }
+    let top = levels[0];
+    let sub = group.len() / top;
+    // The leaders sit at the root's offset within each subgroup, so the
+    // original root is itself a leader.
+    let offset = root % sub;
+    let leaders: Vec<usize> = (0..top).map(|s| group[s * sub + offset]).collect();
+    algo.run(net, &leaders, root / sub, bytes);
+    for s in 0..top {
+        hier_bcast(net, algo, &group[s * sub..(s + 1) * sub], offset, bytes, &levels[1..]);
+    }
+}
+
+/// SUMMA on a square grid where every panel broadcast is an `levels`-level
+/// hierarchical broadcast — i.e. multi-level HSUMMA at `b = B`.
+///
+/// `levels` applies to both row and column broadcasts, so the grid side
+/// must equal the product of `levels`.
+pub fn sim_summa_hier(
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    algo: SimBcast,
+    levels: &[usize],
+) -> SimReport {
+    sim_summa_hier_with(platform, grid, n, b, algo, levels, false)
+}
+
+/// [`sim_summa_hier`] with selectable per-step synchronization
+/// (blocking-collective semantics; see `simdrive::sim_summa_sync`).
+pub fn sim_summa_hier_with(
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    algo: SimBcast,
+    levels: &[usize],
+    step_sync: bool,
+) -> SimReport {
+    assert_eq!(grid.rows, grid.cols, "multi-level driver assumes a square grid");
+    assert_eq!(
+        levels.iter().product::<usize>(),
+        grid.cols,
+        "levels must multiply to the grid side"
+    );
+    assert_eq!(n % grid.rows, 0, "n must be divisible by the grid side");
+    let (th, tw) = (n / grid.rows, n / grid.cols);
+    assert!(b > 0 && tw % b == 0 && th % b == 0, "block must divide tile extents");
+
+    let mut net = SimNet::new(grid.size(), platform.net);
+    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
+        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
+        .collect();
+    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
+        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
+        .collect();
+
+    let a_bytes = (th * b) as u64 * ELEM_BYTES;
+    let b_bytes = (b * tw) as u64 * ELEM_BYTES;
+    let pairs = (th * tw * b) as u64;
+    for k in 0..n / b {
+        let owner_col = k * b / tw;
+        for ranks in &row_ranks {
+            hier_bcast(&mut net, algo, ranks, owner_col, a_bytes, levels);
+        }
+        let owner_row = k * b / th;
+        for ranks in &col_ranks {
+            hier_bcast(&mut net, algo, ranks, owner_row, b_bytes, levels);
+        }
+        for r in 0..net.size() {
+            net.compute(r, platform.gamma * pairs as f64);
+        }
+        if step_sync {
+            net.barrier_all();
+        }
+    }
+    net.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simdrive::{sim_hsumma, sim_summa};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn one_level_equals_plain_summa() {
+        let plat = Platform::grid5000();
+        let grid = GridShape::new(8, 8);
+        let flat = sim_summa(&plat, grid, 128, 16, SimBcast::Binomial);
+        let hier = sim_summa_hier(&plat, grid, 128, 16, SimBcast::Binomial, &[8]);
+        assert!(close(flat.total_time, hier.total_time));
+        assert_eq!(flat.msgs, hier.msgs);
+    }
+
+    #[test]
+    fn two_levels_equal_hsumma_with_square_groups() {
+        // levels [2, 4] on a side of 8 = 2x2 groups of 4x4 processors.
+        let plat = Platform::bluegene_p();
+        let grid = GridShape::new(8, 8);
+        let two = sim_summa_hier(&plat, grid, 128, 16, SimBcast::Binomial, &[2, 4]);
+        let hs = sim_hsumma(
+            &plat,
+            grid,
+            GridShape::new(2, 2),
+            128,
+            16,
+            16,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+        );
+        assert!(
+            close(two.total_time, hs.total_time),
+            "hier {two:?} vs hsumma {hs:?}"
+        );
+        assert!(close(two.comm_time, hs.comm_time));
+        assert_eq!(two.msgs, hs.msgs);
+        assert_eq!(two.bytes, hs.bytes);
+    }
+
+    #[test]
+    fn hier_bcast_preserves_total_bytes_per_receiver() {
+        // Every rank receives the payload exactly once per tree level it
+        // participates in; total bytes = (group−1) · payload for trees.
+        let plat = Platform::grid5000();
+        let mut net = SimNet::new(8, plat.net);
+        let group: Vec<usize> = (0..8).collect();
+        hier_bcast(&mut net, SimBcast::Binomial, &group, 0, 1000, &[2, 2, 2]);
+        assert_eq!(net.report().bytes, 7 * 1000);
+    }
+
+    #[test]
+    fn three_levels_help_on_latency_bound_vdg() {
+        // With van de Geijn's linear-in-p latency, deeper hierarchies cut
+        // latency further (Σ q_ℓ ≪ q); on a latency-bound platform three
+        // levels must beat one.
+        let plat = Platform {
+            name: "latency-bound",
+            net: hsumma_netsim::Hockney::new(0.1, 1e-12),
+            gamma: 0.0,
+        };
+        let grid = GridShape::new(16, 16);
+        let one = sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[16]);
+        let two = sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[4, 4]);
+        let three =
+            sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[2, 2, 4]);
+        assert!(two.comm_time < one.comm_time, "two levels should help");
+        assert!(three.comm_time < one.comm_time, "three levels should help");
+    }
+
+    #[test]
+    fn root_offset_respected_in_hierarchy() {
+        // Root at index 5 of an 8-rank group, 2 levels: leader set must
+        // include the root, and all ranks must advance past zero.
+        let plat = Platform::grid5000();
+        let mut net = SimNet::new(8, plat.net);
+        let group: Vec<usize> = (0..8).collect();
+        hier_bcast(&mut net, SimBcast::Binomial, &group, 5, 64, &[2, 4]);
+        for r in 0..8 {
+            if r != 5 {
+                assert!(net.now(r) > 0.0, "rank {r} never received");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must multiply to the group size")]
+    fn mismatched_levels_rejected() {
+        let plat = Platform::grid5000();
+        let mut net = SimNet::new(8, plat.net);
+        let group: Vec<usize> = (0..8).collect();
+        hier_bcast(&mut net, SimBcast::Binomial, &group, 0, 64, &[3, 2]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Communication/computation overlap — the paper's §VI remark made
+//! concrete.
+//!
+//! §VI: "until now we got all these improvements without overlapping the
+//! communications on the virtual hierarchies", i.e. further gains are
+//! available by hiding panel transfers behind the local multiply.
+//!
+//! [`summa_overlap`] implements one-step lookahead: pivot owners *push*
+//! step `k+1`'s panels (eager point-to-point sends, per-step tags) before
+//! anyone computes step `k`, so by the time a rank finishes its multiply
+//! the next panels are already in its mailbox and `recv` returns without
+//! blocking. The push distribution is a flat tree — relays would have to
+//! block, which is exactly what lookahead avoids.
+//!
+//! In the simulator, overlap corresponds to the free-running (non-`sync`)
+//! execution semantics; `sim_overlap_benefit` quantifies the gap
+//! against blocking-collective SUMMA.
+
+use crate::summa::check_tiles;
+use hsumma_matrix::{gemm, GridShape, Matrix};
+use hsumma_netsim::{Platform, SimBcast};
+use hsumma_runtime::Comm;
+
+pub use crate::summa::SummaConfig;
+
+/// SUMMA with one-step lookahead (flat push distribution). Same
+/// distribution, operands and result as [`crate::summa::summa`]; the
+/// `cfg.bcast` field is ignored (the push schedule replaces it).
+///
+/// # Panics
+/// Panics on the same inconsistencies as `summa`.
+pub fn summa_overlap(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &SummaConfig,
+) -> Matrix {
+    let (th, tw) = check_tiles(grid, n, a, b, comm.size());
+    let bs = cfg.block;
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(tw % bs, 0, "block must divide the tile width");
+    assert_eq!(th % bs, 0, "block must divide the tile height");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let row_comm = comm.split(gi as u64, gj as i64);
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+
+    let owner_col = |k: usize| k * bs / tw;
+    let owner_row = |k: usize| k * bs / th;
+
+    // Pushes step k's panels to all peers; owners only.
+    let push = |k: usize| {
+        if gj == owner_col(k) {
+            let panel = a.block(0, k * bs % tw, th, bs);
+            for dst in 0..row_comm.size() {
+                if dst != row_comm.rank() {
+                    row_comm.send(dst, 2 * k as u64, panel.clone());
+                }
+            }
+        }
+        if gi == owner_row(k) {
+            let panel = b.block(k * bs % th, 0, bs, tw);
+            for dst in 0..col_comm.size() {
+                if dst != col_comm.rank() {
+                    col_comm.send(dst, 2 * k as u64 + 1, panel.clone());
+                }
+            }
+        }
+    };
+
+    let steps = n / bs;
+    let mut c = Matrix::zeros(th, tw);
+    if steps > 0 {
+        push(0);
+    }
+    for k in 0..steps {
+        // Lookahead: inject step k+1's panels before computing step k.
+        if k + 1 < steps {
+            push(k + 1);
+        }
+        let a_panel = if gj == owner_col(k) {
+            a.block(0, k * bs % tw, th, bs)
+        } else {
+            row_comm.recv::<Matrix>(owner_col(k), 2 * k as u64)
+        };
+        let b_panel = if gi == owner_row(k) {
+            b.block(k * bs % th, 0, bs, tw)
+        } else {
+            col_comm.recv::<Matrix>(owner_row(k), 2 * k as u64 + 1)
+        };
+        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+    }
+    c
+}
+
+/// HSUMMA with overlap *on the virtual hierarchies* (§VI verbatim):
+/// outer panels are prefetched one outer step ahead across groups, and a
+/// whole outer panel's worth of inner panels is pushed inside the group
+/// as soon as the outer panel lands — so neither broadcast level blocks
+/// the multiply loop.
+///
+/// Same operands, distribution and result as [`crate::hsumma::hsumma`];
+/// the `outer_bcast`/`inner_bcast` fields are ignored (flat pushes
+/// replace them — relays would have to block, defeating the lookahead).
+///
+/// # Panics
+/// Panics on the same configuration inconsistencies as `hsumma`.
+pub fn hsumma_overlap(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &crate::hsumma::HsummaConfig,
+) -> Matrix {
+    let (th, tw) = check_tiles(grid, n, a, b, comm.size());
+    let hg = crate::grid::HierGrid::new(grid, cfg.groups);
+    let inner = hg.inner();
+    let (bb, bs) = (cfg.outer_block, cfg.inner_block);
+    assert!(bs > 0 && bb > 0, "block sizes must be positive");
+    assert_eq!(bb % bs, 0, "inner block must divide outer block");
+    assert_eq!(tw % bb, 0, "outer block must divide the tile width");
+    assert_eq!(th % bb, 0, "outer block must divide the tile height");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let (x, y) = hg.group_of(gi, gj);
+    let (i, j) = hg.inner_of(gi, gj);
+    let color3 = |a: usize, b: usize, c: usize| ((a as u64) << 40) | ((b as u64) << 20) | c as u64;
+    let group_row = comm.split(color3(x, i, j), y as i64);
+    let group_col = comm.split(color3(y, i, j), x as i64);
+    let row = comm.split(color3(x, y, i), j as i64);
+    let col = comm.split(color3(x, y, j), i as i64);
+
+    let outer_steps = n / bb;
+    let inner_steps = bb / bs;
+    let a_owner = |kg: usize| {
+        let gcol = kg * bb / tw;
+        (gcol, gcol / inner.cols, gcol % inner.cols) // (grid col, yk, jk)
+    };
+    let b_owner = |kg: usize| {
+        let grow = kg * bb / th;
+        (grow, grow / inner.rows, grow % inner.rows) // (grid row, xk, ik)
+    };
+
+    // Prefetch push of outer step kg across groups (owners only).
+    let push_outer = |kg: usize| {
+        let (gcol, _, jk) = a_owner(kg);
+        if gj == gcol && j == jk {
+            let panel = a.block(0, kg * bb % tw, th, bb);
+            for dst in 0..group_row.size() {
+                if dst != group_row.rank() {
+                    group_row.send(dst, 2 * kg as u64, panel.clone());
+                }
+            }
+        }
+        let (grow, _, ik) = b_owner(kg);
+        if gi == grow && i == ik {
+            let panel = b.block(kg * bb % th, 0, bb, tw);
+            for dst in 0..group_col.size() {
+                if dst != group_col.rank() {
+                    group_col.send(dst, 2 * kg as u64 + 1, panel.clone());
+                }
+            }
+        }
+    };
+
+    let mut c = Matrix::zeros(th, tw);
+    if outer_steps > 0 {
+        push_outer(0);
+    }
+    for kg in 0..outer_steps {
+        if kg + 1 < outer_steps {
+            push_outer(kg + 1);
+        }
+
+        // Land the outer panels on the inner pivot row/column.
+        let (gcol, yk, jk) = a_owner(kg);
+        let outer_a = (j == jk).then(|| {
+            if gj == gcol {
+                a.block(0, kg * bb % tw, th, bb)
+            } else {
+                group_row.recv::<Matrix>(yk, 2 * kg as u64)
+            }
+        });
+        let (grow, xk, ik) = b_owner(kg);
+        let outer_b = (i == ik).then(|| {
+            if gi == grow {
+                b.block(kg * bb % th, 0, bb, tw)
+            } else {
+                group_col.recv::<Matrix>(xk, 2 * kg as u64 + 1)
+            }
+        });
+
+        // Push every inner panel of this outer step at once, then drain.
+        let inner_tag = |ki: usize, is_b: bool| {
+            (2 * (kg * inner_steps + ki) + usize::from(is_b)) as u64 + (1 << 32)
+        };
+        if let Some(panel) = &outer_a {
+            for ki in 0..inner_steps {
+                let slice = panel.block(0, ki * bs, th, bs);
+                for dst in 0..row.size() {
+                    if dst != row.rank() {
+                        row.send(dst, inner_tag(ki, false), slice.clone());
+                    }
+                }
+            }
+        }
+        if let Some(panel) = &outer_b {
+            for ki in 0..inner_steps {
+                let slice = panel.block(ki * bs, 0, bs, tw);
+                for dst in 0..col.size() {
+                    if dst != col.rank() {
+                        col.send(dst, inner_tag(ki, true), slice.clone());
+                    }
+                }
+            }
+        }
+        for ki in 0..inner_steps {
+            let a_in = match &outer_a {
+                Some(panel) => panel.block(0, ki * bs, th, bs),
+                None => row.recv::<Matrix>(jk, inner_tag(ki, false)),
+            };
+            let b_in = match &outer_b {
+                Some(panel) => panel.block(ki * bs, 0, bs, tw),
+                None => col.recv::<Matrix>(ik, inner_tag(ki, true)),
+            };
+            comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
+        }
+    }
+    c
+}
+
+/// Quantifies the overlap benefit in the simulator: free-running
+/// (overlapped) vs blocking-collective SUMMA under the same flat push
+/// schedule. Returns `(overlapped_total, blocking_total)` seconds.
+pub fn sim_overlap_benefit(
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+) -> (f64, f64) {
+    let free = crate::simdrive::sim_summa(platform, grid, n, b, SimBcast::Flat);
+    let sync = crate::simdrive::sim_summa_sync(platform, grid, n, b, SimBcast::Flat);
+    (free.total_time, sync.total_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summa::summa;
+    use crate::testutil::{distributed_product, reference_product};
+    use hsumma_matrix::{seeded_uniform, GemmKernel};
+
+    fn cfg(block: usize) -> SummaConfig {
+        SummaConfig { block, kernel: GemmKernel::Blocked, ..Default::default() }
+    }
+
+    #[test]
+    fn overlap_summa_matches_serial() {
+        for (s, t, n, block) in [(2, 2, 16, 4), (2, 4, 16, 2), (1, 1, 8, 4), (3, 3, 9, 1)] {
+            let grid = GridShape::new(s, t);
+            let a = seeded_uniform(n, n, 60);
+            let b = seeded_uniform(n, n, 61);
+            let want = reference_product(&a, &b);
+            let c = cfg(block);
+            let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+                summa_overlap(comm, grid, n, &at, &bt, &c)
+            });
+            assert!(
+                got.approx_eq(&want, 1e-9),
+                "{s}x{t} n={n} block={block}: err {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_equals_plain_summa_exactly() {
+        // Same local operation order => bit-identical result.
+        let grid = GridShape::new(2, 2);
+        let n = 16;
+        let a = seeded_uniform(n, n, 71);
+        let b = seeded_uniform(n, n, 72);
+        let c = cfg(4);
+        let plain = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa(comm, grid, n, &at, &bt, &c)
+        });
+        let overlapped = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa_overlap(comm, grid, n, &at, &bt, &c)
+        });
+        assert_eq!(plain, overlapped);
+    }
+
+    #[test]
+    fn hsumma_overlap_matches_serial_across_groupings() {
+        use crate::grid::HierGrid;
+        use crate::hsumma::HsummaConfig;
+        let grid = GridShape::new(4, 4);
+        let n = 16;
+        let a = seeded_uniform(n, n, 81);
+        let b = seeded_uniform(n, n, 82);
+        let want = reference_product(&a, &b);
+        for (g, groups) in HierGrid::valid_group_counts(grid) {
+            let hcfg = HsummaConfig {
+                kernel: GemmKernel::Blocked,
+                ..HsummaConfig::uniform(groups, 2)
+            };
+            let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+                hsumma_overlap(comm, grid, n, &at, &bt, &hcfg)
+            });
+            assert!(got.approx_eq(&want, 1e-9), "G={g} diverged");
+        }
+    }
+
+    #[test]
+    fn hsumma_overlap_equals_hsumma_exactly() {
+        use crate::hsumma::{hsumma, HsummaConfig};
+        let grid = GridShape::new(4, 4);
+        let n = 32;
+        let a = seeded_uniform(n, n, 83);
+        let b = seeded_uniform(n, n, 84);
+        let hcfg = HsummaConfig {
+            outer_block: 8,
+            inner_block: 2,
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(GridShape::new(2, 2), 8)
+        };
+        let plain = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma(comm, grid, n, &at, &bt, &hcfg)
+        });
+        let overlapped = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma_overlap(comm, grid, n, &at, &bt, &hcfg)
+        });
+        assert_eq!(plain, overlapped, "same local op order => bitwise equal");
+    }
+
+    #[test]
+    fn simulated_overlap_beats_blocking() {
+        // With flat pushes, the root's serialization overlaps with other
+        // ranks' compute once the per-step barrier is dropped.
+        let platform = Platform::bluegene_p_effective();
+        let grid = GridShape::new(8, 8);
+        let (free, sync) = sim_overlap_benefit(&platform, grid, 512, 32);
+        assert!(
+            free < sync,
+            "overlapped {free} should beat blocking {sync}"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Rectangular operands: `C = A·B` with `A: M×L`, `B: L×N`.
+//!
+//! Algorithm 1 of the paper is stated for general `(M, L, N)` dimensions
+//! ("Data: (M,L,N): Matrix dimensions; A,B: two input sub-matrices of
+//! size (M/s × L/t, L/s × N/t)"); the square `n × n` entry points in
+//! [`crate::summa`]/[`crate::hsumma`] are the common case. This module
+//! provides the general forms — the pivot traversal runs along the
+//! shared `L` dimension, everything else is unchanged.
+
+use crate::grid::HierGrid;
+use crate::hsumma::HsummaConfig;
+use crate::summa::{bcast_matrix, SummaConfig};
+use hsumma_matrix::{gemm, GridShape, Matrix};
+use hsumma_runtime::Comm;
+
+/// Global operand dimensions of `C(M×N) = A(M×L) · B(L×N)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatMulDims {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// The shared (contraction) dimension: columns of `A`, rows of `B`.
+    pub l: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+}
+
+impl MatMulDims {
+    /// Square `n × n × n` dimensions.
+    pub fn square(n: usize) -> Self {
+        MatMulDims { m: n, l: n, n }
+    }
+}
+
+/// Validates the rectangular distribution and returns the tile shapes
+/// `((m/s, l/t), (l/s, n/t))`.
+fn check_rect(
+    grid: GridShape,
+    dims: MatMulDims,
+    a: &Matrix,
+    b: &Matrix,
+    comm_size: usize,
+) -> ((usize, usize), (usize, usize)) {
+    assert_eq!(comm_size, grid.size(), "communicator must span the whole grid");
+    let MatMulDims { m, l, n } = dims;
+    assert_eq!(m % grid.rows, 0, "M must be divisible by grid rows");
+    assert_eq!(l % grid.cols, 0, "L must be divisible by grid cols");
+    assert_eq!(l % grid.rows, 0, "L must be divisible by grid rows");
+    assert_eq!(n % grid.cols, 0, "N must be divisible by grid cols");
+    let a_tile = (m / grid.rows, l / grid.cols);
+    let b_tile = (l / grid.rows, n / grid.cols);
+    assert_eq!(a.shape(), a_tile, "A tile has wrong shape");
+    assert_eq!(b.shape(), b_tile, "B tile has wrong shape");
+    (a_tile, b_tile)
+}
+
+/// Rectangular SUMMA. SPMD over `comm`; `A` and `B` block-checkerboard
+/// distributed over `grid`. Returns the local `(m/s × n/t)` tile of `C`.
+///
+/// # Panics
+/// Panics on inconsistent dimensions/tiles, or a block size that does
+/// not divide the local extents of the shared dimension.
+pub fn summa_rect(
+    comm: &Comm,
+    grid: GridShape,
+    dims: MatMulDims,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &SummaConfig,
+) -> Matrix {
+    let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
+    let bs = cfg.block;
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(aw % bs, 0, "block must divide A's tile width (L/t)");
+    assert_eq!(bh % bs, 0, "block must divide B's tile height (L/s)");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let row_comm = comm.split(gi as u64, gj as i64);
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+
+    let mut c = Matrix::zeros(ah, bw);
+    for k in 0..dims.l / bs {
+        let owner_col = k * bs / aw;
+        let mut a_panel = if gj == owner_col {
+            a.block(0, k * bs % aw, ah, bs)
+        } else {
+            Matrix::zeros(ah, bs)
+        };
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+
+        let owner_row = k * bs / bh;
+        let mut b_panel = if gi == owner_row {
+            b.block(k * bs % bh, 0, bs, bw)
+        } else {
+            Matrix::zeros(bs, bw)
+        };
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+
+        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+    }
+    c
+}
+
+/// Rectangular HSUMMA per Algorithm 1's general form.
+///
+/// # Panics
+/// As [`crate::hsumma::hsumma`], with the block constraints applying to
+/// the shared-dimension tile extents.
+pub fn hsumma_rect(
+    comm: &Comm,
+    grid: GridShape,
+    dims: MatMulDims,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &HsummaConfig,
+) -> Matrix {
+    let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
+    let hg = HierGrid::new(grid, cfg.groups);
+    let inner = hg.inner();
+    let (bb, bs) = (cfg.outer_block, cfg.inner_block);
+    assert!(bs > 0 && bb > 0, "block sizes must be positive");
+    assert_eq!(bb % bs, 0, "inner block must divide outer block");
+    assert_eq!(aw % bb, 0, "outer block must divide A's tile width (L/t)");
+    assert_eq!(bh % bb, 0, "outer block must divide B's tile height (L/s)");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let (x, y) = hg.group_of(gi, gj);
+    let (i, j) = hg.inner_of(gi, gj);
+    let c3 = |a: usize, b: usize, c: usize| ((a as u64) << 40) | ((b as u64) << 20) | c as u64;
+    let group_row = comm.split(c3(x, i, j), y as i64);
+    let group_col = comm.split(c3(y, i, j), x as i64);
+    let row = comm.split(c3(x, y, i), j as i64);
+    let col = comm.split(c3(x, y, j), i as i64);
+
+    let mut c = Matrix::zeros(ah, bw);
+    for kg in 0..dims.l / bb {
+        let gcol = kg * bb / aw;
+        let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
+        let outer_a = (j == jk).then(|| {
+            let mut panel = if gj == gcol {
+                a.block(0, kg * bb % aw, ah, bb)
+            } else {
+                Matrix::zeros(ah, bb)
+            };
+            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut panel);
+            panel
+        });
+
+        let grow = kg * bb / bh;
+        let (xk, ik) = (grow / inner.rows, grow % inner.rows);
+        let outer_b = (i == ik).then(|| {
+            let mut panel = if gi == grow {
+                b.block(kg * bb % bh, 0, bb, bw)
+            } else {
+                Matrix::zeros(bb, bw)
+            };
+            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut panel);
+            panel
+        });
+
+        for ki in 0..bb / bs {
+            let mut a_in = match &outer_a {
+                Some(panel) => panel.block(0, ki * bs, ah, bs),
+                None => Matrix::zeros(ah, bs),
+            };
+            bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
+            let mut b_in = match &outer_b {
+                Some(panel) => panel.block(ki * bs, 0, bs, bw),
+                None => Matrix::zeros(bs, bw),
+            };
+            bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
+            comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::reference_product;
+    use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel};
+    use hsumma_runtime::Runtime;
+    use proptest::prelude::*;
+
+    /// Scatter rectangular operands, run `algo`, gather C, compare.
+    fn run_rect(
+        grid: GridShape,
+        dims: MatMulDims,
+        algo: impl Fn(&Comm, Matrix, Matrix) -> Matrix + Send + Sync,
+    ) {
+        let a = seeded_uniform(dims.m, dims.l, 70);
+        let b = seeded_uniform(dims.l, dims.n, 71);
+        let want = reference_product(&a, &b);
+        let a_dist = BlockDist::new(grid, dims.m, dims.l);
+        let b_dist = BlockDist::new(grid, dims.l, dims.n);
+        let c_dist = BlockDist::new(grid, dims.m, dims.n);
+        let at = a_dist.scatter(&a);
+        let bt = b_dist.scatter(&b);
+        let ct = Runtime::run(grid.size(), |comm| {
+            algo(comm, at[comm.rank()].clone(), bt[comm.rank()].clone())
+        });
+        let got = c_dist.gather(&ct);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "grid {grid:?} dims {dims:?}: err {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn rect_summa_tall_times_wide() {
+        let grid = GridShape::new(2, 2);
+        let dims = MatMulDims { m: 12, l: 8, n: 16 };
+        let cfg = SummaConfig { block: 2, kernel: GemmKernel::Blocked, ..Default::default() };
+        run_rect(grid, dims, move |comm, a, b| summa_rect(comm, grid, dims, &a, &b, &cfg));
+    }
+
+    #[test]
+    fn rect_summa_wide_times_tall() {
+        let grid = GridShape::new(2, 4);
+        let dims = MatMulDims { m: 4, l: 16, n: 8 };
+        let cfg = SummaConfig { block: 2, kernel: GemmKernel::Blocked, ..Default::default() };
+        run_rect(grid, dims, move |comm, a, b| summa_rect(comm, grid, dims, &a, &b, &cfg));
+    }
+
+    #[test]
+    fn rect_summa_square_case_matches_square_entry_point() {
+        use crate::summa::summa;
+        let grid = GridShape::new(2, 2);
+        let n = 16;
+        let dims = MatMulDims::square(n);
+        let a = seeded_uniform(n, n, 5);
+        let b = seeded_uniform(n, n, 6);
+        let dist = BlockDist::new(grid, n, n);
+        let at = dist.scatter(&a);
+        let bt = dist.scatter(&b);
+        let cfg = SummaConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() };
+        let by_rect = Runtime::run(grid.size(), |comm| {
+            summa_rect(comm, grid, dims, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+        });
+        let by_square = Runtime::run(grid.size(), |comm| {
+            summa(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+        });
+        assert_eq!(by_rect, by_square, "square case must be identical");
+    }
+
+    #[test]
+    fn rect_hsumma_matches_serial() {
+        let grid = GridShape::new(4, 4);
+        let dims = MatMulDims { m: 8, l: 16, n: 24 };
+        let cfg = HsummaConfig {
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(GridShape::new(2, 2), 2)
+        };
+        run_rect(grid, dims, move |comm, a, b| hsumma_rect(comm, grid, dims, &a, &b, &cfg));
+    }
+
+    #[test]
+    fn rect_hsumma_distinct_blocks_and_groups() {
+        let grid = GridShape::new(2, 4);
+        let dims = MatMulDims { m: 8, l: 32, n: 16 };
+        let cfg = HsummaConfig {
+            outer_block: 4,
+            inner_block: 2,
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
+        };
+        run_rect(grid, dims, move |comm, a, b| hsumma_rect(comm, grid, dims, &a, &b, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "L must be divisible by grid rows")]
+    fn rect_rejects_inconsistent_shared_dimension() {
+        // Call the algorithm directly (the scatter helper would reject the
+        // distribution first); tile shapes are plausible but L % s != 0.
+        let grid = GridShape::new(4, 2);
+        let dims = MatMulDims { m: 8, l: 6, n: 8 };
+        let cfg = SummaConfig { block: 1, ..Default::default() };
+        let _ = Runtime::run(grid.size(), |comm| {
+            let a = Matrix::zeros(2, 3);
+            let b = Matrix::zeros(1, 4);
+            summa_rect(comm, grid, dims, &a, &b, &cfg)
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn rect_summa_random_dims(
+            s in 1usize..3, t in 1usize..4,
+            mf in 1usize..3, lf in 1usize..3, nf in 1usize..3,
+            seed in 0u64..200,
+        ) {
+            let grid = GridShape::new(s, t);
+            let lcm = s * t; // l must divide by both s and t
+            let dims = MatMulDims { m: s * mf * 2, l: lcm * lf * 2, n: t * nf * 2 };
+            let a = seeded_uniform(dims.m, dims.l, seed);
+            let b = seeded_uniform(dims.l, dims.n, seed.wrapping_add(1));
+            let want = reference_product(&a, &b);
+            let a_dist = BlockDist::new(grid, dims.m, dims.l);
+            let b_dist = BlockDist::new(grid, dims.l, dims.n);
+            let c_dist = BlockDist::new(grid, dims.m, dims.n);
+            let at = a_dist.scatter(&a);
+            let bt = b_dist.scatter(&b);
+            let cfg = SummaConfig { block: 1, kernel: GemmKernel::Blocked, ..Default::default() };
+            let ct = Runtime::run(grid.size(), |comm| {
+                summa_rect(comm, grid, dims, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+            });
+            prop_assert!(c_dist.gather(&ct).approx_eq(&want, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Executable SUMMA over the threaded runtime.
+//!
+//! SUMMA (van de Geijn & Watts 1997; §II-A of the paper) multiplies
+//! `C = A·B` on an `s × t` grid: at step `k`, the owners of pivot column
+//! panel `k` of `A` broadcast it along their grid rows, the owners of
+//! pivot row panel `k` of `B` broadcast it along their grid columns, and
+//! every processor accumulates `C_tile += A_panel · B_panel`.
+
+use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
+use hsumma_runtime::{collectives, BcastAlgorithm, Comm};
+
+/// Parameters of a SUMMA run.
+#[derive(Clone, Copy, Debug)]
+pub struct SummaConfig {
+    /// Panel width `b`. Must divide both local tile extents.
+    pub block: usize,
+    /// Broadcast algorithm for the pivot panels.
+    pub bcast: BcastAlgorithm,
+    /// Local multiply kernel.
+    pub kernel: GemmKernel,
+}
+
+impl Default for SummaConfig {
+    fn default() -> Self {
+        SummaConfig {
+            block: 32,
+            bcast: BcastAlgorithm::Binomial,
+            kernel: GemmKernel::Parallel,
+        }
+    }
+}
+
+/// Broadcasts `mat` (whose shape every member already knows) from `root`
+/// over `comm` in place; non-roots pass a correctly shaped scratch matrix.
+pub(crate) fn bcast_matrix(comm: &Comm, algo: BcastAlgorithm, root: usize, mat: &mut Matrix) {
+    collectives::bcast_f64(comm, algo, root, mat.as_mut_slice());
+}
+
+/// Validates the distributed-operand invariants shared by SUMMA and
+/// HSUMMA and returns `(tile_rows, tile_cols)`.
+pub(crate) fn check_tiles(
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    comm_size: usize,
+) -> (usize, usize) {
+    assert_eq!(comm_size, grid.size(), "communicator must span the whole grid");
+    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
+    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
+    let th = n / grid.rows;
+    let tw = n / grid.cols;
+    assert_eq!(a.shape(), (th, tw), "A tile has wrong shape");
+    assert_eq!(b.shape(), (th, tw), "B tile has wrong shape");
+    (th, tw)
+}
+
+/// Runs SUMMA on the calling rank. SPMD: every rank of `comm` must call
+/// this with its local tiles of `A` and `B` (block-checkerboard
+/// distribution over `grid`, square `n × n` global operands). Returns the
+/// local tile of `C`.
+///
+/// # Panics
+/// Panics if the grid, tile shapes or block size are inconsistent
+/// (`block` must divide `n/s` and `n/t`).
+pub fn summa(
+    comm: &Comm,
+    grid: GridShape,
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &SummaConfig,
+) -> Matrix {
+    let (th, tw) = check_tiles(grid, n, a, b, comm.size());
+    let bs = cfg.block;
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(tw % bs, 0, "block must divide the tile width");
+    assert_eq!(th % bs, 0, "block must divide the tile height");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    // Row communicator: same grid row, ordered by column (local rank = gj).
+    let row_comm = comm.split(gi as u64, gj as i64);
+    // Column communicator: same grid column, ordered by row.
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+
+    let mut c = Matrix::zeros(th, tw);
+    let steps = n / bs;
+    for k in 0..steps {
+        // --- pivot column panel of A, broadcast along the grid row -------
+        let owner_col = k * bs / tw;
+        let mut a_panel = if gj == owner_col {
+            a.block(0, k * bs % tw, th, bs)
+        } else {
+            Matrix::zeros(th, bs)
+        };
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+
+        // --- pivot row panel of B, broadcast along the grid column -------
+        let owner_row = k * bs / th;
+        let mut b_panel = if gi == owner_row {
+            b.block(k * bs % th, 0, bs, tw)
+        } else {
+            Matrix::zeros(bs, tw)
+        };
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+
+        // --- local update: C += A_panel · B_panel -------------------------
+        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{distributed_product, reference_product};
+    use hsumma_matrix::{seeded_uniform, BlockDist};
+    use hsumma_runtime::Runtime;
+
+    /// Runs SUMMA end-to-end: scatter, multiply, gather, compare.
+    fn run_summa_case(grid: GridShape, n: usize, cfg: SummaConfig) {
+        let a = seeded_uniform(n, n, 100);
+        let b = seeded_uniform(n, n, 200);
+        let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa(comm, grid, n, &at, &bt, &cfg)
+        });
+        let want = reference_product(&a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "grid {grid:?} n={n} cfg={cfg:?}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn summa_square_grid_matches_serial() {
+        run_summa_case(GridShape::new(2, 2), 8, SummaConfig { block: 2, ..Default::default() });
+    }
+
+    #[test]
+    fn summa_rectangular_grid_matches_serial() {
+        run_summa_case(GridShape::new(2, 4), 16, SummaConfig { block: 2, ..Default::default() });
+        run_summa_case(GridShape::new(4, 2), 16, SummaConfig { block: 2, ..Default::default() });
+    }
+
+    #[test]
+    fn summa_single_rank_degenerates_to_local_gemm() {
+        run_summa_case(GridShape::new(1, 1), 8, SummaConfig { block: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn summa_block_size_one() {
+        run_summa_case(GridShape::new(2, 2), 6, SummaConfig { block: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn summa_block_equal_to_tile() {
+        // b = n/s: a single step per tile boundary.
+        run_summa_case(GridShape::new(2, 2), 8, SummaConfig { block: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn summa_all_broadcast_algorithms_agree() {
+        let grid = GridShape::new(2, 2);
+        let n = 8;
+        for bcast in [
+            BcastAlgorithm::Flat,
+            BcastAlgorithm::Binomial,
+            BcastAlgorithm::Binary,
+            BcastAlgorithm::Ring,
+            BcastAlgorithm::Pipelined { segments: 3 },
+            BcastAlgorithm::ScatterAllgather,
+        ] {
+            run_summa_case(grid, n, SummaConfig { block: 2, bcast, ..Default::default() });
+        }
+    }
+
+    #[test]
+    fn summa_counts_communication_and_computation() {
+        let grid = GridShape::new(2, 2);
+        let n = 16;
+        let a = seeded_uniform(n, n, 1);
+        let b = seeded_uniform(n, n, 2);
+        let dist = BlockDist::new(grid, n, n);
+        let a_tiles = dist.scatter(&a);
+        let b_tiles = dist.scatter(&b);
+        let stats = Runtime::run(grid.size(), |comm| {
+            let at = a_tiles[comm.rank()].clone();
+            let bt = b_tiles[comm.rank()].clone();
+            comm.reset_stats();
+            let _ = summa(comm, grid, n, &at, &bt, &SummaConfig { block: 4, ..Default::default() });
+            comm.stats()
+        });
+        for s in &stats {
+            assert!(s.comp_seconds > 0.0, "compute time should be recorded");
+            assert!(s.msgs_sent > 0, "every rank participates in broadcasts");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block must divide")]
+    fn summa_rejects_non_dividing_block() {
+        let grid = GridShape::new(2, 2);
+        let n = 8;
+        let a = seeded_uniform(n, n, 1);
+        let b = seeded_uniform(n, n, 2);
+        let _ = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa(comm, grid, n, &at, &bt, &SummaConfig { block: 3, ..Default::default() })
+        });
+    }
+}

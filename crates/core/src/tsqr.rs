@@ -1,0 +1,219 @@
+//! TSQR — communication-avoiding QR of tall-skinny matrices, the QR half
+//! of §VI's "apply the same approach to other numerical linear algebra
+//! kernels such as QR/LU factorization".
+//!
+//! A tall matrix `A` (`m × n`, `m ≫ n`) is distributed as row blocks over
+//! `p` ranks. Each rank factors its block locally, then the `n × n` `R`
+//! factors are combined up a binary tree (each combine is a local QR of
+//! two stacked `R`s — `log₂ p` rounds of one small message each, the
+//! communication-optimal schedule), and the tree's orthogonal factors are
+//! propagated back down so every rank can reconstruct its slice of the
+//! global thin `Q`.
+//!
+//! Just as HSUMMA's hierarchy restructures SUMMA's broadcasts, TSQR's
+//! tree restructures the panel factorization's reduction — the same
+//! "make the communicator smaller" principle applied to QR. [`sim_tsqr`]
+//! prices the schedule against the naive gather-and-factor alternative.
+
+use hsumma_matrix::factor::qr_thin;
+use hsumma_matrix::{gemm, GemmKernel, Matrix};
+use hsumma_netsim::model::ELEM_BYTES;
+use hsumma_netsim::{Platform, SimNet};
+use hsumma_runtime::Comm;
+
+const TAG_R_UP: u64 = 41;
+const TAG_Q_DOWN: u64 = 42;
+
+/// Distributed TSQR over the ranks of `comm`. Every rank passes its local
+/// row block `a_local` (`rows × n`, same `n` everywhere, `rows ≥ n`).
+/// Returns `(q_local, r)`: this rank's `rows × n` slice of the global
+/// orthonormal `Q`, and the global `n × n` upper-triangular `R`
+/// (identical on every rank), with `Q·R = A` and `QᵀQ = I`.
+///
+/// # Panics
+/// Panics if `rows < n` on any rank (each local block must be tall).
+pub fn tsqr(comm: &Comm, a_local: &Matrix) -> (Matrix, Matrix) {
+    let n = a_local.cols();
+    let p = comm.size();
+    let me = comm.rank();
+
+    // Local factorization.
+    let (q_local, mut r) = comm.time_compute(|| qr_thin(a_local));
+
+    // Upward sweep: binary tree on ranks; at level `l` ranks aligned to
+    // 2^(l+1) absorb the R of the partner 2^l above them. Remember each
+    // combine's orthogonal factor halves for the downward sweep.
+    let mut combines: Vec<(usize, Matrix, Matrix)> = Vec::new(); // (partner, q_top, q_bot)
+    let mut stride = 1usize;
+    while stride < p {
+        if me.is_multiple_of(2 * stride) {
+            let partner = me + stride;
+            if partner < p {
+                let r_partner: Matrix = comm.recv(partner, TAG_R_UP);
+                let (q2, r_new) = comm.time_compute(|| {
+                    let mut stacked = Matrix::zeros(2 * n, n);
+                    stacked.set_block(0, 0, &r);
+                    stacked.set_block(n, 0, &r_partner);
+                    qr_thin(&stacked)
+                });
+                combines.push((partner, q2.block(0, 0, n, n), q2.block(n, 0, n, n)));
+                r = r_new;
+            }
+        } else if me % (2 * stride) == stride {
+            comm.send(me - stride, TAG_R_UP, r.clone());
+        }
+        stride *= 2;
+    }
+
+    // Downward sweep: the root's accumulated transform is the identity;
+    // each combine sends its bottom half (times the running transform) to
+    // the partner and keeps the top half.
+    let mut transform = if me == 0 { Matrix::identity(n) } else { Matrix::zeros(0, 0) };
+    if me != 0 {
+        // Wait for our transform from whoever absorbed our R.
+        let parent_stride = lowest_set_bit(me);
+        let parent = me - parent_stride;
+        transform = comm.recv(parent, TAG_Q_DOWN);
+    }
+    for (partner, q_top, q_bot) in combines.into_iter().rev() {
+        let mut down = Matrix::zeros(n, n);
+        gemm(GemmKernel::Blocked, &q_bot, &transform, &mut down);
+        comm.send(partner, TAG_Q_DOWN, down);
+        let mut up = Matrix::zeros(n, n);
+        gemm(GemmKernel::Blocked, &q_top, &transform, &mut up);
+        transform = up;
+    }
+
+    // Local Q slice: Q_local · transform.
+    let mut q_out = Matrix::zeros(q_local.rows(), n);
+    comm.time_compute(|| gemm(GemmKernel::Blocked, &q_local, &transform, &mut q_out));
+
+    // Everyone needs the final R (rank 0 holds it after the sweep).
+    let r = hsumma_runtime::collectives::bcast(
+        comm,
+        hsumma_runtime::BcastAlgorithm::Binomial,
+        0,
+        (me == 0).then_some(r),
+    );
+    (q_out, r)
+}
+
+fn lowest_set_bit(x: usize) -> usize {
+    x & x.wrapping_neg()
+}
+
+/// Prices the TSQR schedule on the simulator against the naive
+/// alternative (gather all blocks to rank 0, factor there): returns
+/// `(tsqr_time, gather_time)` for `p` ranks, `rows` local rows, width `n`.
+pub fn sim_tsqr(platform: &Platform, p: usize, rows: usize, n: usize) -> (f64, f64) {
+    let r_bytes = (n * n) as u64 * ELEM_BYTES;
+    // γ·(2mn² flops) for a local m×n QR, in multiply-add pairs ≈ m·n².
+    let local_qr = |m: usize| platform.gamma * (m * n * n) as f64;
+
+    // TSQR: local QR everywhere, then log2(p) combine rounds.
+    let mut net = SimNet::new(p, platform.net);
+    for rank in 0..p {
+        net.compute(rank, local_qr(rows));
+    }
+    let mut stride = 1;
+    while stride < p {
+        for me in (0..p).step_by(2 * stride) {
+            if me + stride < p {
+                net.send(me + stride, me, r_bytes);
+                net.compute(me, local_qr(2 * n));
+            }
+        }
+        stride *= 2;
+    }
+    let tsqr_time = net.elapsed();
+
+    // Naive: everyone ships its whole block to rank 0, which factors the
+    // full stacked matrix.
+    let mut net = SimNet::new(p, platform.net);
+    let block_bytes = (rows * n) as u64 * ELEM_BYTES;
+    for rank in 1..p {
+        net.send(rank, 0, block_bytes);
+    }
+    net.compute(0, local_qr(rows * p));
+    (tsqr_time, net.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsumma_matrix::seeded_uniform;
+    use hsumma_runtime::Runtime;
+
+    /// Runs TSQR end-to-end and checks the three QR postconditions.
+    fn run_tsqr_case(p: usize, rows_per_rank: usize, n: usize) {
+        let m = p * rows_per_rank;
+        let a = seeded_uniform(m, n, 77);
+        let blocks: Vec<Matrix> =
+            (0..p).map(|r| a.block(r * rows_per_rank, 0, rows_per_rank, n)).collect();
+        let out = Runtime::run(p, |comm| tsqr(comm, &blocks[comm.rank()]));
+
+        // All ranks agree on R, and R is upper triangular.
+        let r = &out[0].1;
+        for (rank, (_, ri)) in out.iter().enumerate() {
+            assert!(ri.approx_eq(r, 1e-9), "rank {rank} has a different R");
+        }
+        for i in 1..n {
+            for j in 0..i {
+                assert!(r.get(i, j).abs() < 1e-9, "R not triangular at ({i},{j})");
+            }
+        }
+
+        // Stack the Q slices: Q·R = A and QᵀQ = I.
+        let mut q = Matrix::zeros(m, n);
+        for (rank, (qi, _)) in out.iter().enumerate() {
+            q.set_block(rank * rows_per_rank, 0, qi);
+        }
+        let mut qr = Matrix::zeros(m, n);
+        gemm(GemmKernel::Blocked, &q, r, &mut qr);
+        assert!(qr.approx_eq(&a, 1e-8), "QR != A: {}", qr.max_abs_diff(&a));
+        let mut qtq = Matrix::zeros(n, n);
+        gemm(GemmKernel::Blocked, &q.transpose(), &q, &mut qtq);
+        assert!(
+            qtq.approx_eq(&Matrix::identity(n), 1e-8),
+            "Q columns not orthonormal"
+        );
+    }
+
+    #[test]
+    fn tsqr_single_rank_is_local_qr() {
+        run_tsqr_case(1, 8, 3);
+    }
+
+    #[test]
+    fn tsqr_two_ranks() {
+        run_tsqr_case(2, 6, 4);
+    }
+
+    #[test]
+    fn tsqr_power_of_two_ranks() {
+        run_tsqr_case(8, 5, 3);
+    }
+
+    #[test]
+    fn tsqr_non_power_of_two_ranks() {
+        run_tsqr_case(6, 4, 2);
+        run_tsqr_case(5, 4, 3);
+    }
+
+    #[test]
+    fn tsqr_square_local_blocks() {
+        run_tsqr_case(4, 3, 3);
+    }
+
+    #[test]
+    fn sim_tsqr_beats_gather_at_scale() {
+        // The whole point of TSQR: log p small messages beat shipping the
+        // entire tall matrix to one rank.
+        let plat = Platform::bluegene_p_effective();
+        let (t_tree, t_gather) = sim_tsqr(&plat, 256, 4096, 32);
+        assert!(
+            t_tree < t_gather,
+            "TSQR {t_tree} should beat gather-and-factor {t_gather}"
+        );
+    }
+}

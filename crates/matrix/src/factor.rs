@@ -1,0 +1,363 @@
+//! Local factorization kernels: unpivoted LU and the triangular solves
+//! that the distributed block-LU (`hsumma-core::lu`) builds on.
+//!
+//! Pivoting is deliberately omitted: the distributed extension follows
+//! the paper's *communication* structure (panel broadcasts), and pivot
+//! search would add a column-communicator reduction orthogonal to that
+//! story. Tests therefore use diagonally dominant matrices, for which
+//! unpivoted LU is numerically safe.
+
+// Dense numerical kernels read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dense::Matrix;
+use crate::generate::seeded_uniform;
+
+/// Factors `a` in place into `L\U` (unit lower / upper, packed): after the
+/// call, `a[i][j]` holds `L[i][j]` for `i > j` and `U[i][j]` for `i ≤ j`.
+///
+/// # Panics
+/// Panics if `a` is not square or a zero pivot is hit (use diagonally
+/// dominant inputs).
+pub fn lu_nopiv_inplace(a: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "LU needs a square matrix");
+    for k in 0..n {
+        let pivot = a.get(k, k);
+        assert!(
+            pivot.abs() > f64::EPSILON,
+            "zero pivot at {k}: unpivoted LU needs a nonsingular leading minor"
+        );
+        for i in k + 1..n {
+            let lik = a.get(i, k) / pivot;
+            a.set(i, k, lik);
+            for j in k + 1..n {
+                let v = a.get(i, j) - lik * a.get(k, j);
+                a.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Extracts the unit-lower factor from a packed `L\U`.
+pub fn unpack_lower_unit(lu: &Matrix) -> Matrix {
+    Matrix::from_fn(lu.rows(), lu.cols(), |i, j| {
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Greater => lu.get(i, j),
+            Equal => 1.0,
+            Less => 0.0,
+        }
+    })
+}
+
+/// Extracts the upper factor from a packed `L\U`.
+pub fn unpack_upper(lu: &Matrix) -> Matrix {
+    Matrix::from_fn(lu.rows(), lu.cols(), |i, j| if i <= j { lu.get(i, j) } else { 0.0 })
+}
+
+/// Solves `L · X = B` in place (`b` becomes `X`), with `l` unit lower
+/// triangular (diagonal implied 1, entries above ignored). This computes
+/// the LU row panel `U_kj = L_kk⁻¹ A_kj`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn trsm_left_lower_unit(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert_eq!(n, l.cols(), "L must be square");
+    assert_eq!(b.rows(), n, "B row count must match L");
+    for i in 1..n {
+        for k in 0..i {
+            let lik = l.get(i, k);
+            if lik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                let v = b.get(i, j) - lik * b.get(k, j);
+                b.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Solves `X · U = B` in place (`b` becomes `X`), with `u` upper
+/// triangular (entries below the diagonal ignored). This computes the LU
+/// column panel `L_ik = A_ik U_kk⁻¹`.
+///
+/// # Panics
+/// Panics on shape mismatch or zero diagonal in `u`.
+pub fn trsm_right_upper(u: &Matrix, b: &mut Matrix) {
+    let n = u.rows();
+    assert_eq!(n, u.cols(), "U must be square");
+    assert_eq!(b.cols(), n, "B column count must match U");
+    for j in 0..n {
+        let ujj = u.get(j, j);
+        assert!(ujj.abs() > f64::EPSILON, "zero diagonal in U at {j}");
+        for i in 0..b.rows() {
+            let mut v = b.get(i, j);
+            for k in 0..j {
+                v -= b.get(i, k) * u.get(k, j);
+            }
+            b.set(i, j, v / ujj);
+        }
+    }
+}
+
+/// Thin Householder QR: factors `a` (`m × n`, `m ≥ n`) into an
+/// orthonormal `Q` (`m × n`) and upper-triangular `R` (`n × n`) with
+/// `Q·R = a`.
+///
+/// # Panics
+/// Panics if `m < n`.
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "thin QR needs m >= n (got {m} x {n})");
+    let mut r = a.clone();
+    // Householder vectors, one per column, stored densely (v[k][k..m]).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the reflector annihilating r[k+1.., k].
+        let mut v = vec![0.0; m];
+        let mut norm2 = 0.0;
+        for i in k..m {
+            let x = r.get(i, k);
+            v[i] = x;
+            norm2 += x * x;
+        }
+        let norm = norm2.sqrt();
+        if norm > 0.0 {
+            let alpha = if v[k] >= 0.0 { -norm } else { norm };
+            v[k] -= alpha;
+            let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vnorm2 > f64::EPSILON {
+                // Apply I − 2vvᵀ/(vᵀv) to the trailing columns of R.
+                for j in k..n {
+                    let dot: f64 = (k..m).map(|i| v[i] * r.get(i, j)).sum();
+                    let scale = 2.0 * dot / vnorm2;
+                    for i in k..m {
+                        let val = r.get(i, j) - scale * v[i];
+                        r.set(i, j, val);
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // Q thin = (H_0 · … · H_{n−1}) · [I_n; 0]: apply reflectors in reverse
+    // to the padded identity.
+    let mut q = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 <= f64::EPSILON {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (k..m).map(|i| v[i] * q.get(i, j)).sum();
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let val = q.get(i, j) - scale * v[i];
+                q.set(i, j, val);
+            }
+        }
+    }
+    // Zero R's strict lower triangle (numerical dust from the updates).
+    let mut r_out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out.set(i, j, r.get(i, j));
+        }
+    }
+    // Sign convention: non-negative diagonal of R (flip the matching Q
+    // column), so QR of the identity is the identity.
+    for k in 0..n {
+        if r_out.get(k, k) < 0.0 {
+            for j in k..n {
+                let v = -r_out.get(k, j);
+                r_out.set(k, j, v);
+            }
+            for i in 0..m {
+                let v = -q.get(i, k);
+                q.set(i, k, v);
+            }
+        }
+    }
+    (q, r_out)
+}
+
+/// A random diagonally dominant matrix: uniform entries with `n` added to
+/// the diagonal, so every leading minor is safely nonsingular.
+pub fn seeded_diag_dominant(n: usize, seed: u64) -> Matrix {
+    let mut m = seeded_uniform(n, n, seed);
+    for i in 0..n {
+        let v = m.get(i, i) + n as f64;
+        m.set(i, i, v);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, GemmKernel};
+    use proptest::prelude::*;
+
+    fn reconstruct(lu: &Matrix) -> Matrix {
+        let l = unpack_lower_unit(lu);
+        let u = unpack_upper(lu);
+        let mut a = Matrix::zeros(lu.rows(), lu.cols());
+        gemm(GemmKernel::Blocked, &l, &u, &mut a);
+        a
+    }
+
+    #[test]
+    fn lu_of_identity_is_identity() {
+        let mut a = Matrix::identity(5);
+        lu_nopiv_inplace(&mut a);
+        assert!(unpack_lower_unit(&a).approx_eq(&Matrix::identity(5), 1e-12));
+        assert!(unpack_upper(&a).approx_eq(&Matrix::identity(5), 1e-12));
+    }
+
+    #[test]
+    fn lu_reconstructs_diag_dominant_matrix() {
+        let a = seeded_diag_dominant(12, 7);
+        let mut lu = a.clone();
+        lu_nopiv_inplace(&mut lu);
+        assert!(reconstruct(&lu).approx_eq(&a, 1e-9), "L·U must equal A");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn lu_rejects_singular_leading_minor() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(2, 2, 1.0);
+        lu_nopiv_inplace(&mut a);
+    }
+
+    #[test]
+    fn trsm_left_solves_unit_lower_system() {
+        let a = seeded_diag_dominant(6, 1);
+        let mut lu = a.clone();
+        lu_nopiv_inplace(&mut lu);
+        let l = unpack_lower_unit(&lu);
+        let x_true = seeded_uniform(6, 4, 2);
+        let mut b = Matrix::zeros(6, 4);
+        gemm(GemmKernel::Blocked, &l, &x_true, &mut b);
+        trsm_left_lower_unit(&l, &mut b);
+        assert!(b.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn trsm_right_solves_upper_system() {
+        let a = seeded_diag_dominant(6, 3);
+        let mut lu = a.clone();
+        lu_nopiv_inplace(&mut lu);
+        let u = unpack_upper(&lu);
+        let x_true = seeded_uniform(4, 6, 4);
+        let mut b = Matrix::zeros(4, 6);
+        gemm(GemmKernel::Blocked, &x_true, &u, &mut b);
+        trsm_right_upper(&u, &mut b);
+        assert!(b.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn diag_dominant_matrices_are_dominant() {
+        let m = seeded_diag_dominant(10, 5);
+        for i in 0..10 {
+            let off: f64 = (0..10).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
+            assert!(m.get(i, i).abs() > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let (q, r) = qr_thin(&Matrix::identity(5));
+        assert!(q.approx_eq(&Matrix::identity(5), 1e-12));
+        assert!(r.approx_eq(&Matrix::identity(5), 1e-12));
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = seeded_uniform(12, 5, 31);
+        let (q, r) = qr_thin(&a);
+        let mut qr = Matrix::zeros(12, 5);
+        gemm(GemmKernel::Blocked, &q, &r, &mut qr);
+        assert!(qr.approx_eq(&a, 1e-9), "QR must equal A: {}", qr.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn qr_q_has_orthonormal_columns() {
+        let a = seeded_uniform(10, 4, 32);
+        let (q, _) = qr_thin(&a);
+        let mut qtq = Matrix::zeros(4, 4);
+        gemm(GemmKernel::Blocked, &q.transpose(), &q, &mut qtq);
+        assert!(qtq.approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = seeded_uniform(8, 8, 33);
+        let (_, r) = qr_thin(&a);
+        for i in 1..8 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0, "R[{i}][{j}] below diagonal");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn qr_rejects_wide_matrices() {
+        let _ = qr_thin(&Matrix::zeros(3, 5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn qr_roundtrips_random_tall_matrices(
+            extra in 0usize..8, n in 1usize..8, seed in 0u64..300
+        ) {
+            let m = n + extra;
+            let a = seeded_uniform(m, n, seed);
+            let (q, r) = qr_thin(&a);
+            let mut qr = Matrix::zeros(m, n);
+            gemm(GemmKernel::Blocked, &q, &r, &mut qr);
+            prop_assert!(qr.approx_eq(&a, 1e-8));
+            let mut qtq = Matrix::zeros(n, n);
+            gemm(GemmKernel::Blocked, &q.transpose(), &q, &mut qtq);
+            prop_assert!(qtq.approx_eq(&Matrix::identity(n), 1e-8));
+        }
+
+        #[test]
+        fn lu_roundtrips_random_dominant_matrices(n in 1usize..16, seed in 0u64..500) {
+            let a = seeded_diag_dominant(n, seed);
+            let mut lu = a.clone();
+            lu_nopiv_inplace(&mut lu);
+            prop_assert!(reconstruct(&lu).approx_eq(&a, 1e-8));
+        }
+
+        #[test]
+        fn trsms_invert_their_multiplications(n in 1usize..10, m in 1usize..8, seed in 0u64..500) {
+            let base = seeded_diag_dominant(n, seed);
+            let mut lu = base.clone();
+            lu_nopiv_inplace(&mut lu);
+            let l = unpack_lower_unit(&lu);
+            let u = unpack_upper(&lu);
+
+            let x = seeded_uniform(n, m, seed.wrapping_add(9));
+            let mut bl = Matrix::zeros(n, m);
+            gemm(GemmKernel::Blocked, &l, &x, &mut bl);
+            trsm_left_lower_unit(&l, &mut bl);
+            prop_assert!(bl.approx_eq(&x, 1e-8));
+
+            let y = seeded_uniform(m, n, seed.wrapping_add(10));
+            let mut br = Matrix::zeros(m, n);
+            gemm(GemmKernel::Blocked, &y, &u, &mut br);
+            trsm_right_upper(&u, &mut br);
+            prop_assert!(br.approx_eq(&y, 1e-8));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Local matrix-multiply kernels: `C += A · B`.
+//!
+//! The distributed algorithms in `hsumma-core` treat the local multiply as a
+//! black box, exactly as the paper treats ESSL/MKL `DGEMM`. Three kernels are
+//! provided:
+//!
+//! * [`GemmKernel::Naive`] — textbook triple loop, the correctness oracle;
+//! * [`GemmKernel::Blocked`] — cache-tiled `i k j` loop order;
+//! * [`GemmKernel::Parallel`] — the blocked kernel with the row dimension
+//!   split across a rayon thread pool (the stand-in for a tuned vendor BLAS).
+//!
+//! All kernels *accumulate* (`C += A·B`), which is the operation SUMMA's
+//! inner step needs (`c_ij = c_ij + a_ik · b_kj`).
+
+use crate::dense::Matrix;
+use rayon::prelude::*;
+
+/// Tile edge used by the blocked kernels. 64 `f64`s = 512 bytes per row
+/// segment, so a 64×64 tile (32 KiB) of each operand fits comfortably in L1/L2.
+const TILE: usize = 64;
+
+/// Which local multiply implementation to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Reference triple loop (`i j k`); slow but obviously correct.
+    Naive,
+    /// Cache-tiled sequential kernel.
+    Blocked,
+    /// Cache-tiled kernel parallelized over row tiles with rayon.
+    #[default]
+    Parallel,
+}
+
+/// `c += a · b` using the selected kernel.
+///
+/// ```
+/// use hsumma_matrix::{gemm, GemmKernel, Matrix};
+///
+/// let a = Matrix::identity(3);
+/// let b = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+/// let mut c = Matrix::zeros(3, 3);
+/// gemm(GemmKernel::Blocked, &a, &b, &mut c);
+/// assert!(c.approx_eq(&b, 1e-12));
+/// ```
+///
+/// # Panics
+/// Panics if the shapes are not conformant: `a` is `m × k`, `b` is `k × n`,
+/// `c` is `m × n`.
+pub fn gemm(kernel: GemmKernel, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    gemm_scaled(kernel, 1.0, a, b, c);
+}
+
+/// `c += alpha · a · b` — the scaled accumulate (`alpha = -1` gives the
+/// trailing-update subtraction block LU needs).
+///
+/// # Panics
+/// Panics on non-conformant shapes (see [`gemm`]).
+pub fn gemm_scaled(kernel: GemmKernel, alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(a.rows(), c.rows(), "C row count must match A");
+    assert_eq!(b.cols(), c.cols(), "C column count must match B");
+    match kernel {
+        GemmKernel::Naive => gemm_naive(alpha, a, b, c),
+        GemmKernel::Blocked => gemm_blocked(alpha, a, b, c),
+        GemmKernel::Parallel => gemm_parallel(alpha, a, b, c),
+    }
+}
+
+/// Number of floating-point operations a `m×k · k×n` multiply-accumulate
+/// performs, counting one addition and one multiplication per update (the
+/// paper's `γ` is the time for such a combined flop pair, §IV).
+pub fn flop_pairs(m: usize, k: usize, n: usize) -> u64 {
+    m as u64 * k as u64 * n as u64
+}
+
+fn gemm_naive(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(i, l) * b.get(l, j);
+            }
+            let cur = c.get(i, j);
+            c.set(i, j, cur + alpha * acc);
+        }
+    }
+}
+
+/// Multiplies the row stripe `rows` of `a` into the matching stripe of `c`.
+///
+/// Inner loop order is `i k j`: for each `a[i][l]` we stream row `l` of `b`
+/// against row `i` of `c`, which is unit-stride for both and lets LLVM
+/// vectorize the update.
+fn gemm_rows(alpha: f64, a: &Matrix, b: &Matrix, c_rows: &mut [f64], rows: std::ops::Range<usize>) {
+    let k = a.cols();
+    let n = b.cols();
+    for (ci, i) in rows.enumerate() {
+        let c_row = &mut c_rows[ci * n..(ci + 1) * n];
+        for l0 in (0..k).step_by(TILE) {
+            let l1 = (l0 + TILE).min(k);
+            for l in l0..l1 {
+                let aval = alpha * a.get(i, l);
+                if aval == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(l);
+                for (cj, bv) in c_row.iter_mut().zip(b_row) {
+                    *cj += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+fn gemm_blocked(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = a.rows();
+    let n = b.cols();
+    gemm_rows(alpha, a, b, &mut c.as_mut_slice()[..m * n], 0..m);
+}
+
+fn gemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = a.rows();
+    let n = b.cols();
+    if m * n < TILE * TILE {
+        // Too small to amortize the fork/join; stay sequential.
+        return gemm_blocked(alpha, a, b, c);
+    }
+    c.as_mut_slice()
+        .par_chunks_mut(TILE * n)
+        .enumerate()
+        .for_each(|(chunk, c_rows)| {
+            let r0 = chunk * TILE;
+            let r1 = (r0 + TILE).min(m);
+            gemm_rows(alpha, a, b, c_rows, r0..r1);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::seeded_uniform;
+    use proptest::prelude::*;
+
+    fn reference_product(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        gemm_naive(1.0, a, b, &mut c);
+        c
+    }
+
+    #[test]
+    fn identity_is_neutral_for_all_kernels() {
+        let a = seeded_uniform(7, 7, 42);
+        let id = Matrix::identity(7);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+            let mut c = Matrix::zeros(7, 7);
+            gemm(kernel, &a, &id, &mut c);
+            assert!(c.approx_eq(&a, 1e-12), "kernel {kernel:?} failed");
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_instead_of_overwriting() {
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
+        gemm(GemmKernel::Blocked, &a, &b, &mut c);
+        // C = ones + I
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn rectangular_shapes_are_supported() {
+        let a = seeded_uniform(5, 9, 1);
+        let b = seeded_uniform(9, 3, 2);
+        let want = reference_product(&a, &b);
+        for kernel in [GemmKernel::Blocked, GemmKernel::Parallel] {
+            let mut c = Matrix::zeros(5, 3);
+            gemm(kernel, &a, &b, &mut c);
+            assert!(c.approx_eq(&want, 1e-10), "kernel {kernel:?} failed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dimensions_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(GemmKernel::Naive, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn large_enough_to_cross_tile_boundaries() {
+        let n = TILE + 17; // force partial tiles on every edge
+        let a = seeded_uniform(n, n, 7);
+        let b = seeded_uniform(n, n, 8);
+        let want = reference_product(&a, &b);
+        let mut c = Matrix::zeros(n, n);
+        gemm(GemmKernel::Parallel, &a, &b, &mut c);
+        assert!(c.approx_eq(&want, 1e-8));
+    }
+
+    #[test]
+    fn gemm_scaled_negative_alpha_subtracts() {
+        let a = seeded_uniform(4, 4, 9);
+        let b = seeded_uniform(4, 4, 10);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+            let mut c = Matrix::zeros(4, 4);
+            gemm(kernel, &a, &b, &mut c);
+            gemm_scaled(kernel, -1.0, &a, &b, &mut c);
+            assert!(c.approx_eq(&Matrix::zeros(4, 4), 1e-10), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn flop_pairs_counts_mk_n() {
+        assert_eq!(flop_pairs(2, 3, 4), 24);
+        assert_eq!(flop_pairs(0, 3, 4), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn blocked_matches_naive(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+        ) {
+            let a = seeded_uniform(m, k, seed);
+            let b = seeded_uniform(k, n, seed.wrapping_add(1));
+            let want = reference_product(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm(GemmKernel::Blocked, &a, &b, &mut c);
+            prop_assert!(c.approx_eq(&want, 1e-10));
+        }
+
+        #[test]
+        fn parallel_matches_naive(
+            m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..1000
+        ) {
+            let a = seeded_uniform(m, k, seed);
+            let b = seeded_uniform(k, n, seed.wrapping_add(1));
+            let want = reference_product(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm(GemmKernel::Parallel, &a, &b, &mut c);
+            prop_assert!(c.approx_eq(&want, 1e-10));
+        }
+
+        #[test]
+        fn gemm_is_linear_in_a(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..500
+        ) {
+            // (A1 + A2)·B == A1·B + A2·B
+            let a1 = seeded_uniform(m, k, seed);
+            let a2 = seeded_uniform(m, k, seed.wrapping_add(10));
+            let b = seeded_uniform(k, n, seed.wrapping_add(20));
+            let mut a_sum = a1.clone();
+            a_sum.add_assign(&a2);
+
+            let mut lhs = Matrix::zeros(m, n);
+            gemm(GemmKernel::Blocked, &a_sum, &b, &mut lhs);
+
+            let mut rhs = Matrix::zeros(m, n);
+            gemm(GemmKernel::Blocked, &a1, &b, &mut rhs);
+            gemm(GemmKernel::Blocked, &a2, &b, &mut rhs);
+
+            prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Matrix generators for tests, examples and benchmarks.
+
+use crate::dense::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix in `[-1, 1)` from a caller-supplied RNG.
+pub fn random_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Uniform random matrix in `[-1, 1)` from a fixed seed — reproducible
+/// across runs and platforms, which the integration tests rely on.
+pub fn seeded_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_uniform(rows, cols, &mut rng)
+}
+
+/// A deterministic, human-checkable pattern: `a_ij = i + j/1000`.
+///
+/// Useful when a test failure needs to point at *which* block was
+/// misrouted, since every element encodes its global coordinates.
+pub fn deterministic(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| i as f64 + j as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_uniform_is_reproducible() {
+        let a = seeded_uniform(8, 8, 123);
+        let b = seeded_uniform(8, 8, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = seeded_uniform(8, 8, 1);
+        let b = seeded_uniform(8, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_values_in_range() {
+        let m = seeded_uniform(16, 16, 7);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_encodes_coordinates() {
+        let m = deterministic(4, 4);
+        assert_eq!(m.get(2, 3), 2.003);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Operator sugar for [`Matrix`]: `+`, `-`, `*` (matrix product and
+//! scalar scaling). Convenience for examples and tests; the distributed
+//! algorithms use the explicit [`mod@crate::gemm`] entry points.
+
+use crate::dense::Matrix;
+use crate::gemm::{gemm, GemmKernel};
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in +");
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in -");
+        Matrix::from_fn(self.rows(), self.cols(), |i, j| self.get(i, j) - rhs.get(i, j))
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        let mut out = self.clone();
+        out.scale(-1.0);
+        out
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// Matrix product via the blocked kernel.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        gemm(GemmKernel::Blocked, self, rhs, &mut out);
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::seeded_uniform;
+
+    #[test]
+    fn add_then_sub_roundtrips() {
+        let a = seeded_uniform(4, 4, 1);
+        let b = seeded_uniform(4, 4, 2);
+        let sum = &a + &b;
+        let back = &sum - &b;
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn product_against_identity() {
+        let a = seeded_uniform(5, 5, 3);
+        let id = Matrix::identity(5);
+        assert!((&a * &id).approx_eq(&a, 1e-12));
+        assert!((&id * &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn product_is_associative_within_tolerance() {
+        let a = seeded_uniform(4, 4, 4);
+        let b = seeded_uniform(4, 4, 5);
+        let c = seeded_uniform(4, 4, 6);
+        let left = &(&a * &b) * &c;
+        let right = &a * &(&b * &c);
+        assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn scalar_scaling_distributes() {
+        let a = seeded_uniform(3, 3, 7);
+        let b = seeded_uniform(3, 3, 8);
+        let lhs = &(&a + &b) * 2.0;
+        let rhs = &(&a * 2.0) + &(&b * 2.0);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn negation_cancels_addition() {
+        let a = seeded_uniform(3, 3, 9);
+        let zero = &a + &(-&a);
+        assert!(zero.approx_eq(&Matrix::zeros(3, 3), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_mismatched_shapes() {
+        let _ = &Matrix::zeros(2, 3) + &Matrix::zeros(3, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! The general broadcast cost model of Eq. (1).
+//!
+//! `T_bcast(m, p) = L(p)·α + m·W(p)·β`, where `L` and `W` are the latency
+//! and bandwidth multipliers of a concrete algorithm. The paper requires
+//! `L(1) = W(1) = 0` and monotonicity in `(1, p)` — properties the tests
+//! check for every instantiation.
+
+/// A broadcast algorithm's `(L(p), W(p))` multiplier pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BcastModel {
+    /// Binomial tree: `L = W = log₂ p`.
+    Binomial,
+    /// Van de Geijn scatter + ring allgather:
+    /// `L = log₂ p + p − 1`, `W = 2(p−1)/p`.
+    VanDeGeijn,
+    /// Flat tree: `L = W = p − 1`.
+    Flat,
+    /// Linear chain: `L = W = p − 1`.
+    Ring,
+    /// Segmented chain with `segments` pieces:
+    /// `L = p − 2 + s`, `W = (p − 2 + s)/s`.
+    Pipelined {
+        /// Number of pipeline segments (≥ 1).
+        segments: usize,
+    },
+    /// Balanced binary tree: `L = W = 2·log₂ p` (two serialized child
+    /// sends per level on the critical path).
+    Binary,
+}
+
+impl BcastModel {
+    /// Latency multiplier `L(p)`.
+    pub fn latency(&self, p: f64) -> f64 {
+        debug_assert!(p >= 1.0);
+        match self {
+            BcastModel::Binomial => p.log2(),
+            BcastModel::VanDeGeijn => p.log2() + p - 1.0,
+            BcastModel::Flat | BcastModel::Ring => p - 1.0,
+            BcastModel::Pipelined { segments } => {
+                if p <= 1.0 {
+                    0.0
+                } else {
+                    p - 2.0 + *segments as f64
+                }
+            }
+            BcastModel::Binary => 2.0 * p.log2(),
+        }
+    }
+
+    /// Bandwidth multiplier `W(p)`.
+    pub fn bandwidth(&self, p: f64) -> f64 {
+        debug_assert!(p >= 1.0);
+        match self {
+            BcastModel::Binomial => p.log2(),
+            BcastModel::VanDeGeijn => 2.0 * (p - 1.0) / p,
+            BcastModel::Flat | BcastModel::Ring => p - 1.0,
+            BcastModel::Pipelined { segments } => {
+                if p <= 1.0 {
+                    0.0
+                } else {
+                    (p - 2.0 + *segments as f64) / *segments as f64
+                }
+            }
+            BcastModel::Binary => 2.0 * p.log2(),
+        }
+    }
+
+    /// Full broadcast time for `m_bytes` among `p` ranks (Eq. 1).
+    pub fn time(&self, m_bytes: f64, p: f64, alpha: f64, beta: f64) -> f64 {
+        self.latency(p) * alpha + m_bytes * self.bandwidth(p) * beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [BcastModel; 6] = [
+        BcastModel::Binomial,
+        BcastModel::VanDeGeijn,
+        BcastModel::Flat,
+        BcastModel::Ring,
+        BcastModel::Pipelined { segments: 8 },
+        BcastModel::Binary,
+    ];
+
+    #[test]
+    fn l_and_w_vanish_at_single_rank() {
+        // Eq. (1) requires L(1) = W(1) = 0.
+        for m in ALL {
+            assert_eq!(m.latency(1.0), 0.0, "{m:?}");
+            assert_eq!(m.bandwidth(1.0), 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn l_and_w_monotonically_increase() {
+        for m in ALL {
+            let mut prev_l = 0.0;
+            let mut prev_w = 0.0;
+            for p in [2.0, 4.0, 8.0, 64.0, 1024.0] {
+                let l = m.latency(p);
+                let w = m.bandwidth(p);
+                assert!(l >= prev_l, "{m:?} latency not monotone at p={p}");
+                assert!(w >= prev_w, "{m:?} bandwidth not monotone at p={p}");
+                prev_l = l;
+                prev_w = w;
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_matches_paper_formula() {
+        // log2(p) × (α + mβ)
+        let t = BcastModel::Binomial.time(1000.0, 8.0, 1e-4, 1e-9);
+        let want = 3.0 * (1e-4 + 1000.0 * 1e-9);
+        assert!((t - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn van_de_geijn_matches_paper_formula() {
+        // (log2(p) + p − 1)α + 2(p−1)/p·mβ
+        let (m, p, a, b) = (1e6, 16.0, 1e-4, 1e-9);
+        let t = BcastModel::VanDeGeijn.time(m, p, a, b);
+        let want = (4.0 + 15.0) * a + 2.0 * 15.0 / 16.0 * m * b;
+        assert!((t - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn van_de_geijn_bandwidth_approaches_two() {
+        assert!(BcastModel::VanDeGeijn.bandwidth(1e6) < 2.0);
+        assert!(BcastModel::VanDeGeijn.bandwidth(1e6) > 1.999);
+    }
+
+    #[test]
+    fn crossover_binomial_vs_vdg() {
+        // Short messages: binomial wins. Long: van de Geijn wins.
+        let (a, b, p) = (1e-4, 1e-9, 64.0);
+        assert!(
+            BcastModel::Binomial.time(100.0, p, a, b) < BcastModel::VanDeGeijn.time(100.0, p, a, b)
+        );
+        assert!(
+            BcastModel::VanDeGeijn.time(1e8, p, a, b) < BcastModel::Binomial.time(1e8, p, a, b)
+        );
+    }
+
+    #[test]
+    fn pipelined_more_segments_trade_latency_for_bandwidth() {
+        let few = BcastModel::Pipelined { segments: 2 };
+        let many = BcastModel::Pipelined { segments: 64 };
+        let p = 16.0;
+        assert!(few.latency(p) < many.latency(p));
+        assert!(many.bandwidth(p) < few.bandwidth(p));
+    }
+}

@@ -1,0 +1,292 @@
+//! SUMMA and HSUMMA cost breakdowns — Tables I & II, Eqs. (2)–(5).
+//!
+//! Both algorithms on a square `√p × √p` grid with square `n × n`
+//! operands. Every processor broadcasts panels of `n/√p` rows (or
+//! columns) by `b` block width; per step A travels along grid rows and B
+//! along grid columns, so the per-direction costs are doubled.
+
+use crate::bcast::BcastModel;
+use crate::ELEM_BYTES;
+
+/// Platform parameters for the analytic model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Latency in seconds.
+    pub alpha: f64,
+    /// Reciprocal bandwidth in seconds per byte.
+    pub beta: f64,
+    /// Seconds per fused multiply-add pair per core.
+    pub gamma: f64,
+}
+
+impl ModelParams {
+    /// Grid5000/Graphene parameters (§V-A.1). The paper's `β = 1e-9` is
+    /// per matrix element; stored here per byte.
+    pub fn grid5000() -> Self {
+        ModelParams { alpha: 1e-4, beta: 1e-9 / crate::ELEM_BYTES, gamma: 4e-10 }
+    }
+
+    /// BlueGene/P parameters (§V-B.1), `β` per byte as above; γ calibrated
+    /// as in `hsumma_netsim::Platform::bluegene_p`.
+    pub fn bluegene_p() -> Self {
+        ModelParams { alpha: 3e-6, beta: 1e-9 / crate::ELEM_BYTES, gamma: 8e-10 }
+    }
+
+    /// Exascale roadmap parameters (§V-C).
+    pub fn exascale() -> Self {
+        ModelParams { alpha: 500e-9, beta: 1e-11, gamma: 2.1e-12 }
+    }
+}
+
+/// Latency/bandwidth/compute decomposition of a predicted run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Total latency (`α`) term, seconds.
+    pub latency: f64,
+    /// Total bandwidth (`β`) term, seconds.
+    pub bandwidth: f64,
+    /// Computation (`γ`) term, seconds.
+    pub compute: f64,
+}
+
+impl CostBreakdown {
+    /// Communication time (latency + bandwidth).
+    pub fn comm(&self) -> f64 {
+        self.latency + self.bandwidth
+    }
+
+    /// Total predicted execution time.
+    pub fn total(&self) -> f64 {
+        self.latency + self.bandwidth + self.compute
+    }
+}
+
+/// Per-processor compute time: `n³/p` multiply-add pairs (the paper's
+/// "2n³/p" flop count) at `γ` seconds per pair.
+fn compute_time(params: &ModelParams, n: f64, p: f64) -> f64 {
+    params.gamma * n * n * n / p
+}
+
+/// SUMMA predicted cost (Eq. 2 / Tables I–II): `n/b` steps, each
+/// broadcasting a panel of `n·b/√p` elements along rows (A) and columns
+/// (B) over `√p` ranks.
+///
+/// ```
+/// use hsumma_model::{summa_cost, hsumma_cost, BcastModel, ModelParams};
+///
+/// let params = ModelParams::bluegene_p();
+/// let summa = summa_cost(&params, BcastModel::VanDeGeijn, 65536.0, 16384.0, 256.0);
+/// let hsumma = hsumma_cost(
+///     &params, BcastModel::VanDeGeijn, BcastModel::VanDeGeijn,
+///     65536.0, 16384.0, 128.0, 256.0, 256.0,
+/// );
+/// // The paper's claim: grouping reduces the communication cost.
+/// assert!(hsumma.comm() < summa.comm());
+/// ```
+///
+/// # Panics
+/// Panics unless `p ≥ 1`, `n ≥ b ≥ 1`.
+pub fn summa_cost(params: &ModelParams, bcast: BcastModel, n: f64, p: f64, b: f64) -> CostBreakdown {
+    assert!(p >= 1.0 && n >= b && b >= 1.0, "invalid SUMMA parameters");
+    let q = p.sqrt();
+    let steps = n / b;
+    let panel_bytes = n * b / q * ELEM_BYTES;
+    // Factor 2: A's row broadcast plus B's column broadcast each step.
+    let latency = 2.0 * steps * bcast.latency(q) * params.alpha;
+    let bandwidth = 2.0 * steps * panel_bytes * bcast.bandwidth(q) * params.beta;
+    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+}
+
+/// HSUMMA predicted cost (Eqs. 3–5 / Tables I–II): `√G × √G` groups,
+/// outer block `bb` (the paper's `B`), inner block `bs` (`b`).
+///
+/// * outer phase: `n/B` steps of broadcasts over the `√G` groups;
+/// * inner phase: `n/b` steps of broadcasts over the `√p/√G` ranks of a
+///   group row/column.
+///
+/// # Panics
+/// Panics unless `1 ≤ G ≤ p` and `bs ≤ bb`.
+#[allow(clippy::too_many_arguments)]
+pub fn hsumma_cost(
+    params: &ModelParams,
+    outer_bcast: BcastModel,
+    inner_bcast: BcastModel,
+    n: f64,
+    p: f64,
+    g: f64,
+    bb: f64,
+    bs: f64,
+) -> CostBreakdown {
+    assert!((1.0..=p).contains(&g), "G must lie in [1, p]");
+    assert!(bs >= 1.0 && bs <= bb && bb <= n, "invalid block sizes");
+    let q = p.sqrt();
+    let qg = g.sqrt(); // ranks per inter-group broadcast (√G)
+    let qi = q / qg; //   ranks per intra-group broadcast (√p/√G)
+
+    let outer_steps = n / bb;
+    let inner_steps = n / bs; // n/B outer × B/b inner
+    let outer_bytes = n * bb / q * ELEM_BYTES;
+    let inner_bytes = n * bs / q * ELEM_BYTES;
+
+    let latency = 2.0
+        * (outer_steps * outer_bcast.latency(qg) + inner_steps * inner_bcast.latency(qi))
+        * params.alpha;
+    let bandwidth = 2.0
+        * (outer_steps * outer_bytes * outer_bcast.bandwidth(qg)
+            + inner_steps * inner_bytes * inner_bcast.bandwidth(qi))
+        * params.beta;
+    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+}
+
+/// The optimal-configuration row of Table II: HSUMMA with van de Geijn
+/// broadcast at `G = √p`, `b = B`:
+/// `(log₂p + 4(p^¼ − 1))·(n/b)·α + 8(1 − 1/p^¼)·(n²/√p)·β` (Eq. 12).
+pub fn hsumma_vdg_optimal_cost(params: &ModelParams, n: f64, p: f64, b: f64) -> CostBreakdown {
+    let q4 = p.powf(0.25);
+    let latency = (p.log2() + 4.0 * (q4 - 1.0)) * (n / b) * params.alpha;
+    let bandwidth =
+        8.0 * (1.0 - 1.0 / q4) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
+    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-12)
+    }
+
+    #[test]
+    fn summa_binomial_matches_table_one() {
+        // Table I: latency log2(p)·n/b·α, bandwidth log2(p)·n²/√p·β.
+        let params = ModelParams { alpha: 1e-4, beta: 1e-9, gamma: 0.0 };
+        let (n, p, b) = (8192.0, 128.0f64, 64.0);
+        let c = summa_cost(&params, BcastModel::Binomial, n, p, b);
+        let want_lat = p.log2() * (n / b) * params.alpha;
+        let want_bw = p.log2() * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
+        assert!(close(c.latency, want_lat), "lat {} vs {want_lat}", c.latency);
+        assert!(close(c.bandwidth, want_bw), "bw {} vs {want_bw}", c.bandwidth);
+    }
+
+    #[test]
+    fn summa_vdg_matches_table_two() {
+        // Table II: (log2(p) + 2(√p−1))·n/b·α + 4(1−1/√p)·n²/√p·β.
+        let params = ModelParams { alpha: 3e-6, beta: 1e-9, gamma: 0.0 };
+        let (n, p, b) = (65536.0, 16384.0f64, 256.0);
+        let c = summa_cost(&params, BcastModel::VanDeGeijn, n, p, b);
+        let q = p.sqrt();
+        let want_lat = (p.log2() + 2.0 * (q - 1.0)) * (n / b) * params.alpha;
+        let want_bw = 4.0 * (1.0 - 1.0 / q) * (n * n / q) * ELEM_BYTES * params.beta;
+        assert!(close(c.latency, want_lat));
+        assert!(close(c.bandwidth, want_bw));
+    }
+
+    #[test]
+    fn hsumma_binomial_matches_table_one() {
+        // Table I HSUMMA row with b = B:
+        // latency (log2(p/G)+log2(G))·n/b·α, bandwidth same multiplier.
+        let params = ModelParams { alpha: 1e-4, beta: 1e-9, gamma: 0.0 };
+        let (n, p, g, b) = (8192.0, 16384.0f64, 64.0f64, 64.0);
+        let c = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, g, b, b);
+        let want_lat =
+            ((p / g).log2() + g.log2()) * (n / b) * params.alpha;
+        let want_bw =
+            ((p / g).log2() + g.log2()) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
+        assert!(close(c.latency, want_lat), "lat {} vs {want_lat}", c.latency);
+        assert!(close(c.bandwidth, want_bw));
+    }
+
+    #[test]
+    fn hsumma_binomial_g_equal_one_reduces_to_summa() {
+        let params = ModelParams::grid5000();
+        let (n, p, b) = (8192.0, 128.0, 64.0);
+        let s = summa_cost(&params, BcastModel::Binomial, n, p, b);
+        let h = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 1.0, b, b);
+        assert!(close(s.latency, h.latency));
+        assert!(close(s.bandwidth, h.bandwidth));
+        assert!(close(s.compute, h.compute));
+    }
+
+    #[test]
+    fn hsumma_g_equal_p_reduces_to_summa_for_all_models() {
+        let params = ModelParams::bluegene_p();
+        let (n, p, b) = (65536.0, 16384.0, 256.0);
+        for m in [BcastModel::Binomial, BcastModel::VanDeGeijn, BcastModel::Flat] {
+            let s = summa_cost(&params, m, n, p, b);
+            let h = hsumma_cost(&params, m, m, n, p, p, b, b);
+            assert!(close(s.latency, h.latency), "{m:?}");
+            assert!(close(s.bandwidth, h.bandwidth), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_row_matches_eq_12() {
+        // Eq. 12 must equal the general HSUMMA vdG cost at G = √p, b = B.
+        let params = ModelParams::bluegene_p();
+        let (n, p, b) = (65536.0, 16384.0f64, 256.0);
+        let general = hsumma_cost(
+            &params,
+            BcastModel::VanDeGeijn,
+            BcastModel::VanDeGeijn,
+            n,
+            p,
+            p.sqrt(),
+            b,
+            b,
+        );
+        let special = hsumma_vdg_optimal_cost(&params, n, p, b);
+        assert!(close(general.latency, special.latency));
+        assert!(close(general.bandwidth, special.bandwidth));
+    }
+
+    #[test]
+    fn compute_term_is_group_independent() {
+        let params = ModelParams::bluegene_p();
+        let (n, p, b) = (65536.0, 16384.0, 256.0);
+        let c1 = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 4.0, b, b);
+        let c2 =
+            hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 512.0, b, b);
+        assert_eq!(c1.compute, c2.compute);
+        assert!(close(c1.compute, params.gamma * n * n * n / p));
+    }
+
+    #[test]
+    fn hsumma_at_sqrt_p_beats_summa_on_bluegene() {
+        // The headline claim, in the model: with vdG and BG/P parameters
+        // the G = √p configuration has lower communication cost.
+        let params = ModelParams::bluegene_p();
+        let (n, p, b) = (65536.0, 16384.0f64, 256.0);
+        let s = summa_cost(&params, BcastModel::VanDeGeijn, n, p, b);
+        let h = hsumma_vdg_optimal_cost(&params, n, p, b);
+        assert!(
+            h.comm() < s.comm(),
+            "HSUMMA {} should beat SUMMA {}",
+            h.comm(),
+            s.comm()
+        );
+    }
+
+    #[test]
+    fn breakdown_total_sums_parts() {
+        let c = CostBreakdown { latency: 1.0, bandwidth: 2.0, compute: 4.0 };
+        assert_eq!(c.comm(), 3.0);
+        assert_eq!(c.total(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "G must lie in [1, p]")]
+    fn hsumma_rejects_g_out_of_range() {
+        let params = ModelParams::grid5000();
+        let _ = hsumma_cost(
+            &params,
+            BcastModel::Binomial,
+            BcastModel::Binomial,
+            1024.0,
+            64.0,
+            128.0,
+            32.0,
+            32.0,
+        );
+    }
+}

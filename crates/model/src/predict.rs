@@ -1,0 +1,150 @@
+//! Predicted sweeps over the number of groups — the machinery behind the
+//! model-validation subsections (§V-A.1, §V-B.1) and the exascale
+//! prediction of Fig. 10.
+
+use crate::bcast::BcastModel;
+use crate::cost::{hsumma_cost, summa_cost, CostBreakdown, ModelParams};
+
+/// One point of a `G` sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Number of groups.
+    pub g: f64,
+    /// Predicted HSUMMA cost at this `G`.
+    pub hsumma: CostBreakdown,
+    /// Predicted SUMMA cost (constant across the sweep; repeated for
+    /// convenience when tabulating).
+    pub summa: CostBreakdown,
+}
+
+/// Predicts HSUMMA (at `b = B`) for every `G` in `gs`, alongside SUMMA.
+pub fn sweep_groups(
+    params: &ModelParams,
+    bcast: BcastModel,
+    n: f64,
+    p: f64,
+    b: f64,
+    gs: &[f64],
+) -> Vec<SweepPoint> {
+    let summa = summa_cost(params, bcast, n, p, b);
+    gs.iter()
+        .map(|&g| SweepPoint {
+            g,
+            hsumma: hsumma_cost(params, bcast, bcast, n, p, g, b, b),
+            summa,
+        })
+        .collect()
+}
+
+/// Powers of two from 1 to `p` inclusive — the G axis of Figs. 8 and 10.
+pub fn power_of_two_gs(p: f64) -> Vec<f64> {
+    let mut gs = Vec::new();
+    let mut g = 1.0;
+    while g <= p {
+        gs.push(g);
+        g *= 2.0;
+    }
+    gs
+}
+
+/// The predicted best `G` and its cost over a sweep (by communication
+/// time, matching how the paper selects the optimal grouping).
+pub fn best_point(sweep: &[SweepPoint]) -> SweepPoint {
+    *sweep
+        .iter()
+        .min_by(|a, b| {
+            a.hsumma
+                .comm()
+                .partial_cmp(&b.hsumma.comm())
+                .expect("costs are finite")
+        })
+        .expect("sweep must not be empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_gs_covers_1_to_p() {
+        let gs = power_of_two_gs(16384.0);
+        assert_eq!(gs.first(), Some(&1.0));
+        assert_eq!(gs.last(), Some(&16384.0));
+        assert_eq!(gs.len(), 15);
+    }
+
+    #[test]
+    fn sweep_endpoints_equal_summa() {
+        let params = ModelParams::bluegene_p();
+        let sweep = sweep_groups(
+            &params,
+            BcastModel::VanDeGeijn,
+            65536.0,
+            16384.0,
+            256.0,
+            &[1.0, 16384.0],
+        );
+        for pt in sweep {
+            let d = (pt.hsumma.comm() - pt.summa.comm()).abs();
+            assert!(d < 1e-9 * pt.summa.comm(), "G={} differs from SUMMA", pt.g);
+        }
+    }
+
+    #[test]
+    fn exascale_sweep_is_u_shaped_with_interior_minimum() {
+        // Fig. 10: p = 2^20, n = 2^22, b = 256, vdG broadcast.
+        let params = ModelParams::exascale();
+        let p = (1u64 << 20) as f64;
+        let n = (1u64 << 22) as f64;
+        let sweep =
+            sweep_groups(&params, BcastModel::VanDeGeijn, n, p, 256.0, &power_of_two_gs(p));
+        let best = best_point(&sweep);
+        let at_g1 = sweep[0].hsumma.comm();
+        assert!(best.g > 1.0 && best.g < p, "best G={} should be interior", best.g);
+        assert!(best.hsumma.comm() < at_g1, "interior must beat G=1");
+        // Best G should be the power of two nearest √p = 1024.
+        assert_eq!(best.g, 1024.0);
+    }
+
+    #[test]
+    fn bluegene_sweep_predicts_interior_win() {
+        // With the paper's own (α, β) the contention-free model predicts
+        // a real but modest interior win (~1.2×). The measured 5.89× on
+        // the physical BG/P additionally reflects network effects the
+        // ideal model excludes by assumption (§IV-C "no contention"); the
+        // congested-broadcast simulation profile covers that regime (see
+        // EXPERIMENTS.md). Here we assert what the model actually claims:
+        // an interior optimum strictly better than SUMMA.
+        let params = ModelParams::bluegene_p();
+        let p = 16384.0;
+        let sweep = sweep_groups(
+            &params,
+            BcastModel::VanDeGeijn,
+            65536.0,
+            p,
+            256.0,
+            &power_of_two_gs(p),
+        );
+        let best = best_point(&sweep);
+        let ratio = best.summa.comm() / best.hsumma.comm();
+        assert!(best.g > 1.0 && best.g < p, "optimum must be interior, got G={}", best.g);
+        assert!(ratio > 1.1, "predicted win should be real, got {ratio:.3}×");
+    }
+
+    #[test]
+    fn best_point_picks_minimum_comm() {
+        let params = ModelParams::grid5000();
+        let sweep = sweep_groups(
+            &params,
+            BcastModel::Binomial,
+            8192.0,
+            128.0,
+            64.0,
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+        );
+        let best = best_point(&sweep);
+        for pt in &sweep {
+            assert!(pt.hsumma.comm() >= best.hsumma.comm() - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Timed message schedules of the broadcast algorithms.
+//!
+//! Mirrors `hsumma-runtime`'s collectives message-for-message, but instead
+//! of moving data it advances [`SimNet`] clocks. Each schedule operates on
+//! an arbitrary subset of ranks (`group`), because SUMMA broadcasts along
+//! grid rows/columns and HSUMMA additionally along inter-group
+//! communicators.
+//!
+//! The costs on a fresh, flat network are validated against the closed
+//! forms the paper uses (§IV):
+//!
+//! * binomial tree: `⌈log₂ p⌉ · (α + m·β)`
+//! * van de Geijn: `(log₂ p + p − 1)·α + 2·(p−1)/p·m·β`
+
+use crate::sim::SimNet;
+
+/// Broadcast algorithm selector for the simulator. Matches
+/// `hsumma_runtime::BcastAlgorithm` case-for-case so executable and
+/// simulated configurations stay interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimBcast {
+    /// Root sends `p−1` full copies.
+    Flat,
+    /// Binomial tree, `⌈log₂ p⌉` rounds.
+    Binomial,
+    /// Balanced binary tree.
+    Binary,
+    /// Linear chain, full message per hop.
+    Ring,
+    /// Linear chain, payload cut into segments.
+    Pipelined {
+        /// Number of pipeline segments (≥ 1).
+        segments: usize,
+    },
+    /// Van de Geijn scatter + ring allgather (long-message algorithm).
+    ScatterAllgather,
+}
+
+impl SimBcast {
+    /// Simulates broadcasting `bytes` from `group[root]` to every rank in
+    /// `group` and returns the time at which the *last* rank has the data.
+    ///
+    /// # Panics
+    /// Panics if `group` is empty or `root >= group.len()`.
+    pub fn run(self, net: &mut SimNet, group: &[usize], root: usize, bytes: u64) -> f64 {
+        assert!(!group.is_empty(), "empty broadcast group");
+        assert!(root < group.len(), "root index out of range");
+        let p = group.len();
+        if p == 1 {
+            return net.now(group[0]);
+        }
+        match self {
+            SimBcast::Flat => flat(net, group, root, bytes),
+            SimBcast::Binomial => binomial(net, group, root, bytes),
+            SimBcast::Binary => binary(net, group, root, bytes),
+            SimBcast::Ring => pipelined(net, group, root, bytes, 1),
+            SimBcast::Pipelined { segments } => pipelined(net, group, root, bytes, segments),
+            SimBcast::ScatterAllgather => scatter_allgather(net, group, root, bytes),
+        }
+        group.iter().map(|&r| net.now(r)).fold(0.0, f64::max)
+    }
+}
+
+/// Translates a virtual rank (root ≡ 0) to a world rank.
+#[inline]
+fn world(group: &[usize], root: usize, vrank: usize) -> usize {
+    group[(vrank + root) % group.len()]
+}
+
+fn flat(net: &mut SimNet, group: &[usize], root: usize, bytes: u64) {
+    for v in 1..group.len() {
+        net.send(world(group, root, 0), world(group, root, v), bytes);
+    }
+}
+
+/// Issue order follows rounds (mask ascending); within a round each sender
+/// relays to its subtree peer. The clock dependencies produce the classic
+/// `⌈log₂ p⌉` critical path.
+fn binomial(net: &mut SimNet, group: &[usize], root: usize, bytes: u64) {
+    let p = group.len();
+    let mut mask = 1usize;
+    while mask < p {
+        // Ranks below `mask` already hold the data and send to vrank+mask.
+        for v in 0..mask {
+            let dst = v + mask;
+            if dst < p {
+                net.send(world(group, root, v), world(group, root, dst), bytes);
+            }
+        }
+        mask <<= 1;
+    }
+}
+
+fn binary(net: &mut SimNet, group: &[usize], root: usize, bytes: u64) {
+    let p = group.len();
+    // BFS order guarantees a parent's clock is final before its children's
+    // sends are issued.
+    for v in 0..p {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < p {
+                net.send(world(group, root, v), world(group, root, child), bytes);
+            }
+        }
+    }
+}
+
+/// Chunk of `bytes` assigned to piece `i` of `n` (first `bytes % n` pieces
+/// get one extra byte) — same dealing rule as the runtime's `chunk_range`.
+fn chunk_bytes(bytes: u64, n: usize, i: usize) -> u64 {
+    let n = n as u64;
+    let i = i as u64;
+    bytes / n + u64::from(i < bytes % n)
+}
+
+fn pipelined(net: &mut SimNet, group: &[usize], root: usize, bytes: u64, segments: usize) {
+    assert!(segments >= 1, "need at least one segment");
+    let p = group.len();
+    let segments = segments.min(bytes.max(1) as usize);
+    for s in 0..segments {
+        let seg = chunk_bytes(bytes, segments, s);
+        for v in 0..p - 1 {
+            net.send(world(group, root, v), world(group, root, v + 1), seg);
+        }
+    }
+}
+
+fn scatter_allgather(net: &mut SimNet, group: &[usize], root: usize, bytes: u64) {
+    let p = group.len();
+
+    // Binomial scatter: vrank v relays the chunks [v, v+extent) where
+    // extent is v's lowest set bit (clipped); the root covers everything.
+    let p2 = p.next_power_of_two();
+    // Issue in rounds: mask descending from p2/2; sender set grows as in
+    // the broadcast tree mirrored.
+    let mut mask = p2 >> 1;
+    while mask > 0 {
+        for v in (0..p).step_by(2 * mask.max(1)) {
+            let child = v + mask;
+            if child < p {
+                let hi = (child + mask).min(p);
+                let payload: u64 = (child..hi).map(|c| chunk_bytes(bytes, p, c)).sum();
+                net.send(world(group, root, v), world(group, root, child), payload);
+            }
+        }
+        mask >>= 1;
+    }
+
+    // Ring allgather: p−1 rounds; every rank sends chunk (v−k) to v+1 and
+    // receives chunk (v−k−1) from v−1. Sends are issued before waits.
+    for k in 0..p - 1 {
+        let pending: Vec<_> = (0..p)
+            .map(|v| {
+                let chunk = (v + p - k) % p;
+                net.isend(
+                    world(group, root, v),
+                    world(group, root, (v + 1) % p),
+                    chunk_bytes(bytes, p, chunk),
+                )
+            })
+            .collect();
+        for (v, msg) in pending.into_iter().enumerate() {
+            net.deliver(world(group, root, (v + 1) % p), msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hockney;
+
+    const ALPHA: f64 = 1e-3;
+    const BETA: f64 = 1e-6;
+
+    fn fresh(p: usize) -> SimNet {
+        SimNet::new(p, Hockney::new(ALPHA, BETA))
+    }
+
+    fn t(bytes: u64) -> f64 {
+        ALPHA + bytes as f64 * BETA
+    }
+
+    #[test]
+    fn binomial_matches_closed_form_on_powers_of_two() {
+        for p in [2usize, 4, 8, 16, 64] {
+            let mut net = fresh(p);
+            let group: Vec<usize> = (0..p).collect();
+            let done = SimBcast::Binomial.run(&mut net, &group, 0, 4096);
+            let want = (p as f64).log2() * t(4096);
+            assert!((done - want).abs() < 1e-12, "p={p}: got {done}, want {want}");
+        }
+    }
+
+    #[test]
+    fn binomial_non_power_of_two_takes_ceil_log_rounds() {
+        let p = 5;
+        let mut net = fresh(p);
+        let group: Vec<usize> = (0..p).collect();
+        let done = SimBcast::Binomial.run(&mut net, &group, 0, 0);
+        // ceil(log2(5)) = 3 rounds of pure latency.
+        assert!((done - 3.0 * ALPHA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_costs_p_minus_1_transfers() {
+        let p = 6;
+        let mut net = fresh(p);
+        let group: Vec<usize> = (0..p).collect();
+        let done = SimBcast::Flat.run(&mut net, &group, 0, 100);
+        assert!((done - 5.0 * t(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_costs_chain_of_full_transfers() {
+        let p = 7;
+        let mut net = fresh(p);
+        let group: Vec<usize> = (0..p).collect();
+        let done = SimBcast::Ring.run(&mut net, &group, 0, 100);
+        assert!((done - 6.0 * t(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_matches_pipeline_formula() {
+        // (p - 1 + s - 1) stages of (α + m/s · β) for m divisible by s.
+        let (p, s, m) = (4usize, 8usize, 8000u64);
+        let mut net = fresh(p);
+        let group: Vec<usize> = (0..p).collect();
+        let done = SimBcast::Pipelined { segments: s }.run(&mut net, &group, 0, m);
+        let stage = t(m / s as u64);
+        let want = (p - 1 + s - 1) as f64 * stage;
+        assert!((done - want).abs() < 1e-12, "got {done}, want {want}");
+    }
+
+    #[test]
+    fn scatter_allgather_matches_van_de_geijn_cost() {
+        for p in [2usize, 4, 8, 16] {
+            let m = 16 * 1024u64; // divisible by every p tested
+            let mut net = fresh(p);
+            let group: Vec<usize> = (0..p).collect();
+            let done = SimBcast::ScatterAllgather.run(&mut net, &group, 0, m);
+            let pf = p as f64;
+            let want = (pf.log2() + pf - 1.0) * ALPHA + 2.0 * (pf - 1.0) / pf * m as f64 * BETA;
+            assert!(
+                (done - want).abs() < 1e-9,
+                "p={p}: got {done}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_beats_binomial_for_long_messages() {
+        let p = 16;
+        let m = 1_000_000u64;
+        let group: Vec<usize> = (0..p).collect();
+        let mut net_a = fresh(p);
+        let tree = SimBcast::Binomial.run(&mut net_a, &group, 0, m);
+        let mut net_b = fresh(p);
+        let vdg = SimBcast::ScatterAllgather.run(&mut net_b, &group, 0, m);
+        assert!(vdg < tree, "vdG {vdg} should beat binomial {tree} at 1 MB");
+    }
+
+    #[test]
+    fn binomial_beats_scatter_allgather_for_short_messages() {
+        let p = 16;
+        let m = 8u64;
+        let group: Vec<usize> = (0..p).collect();
+        let mut net_a = fresh(p);
+        let tree = SimBcast::Binomial.run(&mut net_a, &group, 0, m);
+        let mut net_b = fresh(p);
+        let vdg = SimBcast::ScatterAllgather.run(&mut net_b, &group, 0, m);
+        assert!(tree < vdg, "binomial {tree} should beat vdG {vdg} at 8 B");
+    }
+
+    #[test]
+    fn broadcast_works_on_scattered_subgroups_with_any_root() {
+        // Ranks 1, 5, 9, 13 of a 16-rank net, rooted at index 2 (rank 9).
+        let group = vec![1usize, 5, 9, 13];
+        for algo in [
+            SimBcast::Flat,
+            SimBcast::Binomial,
+            SimBcast::Binary,
+            SimBcast::Ring,
+            SimBcast::Pipelined { segments: 3 },
+            SimBcast::ScatterAllgather,
+        ] {
+            let mut net = fresh(16);
+            let done = algo.run(&mut net, &group, 2, 999);
+            assert!(done > 0.0);
+            // Ranks outside the group must be untouched.
+            for r in [0usize, 2, 3, 4, 6, 7, 8, 10, 11, 12, 14, 15] {
+                assert_eq!(net.now(r), 0.0, "algo {algo:?} touched rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_group_is_free() {
+        let mut net = fresh(4);
+        let done = SimBcast::Binomial.run(&mut net, &[2], 0, 1 << 20);
+        assert_eq!(done, 0.0);
+        assert_eq!(net.report().msgs, 0);
+    }
+
+    #[test]
+    fn chunk_bytes_sums_to_total() {
+        for bytes in [0u64, 1, 7, 4096, 4097] {
+            for n in [1usize, 2, 3, 8] {
+                let sum: u64 = (0..n).map(|i| chunk_bytes(bytes, n, i)).sum();
+                assert_eq!(sum, bytes);
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        const ALL: [SimBcast; 6] = [
+            SimBcast::Flat,
+            SimBcast::Binomial,
+            SimBcast::Binary,
+            SimBcast::Ring,
+            SimBcast::Pipelined { segments: 4 },
+            SimBcast::ScatterAllgather,
+        ];
+
+        proptest! {
+            #[test]
+            fn cost_is_monotone_in_message_size(
+                algo_ix in 0usize..6, p in 2usize..20, bytes in 1u64..1_000_000
+            ) {
+                let algo = ALL[algo_ix];
+                let group: Vec<usize> = (0..p).collect();
+                let mut small = fresh(p);
+                let t_small = algo.run(&mut small, &group, 0, bytes);
+                let mut big = fresh(p);
+                let t_big = algo.run(&mut big, &group, 0, bytes * 2);
+                prop_assert!(t_big >= t_small - 1e-12, "{algo:?}: {t_big} < {t_small}");
+            }
+
+            #[test]
+            fn cost_is_monotone_in_group_size(
+                algo_ix in 0usize..6, p in 2usize..20, bytes in 1u64..100_000
+            ) {
+                let algo = ALL[algo_ix];
+                let small_group: Vec<usize> = (0..p).collect();
+                let big_group: Vec<usize> = (0..p + 1).collect();
+                let mut a = fresh(p + 1);
+                let t_small = algo.run(&mut a, &small_group, 0, bytes);
+                let mut b = fresh(p + 1);
+                let t_big = algo.run(&mut b, &big_group, 0, bytes);
+                prop_assert!(t_big >= t_small - 1e-12, "{algo:?}: {t_big} < {t_small}");
+            }
+
+            #[test]
+            fn simulation_is_deterministic(
+                algo_ix in 0usize..6, p in 2usize..16, bytes in 0u64..100_000, root in 0usize..16
+            ) {
+                let algo = ALL[algo_ix];
+                let root = root % p;
+                let group: Vec<usize> = (0..p).collect();
+                let mut a = fresh(p);
+                let ta = algo.run(&mut a, &group, root, bytes);
+                let mut b = fresh(p);
+                let tb = algo.run(&mut b, &group, root, bytes);
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(a.report(), b.report());
+            }
+
+            #[test]
+            fn every_rank_advances_past_zero(
+                algo_ix in 0usize..6, p in 2usize..16, root in 0usize..16
+            ) {
+                let algo = ALL[algo_ix];
+                let root = root % p;
+                let group: Vec<usize> = (0..p).collect();
+                let mut net = fresh(p);
+                algo.run(&mut net, &group, root, 1000);
+                for r in 0..p {
+                    prop_assert!(net.now(r) > 0.0, "{algo:?}: rank {r} untouched");
+                }
+            }
+
+            #[test]
+            fn tree_broadcasts_move_exactly_group_minus_one_payloads(
+                p in 2usize..24, bytes in 1u64..100_000
+            ) {
+                for algo in [SimBcast::Flat, SimBcast::Binomial, SimBcast::Binary, SimBcast::Ring] {
+                    let group: Vec<usize> = (0..p).collect();
+                    let mut net = fresh(p);
+                    algo.run(&mut net, &group, 0, bytes);
+                    prop_assert_eq!(net.report().bytes, (p as u64 - 1) * bytes, "{:?}", algo);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Discrete-event network simulator under the Hockney model.
+//!
+//! The paper's evaluation ran on platforms we cannot access (a 16-rack
+//! BlueGene/P and the Grid5000 Graphene cluster). Its *analysis*, however,
+//! is entirely in terms of the Hockney point-to-point model
+//! `T(m) = α + m·β` (§IV). This crate turns that model into an executable
+//! substrate:
+//!
+//! * [`model::Hockney`] / [`model::Platform`] — latency/bandwidth/compute
+//!   parameters, with presets for the paper's three platforms (Grid5000,
+//!   BlueGene/P, the exascale roadmap of §V-C);
+//! * [`sim::SimNet`] — per-rank virtual clocks advanced message-by-message
+//!   (eager sends: a sender is busy for `α + m·β`, the receiver waits for
+//!   arrival), with communication and computation time accounted
+//!   separately per rank;
+//! * [`collectives`] — the same broadcast algorithms as the real runtime
+//!   (`hsumma-runtime`), replayed as timed message schedules over arbitrary
+//!   rank subsets. Their simulated costs are validated against the closed
+//!   forms the paper quotes (binomial: `log₂(p)(α+mβ)`; van de Geijn:
+//!   `(log₂p + p−1)α + 2(p−1)/p·mβ`);
+//! * [`topology`] — an optional 3-D torus latency refinement (per-hop
+//!   latency), the mechanism behind the "zigzags" the paper observes on
+//!   BlueGene/P when a group layout maps badly onto the torus.
+//!
+//! Simulated clocks are `f64` seconds; the simulation is deterministic.
+
+pub mod collectives;
+pub mod model;
+pub mod sim;
+pub mod topology;
+
+pub use collectives::SimBcast;
+pub use model::{Hockney, Platform};
+pub use sim::{NoiseModel, SimNet, SimReport};
+pub use topology::{Topology, Torus3D};

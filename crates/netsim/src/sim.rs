@@ -1,0 +1,426 @@
+//! Per-rank virtual clocks advanced message-by-message.
+//!
+//! [`SimNet`] is a lightweight discrete-event engine specialized for the
+//! deterministic, data-independent communication schedules of dense linear
+//! algebra: every rank has a virtual clock; sending occupies the sender
+//! for the full Hockney transfer time (`α + m·β`, store-and-forward) and
+//! the receiver waits until arrival. Because each operation only ever
+//! moves clocks forward, simulating a schedule is a single pass over its
+//! messages — no event queue is needed, which is what makes 16384-rank
+//! simulations cheap.
+
+use crate::model::Hockney;
+use crate::topology::{FullyConnected, Topology};
+
+/// A message in flight: produced by [`SimNet::isend`], consumed by
+/// [`SimNet::deliver`]. Splitting send and delivery lets schedules express
+/// "send, then block receiving" rounds (ring allgather) faithfully.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "an undelivered message leaves the receiver's clock behind"]
+pub struct PendingMsg {
+    arrival: f64,
+}
+
+/// Aggregated outcome of a simulated schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Virtual makespan: the largest rank clock.
+    pub total_time: f64,
+    /// Largest per-rank accumulated communication time.
+    pub comm_time: f64,
+    /// Largest per-rank accumulated computation time.
+    pub comp_time: f64,
+    /// Total messages sent.
+    pub msgs: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+/// One recorded message transfer (see [`SimNet::enable_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Virtual time the transfer started.
+    pub departure: f64,
+    /// Virtual time the message became available at the receiver.
+    pub arrival: f64,
+}
+
+/// The simulated network: per-rank clocks plus accounting.
+pub struct SimNet {
+    clocks: Vec<f64>,
+    comm: Vec<f64>,
+    comp: Vec<f64>,
+    msgs: u64,
+    bytes: u64,
+    net: Hockney,
+    topo: Box<dyn Topology>,
+    trace: Option<Vec<TraceEvent>>,
+    noise: Option<NoiseModel>,
+}
+
+/// Deterministic multiplicative transfer-time jitter: every transfer's
+/// busy time is scaled by a factor drawn uniformly from
+/// `[1, 1 + amplitude]` using a seeded SplitMix64 stream — OS and
+/// network noise, reproducibly. (The paper's Grid5000 measurements
+/// average 30 noisy runs; this models the phenomenon they average over.)
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseModel {
+    state: u64,
+    amplitude: f64,
+}
+
+impl NoiseModel {
+    /// Creates a jitter stream. `amplitude` is the maximum relative
+    /// slowdown (e.g. `0.2` = up to 20 % slower per transfer).
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        NoiseModel { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), amplitude }
+    }
+
+    /// Next multiplicative factor in `[1, 1 + amplitude]`.
+    fn next_factor(&mut self) -> f64 {
+        // SplitMix64: deterministic, seedable, no dependency.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.amplitude * unit
+    }
+}
+
+impl SimNet {
+    /// A flat (fully connected, contention-free) network of `p` ranks —
+    /// the paper's model assumptions.
+    pub fn new(p: usize, net: Hockney) -> Self {
+        Self::with_topology(p, net, Box::new(FullyConnected { ranks: p }))
+    }
+
+    /// A network with a topology refining per-message latency.
+    ///
+    /// # Panics
+    /// Panics if the topology does not span exactly `p` ranks.
+    pub fn with_topology(p: usize, net: Hockney, topo: Box<dyn Topology>) -> Self {
+        assert!(p > 0, "need at least one rank");
+        assert_eq!(topo.size(), p, "topology size must match rank count");
+        SimNet {
+            clocks: vec![0.0; p],
+            comm: vec![0.0; p],
+            comp: vec![0.0; p],
+            msgs: 0,
+            bytes: 0,
+            net,
+            topo,
+            trace: None,
+            noise: None,
+        }
+    }
+
+    /// Attaches deterministic transfer-time jitter (see [`NoiseModel`]).
+    pub fn set_noise(&mut self, noise: NoiseModel) {
+        self.noise = Some(noise);
+    }
+
+    /// Starts recording every transfer into an event trace (clears any
+    /// previous trace). Intended for debugging and schedule analysis;
+    /// large simulations should leave it off.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded events, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Serializes the recorded trace into Chrome tracing format (load it
+    /// at `chrome://tracing` or <https://ui.perfetto.dev>): one duration
+    /// event per transfer, on the *sender's* row, microsecond timestamps.
+    ///
+    /// Returns `None` if tracing was never enabled.
+    pub fn trace_to_chrome_json(&self) -> Option<String> {
+        let trace = self.trace.as_ref()?;
+        let mut out = String::from("[\n");
+        for (i, e) in trace.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                r#"  {{"name":"{}B to r{}","cat":"msg","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+                e.bytes,
+                e.dst,
+                e.departure * 1e6,
+                (e.arrival - e.departure) * 1e6,
+                e.src
+            ));
+        }
+        out.push_str("\n]\n");
+        Some(out)
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn now(&self, rank: usize) -> f64 {
+        self.clocks[rank]
+    }
+
+    /// Starts a transfer of `bytes` from `src` to `dst`: the sender is
+    /// busy for `α + m·β`; the message arrives after the additional
+    /// topology latency of the route.
+    pub fn isend(&mut self, src: usize, dst: usize, bytes: u64) -> PendingMsg {
+        let mut busy = self.net.time(bytes);
+        if let Some(noise) = &mut self.noise {
+            busy *= noise.next_factor();
+        }
+        let departure = self.clocks[src];
+        self.clocks[src] += busy;
+        self.comm[src] += busy;
+        self.msgs += 1;
+        self.bytes += bytes;
+        let arrival = departure + busy + self.topo.extra_latency(src, dst);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { src, dst, bytes, departure, arrival });
+        }
+        PendingMsg { arrival }
+    }
+
+    /// Blocks `dst` until `msg` has arrived; waiting time is accounted as
+    /// communication.
+    pub fn deliver(&mut self, dst: usize, msg: PendingMsg) {
+        if msg.arrival > self.clocks[dst] {
+            self.comm[dst] += msg.arrival - self.clocks[dst];
+            self.clocks[dst] = msg.arrival;
+        }
+    }
+
+    /// Send and immediately deliver: for schedules where the receiver is
+    /// known to be blocked in its receive (every tree broadcast).
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64) {
+        let msg = self.isend(src, dst, bytes);
+        self.deliver(dst, msg);
+    }
+
+    /// Advances `rank`'s clock by `seconds` of local computation.
+    pub fn compute(&mut self, rank: usize, seconds: f64) {
+        assert!(seconds >= 0.0, "computation time must be non-negative");
+        self.clocks[rank] += seconds;
+        self.comp[rank] += seconds;
+    }
+
+    /// Advances every rank to the latest clock (a global barrier). The
+    /// wait is accounted as communication, like an `MPI_Barrier` would be.
+    pub fn barrier_all(&mut self) {
+        let t = self.elapsed();
+        for r in 0..self.clocks.len() {
+            self.comm[r] += t - self.clocks[r];
+            self.clocks[r] = t;
+        }
+    }
+
+    /// Virtual makespan so far.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Snapshot of the aggregate accounting.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            total_time: self.elapsed(),
+            comm_time: self.comm.iter().copied().fold(0.0, f64::max),
+            comp_time: self.comp.iter().copied().fold(0.0, f64::max),
+            msgs: self.msgs,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Per-rank communication time (test/diagnostic hook).
+    pub fn comm_of(&self, rank: usize) -> f64 {
+        self.comm[rank]
+    }
+
+    /// Per-rank computation time (test/diagnostic hook).
+    pub fn comp_of(&self, rank: usize) -> f64 {
+        self.comp[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Torus3D;
+
+    fn net2() -> SimNet {
+        SimNet::new(2, Hockney::new(1e-3, 1e-6))
+    }
+
+    #[test]
+    fn single_send_costs_alpha_plus_m_beta() {
+        let mut net = net2();
+        net.send(0, 1, 1000);
+        let want = 1e-3 + 1000.0 * 1e-6;
+        assert!((net.now(0) - want).abs() < 1e-15);
+        assert!((net.now(1) - want).abs() < 1e-15);
+        assert_eq!(net.report().msgs, 1);
+        assert_eq!(net.report().bytes, 1000);
+    }
+
+    #[test]
+    fn receiver_already_late_does_not_wait() {
+        let mut net = net2();
+        net.compute(1, 10.0);
+        net.send(0, 1, 1000);
+        // Rank 1 was at t=10, message arrived around t=0.002: no wait.
+        assert_eq!(net.now(1), 10.0);
+        assert_eq!(net.comm_of(1), 0.0);
+    }
+
+    #[test]
+    fn sender_serializes_consecutive_sends() {
+        let mut net = SimNet::new(3, Hockney::new(1.0, 0.0));
+        net.send(0, 1, 0);
+        net.send(0, 2, 0);
+        assert!((net.now(0) - 2.0).abs() < 1e-15);
+        assert!((net.now(1) - 1.0).abs() < 1e-15);
+        assert!((net.now(2) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn isend_deliver_overlaps_send_with_wait() {
+        // Both ranks send to each other first, then wait: total time is
+        // one transfer, not two (the exchange overlaps).
+        let mut net = net2();
+        let m01 = net.isend(0, 1, 1000);
+        let m10 = net.isend(1, 0, 1000);
+        net.deliver(1, m01);
+        net.deliver(0, m10);
+        let one = 1e-3 + 1000.0 * 1e-6;
+        assert!((net.elapsed() - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_accrues_to_comp_not_comm() {
+        let mut net = net2();
+        net.compute(0, 2.5);
+        assert_eq!(net.comp_of(0), 2.5);
+        assert_eq!(net.comm_of(0), 0.0);
+        assert_eq!(net.report().comp_time, 2.5);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_and_charges_wait_as_comm() {
+        let mut net = net2();
+        net.compute(0, 3.0);
+        net.barrier_all();
+        assert_eq!(net.now(1), 3.0);
+        assert_eq!(net.comm_of(1), 3.0);
+        assert_eq!(net.comm_of(0), 0.0);
+    }
+
+    #[test]
+    fn torus_topology_adds_hop_latency() {
+        let topo = Torus3D::new([4, 1, 1], 0.5);
+        let mut net = SimNet::with_topology(4, Hockney::new(1.0, 0.0), Box::new(topo));
+        net.send(0, 2, 0); // 2 hops on the ring
+        assert!((net.now(2) - (1.0 + 2.0 * 0.5)).abs() < 1e-15);
+        // Sender is only busy for the injection, not the hops.
+        assert!((net.now(0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology size")]
+    fn topology_size_mismatch_rejected() {
+        let topo = Torus3D::new([2, 2, 2], 0.0);
+        let _ = SimNet::with_topology(4, Hockney::new(0.0, 0.0), Box::new(topo));
+    }
+
+    #[test]
+    fn trace_records_transfers_in_order() {
+        let mut net = SimNet::new(3, Hockney::new(1.0, 0.0));
+        net.enable_trace();
+        net.send(0, 1, 10);
+        net.send(1, 2, 20);
+        let trace = net.trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 2);
+        assert_eq!((trace[0].src, trace[0].dst, trace[0].bytes), (0, 1, 10));
+        assert_eq!((trace[1].src, trace[1].dst, trace[1].bytes), (1, 2, 20));
+        // Second transfer departs when rank 1 has received the first.
+        assert!(trace[1].departure >= trace[0].arrival - 1e-12);
+        for e in trace {
+            assert!(e.arrival >= e.departure, "causality");
+        }
+    }
+
+    #[test]
+    fn noise_slows_transfers_reproducibly_within_bounds() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(2, Hockney::new(1e-3, 1e-9));
+            net.set_noise(NoiseModel::new(seed, 0.5));
+            for _ in 0..100 {
+                net.send(0, 1, 1000);
+            }
+            net.now(1)
+        };
+        let clean = {
+            let mut net = SimNet::new(2, Hockney::new(1e-3, 1e-9));
+            for _ in 0..100 {
+                net.send(0, 1, 1000);
+            }
+            net.now(1)
+        };
+        let noisy = run(7);
+        assert!(noisy > clean, "noise must slow transfers");
+        assert!(noisy <= clean * 1.5 + 1e-12, "bounded by the amplitude");
+        assert_eq!(run(7), noisy, "same seed, same result");
+        assert_ne!(run(8), noisy, "different seed, different jitter");
+    }
+
+    #[test]
+    fn zero_amplitude_noise_is_identity() {
+        let mut net = SimNet::new(2, Hockney::new(1e-3, 0.0));
+        net.set_noise(NoiseModel::new(1, 0.0));
+        net.send(0, 1, 0);
+        assert!((net.now(1) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_jsonish_and_complete() {
+        let mut net = SimNet::new(2, Hockney::new(1e-3, 0.0));
+        net.enable_trace();
+        net.send(0, 1, 42);
+        net.send(1, 0, 7);
+        let json = net.trace_to_chrome_json().expect("trace enabled");
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"42B to r1\""));
+        assert!(net.trace_to_chrome_json().is_some(), "export is repeatable");
+    }
+
+    #[test]
+    fn trace_absent_unless_enabled() {
+        let mut net = net2();
+        net.send(0, 1, 1);
+        assert!(net.trace().is_none());
+    }
+
+    #[test]
+    fn report_tracks_makespan_across_ranks() {
+        let mut net = SimNet::new(4, Hockney::new(0.1, 0.0));
+        net.compute(3, 7.0);
+        net.send(0, 1, 0);
+        let r = net.report();
+        assert_eq!(r.total_time, 7.0);
+        assert!((r.comm_time - 0.1).abs() < 1e-15);
+    }
+}

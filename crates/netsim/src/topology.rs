@@ -1,0 +1,169 @@
+//! Network topologies refining the point-to-point latency.
+//!
+//! The base simulation assumes a flat, fully connected, contention-free
+//! network — exactly the assumption of the paper's analysis (§IV-C: "we
+//! assume no contention and assume all the links are homogeneous").
+//! BlueGene/P, however, is a 3-D torus, and the paper attributes the
+//! "zigzags" of Fig. 8 to how communication layouts map onto that torus.
+//! [`Torus3D`] adds a per-hop latency term so the simulator can reproduce
+//! that effect qualitatively.
+
+/// Maps a rank pair to the extra latency their route incurs.
+pub trait Topology {
+    /// Additional one-way latency between two ranks, in seconds, added on
+    /// top of the platform `α`.
+    fn extra_latency(&self, src: usize, dst: usize) -> f64;
+
+    /// Number of ranks the topology spans.
+    fn size(&self) -> usize;
+}
+
+/// Fully connected network: no extra latency (the paper's model).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullyConnected {
+    /// Rank count (used only for bounds checking).
+    pub ranks: usize,
+}
+
+impl Topology for FullyConnected {
+    fn extra_latency(&self, _src: usize, _dst: usize) -> f64 {
+        0.0
+    }
+
+    fn size(&self) -> usize {
+        self.ranks
+    }
+}
+
+/// A 3-D torus like BlueGene/P's interconnect: ranks are laid out in
+/// `x × y × z` XYZ order and each hop costs `hop_latency` seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus3D {
+    /// Extent in each dimension.
+    pub dims: [usize; 3],
+    /// Seconds per router hop. BlueGene/P measured ~100 ns per hop.
+    pub hop_latency: f64,
+}
+
+impl Torus3D {
+    /// Creates a torus; extents must be positive.
+    pub fn new(dims: [usize; 3], hop_latency: f64) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "torus extents must be positive");
+        assert!(hop_latency >= 0.0);
+        Torus3D { dims, hop_latency }
+    }
+
+    /// A near-cubic torus for `p` ranks (BG/P racks are arranged this way).
+    ///
+    /// # Panics
+    /// Panics if `p` has no 3-factor decomposition covering it exactly
+    /// (we pick the most cubic factorization of `p`).
+    pub fn cubic(p: usize, hop_latency: f64) -> Self {
+        let mut best: Option<[usize; 3]> = None;
+        let mut best_score = usize::MAX;
+        for x in 1..=p {
+            if !p.is_multiple_of(x) {
+                continue;
+            }
+            let yz = p / x;
+            for y in 1..=yz {
+                if !yz.is_multiple_of(y) {
+                    continue;
+                }
+                let z = yz / y;
+                // The most cubic factorization minimizes the max extent.
+                let score = x.max(y).max(z);
+                if score < best_score {
+                    best_score = score;
+                    best = Some([x, y, z]);
+                }
+            }
+        }
+        Torus3D::new(best.expect("p >= 1 always factorizes"), hop_latency)
+    }
+
+    /// Coordinates of `rank` in XYZ order.
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        let [dx, dy, _dz] = self.dims;
+        [rank % dx, (rank / dx) % dy, rank / (dx * dy)]
+    }
+
+    /// Minimal hop count between two ranks (torus wrap-around included).
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let a = self.coords(src);
+        let b = self.coords(dst);
+        (0..3)
+            .map(|d| {
+                let dist = a[d].abs_diff(b[d]);
+                dist.min(self.dims[d] - dist)
+            })
+            .sum()
+    }
+}
+
+impl Topology for Torus3D {
+    fn extra_latency(&self, src: usize, dst: usize) -> f64 {
+        self.hops(src, dst) as f64 * self.hop_latency
+    }
+
+    fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_has_zero_extra() {
+        let t = FullyConnected { ranks: 8 };
+        assert_eq!(t.extra_latency(0, 7), 0.0);
+        assert_eq!(t.size(), 8);
+    }
+
+    #[test]
+    fn torus_coords_roundtrip() {
+        let t = Torus3D::new([4, 2, 3], 1e-7);
+        for rank in 0..t.size() {
+            let [x, y, z] = t.coords(rank);
+            assert_eq!(rank, x + 4 * y + 8 * z);
+        }
+    }
+
+    #[test]
+    fn torus_hops_use_wraparound() {
+        let t = Torus3D::new([8, 1, 1], 1e-7);
+        // 0 -> 7 is one hop around the ring, not seven.
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(0, 3), 3);
+    }
+
+    #[test]
+    fn torus_hops_symmetric_and_zero_on_self() {
+        let t = Torus3D::new([4, 4, 4], 1e-7);
+        for (a, b) in [(0, 63), (5, 37), (12, 12)] {
+            assert_eq!(t.hops(a, b), t.hops(b, a));
+        }
+        assert_eq!(t.hops(9, 9), 0);
+    }
+
+    #[test]
+    fn cubic_factorization_is_exact_and_balanced() {
+        let t = Torus3D::cubic(64, 1e-7);
+        assert_eq!(t.dims.iter().product::<usize>(), 64);
+        assert_eq!(t.dims, [4, 4, 4]);
+
+        let t = Torus3D::cubic(16384, 1e-7);
+        assert_eq!(t.dims.iter().product::<usize>(), 16384);
+        // 16384 = 2^14 -> most cubic split is 32x32x16 (max extent 32).
+        assert_eq!(*t.dims.iter().max().unwrap(), 32);
+    }
+
+    #[test]
+    fn extra_latency_scales_with_hops() {
+        let t = Torus3D::new([4, 4, 1], 2e-7);
+        assert!((t.extra_latency(0, 5) - 2.0 * 2e-7).abs() < 1e-15);
+    }
+}

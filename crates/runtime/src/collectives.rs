@@ -1,0 +1,778 @@
+//! Collective operations built message-by-message over point-to-point.
+//!
+//! The paper (§II-B) surveys the broadcast algorithms MPI implementations
+//! choose from — trees for short messages, pipelined or scatter/allgather
+//! schemes for long ones — and analyses SUMMA/HSUMMA under two of them
+//! (binomial tree and van de Geijn's scatter + allgather, §IV). This module
+//! implements the full menu over the runtime's point-to-point layer so the
+//! distributed algorithms can be parameterized by broadcast algorithm, just
+//! as the analysis is:
+//!
+//! | [`BcastAlgorithm`] | messages on the critical path | model cost |
+//! |---|---|---|
+//! | `Flat` | root sends `p−1` copies | `(p−1)(α+mβ)` |
+//! | `Binomial` | `⌈log₂p⌉` rounds of full copies | `log₂(p)(α+mβ)` |
+//! | `Binary` | depth `⌊log₂p⌋` tree, 2 sends per node | `≈2log₂(p)(α+mβ)` |
+//! | `Ring` | chain of `p−1` full copies | `(p−1)(α+mβ)` |
+//! | `Pipelined{s}` | chain of `p−1+s−1` segments | `(p+s−2)(α+mβ/s)` |
+//! | `ScatterAllgather` | binomial scatter + ring allgather | `(log₂p+p−1)α + 2((p−1)/p)mβ` |
+//!
+//! Reductions, gathers and barriers follow the textbook constructions
+//! (binomial reduce, flat gather, dissemination barrier).
+
+use crate::comm::{Comm, INTERNAL_TAG_BASE};
+use crate::message::Tag;
+use std::any::Any;
+
+const TAG_BARRIER: Tag = INTERNAL_TAG_BASE + 16;
+const TAG_BCAST: Tag = INTERNAL_TAG_BASE + 17;
+const TAG_GATHER: Tag = INTERNAL_TAG_BASE + 18;
+const TAG_REDUCE: Tag = INTERNAL_TAG_BASE + 19;
+const TAG_SCATTER: Tag = INTERNAL_TAG_BASE + 20;
+const TAG_ALLGATHER: Tag = INTERNAL_TAG_BASE + 21;
+const TAG_PIPELINE: Tag = INTERNAL_TAG_BASE + 22;
+const TAG_ALLTOALL: Tag = INTERNAL_TAG_BASE + 23;
+const TAG_ALLREDUCE: Tag = INTERNAL_TAG_BASE + 24;
+
+/// Selectable broadcast algorithm (see module docs for cost models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastAlgorithm {
+    /// Root sends the full message to every other rank.
+    Flat,
+    /// Binomial tree: `⌈log₂ p⌉` rounds, the classic short-message choice.
+    Binomial,
+    /// Balanced binary tree rooted at the root.
+    Binary,
+    /// Linear chain through all ranks (pipeline with one segment).
+    Ring,
+    /// Linear chain with the payload cut into `segments` pipelined pieces.
+    Pipelined {
+        /// Number of segments the payload is cut into (≥ 1).
+        segments: usize,
+    },
+    /// Van de Geijn: binomial-tree scatter then ring allgather. The paper's
+    /// long-message broadcast (Table II).
+    ScatterAllgather,
+}
+
+impl BcastAlgorithm {
+    /// Whether the algorithm needs to cut the payload into pieces and
+    /// therefore requires the slice-based [`bcast_f64`] entry point.
+    pub fn needs_segmentation(&self) -> bool {
+        matches!(
+            self,
+            BcastAlgorithm::Pipelined { .. } | BcastAlgorithm::ScatterAllgather
+        )
+    }
+}
+
+/// MPICH's broadcast-selection policy, reproduced: binomial tree for
+/// short messages, scatter + allgather (van de Geijn) for long ones.
+/// The default threshold is MPICH's classic 12 KiB medium-message cutoff.
+///
+/// This is what "MPI_Bcast" effectively ran inside the paper's SUMMA:
+/// pass the result as the algorithm to [`bcast_f64`].
+pub fn auto_bcast(payload_bytes: usize, p: usize) -> BcastAlgorithm {
+    const MEDIUM: usize = 12 * 1024;
+    if payload_bytes < MEDIUM || p < 8 {
+        BcastAlgorithm::Binomial
+    } else {
+        BcastAlgorithm::ScatterAllgather
+    }
+}
+
+/// Dissemination barrier: `⌈log₂ p⌉` rounds, no root.
+pub fn barrier(comm: &Comm) {
+    let p = comm.size();
+    let r = comm.rank();
+    let mut round = 1usize;
+    while round < p {
+        let dst = (r + round) % p;
+        let src = (r + p - round % p) % p;
+        comm.send_internal(dst, TAG_BARRIER, ());
+        comm.recv_internal::<()>(src, TAG_BARRIER);
+        round <<= 1;
+    }
+}
+
+/// Broadcasts `value` from `root` using a whole-message algorithm.
+///
+/// `value` is read at the root only (other ranks may pass `None`); every
+/// rank returns the broadcast value.
+///
+/// # Panics
+/// Panics if the root passes `None`, or if `algo` requires segmentation
+/// (use [`bcast_f64`] for those), or if `root >= comm.size()`.
+pub fn bcast<T: Any + Send + Clone>(
+    comm: &Comm,
+    algo: BcastAlgorithm,
+    root: usize,
+    value: Option<T>,
+) -> T {
+    assert!(root < comm.size(), "root out of range");
+    assert!(
+        !algo.needs_segmentation(),
+        "{algo:?} needs a sliceable payload; use bcast_f64"
+    );
+    let is_root = comm.rank() == root;
+    assert!(value.is_some() || !is_root, "root must supply the value");
+    match algo {
+        BcastAlgorithm::Flat => bcast_flat(comm, root, value),
+        BcastAlgorithm::Binomial => {
+            // The internal binomial bcast wants a concrete value on every
+            // rank; give non-roots a placeholder they'll overwrite. `Option`
+            // keeps this allocation-free.
+            let v = comm.binomial_bcast_internal(root, TAG_BCAST, value);
+            v.expect("binomial bcast delivered no value")
+        }
+        BcastAlgorithm::Binary => bcast_binary(comm, root, value),
+        BcastAlgorithm::Ring => bcast_ring(comm, root, value),
+        BcastAlgorithm::Pipelined { .. } | BcastAlgorithm::ScatterAllgather => unreachable!(),
+    }
+}
+
+fn bcast_flat<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+    if comm.rank() == root {
+        let v = value.expect("root must supply the value");
+        for dst in 0..comm.size() {
+            if dst != root {
+                comm.send_internal(dst, TAG_BCAST, v.clone());
+            }
+        }
+        v
+    } else {
+        comm.recv_internal(root, TAG_BCAST)
+    }
+}
+
+fn bcast_binary<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let value = if vrank == 0 {
+        value.expect("root must supply the value")
+    } else {
+        let parent_v = (vrank - 1) / 2;
+        comm.recv_internal((parent_v + root) % p, TAG_BCAST)
+    };
+    for child_v in [2 * vrank + 1, 2 * vrank + 2] {
+        if child_v < p {
+            comm.send_internal((child_v + root) % p, TAG_BCAST, value.clone());
+        }
+    }
+    value
+}
+
+fn bcast_ring<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let value = if vrank == 0 {
+        value.expect("root must supply the value")
+    } else {
+        comm.recv_internal((vrank - 1 + root) % p, TAG_BCAST)
+    };
+    if vrank + 1 < p {
+        comm.send_internal((vrank + 1 + root) % p, TAG_BCAST, value.clone());
+    }
+    value
+}
+
+/// Element range of chunk `i` when `len` elements are dealt over `p`
+/// near-equal chunks (first `len % p` chunks get one extra element).
+pub fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = len / p;
+    let rem = len % p;
+    let start = i * base + i.min(rem);
+    let extent = base + usize::from(i < rem);
+    (start, start + extent)
+}
+
+/// Broadcasts the `f64` buffer from `root` in place. All ranks must pass a
+/// buffer of identical length (the algorithms distribute *panels of known
+/// shape*, so lengths are globally known — MPI's contract as well).
+///
+/// Supports every [`BcastAlgorithm`] including the segmenting ones.
+pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64]) {
+    assert!(root < comm.size(), "root out of range");
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    if comm.rank() == root {
+        comm.count_bytes((data.len() * 8) as u64);
+    }
+    match algo {
+        BcastAlgorithm::Flat | BcastAlgorithm::Binomial | BcastAlgorithm::Binary
+        | BcastAlgorithm::Ring => {
+            let value = if comm.rank() == root { Some(data.to_vec()) } else { None };
+            let out = bcast(comm, algo, root, value);
+            data.copy_from_slice(&out);
+        }
+        BcastAlgorithm::Pipelined { segments } => bcast_pipelined(comm, root, data, segments),
+        BcastAlgorithm::ScatterAllgather => bcast_scatter_allgather(comm, root, data),
+    }
+}
+
+/// Chain pipeline: virtual rank k receives each segment from k−1 and
+/// forwards it to k+1 while already receiving the next one.
+fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) {
+    assert!(segments >= 1, "need at least one segment");
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let prev = (vrank + p - 1 + root) % p;
+    let next = (vrank + 1 + root) % p;
+    let segments = segments.min(data.len().max(1));
+    for s in 0..segments {
+        let (lo, hi) = chunk_range(data.len(), segments, s);
+        if vrank > 0 {
+            let seg: Vec<f64> = comm.recv_internal(prev, TAG_PIPELINE);
+            data[lo..hi].copy_from_slice(&seg);
+        }
+        if vrank + 1 < p {
+            comm.send_internal(next, TAG_PIPELINE, data[lo..hi].to_vec());
+        }
+    }
+}
+
+/// Van de Geijn long-message broadcast: binomial-tree scatter of the `p`
+/// chunks, then a ring allgather. Bandwidth term `2(p−1)/p·mβ`, latency
+/// `(log₂p + p − 1)α`.
+fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
+    let p = comm.size();
+    let len = data.len();
+    let vrank = (comm.rank() + p - root) % p;
+    let to_world = |v: usize| (v + root) % p;
+
+    // --- Binomial scatter ------------------------------------------------
+    // Virtual rank v is responsible for relaying the chunks of virtual
+    // ranks [v, v + extent) where extent is v's lowest set bit (the whole
+    // clipped range for the root).
+    let p2 = p.next_power_of_two();
+    let my_extent = if vrank == 0 { p2 } else { vrank & vrank.wrapping_neg() };
+    if vrank != 0 {
+        let parent = vrank - my_extent;
+        let hi_v = (vrank + my_extent).min(p);
+        let (lo, _) = chunk_range(len, p, vrank);
+        let (_, hi) = chunk_range(len, p, hi_v - 1);
+        let seg: Vec<f64> = comm.recv_internal(to_world(parent), TAG_SCATTER);
+        data[lo..hi].copy_from_slice(&seg);
+    }
+    let mut mask = my_extent >> 1;
+    while mask > 0 {
+        let child = vrank + mask;
+        if child < p {
+            let child_hi_v = (child + mask).min(p);
+            let (lo, _) = chunk_range(len, p, child);
+            let (_, hi) = chunk_range(len, p, child_hi_v - 1);
+            comm.send_internal(to_world(child), TAG_SCATTER, data[lo..hi].to_vec());
+        }
+        mask >>= 1;
+    }
+
+    // --- Ring allgather ---------------------------------------------------
+    // Round k: send chunk (vrank − k) and receive chunk (vrank − k − 1),
+    // both mod p, from the ring neighbours.
+    let next = to_world((vrank + 1) % p);
+    let prev = to_world((vrank + p - 1) % p);
+    for k in 0..p - 1 {
+        let send_chunk = (vrank + p - k) % p;
+        let recv_chunk = (vrank + p - k - 1) % p;
+        let (slo, shi) = chunk_range(len, p, send_chunk);
+        comm.send_internal(next, TAG_ALLGATHER, data[slo..shi].to_vec());
+        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLGATHER);
+        let (rlo, rhi) = chunk_range(len, p, recv_chunk);
+        data[rlo..rhi].copy_from_slice(&seg);
+    }
+}
+
+/// Flat gather: every rank's `value` collected at `root` in rank order.
+/// Returns `Some(values)` at the root, `None` elsewhere.
+pub fn gather<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
+    assert!(root < comm.size(), "root out of range");
+    if comm.rank() == root {
+        let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
+        out[root] = Some(value);
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src != root {
+                *slot = Some(comm.recv_internal(src, TAG_GATHER));
+            }
+        }
+        Some(out.into_iter().map(|v| v.expect("gather slot filled")).collect())
+    } else {
+        comm.send_internal(root, TAG_GATHER, value);
+        None
+    }
+}
+
+/// Gather to rank 0 followed by a binomial broadcast of the table.
+pub fn allgather<T: Any + Send + Clone>(comm: &Comm, value: T) -> Vec<T> {
+    let gathered = gather(comm, 0, value);
+    let v = comm.binomial_bcast_internal(0, TAG_ALLGATHER, gathered);
+    v.expect("allgather bcast delivered no value")
+}
+
+/// Binomial-tree reduction with a caller-supplied associative combiner.
+/// Returns `Some(result)` at the root, `None` elsewhere.
+pub fn reduce<T: Any + Send>(
+    comm: &Comm,
+    root: usize,
+    value: T,
+    mut combine: impl FnMut(T, T) -> T,
+) -> Option<T> {
+    assert!(root < comm.size(), "root out of range");
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let to_world = |v: usize| (v + root) % p;
+    let mut acc = value;
+    let mut mask = 1usize;
+    // Mirror image of the binomial broadcast: leaves send first.
+    while mask < p {
+        if vrank & mask != 0 {
+            comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, acc);
+            return None;
+        }
+        if vrank + mask < p {
+            let child: T = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+            acc = combine(acc, child);
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Reduce to rank 0 then broadcast the result to everyone.
+pub fn allreduce<T: Any + Send + Clone>(
+    comm: &Comm,
+    value: T,
+    combine: impl FnMut(T, T) -> T,
+) -> T {
+    let reduced = reduce(comm, 0, value, combine);
+    let v = comm.binomial_bcast_internal(0, TAG_REDUCE, reduced);
+    v.expect("allreduce bcast delivered no value")
+}
+
+/// Simultaneous send and receive (an `MPI_Sendrecv`): deadlock-free
+/// because sends are eager.
+pub fn sendrecv<T: Any + Send>(
+    comm: &Comm,
+    dst: usize,
+    send_value: T,
+    src: usize,
+    tag: crate::message::Tag,
+) -> T {
+    comm.send(dst, tag, send_value);
+    comm.recv(src, tag)
+}
+
+/// Flat scatter: the root deals `values[i]` to local rank `i` (the root
+/// keeps its own slot). Non-roots pass `None`. Returns this rank's value.
+///
+/// # Panics
+/// Panics if the root's vector length differs from the communicator size.
+pub fn scatter<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) -> T {
+    assert!(root < comm.size(), "root out of range");
+    if comm.rank() == root {
+        let values = values.expect("root must supply the values");
+        assert_eq!(values.len(), comm.size(), "one value per rank required");
+        let mut mine = None;
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == root {
+                mine = Some(v);
+            } else {
+                comm.send_internal(dst, TAG_SCATTER, v);
+            }
+        }
+        mine.expect("root keeps its own slot")
+    } else {
+        assert!(values.is_none(), "only the root supplies values");
+        comm.recv_internal(root, TAG_SCATTER)
+    }
+}
+
+/// Personalized all-to-all exchange: rank `r` sends `values[d]` to rank
+/// `d` and returns the vector of values received, indexed by source.
+///
+/// # Panics
+/// Panics if `values.len() != comm.size()`.
+pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
+    let p = comm.size();
+    assert_eq!(values.len(), p, "one value per destination required");
+    let me = comm.rank();
+    let mut mine = None;
+    for (dst, v) in values.into_iter().enumerate() {
+        if dst == me {
+            mine = Some(v);
+        } else {
+            comm.send_internal(dst, TAG_ALLTOALL, v);
+        }
+    }
+    (0..p)
+        .map(|src| {
+            if src == me {
+                mine.take().expect("own slot present")
+            } else {
+                comm.recv_internal(src, TAG_ALLTOALL)
+            }
+        })
+        .collect()
+}
+
+/// Element-wise sum reduction of equal-length `f64` buffers to `root`
+/// over a binomial tree. On return the root's buffer holds the sum;
+/// other buffers are left in an unspecified partial state (like an MPI
+/// send buffer).
+pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
+    assert!(root < comm.size(), "root out of range");
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let to_world = |v: usize| (v + root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, data.to_vec());
+            return;
+        }
+        if vrank + mask < p {
+            let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+            assert_eq!(child.len(), data.len(), "reduce buffers must match in length");
+            for (a, b) in data.iter_mut().zip(&child) {
+                *a += b;
+            }
+        }
+        mask <<= 1;
+    }
+    comm.count_bytes((data.len() * 8) as u64);
+}
+
+/// Bandwidth-optimal all-reduce of `f64` buffers à la Rabenseifner:
+/// ring reduce-scatter (each rank ends owning the sum of one chunk) then
+/// ring allgather. Bandwidth `≈ 2(p−1)/p · m·β`, like the van de Geijn
+/// broadcast — the long-vector algorithm MPI implementations use.
+pub fn allreduce_sum_f64(comm: &Comm, data: &mut [f64]) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let me = comm.rank();
+    let next = (me + 1) % p;
+    let prev = (me + p - 1) % p;
+    let len = data.len();
+
+    // Reduce-scatter: after p−1 rounds, rank r owns the full sum of
+    // chunk (r+1) mod p.
+    for k in 0..p - 1 {
+        let send_chunk = (me + p - k) % p;
+        let recv_chunk = (me + p - k - 1) % p;
+        let (slo, shi) = chunk_range(len, p, send_chunk);
+        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec());
+        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE);
+        let (rlo, rhi) = chunk_range(len, p, recv_chunk);
+        for (a, b) in data[rlo..rhi].iter_mut().zip(&seg) {
+            *a += b;
+        }
+    }
+    // Allgather of the owned chunks around the ring.
+    for k in 0..p - 1 {
+        let send_chunk = (me + 1 + p - k) % p;
+        let recv_chunk = (me + p - k) % p;
+        let (slo, shi) = chunk_range(len, p, send_chunk);
+        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec());
+        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE);
+        let (rlo, rhi) = chunk_range(len, p, recv_chunk);
+        data[rlo..rhi].copy_from_slice(&seg);
+    }
+    comm.count_bytes((len * 8) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    const ALGOS: [BcastAlgorithm; 6] = [
+        BcastAlgorithm::Flat,
+        BcastAlgorithm::Binomial,
+        BcastAlgorithm::Binary,
+        BcastAlgorithm::Ring,
+        BcastAlgorithm::Pipelined { segments: 4 },
+        BcastAlgorithm::ScatterAllgather,
+    ];
+
+    #[test]
+    fn chunk_ranges_partition_the_buffer() {
+        for len in [0usize, 1, 7, 16, 100] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let mut cursor = 0;
+                for i in 0..p {
+                    let (lo, hi) = chunk_range(len, p, i);
+                    assert_eq!(lo, cursor, "len={len} p={p} i={i}");
+                    assert!(hi >= lo);
+                    cursor = hi;
+                }
+                assert_eq!(cursor, len);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_message_bcast_delivers_to_all_ranks_and_roots() {
+        for p in [1usize, 2, 5, 8] {
+            for algo in [
+                BcastAlgorithm::Flat,
+                BcastAlgorithm::Binomial,
+                BcastAlgorithm::Binary,
+                BcastAlgorithm::Ring,
+            ] {
+                for root in [0, p - 1, p / 2] {
+                    let out = Runtime::run(p, |comm| {
+                        let v = if comm.rank() == root { Some(42u64) } else { None };
+                        bcast(comm, algo, root, v)
+                    });
+                    assert_eq!(out, vec![42u64; p], "p={p} algo={algo:?} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_bcast_all_algorithms_all_roots() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            for algo in ALGOS {
+                for root in 0..p {
+                    let out = Runtime::run(p, |comm| {
+                        let mut buf = if comm.rank() == root {
+                            (0..37).map(|i| i as f64 * 1.5).collect::<Vec<_>>()
+                        } else {
+                            vec![0.0; 37]
+                        };
+                        bcast_f64(comm, algo, root, &mut buf);
+                        buf
+                    });
+                    let want: Vec<f64> = (0..37).map(|i| i as f64 * 1.5).collect();
+                    for (rank, buf) in out.iter().enumerate() {
+                        assert_eq!(
+                            buf, &want,
+                            "p={p} algo={algo:?} root={root} rank={rank}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_bcast_payload_shorter_than_comm() {
+        // Fewer elements than ranks: some scatter chunks are empty.
+        let out = Runtime::run(8, |comm| {
+            let mut buf = if comm.rank() == 0 { vec![3.25, -1.5, 7.0] } else { vec![0.0; 3] };
+            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf);
+            buf
+        });
+        for buf in out {
+            assert_eq!(buf, vec![3.25, -1.5, 7.0]);
+        }
+    }
+
+    #[test]
+    fn pipelined_with_more_segments_than_elements() {
+        let out = Runtime::run(4, |comm| {
+            let mut buf = if comm.rank() == 0 { vec![1.0, 2.0] } else { vec![0.0; 2] };
+            bcast_f64(comm, BcastAlgorithm::Pipelined { segments: 16 }, 0, &mut buf);
+            buf
+        });
+        for buf in out {
+            assert_eq!(buf, vec![1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Runtime::run(5, |comm| gather(comm, 2, comm.rank() as u32));
+        for (rank, res) in out.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(res.as_deref(), Some(&[0u32, 1, 2, 3, 4][..]));
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_the_table() {
+        let out = Runtime::run(4, |comm| allgather(comm, (comm.rank() * 10) as u32));
+        for table in out {
+            assert_eq!(table, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn reduce_sums_at_root_only() {
+        let out = Runtime::run(6, |comm| reduce(comm, 1, comm.rank() as u64, |a, b| a + b));
+        for (rank, res) in out.iter().enumerate() {
+            if rank == 1 {
+                assert_eq!(*res, Some(15));
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_respects_non_commutative_order() {
+        // String concatenation is associative but not commutative; the
+        // binomial tree must still produce rank order relative to the root.
+        let out = Runtime::run(4, |comm| {
+            reduce(comm, 0, comm.rank().to_string(), |a, b| format!("{a}{b}"))
+        });
+        assert_eq!(out[0].as_deref(), Some("0123"));
+    }
+
+    #[test]
+    fn allreduce_delivers_everywhere() {
+        let out = Runtime::run(7, |comm| allreduce(comm, 1u64, |a, b| a + b));
+        assert_eq!(out, vec![7u64; 7]);
+    }
+
+    #[test]
+    fn barrier_completes_for_various_sizes() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let out = Runtime::run(p, |comm| {
+                barrier(comm);
+                barrier(comm);
+                true
+            });
+            assert_eq!(out, vec![true; p]);
+        }
+    }
+
+    #[test]
+    fn auto_bcast_picks_tree_for_short_and_vdg_for_long() {
+        assert_eq!(auto_bcast(100, 64), BcastAlgorithm::Binomial);
+        assert_eq!(auto_bcast(1 << 20, 64), BcastAlgorithm::ScatterAllgather);
+        // Small communicators stay on the tree even for long messages.
+        assert_eq!(auto_bcast(1 << 20, 4), BcastAlgorithm::Binomial);
+    }
+
+    #[test]
+    fn auto_bcast_delivers_correctly_on_both_sides_of_the_threshold() {
+        for elems in [64usize, 4096] {
+            let out = Runtime::run(8, |comm| {
+                let algo = auto_bcast(elems * 8, comm.size());
+                let mut buf =
+                    if comm.rank() == 3 { vec![2.5f64; elems] } else { vec![0.0; elems] };
+                bcast_f64(comm, algo, 3, &mut buf);
+                buf[elems - 1]
+            });
+            assert_eq!(out, vec![2.5; 8]);
+        }
+    }
+
+    #[test]
+    fn sendrecv_swaps_values() {
+        let out = Runtime::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            sendrecv(comm, peer, comm.rank() as u32 * 100, peer, 7)
+        });
+        assert_eq!(out, vec![100, 0]);
+    }
+
+    #[test]
+    fn scatter_deals_one_value_per_rank() {
+        let out = Runtime::run(4, |comm| {
+            let values = (comm.rank() == 1).then(|| vec![10u32, 11, 12, 13]);
+            scatter(comm, 1, values)
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per rank")]
+    fn scatter_rejects_wrong_count() {
+        let _ = Runtime::run(2, |comm| {
+            let values = (comm.rank() == 0).then(|| vec![1u8]);
+            scatter(comm, 0, values)
+        });
+    }
+
+    #[test]
+    fn alltoall_transposes_the_exchange_matrix() {
+        let p = 4;
+        let out = Runtime::run(p, |comm| {
+            // Rank r sends (r, d) to rank d.
+            let values: Vec<(usize, usize)> = (0..p).map(|d| (comm.rank(), d)).collect();
+            alltoall(comm, values)
+        });
+        for (rank, received) in out.iter().enumerate() {
+            for (src, pair) in received.iter().enumerate() {
+                assert_eq!(*pair, (src, rank));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_f64_sums_at_root() {
+        let out = Runtime::run(5, |comm| {
+            let mut buf = vec![comm.rank() as f64; 16];
+            reduce_sum_f64(comm, 2, &mut buf);
+            if comm.rank() == 2 {
+                Some(buf)
+            } else {
+                None
+            }
+        });
+        let sum = (0..5).sum::<usize>() as f64;
+        assert_eq!(out[2].as_ref().expect("root holds result"), &vec![sum; 16]);
+    }
+
+    #[test]
+    fn allreduce_sum_f64_everywhere_matches_binomial_reduce() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let out = Runtime::run(p, |comm| {
+                let mut buf: Vec<f64> =
+                    (0..23).map(|i| (comm.rank() * 31 + i) as f64).collect();
+                allreduce_sum_f64(comm, &mut buf);
+                buf
+            });
+            let want: Vec<f64> = (0..23)
+                .map(|i| (0..p).map(|r| (r * 31 + i) as f64).sum())
+                .collect();
+            for (rank, buf) in out.iter().enumerate() {
+                for (a, b) in buf.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-9, "p={p} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_short_buffers() {
+        // Fewer elements than ranks: some ring chunks are empty.
+        let out = Runtime::run(8, |comm| {
+            let mut buf = vec![1.0f64, 2.0];
+            allreduce_sum_f64(comm, &mut buf);
+            buf
+        });
+        for buf in out {
+            assert_eq!(buf, vec![8.0, 16.0]);
+        }
+    }
+
+    #[test]
+    fn bcast_counts_bytes_at_root() {
+        let out = Runtime::run(2, |comm| {
+            comm.reset_stats();
+            let mut buf = if comm.rank() == 0 { vec![1.0; 100] } else { vec![0.0; 100] };
+            bcast_f64(comm, BcastAlgorithm::Binomial, 0, &mut buf);
+            comm.stats().bytes_sent
+        });
+        assert_eq!(out[0], 800);
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a sliceable payload")]
+    fn generic_bcast_rejects_segmenting_algorithms() {
+        let _ = Runtime::run(2, |comm| {
+            bcast(comm, BcastAlgorithm::ScatterAllgather, 0, Some(1u8))
+        });
+    }
+}

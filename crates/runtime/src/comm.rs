@@ -1,0 +1,327 @@
+//! Communicators: rank groups with isolated communication contexts.
+//!
+//! A [`Comm`] is the handle a rank thread uses for all communication. Like
+//! an MPI communicator it has a *group* (an ordered list of member world
+//! ranks), a *local rank* for the calling thread, and a *context* that
+//! isolates its traffic from every other communicator's. [`Comm::split`]
+//! reproduces `MPI_Comm_split(color, key)` semantics and is how the
+//! distributed algorithms build row, column and group communicators.
+
+use crate::message::{Context, Envelope, Mailbox, MailboxSender, Tag};
+use crate::stats::CommStats;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tags with this bit set are reserved for runtime-internal protocols
+/// (split, collectives). User code must keep tags below this value.
+pub const INTERNAL_TAG_BASE: Tag = 1 << 63;
+
+const TAG_SPLIT_GATHER: Tag = INTERNAL_TAG_BASE;
+const TAG_SPLIT_BCAST: Tag = INTERNAL_TAG_BASE + 1;
+
+/// State shared by every communicator a single rank thread holds: the
+/// routes to all peers, this rank's mailbox, and its timing counters.
+pub(crate) struct RankShared {
+    pub senders: Arc<Vec<MailboxSender>>,
+    pub mailbox: RefCell<Mailbox>,
+    pub stats: RefCell<CommStats>,
+    pub world_rank: usize,
+}
+
+/// A communicator: an ordered group of ranks plus an isolated context.
+///
+/// `Comm` is intentionally *not* `Send`: it lives on the rank thread that
+/// created it, like an MPI communicator belongs to its process.
+#[derive(Clone)]
+pub struct Comm {
+    shared: Rc<RankShared>,
+    ctx: Context,
+    /// Member world ranks, indexed by communicator-local rank.
+    members: Rc<Vec<usize>>,
+    /// This thread's local rank within `members`.
+    my_rank: usize,
+    /// Counts `split`/`dup` calls so every derived context is fresh.
+    /// All members advance it in lockstep, keeping contexts consistent.
+    derive_epoch: Rc<Cell<u64>>,
+}
+
+impl Comm {
+    /// Builds the world communicator for one rank thread. Called by the
+    /// runtime only.
+    pub(crate) fn world(
+        senders: Arc<Vec<MailboxSender>>,
+        mailbox: Mailbox,
+        world_rank: usize,
+    ) -> Self {
+        let size = senders.len();
+        Comm {
+            shared: Rc::new(RankShared {
+                senders,
+                mailbox: RefCell::new(mailbox),
+                stats: RefCell::new(CommStats::default()),
+                world_rank,
+            }),
+            ctx: 0,
+            members: Rc::new((0..size).collect()),
+            my_rank: world_rank,
+            derive_epoch: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// This rank's position within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This thread's rank in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.shared.world_rank
+    }
+
+    /// World rank of communicator-local rank `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// The communicator's context id (diagnostic).
+    pub fn context(&self) -> Context {
+        self.ctx
+    }
+
+    /// Sends `value` to local rank `dst` with `tag`. Buffered: returns
+    /// immediately (eager protocol), so exchanges can't deadlock.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` uses the reserved high bit.
+    pub fn send<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.send_internal(dst, tag, value);
+    }
+
+    /// Receives a `T` from local rank `src` with `tag`, blocking.
+    pub fn recv<T: Any + Send>(&self, src: usize, tag: Tag) -> T {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.recv_internal(src, tag)
+    }
+
+    /// Non-blocking receive: `Some(value)` if a matching message has
+    /// already arrived, `None` otherwise (poll again later). Lets callers
+    /// overlap local work with pending transfers.
+    pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Option<T> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        let t0 = Instant::now();
+        let src_world = self.members[src];
+        let value = self
+            .shared
+            .mailbox
+            .borrow_mut()
+            .try_recv::<T>(self.ctx, src_world, tag);
+        self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+        value
+    }
+
+    pub(crate) fn send_internal<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) {
+        let t0 = Instant::now();
+        let dst_world = self.members[dst];
+        self.shared.senders[dst_world].deliver(Envelope {
+            ctx: self.ctx,
+            src: self.shared.world_rank,
+            tag,
+            payload: Box::new(value),
+        });
+        let mut stats = self.shared.stats.borrow_mut();
+        stats.msgs_sent += 1;
+        stats.comm_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    pub(crate) fn recv_internal<T: Any + Send>(&self, src: usize, tag: Tag) -> T {
+        let t0 = Instant::now();
+        let src_world = self.members[src];
+        let value = self
+            .shared
+            .mailbox
+            .borrow_mut()
+            .recv::<T>(self.ctx, src_world, tag);
+        self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+        value
+    }
+
+    /// Records `bytes` as sent payload (used by size-aware collectives).
+    pub(crate) fn count_bytes(&self, bytes: u64) {
+        self.shared.stats.borrow_mut().bytes_sent += bytes;
+    }
+
+    /// Snapshot of this rank's accumulated statistics (shared across all
+    /// communicators derived from the same world rank).
+    pub fn stats(&self) -> CommStats {
+        self.shared.stats.borrow().clone()
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&self) {
+        *self.shared.stats.borrow_mut() = CommStats::default();
+    }
+
+    /// Runs `f`, accounting its wall time as *computation* in the stats.
+    pub fn time_compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.shared.stats.borrow_mut().comp_seconds += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Duplicates the communicator with a fresh context; same group.
+    ///
+    /// Collective: every member must call it.
+    pub fn dup(&self) -> Comm {
+        let epoch = self.bump_epoch();
+        Comm {
+            shared: Rc::clone(&self.shared),
+            ctx: derive_context(self.ctx, epoch, 0),
+            members: Rc::clone(&self.members),
+            my_rank: self.my_rank,
+            derive_epoch: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Partitions the communicator: ranks passing equal `color` end up in
+    /// the same child communicator, ordered by `(key, parent rank)` —
+    /// `MPI_Comm_split` semantics.
+    ///
+    /// Collective: every member must call it in the same program order.
+    pub fn split(&self, color: u64, key: i64) -> Comm {
+        let epoch = self.bump_epoch();
+        let p = self.size();
+
+        // Allgather (color, key) over the parent communicator: flat gather
+        // to parent rank 0, then binomial broadcast of the table.
+        let table: Vec<(u64, i64)> = if self.my_rank == 0 {
+            let mut table = vec![(0u64, 0i64); p];
+            table[0] = (color, key);
+            for (src, slot) in table.iter_mut().enumerate().skip(1) {
+                *slot = self.recv_internal::<(u64, i64)>(src, TAG_SPLIT_GATHER);
+            }
+            table
+        } else {
+            self.send_internal(0, TAG_SPLIT_GATHER, (color, key));
+            Vec::new()
+        };
+        let table = self.binomial_bcast_internal(0, TAG_SPLIT_BCAST, table);
+
+        // My group: parent ranks with my color, sorted by (key, parent rank).
+        let mut group: Vec<usize> = (0..p).filter(|&r| table[r].0 == color).collect();
+        group.sort_by_key(|&r| (table[r].1, r));
+        let my_pos = group
+            .iter()
+            .position(|&r| r == self.my_rank)
+            .expect("caller must be in its own color group");
+        let members: Vec<usize> = group.iter().map(|&r| self.members[r]).collect();
+
+        Comm {
+            shared: Rc::clone(&self.shared),
+            ctx: derive_context(self.ctx, epoch, color),
+            members: Rc::new(members),
+            my_rank: my_pos,
+            derive_epoch: Rc::new(Cell::new(0)),
+        }
+    }
+
+    fn bump_epoch(&self) -> u64 {
+        let e = self.derive_epoch.get() + 1;
+        self.derive_epoch.set(e);
+        e
+    }
+
+    /// Binomial-tree broadcast used by internal protocols (also the
+    /// building block the public `bcast` reuses via `collectives`).
+    pub(crate) fn binomial_bcast_internal<T: Any + Send + Clone>(
+        &self,
+        root: usize,
+        tag: Tag,
+        mut value: T,
+    ) -> T {
+        let p = self.size();
+        if p == 1 {
+            return value;
+        }
+        // Re-index so the root is virtual rank 0.
+        let vrank = (self.my_rank + p - root) % p;
+        let mut mask = 1usize;
+        // Receive phase: find the round in which we get the data.
+        while mask < p {
+            if vrank & mask != 0 {
+                let src_v = vrank ^ mask;
+                let src = (src_v + root) % p;
+                value = self.recv_internal(src, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: relay to our subtree, highest bit first.
+        let mut send_mask = mask >> 1;
+        while send_mask > 0 {
+            let dst_v = vrank | send_mask;
+            if dst_v > vrank && dst_v < p {
+                let dst = (dst_v + root) % p;
+                self.send_internal(dst, tag, value.clone());
+            }
+            send_mask >>= 1;
+        }
+        value
+    }
+}
+
+/// Deterministic context derivation: every member computes the same child
+/// context without extra communication. SplitMix64-style finalizer gives a
+/// collision probability negligible for realistic communicator trees.
+fn derive_context(parent: Context, epoch: u64, color: u64) -> Context {
+    let mut z = parent
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(epoch)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(color)
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Keep 0 reserved for the world communicator.
+    z | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_context_is_deterministic_and_distinguishes_inputs() {
+        let a = derive_context(0, 1, 3);
+        let b = derive_context(0, 1, 3);
+        assert_eq!(a, b);
+        assert_ne!(derive_context(0, 1, 3), derive_context(0, 1, 4));
+        assert_ne!(derive_context(0, 1, 3), derive_context(0, 2, 3));
+        assert_ne!(derive_context(7, 1, 3), derive_context(8, 1, 3));
+    }
+
+    #[test]
+    fn derived_context_never_zero() {
+        for e in 0..100 {
+            for c in 0..10 {
+                assert_ne!(derive_context(0, e, c), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! A threaded message-passing runtime — the MPI substitute.
+//!
+//! The paper's algorithms are expressed against MPI: ranks, communicators
+//! created with `MPI_Comm_split`, point-to-point messages and rooted
+//! collectives (`MPI_Bcast`). No mature MPI binding is available in this
+//! environment, so this crate reimplements that programming model on OS
+//! threads within one process:
+//!
+//! * [`Runtime::run`] spawns one thread per rank and hands each a
+//!   [`Comm`] spanning all ranks (the "world" communicator);
+//! * [`Comm::send`] / [`Comm::recv`] are typed, tagged, buffered
+//!   point-to-point operations with MPI-style `(source, tag)` matching;
+//! * [`Comm::split`] partitions a communicator by `(color, key)` exactly
+//!   like `MPI_Comm_split` — HSUMMA's four communicators (row, column,
+//!   group-row, group-column; Algorithm 1 of the paper) are built this way;
+//! * [`collectives`] provides `barrier`, `bcast` (with selectable
+//!   algorithms: flat, binomial, binary, ring, pipelined, and van de
+//!   Geijn's scatter/allgather), `gather`, `allgather`, `reduce` and
+//!   `allreduce`, all implemented message-by-message over point-to-point —
+//!   so the runtime's communication behaviour is fully observable;
+//! * every operation accumulates wall-clock time into per-rank
+//!   [`stats::CommStats`], which is how the experiments separate
+//!   *communication* from *computation* time, mirroring the paper's
+//!   measurements.
+
+pub mod collectives;
+pub mod comm;
+pub mod message;
+pub mod runtime;
+pub mod stats;
+
+pub use collectives::BcastAlgorithm;
+pub use comm::Comm;
+pub use runtime::Runtime;
+pub use stats::CommStats;

@@ -1,0 +1,201 @@
+//! Message envelopes and per-rank mailboxes.
+//!
+//! Every rank owns one [`Mailbox`]: an unbounded MPMC channel on which all
+//! other ranks deposit [`Envelope`]s. Reception uses MPI-style matching on
+//! `(context, source, tag)`; messages that arrive before a matching `recv`
+//! is posted are parked in an *unexpected-message queue* and picked up
+//! later, preserving per-(sender, context, tag) FIFO order.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Identifies a communicator instance. Operations on different
+/// communicators never match each other even with equal tags, mirroring
+/// MPI's communication contexts.
+pub type Context = u64;
+
+/// Reserved context delivered by a dying rank to all peers so that anyone
+/// blocked waiting on it fails fast instead of deadlocking.
+pub const POISON_CTX: Context = u64::MAX;
+
+/// User-level message tag.
+pub type Tag = u64;
+
+/// A message in flight: routing metadata plus a type-erased payload.
+pub struct Envelope {
+    /// Communicator context the message was sent on.
+    pub ctx: Context,
+    /// *World* rank of the sender.
+    pub src: usize,
+    /// User tag.
+    pub tag: Tag,
+    /// The payload; downcast on receipt.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Sending half of a rank's mailbox; cloneable, one per peer.
+#[derive(Clone)]
+pub struct MailboxSender {
+    tx: Sender<Envelope>,
+}
+
+impl MailboxSender {
+    /// Deposits an envelope. Never blocks (the channel is unbounded, like
+    /// an eager-protocol MPI send).
+    pub fn deliver(&self, env: Envelope) {
+        // The receiver only disappears if its thread panicked; the panic is
+        // propagated by the runtime, so a failed delivery here is moot.
+        let _ = self.tx.send(env);
+    }
+}
+
+/// Receiving half: owned by exactly one rank thread.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv`.
+    unexpected: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Creates a connected (sender, receiver) mailbox pair.
+    pub fn new() -> (MailboxSender, Mailbox) {
+        let (tx, rx) = unbounded();
+        (MailboxSender { tx }, Mailbox { rx, unexpected: VecDeque::new() })
+    }
+
+    /// Blocks until a message matching `(ctx, src, tag)` is available and
+    /// returns its payload, downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics if the matching message's payload is not a `T` (a type
+    /// confusion bug in the caller), or if all senders disconnected while
+    /// waiting (a peer rank died).
+    pub fn recv<T: Any + Send>(&mut self, ctx: Context, src: usize, tag: Tag) -> T {
+        // First look through messages that arrived early.
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| e.ctx == ctx && e.src == src && e.tag == tag)
+        {
+            let env = self.unexpected.remove(pos).expect("position just found");
+            return Self::downcast(env);
+        }
+        loop {
+            let env = self
+                .rx
+                .recv()
+                .expect("mailbox closed while waiting: a peer rank terminated early");
+            assert_ne!(
+                env.ctx, POISON_CTX,
+                "peer rank {} panicked while this rank was communicating",
+                env.src
+            );
+            if env.ctx == ctx && env.src == src && env.tag == tag {
+                return Self::downcast(env);
+            }
+            self.unexpected.push_back(env);
+        }
+    }
+
+    /// Non-blocking variant of [`Mailbox::recv`]: returns `None` when no
+    /// matching message has arrived yet (an `MPI_Iprobe` + receive).
+    pub fn try_recv<T: Any + Send>(&mut self, ctx: Context, src: usize, tag: Tag) -> Option<T> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| e.ctx == ctx && e.src == src && e.tag == tag)
+        {
+            let env = self.unexpected.remove(pos).expect("position just found");
+            return Some(Self::downcast(env));
+        }
+        // Drain whatever has already arrived without blocking.
+        while let Ok(env) = self.rx.try_recv() {
+            assert_ne!(
+                env.ctx, POISON_CTX,
+                "peer rank {} panicked while this rank was communicating",
+                env.src
+            );
+            if env.ctx == ctx && env.src == src && env.tag == tag {
+                return Some(Self::downcast(env));
+            }
+            self.unexpected.push_back(env);
+        }
+        None
+    }
+
+    /// Number of messages parked in the unexpected queue (test hook).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    fn downcast<T: Any + Send>(env: Envelope) -> T {
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving (ctx={}, src={}, tag={}): payload is not a {}",
+                env.ctx,
+                env.src,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_delivery_and_receive() {
+        let (tx, mut mb) = Mailbox::new();
+        tx.deliver(Envelope { ctx: 1, src: 0, tag: 7, payload: Box::new(42u32) });
+        let v: u32 = mb.recv(1, 0, 7);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_buffered() {
+        let (tx, mut mb) = Mailbox::new();
+        tx.deliver(Envelope { ctx: 1, src: 0, tag: 1, payload: Box::new("first") });
+        tx.deliver(Envelope { ctx: 1, src: 0, tag: 2, payload: Box::new("second") });
+        // Receive tag 2 first; tag 1 must be parked, not lost.
+        let s2: &str = mb.recv(1, 0, 2);
+        assert_eq!(s2, "second");
+        assert_eq!(mb.unexpected_len(), 1);
+        let s1: &str = mb.recv(1, 0, 1);
+        assert_eq!(s1, "first");
+        assert_eq!(mb.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_sender_and_tag() {
+        let (tx, mut mb) = Mailbox::new();
+        for i in 0..10u64 {
+            tx.deliver(Envelope { ctx: 0, src: 3, tag: 5, payload: Box::new(i) });
+        }
+        for want in 0..10u64 {
+            let got: u64 = mb.recv(0, 3, 5);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn contexts_do_not_cross_match() {
+        let (tx, mut mb) = Mailbox::new();
+        tx.deliver(Envelope { ctx: 10, src: 0, tag: 0, payload: Box::new(1i32) });
+        tx.deliver(Envelope { ctx: 20, src: 0, tag: 0, payload: Box::new(2i32) });
+        let from_ctx20: i32 = mb.recv(20, 0, 0);
+        assert_eq!(from_ctx20, 2);
+        let from_ctx10: i32 = mb.recv(10, 0, 0);
+        assert_eq!(from_ctx10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_panics_with_diagnostic() {
+        let (tx, mut mb) = Mailbox::new();
+        tx.deliver(Envelope { ctx: 0, src: 0, tag: 0, payload: Box::new(1u8) });
+        let _: String = mb.recv(0, 0, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Spawning and joining rank threads.
+
+use crate::comm::Comm;
+use crate::message::{Envelope, Mailbox, POISON_CTX};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+/// Entry point of the runtime: maps `p` ranks onto `p` OS threads.
+///
+/// This plays the role of `mpirun`: it wires every rank's mailbox to every
+/// other rank, runs the same function on all ranks (SPMD), and collects
+/// their return values in rank order.
+pub struct Runtime;
+
+impl Runtime {
+    /// Runs `f` on `p` ranks and returns their results indexed by rank.
+    ///
+    /// ```
+    /// use hsumma_runtime::Runtime;
+    ///
+    /// // A 4-rank ring: everyone learns its left neighbour's rank.
+    /// let out = Runtime::run(4, |comm| {
+    ///     let next = (comm.rank() + 1) % comm.size();
+    ///     let prev = (comm.rank() + comm.size() - 1) % comm.size();
+    ///     comm.send(next, 0, comm.rank());
+    ///     comm.recv::<usize>(prev, 0)
+    /// });
+    /// assert_eq!(out, vec![3, 0, 1, 2]);
+    /// ```
+    ///
+    /// If any rank panics, the panic is propagated to the caller after all
+    /// surviving ranks have been joined, so a failed assertion inside an
+    /// algorithm fails the enclosing test instead of deadlocking it.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, or re-raises the first rank panic observed.
+    pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut mailboxes = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = Mailbox::new();
+            senders.push(tx);
+            mailboxes.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let f = &f;
+
+        let results: Vec<thread::Result<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = mailboxes
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mailbox)| {
+                    let senders = Arc::clone(&senders);
+                    thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let mut comm = Comm::world(Arc::clone(&senders), mailbox, rank);
+                                f(&mut comm)
+                            }));
+                            match result {
+                                Ok(v) => v,
+                                Err(payload) => {
+                                    // Poison every peer so ranks blocked on
+                                    // this one fail fast instead of hanging.
+                                    for (peer, tx) in senders.iter().enumerate() {
+                                        if peer != rank {
+                                            tx.deliver(Envelope {
+                                                ctx: POISON_CTX,
+                                                src: rank,
+                                                tag: 0,
+                                                payload: Box::new(()),
+                                            });
+                                        }
+                                    }
+                                    resume_unwind(payload);
+                                }
+                            }
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut out = Vec::with_capacity(p);
+        let mut panics: Vec<(usize, String)> = Vec::new();
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic payload>")
+                        .to_owned();
+                    panics.push((rank, msg));
+                }
+            }
+        }
+        if !panics.is_empty() {
+            // Prefer reporting the originating failure over the secondary
+            // "peer rank panicked" poison cascades it triggers.
+            let (rank, msg) = panics
+                .iter()
+                .find(|(_, m)| !m.contains("panicked while this rank was communicating"))
+                .unwrap_or(&panics[0]);
+            panic!("rank {rank} panicked: {msg}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_own_rank_and_size() {
+        let out = Runtime::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = Runtime::run(1, |comm| comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass_reaches_everyone() {
+        let p = 8;
+        let out = Runtime::run(p, |comm| {
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            comm.send(next, 1, comm.rank() as u64);
+            comm.recv::<u64>(prev, 1)
+        });
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(*got as usize, (rank + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn exchange_does_not_deadlock() {
+        // Both ranks send before receiving; eager sends make this safe.
+        let out = Runtime::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 9, vec![comm.rank() as f64; 1000]);
+            let got: Vec<f64> = comm.recv(peer, 9);
+            got[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_is_propagated() {
+        // Ranks that wait on the panicking rank must not hang forever: the
+        // mailbox channel disconnects when rank 2 dies, turning their recv
+        // into a panic, and the runtime reports the original failure.
+        let _ = Runtime::run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn split_partitions_by_color() {
+        let out = Runtime::run(6, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, comm.rank() as i64);
+            (sub.rank(), sub.size(), sub.world_rank_of(0))
+        });
+        // Evens form one comm {0,2,4}, odds the other {1,3,5}.
+        assert_eq!(out[0], (0, 3, 0));
+        assert_eq!(out[2], (1, 3, 0));
+        assert_eq!(out[4], (2, 3, 0));
+        assert_eq!(out[1], (0, 3, 1));
+        assert_eq!(out[3], (1, 3, 1));
+        assert_eq!(out[5], (2, 3, 1));
+    }
+
+    #[test]
+    fn split_orders_by_key_then_parent_rank() {
+        let out = Runtime::run(4, |comm| {
+            // Reverse the ordering via keys.
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_splits_are_isolated() {
+        // 2x2 grid: row comms and column comms coexist; messages on one
+        // must not be received on the other even with identical tags.
+        let out = Runtime::run(4, |comm| {
+            let row = comm.split((comm.rank() / 2) as u64, comm.rank() as i64);
+            let col = comm.split((comm.rank() % 2) as u64, comm.rank() as i64);
+            let peer_row = 1 - row.rank();
+            let peer_col = 1 - col.rank();
+            row.send(peer_row, 5, format!("row-from-{}", comm.rank()));
+            col.send(peer_col, 5, format!("col-from-{}", comm.rank()));
+            let from_row: String = row.recv(peer_row, 5);
+            let from_col: String = col.recv(peer_col, 5);
+            (from_row, from_col)
+        });
+        assert_eq!(out[0], ("row-from-1".into(), "col-from-2".into()));
+        assert_eq!(out[3], ("row-from-2".into(), "col-from-1".into()));
+    }
+
+    #[test]
+    fn collectives_on_overlapping_split_comms_do_not_interfere() {
+        use crate::collectives::{allreduce, bcast_f64, BcastAlgorithm};
+        // 4x4 grid: every rank is in one row comm and one col comm; run a
+        // broadcast on each back-to-back and an allreduce over the world.
+        let out = Runtime::run(16, |comm| {
+            let (i, j) = (comm.rank() / 4, comm.rank() % 4);
+            let row = comm.split(i as u64, j as i64);
+            let col = comm.split((4 + j) as u64, i as i64);
+            let mut rbuf = if row.rank() == 0 { vec![i as f64; 8] } else { vec![0.0; 8] };
+            bcast_f64(&row, BcastAlgorithm::ScatterAllgather, 0, &mut rbuf);
+            let mut cbuf = if col.rank() == 0 { vec![j as f64; 8] } else { vec![0.0; 8] };
+            bcast_f64(&col, BcastAlgorithm::Binomial, 0, &mut cbuf);
+            let sum = allreduce(comm, rbuf[0] + cbuf[0], |a, b| a + b);
+            (rbuf[7], cbuf[7], sum)
+        });
+        for (rank, (r, c, sum)) in out.iter().enumerate() {
+            assert_eq!(*r, (rank / 4) as f64, "row bcast leaked");
+            assert_eq!(*c, (rank % 4) as f64, "col bcast leaked");
+            // Σ over all ranks of (i + j) = 2 · 4 · (0+1+2+3) = 48.
+            assert_eq!(*sum, 48.0);
+        }
+    }
+
+    #[test]
+    fn split_of_split_reaches_singletons() {
+        // Repeated halving down to singleton comms must stay consistent.
+        let out = Runtime::run(8, |comm| {
+            let mut c = comm.clone();
+            let mut colors = Vec::new();
+            while c.size() > 1 {
+                let color = (c.rank() % 2) as u64;
+                colors.push(color);
+                c = c.split(color, c.rank() as i64);
+            }
+            (c.size(), colors.len())
+        });
+        for (size, depth) in out {
+            assert_eq!(size, 1);
+            assert_eq!(depth, 3); // log2(8) halvings
+        }
+    }
+
+    #[test]
+    fn dup_creates_independent_context() {
+        let out = Runtime::run(2, |comm| {
+            let dup = comm.dup();
+            let peer = 1 - comm.rank();
+            comm.send(peer, 3, 111u32);
+            dup.send(peer, 3, 222u32);
+            let on_dup: u32 = dup.recv(peer, 3);
+            let on_orig: u32 = comm.recv(peer, 3);
+            (on_orig, on_dup)
+        });
+        assert_eq!(out, vec![(111, 222), (111, 222)]);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let out = Runtime::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing sent yet: poll must return None immediately.
+                let early: Option<u32> = comm.try_recv(1, 5);
+                assert!(early.is_none());
+                // Tell rank 1 to send, then poll until it lands.
+                comm.send(1, 6, ());
+                loop {
+                    if let Some(v) = comm.try_recv::<u32>(1, 5) {
+                        return v;
+                    }
+                    std::thread::yield_now();
+                }
+            } else {
+                comm.recv::<()>(0, 6);
+                comm.send(0, 5, 77u32);
+                77
+            }
+        });
+        assert_eq!(out, vec![77, 77]);
+    }
+
+    #[test]
+    fn try_recv_buffers_non_matching_messages() {
+        let out = Runtime::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u8);
+                comm.send(1, 2, 20u8);
+                0u8
+            } else {
+                // Wait for both to arrive, polling for the second tag:
+                // the first message must be parked, not lost.
+                let twenty = loop {
+                    if let Some(v) = comm.try_recv::<u8>(0, 2) {
+                        break v;
+                    }
+                    std::thread::yield_now();
+                };
+                let ten: u8 = comm.recv(0, 1);
+                ten + twenty
+            }
+        });
+        assert_eq!(out[1], 30);
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let out = Runtime::run(2, |comm| {
+            comm.reset_stats();
+            let peer = 1 - comm.rank();
+            comm.send(peer, 1, 1u8);
+            let _: u8 = comm.recv(peer, 1);
+            comm.stats()
+        });
+        assert_eq!(out[0].msgs_sent, 1);
+        assert!(out[0].comm_seconds > 0.0);
+    }
+}

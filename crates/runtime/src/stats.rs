@@ -1,0 +1,79 @@
+//! Per-rank communication/computation accounting.
+//!
+//! The paper reports *communication time* and *overall execution time*
+//! separately (Figs. 5–9). The runtime reproduces that split by timing
+//! every communication primitive into [`CommStats::comm_seconds`] and
+//! letting algorithms wrap local compute in `Comm::time_compute`, which
+//! accumulates into [`CommStats::comp_seconds`].
+
+/// Accumulated counters for one rank. All communicators derived from the
+/// same rank thread share one instance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Wall-clock seconds spent inside communication primitives.
+    pub comm_seconds: f64,
+    /// Wall-clock seconds spent inside `time_compute` closures.
+    pub comp_seconds: f64,
+    /// Point-to-point messages sent (collectives count their constituent
+    /// messages — the runtime's collectives are built from point-to-point).
+    pub msgs_sent: u64,
+    /// Payload bytes sent where the primitive knows the size
+    /// (`f64`-slice collectives).
+    pub bytes_sent: u64,
+}
+
+impl CommStats {
+    /// Communication plus computation time.
+    pub fn total_seconds(&self) -> f64 {
+        self.comm_seconds + self.comp_seconds
+    }
+
+    /// Element-wise sum, for aggregating across ranks.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            comm_seconds: self.comm_seconds + other.comm_seconds,
+            comp_seconds: self.comp_seconds + other.comp_seconds,
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+        }
+    }
+
+    /// Element-wise maximum of the time fields, counter sum — the usual
+    /// "slowest rank defines the phase time" reduction for BSP phases.
+    pub fn max_times(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            comm_seconds: self.comm_seconds.max(other.comm_seconds),
+            comp_seconds: self.comp_seconds.max(other.comp_seconds),
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: f64, p: f64, m: u64, b: u64) -> CommStats {
+        CommStats { comm_seconds: c, comp_seconds: p, msgs_sent: m, bytes_sent: b }
+    }
+
+    #[test]
+    fn total_is_comm_plus_comp() {
+        assert_eq!(sample(1.5, 2.5, 0, 0).total_seconds(), 4.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let m = sample(1.0, 2.0, 3, 4).merge(&sample(10.0, 20.0, 30, 40));
+        assert_eq!(m, sample(11.0, 22.0, 33, 44));
+    }
+
+    #[test]
+    fn max_times_takes_slowest_rank() {
+        let m = sample(1.0, 20.0, 3, 4).max_times(&sample(10.0, 2.0, 30, 40));
+        assert_eq!(m.comm_seconds, 10.0);
+        assert_eq!(m.comp_seconds, 20.0);
+        assert_eq!(m.msgs_sent, 33);
+    }
+}

@@ -1,0 +1,58 @@
+//! What-if analysis for a machine you describe on the command line —
+//! the §V-C exascale prediction generalized into a tool.
+//!
+//! ```sh
+//! cargo run --release --example exascale_prediction -- \
+//!     [alpha_s] [beta_s_per_byte] [n] [p] [b]
+//! ```
+//!
+//! With no arguments, uses the paper's exascale roadmap parameters
+//! (`α = 500 ns`, 100 GB/s links, `n = 2²²`, `p = 2²⁰`, `b = 256`).
+
+use hsumma_repro::model::predict::{best_point, power_of_two_gs, sweep_groups};
+use hsumma_repro::model::{classify_regime, BcastModel, ModelParams, Regime};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("arguments must be numbers"))
+        .collect();
+    let defaults = ModelParams::exascale();
+    let alpha = args.first().copied().unwrap_or(defaults.alpha);
+    let beta = args.get(1).copied().unwrap_or(defaults.beta);
+    let n = args.get(2).copied().unwrap_or((1u64 << 22) as f64);
+    let p = args.get(3).copied().unwrap_or((1u64 << 20) as f64);
+    let b = args.get(4).copied().unwrap_or(256.0);
+    let params = ModelParams { alpha, beta, gamma: defaults.gamma };
+
+    println!("Machine: alpha = {alpha:.3e} s, beta = {beta:.3e} s/B");
+    println!("Problem: n = {n}, p = {p}, b = B = {b}\n");
+
+    // Step 1: which regime are we in? (Eqs. 10/11)
+    let regime = classify_regime(alpha, beta, n, p, b);
+    match regime {
+        Regime::InteriorMinimum => println!(
+            "alpha/beta > 2nb/p: latency-dominated -> HSUMMA should beat SUMMA, optimum near G = sqrt(p) = {:.0}",
+            p.sqrt()
+        ),
+        Regime::InteriorMaximum => println!(
+            "alpha/beta < 2nb/p: bandwidth-dominated -> run HSUMMA with G = 1 or G = p (ties SUMMA, never loses)"
+        ),
+        Regime::Degenerate => println!("exactly on the regime boundary: G does not matter"),
+    }
+
+    // Step 2: quantify over the sweep.
+    let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
+    println!("\n{:>10}  {:>14}  {:>14}", "G", "HSUMMA comm(s)", "SUMMA comm(s)");
+    for pt in sweep.iter().step_by(2) {
+        println!("{:>10}  {:>14.4}  {:>14.4}", pt.g, pt.hsumma.comm(), pt.summa.comm());
+    }
+    let best = best_point(&sweep);
+    println!(
+        "\npredicted best: G = {} -> {:.4} s comm vs SUMMA {:.4} s ({:.2}x)",
+        best.g,
+        best.hsumma.comm(),
+        best.summa.comm(),
+        best.summa.comm() / best.hsumma.comm()
+    );
+}

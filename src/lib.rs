@@ -1,0 +1,22 @@
+//! # hsumma-repro
+//!
+//! Umbrella crate for the reproduction of *"Hierarchical Parallel Matrix
+//! Multiplication on Large-Scale Distributed Memory Platforms"* (Quintin,
+//! Hasanov, Lastovetsky — ICPP 2013). It re-exports every sub-crate under a
+//! stable façade so examples, integration tests and downstream users can
+//! depend on a single package:
+//!
+//! * [`matrix`] — dense matrices, distributions, local GEMM;
+//! * [`runtime`] — the threaded message-passing runtime (MPI substitute);
+//! * [`netsim`] — the discrete-event Hockney-model network simulator;
+//! * [`core`] — SUMMA / HSUMMA / Cannon / Fox, real and simulated;
+//! * [`model`] — the paper's closed-form cost models and predictions.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use hsumma_core as core;
+pub use hsumma_matrix as matrix;
+pub use hsumma_model as model;
+pub use hsumma_netsim as netsim;
+pub use hsumma_runtime as runtime;

@@ -1,0 +1,208 @@
+//! Cross-validation of the three layers of the reproduction:
+//!
+//! 1. the *executable* algorithms (threads, real data),
+//! 2. the *timing simulator* (message-level schedule replay),
+//! 3. the *analytic model* (the paper's closed forms).
+//!
+//! Each pair must agree where their assumptions overlap. This is the
+//! strongest evidence that the simulated BlueGene/P figures are replaying
+//! the same schedule the real implementation executes.
+
+use hsumma_repro::core::simdrive::{sim_hsumma, sim_summa};
+use hsumma_repro::core::{hsumma, summa, HsummaConfig, SummaConfig};
+use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_repro::model::{hsumma_cost, summa_cost, BcastModel, ModelParams};
+use hsumma_repro::netsim::{Platform, SimBcast};
+use hsumma_repro::runtime::{BcastAlgorithm, Runtime};
+
+/// Counts messages the executable algorithm sends during the multiply
+/// phase (excluding the fixed communicator-split protocol).
+fn real_multiply_msgs(
+    grid: GridShape,
+    n: usize,
+    run: impl Fn(&hsumma_repro::runtime::Comm) + Send + Sync,
+    split_msgs: u64,
+) -> u64 {
+    let total: u64 = Runtime::run(grid.size(), |comm| {
+        comm.reset_stats();
+        run(comm);
+        comm.stats().msgs_sent
+    })
+    .iter()
+    .sum();
+    let _ = n;
+    total - split_msgs
+}
+
+/// Messages a split of `p` ranks costs: flat gather (p−1) + binomial
+/// broadcast of the table (p−1).
+fn split_cost(p: usize) -> u64 {
+    2 * (p as u64 - 1)
+}
+
+#[test]
+fn real_summa_message_count_matches_simulated_schedule() {
+    let grid = GridShape::new(4, 4);
+    let n = 32;
+    let b = 4;
+    let a = seeded_uniform(n, n, 1);
+    let bm = seeded_uniform(n, n, 2);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+
+    let cfg = SummaConfig { block: b, bcast: BcastAlgorithm::Binomial, kernel: GemmKernel::Blocked };
+    // SUMMA makes 2 splits: row comms (4 splits of 4 ranks happen as ONE
+    // split call over 16 ranks) and column comms.
+    let real = real_multiply_msgs(
+        grid,
+        n,
+        |comm| {
+            let _ = summa(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg);
+        },
+        2 * split_cost(grid.size()),
+    );
+
+    let sim = sim_summa(&Platform::grid5000(), grid, n, b, SimBcast::Binomial);
+    assert_eq!(real, sim.msgs, "real schedule must match simulated schedule");
+}
+
+#[test]
+fn real_hsumma_message_count_matches_simulated_schedule() {
+    let grid = GridShape::new(4, 4);
+    let groups = GridShape::new(2, 2);
+    let n = 32;
+    let b = 4;
+    let a = seeded_uniform(n, n, 3);
+    let bm = seeded_uniform(n, n, 4);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+
+    let cfg = HsummaConfig { kernel: GemmKernel::Blocked, ..HsummaConfig::uniform(groups, b) };
+    let real = real_multiply_msgs(
+        grid,
+        n,
+        |comm| {
+            let _ =
+                hsumma(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg);
+        },
+        4 * split_cost(grid.size()), // HSUMMA builds four communicators
+    );
+
+    let sim = sim_hsumma(
+        &Platform::grid5000(),
+        grid,
+        groups,
+        n,
+        b,
+        b,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+    );
+    assert_eq!(real, sim.msgs, "real schedule must match simulated schedule");
+}
+
+#[test]
+fn simulated_summa_matches_analytic_model_binomial_square_grid() {
+    // On a square power-of-two grid with binomial broadcast the simulated
+    // clocks re-synchronize each phase, so simulation and closed form
+    // agree to rounding.
+    let platform = Platform::bluegene_p();
+    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    for (side, n, b) in [(4usize, 64usize, 8usize), (8, 128, 16)] {
+        let grid = GridShape::new(side, side);
+        let sim = sim_summa(&platform, grid, n, b, SimBcast::Binomial);
+        let model = summa_cost(
+            &params,
+            BcastModel::Binomial,
+            n as f64,
+            (side * side) as f64,
+            b as f64,
+        );
+        let rel = (sim.comm_time - model.comm()).abs() / model.comm();
+        assert!(
+            rel < 1e-9,
+            "side={side}: sim {} vs model {} (rel {rel})",
+            sim.comm_time,
+            model.comm()
+        );
+        let relc = (sim.comp_time - model.compute).abs() / model.compute;
+        assert!(relc < 1e-9, "compute mismatch: {} vs {}", sim.comp_time, model.compute);
+    }
+}
+
+#[test]
+fn simulated_hsumma_matches_analytic_model_binomial() {
+    let platform = Platform::bluegene_p();
+    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    let grid = GridShape::new(8, 8);
+    let groups = GridShape::new(2, 2);
+    let (n, b) = (128usize, 16usize);
+    let sim = sim_hsumma(&platform, grid, groups, n, b, b, SimBcast::Binomial, SimBcast::Binomial);
+    let model = hsumma_cost(
+        &params,
+        BcastModel::Binomial,
+        BcastModel::Binomial,
+        n as f64,
+        64.0,
+        4.0,
+        b as f64,
+        b as f64,
+    );
+    let rel = (sim.comm_time - model.comm()).abs() / model.comm();
+    assert!(rel < 1e-9, "sim {} vs model {}", sim.comm_time, model.comm());
+}
+
+#[test]
+fn simulated_vdg_tracks_model_within_tolerance() {
+    // Van de Geijn chains do not fully resynchronize, so allow a few
+    // percent between simulation and the closed form.
+    let platform = Platform::grid5000();
+    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: 0.0 };
+    let grid = GridShape::new(8, 8);
+    let (n, b) = (256usize, 32usize);
+    let mut sim = sim_summa(&platform, grid, n, b, SimBcast::ScatterAllgather);
+    sim.comp_time = 0.0;
+    let model = summa_cost(&params, BcastModel::VanDeGeijn, n as f64, 64.0, b as f64);
+    let rel = (sim.total_time - model.comm()).abs() / model.comm();
+    assert!(rel < 0.25, "sim {} vs model {} (rel {rel})", sim.total_time, model.comm());
+}
+
+#[test]
+fn model_and_simulator_agree_on_who_wins() {
+    // For each platform, the sign of (SUMMA − best HSUMMA) must agree
+    // between the analytic sweep and the simulated sweep.
+    use hsumma_repro::core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
+    use hsumma_repro::model::predict;
+
+    let platform = Platform::bluegene_p();
+    let grid = GridShape::new(16, 16);
+    let (n, b) = (1024usize, 64usize);
+    let p = grid.size();
+
+    let sim_summa_r = sim_summa(&platform, grid, n, b, SimBcast::ScatterAllgather);
+    let sweep = sweep_groups(
+        &platform,
+        grid,
+        n,
+        b,
+        b,
+        SimBcast::ScatterAllgather,
+        SimBcast::ScatterAllgather,
+        &power_of_two_gs(p),
+    );
+    let sim_best = best_by_comm(&sweep);
+    let sim_hsumma_wins = sim_best.report.comm_time < sim_summa_r.comm_time * 0.999;
+
+    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    let gs: Vec<f64> = power_of_two_gs(p).iter().map(|&g| g as f64).collect();
+    let msweep = predict::sweep_groups(&params, BcastModel::VanDeGeijn, n as f64, p as f64, b as f64, &gs);
+    let mbest = predict::best_point(&msweep);
+    let model_hsumma_wins = mbest.hsumma.comm() < mbest.summa.comm() * 0.999;
+
+    assert_eq!(
+        sim_hsumma_wins, model_hsumma_wins,
+        "simulator (win={sim_hsumma_wins}) and model (win={model_hsumma_wins}) disagree"
+    );
+}
