@@ -50,11 +50,22 @@ fn bench_algorithms(c: &mut Criterion) {
             })
         });
     });
-    let scfg = SummaConfig { block: 16, kernel: GemmKernel::Blocked, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 16,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     group.bench_function("summa_b16", |bench| {
         bench.iter(|| {
             Runtime::run(grid.size(), |comm| {
-                summa(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &scfg)
+                summa(
+                    comm,
+                    grid,
+                    N,
+                    &at[comm.rank()].clone(),
+                    &bt[comm.rank()].clone(),
+                    &scfg,
+                )
             })
         });
     });
@@ -65,7 +76,14 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("hsumma_g4_b16", |bench| {
         bench.iter(|| {
             Runtime::run(grid.size(), |comm| {
-                hsumma(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &hcfg)
+                hsumma(
+                    comm,
+                    grid,
+                    N,
+                    &at[comm.rank()].clone(),
+                    &bt[comm.rank()].clone(),
+                    &hcfg,
+                )
             })
         });
     });
@@ -78,11 +96,21 @@ fn bench_hsumma_group_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("hsumma_group_ablation_4x4");
     group.sample_size(10);
     for (g, groups) in HierGrid::valid_group_counts(grid) {
-        let cfg = HsummaConfig { kernel: GemmKernel::Blocked, ..HsummaConfig::uniform(groups, 16) };
+        let cfg = HsummaConfig {
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(groups, 16)
+        };
         group.bench_with_input(BenchmarkId::from_parameter(g), &g, |bench, _| {
             bench.iter(|| {
                 Runtime::run(grid.size(), |comm| {
-                    hsumma(comm, grid, N, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+                    hsumma(
+                        comm,
+                        grid,
+                        N,
+                        &at[comm.rank()].clone(),
+                        &bt[comm.rank()].clone(),
+                        &cfg,
+                    )
                 })
             });
         });

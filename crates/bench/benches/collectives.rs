@@ -18,23 +18,19 @@ fn bench_bcast(c: &mut Criterion) {
             ("pipelined8", BcastAlgorithm::Pipelined { segments: 8 }),
             ("vdgeijn", BcastAlgorithm::ScatterAllgather),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, elems),
-                &elems,
-                |bench, &elems| {
-                    bench.iter(|| {
-                        Runtime::run(8, |comm| {
-                            let mut buf = if comm.rank() == 0 {
-                                vec![1.0f64; elems]
-                            } else {
-                                vec![0.0f64; elems]
-                            };
-                            collectives::bcast_f64(comm, algo, 0, &mut buf);
-                            buf[elems - 1]
-                        })
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, elems), &elems, |bench, &elems| {
+                bench.iter(|| {
+                    Runtime::run(8, |comm| {
+                        let mut buf = if comm.rank() == 0 {
+                            vec![1.0f64; elems]
+                        } else {
+                            vec![0.0f64; elems]
+                        };
+                        collectives::bcast_f64(comm, algo, 0, &mut buf);
+                        buf[elems - 1]
+                    })
+                });
+            });
         }
     }
     group.finish();

@@ -7,9 +7,7 @@ use hsumma_core::lu::{block_lu, LuConfig};
 use hsumma_core::summa::SummaConfig;
 use hsumma_core::twodotfive::{coords_3d, twodotfive, TwoDotFiveConfig};
 use hsumma_matrix::factor::seeded_diag_dominant;
-use hsumma_matrix::{
-    gemm, gemm_view, seeded_uniform, BlockDist, GemmKernel, GridShape, Matrix,
-};
+use hsumma_matrix::{gemm, gemm_view, seeded_uniform, BlockDist, GemmKernel, GridShape, Matrix};
 use hsumma_runtime::Runtime;
 
 fn bench_lu(c: &mut Criterion) {
@@ -20,7 +18,12 @@ fn bench_lu(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_lu_4x4_n256");
     group.sample_size(10);
     for (name, groups) in [("flat", None), ("hier_2x2", Some(GridShape::new(2, 2)))] {
-        let cfg = LuConfig { block: 16, kernel: GemmKernel::Blocked, groups, ..Default::default() };
+        let cfg = LuConfig {
+            block: 16,
+            kernel: GemmKernel::Blocked,
+            groups,
+            ..Default::default()
+        };
         group.bench_function(name, |bench| {
             bench.iter(|| {
                 Runtime::run(grid.size(), |comm| {
@@ -47,7 +50,11 @@ fn bench_twodotfive(c: &mut Criterion) {
         let cfg = TwoDotFiveConfig {
             q,
             c: c_factor,
-            summa: SummaConfig { block: 16, kernel: GemmKernel::Blocked, ..Default::default() },
+            summa: SummaConfig {
+                block: 16,
+                kernel: GemmKernel::Blocked,
+                ..Default::default()
+            },
         };
         group.bench_function(format!("c{c_factor}"), |bench| {
             bench.iter(|| {

@@ -50,8 +50,9 @@ fn main() {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> =
-        std::iter::once("outer \\ inner").chain(ALGOS.iter().map(|(n, _)| *n)).collect();
+    let headers: Vec<&str> = std::iter::once("outer \\ inner")
+        .chain(ALGOS.iter().map(|(n, _)| *n))
+        .collect();
     println!("{}", render_table(&headers, &rows));
 
     println!("\nreading: every column's HSUMMA times sit at or below the same");

@@ -17,8 +17,20 @@ fn main() {
     println!("Ablation — block size b = B\n");
 
     for (label, machine, n, p, blocks) in [
-        ("Grid5000", Machine::Grid5000, 8192usize, 128usize, vec![64usize, 128, 256, 512]),
-        ("BlueGene/P", Machine::BlueGeneP, 65536, 2048, vec![128, 256, 512, 1024]),
+        (
+            "Grid5000",
+            Machine::Grid5000,
+            8192usize,
+            128usize,
+            vec![64usize, 128, 256, 512],
+        ),
+        (
+            "BlueGene/P",
+            Machine::BlueGeneP,
+            65536,
+            2048,
+            vec![128, 256, 512, 1024],
+        ),
     ] {
         let grid = grid_for(p);
         for profile in [Profile::Ideal, Profile::Measured] {
@@ -44,7 +56,14 @@ fn main() {
             println!(
                 "{}",
                 render_table(
-                    &["b", "steps", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                    &[
+                        "b",
+                        "steps",
+                        "SUMMA comm (s)",
+                        "HSUMMA comm (s)",
+                        "best G",
+                        "gain"
+                    ],
                     &rows
                 )
             );

@@ -17,7 +17,10 @@ fn main() {
     let grid = grid_for(p);
 
     println!("Extension — hierarchical block LU on BlueGene/P (simulated)");
-    println!("n = {n}, p = {p} (grid {}x{}), panel width {b}\n", grid.rows, grid.cols);
+    println!(
+        "n = {n}, p = {p} (grid {}x{}), panel width {b}\n",
+        grid.rows, grid.cols
+    );
 
     for profile in [Profile::Ideal, Profile::Measured] {
         let platform = profile.platform(Machine::BlueGeneP);
@@ -32,7 +35,9 @@ fn main() {
         ]];
         let mut best = (1usize, flat.total_time);
         for g in [4usize, 16, 64, 256, 1024, 4096] {
-            let Some(groups) = HierGrid::factor_groups(grid, g) else { continue };
+            let Some(groups) = HierGrid::factor_groups(grid, g) else {
+                continue;
+            };
             let r = sim_block_lu(&platform, grid, n, b, bcast, Some(groups), true);
             if r.total_time < best.1 {
                 best = (g, r.total_time);
@@ -46,7 +51,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["configuration", "comm (s)", "total (s)", "total gain"], &rows)
+            render_table(
+                &["configuration", "comm (s)", "total (s)", "total gain"],
+                &rows
+            )
         );
         println!(
             "best grouping: G = {} -> {:.2}x faster factorization\n",

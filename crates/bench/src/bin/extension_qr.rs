@@ -11,7 +11,10 @@ use hsumma_core::tsqr::sim_tsqr;
 
 fn main() {
     let platform = Profile::Measured.platform(Machine::BlueGeneP);
-    println!("Extension — TSQR vs gather-and-factor on {} (simulated)\n", platform.name);
+    println!(
+        "Extension — TSQR vs gather-and-factor on {} (simulated)\n",
+        platform.name
+    );
 
     for (rows, n) in [(4096usize, 32usize), (16384, 64)] {
         println!("local blocks {rows} x {n}:");

@@ -16,7 +16,14 @@ fn main() {
     let n = (1u64 << 22) as f64;
     let b = 256.0;
 
-    let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
+    let sweep = sweep_groups(
+        &params,
+        BcastModel::VanDeGeijn,
+        n,
+        p,
+        b,
+        &power_of_two_gs(p),
+    );
 
     println!("Figure 10 — exascale prediction (analytic model)");
     println!("p = 2^20, n = 2^22, b = B = {b}, van de Geijn broadcast");
@@ -37,7 +44,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["G", "HSUMMA comm (s)", "HSUMMA total (s)", "SUMMA comm (s)", "SUMMA total (s)"],
+            &[
+                "G",
+                "HSUMMA comm (s)",
+                "HSUMMA total (s)",
+                "SUMMA comm (s)",
+                "SUMMA total (s)"
+            ],
             &rows
         )
     );

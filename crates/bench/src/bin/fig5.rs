@@ -12,7 +12,10 @@ fn main() {
     let (n, p, b) = (8192usize, 128usize, 64usize);
     let grid = grid_for(p);
     println!("Figure 5 — HSUMMA on Grid5000 (simulated)");
-    println!("b = B = {b}, n = {n}, p = {p} (grid {}x{})\n", grid.rows, grid.cols);
+    println!(
+        "b = B = {b}, n = {n}, p = {p} (grid {}x{})\n",
+        grid.rows, grid.cols
+    );
 
     for profile in [Profile::Ideal, Profile::Measured] {
         let sweep = run_sweep(profile, Machine::Grid5000, n, p, b);

@@ -31,7 +31,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["p", "grid", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                &[
+                    "p",
+                    "grid",
+                    "SUMMA comm (s)",
+                    "HSUMMA comm (s)",
+                    "best G",
+                    "gain"
+                ],
                 &rows
             )
         );

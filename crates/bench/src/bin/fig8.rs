@@ -18,7 +18,10 @@ fn main() {
     let (n, p, b) = (65536usize, 16384usize, 256usize);
     let grid = grid_for(p);
     println!("Figure 8 — SUMMA and HSUMMA on 16384 cores of BlueGene/P (simulated)");
-    println!("b = B = {b}, n = {n}, p = {p} (grid {}x{})\n", grid.rows, grid.cols);
+    println!(
+        "b = B = {b}, n = {n}, p = {p} (grid {}x{})\n",
+        grid.rows, grid.cols
+    );
 
     for profile in [Profile::Ideal, Profile::Measured] {
         let sweep = run_sweep(profile, Machine::BlueGeneP, n, p, b);
@@ -37,7 +40,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["G", "I x J", "HSUMMA total (s)", "HSUMMA comm (s)"], &rows)
+            render_table(
+                &["G", "I x J", "HSUMMA total (s)", "HSUMMA comm (s)"],
+                &rows
+            )
         );
         let best = best_by_comm(&sweep.points);
         println!(

@@ -36,7 +36,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["p", "grid", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+                &[
+                    "p",
+                    "grid",
+                    "SUMMA comm (s)",
+                    "HSUMMA comm (s)",
+                    "best G",
+                    "gain"
+                ],
                 &rows
             )
         );
@@ -44,7 +51,11 @@ fn main() {
         println!(
             "gain trend with p: {:?} ({})\n",
             gains.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>(),
-            if widening { "widening, matching the paper" } else { "NOT monotone" }
+            if widening {
+                "widening, matching the paper"
+            } else {
+                "NOT monotone"
+            }
         );
     }
     println!("paper (measured): 2.08x less comm at 2048 cores, 5.89x at 16384 cores");

@@ -17,8 +17,16 @@ struct PaperRow {
 fn main() {
     let (n, b) = (65536usize, 256usize);
     let paper = [
-        PaperRow { p: 2048, comm_gain: 2.08, total_gain: 1.2 },
-        PaperRow { p: 16384, comm_gain: 5.89, total_gain: 2.36 },
+        PaperRow {
+            p: 2048,
+            comm_gain: 2.08,
+            total_gain: 1.2,
+        },
+        PaperRow {
+            p: 16384,
+            comm_gain: 5.89,
+            total_gain: 2.36,
+        },
     ];
 
     println!("Headline comparison — BlueGene/P, n = {n}, b = B = {b}\n");
@@ -68,10 +76,26 @@ fn main() {
         render_table(
             &["quantity", "simulated (s)", "paper (s)"],
             &[
-                vec!["SUMMA total".into(), secs(sweep.summa.total_time), "50.2".into()],
-                vec!["SUMMA comm".into(), secs(sweep.summa.comm_time), "36.46".into()],
-                vec!["HSUMMA total".into(), secs(best.report.total_time), "21.26".into()],
-                vec!["HSUMMA comm".into(), secs(best.report.comm_time), "6.19".into()],
+                vec![
+                    "SUMMA total".into(),
+                    secs(sweep.summa.total_time),
+                    "50.2".into()
+                ],
+                vec![
+                    "SUMMA comm".into(),
+                    secs(sweep.summa.comm_time),
+                    "36.46".into()
+                ],
+                vec![
+                    "HSUMMA total".into(),
+                    secs(best.report.total_time),
+                    "21.26".into()
+                ],
+                vec![
+                    "HSUMMA comm".into(),
+                    secs(best.report.comm_time),
+                    "6.19".into()
+                ],
             ]
         )
     );

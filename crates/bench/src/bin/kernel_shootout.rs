@@ -1,0 +1,133 @@
+//! Local-GEMM kernel shootout: Naive vs Blocked vs Parallel vs Packed.
+//!
+//! Times every [`GemmKernel`] on square `C += A·B` problems at
+//! `n ∈ {128, 256, 512, 1024}` and reports GFLOP/s (2·n³ flops per
+//! multiply). Results go to stdout as a table and to `BENCH_gemm.json`
+//! in the current directory as a machine-readable record; the JSON also
+//! carries the headline ratio the repo tracks — Packed over Blocked at
+//! `n = 512`, which must stay ≥ 3× (see `DESIGN.md`, "Local kernel
+//! hierarchy").
+//!
+//! Timing discipline: one untimed warm-up per (kernel, size), then the
+//! minimum of `REPS` timed runs — minimum, not mean, because on a shared
+//! box the noise is one-sided (interruptions only ever slow a run down).
+//! `Naive` is skipped above `n = 512` to keep the shootout quick; `null`
+//! marks the skip in the JSON.
+
+use hsumma_bench::render_table;
+use hsumma_matrix::{gemm, seeded_uniform, GemmKernel, Matrix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed repetitions per (kernel, size); best-of is reported.
+const REPS: usize = 5;
+
+/// Problem edge lengths exercised by the shootout.
+const SIZES: [usize; 4] = [128, 256, 512, 1024];
+
+/// Past this edge length the naive kernel is skipped (it would dominate
+/// the shootout's wall time without adding information).
+const NAIVE_CUTOFF: usize = 512;
+
+const KERNELS: [(&str, GemmKernel); 4] = [
+    ("naive", GemmKernel::Naive),
+    ("blocked", GemmKernel::Blocked),
+    ("parallel", GemmKernel::Parallel),
+    ("packed", GemmKernel::Packed),
+];
+
+/// Best-of-`REPS` seconds for one `n×n·n×n` accumulate with `kernel`.
+fn time_kernel(kernel: GemmKernel, n: usize) -> f64 {
+    let a = seeded_uniform(n, n, 1);
+    let b = seeded_uniform(n, n, 2);
+    let mut warm = Matrix::zeros(n, n);
+    gemm(kernel, &a, &b, &mut warm);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut c = Matrix::zeros(n, n);
+        let t0 = Instant::now();
+        gemm(kernel, &a, &b, &mut c);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+fn main() {
+    println!("Local GEMM kernel shootout (best of {REPS} runs per cell)\n");
+
+    // results[size_index][kernel_index] = Some(gflop/s)
+    let mut results: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let mut row = vec![format!("{n}")];
+        let mut cells = Vec::new();
+        for &(name, kernel) in &KERNELS {
+            if kernel == GemmKernel::Naive && n > NAIVE_CUTOFF {
+                row.push("-".to_string());
+                cells.push(None);
+                continue;
+            }
+            let rate = gflops(n, time_kernel(kernel, n));
+            row.push(format!("{rate:.2}"));
+            cells.push(Some(rate));
+            eprintln!("  measured n={n} {name}: {rate:.2} GFLOP/s");
+        }
+        rows.push(row);
+        results.push(cells);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "n",
+                "naive GF/s",
+                "blocked GF/s",
+                "parallel GF/s",
+                "packed GF/s"
+            ],
+            &rows
+        )
+    );
+
+    let i512 = SIZES
+        .iter()
+        .position(|&n| n == 512)
+        .expect("512 is a shootout size");
+    let blocked_512 = results[i512][1].expect("blocked runs at 512");
+    let packed_512 = results[i512][3].expect("packed runs at 512");
+    let speedup = packed_512 / blocked_512;
+    println!("packed vs blocked at n=512: {speedup:.2}x (target: >= 3x)");
+
+    let mut json = String::from("{\n  \"flops_per_cell\": \"2*n^3\",\n  \"reps\": ");
+    let _ = write!(
+        json,
+        "{REPS},\n  \"unit\": \"GFLOP/s\",\n  \"results\": [\n"
+    );
+    for (si, &n) in SIZES.iter().enumerate() {
+        let _ = write!(json, "    {{\"n\": {n}");
+        for (ki, &(name, _)) in KERNELS.iter().enumerate() {
+            match results[si][ki] {
+                Some(rate) => {
+                    let _ = write!(json, ", \"{name}\": {rate:.3}");
+                }
+                None => {
+                    let _ = write!(json, ", \"{name}\": null");
+                }
+            }
+        }
+        json.push_str(if si + 1 < SIZES.len() { "},\n" } else { "}\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"packed_over_blocked_n512\": {speedup:.3},\n  \
+         \"meets_3x_target\": {}\n}}\n",
+        speedup >= 3.0
+    );
+    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
+    println!("wrote BENCH_gemm.json");
+}

@@ -33,7 +33,9 @@ fn main() {
         let mut rows = Vec::new();
         let mut base = None;
         for (name, levels) in configs {
-            let r = hsumma_core::multilevel::sim_summa_hier_with(&platform, grid, n, b, algo, levels, true);
+            let r = hsumma_core::multilevel::sim_summa_hier_with(
+                &platform, grid, n, b, algo, levels, true,
+            );
             let base_time = *base.get_or_insert(r.comm_time);
             rows.push(vec![
                 name.to_string(),

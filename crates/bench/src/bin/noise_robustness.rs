@@ -34,13 +34,24 @@ fn main() {
         };
         let mut best: Option<(usize, f64)> = None;
         for g in power_of_two_gs(p) {
-            let Some(groups) = HierGrid::factor_groups(grid, g) else { continue };
+            let Some(groups) = HierGrid::factor_groups(grid, g) else {
+                continue;
+            };
             let mut net = SimNet::new(grid.size(), platform.net);
             if amplitude > 0.0 {
                 net.set_noise(NoiseModel::new(1, amplitude));
             }
             let r = sim_hsumma_on(
-                &mut net, platform.gamma, grid, groups, n, b, b, bcast, bcast, true,
+                &mut net,
+                platform.gamma,
+                grid,
+                groups,
+                n,
+                b,
+                b,
+                bcast,
+                bcast,
+                true,
             );
             if best.is_none_or(|(_, t)| r.comm_time < t) {
                 best = Some((g, r.comm_time));
@@ -58,7 +69,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["jitter", "SUMMA comm (s)", "HSUMMA comm (s)", "best G", "gain"],
+            &[
+                "jitter",
+                "SUMMA comm (s)",
+                "HSUMMA comm (s)",
+                "best G",
+                "gain"
+            ],
             &rows
         )
     );

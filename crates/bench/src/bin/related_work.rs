@@ -42,13 +42,21 @@ fn main() {
     let twofive = twodotfive_cost(&params, n, p, c);
 
     let rows = vec![
-        vec!["SUMMA (vdG)".into(), format!("{:.3}", summa.comm()), "1x".into()],
+        vec![
+            "SUMMA (vdG)".into(),
+            format!("{:.3}", summa.comm()),
+            "1x".into(),
+        ],
         vec![
             format!("HSUMMA (G=√p)"),
             format!("{:.3}", hsumma.comm()),
             "1x".into(),
         ],
-        vec!["Cannon".into(), format!("{:.3}", cannon.comm()), "1x".into()],
+        vec![
+            "Cannon".into(),
+            format!("{:.3}", cannon.comm()),
+            "1x".into(),
+        ],
         vec![
             "3D".into(),
             format!("{:.3}", threed.comm()),
@@ -96,16 +104,31 @@ fn main() {
     let hsumma_r = best_by_comm(&sweep);
 
     let rows = vec![
-        vec!["Cannon".into(), format!("{:.3}", cannon_r.comm_time), format!("{:.3}", cannon_r.total_time)],
-        vec!["Fox".into(), format!("{:.3}", fox_r.comm_time), format!("{:.3}", fox_r.total_time)],
-        vec!["SUMMA".into(), format!("{:.3}", summa_r.comm_time), format!("{:.3}", summa_r.total_time)],
+        vec![
+            "Cannon".into(),
+            format!("{:.3}", cannon_r.comm_time),
+            format!("{:.3}", cannon_r.total_time),
+        ],
+        vec![
+            "Fox".into(),
+            format!("{:.3}", fox_r.comm_time),
+            format!("{:.3}", fox_r.total_time),
+        ],
+        vec![
+            "SUMMA".into(),
+            format!("{:.3}", summa_r.comm_time),
+            format!("{:.3}", summa_r.total_time),
+        ],
         vec![
             format!("HSUMMA (G={})", hsumma_r.g),
             format!("{:.3}", hsumma_r.report.comm_time),
             format!("{:.3}", hsumma_r.report.total_time),
         ],
     ];
-    println!("{}", render_table(&["algorithm", "comm (s)", "total (s)"], &rows));
+    println!(
+        "{}",
+        render_table(&["algorithm", "comm (s)", "total (s)"], &rows)
+    );
     println!("Cannon/Fox shift whole tiles between neighbours (no wide broadcasts)");
     println!("but require square grids and one-tile-per-step granularity; HSUMMA");
     println!("keeps SUMMA's generality while closing the broadcast gap.");

@@ -14,7 +14,16 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
     println!("-- {config}: n = {n}, p = {p}, b = B = {b} --");
     let g = p.sqrt();
     let summa = summa_cost(params, BcastModel::Binomial, n, p, b);
-    let hsumma = hsumma_cost(params, BcastModel::Binomial, BcastModel::Binomial, n, p, g, b, b);
+    let hsumma = hsumma_cost(
+        params,
+        BcastModel::Binomial,
+        BcastModel::Binomial,
+        n,
+        p,
+        g,
+        b,
+        b,
+    );
 
     let rows = vec![
         vec![
@@ -35,7 +44,13 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
     println!(
         "{}",
         render_table(
-            &["algorithm", "compute (s)", "latency (s)", "bandwidth (s)", "comm (s)"],
+            &[
+                "algorithm",
+                "compute (s)",
+                "latency (s)",
+                "bandwidth (s)",
+                "comm (s)"
+            ],
             &rows
         )
     );
@@ -52,6 +67,18 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
 
 fn main() {
     println!("Table I — comparison with binomial tree broadcast (evaluated)\n");
-    emit("Grid5000 configuration", &ModelParams::grid5000(), 8192.0, 128.0, 64.0);
-    emit("BlueGene/P configuration", &ModelParams::bluegene_p(), 65536.0, 16384.0, 256.0);
+    emit(
+        "Grid5000 configuration",
+        &ModelParams::grid5000(),
+        8192.0,
+        128.0,
+        64.0,
+    );
+    emit(
+        "BlueGene/P configuration",
+        &ModelParams::bluegene_p(),
+        65536.0,
+        16384.0,
+        256.0,
+    );
 }

@@ -25,7 +25,16 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
         if g < 1.0 || g > p {
             continue;
         }
-        let h = hsumma_cost(params, BcastModel::VanDeGeijn, BcastModel::VanDeGeijn, n, p, g, b, b);
+        let h = hsumma_cost(
+            params,
+            BcastModel::VanDeGeijn,
+            BcastModel::VanDeGeijn,
+            n,
+            p,
+            g,
+            b,
+            b,
+        );
         rows.push(vec![
             format!("HSUMMA G={g}"),
             format!("{:.4e}", h.latency),
@@ -45,7 +54,13 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
     println!(
         "{}",
         render_table(
-            &["algorithm", "latency (s)", "bandwidth (s)", "comm (s)", "gain"],
+            &[
+                "algorithm",
+                "latency (s)",
+                "bandwidth (s)",
+                "comm (s)",
+                "gain"
+            ],
             &rows
         )
     );
@@ -54,8 +69,20 @@ fn emit(config: &str, params: &ModelParams, n: f64, p: f64, b: f64) {
 
 fn main() {
     println!("Table II — comparison with van de Geijn broadcast (evaluated)\n");
-    emit("Grid5000 configuration", &ModelParams::grid5000(), 8192.0, 128.0, 64.0);
-    emit("BlueGene/P configuration", &ModelParams::bluegene_p(), 65536.0, 16384.0, 256.0);
+    emit(
+        "Grid5000 configuration",
+        &ModelParams::grid5000(),
+        8192.0,
+        128.0,
+        64.0,
+    );
+    emit(
+        "BlueGene/P configuration",
+        &ModelParams::bluegene_p(),
+        65536.0,
+        16384.0,
+        256.0,
+    );
     emit(
         "Exascale configuration",
         &ModelParams::exascale(),

@@ -12,7 +12,13 @@ fn main() {
     println!("Analytic-model validation\n");
 
     let cases = [
-        ("Grid5000", Platform::grid5000(), 8192usize, 128usize, 64usize),
+        (
+            "Grid5000",
+            Platform::grid5000(),
+            8192usize,
+            128usize,
+            64usize,
+        ),
         ("BlueGene/P", Platform::bluegene_p(), 65536, 16384, 256),
         ("Exascale", Platform::exascale(), 1 << 22, 1 << 20, 256),
     ];
@@ -23,8 +29,14 @@ fn main() {
         let regime = classify_regime(m.alpha, m.beta, *n as f64, *p as f64, *b as f64);
         let lhs = m.alpha / (m.beta * hsumma_model::ELEM_BYTES);
         let rhs = 2.0 * (*n as f64) * (*b as f64) / *p as f64;
-        let d_at_opt =
-            dtheta_dg_vdg(m.alpha, m.beta, *n as f64, *p as f64, (*p as f64).sqrt(), *b as f64);
+        let d_at_opt = dtheta_dg_vdg(
+            m.alpha,
+            m.beta,
+            *n as f64,
+            *p as f64,
+            (*p as f64).sqrt(),
+            *b as f64,
+        );
         rows.push(vec![
             name.to_string(),
             format!("{lhs:.0}"),
@@ -36,7 +48,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["platform", "alpha/beta_elem", "2nb/p", "regime", "dT/dG at sqrt(p)"],
+            &[
+                "platform",
+                "alpha/beta_elem",
+                "2nb/p",
+                "regime",
+                "dT/dG at sqrt(p)"
+            ],
             &rows
         )
     );
@@ -50,7 +68,16 @@ fn main() {
     for (name, platform, n, p, b) in &cases[..2] {
         let grid = grid_for(*p);
         let bcast = Profile::Ideal.bcast();
-        let sweep = sweep_groups(platform, grid, *n, *b, *b, bcast, bcast, &power_of_two_gs(*p));
+        let sweep = sweep_groups(
+            platform,
+            grid,
+            *n,
+            *b,
+            *b,
+            bcast,
+            bcast,
+            &power_of_two_gs(*p),
+        );
         let best = best_by_comm(&sweep);
         rows.push(vec![
             name.to_string(),
@@ -61,6 +88,14 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["platform", "sqrt(p)", "simulated best G", "comm at best (s)"], &rows)
+        render_table(
+            &[
+                "platform",
+                "sqrt(p)",
+                "simulated best G",
+                "comm at best (s)"
+            ],
+            &rows
+        )
     );
 }

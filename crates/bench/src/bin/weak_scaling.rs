@@ -26,16 +26,20 @@ fn main() {
         let p = (1u64 << log2p) as f64;
         let n = n_per_sqrt_p * p.sqrt();
         let summa = summa_cost(&params, BcastModel::VanDeGeijn, n, p, b);
-        let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
+        let sweep = sweep_groups(
+            &params,
+            BcastModel::VanDeGeijn,
+            n,
+            p,
+            b,
+            &power_of_two_gs(p),
+        );
         let best = best_point(&sweep);
         rows.push(vec![
             format!("2^{log2p}"),
             format!("{n:.0}"),
             format!("{:.1}%", 100.0 * summa.comm() / summa.total()),
-            format!(
-                "{:.1}%",
-                100.0 * best.hsumma.comm() / best.hsumma.total()
-            ),
+            format!("{:.1}%", 100.0 * best.hsumma.comm() / best.hsumma.total()),
             format!("{:.0}", best.g),
             format!("{:.2}x", summa.comm() / best.hsumma.comm()),
         ]);
@@ -43,7 +47,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["p", "n", "SUMMA comm share", "HSUMMA comm share", "best G", "comm gain"],
+            &[
+                "p",
+                "n",
+                "SUMMA comm share",
+                "HSUMMA comm share",
+                "best G",
+                "comm gain"
+            ],
             &rows
         )
     );

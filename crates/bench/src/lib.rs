@@ -113,7 +113,11 @@ pub fn grid_for(p: usize) -> GridShape {
 
 /// Converts a simulator platform into analytic-model parameters.
 pub fn model_params(platform: &Platform) -> ModelParams {
-    ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma }
+    ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: platform.gamma,
+    }
 }
 
 /// Renders rows as an aligned plain-text table.
@@ -218,8 +222,8 @@ mod tests {
         let sweep = run_sweep(Profile::Measured, Machine::Grid5000, 128, 16, 8);
         let g1 = sweep.points.first().expect("G=1 present");
         assert_eq!(g1.g, 1);
-        let rel = (g1.report.comm_time - sweep.summa.comm_time).abs()
-            / sweep.summa.comm_time.max(1e-12);
+        let rel =
+            (g1.report.comm_time - sweep.summa.comm_time).abs() / sweep.summa.comm_time.max(1e-12);
         assert!(rel < 1e-9, "G=1 must equal SUMMA");
         // Powers of two up to p, each with a valid factorization.
         assert!(sweep.points.iter().all(|pt| pt.g.is_power_of_two()));

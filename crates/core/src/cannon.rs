@@ -36,7 +36,10 @@ pub fn cannon(
     b: &Matrix,
     kernel: GemmKernel,
 ) -> Matrix {
-    assert_eq!(grid.rows, grid.cols, "Cannon requires a square processor grid");
+    assert_eq!(
+        grid.rows, grid.cols,
+        "Cannon requires a square processor grid"
+    );
     let q = grid.rows;
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % q, 0, "n must be divisible by the grid side");

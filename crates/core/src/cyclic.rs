@@ -92,8 +92,16 @@ pub fn sim_summa_cyclic(
     step_sync: bool,
 ) -> SimReport {
     assert!(b > 0, "block size must be positive");
-    assert_eq!((n / b) % grid.rows, 0, "block grid must divide processor grid rows");
-    assert_eq!((n / b) % grid.cols, 0, "block grid must divide processor grid cols");
+    assert_eq!(
+        (n / b) % grid.rows,
+        0,
+        "block grid must divide processor grid rows"
+    );
+    assert_eq!(
+        (n / b) % grid.cols,
+        0,
+        "block grid must divide processor grid cols"
+    );
     let (th, tw) = (n / grid.rows, n / grid.cols);
 
     let mut net = SimNet::new(grid.size(), platform.net);
@@ -138,9 +146,19 @@ mod tests {
         let dist = BlockCyclicDist::new(grid, n, n, block);
         let at = dist.scatter(&a);
         let bt = dist.scatter(&b);
-        let cfg = SummaConfig { block, ..Default::default() };
+        let cfg = SummaConfig {
+            block,
+            ..Default::default()
+        };
         let ct = Runtime::run(grid.size(), |comm| {
-            summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+            summa_cyclic(
+                comm,
+                grid,
+                n,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            )
         });
         let got = dist.gather(&ct);
         let want = reference_product(&a, &b);
@@ -180,7 +198,10 @@ mod tests {
         let n = 16;
         let a = seeded_uniform(n, n, 31);
         let b = seeded_uniform(n, n, 32);
-        let cfg = SummaConfig { block: 2, ..Default::default() };
+        let cfg = SummaConfig {
+            block: 2,
+            ..Default::default()
+        };
 
         let by_block = distributed_product(grid, n, &a, &b, |comm, at, bt| {
             summa(comm, grid, n, &at, &bt, &cfg)
@@ -190,7 +211,14 @@ mod tests {
         let at = dist.scatter(&a);
         let bt = dist.scatter(&b);
         let ct = Runtime::run(grid.size(), |comm| {
-            summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+            summa_cyclic(
+                comm,
+                grid,
+                n,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            )
         });
         let by_cyclic = dist.gather(&ct);
 
@@ -242,6 +270,11 @@ mod tests {
         let block = crate::simdrive::sim_summa_sync(&plat, grid, n, b, SimBcast::Binomial);
         let cyclic = sim_summa_cyclic(&plat, grid, n, b, SimBcast::Binomial, true);
         let rel = (block.total_time - cyclic.total_time).abs() / block.total_time;
-        assert!(rel < 1e-9, "block {} vs cyclic {}", block.total_time, cyclic.total_time);
+        assert!(
+            rel < 1e-9,
+            "block {} vs cyclic {}",
+            block.total_time,
+            cyclic.total_time
+        );
     }
 }

@@ -42,7 +42,11 @@ pub fn fox(
     for k in 0..q {
         // Broadcast A[i][(i+k) mod q] along row i.
         let root = (i + k) % q;
-        let mut a_bc = if j == root { a.clone() } else { Matrix::zeros(ts, ts) };
+        let mut a_bc = if j == root {
+            a.clone()
+        } else {
+            Matrix::zeros(ts, ts)
+        };
         crate::summa::bcast_matrix(&row_comm, BcastAlgorithm::Binomial, root, &mut a_bc);
 
         comm.time_compute(|| gemm(kernel, &a_bc, &b_cur, &mut c));
@@ -115,10 +119,27 @@ mod tests {
             crate::cannon::cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
         });
         let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &SummaConfig { block: 2, ..Default::default() })
+            summa(
+                comm,
+                grid,
+                n,
+                &at,
+                &bt,
+                &SummaConfig {
+                    block: 2,
+                    ..Default::default()
+                },
+            )
         });
         let by_hsumma = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma(comm, grid, n, &at, &bt, &HsummaConfig::uniform(GridShape::new(2, 2), 2))
+            hsumma(
+                comm,
+                grid,
+                n,
+                &at,
+                &bt,
+                &HsummaConfig::uniform(GridShape::new(2, 2), 2),
+            )
         });
 
         for (name, got) in [

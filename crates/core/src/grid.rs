@@ -65,7 +65,10 @@ impl HierGrid {
 
     /// The grid inside one group (`s/I × t/J`).
     pub fn inner(&self) -> GridShape {
-        GridShape::new(self.grid.rows / self.groups.rows, self.grid.cols / self.groups.cols)
+        GridShape::new(
+            self.grid.rows / self.groups.rows,
+            self.grid.cols / self.groups.cols,
+        )
     }
 
     /// Total number of groups `G = I·J`.
@@ -254,7 +257,10 @@ mod tests {
     fn factor_groups_prefers_square_inner_grids() {
         let grid = GridShape::new(8, 8);
         assert_eq!(HierGrid::factor_groups(grid, 4), Some(GridShape::new(2, 2)));
-        assert_eq!(HierGrid::factor_groups(grid, 16), Some(GridShape::new(4, 4)));
+        assert_eq!(
+            HierGrid::factor_groups(grid, 16),
+            Some(GridShape::new(4, 4))
+        );
         // G=2 on a square grid must pick a 1x2 or 2x1 split.
         let f = HierGrid::factor_groups(grid, 2).unwrap();
         assert_eq!(f.size(), 2);

@@ -47,7 +47,7 @@ impl HsummaConfig {
             inner_block: block,
             outer_bcast: BcastAlgorithm::Binomial,
             inner_bcast: BcastAlgorithm::Binomial,
-            kernel: GemmKernel::Parallel,
+            kernel: GemmKernel::Packed,
         }
     }
 }
@@ -95,47 +95,48 @@ pub fn hsumma(
     let col = comm.split(color3(x, y, j), i as i64); //       P(x,y)(·,j)
 
     let mut c = Matrix::zeros(th, tw);
+    // All four panel buffers are allocated once and refilled in place each
+    // step: outer-panel holders copy from their tile, inner-broadcast
+    // non-roots have theirs overwritten by the broadcast.
+    let mut outer_a = Matrix::zeros(th, bb);
+    let mut outer_b = Matrix::zeros(bb, tw);
+    let mut a_in = Matrix::zeros(th, bs);
+    let mut b_in = Matrix::zeros(bs, tw);
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
     for kg in 0..outer_steps {
         // ---- inter-group broadcast of A's outer panel --------------------
         let gcol = kg * bb / tw; // grid column owning the panel
         let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
-        let outer_a = (j == jk).then(|| {
-            let mut panel = if gj == gcol {
-                a.block(0, kg * bb % tw, th, bb)
-            } else {
-                Matrix::zeros(th, bb)
-            };
-            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut panel);
-            panel
-        });
+        let holds_a = j == jk; // this rank takes part in the outer A phase
+        if holds_a {
+            if gj == gcol {
+                a.block_into(0, kg * bb % tw, &mut outer_a);
+            }
+            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a);
+        }
 
         // ---- inter-group broadcast of B's outer panel --------------------
         let grow = kg * bb / th; // grid row owning the panel
         let (xk, ik) = (grow / inner.rows, grow % inner.rows);
-        let outer_b = (i == ik).then(|| {
-            let mut panel = if gi == grow {
-                b.block(kg * bb % th, 0, bb, tw)
-            } else {
-                Matrix::zeros(bb, tw)
-            };
-            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut panel);
-            panel
-        });
+        let holds_b = i == ik;
+        if holds_b {
+            if gi == grow {
+                b.block_into(kg * bb % th, 0, &mut outer_b);
+            }
+            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b);
+        }
 
         // ---- intra-group SUMMA steps over the outer panel -----------------
         for ki in 0..inner_steps {
-            let mut a_in = match &outer_a {
-                Some(panel) => panel.block(0, ki * bs, th, bs),
-                None => Matrix::zeros(th, bs),
-            };
+            if holds_a {
+                outer_a.block_into(0, ki * bs, &mut a_in);
+            }
             bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
 
-            let mut b_in = match &outer_b {
-                Some(panel) => panel.block(ki * bs, 0, bs, tw),
-                None => Matrix::zeros(bs, tw),
-            };
+            if holds_b {
+                outer_b.block_into(ki * bs, 0, &mut b_in);
+            }
             bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
 
             comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
@@ -260,7 +261,10 @@ mod tests {
                     let cfg = HsummaConfig::uniform(GridShape::new(1, 1), 2);
                     let _ = hsumma(comm, grid, n, &a_tile, &b_tile, &cfg);
                 } else {
-                    let cfg = SummaConfig { block: 2, ..Default::default() };
+                    let cfg = SummaConfig {
+                        block: 2,
+                        ..Default::default()
+                    };
                     let _ = summa(comm, grid, n, &a_tile, &b_tile, &cfg);
                 }
                 comm.stats().msgs_sent - before

@@ -47,7 +47,7 @@ impl Default for LuConfig {
         LuConfig {
             block: 32,
             bcast: BcastAlgorithm::Binomial,
-            kernel: GemmKernel::Parallel,
+            kernel: GemmKernel::Packed,
             groups: None,
         }
     }
@@ -73,20 +73,17 @@ fn below_rows(gi: usize, ri: usize, ro: usize, bs: usize, th: usize) -> (usize, 
 ///
 /// # Panics
 /// Panics on inconsistent configuration or a zero pivot (unpivoted LU).
-pub fn block_lu(
-    comm: &Comm,
-    grid: GridShape,
-    n: usize,
-    a: &Matrix,
-    cfg: &LuConfig,
-) -> Matrix {
+pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConfig) -> Matrix {
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
     assert_eq!(a.shape(), (th, tw), "tile has wrong shape");
     let bs = cfg.block;
-    assert!(bs > 0 && th % bs == 0 && tw % bs == 0, "block must divide tile extents");
+    assert!(
+        bs > 0 && th % bs == 0 && tw % bs == 0,
+        "block must divide tile extents"
+    );
 
     let (gi, gj) = grid.coords(comm.rank());
     // Flat row/column communicators (always needed: diagonal broadcast).
@@ -198,9 +195,7 @@ pub fn block_lu(
         // --- 4. trailing update --------------------------------------------
         if rcount > 0 && ccount > 0 {
             let mut trailing = t.block(rlo, clo, rcount, ccount);
-            comm.time_compute(|| {
-                gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing)
-            });
+            comm.time_compute(|| gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing));
             t.set_block(rlo, clo, &trailing);
         }
     }
@@ -222,7 +217,10 @@ pub fn sim_block_lu(
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    assert!(bs > 0 && th % bs == 0 && tw % bs == 0, "block must divide tile extents");
+    assert!(
+        bs > 0 && th % bs == 0 && tw % bs == 0,
+        "block must divide tile extents"
+    );
     let hg = groups.map(|g| HierGrid::new(grid, g));
 
     let mut net = SimNet::new(grid.size(), platform.net);
@@ -341,23 +339,58 @@ mod tests {
 
     #[test]
     fn lu_single_rank_matches_local_factorization() {
-        run_lu_case(GridShape::new(1, 1), 8, LuConfig { block: 2, ..Default::default() });
+        run_lu_case(
+            GridShape::new(1, 1),
+            8,
+            LuConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn lu_square_grid() {
-        run_lu_case(GridShape::new(2, 2), 16, LuConfig { block: 2, ..Default::default() });
+        run_lu_case(
+            GridShape::new(2, 2),
+            16,
+            LuConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn lu_rectangular_grid() {
-        run_lu_case(GridShape::new(2, 4), 16, LuConfig { block: 2, ..Default::default() });
-        run_lu_case(GridShape::new(4, 2), 16, LuConfig { block: 2, ..Default::default() });
+        run_lu_case(
+            GridShape::new(2, 4),
+            16,
+            LuConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
+        run_lu_case(
+            GridShape::new(4, 2),
+            16,
+            LuConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn lu_block_equal_to_tile() {
-        run_lu_case(GridShape::new(2, 2), 8, LuConfig { block: 4, ..Default::default() });
+        run_lu_case(
+            GridShape::new(2, 2),
+            8,
+            LuConfig {
+                block: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -368,14 +401,23 @@ mod tests {
         let dist = BlockDist::new(grid, n, n);
         let tiles = dist.scatter(&a);
         let run = |groups: Option<GridShape>| {
-            let cfg = LuConfig { block: 2, kernel: GemmKernel::Blocked, groups, ..Default::default() };
+            let cfg = LuConfig {
+                block: 2,
+                kernel: GemmKernel::Blocked,
+                groups,
+                ..Default::default()
+            };
             let out = Runtime::run(grid.size(), |comm| {
                 block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
             });
             dist.gather(&out)
         };
         let flat = run(None);
-        for groups in [GridShape::new(2, 2), GridShape::new(1, 4), GridShape::new(4, 4)] {
+        for groups in [
+            GridShape::new(2, 2),
+            GridShape::new(1, 4),
+            GridShape::new(4, 4),
+        ] {
             let hier = run(Some(groups));
             assert_eq!(flat, hier, "groups {groups:?} changed the factorization");
         }
@@ -386,7 +428,11 @@ mod tests {
         run_lu_case(
             GridShape::new(4, 4),
             32,
-            LuConfig { block: 4, groups: Some(GridShape::new(2, 2)), ..Default::default() },
+            LuConfig {
+                block: 4,
+                groups: Some(GridShape::new(2, 2)),
+                ..Default::default()
+            },
         );
     }
 

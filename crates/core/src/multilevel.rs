@@ -51,7 +51,14 @@ pub fn hier_bcast(
     let leaders: Vec<usize> = (0..top).map(|s| group[s * sub + offset]).collect();
     algo.run(net, &leaders, root / sub, bytes);
     for s in 0..top {
-        hier_bcast(net, algo, &group[s * sub..(s + 1) * sub], offset, bytes, &levels[1..]);
+        hier_bcast(
+            net,
+            algo,
+            &group[s * sub..(s + 1) * sub],
+            offset,
+            bytes,
+            &levels[1..],
+        );
     }
 }
 
@@ -82,7 +89,10 @@ pub fn sim_summa_hier_with(
     levels: &[usize],
     step_sync: bool,
 ) -> SimReport {
-    assert_eq!(grid.rows, grid.cols, "multi-level driver assumes a square grid");
+    assert_eq!(
+        grid.rows, grid.cols,
+        "multi-level driver assumes a square grid"
+    );
     assert_eq!(
         levels.iter().product::<usize>(),
         grid.cols,
@@ -90,7 +100,10 @@ pub fn sim_summa_hier_with(
     );
     assert_eq!(n % grid.rows, 0, "n must be divisible by the grid side");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    assert!(b > 0 && tw % b == 0 && th % b == 0, "block must divide tile extents");
+    assert!(
+        b > 0 && tw % b == 0 && th % b == 0,
+        "block must divide tile extents"
+    );
 
     let mut net = SimNet::new(grid.size(), platform.net);
     let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
@@ -190,8 +203,7 @@ mod tests {
         let grid = GridShape::new(16, 16);
         let one = sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[16]);
         let two = sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[4, 4]);
-        let three =
-            sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[2, 2, 4]);
+        let three = sim_summa_hier(&plat, grid, 256, 16, SimBcast::ScatterAllgather, &[2, 2, 4]);
         assert!(two.comm_time < one.comm_time, "two levels should help");
         assert!(three.comm_time < one.comm_time, "three levels should help");
     }

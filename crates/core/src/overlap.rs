@@ -20,6 +20,7 @@ use crate::summa::check_tiles;
 use hsumma_matrix::{gemm, GridShape, Matrix};
 use hsumma_netsim::{Platform, SimBcast};
 use hsumma_runtime::Comm;
+use std::sync::Arc;
 
 pub use crate::summa::SummaConfig;
 
@@ -50,21 +51,23 @@ pub fn summa_overlap(
     let owner_col = |k: usize| k * bs / tw;
     let owner_row = |k: usize| k * bs / th;
 
-    // Pushes step k's panels to all peers; owners only.
+    // Pushes step k's panels to all peers; owners only. The panel is
+    // materialized once and shared — each destination gets an `Arc`
+    // refcount bump, not its own deep copy.
     let push = |k: usize| {
         if gj == owner_col(k) {
-            let panel = a.block(0, k * bs % tw, th, bs);
+            let panel = Arc::new(a.block(0, k * bs % tw, th, bs));
             for dst in 0..row_comm.size() {
                 if dst != row_comm.rank() {
-                    row_comm.send(dst, 2 * k as u64, panel.clone());
+                    row_comm.send(dst, 2 * k as u64, Arc::clone(&panel));
                 }
             }
         }
         if gi == owner_row(k) {
-            let panel = b.block(k * bs % th, 0, bs, tw);
+            let panel = Arc::new(b.block(k * bs % th, 0, bs, tw));
             for dst in 0..col_comm.size() {
                 if dst != col_comm.rank() {
-                    col_comm.send(dst, 2 * k as u64 + 1, panel.clone());
+                    col_comm.send(dst, 2 * k as u64 + 1, Arc::clone(&panel));
                 }
             }
         }
@@ -72,6 +75,10 @@ pub fn summa_overlap(
 
     let steps = n / bs;
     let mut c = Matrix::zeros(th, tw);
+    // Owners refill this scratch in place each step instead of allocating
+    // a fresh panel; non-owners borrow the received shared panel.
+    let mut a_scratch = Matrix::zeros(th, bs);
+    let mut b_scratch = Matrix::zeros(bs, tw);
     if steps > 0 {
         push(0);
     }
@@ -80,17 +87,23 @@ pub fn summa_overlap(
         if k + 1 < steps {
             push(k + 1);
         }
-        let a_panel = if gj == owner_col(k) {
-            a.block(0, k * bs % tw, th, bs)
+        let a_recv: Arc<Matrix>;
+        let a_panel: &Matrix = if gj == owner_col(k) {
+            a.block_into(0, k * bs % tw, &mut a_scratch);
+            &a_scratch
         } else {
-            row_comm.recv::<Matrix>(owner_col(k), 2 * k as u64)
+            a_recv = row_comm.recv::<Arc<Matrix>>(owner_col(k), 2 * k as u64);
+            a_recv.as_ref()
         };
-        let b_panel = if gi == owner_row(k) {
-            b.block(k * bs % th, 0, bs, tw)
+        let b_recv: Arc<Matrix>;
+        let b_panel: &Matrix = if gi == owner_row(k) {
+            b.block_into(k * bs % th, 0, &mut b_scratch);
+            &b_scratch
         } else {
-            col_comm.recv::<Matrix>(owner_row(k), 2 * k as u64 + 1)
+            b_recv = col_comm.recv::<Arc<Matrix>>(owner_row(k), 2 * k as u64 + 1);
+            b_recv.as_ref()
         };
-        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+        comm.time_compute(|| gemm(cfg.kernel, a_panel, b_panel, &mut c));
     }
     c
 }
@@ -144,29 +157,36 @@ pub fn hsumma_overlap(
         (grow, grow / inner.rows, grow % inner.rows) // (grid row, xk, ik)
     };
 
-    // Prefetch push of outer step kg across groups (owners only).
+    // Prefetch push of outer step kg across groups (owners only). One
+    // materialized panel per push, `Arc`-shared across destinations.
     let push_outer = |kg: usize| {
         let (gcol, _, jk) = a_owner(kg);
         if gj == gcol && j == jk {
-            let panel = a.block(0, kg * bb % tw, th, bb);
+            let panel = Arc::new(a.block(0, kg * bb % tw, th, bb));
             for dst in 0..group_row.size() {
                 if dst != group_row.rank() {
-                    group_row.send(dst, 2 * kg as u64, panel.clone());
+                    group_row.send(dst, 2 * kg as u64, Arc::clone(&panel));
                 }
             }
         }
         let (grow, _, ik) = b_owner(kg);
         if gi == grow && i == ik {
-            let panel = b.block(kg * bb % th, 0, bb, tw);
+            let panel = Arc::new(b.block(kg * bb % th, 0, bb, tw));
             for dst in 0..group_col.size() {
                 if dst != group_col.rank() {
-                    group_col.send(dst, 2 * kg as u64 + 1, panel.clone());
+                    group_col.send(dst, 2 * kg as u64 + 1, Arc::clone(&panel));
                 }
             }
         }
     };
 
     let mut c = Matrix::zeros(th, tw);
+    // Reusable scratch: outer panels for ranks that own them locally,
+    // inner panels for every holder of an outer panel.
+    let mut outer_a_scratch = Matrix::zeros(th, bb);
+    let mut outer_b_scratch = Matrix::zeros(bb, tw);
+    let mut a_in_scratch = Matrix::zeros(th, bs);
+    let mut b_in_scratch = Matrix::zeros(bs, tw);
     if outer_steps > 0 {
         push_outer(0);
     }
@@ -177,56 +197,80 @@ pub fn hsumma_overlap(
 
         // Land the outer panels on the inner pivot row/column.
         let (gcol, yk, jk) = a_owner(kg);
-        let outer_a = (j == jk).then(|| {
-            if gj == gcol {
-                a.block(0, kg * bb % tw, th, bb)
+        let outer_a_recv: Arc<Matrix>;
+        let outer_a: Option<&Matrix> = if j == jk {
+            Some(if gj == gcol {
+                a.block_into(0, kg * bb % tw, &mut outer_a_scratch);
+                &outer_a_scratch
             } else {
-                group_row.recv::<Matrix>(yk, 2 * kg as u64)
-            }
-        });
+                outer_a_recv = group_row.recv::<Arc<Matrix>>(yk, 2 * kg as u64);
+                outer_a_recv.as_ref()
+            })
+        } else {
+            None
+        };
         let (grow, xk, ik) = b_owner(kg);
-        let outer_b = (i == ik).then(|| {
-            if gi == grow {
-                b.block(kg * bb % th, 0, bb, tw)
+        let outer_b_recv: Arc<Matrix>;
+        let outer_b: Option<&Matrix> = if i == ik {
+            Some(if gi == grow {
+                b.block_into(kg * bb % th, 0, &mut outer_b_scratch);
+                &outer_b_scratch
             } else {
-                group_col.recv::<Matrix>(xk, 2 * kg as u64 + 1)
-            }
-        });
+                outer_b_recv = group_col.recv::<Arc<Matrix>>(xk, 2 * kg as u64 + 1);
+                outer_b_recv.as_ref()
+            })
+        } else {
+            None
+        };
 
         // Push every inner panel of this outer step at once, then drain.
         let inner_tag = |ki: usize, is_b: bool| {
             (2 * (kg * inner_steps + ki) + usize::from(is_b)) as u64 + (1 << 32)
         };
-        if let Some(panel) = &outer_a {
+        if let Some(panel) = outer_a {
             for ki in 0..inner_steps {
-                let slice = panel.block(0, ki * bs, th, bs);
+                let slice = Arc::new(panel.block(0, ki * bs, th, bs));
                 for dst in 0..row.size() {
                     if dst != row.rank() {
-                        row.send(dst, inner_tag(ki, false), slice.clone());
+                        row.send(dst, inner_tag(ki, false), Arc::clone(&slice));
                     }
                 }
             }
         }
-        if let Some(panel) = &outer_b {
+        if let Some(panel) = outer_b {
             for ki in 0..inner_steps {
-                let slice = panel.block(ki * bs, 0, bs, tw);
+                let slice = Arc::new(panel.block(ki * bs, 0, bs, tw));
                 for dst in 0..col.size() {
                     if dst != col.rank() {
-                        col.send(dst, inner_tag(ki, true), slice.clone());
+                        col.send(dst, inner_tag(ki, true), Arc::clone(&slice));
                     }
                 }
             }
         }
         for ki in 0..inner_steps {
-            let a_in = match &outer_a {
-                Some(panel) => panel.block(0, ki * bs, th, bs),
-                None => row.recv::<Matrix>(jk, inner_tag(ki, false)),
+            let a_in_recv: Arc<Matrix>;
+            let a_in: &Matrix = match outer_a {
+                Some(panel) => {
+                    panel.block_into(0, ki * bs, &mut a_in_scratch);
+                    &a_in_scratch
+                }
+                None => {
+                    a_in_recv = row.recv::<Arc<Matrix>>(jk, inner_tag(ki, false));
+                    a_in_recv.as_ref()
+                }
             };
-            let b_in = match &outer_b {
-                Some(panel) => panel.block(ki * bs, 0, bs, tw),
-                None => col.recv::<Matrix>(ik, inner_tag(ki, true)),
+            let b_in_recv: Arc<Matrix>;
+            let b_in: &Matrix = match outer_b {
+                Some(panel) => {
+                    panel.block_into(ki * bs, 0, &mut b_in_scratch);
+                    &b_in_scratch
+                }
+                None => {
+                    b_in_recv = col.recv::<Arc<Matrix>>(ik, inner_tag(ki, true));
+                    b_in_recv.as_ref()
+                }
             };
-            comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
+            comm.time_compute(|| gemm(cfg.kernel, a_in, b_in, &mut c));
         }
     }
     c
@@ -235,12 +279,7 @@ pub fn hsumma_overlap(
 /// Quantifies the overlap benefit in the simulator: free-running
 /// (overlapped) vs blocking-collective SUMMA under the same flat push
 /// schedule. Returns `(overlapped_total, blocking_total)` seconds.
-pub fn sim_overlap_benefit(
-    platform: &Platform,
-    grid: GridShape,
-    n: usize,
-    b: usize,
-) -> (f64, f64) {
+pub fn sim_overlap_benefit(platform: &Platform, grid: GridShape, n: usize, b: usize) -> (f64, f64) {
     let free = crate::simdrive::sim_summa(platform, grid, n, b, SimBcast::Flat);
     let sync = crate::simdrive::sim_summa_sync(platform, grid, n, b, SimBcast::Flat);
     (free.total_time, sync.total_time)
@@ -254,7 +293,11 @@ mod tests {
     use hsumma_matrix::{seeded_uniform, GemmKernel};
 
     fn cfg(block: usize) -> SummaConfig {
-        SummaConfig { block, kernel: GemmKernel::Blocked, ..Default::default() }
+        SummaConfig {
+            block,
+            kernel: GemmKernel::Blocked,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -343,9 +386,6 @@ mod tests {
         let platform = Platform::bluegene_p_effective();
         let grid = GridShape::new(8, 8);
         let (free, sync) = sim_overlap_benefit(&platform, grid, 512, 32);
-        assert!(
-            free < sync,
-            "overlapped {free} should beat blocking {sync}"
-        );
+        assert!(free < sync, "overlapped {free} should beat blocking {sync}");
     }
 }

@@ -40,7 +40,11 @@ fn check_rect(
     b: &Matrix,
     comm_size: usize,
 ) -> ((usize, usize), (usize, usize)) {
-    assert_eq!(comm_size, grid.size(), "communicator must span the whole grid");
+    assert_eq!(
+        comm_size,
+        grid.size(),
+        "communicator must span the whole grid"
+    );
     let MatMulDims { m, l, n } = dims;
     assert_eq!(m % grid.rows, 0, "M must be divisible by grid rows");
     assert_eq!(l % grid.cols, 0, "L must be divisible by grid cols");
@@ -211,16 +215,28 @@ mod tests {
     fn rect_summa_tall_times_wide() {
         let grid = GridShape::new(2, 2);
         let dims = MatMulDims { m: 12, l: 8, n: 16 };
-        let cfg = SummaConfig { block: 2, kernel: GemmKernel::Blocked, ..Default::default() };
-        run_rect(grid, dims, move |comm, a, b| summa_rect(comm, grid, dims, &a, &b, &cfg));
+        let cfg = SummaConfig {
+            block: 2,
+            kernel: GemmKernel::Blocked,
+            ..Default::default()
+        };
+        run_rect(grid, dims, move |comm, a, b| {
+            summa_rect(comm, grid, dims, &a, &b, &cfg)
+        });
     }
 
     #[test]
     fn rect_summa_wide_times_tall() {
         let grid = GridShape::new(2, 4);
         let dims = MatMulDims { m: 4, l: 16, n: 8 };
-        let cfg = SummaConfig { block: 2, kernel: GemmKernel::Blocked, ..Default::default() };
-        run_rect(grid, dims, move |comm, a, b| summa_rect(comm, grid, dims, &a, &b, &cfg));
+        let cfg = SummaConfig {
+            block: 2,
+            kernel: GemmKernel::Blocked,
+            ..Default::default()
+        };
+        run_rect(grid, dims, move |comm, a, b| {
+            summa_rect(comm, grid, dims, &a, &b, &cfg)
+        });
     }
 
     #[test]
@@ -234,12 +250,30 @@ mod tests {
         let dist = BlockDist::new(grid, n, n);
         let at = dist.scatter(&a);
         let bt = dist.scatter(&b);
-        let cfg = SummaConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() };
+        let cfg = SummaConfig {
+            block: 4,
+            kernel: GemmKernel::Blocked,
+            ..Default::default()
+        };
         let by_rect = Runtime::run(grid.size(), |comm| {
-            summa_rect(comm, grid, dims, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+            summa_rect(
+                comm,
+                grid,
+                dims,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            )
         });
         let by_square = Runtime::run(grid.size(), |comm| {
-            summa(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+            summa(
+                comm,
+                grid,
+                n,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            )
         });
         assert_eq!(by_rect, by_square, "square case must be identical");
     }
@@ -252,7 +286,9 @@ mod tests {
             kernel: GemmKernel::Blocked,
             ..HsummaConfig::uniform(GridShape::new(2, 2), 2)
         };
-        run_rect(grid, dims, move |comm, a, b| hsumma_rect(comm, grid, dims, &a, &b, &cfg));
+        run_rect(grid, dims, move |comm, a, b| {
+            hsumma_rect(comm, grid, dims, &a, &b, &cfg)
+        });
     }
 
     #[test]
@@ -265,7 +301,9 @@ mod tests {
             kernel: GemmKernel::Blocked,
             ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
         };
-        run_rect(grid, dims, move |comm, a, b| hsumma_rect(comm, grid, dims, &a, &b, &cfg));
+        run_rect(grid, dims, move |comm, a, b| {
+            hsumma_rect(comm, grid, dims, &a, &b, &cfg)
+        });
     }
 
     #[test]
@@ -275,7 +313,10 @@ mod tests {
         // distribution first); tile shapes are plausible but L % s != 0.
         let grid = GridShape::new(4, 2);
         let dims = MatMulDims { m: 8, l: 6, n: 8 };
-        let cfg = SummaConfig { block: 1, ..Default::default() };
+        let cfg = SummaConfig {
+            block: 1,
+            ..Default::default()
+        };
         let _ = Runtime::run(grid.size(), |comm| {
             let a = Matrix::zeros(2, 3);
             let b = Matrix::zeros(1, 4);

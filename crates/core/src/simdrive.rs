@@ -60,7 +60,10 @@ pub fn sim_summa_on(
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    assert!(b > 0 && tw % b == 0 && th % b == 0, "block must divide tile extents");
+    assert!(
+        b > 0 && tw % b == 0 && th % b == 0,
+        "block must divide tile extents"
+    );
 
     let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
         .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
@@ -106,7 +109,15 @@ pub fn sim_hsumma(
 ) -> SimReport {
     let mut net = SimNet::new(grid.size(), platform.net);
     sim_hsumma_on(
-        &mut net, platform.gamma, grid, groups, n, outer_b, inner_b, outer_bcast, inner_bcast,
+        &mut net,
+        platform.gamma,
+        grid,
+        groups,
+        n,
+        outer_b,
+        inner_b,
+        outer_bcast,
+        inner_bcast,
         false,
     )
 }
@@ -126,7 +137,15 @@ pub fn sim_hsumma_sync(
 ) -> SimReport {
     let mut net = SimNet::new(grid.size(), platform.net);
     sim_hsumma_on(
-        &mut net, platform.gamma, grid, groups, n, outer_b, inner_b, outer_bcast, inner_bcast,
+        &mut net,
+        platform.gamma,
+        grid,
+        groups,
+        n,
+        outer_b,
+        inner_b,
+        outer_bcast,
+        inner_bcast,
         true,
     )
 }
@@ -152,8 +171,14 @@ pub fn sim_hsumma_on(
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
     let (bb, bs) = (outer_b, inner_b);
-    assert!(bs > 0 && bb % bs == 0, "inner block must divide outer block");
-    assert!(tw % bb == 0 && th % bb == 0, "outer block must divide tile extents");
+    assert!(
+        bs > 0 && bb % bs == 0,
+        "inner block must divide outer block"
+    );
+    assert!(
+        tw % bb == 0 && th % bb == 0,
+        "outer block must divide tile extents"
+    );
 
     let outer_a_bytes = (th * bb) as u64 * ELEM_BYTES;
     let outer_b_bytes = (bb * tw) as u64 * ELEM_BYTES;
@@ -231,7 +256,10 @@ pub fn sim_hsumma_on(
 /// shifts, then `q` rounds of multiply + neighbour shifts. Used as a
 /// baseline in the related-work comparison.
 pub fn sim_cannon(platform: &Platform, q: usize, n: usize, step_sync: bool) -> SimReport {
-    assert!(q > 0 && n.is_multiple_of(q), "n must be divisible by the grid side");
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "n must be divisible by the grid side"
+    );
     let grid = GridShape::new(q, q);
     let mut net = SimNet::new(grid.size(), platform.net);
     let ts = n / q;
@@ -257,8 +285,20 @@ pub fn sim_cannon(platform: &Platform, q: usize, n: usize, step_sync: bool) -> S
 
     // Alignment: row i of A left by i, column j of B up by j (ranks with
     // shift 0 stay put, matching the executable implementation).
-    shift(&mut net, &|i, j| if i == 0 { grid.rank(i, j) } else { grid.rank(i, (j + q - i % q) % q) });
-    shift(&mut net, &|i, j| if j == 0 { grid.rank(i, j) } else { grid.rank((i + q - j % q) % q, j) });
+    shift(&mut net, &|i, j| {
+        if i == 0 {
+            grid.rank(i, j)
+        } else {
+            grid.rank(i, (j + q - i % q) % q)
+        }
+    });
+    shift(&mut net, &|i, j| {
+        if j == 0 {
+            grid.rank(i, j)
+        } else {
+            grid.rank((i + q - j % q) % q, j)
+        }
+    });
 
     for _ in 0..q {
         for r in 0..q * q {
@@ -284,7 +324,10 @@ pub fn sim_fox(
     bcast: SimBcast,
     step_sync: bool,
 ) -> SimReport {
-    assert!(q > 0 && n.is_multiple_of(q), "n must be divisible by the grid side");
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "n must be divisible by the grid side"
+    );
     let grid = GridShape::new(q, q);
     let mut net = SimNet::new(grid.size(), platform.net);
     let ts = n / q;
@@ -463,7 +506,11 @@ mod tests {
         let steps = (n / b) as f64;
         let per_bcast = 2.0 * (1e-3 + m * 1e-9); // log2(4) = 2 rounds
         let want = steps * 2.0 * per_bcast; // A bcast + B bcast per step
-        assert!(close(r.total_time, want), "got {}, want {want}", r.total_time);
+        assert!(
+            close(r.total_time, want),
+            "got {}, want {want}",
+            r.total_time
+        );
     }
 
     #[test]
@@ -508,7 +555,12 @@ mod tests {
         let n = 64;
         let cannon = sim_cannon(&plat, q, n, false);
         let summa = sim_summa(&plat, GridShape::new(q, q), n, 8, SimBcast::Binomial);
-        assert!(cannon.msgs < summa.msgs, "{} vs {}", cannon.msgs, summa.msgs);
+        assert!(
+            cannon.msgs < summa.msgs,
+            "{} vs {}",
+            cannon.msgs,
+            summa.msgs
+        );
         // ...and total volume is the same order: every rank receives
         // 2n²/√p either way (Cannon's roots also receive, and it pays
         // one-time alignment shifts, so it sits slightly above).
@@ -539,7 +591,16 @@ mod tests {
         let (s, t, i, j, n, b) = (4usize, 8usize, 2usize, 4usize, 64usize, 8usize);
         let grid = GridShape::new(s, t);
         let groups = GridShape::new(i, j);
-        let r = sim_hsumma(&plat, grid, groups, n, b, b, SimBcast::Binomial, SimBcast::Binomial);
+        let r = sim_hsumma(
+            &plat,
+            grid,
+            groups,
+            n,
+            b,
+            b,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+        );
         let per_outer = s * (j - 1) + t * (i - 1);
         let per_inner = s * j * (t / j - 1) + t * i * (s / i - 1);
         let want = (n / b) * (per_outer + per_inner);

@@ -25,7 +25,7 @@ impl Default for SummaConfig {
         SummaConfig {
             block: 32,
             bcast: BcastAlgorithm::Binomial,
-            kernel: GemmKernel::Parallel,
+            kernel: GemmKernel::Packed,
         }
     }
 }
@@ -45,7 +45,11 @@ pub(crate) fn check_tiles(
     b: &Matrix,
     comm_size: usize,
 ) -> (usize, usize) {
-    assert_eq!(comm_size, grid.size(), "communicator must span the whole grid");
+    assert_eq!(
+        comm_size,
+        grid.size(),
+        "communicator must span the whole grid"
+    );
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let th = n / grid.rows;
@@ -84,24 +88,25 @@ pub fn summa(
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
 
     let mut c = Matrix::zeros(th, tw);
+    // Panel scratch is allocated once and reused across all steps: pivot
+    // owners refill it from their tile, everyone else has it overwritten
+    // by the broadcast.
+    let mut a_panel = Matrix::zeros(th, bs);
+    let mut b_panel = Matrix::zeros(bs, tw);
     let steps = n / bs;
     for k in 0..steps {
         // --- pivot column panel of A, broadcast along the grid row -------
         let owner_col = k * bs / tw;
-        let mut a_panel = if gj == owner_col {
-            a.block(0, k * bs % tw, th, bs)
-        } else {
-            Matrix::zeros(th, bs)
-        };
+        if gj == owner_col {
+            a.block_into(0, k * bs % tw, &mut a_panel);
+        }
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
 
         // --- pivot row panel of B, broadcast along the grid column -------
         let owner_row = k * bs / th;
-        let mut b_panel = if gi == owner_row {
-            b.block(k * bs % th, 0, bs, tw)
-        } else {
-            Matrix::zeros(bs, tw)
-        };
+        if gi == owner_row {
+            b.block_into(k * bs % th, 0, &mut b_panel);
+        }
         bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
         // --- local update: C += A_panel · B_panel -------------------------
@@ -134,29 +139,71 @@ mod tests {
 
     #[test]
     fn summa_square_grid_matches_serial() {
-        run_summa_case(GridShape::new(2, 2), 8, SummaConfig { block: 2, ..Default::default() });
+        run_summa_case(
+            GridShape::new(2, 2),
+            8,
+            SummaConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn summa_rectangular_grid_matches_serial() {
-        run_summa_case(GridShape::new(2, 4), 16, SummaConfig { block: 2, ..Default::default() });
-        run_summa_case(GridShape::new(4, 2), 16, SummaConfig { block: 2, ..Default::default() });
+        run_summa_case(
+            GridShape::new(2, 4),
+            16,
+            SummaConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
+        run_summa_case(
+            GridShape::new(4, 2),
+            16,
+            SummaConfig {
+                block: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn summa_single_rank_degenerates_to_local_gemm() {
-        run_summa_case(GridShape::new(1, 1), 8, SummaConfig { block: 4, ..Default::default() });
+        run_summa_case(
+            GridShape::new(1, 1),
+            8,
+            SummaConfig {
+                block: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn summa_block_size_one() {
-        run_summa_case(GridShape::new(2, 2), 6, SummaConfig { block: 1, ..Default::default() });
+        run_summa_case(
+            GridShape::new(2, 2),
+            6,
+            SummaConfig {
+                block: 1,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn summa_block_equal_to_tile() {
         // b = n/s: a single step per tile boundary.
-        run_summa_case(GridShape::new(2, 2), 8, SummaConfig { block: 4, ..Default::default() });
+        run_summa_case(
+            GridShape::new(2, 2),
+            8,
+            SummaConfig {
+                block: 4,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -171,7 +218,15 @@ mod tests {
             BcastAlgorithm::Pipelined { segments: 3 },
             BcastAlgorithm::ScatterAllgather,
         ] {
-            run_summa_case(grid, n, SummaConfig { block: 2, bcast, ..Default::default() });
+            run_summa_case(
+                grid,
+                n,
+                SummaConfig {
+                    block: 2,
+                    bcast,
+                    ..Default::default()
+                },
+            );
         }
     }
 
@@ -188,7 +243,17 @@ mod tests {
             let at = a_tiles[comm.rank()].clone();
             let bt = b_tiles[comm.rank()].clone();
             comm.reset_stats();
-            let _ = summa(comm, grid, n, &at, &bt, &SummaConfig { block: 4, ..Default::default() });
+            let _ = summa(
+                comm,
+                grid,
+                n,
+                &at,
+                &bt,
+                &SummaConfig {
+                    block: 4,
+                    ..Default::default()
+                },
+            );
             comm.stats()
         });
         for s in &stats {
@@ -205,7 +270,17 @@ mod tests {
         let a = seeded_uniform(n, n, 1);
         let b = seeded_uniform(n, n, 2);
         let _ = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &SummaConfig { block: 3, ..Default::default() })
+            summa(
+                comm,
+                grid,
+                n,
+                &at,
+                &bt,
+                &SummaConfig {
+                    block: 3,
+                    ..Default::default()
+                },
+            )
         });
     }
 }

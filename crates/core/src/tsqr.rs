@@ -68,7 +68,11 @@ pub fn tsqr(comm: &Comm, a_local: &Matrix) -> (Matrix, Matrix) {
     // Downward sweep: the root's accumulated transform is the identity;
     // each combine sends its bottom half (times the running transform) to
     // the partner and keeps the top half.
-    let mut transform = if me == 0 { Matrix::identity(n) } else { Matrix::zeros(0, 0) };
+    let mut transform = if me == 0 {
+        Matrix::identity(n)
+    } else {
+        Matrix::zeros(0, 0)
+    };
     if me != 0 {
         // Wait for our transform from whoever absorbed our R.
         let parent_stride = lowest_set_bit(me);
@@ -148,8 +152,9 @@ mod tests {
     fn run_tsqr_case(p: usize, rows_per_rank: usize, n: usize) {
         let m = p * rows_per_rank;
         let a = seeded_uniform(m, n, 77);
-        let blocks: Vec<Matrix> =
-            (0..p).map(|r| a.block(r * rows_per_rank, 0, rows_per_rank, n)).collect();
+        let blocks: Vec<Matrix> = (0..p)
+            .map(|r| a.block(r * rows_per_rank, 0, rows_per_rank, n))
+            .collect();
         let out = Runtime::run(p, |comm| tsqr(comm, &blocks[comm.rank()]));
 
         // All ranks agree on R, and R is upper triangular.

@@ -36,7 +36,15 @@ pub fn sweep_groups(
     gs: &[usize],
 ) -> Vec<GroupPoint> {
     sweep_groups_with(
-        platform, grid, n, outer_b, inner_b, outer_bcast, inner_bcast, gs, false,
+        platform,
+        grid,
+        n,
+        outer_b,
+        inner_b,
+        outer_bcast,
+        inner_bcast,
+        gs,
+        false,
     )
 }
 
@@ -60,11 +68,25 @@ pub fn sweep_groups_with(
             let groups = HierGrid::factor_groups(grid, g)?;
             let report = if step_sync {
                 sim_hsumma_sync(
-                    platform, grid, groups, n, outer_b, inner_b, outer_bcast, inner_bcast,
+                    platform,
+                    grid,
+                    groups,
+                    n,
+                    outer_b,
+                    inner_b,
+                    outer_bcast,
+                    inner_bcast,
                 )
             } else {
                 sim_hsumma(
-                    platform, grid, groups, n, outer_b, inner_b, outer_bcast, inner_bcast,
+                    platform,
+                    grid,
+                    groups,
+                    n,
+                    outer_b,
+                    inner_b,
+                    outer_bcast,
+                    inner_bcast,
                 )
             };
             Some(GroupPoint { g, groups, report })
@@ -80,7 +102,10 @@ pub fn sweep_all_groups(
     block: usize,
     bcast: SimBcast,
 ) -> Vec<GroupPoint> {
-    let gs: Vec<usize> = HierGrid::valid_group_counts(grid).iter().map(|c| c.0).collect();
+    let gs: Vec<usize> = HierGrid::valid_group_counts(grid)
+        .iter()
+        .map(|c| c.0)
+        .collect();
     sweep_groups(platform, grid, n, block, block, bcast, bcast, &gs)
 }
 
@@ -138,7 +163,10 @@ pub fn tuned_hsumma(
     use hsumma_runtime::collectives;
 
     assert!(sample_steps >= 1, "need at least one sample step");
-    assert!(!candidates.is_empty(), "need at least one candidate grouping");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate grouping"
+    );
 
     // Sample each candidate on a truncated problem: the first
     // `sample_steps` outer panels (a narrower multiply with the same
@@ -146,7 +174,9 @@ pub fn tuned_hsumma(
     let sample_n = (sample_steps * block).min(n);
     let mut best: Option<(f64, GridShape)> = None;
     for &g in candidates {
-        let Some(groups) = HierGrid::factor_groups(grid, g) else { continue };
+        let Some(groups) = HierGrid::factor_groups(grid, g) else {
+            continue;
+        };
         let cfg = HsummaConfig::uniform(groups, block);
         // Measure the schedule prefix (see hsumma_sample): the leading
         // sample_n-sized subproblem exercises the same communicator
@@ -218,7 +248,11 @@ mod tests {
             assert!(grid.rows.is_multiple_of(groups.rows) && grid.cols.is_multiple_of(groups.cols));
             c
         });
-        assert!(got.approx_eq(&want, 1e-9), "err {}", got.max_abs_diff(&want));
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "err {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -227,15 +261,17 @@ mod tests {
         let n = 16;
         let a = seeded_uniform(n, n, 3);
         let b = seeded_uniform(n, n, 4);
-        let groups: Vec<(usize, usize)> =
-            hsumma_runtime::Runtime::run(grid.size(), |comm| {
-                let dist = hsumma_matrix::BlockDist::new(grid, n, n);
-                let at = dist.scatter(&a)[comm.rank()].clone();
-                let bt = dist.scatter(&b)[comm.rank()].clone();
-                let (_, g) = tuned_hsumma(comm, grid, n, &at, &bt, 2, &[1, 2, 4], 2);
-                (g.rows, g.cols)
-            });
-        assert!(groups.windows(2).all(|w| w[0] == w[1]), "ranks disagreed: {groups:?}");
+        let groups: Vec<(usize, usize)> = hsumma_runtime::Runtime::run(grid.size(), |comm| {
+            let dist = hsumma_matrix::BlockDist::new(grid, n, n);
+            let at = dist.scatter(&a)[comm.rank()].clone();
+            let bt = dist.scatter(&b)[comm.rank()].clone();
+            let (_, g) = tuned_hsumma(comm, grid, n, &at, &bt, 2, &[1, 2, 4], 2);
+            (g.rows, g.cols)
+        });
+        assert!(
+            groups.windows(2).all(|w| w[0] == w[1]),
+            "ranks disagreed: {groups:?}"
+        );
     }
 
     #[test]
@@ -284,6 +320,10 @@ mod tests {
         let grid = GridShape::new(8, 8);
         let sweep = sweep_all_groups(&plat, grid, 64, 8, SimBcast::ScatterAllgather);
         let best = best_by_comm(&sweep);
-        assert!(best.g > 1 && best.g < 64, "expected interior optimum, got G={}", best.g);
+        assert!(
+            best.g > 1 && best.g < 64,
+            "expected interior optimum, got G={}",
+            best.g
+        );
     }
 }

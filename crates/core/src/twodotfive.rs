@@ -63,7 +63,10 @@ pub fn twodotfive(
     assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
     assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
     let bs = cfg.summa.block;
-    assert!(bs > 0 && ts.is_multiple_of(bs), "block must divide the tile");
+    assert!(
+        bs > 0 && ts.is_multiple_of(bs),
+        "block must divide the tile"
+    );
     let steps = n / bs;
     assert_eq!(
         steps % c,
@@ -78,22 +81,34 @@ pub fn twodotfive(
     let depth_comm = comm.split((c + i * q + j) as u64, layer as i64);
 
     // --- 1. replicate the operands from layer 0 ------------------------
-    let mut a_rep = if layer == 0 { a.clone() } else { Matrix::zeros(ts, ts) };
-    let mut b_rep = if layer == 0 { b.clone() } else { Matrix::zeros(ts, ts) };
-    collectives::bcast_f64(&depth_comm, BcastAlgorithm::Binomial, 0, a_rep.as_mut_slice());
-    collectives::bcast_f64(&depth_comm, BcastAlgorithm::Binomial, 0, b_rep.as_mut_slice());
+    let mut a_rep = if layer == 0 {
+        a.clone()
+    } else {
+        Matrix::zeros(ts, ts)
+    };
+    let mut b_rep = if layer == 0 {
+        b.clone()
+    } else {
+        Matrix::zeros(ts, ts)
+    };
+    collectives::bcast_f64(
+        &depth_comm,
+        BcastAlgorithm::Binomial,
+        0,
+        a_rep.as_mut_slice(),
+    );
+    collectives::bcast_f64(
+        &depth_comm,
+        BcastAlgorithm::Binomial,
+        0,
+        b_rep.as_mut_slice(),
+    );
 
     // --- 2. partial SUMMA: this layer takes steps k ≡ layer (mod c) ----
     let grid = GridShape::new(q, q);
-    let partial = summa_steps(
-        &layer_comm,
-        grid,
-        n,
-        &a_rep,
-        &b_rep,
-        &cfg.summa,
-        |k| k % c == layer,
-    );
+    let partial = summa_steps(&layer_comm, grid, n, &a_rep, &b_rep, &cfg.summa, |k| {
+        k % c == layer
+    });
 
     // --- 3. reduce the partials onto layer 0 ----------------------------
     let mut partial = partial;
@@ -162,7 +177,11 @@ mod tests {
         let cfg = TwoDotFiveConfig {
             q,
             c,
-            summa: SummaConfig { block, kernel: GemmKernel::Blocked, ..Default::default() },
+            summa: SummaConfig {
+                block,
+                kernel: GemmKernel::Blocked,
+                ..Default::default()
+            },
         };
         let out = Runtime::run(q * q * c, |comm| {
             let (layer, i, j) = coords_3d(comm.rank(), q);

@@ -30,7 +30,11 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a function of the (row, column) index.
@@ -49,7 +53,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -128,13 +136,38 @@ impl Matrix {
     /// # Panics
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
         let mut out = Vec::with_capacity(h * w);
         for i in 0..h {
             let src = (r0 + i) * self.cols + c0;
             out.extend_from_slice(&self.data[src..src + w]);
         }
-        Matrix { rows: h, cols: w, data: out }
+        Matrix {
+            rows: h,
+            cols: w,
+            data: out,
+        }
+    }
+
+    /// Copies the block with top-left corner `(r0, c0)` and the shape of
+    /// `dst` into `dst` — the allocation-free counterpart of
+    /// [`Self::block`], for panel scratch that is reused across steps.
+    ///
+    /// # Panics
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn block_into(&self, r0: usize, c0: usize, dst: &mut Matrix) {
+        assert!(
+            r0 + dst.rows <= self.rows && c0 + dst.cols <= self.cols,
+            "block out of bounds"
+        );
+        for i in 0..dst.rows {
+            let src = (r0 + i) * self.cols + c0;
+            let d = i * dst.cols;
+            dst.data[d..d + dst.cols].copy_from_slice(&self.data[src..src + dst.cols]);
+        }
     }
 
     /// Overwrites the block with top-left corner `(r0, c0)` with `src`.
@@ -185,7 +218,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -260,6 +297,25 @@ mod tests {
         let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
         let b = m.block(1, 2, 2, 2);
         assert_eq!(b.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn block_into_matches_block_and_overwrites_scratch() {
+        let m = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        let mut scratch = Matrix::from_fn(2, 3, |_, _| -1.0);
+        m.block_into(1, 2, &mut scratch);
+        assert_eq!(scratch, m.block(1, 2, 2, 3));
+        // Reuse: a second extraction fully replaces the first.
+        m.block_into(3, 4, &mut scratch);
+        assert_eq!(scratch, m.block(3, 4, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_into_out_of_bounds_panics() {
+        let m = Matrix::zeros(3, 3);
+        let mut scratch = Matrix::zeros(2, 2);
+        m.block_into(2, 2, &mut scratch);
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl BlockDist {
             "matrix cols {mat_cols} not divisible by grid cols {}",
             grid.cols
         );
-        BlockDist { grid, mat_rows, mat_cols }
+        BlockDist {
+            grid,
+            mat_rows,
+            mat_cols,
+        }
     }
 
     /// The processor grid.
@@ -98,7 +102,10 @@ impl BlockDist {
 
     /// Local tile extents: `(m/s, n/t)`.
     pub fn tile_shape(&self) -> (usize, usize) {
-        (self.mat_rows / self.grid.rows, self.mat_cols / self.grid.cols)
+        (
+            self.mat_rows / self.grid.rows,
+            self.mat_cols / self.grid.cols,
+        )
     }
 
     /// Top-left global coordinate of `rank`'s tile.
@@ -118,7 +125,9 @@ impl BlockDist {
 
     /// Splits the global matrix into per-rank tiles, indexed by rank.
     pub fn scatter(&self, global: &Matrix) -> Vec<Matrix> {
-        (0..self.grid.size()).map(|r| self.local_tile(global, r)).collect()
+        (0..self.grid.size())
+            .map(|r| self.local_tile(global, r))
+            .collect()
     }
 
     /// Reassembles the global matrix from per-rank tiles.
@@ -196,9 +205,22 @@ impl BlockCyclicDist {
         assert_eq!(mat_cols % nb, 0, "cols not divisible by dealing block");
         let brows = mat_rows / nb;
         let bcols = mat_cols / nb;
-        assert_eq!(brows % grid.rows, 0, "block rows not divisible by grid rows");
-        assert_eq!(bcols % grid.cols, 0, "block cols not divisible by grid cols");
-        BlockCyclicDist { grid, mat_rows, mat_cols, nb }
+        assert_eq!(
+            brows % grid.rows,
+            0,
+            "block rows not divisible by grid rows"
+        );
+        assert_eq!(
+            bcols % grid.cols,
+            0,
+            "block cols not divisible by grid cols"
+        );
+        BlockCyclicDist {
+            grid,
+            mat_rows,
+            mat_cols,
+            nb,
+        }
     }
 
     /// The processor grid.

@@ -53,7 +53,13 @@ pub fn unpack_lower_unit(lu: &Matrix) -> Matrix {
 
 /// Extracts the upper factor from a packed `L\U`.
 pub fn unpack_upper(lu: &Matrix) -> Matrix {
-    Matrix::from_fn(lu.rows(), lu.cols(), |i, j| if i <= j { lu.get(i, j) } else { 0.0 })
+    Matrix::from_fn(lu.rows(), lu.cols(), |i, j| {
+        if i <= j {
+            lu.get(i, j)
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Solves `L · X = B` in place (`b` becomes `X`), with `l` unit lower
@@ -284,7 +290,11 @@ mod tests {
         let (q, r) = qr_thin(&a);
         let mut qr = Matrix::zeros(12, 5);
         gemm(GemmKernel::Blocked, &q, &r, &mut qr);
-        assert!(qr.approx_eq(&a, 1e-9), "QR must equal A: {}", qr.max_abs_diff(&a));
+        assert!(
+            qr.approx_eq(&a, 1e-9),
+            "QR must equal A: {}",
+            qr.max_abs_diff(&a)
+        );
     }
 
     #[test]

@@ -1,23 +1,51 @@
 //! Local matrix-multiply kernels: `C += A · B`.
 //!
 //! The distributed algorithms in `hsumma-core` treat the local multiply as a
-//! black box, exactly as the paper treats ESSL/MKL `DGEMM`. Three kernels are
+//! black box, exactly as the paper treats ESSL/MKL `DGEMM`. Four kernels are
 //! provided:
 //!
-//! * [`GemmKernel::Naive`] — textbook triple loop, the correctness oracle;
-//! * [`GemmKernel::Blocked`] — cache-tiled `i k j` loop order;
-//! * [`GemmKernel::Parallel`] — the blocked kernel with the row dimension
-//!   split across a rayon thread pool (the stand-in for a tuned vendor BLAS).
+//! | kernel | strategy | role |
+//! |---|---|---|
+//! | [`GemmKernel::Naive`] | textbook `i j k` triple loop | correctness oracle |
+//! | [`GemmKernel::Blocked`] | cache-tiled `i k j` loop order | simple cache-aware baseline |
+//! | [`GemmKernel::Parallel`] | `Blocked` with row stripes fanned out to threads | multi-core baseline |
+//! | [`GemmKernel::Packed`] | three-level blocked (`MC/KC/NC`) BLIS-style driver over packed micro-panels and a register-blocked `MR×NR` microkernel, parallel over `MC` row blocks | default; the stand-in for a tuned vendor DGEMM |
+//!
+//! `Packed` follows the Goto/BLIS decomposition: `B` blocks are packed into
+//! row-major micro-panels of [`NR`] columns (streamed from L1 by the
+//! microkernel), `A` blocks into column-major micro-panels of [`MR`] rows
+//! (resident in L2), and the microkernel keeps an `MR×NR` accumulator block
+//! in registers while marching down the shared `KC` dimension. Packing
+//! scratch lives in thread-local buffers, so a long-lived rank thread that
+//! calls `gemm` once per SUMMA pivot step allocates on the first step only.
+//! Cache-block sizes are runtime-selected (see [`PackedParams`]).
 //!
 //! All kernels *accumulate* (`C += A·B`), which is the operation SUMMA's
 //! inner step needs (`c_ij = c_ij + a_ik · b_kj`).
 
 use crate::dense::Matrix;
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
-/// Tile edge used by the blocked kernels. 64 `f64`s = 512 bytes per row
-/// segment, so a 64×64 tile (32 KiB) of each operand fits comfortably in L1/L2.
+/// Tile edge used by the `Blocked`/`Parallel` kernels. 64 `f64`s = 512
+/// bytes per row segment, so a 64×64 tile (32 KiB) of each operand fits
+/// comfortably in L1/L2.
 const TILE: usize = 64;
+
+/// Microkernel register-block height: rows of `C` updated per microkernel
+/// call. With [`NR`]` = 16`, the 4×16 accumulator block is 8 AVX-512 (or
+/// 16 AVX2) vectors — eight independent FMA chains, enough to hide FMA
+/// latency — while each k-step issues only 4 scalar `A` broadcasts per
+/// two `B` vector loads. Wider/taller blocks (8×16, 4×24, 6×16) were
+/// measured slower here: LLVM spills the accumulator array once it
+/// cannot keep every row in architectural registers.
+pub const MR: usize = 4;
+
+/// Microkernel register-block width: columns of `C` updated per call.
+/// Sixteen doubles = two AVX-512 or four AVX2 vectors, the widest unit
+/// LLVM autovectorizes the inner loop to without spilling.
+pub const NR: usize = 16;
 
 /// Which local multiply implementation to use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,9 +54,66 @@ pub enum GemmKernel {
     Naive,
     /// Cache-tiled sequential kernel.
     Blocked,
-    /// Cache-tiled kernel parallelized over row tiles with rayon.
-    #[default]
+    /// Cache-tiled kernel parallelized over row tiles.
     Parallel,
+    /// Packed three-level cache-blocked kernel with a register-blocked
+    /// microkernel — the fastest kernel and the workspace default.
+    #[default]
+    Packed,
+}
+
+/// Cache-blocking parameters of the packed kernel: `C` is computed in
+/// `MC×NC` macro-tiles accumulated over `KC`-deep slices.
+///
+/// Defaults target a generic ~32 KiB L1d / ~1 MiB L2 core:
+/// an `MC×KC` packed `A` block (64·256 doubles = 128 KiB) stays L2-resident
+/// while one `KC×NR` packed `B` micro-panel (32 KiB) streams through L1;
+/// the values were picked by a sweep on the development machine
+/// (`KC ∈ [128, 512]`, `MC ∈ [64, 256]` — flat within ~10%, peak at
+/// `64/256`). Retune via the environment without recompiling:
+/// `HSUMMA_GEMM_MC`, `HSUMMA_GEMM_KC`, `HSUMMA_GEMM_NC` (values are
+/// rounded up to the nearest micro-panel multiple).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedParams {
+    /// Rows of `C` per macro-block (`A` block height); L2 budget.
+    pub mc: usize,
+    /// Shared dimension per slice (packed panel depth); L1/L2 budget.
+    pub kc: usize,
+    /// Columns of `C` per macro-block (`B` block width); L3 budget.
+    pub nc: usize,
+}
+
+impl Default for PackedParams {
+    fn default() -> Self {
+        PackedParams {
+            mc: 64,
+            kc: 256,
+            nc: 4096,
+        }
+    }
+}
+
+impl PackedParams {
+    /// The process-wide parameters: defaults overridden by the
+    /// `HSUMMA_GEMM_{MC,KC,NC}` environment variables, resolved once.
+    pub fn get() -> &'static PackedParams {
+        static PARAMS: OnceLock<PackedParams> = OnceLock::new();
+        PARAMS.get_or_init(|| {
+            let read = |name: &str, default: usize| -> usize {
+                std::env::var(name)
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or(default)
+            };
+            let d = PackedParams::default();
+            PackedParams {
+                mc: read("HSUMMA_GEMM_MC", d.mc).next_multiple_of(MR),
+                kc: read("HSUMMA_GEMM_KC", d.kc),
+                nc: read("HSUMMA_GEMM_NC", d.nc).next_multiple_of(NR),
+            }
+        })
+    }
 }
 
 /// `c += a · b` using the selected kernel.
@@ -39,7 +124,7 @@ pub enum GemmKernel {
 /// let a = Matrix::identity(3);
 /// let b = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
 /// let mut c = Matrix::zeros(3, 3);
-/// gemm(GemmKernel::Blocked, &a, &b, &mut c);
+/// gemm(GemmKernel::Packed, &a, &b, &mut c);
 /// assert!(c.approx_eq(&b, 1e-12));
 /// ```
 ///
@@ -63,6 +148,7 @@ pub fn gemm_scaled(kernel: GemmKernel, alpha: f64, a: &Matrix, b: &Matrix, c: &m
         GemmKernel::Naive => gemm_naive(alpha, a, b, c),
         GemmKernel::Blocked => gemm_blocked(alpha, a, b, c),
         GemmKernel::Parallel => gemm_parallel(alpha, a, b, c),
+        GemmKernel::Packed => gemm_packed(alpha, a, b, c),
     }
 }
 
@@ -122,9 +208,14 @@ fn gemm_blocked(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
 
 fn gemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let m = a.rows();
+    let k = a.cols();
     let n = b.cols();
-    if m * n < TILE * TILE {
-        // Too small to amortize the fork/join; stay sequential.
+    let threads = rayon::current_num_threads();
+    // The fork/join is only worth paying when there is more than one row
+    // stripe to hand out AND every worker gets a meaningful share of the
+    // arithmetic. The volume test uses m·k·n (not m·n) so tall-skinny
+    // multiplies with a heavy k dimension still parallelize.
+    if threads <= 1 || m <= TILE || flop_pairs(m, k, n) < (threads * TILE * TILE * TILE) as u64 {
         return gemm_blocked(alpha, a, b, c);
     }
     c.as_mut_slice()
@@ -137,11 +228,218 @@ fn gemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
         });
 }
 
+// --- Packed (BLIS-style) kernel ---------------------------------------------
+
+thread_local! {
+    /// Per-thread packing scratch for `A` (column micro-panels) and `B`
+    /// (row micro-panels). Reused across `gemm` calls, so a rank thread
+    /// running hundreds of SUMMA pivot steps allocates only on the first.
+    static PACK_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Packs the `mc×kc` block of `a` at `(ic, pc)` into column-major
+/// micro-panels of [`MR`] rows: panel `p` holds rows `ic+p·MR ..` laid out
+/// `kc` columns deep with stride `MR`, zero-padded to a full `MR` rows so
+/// the microkernel never branches on the row edge.
+fn pack_a(a: &Matrix, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * MR * kc, 0.0);
+    let lda = a.cols();
+    let src = a.as_slice();
+    for p in 0..panels {
+        let i0 = p * MR;
+        let rows = MR.min(mc - i0);
+        let panel = &mut buf[p * MR * kc..(p + 1) * MR * kc];
+        for i in 0..rows {
+            let row = &src[(ic + i0 + i) * lda + pc..][..kc];
+            for (l, &v) in row.iter().enumerate() {
+                panel[l * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// Packs the `kc×nc` block of `b` at `(pc, jc)` into row-major
+/// micro-panels of [`NR`] columns: panel `q` holds columns `jc+q·NR ..`
+/// laid out `kc` rows deep with stride `NR`, zero-padded to full `NR`
+/// columns.
+fn pack_b(b: &Matrix, pc: usize, jc: usize, kc: usize, nc: usize, buf: &mut Vec<f64>) {
+    let panels = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * NR * kc, 0.0);
+    let ldb = b.cols();
+    let src = b.as_slice();
+    for q in 0..panels {
+        let j0 = q * NR;
+        let cols = NR.min(nc - j0);
+        let panel = &mut buf[q * NR * kc..(q + 1) * NR * kc];
+        for l in 0..kc {
+            let row = &src[(pc + l) * ldb + jc + j0..][..cols];
+            panel[l * NR..l * NR + cols].copy_from_slice(row);
+        }
+    }
+}
+
+/// The register-blocked microkernel: returns the `MR×NR` product block of
+/// one packed `A` micro-panel against one packed `B` micro-panel, `kc`
+/// deep. The accumulator array lives in vector registers; the `j` loop is
+/// the autovectorized dimension.
+#[inline(always)]
+fn microkernel(kc: usize, a_panel: &[f64], b_panel: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (av, bv) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(kc)
+    {
+        let bv: &[f64; NR] = bv.try_into().expect("exact chunk");
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+    acc
+}
+
+/// Applies one packed `A` block against one packed `B` block, updating the
+/// `mc×nc` region of `C` that starts at column `jc` inside `c_rows`
+/// (`c_rows` is the row-major stripe of `C` holding the block's rows;
+/// `ldc` is the full row stride). Handles ragged edges by clipping the
+/// microkernel's accumulator at write-back.
+#[allow(clippy::too_many_arguments)]
+fn packed_block_update(
+    alpha: f64,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    c_rows: &mut [f64],
+    ldc: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    for (q, jr) in (0..nc).step_by(NR).enumerate() {
+        let b_panel = &b_pack[q * NR * kc..(q + 1) * NR * kc];
+        let nr_eff = NR.min(nc - jr);
+        for (p, ir) in (0..mc).step_by(MR).enumerate() {
+            let a_panel = &a_pack[p * MR * kc..(p + 1) * MR * kc];
+            let mr_eff = MR.min(mc - ir);
+            let acc = microkernel(kc, a_panel, b_panel);
+            for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
+                let c_row = &mut c_rows[(ir + i) * ldc + jc + jr..][..nr_eff];
+                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                    *cv += alpha * av;
+                }
+            }
+        }
+    }
+}
+
+fn gemm_packed(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let params = *PackedParams::get();
+    let threads = rayon::current_num_threads();
+    // Fan out over MC row blocks only when more than one exists and the
+    // arithmetic amortizes the scoped-thread dispatch.
+    if threads > 1 && m > params.mc && flop_pairs(m, k, n) >= 4 * (TILE * TILE * TILE) as u64 {
+        gemm_packed_parallel(alpha, a, b, c, &params, threads);
+    } else {
+        gemm_packed_st(alpha, a, b, c, &params);
+    }
+}
+
+/// Single-threaded packed driver; packing scratch comes from the calling
+/// thread's reusable buffers.
+fn gemm_packed_st(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix, params: &PackedParams) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    PACK_SCRATCH.with(|scratch| {
+        let (a_buf, b_buf) = &mut *scratch.borrow_mut();
+        for jc in (0..n).step_by(params.nc) {
+            let nc = params.nc.min(n - jc);
+            for pc in (0..k).step_by(params.kc) {
+                let kc = params.kc.min(k - pc);
+                pack_b(b, pc, jc, kc, nc, b_buf);
+                for ic in (0..m).step_by(params.mc) {
+                    let mc = params.mc.min(m - ic);
+                    pack_a(a, ic, pc, mc, kc, a_buf);
+                    let c_rows = &mut c.as_mut_slice()[ic * n..(ic + mc) * n];
+                    packed_block_update(alpha, a_buf, b_buf, c_rows, n, jc, mc, nc, kc);
+                }
+            }
+        }
+    });
+}
+
+/// Parallel packed driver: `B` blocks are packed once by the caller and
+/// shared read-only; `MC` row blocks of `C` are dealt round-robin to
+/// scoped worker threads, each with its own persistent `A`-packing buffer.
+fn gemm_packed_parallel(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    params: &PackedParams,
+    threads: usize,
+) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let blocks = m.div_ceil(params.mc);
+    let workers = threads.min(blocks);
+    // One A-pack scratch per worker, allocated once per call (workers are
+    // scoped threads, so the caller's thread-locals are not theirs).
+    let mut a_bufs: Vec<Vec<f64>> = (0..workers).map(|_| Vec::new()).collect();
+    PACK_SCRATCH.with(|scratch| {
+        let (_, b_buf) = &mut *scratch.borrow_mut();
+        for jc in (0..n).step_by(params.nc) {
+            let nc = params.nc.min(n - jc);
+            for pc in (0..k).step_by(params.kc) {
+                let kc = params.kc.min(k - pc);
+                pack_b(b, pc, jc, kc, nc, b_buf);
+                let b_pack: &[f64] = b_buf;
+                let mut assignments: Vec<Vec<(usize, &mut [f64])>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (idx, c_rows) in c.as_mut_slice().chunks_mut(params.mc * n).enumerate() {
+                    assignments[idx % workers].push((idx, c_rows));
+                }
+                std::thread::scope(|s| {
+                    for (queue, a_buf) in assignments.into_iter().zip(a_bufs.iter_mut()) {
+                        s.spawn(move || {
+                            for (idx, c_rows) in queue {
+                                let ic = idx * params.mc;
+                                let mc = params.mc.min(m - ic);
+                                pack_a(a, ic, pc, mc, kc, a_buf);
+                                packed_block_update(
+                                    alpha, a_buf, b_pack, c_rows, n, jc, mc, nc, kc,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generate::seeded_uniform;
     use proptest::prelude::*;
+
+    const ALL_KERNELS: [GemmKernel; 4] = [
+        GemmKernel::Naive,
+        GemmKernel::Blocked,
+        GemmKernel::Parallel,
+        GemmKernel::Packed,
+    ];
 
     fn reference_product(a: &Matrix, b: &Matrix) -> Matrix {
         let mut c = Matrix::zeros(a.rows(), b.cols());
@@ -150,10 +448,15 @@ mod tests {
     }
 
     #[test]
+    fn default_kernel_is_packed() {
+        assert_eq!(GemmKernel::default(), GemmKernel::Packed);
+    }
+
+    #[test]
     fn identity_is_neutral_for_all_kernels() {
         let a = seeded_uniform(7, 7, 42);
         let id = Matrix::identity(7);
-        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+        for kernel in ALL_KERNELS {
             let mut c = Matrix::zeros(7, 7);
             gemm(kernel, &a, &id, &mut c);
             assert!(c.approx_eq(&a, 1e-12), "kernel {kernel:?} failed");
@@ -162,13 +465,15 @@ mod tests {
 
     #[test]
     fn gemm_accumulates_instead_of_overwriting() {
-        let a = Matrix::identity(3);
-        let b = Matrix::identity(3);
-        let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
-        gemm(GemmKernel::Blocked, &a, &b, &mut c);
-        // C = ones + I
-        assert_eq!(c.get(0, 0), 2.0);
-        assert_eq!(c.get(0, 1), 1.0);
+        for kernel in [GemmKernel::Blocked, GemmKernel::Packed] {
+            let a = Matrix::identity(3);
+            let b = Matrix::identity(3);
+            let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
+            gemm(kernel, &a, &b, &mut c);
+            // C = ones + I
+            assert_eq!(c.get(0, 0), 2.0, "{kernel:?}");
+            assert_eq!(c.get(0, 1), 1.0, "{kernel:?}");
+        }
     }
 
     #[test]
@@ -176,7 +481,11 @@ mod tests {
         let a = seeded_uniform(5, 9, 1);
         let b = seeded_uniform(9, 3, 2);
         let want = reference_product(&a, &b);
-        for kernel in [GemmKernel::Blocked, GemmKernel::Parallel] {
+        for kernel in [
+            GemmKernel::Blocked,
+            GemmKernel::Parallel,
+            GemmKernel::Packed,
+        ] {
             let mut c = Matrix::zeros(5, 3);
             gemm(kernel, &a, &b, &mut c);
             assert!(c.approx_eq(&want, 1e-10), "kernel {kernel:?} failed");
@@ -198,16 +507,38 @@ mod tests {
         let a = seeded_uniform(n, n, 7);
         let b = seeded_uniform(n, n, 8);
         let want = reference_product(&a, &b);
-        let mut c = Matrix::zeros(n, n);
-        gemm(GemmKernel::Parallel, &a, &b, &mut c);
-        assert!(c.approx_eq(&want, 1e-8));
+        for kernel in [GemmKernel::Parallel, GemmKernel::Packed] {
+            let mut c = Matrix::zeros(n, n);
+            gemm(kernel, &a, &b, &mut c);
+            assert!(c.approx_eq(&want, 1e-8), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn packed_crosses_cache_block_boundaries() {
+        // Exceed KC and MC so the pc/ic loops run more than once, with
+        // ragged edges on every dimension.
+        let params = *PackedParams::get();
+        let m = params.mc + MR + 1;
+        let k = params.kc + 3;
+        let n = 2 * NR + 5;
+        let a = seeded_uniform(m, k, 11);
+        let b = seeded_uniform(k, n, 12);
+        let want = reference_product(&a, &b);
+        let mut c = Matrix::zeros(m, n);
+        gemm(GemmKernel::Packed, &a, &b, &mut c);
+        assert!(
+            c.approx_eq(&want, 1e-8),
+            "max diff {}",
+            c.max_abs_diff(&want)
+        );
     }
 
     #[test]
     fn gemm_scaled_negative_alpha_subtracts() {
         let a = seeded_uniform(4, 4, 9);
         let b = seeded_uniform(4, 4, 10);
-        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+        for kernel in ALL_KERNELS {
             let mut c = Matrix::zeros(4, 4);
             gemm(kernel, &a, &b, &mut c);
             gemm_scaled(kernel, -1.0, &a, &b, &mut c);
@@ -219,6 +550,14 @@ mod tests {
     fn flop_pairs_counts_mk_n() {
         assert_eq!(flop_pairs(2, 3, 4), 24);
         assert_eq!(flop_pairs(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn packed_params_env_is_sane() {
+        let p = PackedParams::get();
+        assert!(p.mc >= MR && p.mc.is_multiple_of(MR));
+        assert!(p.nc >= NR && p.nc.is_multiple_of(NR));
+        assert!(p.kc >= 1);
     }
 
     proptest! {
@@ -247,6 +586,54 @@ mod tests {
         }
 
         #[test]
+        fn packed_matches_naive_rectangular(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000
+        ) {
+            // Shapes deliberately not multiples of MR/NR: every ragged
+            // edge path must agree with the oracle.
+            let a = seeded_uniform(m, k, seed);
+            let b = seeded_uniform(k, n, seed.wrapping_add(1));
+            let want = reference_product(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm(GemmKernel::Packed, &a, &b, &mut c);
+            prop_assert!(c.approx_eq(&want, 1e-10));
+        }
+
+        #[test]
+        fn packed_unit_extent_edges(
+            axis in 0usize..3, other in 1usize..20, seed in 0u64..500
+        ) {
+            // One of m/k/n pinned to 1 (vector × matrix, outer products,
+            // dot-like shapes).
+            let (m, k, n) = match axis {
+                0 => (1, other, other + 1),
+                1 => (other, 1, other + 2),
+                _ => (other + 1, other, 1),
+            };
+            let a = seeded_uniform(m, k, seed);
+            let b = seeded_uniform(k, n, seed.wrapping_add(1));
+            let want = reference_product(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm(GemmKernel::Packed, &a, &b, &mut c);
+            prop_assert!(c.approx_eq(&want, 1e-10));
+        }
+
+        #[test]
+        fn packed_negative_alpha_accumulates(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500
+        ) {
+            // C starts random, then C += A·B followed by C += (−1)·A·B
+            // must restore it exactly within tolerance.
+            let a = seeded_uniform(m, k, seed);
+            let b = seeded_uniform(k, n, seed.wrapping_add(1));
+            let start = seeded_uniform(m, n, seed.wrapping_add(2));
+            let mut c = start.clone();
+            gemm_scaled(GemmKernel::Packed, 1.0, &a, &b, &mut c);
+            gemm_scaled(GemmKernel::Packed, -1.0, &a, &b, &mut c);
+            prop_assert!(c.approx_eq(&start, 1e-10));
+        }
+
+        #[test]
         fn gemm_is_linear_in_a(
             m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..500
         ) {
@@ -258,11 +645,11 @@ mod tests {
             a_sum.add_assign(&a2);
 
             let mut lhs = Matrix::zeros(m, n);
-            gemm(GemmKernel::Blocked, &a_sum, &b, &mut lhs);
+            gemm(GemmKernel::Packed, &a_sum, &b, &mut lhs);
 
             let mut rhs = Matrix::zeros(m, n);
-            gemm(GemmKernel::Blocked, &a1, &b, &mut rhs);
-            gemm(GemmKernel::Blocked, &a2, &b, &mut rhs);
+            gemm(GemmKernel::Packed, &a1, &b, &mut rhs);
+            gemm(GemmKernel::Packed, &a2, &b, &mut rhs);
 
             prop_assert!(lhs.approx_eq(&rhs, 1e-9));
         }

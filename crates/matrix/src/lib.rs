@@ -7,8 +7,10 @@
 //!   extraction and accumulation, the unit of data the distributed
 //!   algorithms move around;
 //! * [`mod@gemm`] — local matrix-multiply kernels (`C += A·B`): a naive
-//!   reference, a cache-blocked kernel, and a rayon-parallel kernel that
-//!   stands in for the vendor DGEMM (ESSL / MKL) used in the paper;
+//!   reference, cache-blocked and thread-parallel baselines, and the
+//!   default BLIS-style packed kernel (`MC/KC/NC` cache blocking over a
+//!   register-blocked `MR×NR` microkernel) that stands in for the vendor
+//!   DGEMM (ESSL / MKL) used in the paper;
 //! * [`distribute`] — the two-dimensional block-checkerboard distribution
 //!   used by SUMMA/HSUMMA, plus a block-cyclic distribution (the paper's
 //!   future-work extension), with scatter/gather between a global matrix
@@ -27,6 +29,6 @@ pub mod view;
 
 pub use dense::Matrix;
 pub use distribute::{BlockCyclicDist, BlockDist, GridShape};
-pub use gemm::{gemm, gemm_scaled, GemmKernel};
+pub use gemm::{gemm, gemm_scaled, GemmKernel, PackedParams};
 pub use generate::{deterministic, random_uniform, seeded_uniform};
 pub use view::{gemm_view, MatrixView};

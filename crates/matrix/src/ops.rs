@@ -22,7 +22,9 @@ impl Sub for &Matrix {
 
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch in -");
-        Matrix::from_fn(self.rows(), self.cols(), |i, j| self.get(i, j) - rhs.get(i, j))
+        Matrix::from_fn(self.rows(), self.cols(), |i, j| {
+            self.get(i, j) - rhs.get(i, j)
+        })
     }
 }
 
@@ -39,10 +41,10 @@ impl Neg for &Matrix {
 impl Mul for &Matrix {
     type Output = Matrix;
 
-    /// Matrix product via the blocked kernel.
+    /// Matrix product via the default (packed) kernel.
     fn mul(self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows(), rhs.cols());
-        gemm(GemmKernel::Blocked, self, rhs, &mut out);
+        gemm(GemmKernel::default(), self, rhs, &mut out);
         out
     }
 }

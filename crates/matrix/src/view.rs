@@ -31,7 +31,12 @@ impl<'a> MatrixView<'a> {
                 "buffer too short for the view"
             );
         }
-        MatrixView { data, rows, cols, stride }
+        MatrixView {
+            data,
+            rows,
+            cols,
+            stride,
+        }
     }
 
     /// Number of rows.
@@ -64,7 +69,10 @@ impl<'a> MatrixView<'a> {
     /// # Panics
     /// Panics if the region exceeds the view.
     pub fn subview(&self, r0: usize, c0: usize, h: usize, w: usize) -> MatrixView<'a> {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "subview out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "subview out of bounds"
+        );
         MatrixView {
             data: &self.data[r0 * self.stride + c0..],
             rows: h,

@@ -23,18 +23,30 @@ impl ModelParams {
     /// Grid5000/Graphene parameters (§V-A.1). The paper's `β = 1e-9` is
     /// per matrix element; stored here per byte.
     pub fn grid5000() -> Self {
-        ModelParams { alpha: 1e-4, beta: 1e-9 / crate::ELEM_BYTES, gamma: 4e-10 }
+        ModelParams {
+            alpha: 1e-4,
+            beta: 1e-9 / crate::ELEM_BYTES,
+            gamma: 4e-10,
+        }
     }
 
     /// BlueGene/P parameters (§V-B.1), `β` per byte as above; γ calibrated
     /// as in `hsumma_netsim::Platform::bluegene_p`.
     pub fn bluegene_p() -> Self {
-        ModelParams { alpha: 3e-6, beta: 1e-9 / crate::ELEM_BYTES, gamma: 8e-10 }
+        ModelParams {
+            alpha: 3e-6,
+            beta: 1e-9 / crate::ELEM_BYTES,
+            gamma: 8e-10,
+        }
     }
 
     /// Exascale roadmap parameters (§V-C).
     pub fn exascale() -> Self {
-        ModelParams { alpha: 500e-9, beta: 1e-11, gamma: 2.1e-12 }
+        ModelParams {
+            alpha: 500e-9,
+            beta: 1e-11,
+            gamma: 2.1e-12,
+        }
     }
 }
 
@@ -86,7 +98,13 @@ fn compute_time(params: &ModelParams, n: f64, p: f64) -> f64 {
 ///
 /// # Panics
 /// Panics unless `p ≥ 1`, `n ≥ b ≥ 1`.
-pub fn summa_cost(params: &ModelParams, bcast: BcastModel, n: f64, p: f64, b: f64) -> CostBreakdown {
+pub fn summa_cost(
+    params: &ModelParams,
+    bcast: BcastModel,
+    n: f64,
+    p: f64,
+    b: f64,
+) -> CostBreakdown {
     assert!(p >= 1.0 && n >= b && b >= 1.0, "invalid SUMMA parameters");
     let q = p.sqrt();
     let steps = n / b;
@@ -94,7 +112,11 @@ pub fn summa_cost(params: &ModelParams, bcast: BcastModel, n: f64, p: f64, b: f6
     // Factor 2: A's row broadcast plus B's column broadcast each step.
     let latency = 2.0 * steps * bcast.latency(q) * params.alpha;
     let bandwidth = 2.0 * steps * panel_bytes * bcast.bandwidth(q) * params.beta;
-    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+    CostBreakdown {
+        latency,
+        bandwidth,
+        compute: compute_time(params, n, p),
+    }
 }
 
 /// HSUMMA predicted cost (Eqs. 3–5 / Tables I–II): `√G × √G` groups,
@@ -135,7 +157,11 @@ pub fn hsumma_cost(
         * (outer_steps * outer_bytes * outer_bcast.bandwidth(qg)
             + inner_steps * inner_bytes * inner_bcast.bandwidth(qi))
         * params.beta;
-    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+    CostBreakdown {
+        latency,
+        bandwidth,
+        compute: compute_time(params, n, p),
+    }
 }
 
 /// The optimal-configuration row of Table II: HSUMMA with van de Geijn
@@ -144,9 +170,12 @@ pub fn hsumma_cost(
 pub fn hsumma_vdg_optimal_cost(params: &ModelParams, n: f64, p: f64, b: f64) -> CostBreakdown {
     let q4 = p.powf(0.25);
     let latency = (p.log2() + 4.0 * (q4 - 1.0)) * (n / b) * params.alpha;
-    let bandwidth =
-        8.0 * (1.0 - 1.0 / q4) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
-    CostBreakdown { latency, bandwidth, compute: compute_time(params, n, p) }
+    let bandwidth = 8.0 * (1.0 - 1.0 / q4) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
+    CostBreakdown {
+        latency,
+        bandwidth,
+        compute: compute_time(params, n, p),
+    }
 }
 
 #[cfg(test)]
@@ -160,19 +189,35 @@ mod tests {
     #[test]
     fn summa_binomial_matches_table_one() {
         // Table I: latency log2(p)·n/b·α, bandwidth log2(p)·n²/√p·β.
-        let params = ModelParams { alpha: 1e-4, beta: 1e-9, gamma: 0.0 };
+        let params = ModelParams {
+            alpha: 1e-4,
+            beta: 1e-9,
+            gamma: 0.0,
+        };
         let (n, p, b) = (8192.0, 128.0f64, 64.0);
         let c = summa_cost(&params, BcastModel::Binomial, n, p, b);
         let want_lat = p.log2() * (n / b) * params.alpha;
         let want_bw = p.log2() * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
-        assert!(close(c.latency, want_lat), "lat {} vs {want_lat}", c.latency);
-        assert!(close(c.bandwidth, want_bw), "bw {} vs {want_bw}", c.bandwidth);
+        assert!(
+            close(c.latency, want_lat),
+            "lat {} vs {want_lat}",
+            c.latency
+        );
+        assert!(
+            close(c.bandwidth, want_bw),
+            "bw {} vs {want_bw}",
+            c.bandwidth
+        );
     }
 
     #[test]
     fn summa_vdg_matches_table_two() {
         // Table II: (log2(p) + 2(√p−1))·n/b·α + 4(1−1/√p)·n²/√p·β.
-        let params = ModelParams { alpha: 3e-6, beta: 1e-9, gamma: 0.0 };
+        let params = ModelParams {
+            alpha: 3e-6,
+            beta: 1e-9,
+            gamma: 0.0,
+        };
         let (n, p, b) = (65536.0, 16384.0f64, 256.0);
         let c = summa_cost(&params, BcastModel::VanDeGeijn, n, p, b);
         let q = p.sqrt();
@@ -186,14 +231,29 @@ mod tests {
     fn hsumma_binomial_matches_table_one() {
         // Table I HSUMMA row with b = B:
         // latency (log2(p/G)+log2(G))·n/b·α, bandwidth same multiplier.
-        let params = ModelParams { alpha: 1e-4, beta: 1e-9, gamma: 0.0 };
+        let params = ModelParams {
+            alpha: 1e-4,
+            beta: 1e-9,
+            gamma: 0.0,
+        };
         let (n, p, g, b) = (8192.0, 16384.0f64, 64.0f64, 64.0);
-        let c = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, g, b, b);
-        let want_lat =
-            ((p / g).log2() + g.log2()) * (n / b) * params.alpha;
-        let want_bw =
-            ((p / g).log2() + g.log2()) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
-        assert!(close(c.latency, want_lat), "lat {} vs {want_lat}", c.latency);
+        let c = hsumma_cost(
+            &params,
+            BcastModel::Binomial,
+            BcastModel::Binomial,
+            n,
+            p,
+            g,
+            b,
+            b,
+        );
+        let want_lat = ((p / g).log2() + g.log2()) * (n / b) * params.alpha;
+        let want_bw = ((p / g).log2() + g.log2()) * (n * n / p.sqrt()) * ELEM_BYTES * params.beta;
+        assert!(
+            close(c.latency, want_lat),
+            "lat {} vs {want_lat}",
+            c.latency
+        );
         assert!(close(c.bandwidth, want_bw));
     }
 
@@ -202,7 +262,16 @@ mod tests {
         let params = ModelParams::grid5000();
         let (n, p, b) = (8192.0, 128.0, 64.0);
         let s = summa_cost(&params, BcastModel::Binomial, n, p, b);
-        let h = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 1.0, b, b);
+        let h = hsumma_cost(
+            &params,
+            BcastModel::Binomial,
+            BcastModel::Binomial,
+            n,
+            p,
+            1.0,
+            b,
+            b,
+        );
         assert!(close(s.latency, h.latency));
         assert!(close(s.bandwidth, h.bandwidth));
         assert!(close(s.compute, h.compute));
@@ -212,7 +281,11 @@ mod tests {
     fn hsumma_g_equal_p_reduces_to_summa_for_all_models() {
         let params = ModelParams::bluegene_p();
         let (n, p, b) = (65536.0, 16384.0, 256.0);
-        for m in [BcastModel::Binomial, BcastModel::VanDeGeijn, BcastModel::Flat] {
+        for m in [
+            BcastModel::Binomial,
+            BcastModel::VanDeGeijn,
+            BcastModel::Flat,
+        ] {
             let s = summa_cost(&params, m, n, p, b);
             let h = hsumma_cost(&params, m, m, n, p, p, b, b);
             assert!(close(s.latency, h.latency), "{m:?}");
@@ -244,9 +317,26 @@ mod tests {
     fn compute_term_is_group_independent() {
         let params = ModelParams::bluegene_p();
         let (n, p, b) = (65536.0, 16384.0, 256.0);
-        let c1 = hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 4.0, b, b);
-        let c2 =
-            hsumma_cost(&params, BcastModel::Binomial, BcastModel::Binomial, n, p, 512.0, b, b);
+        let c1 = hsumma_cost(
+            &params,
+            BcastModel::Binomial,
+            BcastModel::Binomial,
+            n,
+            p,
+            4.0,
+            b,
+            b,
+        );
+        let c2 = hsumma_cost(
+            &params,
+            BcastModel::Binomial,
+            BcastModel::Binomial,
+            n,
+            p,
+            512.0,
+            b,
+            b,
+        );
         assert_eq!(c1.compute, c2.compute);
         assert!(close(c1.compute, params.gamma * n * n * n / p));
     }
@@ -269,7 +359,11 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums_parts() {
-        let c = CostBreakdown { latency: 1.0, bandwidth: 2.0, compute: 4.0 };
+        let c = CostBreakdown {
+            latency: 1.0,
+            bandwidth: 2.0,
+            compute: 4.0,
+        };
         assert_eq!(c.comm(), 3.0);
         assert_eq!(c.total(), 7.0);
     }

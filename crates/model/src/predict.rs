@@ -96,11 +96,21 @@ mod tests {
         let params = ModelParams::exascale();
         let p = (1u64 << 20) as f64;
         let n = (1u64 << 22) as f64;
-        let sweep =
-            sweep_groups(&params, BcastModel::VanDeGeijn, n, p, 256.0, &power_of_two_gs(p));
+        let sweep = sweep_groups(
+            &params,
+            BcastModel::VanDeGeijn,
+            n,
+            p,
+            256.0,
+            &power_of_two_gs(p),
+        );
         let best = best_point(&sweep);
         let at_g1 = sweep[0].hsumma.comm();
-        assert!(best.g > 1.0 && best.g < p, "best G={} should be interior", best.g);
+        assert!(
+            best.g > 1.0 && best.g < p,
+            "best G={} should be interior",
+            best.g
+        );
         assert!(best.hsumma.comm() < at_g1, "interior must beat G=1");
         // Best G should be the power of two nearest √p = 1024.
         assert_eq!(best.g, 1024.0);
@@ -127,7 +137,11 @@ mod tests {
         );
         let best = best_point(&sweep);
         let ratio = best.summa.comm() / best.hsumma.comm();
-        assert!(best.g > 1.0 && best.g < p, "optimum must be interior, got G={}", best.g);
+        assert!(
+            best.g > 1.0 && best.g < p,
+            "optimum must be interior, got G={}",
+            best.g
+        );
         assert!(ratio > 1.1, "predicted win should be real, got {ratio:.3}×");
     }
 

@@ -94,7 +94,11 @@ mod tests {
 
     #[test]
     fn closed_form_matches_numeric_derivative_of_cost() {
-        let params = ModelParams { alpha: 1e-4, beta: 1e-9, gamma: 0.0 };
+        let params = ModelParams {
+            alpha: 1e-4,
+            beta: 1e-9,
+            gamma: 0.0,
+        };
         let (n, p, blk) = (8192.0, 16384.0, 64.0);
         let comm = |g: f64| {
             hsumma_cost(
@@ -138,7 +142,13 @@ mod tests {
     #[test]
     fn paper_exascale_validation_is_interior_minimum() {
         // §V-C: α=500ns, β=1e-11 s/B, n=2²², p=2²⁰, b=256.
-        let r = classify_regime(500e-9, 1e-11, (1u64 << 22) as f64, (1u64 << 20) as f64, 256.0);
+        let r = classify_regime(
+            500e-9,
+            1e-11,
+            (1u64 << 22) as f64,
+            (1u64 << 20) as f64,
+            256.0,
+        );
         assert_eq!(r, Regime::InteriorMinimum);
     }
 

@@ -51,7 +51,10 @@ pub fn threed_memory_blowup(p: f64) -> f64 {
 /// `c ∈ [1, p^⅓]` on a `√(p/c) × √(p/c) × c` arrangement (Solomonik &
 /// Demmel): bandwidth `O(n²/√(cp))`, latency `O(√(p/c³) + log c)`.
 pub fn twodotfive_cost(params: &ModelParams, n: f64, p: f64, c: f64) -> CostBreakdown {
-    assert!(c >= 1.0 && c <= p.powf(1.0 / 3.0) + 1e-9, "c must lie in [1, p^1/3]");
+    assert!(
+        c >= 1.0 && c <= p.powf(1.0 / 3.0) + 1e-9,
+        "c must lie in [1, p^1/3]"
+    );
     let bandwidth_words = 2.0 * n * n / (c * p).sqrt();
     let latency_msgs = (p / (c * c * c)).sqrt() + c.log2().max(0.0);
     CostBreakdown {

@@ -187,7 +187,10 @@ mod tests {
             let group: Vec<usize> = (0..p).collect();
             let done = SimBcast::Binomial.run(&mut net, &group, 0, 4096);
             let want = (p as f64).log2() * t(4096);
-            assert!((done - want).abs() < 1e-12, "p={p}: got {done}, want {want}");
+            assert!(
+                (done - want).abs() < 1e-12,
+                "p={p}: got {done}, want {want}"
+            );
         }
     }
 
@@ -240,10 +243,7 @@ mod tests {
             let done = SimBcast::ScatterAllgather.run(&mut net, &group, 0, m);
             let pf = p as f64;
             let want = (pf.log2() + pf - 1.0) * ALPHA + 2.0 * (pf - 1.0) / pf * m as f64 * BETA;
-            assert!(
-                (done - want).abs() < 1e-9,
-                "p={p}: got {done}, want {want}"
-            );
+            assert!((done - want).abs() < 1e-9, "p={p}: got {done}, want {want}");
         }
     }
 

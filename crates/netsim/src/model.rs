@@ -26,7 +26,10 @@ impl Hockney {
     /// assert!(net.time(1_000_000) > 1e-3);      // bandwidth dominates
     /// ```
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha >= 0.0 && beta >= 0.0, "Hockney parameters must be non-negative");
+        assert!(
+            alpha >= 0.0 && beta >= 0.0,
+            "Hockney parameters must be non-negative"
+        );
         Hockney { alpha, beta }
     }
 
@@ -65,7 +68,11 @@ impl Platform {
     /// used in the Grid5000 experiments (they report communication time
     /// only); we take ~2.5 Gpair/s, a 2009-era Xeon core.
     pub fn grid5000() -> Self {
-        Platform { name: "Grid5000/Graphene", net: Hockney::new(1e-4, 1e-9 / ELEM_BYTES as f64), gamma: 4e-10 }
+        Platform {
+            name: "Grid5000/Graphene",
+            net: Hockney::new(1e-4, 1e-9 / ELEM_BYTES as f64),
+            gamma: 4e-10,
+        }
     }
 
     /// Shaheen BlueGene/P (§V-B.1): `α = 3e-6 s`, `β = 1e-9 s/element`
@@ -128,7 +135,11 @@ impl Platform {
     pub fn exascale() -> Self {
         // 1e18 flop/s over 2^20 procs → 9.54e11 flop/s per proc →
         // 2.1e-12 s per multiply-add pair.
-        Platform { name: "Exascale (roadmap)", net: Hockney::new(500e-9, 1e-11), gamma: 2.1e-12 }
+        Platform {
+            name: "Exascale (roadmap)",
+            net: Hockney::new(500e-9, 1e-11),
+            gamma: 2.1e-12,
+        }
     }
 
     /// Transfer time of `elems` matrix elements.

@@ -80,7 +80,10 @@ impl NoiseModel {
     /// slowdown (e.g. `0.2` = up to 20 % slower per transfer).
     pub fn new(seed: u64, amplitude: f64) -> Self {
         assert!(amplitude >= 0.0, "amplitude must be non-negative");
-        NoiseModel { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), amplitude }
+        NoiseModel {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            amplitude,
+        }
     }
 
     /// Next multiplicative factor in `[1, 1 + amplitude]`.
@@ -190,7 +193,13 @@ impl SimNet {
         self.bytes += bytes;
         let arrival = departure + busy + self.topo.extra_latency(src, dst);
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent { src, dst, bytes, departure, arrival });
+            trace.push(TraceEvent {
+                src,
+                dst,
+                bytes,
+                departure,
+                arrival,
+            });
         }
         PendingMsg { arrival }
     }

@@ -48,7 +48,10 @@ pub struct Torus3D {
 impl Torus3D {
     /// Creates a torus; extents must be positive.
     pub fn new(dims: [usize; 3], hop_latency: f64) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "torus extents must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "torus extents must be positive"
+        );
         assert!(hop_latency >= 0.0);
         Torus3D { dims, hop_latency }
     }

@@ -23,6 +23,7 @@
 use crate::comm::{Comm, INTERNAL_TAG_BASE};
 use crate::message::Tag;
 use std::any::Any;
+use std::sync::Arc;
 
 const TAG_BARRIER: Tag = INTERNAL_TAG_BASE + 16;
 const TAG_BCAST: Tag = INTERNAL_TAG_BASE + 17;
@@ -201,11 +202,23 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
         comm.count_bytes((data.len() * 8) as u64);
     }
     match algo {
-        BcastAlgorithm::Flat | BcastAlgorithm::Binomial | BcastAlgorithm::Binary
+        BcastAlgorithm::Flat
+        | BcastAlgorithm::Binomial
+        | BcastAlgorithm::Binary
         | BcastAlgorithm::Ring => {
-            let value = if comm.rank() == root { Some(data.to_vec()) } else { None };
-            let out = bcast(comm, algo, root, value);
-            data.copy_from_slice(&out);
+            // The payload travels as one `Arc`-shared buffer: the root
+            // materializes a single snapshot and every relay hop forwards
+            // a reference-count bump instead of a deep copy.
+            let value = if comm.rank() == root {
+                comm.count_payload_clone((data.len() * 8) as u64);
+                Some(Arc::new(data.to_vec()))
+            } else {
+                None
+            };
+            let out: Arc<Vec<f64>> = bcast(comm, algo, root, value);
+            if comm.rank() != root {
+                data.copy_from_slice(&out);
+            }
         }
         BcastAlgorithm::Pipelined { segments } => bcast_pipelined(comm, root, data, segments),
         BcastAlgorithm::ScatterAllgather => bcast_scatter_allgather(comm, root, data),
@@ -213,7 +226,9 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
 }
 
 /// Chain pipeline: virtual rank k receives each segment from k−1 and
-/// forwards it to k+1 while already receiving the next one.
+/// forwards it to k+1 while already receiving the next one. The root
+/// materializes each segment once; every later hop forwards the same
+/// `Arc`-shared segment it received.
 fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) {
     assert!(segments >= 1, "need at least one segment");
     let p = comm.size();
@@ -223,12 +238,19 @@ fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) 
     let segments = segments.min(data.len().max(1));
     for s in 0..segments {
         let (lo, hi) = chunk_range(data.len(), segments, s);
-        if vrank > 0 {
-            let seg: Vec<f64> = comm.recv_internal(prev, TAG_PIPELINE);
+        let received: Option<Arc<Vec<f64>>> = if vrank > 0 {
+            let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_PIPELINE);
             data[lo..hi].copy_from_slice(&seg);
-        }
+            Some(seg)
+        } else {
+            None
+        };
         if vrank + 1 < p {
-            comm.send_internal(next, TAG_PIPELINE, data[lo..hi].to_vec());
+            let seg = received.unwrap_or_else(|| {
+                comm.count_payload_clone(((hi - lo) * 8) as u64);
+                Arc::new(data[lo..hi].to_vec())
+            });
+            comm.send_internal(next, TAG_PIPELINE, seg);
         }
     }
 }
@@ -245,42 +267,59 @@ fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
     // --- Binomial scatter ------------------------------------------------
     // Virtual rank v is responsible for relaying the chunks of virtual
     // ranks [v, v + extent) where extent is v's lowest set bit (the whole
-    // clipped range for the root).
+    // clipped range for the root). Messages are `(buffer, offset)` pairs:
+    // one `Arc`-shared buffer tagged with the global element index of its
+    // first element, so a relay hands its children a sub-view of the very
+    // buffer it received instead of slicing out fresh copies.
     let p2 = p.next_power_of_two();
-    let my_extent = if vrank == 0 { p2 } else { vrank & vrank.wrapping_neg() };
-    if vrank != 0 {
+    let my_extent = if vrank == 0 {
+        p2
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let relay: (Arc<Vec<f64>>, usize) = if vrank == 0 {
+        comm.count_payload_clone((len * 8) as u64);
+        (Arc::new(data.to_vec()), 0)
+    } else {
         let parent = vrank - my_extent;
         let hi_v = (vrank + my_extent).min(p);
         let (lo, _) = chunk_range(len, p, vrank);
         let (_, hi) = chunk_range(len, p, hi_v - 1);
-        let seg: Vec<f64> = comm.recv_internal(to_world(parent), TAG_SCATTER);
-        data[lo..hi].copy_from_slice(&seg);
-    }
+        let (buf, off): (Arc<Vec<f64>>, usize) = comm.recv_internal(to_world(parent), TAG_SCATTER);
+        data[lo..hi].copy_from_slice(&buf[lo - off..hi - off]);
+        (buf, off)
+    };
     let mut mask = my_extent >> 1;
     while mask > 0 {
         let child = vrank + mask;
         if child < p {
-            let child_hi_v = (child + mask).min(p);
-            let (lo, _) = chunk_range(len, p, child);
-            let (_, hi) = chunk_range(len, p, child_hi_v - 1);
-            comm.send_internal(to_world(child), TAG_SCATTER, data[lo..hi].to_vec());
+            comm.send_internal(to_world(child), TAG_SCATTER, relay.clone());
         }
         mask >>= 1;
     }
+    drop(relay);
 
     // --- Ring allgather ---------------------------------------------------
     // Round k: send chunk (vrank − k) and receive chunk (vrank − k − 1),
-    // both mod p, from the ring neighbours.
+    // both mod p, from the ring neighbours. The chunk received in round k
+    // is exactly the chunk sent in round k+1, so each rank materializes
+    // only its *own* chunk (round 0) and forwards received `Arc`s after.
     let next = to_world((vrank + 1) % p);
     let prev = to_world((vrank + p - 1) % p);
+    let mut carry: Option<Arc<Vec<f64>>> = None;
     for k in 0..p - 1 {
         let send_chunk = (vrank + p - k) % p;
         let recv_chunk = (vrank + p - k - 1) % p;
-        let (slo, shi) = chunk_range(len, p, send_chunk);
-        comm.send_internal(next, TAG_ALLGATHER, data[slo..shi].to_vec());
-        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLGATHER);
+        let seg = carry.take().unwrap_or_else(|| {
+            let (slo, shi) = chunk_range(len, p, send_chunk);
+            comm.count_payload_clone(((shi - slo) * 8) as u64);
+            Arc::new(data[slo..shi].to_vec())
+        });
+        comm.send_internal(next, TAG_ALLGATHER, seg);
+        let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_ALLGATHER);
         let (rlo, rhi) = chunk_range(len, p, recv_chunk);
         data[rlo..rhi].copy_from_slice(&seg);
+        carry = Some(seg);
     }
 }
 
@@ -296,7 +335,11 @@ pub fn gather<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T
                 *slot = Some(comm.recv_internal(src, TAG_GATHER));
             }
         }
-        Some(out.into_iter().map(|v| v.expect("gather slot filled")).collect())
+        Some(
+            out.into_iter()
+                .map(|v| v.expect("gather slot filled"))
+                .collect(),
+        )
     } else {
         comm.send_internal(root, TAG_GATHER, value);
         None
@@ -433,7 +476,11 @@ pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
         }
         if vrank + mask < p {
             let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
-            assert_eq!(child.len(), data.len(), "reduce buffers must match in length");
+            assert_eq!(
+                child.len(),
+                data.len(),
+                "reduce buffers must match in length"
+            );
             for (a, b) in data.iter_mut().zip(&child) {
                 *a += b;
             }
@@ -524,7 +571,11 @@ mod tests {
             ] {
                 for root in [0, p - 1, p / 2] {
                     let out = Runtime::run(p, |comm| {
-                        let v = if comm.rank() == root { Some(42u64) } else { None };
+                        let v = if comm.rank() == root {
+                            Some(42u64)
+                        } else {
+                            None
+                        };
                         bcast(comm, algo, root, v)
                     });
                     assert_eq!(out, vec![42u64; p], "p={p} algo={algo:?} root={root}");
@@ -549,10 +600,7 @@ mod tests {
                     });
                     let want: Vec<f64> = (0..37).map(|i| i as f64 * 1.5).collect();
                     for (rank, buf) in out.iter().enumerate() {
-                        assert_eq!(
-                            buf, &want,
-                            "p={p} algo={algo:?} root={root} rank={rank}"
-                        );
+                        assert_eq!(buf, &want, "p={p} algo={algo:?} root={root} rank={rank}");
                     }
                 }
             }
@@ -563,7 +611,11 @@ mod tests {
     fn f64_bcast_payload_shorter_than_comm() {
         // Fewer elements than ranks: some scatter chunks are empty.
         let out = Runtime::run(8, |comm| {
-            let mut buf = if comm.rank() == 0 { vec![3.25, -1.5, 7.0] } else { vec![0.0; 3] };
+            let mut buf = if comm.rank() == 0 {
+                vec![3.25, -1.5, 7.0]
+            } else {
+                vec![0.0; 3]
+            };
             bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf);
             buf
         });
@@ -575,8 +627,17 @@ mod tests {
     #[test]
     fn pipelined_with_more_segments_than_elements() {
         let out = Runtime::run(4, |comm| {
-            let mut buf = if comm.rank() == 0 { vec![1.0, 2.0] } else { vec![0.0; 2] };
-            bcast_f64(comm, BcastAlgorithm::Pipelined { segments: 16 }, 0, &mut buf);
+            let mut buf = if comm.rank() == 0 {
+                vec![1.0, 2.0]
+            } else {
+                vec![0.0; 2]
+            };
+            bcast_f64(
+                comm,
+                BcastAlgorithm::Pipelined { segments: 16 },
+                0,
+                &mut buf,
+            );
             buf
         });
         for buf in out {
@@ -657,8 +718,11 @@ mod tests {
         for elems in [64usize, 4096] {
             let out = Runtime::run(8, |comm| {
                 let algo = auto_bcast(elems * 8, comm.size());
-                let mut buf =
-                    if comm.rank() == 3 { vec![2.5f64; elems] } else { vec![0.0; elems] };
+                let mut buf = if comm.rank() == 3 {
+                    vec![2.5f64; elems]
+                } else {
+                    vec![0.0; elems]
+                };
                 bcast_f64(comm, algo, 3, &mut buf);
                 buf[elems - 1]
             });
@@ -727,8 +791,7 @@ mod tests {
     fn allreduce_sum_f64_everywhere_matches_binomial_reduce() {
         for p in [1usize, 2, 3, 4, 7, 8] {
             let out = Runtime::run(p, |comm| {
-                let mut buf: Vec<f64> =
-                    (0..23).map(|i| (comm.rank() * 31 + i) as f64).collect();
+                let mut buf: Vec<f64> = (0..23).map(|i| (comm.rank() * 31 + i) as f64).collect();
                 allreduce_sum_f64(comm, &mut buf);
                 buf
             });
@@ -760,12 +823,87 @@ mod tests {
     fn bcast_counts_bytes_at_root() {
         let out = Runtime::run(2, |comm| {
             comm.reset_stats();
-            let mut buf = if comm.rank() == 0 { vec![1.0; 100] } else { vec![0.0; 100] };
+            let mut buf = if comm.rank() == 0 {
+                vec![1.0; 100]
+            } else {
+                vec![0.0; 100]
+            };
             bcast_f64(comm, BcastAlgorithm::Binomial, 0, &mut buf);
             comm.stats().bytes_sent
         });
         assert_eq!(out[0], 800);
         assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn bcast_relays_forward_shared_payloads_without_copying() {
+        const ELEMS: usize = 4096;
+        const ROOT: usize = 2;
+        let payload_bytes = (ELEMS * 8) as u64;
+        for algo in [
+            BcastAlgorithm::Flat,
+            BcastAlgorithm::Binomial,
+            BcastAlgorithm::Binary,
+            BcastAlgorithm::Ring,
+            BcastAlgorithm::Pipelined { segments: 4 },
+        ] {
+            let out = Runtime::run(8, |comm| {
+                comm.reset_stats();
+                let mut buf = if comm.rank() == ROOT {
+                    vec![1.25; ELEMS]
+                } else {
+                    vec![0.0; ELEMS]
+                };
+                bcast_f64(comm, algo, ROOT, &mut buf);
+                let s = comm.stats();
+                (s.payload_clones, s.payload_clone_bytes, buf)
+            });
+            for (rank, (clones, bytes, buf)) in out.iter().enumerate() {
+                assert_eq!(buf, &vec![1.25; ELEMS], "algo={algo:?} rank={rank}");
+                if rank == ROOT {
+                    // The root materializes the payload exactly once —
+                    // as a whole, or segment by segment when pipelining.
+                    assert_eq!(*bytes, payload_bytes, "algo={algo:?}");
+                } else {
+                    // Relays bump an `Arc` refcount per hop; a nonzero
+                    // count means a deep copy crept back in.
+                    assert_eq!(
+                        (*clones, *bytes),
+                        (0, 0),
+                        "relay deep-copied: algo={algo:?} rank={rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_ranks_materialize_at_most_one_chunk() {
+        const ELEMS: usize = 4096;
+        let p = 8;
+        let chunk_bytes = (ELEMS / p * 8) as u64;
+        let payload_bytes = (ELEMS * 8) as u64;
+        let out = Runtime::run(p, |comm| {
+            comm.reset_stats();
+            let mut buf = if comm.rank() == 0 {
+                vec![0.5; ELEMS]
+            } else {
+                vec![0.0; ELEMS]
+            };
+            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf);
+            let s = comm.stats();
+            (s.payload_clone_bytes, buf)
+        });
+        for (rank, (bytes, buf)) in out.iter().enumerate() {
+            assert_eq!(buf, &vec![0.5; ELEMS], "rank={rank}");
+            if rank == 0 {
+                // Snapshot for the scatter tree + its own allgather chunk.
+                assert_eq!(*bytes, payload_bytes + chunk_bytes);
+            } else {
+                // Ring contribution only — never the full payload.
+                assert_eq!(*bytes, chunk_bytes, "rank={rank}");
+            }
+        }
     }
 
     #[test]

@@ -163,6 +163,15 @@ impl Comm {
         self.shared.stats.borrow_mut().bytes_sent += bytes;
     }
 
+    /// Records one payload-buffer materialization of `bytes` bytes.
+    /// Collectives call this whenever they allocate-and-copy a payload to
+    /// put on the wire; relays that forward `Arc`-shared payloads don't.
+    pub(crate) fn count_payload_clone(&self, bytes: u64) {
+        let mut stats = self.shared.stats.borrow_mut();
+        stats.payload_clones += 1;
+        stats.payload_clone_bytes += bytes;
+    }
+
     /// Snapshot of this rank's accumulated statistics (shared across all
     /// communicators derived from the same world rank).
     pub fn stats(&self) -> CommStats {

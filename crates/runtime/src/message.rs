@@ -61,7 +61,13 @@ impl Mailbox {
     /// Creates a connected (sender, receiver) mailbox pair.
     pub fn new() -> (MailboxSender, Mailbox) {
         let (tx, rx) = unbounded();
-        (MailboxSender { tx }, Mailbox { rx, unexpected: VecDeque::new() })
+        (
+            MailboxSender { tx },
+            Mailbox {
+                rx,
+                unexpected: VecDeque::new(),
+            },
+        )
     }
 
     /// Blocks until a message matching `(ctx, src, tag)` is available and
@@ -149,7 +155,12 @@ mod tests {
     #[test]
     fn direct_delivery_and_receive() {
         let (tx, mut mb) = Mailbox::new();
-        tx.deliver(Envelope { ctx: 1, src: 0, tag: 7, payload: Box::new(42u32) });
+        tx.deliver(Envelope {
+            ctx: 1,
+            src: 0,
+            tag: 7,
+            payload: Box::new(42u32),
+        });
         let v: u32 = mb.recv(1, 0, 7);
         assert_eq!(v, 42);
     }
@@ -157,8 +168,18 @@ mod tests {
     #[test]
     fn out_of_order_messages_are_buffered() {
         let (tx, mut mb) = Mailbox::new();
-        tx.deliver(Envelope { ctx: 1, src: 0, tag: 1, payload: Box::new("first") });
-        tx.deliver(Envelope { ctx: 1, src: 0, tag: 2, payload: Box::new("second") });
+        tx.deliver(Envelope {
+            ctx: 1,
+            src: 0,
+            tag: 1,
+            payload: Box::new("first"),
+        });
+        tx.deliver(Envelope {
+            ctx: 1,
+            src: 0,
+            tag: 2,
+            payload: Box::new("second"),
+        });
         // Receive tag 2 first; tag 1 must be parked, not lost.
         let s2: &str = mb.recv(1, 0, 2);
         assert_eq!(s2, "second");
@@ -172,7 +193,12 @@ mod tests {
     fn fifo_order_preserved_per_sender_and_tag() {
         let (tx, mut mb) = Mailbox::new();
         for i in 0..10u64 {
-            tx.deliver(Envelope { ctx: 0, src: 3, tag: 5, payload: Box::new(i) });
+            tx.deliver(Envelope {
+                ctx: 0,
+                src: 3,
+                tag: 5,
+                payload: Box::new(i),
+            });
         }
         for want in 0..10u64 {
             let got: u64 = mb.recv(0, 3, 5);
@@ -183,8 +209,18 @@ mod tests {
     #[test]
     fn contexts_do_not_cross_match() {
         let (tx, mut mb) = Mailbox::new();
-        tx.deliver(Envelope { ctx: 10, src: 0, tag: 0, payload: Box::new(1i32) });
-        tx.deliver(Envelope { ctx: 20, src: 0, tag: 0, payload: Box::new(2i32) });
+        tx.deliver(Envelope {
+            ctx: 10,
+            src: 0,
+            tag: 0,
+            payload: Box::new(1i32),
+        });
+        tx.deliver(Envelope {
+            ctx: 20,
+            src: 0,
+            tag: 0,
+            payload: Box::new(2i32),
+        });
         let from_ctx20: i32 = mb.recv(20, 0, 0);
         assert_eq!(from_ctx20, 2);
         let from_ctx10: i32 = mb.recv(10, 0, 0);
@@ -195,7 +231,12 @@ mod tests {
     #[should_panic(expected = "type mismatch")]
     fn wrong_type_panics_with_diagnostic() {
         let (tx, mut mb) = Mailbox::new();
-        tx.deliver(Envelope { ctx: 0, src: 0, tag: 0, payload: Box::new(1u8) });
+        tx.deliver(Envelope {
+            ctx: 0,
+            src: 0,
+            tag: 0,
+            payload: Box::new(1u8),
+        });
         let _: String = mb.recv(0, 0, 0);
     }
 }

@@ -227,9 +227,17 @@ mod tests {
             let (i, j) = (comm.rank() / 4, comm.rank() % 4);
             let row = comm.split(i as u64, j as i64);
             let col = comm.split((4 + j) as u64, i as i64);
-            let mut rbuf = if row.rank() == 0 { vec![i as f64; 8] } else { vec![0.0; 8] };
+            let mut rbuf = if row.rank() == 0 {
+                vec![i as f64; 8]
+            } else {
+                vec![0.0; 8]
+            };
             bcast_f64(&row, BcastAlgorithm::ScatterAllgather, 0, &mut rbuf);
-            let mut cbuf = if col.rank() == 0 { vec![j as f64; 8] } else { vec![0.0; 8] };
+            let mut cbuf = if col.rank() == 0 {
+                vec![j as f64; 8]
+            } else {
+                vec![0.0; 8]
+            };
             bcast_f64(&col, BcastAlgorithm::Binomial, 0, &mut cbuf);
             let sum = allreduce(comm, rbuf[0] + cbuf[0], |a, b| a + b);
             (rbuf[7], cbuf[7], sum)

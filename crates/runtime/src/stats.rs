@@ -20,6 +20,13 @@ pub struct CommStats {
     /// Payload bytes sent where the primitive knows the size
     /// (`f64`-slice collectives).
     pub bytes_sent: u64,
+    /// Payload buffers materialized (allocated + copied) by collectives on
+    /// this rank. Broadcast relays forward `Arc`-shared payloads, so only
+    /// the rank that *originates* data should count here — a relay with a
+    /// nonzero count is deep-copying on the hot path.
+    pub payload_clones: u64,
+    /// Bytes those materializations copied (see [`Self::payload_clones`]).
+    pub payload_clone_bytes: u64,
 }
 
 impl CommStats {
@@ -35,6 +42,8 @@ impl CommStats {
             comp_seconds: self.comp_seconds + other.comp_seconds,
             msgs_sent: self.msgs_sent + other.msgs_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
+            payload_clones: self.payload_clones + other.payload_clones,
+            payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
         }
     }
 
@@ -46,6 +55,8 @@ impl CommStats {
             comp_seconds: self.comp_seconds.max(other.comp_seconds),
             msgs_sent: self.msgs_sent + other.msgs_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
+            payload_clones: self.payload_clones + other.payload_clones,
+            payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
         }
     }
 }
@@ -55,7 +66,14 @@ mod tests {
     use super::*;
 
     fn sample(c: f64, p: f64, m: u64, b: u64) -> CommStats {
-        CommStats { comm_seconds: c, comp_seconds: p, msgs_sent: m, bytes_sent: b }
+        CommStats {
+            comm_seconds: c,
+            comp_seconds: p,
+            msgs_sent: m,
+            bytes_sent: b,
+            payload_clones: m,
+            payload_clone_bytes: b,
+        }
     }
 
     #[test]

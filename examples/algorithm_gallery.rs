@@ -59,7 +59,11 @@ fn main() {
     run_algo("fox", grid, n, &a, &b, &want, |comm, at, bt| {
         fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
     });
-    let scfg = SummaConfig { block: 32, kernel: GemmKernel::Blocked, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 32,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     run_algo("summa", grid, n, &a, &b, &want, move |comm, at, bt| {
         summa(comm, grid, n, &at, &bt, &scfg)
     });

@@ -21,8 +21,10 @@ fn main() {
     let n = 512;
     let grid = GridShape::new(4, 4);
     let block = 32;
-    let candidates: Vec<usize> =
-        HierGrid::valid_group_counts(grid).iter().map(|c| c.0).collect();
+    let candidates: Vec<usize> = HierGrid::valid_group_counts(grid)
+        .iter()
+        .map(|c| c.0)
+        .collect();
 
     println!(
         "auto-tuning HSUMMA: n = {n}, {} ranks, candidates G in {:?}",
@@ -38,8 +40,16 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let out = Runtime::run(grid.size(), |comm| {
-        let (c, groups) =
-            tuned_hsumma(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), block, &candidates, 2);
+        let (c, groups) = tuned_hsumma(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            block,
+            &candidates,
+            2,
+        );
         (c, (groups.rows, groups.cols))
     });
     let wall = t0.elapsed().as_secs_f64();
@@ -51,6 +61,9 @@ fn main() {
 
     println!("chosen grouping: {gi}x{gj} (G = {})", gi * gj);
     println!("sample + full multiply wall time: {wall:.3} s");
-    println!("max |C - A*B| = {err:.2e} ({})", if err < 1e-9 { "OK" } else { "FAILED" });
+    println!(
+        "max |C - A*B| = {err:.2e} ({})",
+        if err < 1e-9 { "OK" } else { "FAILED" }
+    );
     assert!(err < 1e-9);
 }

@@ -23,7 +23,11 @@ fn main() {
     let n = args.get(2).copied().unwrap_or((1u64 << 22) as f64);
     let p = args.get(3).copied().unwrap_or((1u64 << 20) as f64);
     let b = args.get(4).copied().unwrap_or(256.0);
-    let params = ModelParams { alpha, beta, gamma: defaults.gamma };
+    let params = ModelParams {
+        alpha,
+        beta,
+        gamma: defaults.gamma,
+    };
 
     println!("Machine: alpha = {alpha:.3e} s, beta = {beta:.3e} s/B");
     println!("Problem: n = {n}, p = {p}, b = B = {b}\n");
@@ -42,10 +46,25 @@ fn main() {
     }
 
     // Step 2: quantify over the sweep.
-    let sweep = sweep_groups(&params, BcastModel::VanDeGeijn, n, p, b, &power_of_two_gs(p));
-    println!("\n{:>10}  {:>14}  {:>14}", "G", "HSUMMA comm(s)", "SUMMA comm(s)");
+    let sweep = sweep_groups(
+        &params,
+        BcastModel::VanDeGeijn,
+        n,
+        p,
+        b,
+        &power_of_two_gs(p),
+    );
+    println!(
+        "\n{:>10}  {:>14}  {:>14}",
+        "G", "HSUMMA comm(s)", "SUMMA comm(s)"
+    );
     for pt in sweep.iter().step_by(2) {
-        println!("{:>10}  {:>14.4}  {:>14.4}", pt.g, pt.hsumma.comm(), pt.summa.comm());
+        println!(
+            "{:>10}  {:>14.4}  {:>14.4}",
+            pt.g,
+            pt.hsumma.comm(),
+            pt.summa.comm()
+        );
     }
     let best = best_point(&sweep);
     println!(

@@ -28,14 +28,25 @@ fn main() {
     let a = seeded_uniform(n, n, 1);
     let b = seeded_uniform(n, n, 2);
     let want = reference_product(&a, &b);
-    let scfg = SummaConfig { block: 32, kernel: GemmKernel::Blocked, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 32,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
 
     // --- 1. block-cyclic SUMMA, executable -----------------------------
     let dist = BlockCyclicDist::new(grid, n, n, 32);
     let at = dist.scatter(&a);
     let bt = dist.scatter(&b);
     let ct = Runtime::run(grid.size(), |comm| {
-        summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &scfg)
+        summa_cyclic(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &scfg,
+        )
     });
     let err = dist.gather(&ct).max_abs_diff(&want);
     println!("1. block-cyclic SUMMA          max err {err:.2e}");
@@ -56,7 +67,10 @@ fn main() {
     let by_overlap = distributed_product(grid, n, &a, &b, |comm, a_t, b_t| {
         summa_overlap(comm, grid, n, &a_t, &b_t, &scfg)
     });
-    println!("2. lookahead SUMMA             max err {:.2e}", by_overlap.max_abs_diff(&want));
+    println!(
+        "2. lookahead SUMMA             max err {:.2e}",
+        by_overlap.max_abs_diff(&want)
+    );
     let hcfg = HsummaConfig {
         kernel: GemmKernel::Blocked,
         ..HsummaConfig::uniform(GridShape::new(2, 2), 32)
@@ -64,7 +78,10 @@ fn main() {
     let by_hoverlap = distributed_product(grid, n, &a, &b, |comm, a_t, b_t| {
         hsumma_overlap(comm, grid, n, &a_t, &b_t, &hcfg)
     });
-    println!("   lookahead HSUMMA            max err {:.2e}", by_hoverlap.max_abs_diff(&want));
+    println!(
+        "   lookahead HSUMMA            max err {:.2e}",
+        by_hoverlap.max_abs_diff(&want)
+    );
     let free = sim_summa(&platform, sim_grid, 2048, 64, SimBcast::Flat);
     let sync = sim_summa_sync(&platform, sim_grid, 2048, 64, SimBcast::Flat);
     println!(

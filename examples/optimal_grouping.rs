@@ -21,10 +21,17 @@ fn main() {
     let (n, b) = (32768usize, 256usize);
     let bcast = SimBcast::Flat;
 
-    println!("Tuning HSUMMA groups for {} ({} cores), n = {n}, b = B = {b}", platform.name, grid.size());
+    println!(
+        "Tuning HSUMMA groups for {} ({} cores), n = {n}, b = B = {b}",
+        platform.name,
+        grid.size()
+    );
 
     let summa = sim_summa_sync(&platform, grid, n, b, bcast);
-    println!("SUMMA baseline: total {:.3} s, comm {:.3} s\n", summa.total_time, summa.comm_time);
+    println!(
+        "SUMMA baseline: total {:.3} s, comm {:.3} s\n",
+        summa.total_time, summa.comm_time
+    );
 
     let sweep = sweep_groups_with(
         &platform,
@@ -37,7 +44,10 @@ fn main() {
         &power_of_two_gs(grid.size()),
         true,
     );
-    println!("{:>6}  {:>7}  {:>12}  {:>12}", "G", "I x J", "total (s)", "comm (s)");
+    println!(
+        "{:>6}  {:>7}  {:>12}  {:>12}",
+        "G", "I x J", "total (s)", "comm (s)"
+    );
     for pt in &sweep {
         println!(
             "{:>6}  {:>3}x{:<3}  {:>12.3}  {:>12.3}",

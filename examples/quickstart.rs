@@ -38,14 +38,30 @@ fn main() {
     let c = dist.gather(&c_tiles);
     let want = reference_product(&a, &b);
     let err = c.max_abs_diff(&want);
-    println!("HSUMMA on {} ranks, n = {n}, G = {}", grid.size(), cfg.groups.size());
-    println!("max |C - A*B| = {err:.3e}  ({})", if err < 1e-9 { "OK" } else { "FAILED" });
+    println!(
+        "HSUMMA on {} ranks, n = {n}, G = {}",
+        grid.size(),
+        cfg.groups.size()
+    );
+    println!(
+        "max |C - A*B| = {err:.3e}  ({})",
+        if err < 1e-9 { "OK" } else { "FAILED" }
+    );
 
     // Per-rank communication/computation split, like the paper reports.
     let total_msgs: u64 = results.iter().map(|(_, s)| s.msgs_sent).sum();
-    let max_comm = results.iter().map(|(_, s)| s.comm_seconds).fold(0.0, f64::max);
-    let max_comp = results.iter().map(|(_, s)| s.comp_seconds).fold(0.0, f64::max);
+    let max_comm = results
+        .iter()
+        .map(|(_, s)| s.comm_seconds)
+        .fold(0.0, f64::max);
+    let max_comp = results
+        .iter()
+        .map(|(_, s)| s.comp_seconds)
+        .fold(0.0, f64::max);
     println!("messages sent (all ranks): {total_msgs}");
     println!("slowest rank: {max_comm:.4} s communicating, {max_comp:.4} s computing");
-    assert!(err < 1e-9, "distributed result diverged from serial reference");
+    assert!(
+        err < 1e-9,
+        "distributed result diverged from serial reference"
+    );
 }

@@ -38,7 +38,9 @@ impl ScrambledTorus {
         // Deterministic LCG-ish shuffle: enough to destroy locality.
         let mut state = 0x2545f491u64;
         for i in (1..p).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             perm.swap(i, j);
         }
@@ -74,9 +76,22 @@ fn main() {
 
     let mut torus_ratios = Vec::new();
     for g in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
-        let Some(groups) = HierGrid::factor_groups(grid, g) else { continue };
+        let Some(groups) = HierGrid::factor_groups(grid, g) else {
+            continue;
+        };
         let run = |net: &mut SimNet| {
-            sim_hsumma_on(net, platform.gamma, grid, groups, n, b, b, bcast, bcast, true)
+            sim_hsumma_on(
+                net,
+                platform.gamma,
+                grid,
+                groups,
+                n,
+                b,
+                b,
+                bcast,
+                bcast,
+                true,
+            )
         };
         let flat = run(&mut SimNet::new(grid.size(), platform.net));
         let torus = run(&mut SimNet::with_topology(

@@ -1,0 +1,239 @@
+//! Std-only stand-in for `criterion`.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and running
+//! without network access. The statistical machinery is replaced by a
+//! fixed-sample mean/min report on stderr-free stdout: each benchmark is
+//! warmed up once and then timed for `sample_size` iterations. Good
+//! enough to eyeball regressions locally; the real perf record for this
+//! repo is written by the `kernel_shootout` bin, not these targets.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+    min_secs: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one
+    /// warm-up call) and records mean/min seconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.mean_secs = total / self.samples as f64;
+        self.min_secs = min;
+    }
+}
+
+/// Throughput annotation; reported as elements or bytes per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_secs: 0.0,
+            min_secs: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_secs: 0.0,
+            min_secs: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush here).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+                format!("  {:>12.3} Melem/s", n as f64 / b.mean_secs / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+                format!(
+                    "  {:>12.3} MiB/s",
+                    n as f64 / b.mean_secs / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} mean {:>12.3} µs   min {:>12.3} µs{}",
+            self.name,
+            id.id,
+            b.mean_secs * 1e6,
+            b.min_secs * 1e6,
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// CLI-args hook kept for API parity; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 30,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        // one warmup + three samples
+        assert_eq!(runs, 4);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+    }
+}

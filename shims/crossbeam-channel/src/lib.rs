@@ -1,0 +1,92 @@
+//! Std-only stand-in for `crossbeam-channel`.
+//!
+//! The runtime only needs an unbounded channel with cloneable senders and
+//! a blocking/non-blocking receiver — exactly what `std::sync::mpsc`
+//! provides (its `Sender` has been `Sync` since Rust 1.72). This shim
+//! re-exports that surface under crossbeam's names so the offline build
+//! needs no external crate.
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel; cloneable, never blocks.
+pub struct Sender<T> {
+    inner: std::sync::mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Deposits a value. Errors only when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: std::sync::mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives (or all senders disconnect).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Returns immediately with whatever is available.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+}
+
+/// Creates an unbounded channel pair.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn try_recv_empty_then_full() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(rx.try_recv().is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1u8).unwrap())
+            .join()
+            .unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -92,13 +92,17 @@ fn get<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
     }
 }
 
 /// Parses `4x4`-style grid shapes.
 fn parse_shape(s: &str) -> Result<GridShape, String> {
-    let (a, b) = s.split_once('x').ok_or_else(|| format!("expected RxC, got `{s}`"))?;
+    let (a, b) = s
+        .split_once('x')
+        .ok_or_else(|| format!("expected RxC, got `{s}`"))?;
     let rows = a.parse().map_err(|_| format!("bad rows in `{s}`"))?;
     let cols = b.parse().map_err(|_| format!("bad cols in `{s}`"))?;
     Ok(GridShape::new(rows, cols))
@@ -119,7 +123,14 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     let out = Runtime::run(grid.size(), |comm| {
-        let c = hsumma(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg);
+        let c = hsumma(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
         (c, comm.stats())
     });
     let wall = t0.elapsed().as_secs_f64();
@@ -163,16 +174,28 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         ("exascale", _) => Platform::exascale(),
         _ => return Err(format!("unknown machine/profile `{machine}`/`{profile}`")),
     };
-    let bcast = if profile == "ideal" { SimBcast::ScatterAllgather } else { SimBcast::Flat };
+    let bcast = if profile == "ideal" {
+        SimBcast::ScatterAllgather
+    } else {
+        SimBcast::Flat
+    };
     let mut s = (p as f64).sqrt() as usize;
     while s > 1 && !p.is_multiple_of(s) {
         s -= 1;
     }
     let grid = GridShape::new(s, p / s);
 
-    println!("sweep on {} (p={p}, grid {}x{}, n={n}, b=B={block})", platform.name, s, p / s);
+    println!(
+        "sweep on {} (p={p}, grid {}x{}, n={n}, b=B={block})",
+        platform.name,
+        s,
+        p / s
+    );
     let summa = sim_summa_sync(&platform, grid, n, block, bcast);
-    println!("SUMMA: total {:.4} s, comm {:.4} s", summa.total_time, summa.comm_time);
+    println!(
+        "SUMMA: total {:.4} s, comm {:.4} s",
+        summa.total_time, summa.comm_time
+    );
     let sweep = sweep_groups_with(
         &platform,
         grid,
@@ -184,7 +207,10 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         &power_of_two_gs(p),
         true,
     );
-    println!("{:>7} {:>9} {:>12} {:>12}", "G", "IxJ", "total (s)", "comm (s)");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12}",
+        "G", "IxJ", "total (s)", "comm (s)"
+    );
     for pt in &sweep {
         println!(
             "{:>7} {:>4}x{:<4} {:>12.4} {:>12.4}",
@@ -232,9 +258,17 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
         v
     };
     let sweep = model_sweep(&params, BcastModel::VanDeGeijn, n, p, b, &gs);
-    println!("{:>12} {:>14} {:>14}", "G", "HSUMMA comm(s)", "SUMMA comm(s)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "G", "HSUMMA comm(s)", "SUMMA comm(s)"
+    );
     for pt in &sweep {
-        println!("{:>12} {:>14.4} {:>14.4}", pt.g, pt.hsumma.comm(), pt.summa.comm());
+        println!(
+            "{:>12} {:>14.4} {:>14.4}",
+            pt.g,
+            pt.hsumma.comm(),
+            pt.summa.comm()
+        );
     }
     let best = best_point(&sweep);
     println!(
@@ -249,12 +283,12 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_bcast(opts: &HashMap<String, String>) -> Result<(), String> {
     let p: usize = get(opts, "p", 16)?;
     let bytes: u64 = get(opts, "bytes", 1_048_576)?;
-    let net_params = Hockney::new(
-        get(opts, "alpha", 1e-5)?,
-        get(opts, "beta", 1e-9)?,
-    );
+    let net_params = Hockney::new(get(opts, "alpha", 1e-5)?, get(opts, "beta", 1e-9)?);
     let group: Vec<usize> = (0..p).collect();
-    println!("broadcast of {bytes} B over {p} ranks (alpha={:.1e}, beta={:.1e}):", net_params.alpha, net_params.beta);
+    println!(
+        "broadcast of {bytes} B over {p} ranks (alpha={:.1e}, beta={:.1e}):",
+        net_params.alpha, net_params.beta
+    );
     for (name, algo) in [
         ("flat", SimBcast::Flat),
         ("binomial", SimBcast::Binomial),
@@ -291,7 +325,15 @@ fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut net = SimNet::new(p, platform.net);
     net.enable_trace();
     let report = sim_hsumma_on(
-        &mut net, platform.gamma, grid, groups, n, block, block, SimBcast::Flat, SimBcast::Flat,
+        &mut net,
+        platform.gamma,
+        grid,
+        groups,
+        n,
+        block,
+        block,
+        SimBcast::Flat,
+        SimBcast::Flat,
         true,
     );
     let json = net.trace_to_chrome_json().expect("tracing was enabled");
@@ -311,8 +353,10 @@ mod tests {
 
     #[test]
     fn parse_flags_collects_pairs() {
-        let args: Vec<String> =
-            ["--n", "64", "--grid", "2x2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--n", "64", "--grid", "2x2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let m = parse_flags(&args).expect("valid flags");
         assert_eq!(m["n"], "64");
         assert_eq!(m["grid"], "2x2");

@@ -24,7 +24,11 @@ fn summa_across_grids_and_blocks() {
             if (n / s) % block != 0 || (n / t) % block != 0 {
                 continue;
             }
-            let cfg = SummaConfig { block, kernel: GemmKernel::Blocked, ..Default::default() };
+            let cfg = SummaConfig {
+                block,
+                kernel: GemmKernel::Blocked,
+                ..Default::default()
+            };
             let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
                 summa(comm, grid, n, &at, &bt, &cfg)
             });
@@ -46,7 +50,11 @@ fn hsumma_matches_summa_bit_for_bit_when_schedules_align() {
     let n = 16;
     let a = seeded_uniform(n, n, 77);
     let b = seeded_uniform(n, n, 88);
-    let scfg = SummaConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 4,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
         summa(comm, grid, n, &at, &bt, &scfg)
     });
@@ -74,7 +82,10 @@ fn all_four_algorithms_agree_on_a_square_grid() {
     let by_fox = distributed_product(grid, n, &a, &b, |comm, at, bt| {
         fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
     });
-    let scfg = SummaConfig { block: 2, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 2,
+        ..Default::default()
+    };
     let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
         summa(comm, grid, n, &at, &bt, &scfg)
     });

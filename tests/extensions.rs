@@ -21,12 +21,23 @@ fn cyclic_summa_matches_serial_through_facade() {
     let a = seeded_uniform(n, n, 1);
     let b = seeded_uniform(n, n, 2);
     let want = reference_product(&a, &b);
-    let cfg = SummaConfig { block: 2, kernel: GemmKernel::Blocked, ..Default::default() };
+    let cfg = SummaConfig {
+        block: 2,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     let dist = BlockCyclicDist::new(grid, n, n, 2);
     let at = dist.scatter(&a);
     let bt = dist.scatter(&b);
     let ct = Runtime::run(grid.size(), |comm| {
-        summa_cyclic(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+        summa_cyclic(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        )
     });
     assert!(dist.gather(&ct).approx_eq(&want, 1e-9));
 }
@@ -39,7 +50,11 @@ fn overlap_variants_match_their_blocking_counterparts() {
     let b = seeded_uniform(n, n, 4);
     let want = reference_product(&a, &b);
 
-    let scfg = SummaConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() };
+    let scfg = SummaConfig {
+        block: 4,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
         summa_overlap(comm, grid, n, &at, &bt, &scfg)
     });
@@ -68,7 +83,11 @@ fn twodotfive_matches_serial_through_facade() {
     let cfg = TwoDotFiveConfig {
         q,
         c,
-        summa: SummaConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() },
+        summa: SummaConfig {
+            block: 4,
+            kernel: GemmKernel::Blocked,
+            ..Default::default()
+        },
     };
     let out = Runtime::run(q * q * c, |comm| {
         let (layer, i, j) = coords_3d(comm.rank(), q);
@@ -80,7 +99,9 @@ fn twodotfive_matches_serial_through_facade() {
         };
         twodotfive(comm, n, &ai, &bi, &cfg)
     });
-    let tiles: Vec<Matrix> = (0..q * q).map(|r| out[r].clone().expect("layer 0")).collect();
+    let tiles: Vec<Matrix> = (0..q * q)
+        .map(|r| out[r].clone().expect("layer 0"))
+        .collect();
     assert!(dist.gather(&tiles).approx_eq(&want, 1e-9));
 }
 
@@ -95,7 +116,11 @@ fn block_lu_solves_a_linear_system_end_to_end() {
     let a = seeded_diag_dominant(n, 11);
     let dist = BlockDist::new(grid, n, n);
     let tiles = dist.scatter(&a);
-    let cfg = LuConfig { block: 4, kernel: GemmKernel::Blocked, ..Default::default() };
+    let cfg = LuConfig {
+        block: 4,
+        kernel: GemmKernel::Blocked,
+        ..Default::default()
+    };
     let out = Runtime::run(grid.size(), |comm| {
         block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
     });

@@ -18,12 +18,21 @@ fn claim_summa_is_special_case_at_endpoints() {
     let platform = Platform::bluegene_p_effective();
     let grid = GridShape::new(8, 8);
     let (n, b) = (256usize, 32usize);
-    for bcast in [SimBcast::Flat, SimBcast::Binomial, SimBcast::ScatterAllgather] {
+    for bcast in [
+        SimBcast::Flat,
+        SimBcast::Binomial,
+        SimBcast::ScatterAllgather,
+    ] {
         let s = sim_summa_sync(&platform, grid, n, b, bcast);
         for groups in [GridShape::new(1, 1), GridShape::new(8, 8)] {
             let h = sim_hsumma_sync(&platform, grid, groups, n, b, b, bcast, bcast);
             let rel = (h.comm_time - s.comm_time).abs() / s.comm_time;
-            assert!(rel < 1e-9, "{bcast:?} {groups:?}: {} vs {}", h.comm_time, s.comm_time);
+            assert!(
+                rel < 1e-9,
+                "{bcast:?} {groups:?}: {} vs {}",
+                h.comm_time,
+                s.comm_time
+            );
         }
     }
 }
@@ -38,12 +47,18 @@ fn claim_hsumma_never_loses() {
         Platform::bluegene_p(),
         Platform::bluegene_p_effective(),
     ] {
-        for bcast in [SimBcast::Binomial, SimBcast::ScatterAllgather, SimBcast::Flat] {
+        for bcast in [
+            SimBcast::Binomial,
+            SimBcast::ScatterAllgather,
+            SimBcast::Flat,
+        ] {
             let grid = GridShape::new(8, 8);
             let (n, b) = (256usize, 32usize);
             let s = sim_summa_sync(&platform, grid, n, b, bcast);
-            let gs: Vec<usize> =
-                HierGrid::valid_group_counts(grid).iter().map(|c| c.0).collect();
+            let gs: Vec<usize> = HierGrid::valid_group_counts(grid)
+                .iter()
+                .map(|c| c.0)
+                .collect();
             let sweep = sweep_groups_with(&platform, grid, n, b, b, bcast, bcast, &gs, true);
             let best = best_by_comm(&sweep);
             assert!(
@@ -83,10 +98,7 @@ fn claim_gain_grows_with_processor_count() {
         let best = best_by_comm(&sweep);
         gains.push(s.comm_time / best.report.comm_time);
     }
-    assert!(
-        gains[1] > gains[0],
-        "gain should grow with p: {gains:?}"
-    );
+    assert!(gains[1] > gains[0], "gain should grow with p: {gains:?}");
 }
 
 /// §V-A.1 / §V-B.1 / §V-C: the model-validation inequality α/β > 2nb/p
@@ -96,7 +108,12 @@ fn claim_regime_condition_holds_on_all_platforms() {
     let cases = [
         (Platform::grid5000(), 8192.0, 128.0, 64.0),
         (Platform::bluegene_p(), 65536.0, 16384.0, 256.0),
-        (Platform::exascale(), (1u64 << 22) as f64, (1u64 << 20) as f64, 256.0),
+        (
+            Platform::exascale(),
+            (1u64 << 22) as f64,
+            (1u64 << 20) as f64,
+            256.0,
+        ),
     ];
     for (platform, n, p, b) in cases {
         assert_eq!(
@@ -130,10 +147,20 @@ fn claim_u_shape_with_interior_minimum_on_bluegene() {
     let best = best_by_comm(&sweep);
     let first = sweep.first().expect("sweep non-empty");
     let last = sweep.last().expect("sweep non-empty");
-    assert!(best.g > 1 && best.g < grid.size(), "minimum must be interior, got {}", best.g);
-    assert!(best.report.comm_time < first.report.comm_time / 2.0, "multiple-fold win at best G");
+    assert!(
+        best.g > 1 && best.g < grid.size(),
+        "minimum must be interior, got {}",
+        best.g
+    );
+    assert!(
+        best.report.comm_time < first.report.comm_time / 2.0,
+        "multiple-fold win at best G"
+    );
     let rel = (first.report.comm_time - last.report.comm_time).abs() / first.report.comm_time;
-    assert!(rel < 1e-9, "endpoints must match each other (both are SUMMA)");
+    assert!(
+        rel < 1e-9,
+        "endpoints must match each other (both are SUMMA)"
+    );
 }
 
 /// §VI (future work, implemented here): with a latency-heavy broadcast,
@@ -152,7 +179,12 @@ fn claim_deeper_hierarchies_can_help_further() {
     let one = sim_summa_hier(&platform, grid, n, b, algo, &[16]);
     let two = sim_summa_hier(&platform, grid, n, b, algo, &[4, 4]);
     let three = sim_summa_hier(&platform, grid, n, b, algo, &[2, 2, 4]);
-    assert!(two.comm_time < one.comm_time, "2 levels {} < 1 level {}", two.comm_time, one.comm_time);
+    assert!(
+        two.comm_time < one.comm_time,
+        "2 levels {} < 1 level {}",
+        two.comm_time,
+        one.comm_time
+    );
     assert!(
         three.comm_time < two.comm_time,
         "3 levels {} < 2 levels {}",

@@ -51,20 +51,34 @@ fn real_summa_message_count_matches_simulated_schedule() {
     let at = dist.scatter(&a);
     let bt = dist.scatter(&bm);
 
-    let cfg = SummaConfig { block: b, bcast: BcastAlgorithm::Binomial, kernel: GemmKernel::Blocked };
+    let cfg = SummaConfig {
+        block: b,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    };
     // SUMMA makes 2 splits: row comms (4 splits of 4 ranks happen as ONE
     // split call over 16 ranks) and column comms.
     let real = real_multiply_msgs(
         grid,
         n,
         |comm| {
-            let _ = summa(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg);
+            let _ = summa(
+                comm,
+                grid,
+                n,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            );
         },
         2 * split_cost(grid.size()),
     );
 
     let sim = sim_summa(&Platform::grid5000(), grid, n, b, SimBcast::Binomial);
-    assert_eq!(real, sim.msgs, "real schedule must match simulated schedule");
+    assert_eq!(
+        real, sim.msgs,
+        "real schedule must match simulated schedule"
+    );
 }
 
 #[test]
@@ -79,13 +93,22 @@ fn real_hsumma_message_count_matches_simulated_schedule() {
     let at = dist.scatter(&a);
     let bt = dist.scatter(&bm);
 
-    let cfg = HsummaConfig { kernel: GemmKernel::Blocked, ..HsummaConfig::uniform(groups, b) };
+    let cfg = HsummaConfig {
+        kernel: GemmKernel::Blocked,
+        ..HsummaConfig::uniform(groups, b)
+    };
     let real = real_multiply_msgs(
         grid,
         n,
         |comm| {
-            let _ =
-                hsumma(comm, grid, n, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg);
+            let _ = hsumma(
+                comm,
+                grid,
+                n,
+                &at[comm.rank()].clone(),
+                &bt[comm.rank()].clone(),
+                &cfg,
+            );
         },
         4 * split_cost(grid.size()), // HSUMMA builds four communicators
     );
@@ -100,7 +123,10 @@ fn real_hsumma_message_count_matches_simulated_schedule() {
         SimBcast::Binomial,
         SimBcast::Binomial,
     );
-    assert_eq!(real, sim.msgs, "real schedule must match simulated schedule");
+    assert_eq!(
+        real, sim.msgs,
+        "real schedule must match simulated schedule"
+    );
 }
 
 #[test]
@@ -109,7 +135,11 @@ fn simulated_summa_matches_analytic_model_binomial_square_grid() {
     // clocks re-synchronize each phase, so simulation and closed form
     // agree to rounding.
     let platform = Platform::bluegene_p();
-    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    let params = ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: platform.gamma,
+    };
     for (side, n, b) in [(4usize, 64usize, 8usize), (8, 128, 16)] {
         let grid = GridShape::new(side, side);
         let sim = sim_summa(&platform, grid, n, b, SimBcast::Binomial);
@@ -128,18 +158,36 @@ fn simulated_summa_matches_analytic_model_binomial_square_grid() {
             model.comm()
         );
         let relc = (sim.comp_time - model.compute).abs() / model.compute;
-        assert!(relc < 1e-9, "compute mismatch: {} vs {}", sim.comp_time, model.compute);
+        assert!(
+            relc < 1e-9,
+            "compute mismatch: {} vs {}",
+            sim.comp_time,
+            model.compute
+        );
     }
 }
 
 #[test]
 fn simulated_hsumma_matches_analytic_model_binomial() {
     let platform = Platform::bluegene_p();
-    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    let params = ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: platform.gamma,
+    };
     let grid = GridShape::new(8, 8);
     let groups = GridShape::new(2, 2);
     let (n, b) = (128usize, 16usize);
-    let sim = sim_hsumma(&platform, grid, groups, n, b, b, SimBcast::Binomial, SimBcast::Binomial);
+    let sim = sim_hsumma(
+        &platform,
+        grid,
+        groups,
+        n,
+        b,
+        b,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+    );
     let model = hsumma_cost(
         &params,
         BcastModel::Binomial,
@@ -151,7 +199,12 @@ fn simulated_hsumma_matches_analytic_model_binomial() {
         b as f64,
     );
     let rel = (sim.comm_time - model.comm()).abs() / model.comm();
-    assert!(rel < 1e-9, "sim {} vs model {}", sim.comm_time, model.comm());
+    assert!(
+        rel < 1e-9,
+        "sim {} vs model {}",
+        sim.comm_time,
+        model.comm()
+    );
 }
 
 #[test]
@@ -159,14 +212,23 @@ fn simulated_vdg_tracks_model_within_tolerance() {
     // Van de Geijn chains do not fully resynchronize, so allow a few
     // percent between simulation and the closed form.
     let platform = Platform::grid5000();
-    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: 0.0 };
+    let params = ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: 0.0,
+    };
     let grid = GridShape::new(8, 8);
     let (n, b) = (256usize, 32usize);
     let mut sim = sim_summa(&platform, grid, n, b, SimBcast::ScatterAllgather);
     sim.comp_time = 0.0;
     let model = summa_cost(&params, BcastModel::VanDeGeijn, n as f64, 64.0, b as f64);
     let rel = (sim.total_time - model.comm()).abs() / model.comm();
-    assert!(rel < 0.25, "sim {} vs model {} (rel {rel})", sim.total_time, model.comm());
+    assert!(
+        rel < 0.25,
+        "sim {} vs model {} (rel {rel})",
+        sim.total_time,
+        model.comm()
+    );
 }
 
 #[test]
@@ -195,9 +257,20 @@ fn model_and_simulator_agree_on_who_wins() {
     let sim_best = best_by_comm(&sweep);
     let sim_hsumma_wins = sim_best.report.comm_time < sim_summa_r.comm_time * 0.999;
 
-    let params = ModelParams { alpha: platform.net.alpha, beta: platform.net.beta, gamma: platform.gamma };
+    let params = ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: platform.gamma,
+    };
     let gs: Vec<f64> = power_of_two_gs(p).iter().map(|&g| g as f64).collect();
-    let msweep = predict::sweep_groups(&params, BcastModel::VanDeGeijn, n as f64, p as f64, b as f64, &gs);
+    let msweep = predict::sweep_groups(
+        &params,
+        BcastModel::VanDeGeijn,
+        n as f64,
+        p as f64,
+        b as f64,
+        &gs,
+    );
     let mbest = predict::best_point(&msweep);
     let model_hsumma_wins = mbest.hsumma.comm() < mbest.summa.comm() * 0.999;
 
