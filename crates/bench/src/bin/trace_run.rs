@@ -1,0 +1,357 @@
+//! `trace_run` — trace any algorithm on the real runtime, the simulator,
+//! or both, at a chosen `(p, n, b, B, G)`.
+//!
+//! ```text
+//! trace_run --algo hsumma --mode both --p 16 --n 128 --b 8 --B 16 --G 4 \
+//!           --machine grid5000 --out trace
+//! ```
+//!
+//! * `--mode real` runs the algorithm on rank threads with real data and
+//!   wall clocks; `--mode sim` replays its communication schedule on the
+//!   discrete-event simulator with virtual clocks; `--mode both` runs
+//!   both and **verifies that the two substrates emit identical per-rank
+//!   `(src, dst, bytes)` message multisets**, exiting nonzero on any
+//!   mismatch (this is what CI runs).
+//! * Each traced run writes a Chrome-trace JSON (`<out>-real.json` /
+//!   `<out>-sim.json`, openable at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>) and prints the critical path and the
+//!   per-pivot-step communication/computation breakdown.
+//!
+//! Broadcasts are pinned to binomial trees on both substrates so their
+//! schedules are comparable message-for-message.
+
+use hsumma_bench::grid_for;
+use hsumma_core::grid::HierGrid;
+use hsumma_core::lu::{block_lu, sim_block_lu_on, LuConfig};
+use hsumma_core::simdrive::{sim_cannon_on, sim_fox_on, sim_hsumma_on, sim_summa_on};
+use hsumma_core::{cannon, fox, hsumma, summa, HsummaConfig, SummaConfig};
+use hsumma_matrix::factor::seeded_diag_dominant;
+use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_netsim::{Platform, SimBcast, SimNet};
+use hsumma_runtime::{BcastAlgorithm, Runtime};
+use hsumma_trace::{render_breakdown, Trace, Tracer};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  trace_run [--algo summa|hsumma|cannon|fox|lu] [--mode real|sim|both]
+            [--p 16] [--n 128] [--b 8] [--B 16] [--G 4]
+            [--machine grid5000|bluegene] [--out trace]
+trace an algorithm run; `both` verifies real and simulated runs emit
+identical per-rank (src, dst, bytes) message multisets";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_flags(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{key}`"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+struct Config {
+    algo: String,
+    grid: GridShape,
+    groups: GridShape,
+    n: usize,
+    inner_b: usize,
+    outer_b: usize,
+    platform: Platform,
+}
+
+fn run(opts: &HashMap<String, String>) -> Result<(), String> {
+    let algo = get(opts, "algo", "hsumma".to_string())?;
+    let mode = get(opts, "mode", "both".to_string())?;
+    let p: usize = get(opts, "p", 16)?;
+    let n: usize = get(opts, "n", 128)?;
+    let inner_b: usize = get(opts, "b", 8)?;
+    let outer_b: usize = get(opts, "B", inner_b * 2)?;
+    let g: usize = get(opts, "G", 4)?;
+    let machine = get(opts, "machine", "grid5000".to_string())?;
+    let out = get(opts, "out", "trace".to_string())?;
+
+    let grid = match algo.as_str() {
+        // Cannon and Fox need a square grid.
+        "cannon" | "fox" => {
+            let q = (p as f64).sqrt() as usize;
+            if q * q != p {
+                return Err(format!("--algo {algo} needs a square p, got {p}"));
+            }
+            GridShape::new(q, q)
+        }
+        _ => grid_for(p),
+    };
+    let groups = HierGrid::factor_groups(grid, g).ok_or_else(|| {
+        format!(
+            "G={g} has no valid factorization on a {}x{} grid",
+            grid.rows, grid.cols
+        )
+    })?;
+    let platform = match machine.as_str() {
+        "grid5000" => Platform::grid5000(),
+        "bluegene" => Platform::bluegene_p(),
+        other => return Err(format!("unknown machine `{other}`")),
+    };
+    let cfg = Config {
+        algo,
+        grid,
+        groups,
+        n,
+        inner_b,
+        outer_b,
+        platform,
+    };
+
+    let real = match mode.as_str() {
+        "real" | "both" => Some(run_real(&cfg)?),
+        "sim" => None,
+        other => return Err(format!("unknown mode `{other}`")),
+    };
+    let sim = match mode.as_str() {
+        "sim" | "both" => Some(run_sim(&cfg)?),
+        _ => None,
+    };
+
+    if let Some(trace) = &real {
+        report(&cfg, trace, "real", &format!("{out}-real.json"))?;
+    }
+    if let Some(trace) = &sim {
+        report(&cfg, trace, "sim", &format!("{out}-sim.json"))?;
+    }
+    if let (Some(real), Some(sim)) = (&real, &sim) {
+        compare_multisets(real, sim)?;
+        println!(
+            "real and simulated runs emit identical per-rank (src, dst, bytes) \
+             message multisets"
+        );
+    }
+    Ok(())
+}
+
+/// Executes the algorithm on rank threads with real data, returning its
+/// trace (wall-clock timestamps).
+fn run_real(cfg: &Config) -> Result<Trace, String> {
+    let (grid, n) = (cfg.grid, cfg.n);
+    let tracer = Tracer::new(grid.size());
+    let a = seeded_uniform(n, n, 100);
+    let b = seeded_uniform(n, n, 200);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&b);
+    match cfg.algo.as_str() {
+        "summa" => {
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                summa(comm, grid, n, &at, &bt, &scfg)
+            });
+        }
+        "hsumma" => {
+            let hcfg = HsummaConfig {
+                groups: cfg.groups,
+                outer_block: cfg.outer_b,
+                inner_block: cfg.inner_b,
+                outer_bcast: BcastAlgorithm::Binomial,
+                inner_bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                hsumma(comm, grid, n, &at, &bt, &hcfg)
+            });
+        }
+        "cannon" => {
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                cannon(comm, grid, n, &at, &bt, GemmKernel::Packed)
+            });
+        }
+        "fox" => {
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                fox(comm, grid, n, &at, &bt, GemmKernel::Packed)
+            });
+        }
+        "lu" => {
+            let lcfg = LuConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+                groups: Some(cfg.groups),
+            };
+            let lt = BlockDist::new(grid, n, n).scatter(&seeded_diag_dominant(n, 42));
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                block_lu(comm, grid, n, &lt[comm.rank()].clone(), &lcfg)
+            });
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    }
+    Ok(tracer.collect())
+}
+
+/// Replays the algorithm's communication schedule on the simulator,
+/// returning its trace (virtual timestamps).
+fn run_sim(cfg: &Config) -> Result<Trace, String> {
+    let (grid, n) = (cfg.grid, cfg.n);
+    let tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), cfg.platform.net);
+    net.attach_tracer(&tracer);
+    let gamma = cfg.platform.gamma;
+    match cfg.algo.as_str() {
+        "summa" => {
+            sim_summa_on(
+                &mut net,
+                gamma,
+                grid,
+                n,
+                cfg.inner_b,
+                SimBcast::Binomial,
+                false,
+            );
+        }
+        "hsumma" => {
+            sim_hsumma_on(
+                &mut net,
+                gamma,
+                grid,
+                cfg.groups,
+                n,
+                cfg.outer_b,
+                cfg.inner_b,
+                SimBcast::Binomial,
+                SimBcast::Binomial,
+                false,
+            );
+        }
+        "cannon" => {
+            sim_cannon_on(&mut net, gamma, grid.rows, n, false);
+        }
+        "fox" => {
+            sim_fox_on(&mut net, gamma, grid.rows, n, SimBcast::Binomial, false);
+        }
+        "lu" => {
+            sim_block_lu_on(
+                &mut net,
+                gamma,
+                grid,
+                n,
+                cfg.inner_b,
+                SimBcast::Binomial,
+                Some(cfg.groups),
+                false,
+            );
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    }
+    Ok(tracer.collect())
+}
+
+/// Writes the Chrome-trace JSON and prints the analyses for one run.
+fn report(cfg: &Config, trace: &Trace, label: &str, path: &str) -> Result<(), String> {
+    let json = trace.to_chrome_json();
+    hsumma_trace::validate_json(&json).map_err(|e| format!("{label} trace JSON invalid: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+
+    println!(
+        "== {} {} on {}x{} grid, n={}, b={}, B={}, G={} ==",
+        label,
+        cfg.algo,
+        cfg.grid.rows,
+        cfg.grid.cols,
+        cfg.n,
+        cfg.inner_b,
+        cfg.outer_b,
+        cfg.groups.size()
+    );
+    println!(
+        "{} events ({} dropped), {} payload messages -> {path}",
+        trace.events.len(),
+        trace.dropped,
+        trace.payload_send_multiset().len()
+    );
+
+    let cp = trace.critical_path();
+    println!("{}", cp.render());
+    // α/β attribution only makes sense against the simulator's cost
+    // model; wall-clock traces get their edge count and bytes instead.
+    if label == "sim" {
+        let cost = cp.attribute(cfg.platform.net.alpha, cfg.platform.net.beta);
+        println!(
+            "critical-path attribution: alpha {:.6} s over {} edges, beta {:.6} s over {} B, \
+             compute {:.6} s",
+            cost.alpha_seconds, cost.edges, cost.beta_seconds, cost.bytes, cost.compute_seconds
+        );
+    }
+    println!("{}", render_breakdown(&trace.step_breakdown()));
+    Ok(())
+}
+
+/// Fails unless both traces carry the same per-rank payload multisets.
+fn compare_multisets(real: &Trace, sim: &Trace) -> Result<(), String> {
+    let r = real.per_rank_send_multisets();
+    let s = sim.per_rank_send_multisets();
+    if r.len() != s.len() {
+        return Err(format!(
+            "rank count differs: real {} vs sim {}",
+            r.len(),
+            s.len()
+        ));
+    }
+    for (rank, (rm, sm)) in r.iter().zip(&s).enumerate() {
+        if rm != sm {
+            return Err(format!(
+                "rank {rank}: real sent {} payload messages, sim {}; first divergence: {:?}",
+                rm.len(),
+                sm.len(),
+                rm.iter().zip(sm).find(|(a, b)| a != b)
+            ));
+        }
+    }
+    Ok(())
+}

@@ -15,12 +15,16 @@ const TAG_SHIFT_B: u64 = 12;
 
 /// Sends `mat` to `dst` and receives the replacement from `src` on `comm`
 /// (an `MPI_Sendrecv_replace`). Eager sends make the exchange deadlock-free.
+/// `Matrix` is opaque to the runtime's byte accounting, so the wire size
+/// is declared explicitly.
 fn shift(comm: &Comm, dst: usize, src: usize, tag: u64, mat: Matrix) -> Matrix {
     if dst == comm.rank() {
         return mat; // rotation by zero
     }
-    comm.send(dst, tag, mat);
-    comm.recv::<Matrix>(src, tag)
+    let (r, c) = mat.shape();
+    let bytes = (r * c * std::mem::size_of::<f64>()) as u64;
+    comm.send_sized(dst, tag, mat, bytes);
+    comm.recv_sized::<Matrix>(src, tag, bytes)
 }
 
 /// Runs Cannon's algorithm on the calling rank. SPMD over a square grid;
@@ -58,10 +62,14 @@ pub fn cannon(
     let mut b_cur = shift(comm, up(j), down(j), TAG_SHIFT_B, b.clone());
 
     let mut c = Matrix::zeros(ts, ts);
-    for _ in 0..q {
-        comm.time_compute(|| gemm(kernel, &a_cur, &b_cur, &mut c));
-        a_cur = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur);
-        b_cur = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur);
+    let step_flops = (2 * ts * ts * ts) as u64;
+    for k in 0..q {
+        (a_cur, b_cur) = comm.trace_step(k, ts, ts, || {
+            comm.time_compute_flops(step_flops, || gemm(kernel, &a_cur, &b_cur, &mut c));
+            let a_next = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur);
+            let b_next = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur);
+            (a_next, b_next)
+        });
     }
     c
 }

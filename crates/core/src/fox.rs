@@ -39,23 +39,29 @@ pub fn fox(
 
     let mut b_cur = b.clone();
     let mut c = Matrix::zeros(ts, ts);
+    let step_flops = (2 * ts * ts * ts) as u64;
+    let tile_bytes = (ts * ts * std::mem::size_of::<f64>()) as u64;
     for k in 0..q {
-        // Broadcast A[i][(i+k) mod q] along row i.
-        let root = (i + k) % q;
-        let mut a_bc = if j == root {
-            a.clone()
-        } else {
-            Matrix::zeros(ts, ts)
-        };
-        crate::summa::bcast_matrix(&row_comm, BcastAlgorithm::Binomial, root, &mut a_bc);
+        b_cur = comm.trace_step(k, ts, ts, || {
+            // Broadcast A[i][(i+k) mod q] along row i.
+            let root = (i + k) % q;
+            let mut a_bc = if j == root {
+                a.clone()
+            } else {
+                Matrix::zeros(ts, ts)
+            };
+            crate::summa::bcast_matrix(&row_comm, BcastAlgorithm::Binomial, root, &mut a_bc);
 
-        comm.time_compute(|| gemm(kernel, &a_bc, &b_cur, &mut c));
+            comm.time_compute_flops(step_flops, || gemm(kernel, &a_bc, &b_cur, &mut c));
 
-        // Roll B up by one (skip on a 1-wide column).
-        if q > 1 {
-            comm.send(up, TAG_ROLL_B, b_cur);
-            b_cur = comm.recv::<Matrix>(down, TAG_ROLL_B);
-        }
+            // Roll B up by one (skip on a 1-wide column).
+            if q > 1 {
+                comm.send_sized(up, TAG_ROLL_B, b_cur, tile_bytes);
+                comm.recv_sized::<Matrix>(down, TAG_ROLL_B, tile_bytes)
+            } else {
+                b_cur
+            }
+        });
     }
     c
 }

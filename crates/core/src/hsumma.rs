@@ -104,43 +104,48 @@ pub fn hsumma(
     let mut b_in = Matrix::zeros(bs, tw);
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
+    let inner_flops = 2 * th * tw * bs;
     for kg in 0..outer_steps {
-        // ---- inter-group broadcast of A's outer panel --------------------
-        let gcol = kg * bb / tw; // grid column owning the panel
-        let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
-        let holds_a = j == jk; // this rank takes part in the outer A phase
-        if holds_a {
-            if gj == gcol {
-                a.block_into(0, kg * bb % tw, &mut outer_a);
-            }
-            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a);
-        }
-
-        // ---- inter-group broadcast of B's outer panel --------------------
-        let grow = kg * bb / th; // grid row owning the panel
-        let (xk, ik) = (grow / inner.rows, grow % inner.rows);
-        let holds_b = i == ik;
-        if holds_b {
-            if gi == grow {
-                b.block_into(kg * bb % th, 0, &mut outer_b);
-            }
-            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b);
-        }
-
-        // ---- intra-group SUMMA steps over the outer panel -----------------
-        for ki in 0..inner_steps {
+        comm.trace_step(kg, bb, bs, || {
+            // ---- inter-group broadcast of A's outer panel ----------------
+            let gcol = kg * bb / tw; // grid column owning the panel
+            let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
+            let holds_a = j == jk; // this rank takes part in the outer A phase
             if holds_a {
-                outer_a.block_into(0, ki * bs, &mut a_in);
+                if gj == gcol {
+                    a.block_into(0, kg * bb % tw, &mut outer_a);
+                }
+                bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a);
             }
-            bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
 
+            // ---- inter-group broadcast of B's outer panel ----------------
+            let grow = kg * bb / th; // grid row owning the panel
+            let (xk, ik) = (grow / inner.rows, grow % inner.rows);
+            let holds_b = i == ik;
             if holds_b {
-                outer_b.block_into(ki * bs, 0, &mut b_in);
+                if gi == grow {
+                    b.block_into(kg * bb % th, 0, &mut outer_b);
+                }
+                bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b);
             }
-            bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
 
-            comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
-        }
+            // ---- intra-group SUMMA steps over the outer panel ------------
+            for ki in 0..inner_steps {
+                if holds_a {
+                    outer_a.block_into(0, ki * bs, &mut a_in);
+                }
+                bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
+
+                if holds_b {
+                    outer_b.block_into(ki * bs, 0, &mut b_in);
+                }
+                bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
+
+                comm.time_compute_flops(inner_flops as u64, || {
+                    gemm(cfg.kernel, &a_in, &b_in, &mut c)
+                });
+            }
+        });
     }
     c
 }

@@ -131,73 +131,78 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
 
     let mut t = a.clone();
     for k in 0..n / bs {
-        let (ri, ro) = (k * bs / th, k * bs % th);
-        let (cj, co) = (k * bs / tw, k * bs % tw);
+        comm.trace_step(k, bs, bs, || {
+            let (ri, ro) = (k * bs / th, k * bs % th);
+            let (cj, co) = (k * bs / tw, k * bs % tw);
 
-        // --- 1. diagonal factor + broadcast ------------------------------
-        let mut diag = if gi == ri && gj == cj {
-            let mut d = t.block(ro, co, bs, bs);
-            lu_nopiv_inplace(&mut d);
-            t.set_block(ro, co, &d);
-            d
-        } else {
-            Matrix::zeros(bs, bs)
-        };
-        // Down the pivot column (for the L slabs' trsm)...
-        if gj == cj {
-            bcast_matrix(&col_comm, cfg.bcast, ri, &mut diag);
-        }
-        // ...and across the pivot row (for the U slabs' trsm).
-        if gi == ri {
-            bcast_matrix(&row_comm, cfg.bcast, cj, &mut diag);
-        }
-
-        // --- 2. panel solves ----------------------------------------------
-        let (rlo, rcount) = below_rows(gi, ri, ro, bs, th);
-        if gj == cj && rcount > 0 {
-            let mut slab = t.block(rlo, co, rcount, bs);
-            comm.time_compute(|| trsm_right_upper(&diag, &mut slab));
-            t.set_block(rlo, co, &slab);
-        }
-        let (clo, ccount) = below_rows(gj, cj, co, bs, tw);
-        if gi == ri && ccount > 0 {
-            let mut slab = t.block(ro, clo, bs, ccount);
-            comm.time_compute(|| trsm_left_lower_unit(&diag, &mut slab));
-            t.set_block(ro, clo, &slab);
-        }
-
-        // --- 3. panel broadcasts -------------------------------------------
-        let mut l_panel = if rcount > 0 {
+            // --- 1. diagonal factor + broadcast ------------------------------
+            let mut diag = if gi == ri && gj == cj {
+                let mut d = t.block(ro, co, bs, bs);
+                lu_nopiv_inplace(&mut d);
+                t.set_block(ro, co, &d);
+                d
+            } else {
+                Matrix::zeros(bs, bs)
+            };
+            // Down the pivot column (for the L slabs' trsm)...
             if gj == cj {
-                t.block(rlo, co, rcount, bs)
-            } else {
-                Matrix::zeros(rcount, bs)
+                bcast_matrix(&col_comm, cfg.bcast, ri, &mut diag);
             }
-        } else {
-            Matrix::zeros(0, bs)
-        };
-        if rcount > 0 {
-            bcast_l(&mut l_panel, cj);
-        }
-        let mut u_panel = if ccount > 0 {
+            // ...and across the pivot row (for the U slabs' trsm).
             if gi == ri {
-                t.block(ro, clo, bs, ccount)
-            } else {
-                Matrix::zeros(bs, ccount)
+                bcast_matrix(&row_comm, cfg.bcast, cj, &mut diag);
             }
-        } else {
-            Matrix::zeros(bs, 0)
-        };
-        if ccount > 0 {
-            bcast_u(&mut u_panel, ri);
-        }
 
-        // --- 4. trailing update --------------------------------------------
-        if rcount > 0 && ccount > 0 {
-            let mut trailing = t.block(rlo, clo, rcount, ccount);
-            comm.time_compute(|| gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing));
-            t.set_block(rlo, clo, &trailing);
-        }
+            // --- 2. panel solves ----------------------------------------------
+            let (rlo, rcount) = below_rows(gi, ri, ro, bs, th);
+            if gj == cj && rcount > 0 {
+                let mut slab = t.block(rlo, co, rcount, bs);
+                comm.time_compute(|| trsm_right_upper(&diag, &mut slab));
+                t.set_block(rlo, co, &slab);
+            }
+            let (clo, ccount) = below_rows(gj, cj, co, bs, tw);
+            if gi == ri && ccount > 0 {
+                let mut slab = t.block(ro, clo, bs, ccount);
+                comm.time_compute(|| trsm_left_lower_unit(&diag, &mut slab));
+                t.set_block(ro, clo, &slab);
+            }
+
+            // --- 3. panel broadcasts -------------------------------------------
+            let mut l_panel = if rcount > 0 {
+                if gj == cj {
+                    t.block(rlo, co, rcount, bs)
+                } else {
+                    Matrix::zeros(rcount, bs)
+                }
+            } else {
+                Matrix::zeros(0, bs)
+            };
+            if rcount > 0 {
+                bcast_l(&mut l_panel, cj);
+            }
+            let mut u_panel = if ccount > 0 {
+                if gi == ri {
+                    t.block(ro, clo, bs, ccount)
+                } else {
+                    Matrix::zeros(bs, ccount)
+                }
+            } else {
+                Matrix::zeros(bs, 0)
+            };
+            if ccount > 0 {
+                bcast_u(&mut u_panel, ri);
+            }
+
+            // --- 4. trailing update --------------------------------------------
+            if rcount > 0 && ccount > 0 {
+                let mut trailing = t.block(rlo, clo, rcount, ccount);
+                let flops = (2 * rcount * ccount * bs) as u64;
+                comm.time_compute_flops(flops, || {
+                    gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing)
+                });
+                t.set_block(rlo, clo, &trailing);
+            }
+        });
     }
     t
 }
@@ -214,6 +219,33 @@ pub fn sim_block_lu(
     groups: Option<GridShape>,
     step_sync: bool,
 ) -> SimReport {
+    let mut net = SimNet::new(grid.size(), platform.net);
+    sim_block_lu_on(
+        &mut net,
+        platform.gamma,
+        grid,
+        n,
+        bs,
+        bcast,
+        groups,
+        step_sync,
+    )
+}
+
+/// Like [`sim_block_lu`], on a caller-provided network (so a tracer can
+/// be attached beforehand). `gamma` is seconds per multiply-add pair.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+pub fn sim_block_lu_on(
+    net: &mut SimNet,
+    gamma: f64,
+    grid: GridShape,
+    n: usize,
+    bs: usize,
+    bcast: SimBcast,
+    groups: Option<GridShape>,
+    step_sync: bool,
+) -> SimReport {
+    assert_eq!(net.size(), grid.size(), "network must span the grid");
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
@@ -222,8 +254,6 @@ pub fn sim_block_lu(
         "block must divide tile extents"
     );
     let hg = groups.map(|g| HierGrid::new(grid, g));
-
-    let mut net = SimNet::new(grid.size(), platform.net);
     let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
         .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
         .collect();
@@ -253,15 +283,15 @@ pub fn sim_block_lu(
 
     // γ per pair; trsm on an m×bs slab costs ~m·bs²/2 pairs, the diag
     // factor ~bs³/3.
-    let gamma = platform.gamma;
     for k in 0..n / bs {
+        let starts: Vec<f64> = (0..grid.size()).map(|r| net.now(r)).collect();
         let (ri, ro) = (k * bs / th, k * bs % th);
         let (cj, co) = (k * bs / tw, k * bs % tw);
         let diag_bytes = (bs * bs) as u64 * ELEM_BYTES;
 
         net.compute(grid.rank(ri, cj), gamma * (bs * bs * bs) as f64 / 3.0);
-        bcast.run(&mut net, &col_ranks[cj], ri, diag_bytes);
-        bcast.run(&mut net, &row_ranks[ri], cj, diag_bytes);
+        bcast.run(net, &col_ranks[cj], ri, diag_bytes);
+        bcast.run(net, &row_ranks[ri], cj, diag_bytes);
 
         // Panel solves + broadcasts.
         for gi in 0..grid.rows {
@@ -273,9 +303,9 @@ pub fn sim_block_lu(
             let bytes = (rcount * bs) as u64 * ELEM_BYTES;
             match &hg {
                 None => {
-                    bcast.run(&mut net, &row_ranks[gi], cj, bytes);
+                    bcast.run(net, &row_ranks[gi], cj, bytes);
                 }
-                Some(hg) => hier_row(&mut net, hg, gi, cj, bytes),
+                Some(hg) => hier_row(net, hg, gi, cj, bytes),
             }
         }
         for gj in 0..grid.cols {
@@ -287,9 +317,9 @@ pub fn sim_block_lu(
             let bytes = (bs * ccount) as u64 * ELEM_BYTES;
             match &hg {
                 None => {
-                    bcast.run(&mut net, &col_ranks[gj], ri, bytes);
+                    bcast.run(net, &col_ranks[gj], ri, bytes);
                 }
-                Some(hg) => hier_col(&mut net, hg, gj, ri, bytes),
+                Some(hg) => hier_col(net, hg, gj, ri, bytes),
             }
         }
 
@@ -299,9 +329,16 @@ pub fn sim_block_lu(
             for gj in 0..grid.cols {
                 let (_, ccount) = below_rows(gj, cj, co, bs, tw);
                 if rcount > 0 && ccount > 0 {
-                    net.compute(grid.rank(gi, gj), gamma * (rcount * ccount * bs) as f64);
+                    net.compute_flops(
+                        grid.rank(gi, gj),
+                        gamma * (rcount * ccount * bs) as f64,
+                        (2 * rcount * ccount * bs) as u64,
+                    );
                 }
             }
+        }
+        for (r, t0) in starts.iter().enumerate() {
+            net.record_step(r, k, bs, bs, *t0, net.now(r));
         }
         if step_sync {
             net.barrier_all();

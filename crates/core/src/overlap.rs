@@ -54,12 +54,13 @@ pub fn summa_overlap(
     // Pushes step k's panels to all peers; owners only. The panel is
     // materialized once and shared — each destination gets an `Arc`
     // refcount bump, not its own deep copy.
+    let panel_bytes = (th * bs * std::mem::size_of::<f64>()) as u64;
     let push = |k: usize| {
         if gj == owner_col(k) {
             let panel = Arc::new(a.block(0, k * bs % tw, th, bs));
             for dst in 0..row_comm.size() {
                 if dst != row_comm.rank() {
-                    row_comm.send(dst, 2 * k as u64, Arc::clone(&panel));
+                    row_comm.send_sized(dst, 2 * k as u64, Arc::clone(&panel), panel_bytes);
                 }
             }
         }
@@ -67,7 +68,12 @@ pub fn summa_overlap(
             let panel = Arc::new(b.block(k * bs % th, 0, bs, tw));
             for dst in 0..col_comm.size() {
                 if dst != col_comm.rank() {
-                    col_comm.send(dst, 2 * k as u64 + 1, Arc::clone(&panel));
+                    col_comm.send_sized(
+                        dst,
+                        2 * k as u64 + 1,
+                        Arc::clone(&panel),
+                        (bs * tw * std::mem::size_of::<f64>()) as u64,
+                    );
                 }
             }
         }
@@ -92,7 +98,7 @@ pub fn summa_overlap(
             a.block_into(0, k * bs % tw, &mut a_scratch);
             &a_scratch
         } else {
-            a_recv = row_comm.recv::<Arc<Matrix>>(owner_col(k), 2 * k as u64);
+            a_recv = row_comm.recv_sized::<Arc<Matrix>>(owner_col(k), 2 * k as u64, panel_bytes);
             a_recv.as_ref()
         };
         let b_recv: Arc<Matrix>;
@@ -100,10 +106,16 @@ pub fn summa_overlap(
             b.block_into(k * bs % th, 0, &mut b_scratch);
             &b_scratch
         } else {
-            b_recv = col_comm.recv::<Arc<Matrix>>(owner_row(k), 2 * k as u64 + 1);
+            b_recv = col_comm.recv_sized::<Arc<Matrix>>(
+                owner_row(k),
+                2 * k as u64 + 1,
+                (bs * tw * std::mem::size_of::<f64>()) as u64,
+            );
             b_recv.as_ref()
         };
-        comm.time_compute(|| gemm(cfg.kernel, a_panel, b_panel, &mut c));
+        comm.time_compute_flops((2 * th * tw * bs) as u64, || {
+            gemm(cfg.kernel, a_panel, b_panel, &mut c)
+        });
     }
     c
 }
@@ -159,13 +171,15 @@ pub fn hsumma_overlap(
 
     // Prefetch push of outer step kg across groups (owners only). One
     // materialized panel per push, `Arc`-shared across destinations.
+    let outer_a_bytes = (th * bb * std::mem::size_of::<f64>()) as u64;
+    let outer_b_bytes = (bb * tw * std::mem::size_of::<f64>()) as u64;
     let push_outer = |kg: usize| {
         let (gcol, _, jk) = a_owner(kg);
         if gj == gcol && j == jk {
             let panel = Arc::new(a.block(0, kg * bb % tw, th, bb));
             for dst in 0..group_row.size() {
                 if dst != group_row.rank() {
-                    group_row.send(dst, 2 * kg as u64, Arc::clone(&panel));
+                    group_row.send_sized(dst, 2 * kg as u64, Arc::clone(&panel), outer_a_bytes);
                 }
             }
         }
@@ -174,7 +188,7 @@ pub fn hsumma_overlap(
             let panel = Arc::new(b.block(kg * bb % th, 0, bb, tw));
             for dst in 0..group_col.size() {
                 if dst != group_col.rank() {
-                    group_col.send(dst, 2 * kg as u64 + 1, Arc::clone(&panel));
+                    group_col.send_sized(dst, 2 * kg as u64 + 1, Arc::clone(&panel), outer_b_bytes);
                 }
             }
         }
@@ -203,7 +217,8 @@ pub fn hsumma_overlap(
                 a.block_into(0, kg * bb % tw, &mut outer_a_scratch);
                 &outer_a_scratch
             } else {
-                outer_a_recv = group_row.recv::<Arc<Matrix>>(yk, 2 * kg as u64);
+                outer_a_recv =
+                    group_row.recv_sized::<Arc<Matrix>>(yk, 2 * kg as u64, outer_a_bytes);
                 outer_a_recv.as_ref()
             })
         } else {
@@ -216,7 +231,8 @@ pub fn hsumma_overlap(
                 b.block_into(kg * bb % th, 0, &mut outer_b_scratch);
                 &outer_b_scratch
             } else {
-                outer_b_recv = group_col.recv::<Arc<Matrix>>(xk, 2 * kg as u64 + 1);
+                outer_b_recv =
+                    group_col.recv_sized::<Arc<Matrix>>(xk, 2 * kg as u64 + 1, outer_b_bytes);
                 outer_b_recv.as_ref()
             })
         } else {
@@ -227,12 +243,19 @@ pub fn hsumma_overlap(
         let inner_tag = |ki: usize, is_b: bool| {
             (2 * (kg * inner_steps + ki) + usize::from(is_b)) as u64 + (1 << 32)
         };
+        let inner_a_bytes = (th * bs * std::mem::size_of::<f64>()) as u64;
+        let inner_b_bytes = (bs * tw * std::mem::size_of::<f64>()) as u64;
         if let Some(panel) = outer_a {
             for ki in 0..inner_steps {
                 let slice = Arc::new(panel.block(0, ki * bs, th, bs));
                 for dst in 0..row.size() {
                     if dst != row.rank() {
-                        row.send(dst, inner_tag(ki, false), Arc::clone(&slice));
+                        row.send_sized(
+                            dst,
+                            inner_tag(ki, false),
+                            Arc::clone(&slice),
+                            inner_a_bytes,
+                        );
                     }
                 }
             }
@@ -242,7 +265,7 @@ pub fn hsumma_overlap(
                 let slice = Arc::new(panel.block(ki * bs, 0, bs, tw));
                 for dst in 0..col.size() {
                     if dst != col.rank() {
-                        col.send(dst, inner_tag(ki, true), Arc::clone(&slice));
+                        col.send_sized(dst, inner_tag(ki, true), Arc::clone(&slice), inner_b_bytes);
                     }
                 }
             }
@@ -255,7 +278,8 @@ pub fn hsumma_overlap(
                     &a_in_scratch
                 }
                 None => {
-                    a_in_recv = row.recv::<Arc<Matrix>>(jk, inner_tag(ki, false));
+                    a_in_recv =
+                        row.recv_sized::<Arc<Matrix>>(jk, inner_tag(ki, false), inner_a_bytes);
                     a_in_recv.as_ref()
                 }
             };
@@ -266,11 +290,14 @@ pub fn hsumma_overlap(
                     &b_in_scratch
                 }
                 None => {
-                    b_in_recv = col.recv::<Arc<Matrix>>(ik, inner_tag(ki, true));
+                    b_in_recv =
+                        col.recv_sized::<Arc<Matrix>>(ik, inner_tag(ki, true), inner_b_bytes);
                     b_in_recv.as_ref()
                 }
             };
-            comm.time_compute(|| gemm(cfg.kernel, a_in, b_in, &mut c));
+            comm.time_compute_flops((2 * th * tw * bs) as u64, || {
+                gemm(cfg.kernel, a_in, b_in, &mut c)
+            });
         }
     }
     c

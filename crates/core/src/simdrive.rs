@@ -77,6 +77,7 @@ pub fn sim_summa_on(
     let pairs_per_step = (th * tw * b) as u64;
 
     for k in 0..n / b {
+        let starts: Vec<f64> = (0..net.size()).map(|r| net.now(r)).collect();
         let owner_col = k * b / tw;
         for ranks in &row_ranks {
             bcast.run(net, ranks, owner_col, a_panel_bytes);
@@ -86,7 +87,10 @@ pub fn sim_summa_on(
             bcast.run(net, ranks, owner_row, b_panel_bytes);
         }
         for r in 0..net.size() {
-            net.compute(r, gamma * pairs_per_step as f64);
+            net.compute_flops(r, gamma * pairs_per_step as f64, 2 * pairs_per_step);
+        }
+        for (r, t0) in starts.iter().enumerate() {
+            net.record_step(r, k, b, b, *t0, net.now(r));
         }
         if step_sync {
             net.barrier_all();
@@ -217,6 +221,7 @@ pub fn sim_hsumma_on(
         .collect();
 
     for kg in 0..n / bb {
+        let starts: Vec<f64> = (0..net.size()).map(|r| net.now(r)).collect();
         // ---- inter-group broadcast of A's outer panel --------------------
         let gcol = kg * bb / tw;
         let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
@@ -242,11 +247,18 @@ pub fn sim_hsumma_on(
                 }
             }
             for r in 0..net.size() {
-                net.compute(r, gamma * pairs_per_inner_step as f64);
+                net.compute_flops(
+                    r,
+                    gamma * pairs_per_inner_step as f64,
+                    2 * pairs_per_inner_step,
+                );
             }
             if step_sync {
                 net.barrier_all();
             }
+        }
+        for (r, t0) in starts.iter().enumerate() {
+            net.record_step(r, kg, bb, bs, *t0, net.now(r));
         }
     }
     net.report()
@@ -256,12 +268,25 @@ pub fn sim_hsumma_on(
 /// shifts, then `q` rounds of multiply + neighbour shifts. Used as a
 /// baseline in the related-work comparison.
 pub fn sim_cannon(platform: &Platform, q: usize, n: usize, step_sync: bool) -> SimReport {
+    let mut net = SimNet::new(q * q, platform.net);
+    sim_cannon_on(&mut net, platform.gamma, q, n, step_sync)
+}
+
+/// Simulated Cannon's algorithm on a caller-provided network (so a
+/// tracer can be attached beforehand).
+pub fn sim_cannon_on(
+    net: &mut SimNet,
+    gamma: f64,
+    q: usize,
+    n: usize,
+    step_sync: bool,
+) -> SimReport {
     assert!(
         q > 0 && n.is_multiple_of(q),
         "n must be divisible by the grid side"
     );
     let grid = GridShape::new(q, q);
-    let mut net = SimNet::new(grid.size(), platform.net);
+    assert_eq!(net.size(), grid.size(), "network must span the grid");
     let ts = n / q;
     let tile_bytes = (ts * ts) as u64 * ELEM_BYTES;
     let pairs_per_round = (ts * ts * ts) as u64;
@@ -285,14 +310,14 @@ pub fn sim_cannon(platform: &Platform, q: usize, n: usize, step_sync: bool) -> S
 
     // Alignment: row i of A left by i, column j of B up by j (ranks with
     // shift 0 stay put, matching the executable implementation).
-    shift(&mut net, &|i, j| {
+    shift(net, &|i, j| {
         if i == 0 {
             grid.rank(i, j)
         } else {
             grid.rank(i, (j + q - i % q) % q)
         }
     });
-    shift(&mut net, &|i, j| {
+    shift(net, &|i, j| {
         if j == 0 {
             grid.rank(i, j)
         } else {
@@ -300,13 +325,17 @@ pub fn sim_cannon(platform: &Platform, q: usize, n: usize, step_sync: bool) -> S
         }
     });
 
-    for _ in 0..q {
+    for k in 0..q {
+        let starts: Vec<f64> = (0..q * q).map(|r| net.now(r)).collect();
         for r in 0..q * q {
-            net.compute(r, platform.gamma * pairs_per_round as f64);
+            net.compute_flops(r, gamma * pairs_per_round as f64, 2 * pairs_per_round);
         }
         if q > 1 {
-            shift(&mut net, &|i, j| grid.rank(i, (j + q - 1) % q));
-            shift(&mut net, &|i, j| grid.rank((i + q - 1) % q, j));
+            shift(net, &|i, j| grid.rank(i, (j + q - 1) % q));
+            shift(net, &|i, j| grid.rank((i + q - 1) % q, j));
+        }
+        for (r, t0) in starts.iter().enumerate() {
+            net.record_step(r, k, ts, ts, *t0, net.now(r));
         }
         if step_sync {
             net.barrier_all();
@@ -324,12 +353,26 @@ pub fn sim_fox(
     bcast: SimBcast,
     step_sync: bool,
 ) -> SimReport {
+    let mut net = SimNet::new(q * q, platform.net);
+    sim_fox_on(&mut net, platform.gamma, q, n, bcast, step_sync)
+}
+
+/// Simulated Fox's algorithm on a caller-provided network (so a tracer
+/// can be attached beforehand).
+pub fn sim_fox_on(
+    net: &mut SimNet,
+    gamma: f64,
+    q: usize,
+    n: usize,
+    bcast: SimBcast,
+    step_sync: bool,
+) -> SimReport {
     assert!(
         q > 0 && n.is_multiple_of(q),
         "n must be divisible by the grid side"
     );
     let grid = GridShape::new(q, q);
-    let mut net = SimNet::new(grid.size(), platform.net);
+    assert_eq!(net.size(), grid.size(), "network must span the grid");
     let ts = n / q;
     let tile_bytes = (ts * ts) as u64 * ELEM_BYTES;
     let pairs_per_round = (ts * ts * ts) as u64;
@@ -338,11 +381,12 @@ pub fn sim_fox(
         .collect();
 
     for k in 0..q {
+        let starts: Vec<f64> = (0..q * q).map(|r| net.now(r)).collect();
         for (gi, ranks) in row_ranks.iter().enumerate() {
-            bcast.run(&mut net, ranks, (gi + k) % q, tile_bytes);
+            bcast.run(net, ranks, (gi + k) % q, tile_bytes);
         }
         for r in 0..q * q {
-            net.compute(r, platform.gamma * pairs_per_round as f64);
+            net.compute_flops(r, gamma * pairs_per_round as f64, 2 * pairs_per_round);
         }
         if q > 1 {
             let pending: Vec<(usize, _)> = (0..q * q)
@@ -355,6 +399,9 @@ pub fn sim_fox(
             for (dst, msg) in pending {
                 net.deliver(dst, msg);
             }
+        }
+        for (r, t0) in starts.iter().enumerate() {
+            net.record_step(r, k, ts, ts, *t0, net.now(r));
         }
         if step_sync {
             net.barrier_all();

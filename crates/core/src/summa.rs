@@ -94,23 +94,28 @@ pub fn summa(
     let mut a_panel = Matrix::zeros(th, bs);
     let mut b_panel = Matrix::zeros(bs, tw);
     let steps = n / bs;
+    let step_flops = 2 * th * tw * bs;
     for k in 0..steps {
-        // --- pivot column panel of A, broadcast along the grid row -------
-        let owner_col = k * bs / tw;
-        if gj == owner_col {
-            a.block_into(0, k * bs % tw, &mut a_panel);
-        }
-        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+        comm.trace_step(k, bs, bs, || {
+            // --- pivot column panel of A, broadcast along the grid row ---
+            let owner_col = k * bs / tw;
+            if gj == owner_col {
+                a.block_into(0, k * bs % tw, &mut a_panel);
+            }
+            bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
 
-        // --- pivot row panel of B, broadcast along the grid column -------
-        let owner_row = k * bs / th;
-        if gi == owner_row {
-            b.block_into(k * bs % th, 0, &mut b_panel);
-        }
-        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+            // --- pivot row panel of B, broadcast along the grid column ---
+            let owner_row = k * bs / th;
+            if gi == owner_row {
+                b.block_into(k * bs % th, 0, &mut b_panel);
+            }
+            bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
-        // --- local update: C += A_panel · B_panel -------------------------
-        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+            // --- local update: C += A_panel · B_panel ---------------------
+            comm.time_compute_flops(step_flops as u64, || {
+                gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
+            });
+        });
     }
     c
 }

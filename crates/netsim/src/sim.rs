@@ -11,6 +11,7 @@
 
 use crate::model::Hockney;
 use crate::topology::{FullyConnected, Topology};
+use hsumma_trace::{EventKind, Trace, TraceSink, Tracer};
 
 /// A message in flight: produced by [`SimNet::isend`], consumed by
 /// [`SimNet::deliver`]. Splitting send and delivery lets schedules express
@@ -18,6 +19,8 @@ use crate::topology::{FullyConnected, Topology};
 #[derive(Clone, Copy, Debug)]
 #[must_use = "an undelivered message leaves the receiver's clock behind"]
 pub struct PendingMsg {
+    src: usize,
+    bytes: u64,
     arrival: f64,
 }
 
@@ -36,21 +39,6 @@ pub struct SimReport {
     pub bytes: u64,
 }
 
-/// One recorded message transfer (see [`SimNet::enable_trace`]).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct TraceEvent {
-    /// Sending rank.
-    pub src: usize,
-    /// Receiving rank.
-    pub dst: usize,
-    /// Payload bytes.
-    pub bytes: u64,
-    /// Virtual time the transfer started.
-    pub departure: f64,
-    /// Virtual time the message became available at the receiver.
-    pub arrival: f64,
-}
-
 /// The simulated network: per-rank clocks plus accounting.
 pub struct SimNet {
     clocks: Vec<f64>,
@@ -60,7 +48,9 @@ pub struct SimNet {
     bytes: u64,
     net: Hockney,
     topo: Box<dyn Topology>,
-    trace: Option<Vec<TraceEvent>>,
+    /// Shared event model (`hsumma-trace`), stamped with virtual clocks:
+    /// the tracer handle plus one claimed sink per rank.
+    tracer: Option<(Tracer, Vec<TraceSink>)>,
     noise: Option<NoiseModel>,
 }
 
@@ -121,7 +111,7 @@ impl SimNet {
             bytes: 0,
             net,
             topo,
-            trace: None,
+            tracer: None,
             noise: None,
         }
     }
@@ -131,41 +121,56 @@ impl SimNet {
         self.noise = Some(noise);
     }
 
-    /// Starts recording every transfer into an event trace (clears any
-    /// previous trace). Intended for debugging and schedule analysis;
-    /// large simulations should leave it off.
+    /// Starts recording events into a fresh internal tracer using the
+    /// shared `hsumma-trace` event model, stamped with this simulation's
+    /// virtual clocks (replaces any previous trace). Intended for
+    /// debugging and schedule analysis; large simulations should leave
+    /// it off.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        let tracer = Tracer::new(self.size());
+        self.attach_tracer(&tracer);
     }
 
-    /// The recorded events, if tracing is enabled.
-    pub fn trace(&self) -> Option<&[TraceEvent]> {
-        self.trace.as_deref()
+    /// Records events into a caller-owned tracer — this is how a
+    /// simulated run and a real (`hsumma-runtime`) run of the same
+    /// algorithm produce structurally comparable traces.
+    ///
+    /// # Panics
+    /// Panics if the tracer is disabled or sized for fewer ranks than
+    /// the simulation has.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        assert!(tracer.enabled(), "attach_tracer needs an enabled tracer");
+        assert!(
+            tracer.ranks() >= self.size(),
+            "tracer sized for {} ranks, simulation has {}",
+            tracer.ranks(),
+            self.size()
+        );
+        self.tracer = None; // drop previous sinks so rings can be reclaimed
+        let sinks = (0..self.size()).map(|r| tracer.sink(r)).collect();
+        self.tracer = Some((tracer.clone(), sinks));
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<Trace> {
+        self.tracer.as_ref().map(|(t, _)| t.collect())
     }
 
     /// Serializes the recorded trace into Chrome tracing format (load it
-    /// at `chrome://tracing` or <https://ui.perfetto.dev>): one duration
-    /// event per transfer, on the *sender's* row, microsecond timestamps.
+    /// at `chrome://tracing` or <https://ui.perfetto.dev>): one track per
+    /// rank, nested spans, flow arrows for messages, microsecond
+    /// timestamps.
     ///
     /// Returns `None` if tracing was never enabled.
     pub fn trace_to_chrome_json(&self) -> Option<String> {
-        let trace = self.trace.as_ref()?;
-        let mut out = String::from("[\n");
-        for (i, e) in trace.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str(&format!(
-                r#"  {{"name":"{}B to r{}","cat":"msg","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
-                e.bytes,
-                e.dst,
-                e.departure * 1e6,
-                (e.arrival - e.departure) * 1e6,
-                e.src
-            ));
+        self.trace().map(|t| t.to_chrome_json())
+    }
+
+    #[inline]
+    fn record(&self, rank: usize, kind: EventKind, t0: f64, t1: f64) {
+        if let Some((_, sinks)) = &self.tracer {
+            sinks[rank].record(kind, t0, t1);
         }
-        out.push_str("\n]\n");
-        Some(out)
     }
 
     /// Number of ranks.
@@ -192,25 +197,43 @@ impl SimNet {
         self.msgs += 1;
         self.bytes += bytes;
         let arrival = departure + busy + self.topo.extra_latency(src, dst);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                src,
+        self.record(
+            src,
+            EventKind::Send {
                 dst,
+                tag: 0,
+                channel: 0,
                 bytes,
-                departure,
-                arrival,
-            });
+            },
+            departure,
+            departure + busy,
+        );
+        PendingMsg {
+            src,
+            bytes,
+            arrival,
         }
-        PendingMsg { arrival }
     }
 
     /// Blocks `dst` until `msg` has arrived; waiting time is accounted as
     /// communication.
     pub fn deliver(&mut self, dst: usize, msg: PendingMsg) {
+        let wait_from = self.clocks[dst];
         if msg.arrival > self.clocks[dst] {
             self.comm[dst] += msg.arrival - self.clocks[dst];
             self.clocks[dst] = msg.arrival;
         }
+        self.record(
+            dst,
+            EventKind::Recv {
+                src: msg.src,
+                tag: 0,
+                channel: 0,
+                bytes: msg.bytes,
+            },
+            wait_from,
+            self.clocks[dst],
+        );
     }
 
     /// Send and immediately deliver: for schedules where the receiver is
@@ -222,9 +245,23 @@ impl SimNet {
 
     /// Advances `rank`'s clock by `seconds` of local computation.
     pub fn compute(&mut self, rank: usize, seconds: f64) {
+        self.compute_flops(rank, seconds, 0);
+    }
+
+    /// Like [`SimNet::compute`], stamping the trace event with the flop
+    /// count the time was derived from.
+    pub fn compute_flops(&mut self, rank: usize, seconds: f64, flops: u64) {
         assert!(seconds >= 0.0, "computation time must be non-negative");
+        let t0 = self.clocks[rank];
         self.clocks[rank] += seconds;
         self.comp[rank] += seconds;
+        self.record(rank, EventKind::Compute { flops }, t0, t0 + seconds);
+    }
+
+    /// Records a pivot-step span `[t0, t1]` on `rank`'s track (schedule
+    /// drivers call this around each step; no-op when tracing is off).
+    pub fn record_step(&self, rank: usize, k: usize, outer: usize, inner: usize, t0: f64, t1: f64) {
+        self.record(rank, EventKind::PivotStep { k, outer, inner }, t0, t1);
     }
 
     /// Advances every rank to the latest clock (a global barrier). The
@@ -354,20 +391,40 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_transfers_in_order() {
+    fn trace_records_transfers_with_virtual_timestamps() {
+        use hsumma_trace::EventKind;
         let mut net = SimNet::new(3, Hockney::new(1.0, 0.0));
         net.enable_trace();
         net.send(0, 1, 10);
         net.send(1, 2, 20);
         let trace = net.trace().expect("tracing enabled");
-        assert_eq!(trace.len(), 2);
-        assert_eq!((trace[0].src, trace[0].dst, trace[0].bytes), (0, 1, 10));
-        assert_eq!((trace[1].src, trace[1].dst, trace[1].bytes), (1, 2, 20));
-        // Second transfer departs when rank 1 has received the first.
-        assert!(trace[1].departure >= trace[0].arrival - 1e-12);
-        for e in trace {
-            assert!(e.arrival >= e.departure, "causality");
+        // Two sends, two matching recvs.
+        assert_eq!(trace.payload_send_multiset(), vec![(0, 1, 10), (1, 2, 20)]);
+        assert_eq!(trace.count(|e| matches!(e.kind, EventKind::Recv { .. })), 2);
+        // The relay's send departs only after its receive completed.
+        let relay_send = trace
+            .events_of(1)
+            .find(|e| matches!(e.kind, EventKind::Send { .. }))
+            .expect("rank 1 sent");
+        let relay_recv = trace
+            .events_of(1)
+            .find(|e| matches!(e.kind, EventKind::Recv { .. }))
+            .expect("rank 1 received");
+        assert!(relay_send.t0 >= relay_recv.t1 - 1e-12);
+        for e in &trace.events {
+            assert!(e.t1 >= e.t0, "causality");
         }
+    }
+
+    #[test]
+    fn attached_tracer_sees_events_and_critical_path() {
+        let tracer = hsumma_trace::Tracer::new(2);
+        let mut net = SimNet::new(2, Hockney::new(1e-3, 1e-6));
+        net.attach_tracer(&tracer);
+        net.send(0, 1, 500);
+        let cp = tracer.collect().critical_path();
+        assert_eq!(cp.message_edges.len(), 1);
+        assert!((cp.makespan - (1e-3 + 500.0 * 1e-6)).abs() < 1e-12);
     }
 
     #[test]
@@ -403,16 +460,17 @@ mod tests {
     }
 
     #[test]
-    fn chrome_export_is_valid_jsonish_and_complete() {
+    fn chrome_export_is_valid_json_and_complete() {
         let mut net = SimNet::new(2, Hockney::new(1e-3, 0.0));
         net.enable_trace();
         net.send(0, 1, 42);
         net.send(1, 0, 7);
         let json = net.trace_to_chrome_json().expect("trace enabled");
+        hsumma_trace::validate_json(&json).expect("exported trace is valid JSON");
         assert!(json.trim_start().starts_with('['));
-        assert!(json.trim_end().ends_with(']'));
-        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
-        assert!(json.contains("\"42B to r1\""));
+        // 2 sends + 2 recvs as spans.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("send 42B to r1"));
         assert!(net.trace_to_chrome_json().is_some(), "export is repeatable");
     }
 

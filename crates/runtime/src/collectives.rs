@@ -57,6 +57,18 @@ pub enum BcastAlgorithm {
 }
 
 impl BcastAlgorithm {
+    /// Stable name for traces and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BcastAlgorithm::Flat => "flat",
+            BcastAlgorithm::Binomial => "binomial",
+            BcastAlgorithm::Binary => "binary",
+            BcastAlgorithm::Ring => "ring",
+            BcastAlgorithm::Pipelined { .. } => "pipelined",
+            BcastAlgorithm::ScatterAllgather => "scatter_allgather",
+        }
+    }
+
     /// Whether the algorithm needs to cut the payload into pieces and
     /// therefore requires the slice-based [`bcast_f64`] entry point.
     pub fn needs_segmentation(&self) -> bool {
@@ -84,16 +96,18 @@ pub fn auto_bcast(payload_bytes: usize, p: usize) -> BcastAlgorithm {
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, no root.
 pub fn barrier(comm: &Comm) {
-    let p = comm.size();
-    let r = comm.rank();
-    let mut round = 1usize;
-    while round < p {
-        let dst = (r + round) % p;
-        let src = (r + p - round % p) % p;
-        comm.send_internal(dst, TAG_BARRIER, ());
-        comm.recv_internal::<()>(src, TAG_BARRIER);
-        round <<= 1;
-    }
+    comm.trace_collective("barrier", "dissemination", 0, || {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut round = 1usize;
+        while round < p {
+            let dst = (r + round) % p;
+            let src = (r + p - round % p) % p;
+            comm.send_internal(dst, TAG_BARRIER, ());
+            comm.recv_internal::<()>(src, TAG_BARRIER);
+            round <<= 1;
+        }
+    })
 }
 
 /// Broadcasts `value` from `root` using a whole-message algorithm.
@@ -117,7 +131,7 @@ pub fn bcast<T: Any + Send + Clone>(
     );
     let is_root = comm.rank() == root;
     assert!(value.is_some() || !is_root, "root must supply the value");
-    match algo {
+    comm.trace_collective("bcast", algo.name(), root, || match algo {
         BcastAlgorithm::Flat => bcast_flat(comm, root, value),
         BcastAlgorithm::Binomial => {
             // The internal binomial bcast wants a concrete value on every
@@ -129,7 +143,7 @@ pub fn bcast<T: Any + Send + Clone>(
         BcastAlgorithm::Binary => bcast_binary(comm, root, value),
         BcastAlgorithm::Ring => bcast_ring(comm, root, value),
         BcastAlgorithm::Pipelined { .. } | BcastAlgorithm::ScatterAllgather => unreachable!(),
-    }
+    })
 }
 
 fn bcast_flat<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
@@ -198,9 +212,6 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
     if p == 1 {
         return;
     }
-    if comm.rank() == root {
-        comm.count_bytes((data.len() * 8) as u64);
-    }
     match algo {
         BcastAlgorithm::Flat
         | BcastAlgorithm::Binomial
@@ -220,8 +231,16 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
                 data.copy_from_slice(&out);
             }
         }
-        BcastAlgorithm::Pipelined { segments } => bcast_pipelined(comm, root, data, segments),
-        BcastAlgorithm::ScatterAllgather => bcast_scatter_allgather(comm, root, data),
+        BcastAlgorithm::Pipelined { segments } => {
+            comm.trace_collective("bcast", algo.name(), root, || {
+                bcast_pipelined(comm, root, data, segments)
+            })
+        }
+        BcastAlgorithm::ScatterAllgather => {
+            comm.trace_collective("bcast", algo.name(), root, || {
+                bcast_scatter_allgather(comm, root, data)
+            })
+        }
     }
 }
 
@@ -327,6 +346,10 @@ fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
 /// Returns `Some(values)` at the root, `None` elsewhere.
 pub fn gather<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
     assert!(root < comm.size(), "root out of range");
+    comm.trace_collective("gather", "flat", root, || gather_inner(comm, root, value))
+}
+
+fn gather_inner<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
     if comm.rank() == root {
         let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
         out[root] = Some(value);
@@ -348,9 +371,11 @@ pub fn gather<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T
 
 /// Gather to rank 0 followed by a binomial broadcast of the table.
 pub fn allgather<T: Any + Send + Clone>(comm: &Comm, value: T) -> Vec<T> {
-    let gathered = gather(comm, 0, value);
-    let v = comm.binomial_bcast_internal(0, TAG_ALLGATHER, gathered);
-    v.expect("allgather bcast delivered no value")
+    comm.trace_collective("allgather", "gather_bcast", 0, || {
+        let gathered = gather_inner(comm, 0, value);
+        let v = comm.binomial_bcast_internal(0, TAG_ALLGATHER, gathered);
+        v.expect("allgather bcast delivered no value")
+    })
 }
 
 /// Binomial-tree reduction with a caller-supplied associative combiner.
@@ -362,24 +387,26 @@ pub fn reduce<T: Any + Send>(
     mut combine: impl FnMut(T, T) -> T,
 ) -> Option<T> {
     assert!(root < comm.size(), "root out of range");
-    let p = comm.size();
-    let vrank = (comm.rank() + p - root) % p;
-    let to_world = |v: usize| (v + root) % p;
-    let mut acc = value;
-    let mut mask = 1usize;
-    // Mirror image of the binomial broadcast: leaves send first.
-    while mask < p {
-        if vrank & mask != 0 {
-            comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, acc);
-            return None;
+    comm.trace_collective("reduce", "binomial", root, || {
+        let p = comm.size();
+        let vrank = (comm.rank() + p - root) % p;
+        let to_world = |v: usize| (v + root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        // Mirror image of the binomial broadcast: leaves send first.
+        while mask < p {
+            if vrank & mask != 0 {
+                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, acc);
+                return None;
+            }
+            if vrank + mask < p {
+                let child: T = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+                acc = combine(acc, child);
+            }
+            mask <<= 1;
         }
-        if vrank + mask < p {
-            let child: T = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
-            acc = combine(acc, child);
-        }
-        mask <<= 1;
-    }
-    Some(acc)
+        Some(acc)
+    })
 }
 
 /// Reduce to rank 0 then broadcast the result to everyone.
@@ -388,9 +415,11 @@ pub fn allreduce<T: Any + Send + Clone>(
     value: T,
     combine: impl FnMut(T, T) -> T,
 ) -> T {
-    let reduced = reduce(comm, 0, value, combine);
-    let v = comm.binomial_bcast_internal(0, TAG_REDUCE, reduced);
-    v.expect("allreduce bcast delivered no value")
+    comm.trace_collective("allreduce", "reduce_bcast", 0, || {
+        let reduced = reduce(comm, 0, value, combine);
+        let v = comm.binomial_bcast_internal(0, TAG_REDUCE, reduced);
+        v.expect("allreduce bcast delivered no value")
+    })
 }
 
 /// Simultaneous send and receive (an `MPI_Sendrecv`): deadlock-free
@@ -413,6 +442,12 @@ pub fn sendrecv<T: Any + Send>(
 /// Panics if the root's vector length differs from the communicator size.
 pub fn scatter<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) -> T {
     assert!(root < comm.size(), "root out of range");
+    comm.trace_collective("scatter", "flat", root, || {
+        scatter_inner(comm, root, values)
+    })
+}
+
+fn scatter_inner<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) -> T {
     if comm.rank() == root {
         let values = values.expect("root must supply the values");
         assert_eq!(values.len(), comm.size(), "one value per rank required");
@@ -439,24 +474,26 @@ pub fn scatter<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) 
 pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
     let p = comm.size();
     assert_eq!(values.len(), p, "one value per destination required");
-    let me = comm.rank();
-    let mut mine = None;
-    for (dst, v) in values.into_iter().enumerate() {
-        if dst == me {
-            mine = Some(v);
-        } else {
-            comm.send_internal(dst, TAG_ALLTOALL, v);
-        }
-    }
-    (0..p)
-        .map(|src| {
-            if src == me {
-                mine.take().expect("own slot present")
+    comm.trace_collective("alltoall", "pairwise", 0, || {
+        let me = comm.rank();
+        let mut mine = None;
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == me {
+                mine = Some(v);
             } else {
-                comm.recv_internal(src, TAG_ALLTOALL)
+                comm.send_internal(dst, TAG_ALLTOALL, v);
             }
-        })
-        .collect()
+        }
+        (0..p)
+            .map(|src| {
+                if src == me {
+                    mine.take().expect("own slot present")
+                } else {
+                    comm.recv_internal(src, TAG_ALLTOALL)
+                }
+            })
+            .collect()
+    })
 }
 
 /// Element-wise sum reduction of equal-length `f64` buffers to `root`
@@ -465,29 +502,30 @@ pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
 /// send buffer).
 pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
     assert!(root < comm.size(), "root out of range");
-    let p = comm.size();
-    let vrank = (comm.rank() + p - root) % p;
-    let to_world = |v: usize| (v + root) % p;
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, data.to_vec());
-            return;
-        }
-        if vrank + mask < p {
-            let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
-            assert_eq!(
-                child.len(),
-                data.len(),
-                "reduce buffers must match in length"
-            );
-            for (a, b) in data.iter_mut().zip(&child) {
-                *a += b;
+    comm.trace_collective("reduce_sum", "binomial", root, || {
+        let p = comm.size();
+        let vrank = (comm.rank() + p - root) % p;
+        let to_world = |v: usize| (v + root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, data.to_vec());
+                return;
             }
+            if vrank + mask < p {
+                let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+                assert_eq!(
+                    child.len(),
+                    data.len(),
+                    "reduce buffers must match in length"
+                );
+                for (a, b) in data.iter_mut().zip(&child) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
         }
-        mask <<= 1;
-    }
-    comm.count_bytes((data.len() * 8) as u64);
+    })
 }
 
 /// Bandwidth-optimal all-reduce of `f64` buffers à la Rabenseifner:
@@ -499,6 +537,13 @@ pub fn allreduce_sum_f64(comm: &Comm, data: &mut [f64]) {
     if p == 1 {
         return;
     }
+    comm.trace_collective("allreduce_sum", "ring", 0, || {
+        allreduce_sum_f64_inner(comm, data)
+    })
+}
+
+fn allreduce_sum_f64_inner(comm: &Comm, data: &mut [f64]) {
+    let p = comm.size();
     let me = comm.rank();
     let next = (me + 1) % p;
     let prev = (me + p - 1) % p;
@@ -527,7 +572,6 @@ pub fn allreduce_sum_f64(comm: &Comm, data: &mut [f64]) {
         let (rlo, rhi) = chunk_range(len, p, recv_chunk);
         data[rlo..rhi].copy_from_slice(&seg);
     }
-    comm.count_bytes((len * 8) as u64);
 }
 
 #[cfg(test)]
@@ -833,6 +877,61 @@ mod tests {
         });
         assert_eq!(out[0], 800);
         assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn ledgers_balance_for_every_collective_algorithm() {
+        // Whatever one rank's ledger says went out must show up on some
+        // other rank's receive ledger: Σ msgs_sent == Σ msgs_recv and
+        // Σ bytes_sent == Σ bytes_recv over the world, per collective.
+        let p = 8;
+        let check = |label: &str, run: &(dyn Fn(&Comm) + Sync)| {
+            let stats = Runtime::run(p, |comm| {
+                comm.reset_stats();
+                run(comm);
+                comm.stats()
+            });
+            let total = stats
+                .iter()
+                .fold(crate::stats::CommStats::default(), |acc, s| acc.merge(s));
+            assert_eq!(total.msgs_sent, total.msgs_recv, "{label}: message count");
+            assert_eq!(total.bytes_sent, total.bytes_recv, "{label}: byte count");
+            assert!(total.msgs_sent > 0, "{label}: nothing happened");
+        };
+        for algo in ALGOS {
+            check(algo.name(), &move |comm: &Comm| {
+                let mut buf = if comm.rank() == 1 {
+                    vec![1.5; 96]
+                } else {
+                    vec![0.0; 96]
+                };
+                bcast_f64(comm, algo, 1, &mut buf);
+            });
+        }
+        check("barrier", &|comm: &Comm| barrier(comm));
+        check("gather", &|comm: &Comm| {
+            let _ = gather(comm, 0, vec![comm.rank() as f64; 4]);
+        });
+        check("allgather", &|comm: &Comm| {
+            let _ = allgather(comm, comm.rank() as u64);
+        });
+        check("reduce_sum", &|comm: &Comm| {
+            let mut buf = vec![1.0; 32];
+            reduce_sum_f64(comm, 2, &mut buf);
+        });
+        check("allreduce_sum", &|comm: &Comm| {
+            let mut buf = vec![1.0; 32];
+            allreduce_sum_f64(comm, &mut buf);
+        });
+        check("alltoall", &|comm: &Comm| {
+            let vals: Vec<Vec<f64>> = (0..comm.size()).map(|d| vec![d as f64; 3]).collect();
+            let _ = alltoall(comm, vals);
+        });
+        check("scatter", &|comm: &Comm| {
+            let vals =
+                (comm.rank() == 0).then(|| (0..comm.size()).map(|d| vec![d as f64; 5]).collect());
+            let _ = scatter::<Vec<f64>>(comm, 0, vals);
+        });
     }
 
     #[test]

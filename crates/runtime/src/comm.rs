@@ -9,6 +9,7 @@
 
 use crate::message::{Context, Envelope, Mailbox, MailboxSender, Tag};
 use crate::stats::CommStats;
+use hsumma_trace::{EventKind, TraceSink};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -29,6 +30,28 @@ pub(crate) struct RankShared {
     pub mailbox: RefCell<Mailbox>,
     pub stats: RefCell<CommStats>,
     pub world_rank: usize,
+    /// Event recorder for this rank; a disabled sink (the default) is a
+    /// `None` and every trace call below collapses to one branch.
+    pub sink: TraceSink,
+}
+
+/// Wire size of a payload, for the byte ledgers and the trace. The
+/// runtime's messages are `Any`-typed, so sizes are recovered by probing
+/// the concrete types the collectives and algorithms actually ship;
+/// opaque user types report 0 (use [`Comm::send_sized`] to account them).
+fn payload_bytes_of<T: Any>(value: &T) -> u64 {
+    let v = value as &dyn Any;
+    if let Some(x) = v.downcast_ref::<Vec<f64>>() {
+        (x.len() * 8) as u64
+    } else if let Some(x) = v.downcast_ref::<Arc<Vec<f64>>>() {
+        (x.len() * 8) as u64
+    } else if let Some(x) = v.downcast_ref::<Option<Arc<Vec<f64>>>>() {
+        x.as_ref().map_or(0, |b| (b.len() * 8) as u64)
+    } else if let Some((x, _)) = v.downcast_ref::<(Arc<Vec<f64>>, usize)>() {
+        (x.len() * 8) as u64
+    } else {
+        0
+    }
 }
 
 /// A communicator: an ordered group of ranks plus an isolated context.
@@ -55,6 +78,7 @@ impl Comm {
         senders: Arc<Vec<MailboxSender>>,
         mailbox: Mailbox,
         world_rank: usize,
+        sink: TraceSink,
     ) -> Self {
         let size = senders.len();
         Comm {
@@ -63,6 +87,7 @@ impl Comm {
                 mailbox: RefCell::new(mailbox),
                 stats: RefCell::new(CommStats::default()),
                 world_rank,
+                sink,
             }),
             ctx: 0,
             members: Rc::new((0..size).collect()),
@@ -122,18 +147,60 @@ impl Comm {
     pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Option<T> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
         let t0 = Instant::now();
+        let tr0 = self.shared.sink.now();
         let src_world = self.members[src];
         let value = self
             .shared
             .mailbox
             .borrow_mut()
             .try_recv::<T>(self.ctx, src_world, tag);
-        self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+        {
+            let mut stats = self.shared.stats.borrow_mut();
+            if let Some(v) = &value {
+                stats.msgs_recv += 1;
+                stats.bytes_recv += payload_bytes_of(v);
+            }
+            stats.comm_seconds += t0.elapsed().as_secs_f64();
+        }
+        if self.shared.sink.enabled() {
+            if let Some(v) = &value {
+                self.shared.sink.record(
+                    EventKind::Recv {
+                        src: src_world,
+                        tag,
+                        channel: self.ctx,
+                        bytes: payload_bytes_of(v),
+                    },
+                    tr0,
+                    self.shared.sink.now(),
+                );
+            }
+        }
         value
     }
 
+    /// Sends a payload whose wire size the caller knows (e.g. an opaque
+    /// matrix type the byte probe can't see). Identical to [`Comm::send`]
+    /// except the byte ledgers and the trace account `bytes`.
+    pub fn send_sized<T: Any + Send>(&self, dst: usize, tag: Tag, value: T, bytes: u64) {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.send_impl(dst, tag, value, Some(bytes));
+    }
+
+    /// Receiving half of [`Comm::send_sized`]: accounts `bytes` received.
+    pub fn recv_sized<T: Any + Send>(&self, src: usize, tag: Tag, bytes: u64) -> T {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.recv_impl(src, tag, Some(bytes))
+    }
+
     pub(crate) fn send_internal<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) {
+        self.send_impl(dst, tag, value, None);
+    }
+
+    fn send_impl<T: Any + Send>(&self, dst: usize, tag: Tag, value: T, bytes: Option<u64>) {
         let t0 = Instant::now();
+        let tr0 = self.shared.sink.now();
+        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
         let dst_world = self.members[dst];
         self.shared.senders[dst_world].deliver(Envelope {
             ctx: self.ctx,
@@ -141,26 +208,59 @@ impl Comm {
             tag,
             payload: Box::new(value),
         });
-        let mut stats = self.shared.stats.borrow_mut();
-        stats.msgs_sent += 1;
-        stats.comm_seconds += t0.elapsed().as_secs_f64();
+        {
+            let mut stats = self.shared.stats.borrow_mut();
+            stats.msgs_sent += 1;
+            stats.bytes_sent += bytes;
+            stats.comm_seconds += t0.elapsed().as_secs_f64();
+        }
+        if self.shared.sink.enabled() {
+            self.shared.sink.record(
+                EventKind::Send {
+                    dst: dst_world,
+                    tag,
+                    channel: self.ctx,
+                    bytes,
+                },
+                tr0,
+                self.shared.sink.now(),
+            );
+        }
     }
 
     pub(crate) fn recv_internal<T: Any + Send>(&self, src: usize, tag: Tag) -> T {
+        self.recv_impl(src, tag, None)
+    }
+
+    fn recv_impl<T: Any + Send>(&self, src: usize, tag: Tag, bytes: Option<u64>) -> T {
         let t0 = Instant::now();
+        let tr0 = self.shared.sink.now();
         let src_world = self.members[src];
         let value = self
             .shared
             .mailbox
             .borrow_mut()
             .recv::<T>(self.ctx, src_world, tag);
-        self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
+        {
+            let mut stats = self.shared.stats.borrow_mut();
+            stats.msgs_recv += 1;
+            stats.bytes_recv += bytes;
+            stats.comm_seconds += t0.elapsed().as_secs_f64();
+        }
+        if self.shared.sink.enabled() {
+            self.shared.sink.record(
+                EventKind::Recv {
+                    src: src_world,
+                    tag,
+                    channel: self.ctx,
+                    bytes,
+                },
+                tr0,
+                self.shared.sink.now(),
+            );
+        }
         value
-    }
-
-    /// Records `bytes` as sent payload (used by size-aware collectives).
-    pub(crate) fn count_bytes(&self, bytes: u64) {
-        self.shared.stats.borrow_mut().bytes_sent += bytes;
     }
 
     /// Records one payload-buffer materialization of `bytes` bytes.
@@ -185,9 +285,66 @@ impl Comm {
 
     /// Runs `f`, accounting its wall time as *computation* in the stats.
     pub fn time_compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.time_compute_flops(0, f)
+    }
+
+    /// Like [`Comm::time_compute`], also stamping the trace event with a
+    /// flop count (for per-step compute attribution; pass 0 if unknown).
+    pub fn time_compute_flops<R>(&self, flops: u64, f: impl FnOnce() -> R) -> R {
         let t0 = Instant::now();
+        let tr0 = self.shared.sink.now();
         let r = f();
         self.shared.stats.borrow_mut().comp_seconds += t0.elapsed().as_secs_f64();
+        if self.shared.sink.enabled() {
+            self.shared
+                .sink
+                .record(EventKind::Compute { flops }, tr0, self.shared.sink.now());
+        }
+        r
+    }
+
+    /// Whether this rank is recording trace events.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.shared.sink.enabled()
+    }
+
+    /// Runs `f` inside a pivot-step span: iteration `k`, outer block
+    /// `outer` (the paper's `B`), inner block `inner` (`b`). A no-op
+    /// wrapper when tracing is off.
+    pub fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        if !self.shared.sink.enabled() {
+            return f();
+        }
+        let tr0 = self.shared.sink.now();
+        let r = f();
+        self.shared.sink.record(
+            EventKind::PivotStep { k, outer, inner },
+            tr0,
+            self.shared.sink.now(),
+        );
+        r
+    }
+
+    /// Runs `f` inside a collective span (used by the `collectives`
+    /// module so every collective shows up as one nested slab per rank).
+    pub(crate) fn trace_collective<R>(
+        &self,
+        op: &'static str,
+        algo: &'static str,
+        root: usize,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        if !self.shared.sink.enabled() {
+            return f();
+        }
+        let tr0 = self.shared.sink.now();
+        let r = f();
+        self.shared.sink.record(
+            EventKind::Collective { op, algo, root },
+            tr0,
+            self.shared.sink.now(),
+        );
         r
     }
 
@@ -255,6 +412,12 @@ impl Comm {
 
     /// Binomial-tree broadcast used by internal protocols (also the
     /// building block the public `bcast` reuses via `collectives`).
+    ///
+    /// The tree is the simulator's: in round `mask = 1, 2, 4, …` every
+    /// virtual rank `v < mask` sends to `v + mask`, i.e. each rank
+    /// receives from its virtual rank with the highest set bit cleared.
+    /// Keeping the two substrates on the *same* tree is what lets traces
+    /// of real and simulated runs be compared message-for-message.
     pub(crate) fn binomial_bcast_internal<T: Any + Send + Clone>(
         &self,
         root: usize,
@@ -267,26 +430,21 @@ impl Comm {
         }
         // Re-index so the root is virtual rank 0.
         let vrank = (self.my_rank + p - root) % p;
-        let mut mask = 1usize;
-        // Receive phase: find the round in which we get the data.
-        while mask < p {
-            if vrank & mask != 0 {
-                let src_v = vrank ^ mask;
-                let src = (src_v + root) % p;
-                value = self.recv_internal(src, tag);
-                break;
-            }
-            mask <<= 1;
+        if vrank != 0 {
+            // Receive from our virtual rank with the highest bit cleared.
+            let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+            let src = ((vrank - high) + root) % p;
+            value = self.recv_internal(src, tag);
         }
-        // Send phase: relay to our subtree, highest bit first.
-        let mut send_mask = mask >> 1;
-        while send_mask > 0 {
-            let dst_v = vrank | send_mask;
-            if dst_v > vrank && dst_v < p {
-                let dst = (dst_v + root) % p;
+        // Relay in every later round: all masks strictly above our own
+        // virtual rank (the root participates from mask 1).
+        let mut mask = 1usize;
+        while mask < p {
+            if mask > vrank && vrank + mask < p {
+                let dst = (vrank + mask + root) % p;
                 self.send_internal(dst, tag, value.clone());
             }
-            send_mask >>= 1;
+            mask <<= 1;
         }
         value
     }

@@ -2,6 +2,7 @@
 
 use crate::comm::Comm;
 use crate::message::{Envelope, Mailbox, POISON_CTX};
+use hsumma_trace::Tracer;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
@@ -40,7 +41,27 @@ impl Runtime {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        Self::run_traced(p, &Tracer::disabled(), f)
+    }
+
+    /// Like [`Runtime::run`], recording every rank's communication and
+    /// computation into `tracer` (one ring buffer per rank; see
+    /// `hsumma-trace`). Pass [`Tracer::disabled`] — or call
+    /// [`Runtime::run`] — for the zero-overhead untraced path.
+    ///
+    /// # Panics
+    /// Panics if the tracer is enabled for fewer than `p` ranks.
+    pub fn run_traced<R, F>(p: usize, tracer: &Tracer, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
+        assert!(
+            !tracer.enabled() || tracer.ranks() >= p,
+            "tracer sized for {} ranks, runtime needs {p}",
+            tracer.ranks()
+        );
         let mut senders = Vec::with_capacity(p);
         let mut mailboxes = Vec::with_capacity(p);
         for _ in 0..p {
@@ -57,11 +78,13 @@ impl Runtime {
                 .enumerate()
                 .map(|(rank, mailbox)| {
                     let senders = Arc::clone(&senders);
+                    let sink = tracer.sink(rank);
                     thread::Builder::new()
                         .name(format!("rank-{rank}"))
                         .spawn_scoped(scope, move || {
                             let result = catch_unwind(AssertUnwindSafe(|| {
-                                let mut comm = Comm::world(Arc::clone(&senders), mailbox, rank);
+                                let mut comm =
+                                    Comm::world(Arc::clone(&senders), mailbox, rank, sink);
                                 f(&mut comm)
                             }));
                             match result {

@@ -17,9 +17,17 @@ pub struct CommStats {
     /// Point-to-point messages sent (collectives count their constituent
     /// messages — the runtime's collectives are built from point-to-point).
     pub msgs_sent: u64,
-    /// Payload bytes sent where the primitive knows the size
-    /// (`f64`-slice collectives).
+    /// Payload bytes sent, accounted per message at the send site for
+    /// every payload type whose wire size the runtime can see (`f64`
+    /// buffers and their `Arc`-shared forms; `Comm::send_sized` for the
+    /// rest). Control messages of unknown size count 0.
     pub bytes_sent: u64,
+    /// Point-to-point messages received. Across a whole run the world
+    /// totals must balance: `Σ msgs_sent == Σ msgs_recv`.
+    pub msgs_recv: u64,
+    /// Payload bytes received (mirrors [`Self::bytes_sent`] at the
+    /// receive site, so byte ledgers can be cross-checked too).
+    pub bytes_recv: u64,
     /// Payload buffers materialized (allocated + copied) by collectives on
     /// this rank. Broadcast relays forward `Arc`-shared payloads, so only
     /// the rank that *originates* data should count here — a relay with a
@@ -42,6 +50,8 @@ impl CommStats {
             comp_seconds: self.comp_seconds + other.comp_seconds,
             msgs_sent: self.msgs_sent + other.msgs_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
             payload_clones: self.payload_clones + other.payload_clones,
             payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
         }
@@ -55,6 +65,8 @@ impl CommStats {
             comp_seconds: self.comp_seconds.max(other.comp_seconds),
             msgs_sent: self.msgs_sent + other.msgs_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
             payload_clones: self.payload_clones + other.payload_clones,
             payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
         }
@@ -71,6 +83,8 @@ mod tests {
             comp_seconds: p,
             msgs_sent: m,
             bytes_sent: b,
+            msgs_recv: m,
+            bytes_recv: b,
             payload_clones: m,
             payload_clone_bytes: b,
         }

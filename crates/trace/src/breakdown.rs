@@ -1,0 +1,260 @@
+//! Per-pivot-step comm/compute breakdown.
+//!
+//! Aggregates a trace into one row per pivot iteration `k`: how much
+//! communication and computation time each step cost (max over ranks —
+//! the BSP "slowest rank defines the phase" convention — and the sum),
+//! plus message counts and bytes. This is the table behind the paper's
+//! Figs. 5–9 style comm/compute split, but resolved per step.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::tracer::Trace;
+use std::collections::BTreeMap;
+
+/// Aggregated cost of one pivot step across all ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepRow {
+    /// Pivot iteration index.
+    pub k: usize,
+    /// Outer block size `B` of the step.
+    pub outer: usize,
+    /// Inner block size `b` of the step.
+    pub inner: usize,
+    /// Slowest rank's communication seconds inside the step.
+    pub comm_max: f64,
+    /// Slowest rank's computation seconds inside the step.
+    pub comp_max: f64,
+    /// Total communication seconds across ranks.
+    pub comm_sum: f64,
+    /// Total computation seconds across ranks.
+    pub comp_sum: f64,
+    /// Messages sent inside the step.
+    pub msgs: u64,
+    /// Payload bytes sent inside the step.
+    pub bytes: u64,
+    /// Flops computed inside the step.
+    pub flops: u64,
+}
+
+/// Computes the per-step table of a trace. Events are attributed to the
+/// pivot-step span (same rank) that contains them; send/recv wait time
+/// counts as communication, compute spans as computation. Collective
+/// spans are skipped in the sums — their constituent sends and receives
+/// are already counted. Steps are keyed by `k` and aggregated across
+/// ranks.
+pub(crate) fn step_breakdown(trace: &Trace) -> Vec<StepRow> {
+    // Per-rank step spans, then interval-attribute that rank's events.
+    let mut rows: BTreeMap<usize, StepRow> = BTreeMap::new();
+    // Per (rank, k): comm/comp seconds, folded into max/sum at the end.
+    let mut per_rank: BTreeMap<(usize, usize), (f64, f64)> = BTreeMap::new();
+
+    for rank in 0..trace.ranks {
+        let events: Vec<&TraceEvent> = trace.events_of(rank).collect();
+        let steps: Vec<(usize, &TraceEvent)> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::PivotStep { k, outer, inner } => {
+                    let row = rows.entry(k).or_insert(StepRow {
+                        k,
+                        outer,
+                        inner,
+                        ..StepRow::default()
+                    });
+                    row.outer = outer;
+                    row.inner = inner;
+                    Some((k, *e))
+                }
+                _ => None,
+            })
+            .collect();
+        if steps.is_empty() {
+            continue;
+        }
+        let eps = 1e-12 * steps.iter().map(|(_, s)| s.t1.abs()).fold(1.0f64, f64::max);
+        let enclosing = |e: &TraceEvent| {
+            steps
+                .iter()
+                .find(|(_, s)| e.t0 >= s.t0 - eps && e.t1 <= s.t1 + eps)
+                .map(|(k, _)| *k)
+        };
+        for e in &events {
+            let Some(k) = enclosing(e) else { continue };
+            let row = rows.get_mut(&k).expect("step row exists");
+            let cell = per_rank.entry((rank, k)).or_insert((0.0, 0.0));
+            match e.kind {
+                EventKind::Send { bytes, .. } => {
+                    cell.0 += e.duration();
+                    row.msgs += 1;
+                    row.bytes += bytes;
+                }
+                EventKind::Recv { .. } => cell.0 += e.duration(),
+                EventKind::Compute { flops } => {
+                    cell.1 += e.duration();
+                    row.flops += flops;
+                }
+                EventKind::Collective { .. } | EventKind::PivotStep { .. } => {}
+            }
+        }
+    }
+
+    for ((_, k), (comm, comp)) in per_rank {
+        let row = rows.get_mut(&k).expect("step row exists");
+        row.comm_max = row.comm_max.max(comm);
+        row.comp_max = row.comp_max.max(comp);
+        row.comm_sum += comm;
+        row.comp_sum += comp;
+    }
+    rows.into_values().collect()
+}
+
+/// Plain-text table for CLI output.
+pub fn render_breakdown(rows: &[StepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "   k     B     b     comm_max      comp_max         msgs        bytes        flops\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4}  {:>4}  {:>4}  {:>11.5e}  {:>11.5e}  {:>11}  {:>11}  {:>11}\n",
+            r.k, r.outer, r.inner, r.comm_max, r.comp_max, r.msgs, r.bytes, r.flops
+        ));
+    }
+    let comm: f64 = rows.iter().map(|r| r.comm_max).sum();
+    let comp: f64 = rows.iter().map(|r| r.comp_max).sum();
+    out.push_str(&format!(
+        "total over steps: comm_max {:.5e}s  comp_max {:.5e}s\n",
+        comm, comp
+    ));
+    out
+}
+
+impl Trace {
+    /// Per-pivot-step comm/compute breakdown (see [`StepRow`]).
+    pub fn step_breakdown(&self) -> Vec<StepRow> {
+        step_breakdown(self)
+    }
+
+    /// Critical path through the send→recv dependency graph.
+    pub fn critical_path(&self) -> crate::critical::CriticalPath {
+        crate::critical::critical_path(&self.events)
+    }
+
+    /// Chrome tracing JSON (see [`crate::validate_json`]).
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::to_chrome_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn events_attribute_to_their_enclosing_step() {
+        let t = Tracer::new(2);
+        {
+            let s0 = t.sink(0);
+            let s1 = t.sink(1);
+            // Rank 0, step 0: one send + compute; step 1: compute only.
+            s0.record(
+                EventKind::Send {
+                    dst: 1,
+                    tag: 0,
+                    channel: 0,
+                    bytes: 100,
+                },
+                0.0,
+                1.0,
+            );
+            s0.record(EventKind::Compute { flops: 10 }, 1.0, 3.0);
+            s0.record(
+                EventKind::PivotStep {
+                    k: 0,
+                    outer: 8,
+                    inner: 4,
+                },
+                0.0,
+                3.0,
+            );
+            s0.record(EventKind::Compute { flops: 20 }, 3.0, 4.0);
+            s0.record(
+                EventKind::PivotStep {
+                    k: 1,
+                    outer: 8,
+                    inner: 4,
+                },
+                3.0,
+                4.0,
+            );
+            // Rank 1, step 0: the matching recv (longer wait).
+            s1.record(
+                EventKind::Recv {
+                    src: 0,
+                    tag: 0,
+                    channel: 0,
+                    bytes: 100,
+                },
+                0.0,
+                2.5,
+            );
+            s1.record(
+                EventKind::PivotStep {
+                    k: 0,
+                    outer: 8,
+                    inner: 4,
+                },
+                0.0,
+                2.5,
+            );
+        }
+        let rows = t.collect().step_breakdown();
+        assert_eq!(rows.len(), 2);
+        let r0 = &rows[0];
+        assert_eq!((r0.k, r0.outer, r0.inner), (0, 8, 4));
+        assert_eq!(r0.msgs, 1);
+        assert_eq!(r0.bytes, 100);
+        assert_eq!(r0.flops, 10);
+        // comm: rank0 send 1.0s, rank1 recv 2.5s → max 2.5, sum 3.5.
+        assert!((r0.comm_max - 2.5).abs() < 1e-12);
+        assert!((r0.comm_sum - 3.5).abs() < 1e-12);
+        assert!((r0.comp_max - 2.0).abs() < 1e-12);
+        let r1 = &rows[1];
+        assert_eq!(r1.k, 1);
+        assert_eq!(r1.msgs, 0);
+        assert!((r1.comp_max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_outside_any_step_are_ignored() {
+        let t = Tracer::new(1);
+        {
+            let s = t.sink(0);
+            s.record(EventKind::Compute { flops: 5 }, 0.0, 1.0);
+            // No PivotStep span at all.
+        }
+        assert!(t.collect().step_breakdown().is_empty());
+    }
+
+    #[test]
+    fn render_produces_one_line_per_step_plus_header_and_total() {
+        let rows = vec![
+            StepRow {
+                k: 0,
+                outer: 16,
+                inner: 8,
+                comm_max: 1e-3,
+                comp_max: 2e-3,
+                ..StepRow::default()
+            },
+            StepRow {
+                k: 1,
+                outer: 16,
+                inner: 8,
+                ..StepRow::default()
+            },
+        ];
+        let s = render_breakdown(&rows);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("total over steps"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Chrome-trace (Perfetto) JSON export.
+//!
+//! Emits the classic Trace Event Format JSON array: one track (`tid`)
+//! per rank under a single process, complete-duration events (`ph: "X"`)
+//! for every span, and flow arrows (`ph: "s"` / `"f"`) connecting each
+//! matched send to its receive. Load the output at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! Nested spans (a pivot step containing a collective containing sends)
+//! render as a nested flame because Chrome nests `X` events on one track
+//! by containment of their time ranges.
+
+use crate::critical::match_messages;
+use crate::tracer::Trace;
+
+/// Seconds → Trace-Event-Format microseconds.
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {");
+    out.push_str(body);
+    out.push('}');
+}
+
+/// Serializes a [`Trace`] into Chrome tracing JSON.
+pub(crate) fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+
+    // Track naming metadata: one row per rank, sorted by rank.
+    for rank in 0..trace.ranks {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                r#""name":"thread_name","ph":"M","pid":0,"tid":{rank},"args":{{"name":"rank {rank}"}}"#
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                r#""name":"thread_sort_index","ph":"M","pid":0,"tid":{rank},"args":{{"sort_index":{rank}}}"#
+            ),
+        );
+    }
+
+    for e in &trace.events {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                r#""name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"bytes":{}}}"#,
+                e.kind.name(),
+                e.kind.category(),
+                us(e.t0),
+                us(e.duration()),
+                e.rank,
+                e.kind.bytes(),
+            ),
+        );
+    }
+
+    // Flow arrows between matched sends and receives. The start ("s")
+    // binds to the send span, the finish ("f", bp:"e") to the enclosing
+    // receive span at its end.
+    for (id, (s, r)) in match_messages(&trace.events).into_iter().enumerate() {
+        let send = &trace.events[s];
+        let recv = &trace.events[r];
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                r#""name":"msg","cat":"flow","ph":"s","id":{id},"ts":{:.3},"pid":0,"tid":{}"#,
+                us(send.t0),
+                send.rank,
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                r#""name":"msg","cat":"flow","ph":"f","bp":"e","id":{id},"ts":{:.3},"pid":0,"tid":{}"#,
+                us(recv.t1),
+                recv.rank,
+            ),
+        );
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+/// Minimal JSON validator (the workspace has no serde): checks that `s`
+/// is one well-formed JSON value. Returns `Err` with a byte offset and
+/// reason on the first violation.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        None => Err(format!("unexpected end of input at byte {i}")),
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:?} at {i}")),
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // opening '"'
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {i}"));
+                            }
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1F => return Err(format!("raw control char in string at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::tracer::Tracer;
+
+    fn tiny_trace() -> Trace {
+        let t = Tracer::new(2);
+        {
+            let s0 = t.sink(0);
+            let s1 = t.sink(1);
+            s0.record(
+                EventKind::Send {
+                    dst: 1,
+                    tag: 7,
+                    channel: 0,
+                    bytes: 64,
+                },
+                0.0,
+                1e-3,
+            );
+            s1.record(
+                EventKind::Recv {
+                    src: 0,
+                    tag: 7,
+                    channel: 0,
+                    bytes: 64,
+                },
+                0.0,
+                2e-3,
+            );
+            s1.record(EventKind::Compute { flops: 128 }, 2e-3, 5e-3);
+        }
+        t.collect()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_spans_and_flows() {
+        let json = to_chrome_json(&tiny_trace());
+        validate_json(&json).expect("exported trace must be valid JSON");
+        assert!(json.trim_start().starts_with('['));
+        // 3 spans
+        assert_eq!(json.matches(r#""ph":"X""#).count(), 3);
+        // 1 matched message → one flow start + one flow finish
+        assert_eq!(json.matches(r#""ph":"s""#).count(), 1);
+        assert_eq!(json.matches(r#""ph":"f""#).count(), 1);
+        // 2 ranks → 2 thread_name metadata records
+        assert_eq!(json.matches("thread_name").count(), 2);
+    }
+
+    #[test]
+    fn export_of_empty_trace_is_valid() {
+        let t = Tracer::new(1);
+        let json = to_chrome_json(&t.collect());
+        validate_json(&json).expect("empty trace exports cleanly");
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "[]",
+            "{}",
+            r#"{"a":1,"b":[true,false,null],"c":"x\n"}"#,
+            "-1.5e-3",
+            r#""é""#,
+            " [ 1 , 2 ] ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "[1,",
+            "{\"a\":}",
+            "[1 2]",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1}trailing",
+            "{'a':1}",
+            "[1,]",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn spans_carry_rank_as_tid() {
+        let json = to_chrome_json(&tiny_trace());
+        assert!(json.contains(r#""tid":0"#));
+        assert!(json.contains(r#""tid":1"#));
+    }
+}

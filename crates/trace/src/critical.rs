@@ -1,0 +1,367 @@
+//! Critical-path analysis over the send→recv dependency graph.
+//!
+//! A trace induces a DAG: each rank's events are chained in recording
+//! order (program order), and every matched send→recv pair adds a
+//! cross-rank edge. The longest chain through that DAG — the sequence of
+//! events with no slack that ends at the final event — is the critical
+//! path; shortening anything *not* on it cannot shorten the run.
+//!
+//! Matching is FIFO per `(src, dst, tag, channel)`, which is exactly the
+//! ordering guarantee of both substrates (the runtime's mailbox delivers
+//! per-sender-per-context in order; the simulator replays schedules in
+//! program order).
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One send→recv edge on the critical path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageEdge {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// When the send span started.
+    pub depart: f64,
+    /// When the receive span ended (message in hand).
+    pub arrive: f64,
+}
+
+/// The longest dependency chain through a trace.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Finish time of the last event on the path.
+    pub makespan: f64,
+    /// The chain, earliest event first.
+    pub events: Vec<TraceEvent>,
+    /// The send→recv hops on the chain, in path order.
+    pub message_edges: Vec<MessageEdge>,
+}
+
+/// α/β/γ attribution of a critical path under a Hockney-style model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PathCost {
+    /// Latency share: one α per message edge.
+    pub alpha_seconds: f64,
+    /// Bandwidth share: `Σ bytes·β` over message edges.
+    pub beta_seconds: f64,
+    /// Time inside compute spans on the path.
+    pub compute_seconds: f64,
+    /// Number of message edges.
+    pub edges: usize,
+    /// Bytes carried over those edges.
+    pub bytes: u64,
+}
+
+impl CriticalPath {
+    /// Attributes the path's message edges to latency (α per hop) and
+    /// bandwidth (β per byte), and sums the compute spans on the path.
+    pub fn attribute(&self, alpha: f64, beta: f64) -> PathCost {
+        let bytes: u64 = self.message_edges.iter().map(|e| e.bytes).sum();
+        let compute_seconds = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Compute { .. }))
+            .map(TraceEvent::duration)
+            .sum();
+        PathCost {
+            alpha_seconds: self.message_edges.len() as f64 * alpha,
+            beta_seconds: bytes as f64 * beta,
+            compute_seconds,
+            edges: self.message_edges.len(),
+            bytes,
+        }
+    }
+
+    /// One-line-per-hop rendering for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: makespan {:.6e}s, {} events, {} message edges\n",
+            self.makespan,
+            self.events.len(),
+            self.message_edges.len()
+        ));
+        for e in &self.message_edges {
+            out.push_str(&format!(
+                "  r{} -> r{}  {:>10} B  depart {:.6e}  arrive {:.6e}\n",
+                e.src, e.dst, e.bytes, e.depart, e.arrive
+            ));
+        }
+        out
+    }
+}
+
+/// Matched send/recv pairs: `(send index, recv index)` into the event
+/// slice. FIFO per `(src, dst, tag, channel)`.
+pub(crate) fn match_messages(events: &[TraceEvent]) -> Vec<(usize, usize)> {
+    use std::collections::{HashMap, VecDeque};
+    // Sends in per-rank recording order; `events` is grouped by rank in
+    // recording order already, so a linear scan preserves FIFO per key.
+    let mut pending: HashMap<(usize, usize, u64, u64), VecDeque<usize>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let EventKind::Send {
+            dst, tag, channel, ..
+        } = e.kind
+        {
+            pending
+                .entry((e.rank, dst, tag, channel))
+                .or_default()
+                .push_back(i);
+        }
+    }
+    let mut pairs = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if let EventKind::Recv {
+            src, tag, channel, ..
+        } = e.kind
+        {
+            if let Some(q) = pending.get_mut(&(src, e.rank, tag, channel)) {
+                if let Some(s) = q.pop_front() {
+                    pairs.push((s, i));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Computes the critical path of `events` (grouped by rank, per-rank
+/// recording order — the layout [`crate::Tracer::collect`] produces).
+pub(crate) fn critical_path(events: &[TraceEvent]) -> CriticalPath {
+    if events.is_empty() {
+        return CriticalPath {
+            makespan: 0.0,
+            events: Vec::new(),
+            message_edges: Vec::new(),
+        };
+    }
+
+    let n = events.len();
+    // Dependency edges: program order within a rank, plus send→recv.
+    // preds[i] lists (pred index, is_message_edge).
+    let mut preds: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    let mut last_on_rank: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let Some(&prev) = last_on_rank.get(&e.rank) {
+            preds[i].push((prev, false));
+        }
+        last_on_rank.insert(e.rank, i);
+    }
+    for (s, r) in match_messages(events) {
+        preds[r].push((s, true));
+    }
+
+    let makespan = events.iter().map(|e| e.t1).fold(0.0, f64::max);
+    let eps = 1e-12 * makespan.max(1.0);
+
+    // Events are topologically ordered already: program order is index
+    // order within a rank, and a matched send always precedes its recv in
+    // *time*; process in order of (t1, then index) to be safe. In both
+    // substrates a recv's t1 is >= the send's t1 (the message must be in
+    // hand), so sorting by t1 respects every edge.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        events[a]
+            .t1
+            .partial_cmp(&events[b].t1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // DP: for each event, the predecessor that *binds* it (finishes at or
+    // after this event starts — no slack). If several bind, prefer the one
+    // whose chain carries the most message hops (breaks the ties a
+    // store-and-forward schedule produces between a root's serialized
+    // sends and the relay chain). If none binds (idle gap), fall back to
+    // the latest-finishing predecessor.
+    let mut hops: Vec<usize> = vec![0; n];
+    let mut parent: Vec<Option<(usize, bool)>> = vec![None; n];
+    for &i in &order {
+        let e = &events[i];
+        let mut best: Option<(usize, bool)> = None;
+        let mut best_binding = false;
+        for &(p, is_msg) in &preds[i] {
+            let binding = events[p].t1 >= e.t0 - eps;
+            let cand_hops = hops[p] + usize::from(is_msg);
+            let better = match &best {
+                None => true,
+                Some((bp, b_msg)) => {
+                    let (bp, b_msg) = (*bp, *b_msg);
+                    let best_hops = hops[bp] + usize::from(b_msg);
+                    if binding != best_binding {
+                        binding
+                    } else if binding {
+                        cand_hops > best_hops
+                    } else {
+                        events[p].t1 > events[bp].t1
+                    }
+                }
+            };
+            if better {
+                best = Some((p, is_msg));
+                best_binding = binding;
+            }
+        }
+        if let Some((p, is_msg)) = best {
+            hops[i] = hops[p] + usize::from(is_msg);
+            parent[i] = Some((p, is_msg));
+        }
+    }
+
+    // Endpoint: latest finish; among ties, the chain with the most hops.
+    let mut end = 0usize;
+    for i in 1..n {
+        let later = events[i].t1 > events[end].t1 + eps;
+        let tied = (events[i].t1 - events[end].t1).abs() <= eps;
+        if later || (tied && hops[i] > hops[end]) {
+            end = i;
+        }
+    }
+
+    // Walk back.
+    let mut chain = vec![(end, false)];
+    let mut cur = end;
+    while let Some((p, is_msg)) = parent[cur] {
+        chain.push((p, is_msg));
+        cur = p;
+    }
+    chain.reverse();
+
+    let mut path_events = Vec::with_capacity(chain.len());
+    let mut message_edges = Vec::new();
+    for (pos, &(i, is_msg_out)) in chain.iter().enumerate() {
+        path_events.push(events[i]);
+        // Each entry's flag describes its *outgoing* edge to the next
+        // entry (the parent link was stored on the parent side).
+        if is_msg_out {
+            if let Some(&(j, _)) = chain.get(pos + 1) {
+                let send = &events[i];
+                let recv = &events[j];
+                message_edges.push(MessageEdge {
+                    src: send.rank,
+                    dst: recv.rank,
+                    bytes: send.kind.bytes(),
+                    depart: send.t0,
+                    arrive: recv.t1,
+                });
+            }
+        }
+    }
+
+    CriticalPath {
+        makespan: events[end].t1,
+        events: path_events,
+        message_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, t0: f64, t1: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent { rank, t0, t1, kind }
+    }
+
+    fn send(dst: usize, bytes: u64) -> EventKind {
+        EventKind::Send {
+            dst,
+            tag: 0,
+            channel: 0,
+            bytes,
+        }
+    }
+
+    fn recv(src: usize, bytes: u64) -> EventKind {
+        EventKind::Recv {
+            src,
+            tag: 0,
+            channel: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_empty_path() {
+        let cp = critical_path(&[]);
+        assert_eq!(cp.makespan, 0.0);
+        assert!(cp.events.is_empty());
+        assert!(cp.message_edges.is_empty());
+    }
+
+    #[test]
+    fn fifo_matching_pairs_in_order() {
+        let events = vec![
+            ev(0, 0.0, 1.0, send(1, 10)),
+            ev(0, 1.0, 2.0, send(1, 20)),
+            ev(1, 0.0, 1.0, recv(0, 10)),
+            ev(1, 1.0, 2.0, recv(0, 20)),
+        ];
+        assert_eq!(match_messages(&events), vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn relay_chain_beats_serialized_sends_on_hops() {
+        // Store-and-forward binomial bcast over p=4 with unit transfer
+        // time: root 0 sends to 1 then 2; 1 relays to 3. The chains
+        // ending at recv@2 (1 hop) and recv@3 (2 hops) tie at t=2; the
+        // hop-maximizing tie-break must pick recv@3's chain.
+        let events = vec![
+            // rank 0
+            ev(0, 0.0, 1.0, send(1, 8)),
+            ev(0, 1.0, 2.0, send(2, 8)),
+            // rank 1
+            ev(1, 0.0, 1.0, recv(0, 8)),
+            ev(1, 1.0, 2.0, send(3, 8)),
+            // rank 2
+            ev(2, 0.0, 2.0, recv(0, 8)),
+            // rank 3
+            ev(3, 0.0, 2.0, recv(1, 8)),
+        ];
+        let cp = critical_path(&events);
+        assert_eq!(cp.message_edges.len(), 2);
+        assert_eq!((cp.message_edges[0].src, cp.message_edges[0].dst), (0, 1));
+        assert_eq!((cp.message_edges[1].src, cp.message_edges[1].dst), (1, 3));
+        assert!((cp.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gap_falls_back_to_latest_predecessor() {
+        // Rank 0 computes [0,1], idles, computes [5,6]: the path must
+        // still connect through the earlier event.
+        let events = vec![
+            ev(0, 0.0, 1.0, EventKind::Compute { flops: 5 }),
+            ev(0, 5.0, 6.0, EventKind::Compute { flops: 7 }),
+        ];
+        let cp = critical_path(&events);
+        assert_eq!(cp.events.len(), 2);
+        assert!((cp.makespan - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_splits_alpha_beta_compute() {
+        let events = vec![
+            ev(0, 0.0, 1.0, send(1, 100)),
+            ev(1, 0.0, 1.0, recv(0, 100)),
+            ev(1, 1.0, 3.0, EventKind::Compute { flops: 50 }),
+        ];
+        let cp = critical_path(&events);
+        let cost = cp.attribute(0.5, 0.01);
+        assert_eq!(cost.edges, 1);
+        assert_eq!(cost.bytes, 100);
+        assert!((cost.alpha_seconds - 0.5).abs() < 1e-12);
+        assert!((cost.beta_seconds - 1.0).abs() < 1e-12);
+        assert!((cost.compute_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_every_edge() {
+        let events = vec![ev(0, 0.0, 1.0, send(1, 64)), ev(1, 0.0, 1.0, recv(0, 64))];
+        let s = critical_path(&events).render();
+        assert!(s.contains("1 message edges"));
+        assert!(s.contains("r0 -> r1"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The shared event model.
+//!
+//! Both substrates emit the same events. Timestamps are seconds on the
+//! substrate's own clock: wall-clock seconds since the tracer's epoch in
+//! the threaded runtime, virtual seconds in the simulator. A span's
+//! duration is `t1 - t0`; instantaneous events set `t1 == t0`.
+
+/// What happened. Small and `Copy` so recording is a plain store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A point-to-point send. `dst` is a world rank; `channel` is the
+    /// communicator context the message travelled on (0 = world);
+    /// `bytes` is the payload size where the substrate knows it, else 0.
+    Send {
+        /// Destination world rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Communicator context id (isolates matching per communicator).
+        channel: u64,
+        /// Payload bytes (0 when the size is unknowable, e.g. opaque
+        /// user types).
+        bytes: u64,
+    },
+    /// A point-to-point receive; the span covers the blocking wait.
+    Recv {
+        /// Source world rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Communicator context id.
+        channel: u64,
+        /// Payload bytes (mirrors the matching send).
+        bytes: u64,
+    },
+    /// A collective operation span (`bcast`, `reduce`, `barrier`, …)
+    /// enclosing its constituent point-to-point events.
+    Collective {
+        /// Operation name (`"bcast"`, `"reduce_sum"`, …).
+        op: &'static str,
+        /// Algorithm name (`"binomial"`, `"scatter_allgather"`, …).
+        algo: &'static str,
+        /// Root rank of the operation (local to its communicator;
+        /// rootless collectives use 0).
+        root: usize,
+    },
+    /// One pivot step of a blocked algorithm: iteration `k` with outer
+    /// block size `outer` (the paper's `B`) and inner block size `inner`
+    /// (the paper's `b`). Plain SUMMA sets `outer == inner`.
+    PivotStep {
+        /// Pivot iteration index.
+        k: usize,
+        /// Outer (group-level) block size `B`.
+        outer: usize,
+        /// Inner block size `b`.
+        inner: usize,
+    },
+    /// Local computation (dgemm or other kernel work) with its flop
+    /// count where the caller knows it (0 otherwise).
+    Compute {
+        /// Floating-point operations performed (0 if unknown).
+        flops: u64,
+    },
+}
+
+impl EventKind {
+    /// Payload bytes carried by this event (0 for non-message events).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            EventKind::Send { bytes, .. } | EventKind::Recv { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+
+    /// Display name for exporters.
+    pub fn name(&self) -> String {
+        match *self {
+            EventKind::Send { dst, bytes, .. } => format!("send {bytes}B to r{dst}"),
+            EventKind::Recv { src, bytes, .. } => format!("recv {bytes}B from r{src}"),
+            EventKind::Collective { op, algo, root } => format!("{op}[{algo}] root={root}"),
+            EventKind::PivotStep { k, outer, inner } => format!("step k={k} B={outer} b={inner}"),
+            EventKind::Compute { flops } => {
+                if flops > 0 {
+                    format!("compute {flops} flops")
+                } else {
+                    "compute".to_string()
+                }
+            }
+        }
+    }
+
+    /// Category for exporters (Chrome trace `cat` field).
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Collective { .. } => "collective",
+            EventKind::PivotStep { .. } => "step",
+            EventKind::Compute { .. } => "compute",
+        }
+    }
+}
+
+/// One recorded event: which rank, when, what.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// World rank that recorded the event.
+    pub rank: usize,
+    /// Span start, seconds on the substrate's clock.
+    pub t0: f64,
+    /// Span end (`>= t0`).
+    pub t1: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_only_for_messages() {
+        let send = EventKind::Send {
+            dst: 1,
+            tag: 0,
+            channel: 0,
+            bytes: 64,
+        };
+        assert_eq!(send.bytes(), 64);
+        assert_eq!(EventKind::Compute { flops: 100 }.bytes(), 0);
+        assert_eq!(
+            EventKind::PivotStep {
+                k: 0,
+                outer: 8,
+                inner: 4
+            }
+            .bytes(),
+            0
+        );
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let e = EventKind::Collective {
+            op: "bcast",
+            algo: "binomial",
+            root: 2,
+        };
+        assert_eq!(e.name(), "bcast[binomial] root=2");
+        assert_eq!(e.category(), "collective");
+        assert_eq!(EventKind::Compute { flops: 0 }.name(), "compute");
+    }
+
+    #[test]
+    fn duration_is_span_extent() {
+        let e = TraceEvent {
+            rank: 0,
+            t0: 1.5,
+            t1: 2.0,
+            kind: EventKind::Compute { flops: 0 },
+        };
+        assert!((e.duration() - 0.5).abs() < 1e-15);
+    }
+}

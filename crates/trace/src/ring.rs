@@ -1,0 +1,161 @@
+//! Lock-free single-writer event buffers.
+//!
+//! Each rank owns one [`Ring`]: the rank thread appends with a relaxed
+//! load + release store (no CAS, no locks — there is exactly one writer
+//! per ring, enforced by [`crate::TraceSink`] being neither `Clone` nor
+//! claimable twice), and the collector reads with acquire loads after the
+//! rank threads are done. When the ring fills, further events are counted
+//! as dropped rather than blocking the hot path.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+pub(crate) struct Ring {
+    slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    /// Number of initialized slots. The writer publishes with a release
+    /// store; readers synchronize with an acquire load.
+    len: AtomicUsize,
+    /// Events discarded because the ring was full.
+    dropped: AtomicU64,
+    /// Writer-exclusivity guard: set while a `TraceSink` holds this ring.
+    claimed: AtomicBool,
+}
+
+// The writer side is confined to one thread at a time (`claimed`), and the
+// reader only touches slots below the release-published `len`.
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Ring {
+            slots,
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the ring as owned by a writer. Panics on double-claim: two
+    /// live sinks for one rank would race the single-writer protocol.
+    pub(crate) fn claim(&self) {
+        assert!(
+            !self.claimed.swap(true, Ordering::AcqRel),
+            "rank ring already claimed by another TraceSink"
+        );
+    }
+
+    pub(crate) fn release(&self) {
+        self.claimed.store(false, Ordering::Release);
+    }
+
+    /// Appends one event. Single-writer only (guaranteed by `claim`).
+    pub(crate) fn push(&self, ev: TraceEvent) {
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: slot `i` is not yet published (`i >= len` as seen by any
+        // reader) and this thread is the only writer.
+        unsafe { (*self.slots[i].get()).write(ev) };
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    /// Copies out the recorded events. Sound to call concurrently with a
+    /// writer: only slots below the published length are read.
+    pub(crate) fn snapshot(&self) -> Vec<TraceEvent> {
+        let n = self.len.load(Ordering::Acquire);
+        (0..n)
+            // SAFETY: slots `< n` were initialized before the release
+            // store that published `n`; `TraceEvent` is `Copy`.
+            .map(|i| unsafe { (*self.slots[i].get()).assume_init() })
+            .collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(rank: usize, t: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t0: t,
+            t1: t,
+            kind: EventKind::Compute { flops: 0 },
+        }
+    }
+
+    #[test]
+    fn push_then_snapshot_roundtrips() {
+        let ring = Ring::new(8);
+        ring.push(ev(0, 1.0));
+        ring.push(ev(0, 2.0));
+        let out = ring.snapshot();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].t0, 1.0);
+        assert_eq!(out[1].t0, 2.0);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = Ring::new(2);
+        for i in 0..5 {
+            ring.push(ev(0, i as f64));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        // The first events are kept, the overflow is what's dropped.
+        assert_eq!(ring.snapshot()[1].t0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_claim_panics() {
+        let ring = Ring::new(2);
+        ring.claim();
+        ring.claim();
+    }
+
+    #[test]
+    fn claim_release_claim_is_fine() {
+        let ring = Ring::new(2);
+        ring.claim();
+        ring.release();
+        ring.claim();
+    }
+
+    #[test]
+    fn cross_thread_publish_is_visible_after_join() {
+        let ring = std::sync::Arc::new(Ring::new(1024));
+        let w = std::sync::Arc::clone(&ring);
+        std::thread::spawn(move || {
+            for i in 0..1000 {
+                w.push(ev(1, i as f64));
+            }
+        })
+        .join()
+        .unwrap();
+        let out = ring.snapshot();
+        assert_eq!(out.len(), 1000);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.t0, i as f64);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The `Tracer` handle, per-rank `TraceSink`s and the collected `Trace`.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::Ring;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-rank ring capacity (events). Enough for the test-scale
+/// problem sizes this repo runs; overflow is counted, not fatal.
+const DEFAULT_CAPACITY: usize = 1 << 14;
+
+struct Shared {
+    rings: Vec<Ring>,
+    epoch: Instant,
+}
+
+/// The tracing handle an experiment owns. Disabled (the default for every
+/// untraced run) it is a `None` — handing out sinks, timestamping and
+/// recording all collapse to a branch on that `None`, so tracing costs
+/// nothing when off.
+///
+/// Enabled, it owns one lock-free ring buffer per rank; rank threads
+/// record through [`TraceSink`]s and the experiment calls
+/// [`Tracer::collect`] afterwards.
+///
+/// Cloning is shallow (an `Arc` bump): clones observe the same rings.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing and costs nothing.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer for `ranks` ranks with the default per-rank
+    /// capacity.
+    pub fn new(ranks: usize) -> Self {
+        Self::with_capacity(ranks, DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer with an explicit per-rank event capacity.
+    pub fn with_capacity(ranks: usize, capacity: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        Tracer {
+            inner: Some(Arc::new(Shared {
+                rings: (0..ranks).map(|_| Ring::new(capacity)).collect(),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of rank rings (0 when disabled).
+    pub fn ranks(&self) -> usize {
+        self.inner.as_ref().map_or(0, |s| s.rings.len())
+    }
+
+    /// Seconds since the tracer was created (0.0 when disabled). The
+    /// threaded runtime stamps events with this clock; the simulator uses
+    /// its own virtual clocks instead.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        match &self.inner {
+            Some(s) => s.epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// The recording handle for `rank`. Panics if `rank` already has a
+    /// live sink (single-writer protocol) or is out of range.
+    pub fn sink(&self, rank: usize) -> TraceSink {
+        match &self.inner {
+            None => TraceSink { inner: None },
+            Some(s) => {
+                assert!(rank < s.rings.len(), "rank out of range for tracer");
+                s.rings[rank].claim();
+                TraceSink {
+                    inner: Some(SinkInner {
+                        shared: Arc::clone(s),
+                        rank,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Snapshot of everything recorded so far. Events are grouped by rank
+    /// (all of rank 0's events in recording order, then rank 1's, …).
+    pub fn collect(&self) -> Trace {
+        match &self.inner {
+            None => Trace {
+                ranks: 0,
+                events: Vec::new(),
+                dropped: 0,
+            },
+            Some(s) => {
+                let mut events = Vec::with_capacity(s.rings.iter().map(Ring::len).sum());
+                for ring in &s.rings {
+                    events.extend(ring.snapshot());
+                }
+                Trace {
+                    ranks: s.rings.len(),
+                    events,
+                    dropped: s.rings.iter().map(Ring::dropped).sum(),
+                }
+            }
+        }
+    }
+}
+
+struct SinkInner {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+/// One rank's recording handle. `Send` but deliberately not `Clone`:
+/// exactly one live sink per rank keeps the ring single-writer.
+pub struct TraceSink {
+    inner: Option<SinkInner>,
+}
+
+impl TraceSink {
+    /// A sink that records nothing (what a disabled tracer hands out).
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// Whether records will be kept. Hot paths branch on this before
+    /// taking any timestamps.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the owning tracer's epoch (0.0 when disabled).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        match &self.inner {
+            Some(s) => s.shared.epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Records one event spanning `[t0, t1]`.
+    #[inline]
+    pub fn record(&self, kind: EventKind, t0: f64, t1: f64) {
+        if let Some(s) = &self.inner {
+            s.shared.rings[s.rank].push(TraceEvent {
+                rank: s.rank,
+                t0,
+                t1,
+                kind,
+            });
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        if let Some(s) = &self.inner {
+            s.shared.rings[s.rank].release();
+        }
+    }
+}
+
+/// A collected trace: every recorded event, grouped by rank and in
+/// per-rank recording order.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Number of rank tracks.
+    pub ranks: usize,
+    /// All events, rank 0's first (each rank's in recording order).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (0 means the trace is complete).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events recorded by `rank`, in recording order.
+    pub fn events_of(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// The `(src, dst, bytes)` multiset of payload-carrying sends
+    /// (`bytes > 0` filters out zero-byte control/barrier messages),
+    /// sorted so two traces of the same schedule compare equal.
+    pub fn payload_send_multiset(&self) -> Vec<(usize, usize, u64)> {
+        let mut out: Vec<(usize, usize, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Send { dst, bytes, .. } if bytes > 0 => Some((e.rank, dst, bytes)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-source-rank `(src, dst, bytes)` multisets of payload sends:
+    /// entry `r` lists what rank `r` sent, sorted.
+    pub fn per_rank_send_multisets(&self) -> Vec<Vec<(usize, usize, u64)>> {
+        let mut out = vec![Vec::new(); self.ranks];
+        for (src, dst, bytes) in self.payload_send_multiset() {
+            out[src].push((src, dst, bytes));
+        }
+        out
+    }
+
+    /// Count of events matching a predicate (test convenience).
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(dst: usize, bytes: u64) -> EventKind {
+        EventKind::Send {
+            dst,
+            tag: 0,
+            channel: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_costs_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.now(), 0.0);
+        let sink = t.sink(3); // any rank: no rings to bound-check
+        assert!(!sink.enabled());
+        sink.record(EventKind::Compute { flops: 1 }, 0.0, 1.0);
+        let trace = t.collect();
+        assert_eq!(trace.events.len(), 0);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn events_collect_grouped_by_rank() {
+        let t = Tracer::new(2);
+        let s1 = t.sink(1);
+        let s0 = t.sink(0);
+        s1.record(send(0, 8), 1.0, 2.0);
+        s0.record(send(1, 8), 0.0, 1.0);
+        s0.record(EventKind::Compute { flops: 10 }, 1.0, 3.0);
+        let trace = t.collect();
+        assert_eq!(trace.ranks, 2);
+        let ranks: Vec<usize> = trace.events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0, 0, 1]);
+        assert_eq!(trace.events_of(1).count(), 1);
+    }
+
+    #[test]
+    fn payload_multiset_filters_control_messages_and_sorts() {
+        let t = Tracer::new(2);
+        {
+            let s0 = t.sink(0);
+            let s1 = t.sink(1);
+            s1.record(send(0, 16), 0.0, 1.0);
+            s0.record(send(1, 0), 0.0, 1.0); // zero-byte control msg
+            s0.record(send(1, 8), 1.0, 2.0);
+        }
+        let trace = t.collect();
+        assert_eq!(trace.payload_send_multiset(), vec![(0, 1, 8), (1, 0, 16)]);
+        let per_rank = trace.per_rank_send_multisets();
+        assert_eq!(per_rank[0], vec![(0, 1, 8)]);
+        assert_eq!(per_rank[1], vec![(1, 0, 16)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn two_live_sinks_for_one_rank_rejected() {
+        let t = Tracer::new(1);
+        let _a = t.sink(0);
+        let _b = t.sink(0);
+    }
+
+    #[test]
+    fn sink_can_be_reclaimed_after_drop() {
+        let t = Tracer::new(1);
+        {
+            let s = t.sink(0);
+            s.record(EventKind::Compute { flops: 0 }, 0.0, 1.0);
+        }
+        let s = t.sink(0);
+        s.record(EventKind::Compute { flops: 0 }, 1.0, 2.0);
+        drop(s);
+        assert_eq!(t.collect().events.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let t = Tracer::new(1);
+        let a = t.now();
+        let b = t.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_fatal() {
+        let t = Tracer::with_capacity(1, 2);
+        let s = t.sink(0);
+        for i in 0..5 {
+            s.record(EventKind::Compute { flops: i }, 0.0, 0.0);
+        }
+        drop(s);
+        let trace = t.collect();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.dropped, 3);
+    }
+
+    #[test]
+    fn clones_share_rings() {
+        let t = Tracer::new(1);
+        let t2 = t.clone();
+        let s = t.sink(0);
+        s.record(EventKind::Compute { flops: 0 }, 0.0, 1.0);
+        drop(s);
+        assert_eq!(t2.collect().events.len(), 1);
+    }
+}

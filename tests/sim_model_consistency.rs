@@ -8,12 +8,13 @@
 //! strongest evidence that the simulated BlueGene/P figures are replaying
 //! the same schedule the real implementation executes.
 
-use hsumma_repro::core::simdrive::{sim_hsumma, sim_summa};
+use hsumma_repro::core::simdrive::{sim_hsumma, sim_hsumma_on, sim_summa, sim_summa_on};
 use hsumma_repro::core::{hsumma, summa, HsummaConfig, SummaConfig};
 use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
 use hsumma_repro::model::{hsumma_cost, summa_cost, BcastModel, ModelParams};
-use hsumma_repro::netsim::{Platform, SimBcast};
-use hsumma_repro::runtime::{BcastAlgorithm, Runtime};
+use hsumma_repro::netsim::{Platform, SimBcast, SimNet};
+use hsumma_repro::runtime::{BcastAlgorithm, Comm, Runtime};
+use hsumma_repro::trace::{Trace, Tracer};
 
 /// Counts messages the executable algorithm sends during the multiply
 /// phase (excluding the fixed communicator-split protocol).
@@ -38,6 +39,109 @@ fn real_multiply_msgs(
 /// broadcast of the table (p−1).
 fn split_cost(p: usize) -> u64 {
     2 * (p as u64 - 1)
+}
+
+/// Runs the executable algorithm with a tracer attached and returns the
+/// trace (split-protocol control messages carry 0 payload bytes, so the
+/// payload multisets below are multiply-phase traffic only).
+fn real_trace(grid: GridShape, run: impl Fn(&Comm) + Send + Sync) -> Trace {
+    let tracer = Tracer::new(grid.size());
+    Runtime::run_traced(grid.size(), &tracer, |comm| run(comm));
+    tracer.collect()
+}
+
+/// The strongest cross-substrate check: the real runtime and the
+/// simulator must emit *identical per-rank `(src, dst, bytes)` message
+/// multisets* for the same SUMMA configuration — not just equal counts.
+#[test]
+fn real_and_sim_summa_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let (n, b) = (32usize, 4usize);
+    let a = seeded_uniform(n, n, 1);
+    let bm = seeded_uniform(n, n, 2);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+    let cfg = SummaConfig {
+        block: b,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    };
+    let real = real_trace(grid, |comm| {
+        let _ = summa(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
+    });
+
+    let tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), Platform::grid5000().net);
+    net.attach_tracer(&tracer);
+    sim_summa_on(&mut net, 0.0, grid, n, b, SimBcast::Binomial, false);
+    let sim = tracer.collect();
+
+    assert_eq!(
+        real.per_rank_send_multisets(),
+        sim.per_rank_send_multisets(),
+        "every rank must send the same (src, dst, bytes) multiset on both substrates"
+    );
+}
+
+/// Same multiset identity for HSUMMA with a nontrivial grouping and
+/// distinct inner/outer blocks.
+#[test]
+fn real_and_sim_hsumma_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let groups = GridShape::new(2, 2);
+    let (n, bb, bs) = (32usize, 8usize, 4usize);
+    let a = seeded_uniform(n, n, 3);
+    let bm = seeded_uniform(n, n, 4);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+    let cfg = HsummaConfig {
+        outer_block: bb,
+        inner_block: bs,
+        kernel: GemmKernel::Blocked,
+        ..HsummaConfig::uniform(groups, bb)
+    };
+    let real = real_trace(grid, |comm| {
+        let _ = hsumma(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
+    });
+
+    let tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), Platform::grid5000().net);
+    net.attach_tracer(&tracer);
+    sim_hsumma_on(
+        &mut net,
+        0.0,
+        grid,
+        groups,
+        n,
+        bb,
+        bs,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+        false,
+    );
+    let sim = tracer.collect();
+
+    assert_eq!(
+        real.per_rank_send_multisets(),
+        sim.per_rank_send_multisets(),
+        "every rank must send the same (src, dst, bytes) multiset on both substrates"
+    );
 }
 
 #[test]

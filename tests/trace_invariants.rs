@@ -1,0 +1,248 @@
+//! Invariants of the tracing subsystem (`hsumma-trace`) across both
+//! substrates: zero overhead when disabled, exact critical paths on
+//! known schedules, and well-formed Chrome-trace exports.
+
+use hsumma_repro::core::simdrive::sim_hsumma_on;
+use hsumma_repro::core::{hsumma, summa, HsummaConfig, SummaConfig};
+use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_repro::netsim::{Hockney, Platform, SimBcast, SimNet};
+use hsumma_repro::runtime::{BcastAlgorithm, Runtime};
+use hsumma_repro::trace::{validate_json, EventKind, Tracer};
+
+fn summa_cfg(b: usize) -> SummaConfig {
+    SummaConfig {
+        block: b,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    }
+}
+
+/// With no tracer attached, the hot path must stay allocation-free
+/// (`payload_clones == 0` on relay ranks, as before tracing existed) and
+/// an enabled-elsewhere tracer must see zero events from this run.
+#[test]
+fn disabled_tracer_adds_no_events_and_no_hot_path_allocations() {
+    let grid = GridShape::new(4, 4);
+    let n = 32;
+    let a = seeded_uniform(n, n, 1);
+    let bm = seeded_uniform(n, n, 2);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+    let cfg = summa_cfg(4);
+
+    // A live tracer that the run is NOT attached to: it must stay empty.
+    let bystander = Tracer::new(grid.size());
+    let stats = Runtime::run(grid.size(), |comm| {
+        comm.reset_stats();
+        let _ = summa(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
+        (comm.rank(), comm.tracing(), comm.stats())
+    });
+    // Binomial relays forward Arc-shared payloads: only broadcast *roots*
+    // materialize a buffer, exactly once per broadcast they originate. In
+    // SUMMA the root rotates over grid columns (row bcast) and rows
+    // (column bcast), so each rank roots steps/cols + steps/rows of them.
+    // Any extra clone means tracing changed the hot path.
+    let steps = n / 4;
+    let roots_per_rank = (steps / grid.cols + steps / grid.rows) as u64;
+    for (rank, tracing, s) in &stats {
+        assert!(!tracing, "rank {rank} must see tracing disabled");
+        assert_eq!(
+            s.payload_clones, roots_per_rank,
+            "rank {rank}: relays must forward Arc-shared payloads, \
+             roots materialize exactly once per broadcast"
+        );
+    }
+    let t = bystander.collect();
+    assert_eq!(t.events.len(), 0, "unattached tracer must stay empty");
+    assert_eq!(t.dropped, 0);
+}
+
+/// A simulated binomial broadcast over `p = 2^k` ranks has a critical
+/// path of exactly `log2(p)` message edges — each round of the tree adds
+/// one hop to the longest chain.
+#[test]
+fn binomial_bcast_critical_path_is_exactly_log2_p_edges() {
+    for p in [2usize, 4, 8, 16, 32] {
+        let tracer = Tracer::new(p);
+        let mut net = SimNet::new(p, Hockney::new(1e-5, 1e-9));
+        net.attach_tracer(&tracer);
+        let ranks: Vec<usize> = (0..p).collect();
+        SimBcast::Binomial.run(&mut net, &ranks, 0, 4096);
+        let cp = tracer.collect().critical_path();
+        let want = p.ilog2() as usize;
+        assert_eq!(
+            cp.message_edges.len(),
+            want,
+            "p={p}: expected ceil(log2 p) = {want} message edges, got {:?}",
+            cp.message_edges
+        );
+        // And the makespan equals the per-hop cost times the hop count.
+        let hop = 1e-5 + 4096.0 * 1e-9;
+        assert!(
+            (cp.makespan - hop * want as f64).abs() < 1e-12,
+            "p={p}: makespan {} != {want} hops x {hop}",
+            cp.makespan
+        );
+    }
+}
+
+/// Both substrates export valid Chrome-trace JSON with one complete-span
+/// entry per traced event plus per-rank metadata.
+#[test]
+fn chrome_exports_from_both_substrates_validate() {
+    let grid = GridShape::new(2, 2);
+    let n = 16;
+    let a = seeded_uniform(n, n, 5);
+    let bm = seeded_uniform(n, n, 6);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+    let cfg = HsummaConfig {
+        kernel: GemmKernel::Blocked,
+        ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
+    };
+
+    let tracer = Tracer::new(grid.size());
+    Runtime::run_traced(grid.size(), &tracer, |comm| {
+        let _ = hsumma(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
+    });
+    let real = tracer.collect();
+    let json = real.to_chrome_json();
+    validate_json(&json).expect("real-run export must be valid JSON");
+    assert_eq!(
+        json.matches("\"ph\":\"X\"").count(),
+        real.events.len(),
+        "one complete span per traced event"
+    );
+    assert_eq!(json.matches("thread_name").count(), grid.size());
+
+    let sim_tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), Platform::grid5000().net);
+    net.attach_tracer(&sim_tracer);
+    sim_hsumma_on(
+        &mut net,
+        0.0,
+        grid,
+        GridShape::new(2, 2),
+        n,
+        4,
+        4,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+        false,
+    );
+    let sim = sim_tracer.collect();
+    let sim_json = sim.to_chrome_json();
+    validate_json(&sim_json).expect("sim export must be valid JSON");
+    assert_eq!(sim_json.matches("\"ph\":\"X\"").count(), sim.events.len());
+}
+
+/// The per-pivot-step breakdown covers every step of the schedule and
+/// accounts the right per-step message count and flop total.
+#[test]
+fn step_breakdown_covers_the_whole_schedule() {
+    let grid = GridShape::new(4, 4);
+    let groups = GridShape::new(2, 2);
+    let (n, bb, bs) = (32usize, 8usize, 4usize);
+    let tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), Platform::grid5000().net);
+    net.attach_tracer(&tracer);
+    sim_hsumma_on(
+        &mut net,
+        Platform::grid5000().gamma,
+        grid,
+        groups,
+        n,
+        bb,
+        bs,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+        false,
+    );
+    let trace = tracer.collect();
+    let rows = trace.step_breakdown();
+    assert_eq!(rows.len(), n / bb, "one row per outer pivot step");
+    let total_payload_msgs: u64 = rows.iter().map(|r| r.msgs).sum();
+    assert_eq!(
+        total_payload_msgs as usize,
+        trace.payload_send_multiset().len(),
+        "every message belongs to exactly one step"
+    );
+    // 2·n²·(n/p) flops per rank in total, attributed across steps.
+    let p = grid.size();
+    let want_flops = 2 * (n * n * n / p) * p;
+    let total_flops: u64 = rows.iter().map(|r| r.flops).sum();
+    assert_eq!(total_flops as usize, want_flops);
+    for row in &rows {
+        assert_eq!(row.outer, bb);
+        assert_eq!(row.inner, bs);
+        assert!(row.comm_max > 0.0, "step {}: no communication?", row.k);
+        assert!(row.comp_max > 0.0, "step {}: no compute?", row.k);
+    }
+}
+
+/// Spans recorded by a traced real run nest correctly: every p2p event
+/// inside a collective lies within its span, on every rank.
+#[test]
+fn real_run_collective_spans_contain_their_messages() {
+    let grid = GridShape::new(2, 2);
+    let n = 16;
+    let a = seeded_uniform(n, n, 7);
+    let bm = seeded_uniform(n, n, 8);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&bm);
+    let cfg = summa_cfg(4);
+    let tracer = Tracer::new(grid.size());
+    Runtime::run_traced(grid.size(), &tracer, |comm| {
+        let _ = summa(
+            comm,
+            grid,
+            n,
+            &at[comm.rank()].clone(),
+            &bt[comm.rank()].clone(),
+            &cfg,
+        );
+    });
+    let trace = tracer.collect();
+    assert!(trace.count(|e| matches!(e.kind, EventKind::Collective { .. })) > 0);
+    for rank in 0..grid.size() {
+        let events: Vec<_> = trace.events_of(rank).collect();
+        for c in events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Collective { .. }))
+        {
+            // Any message overlapping the collective's interval must be
+            // fully inside it (spans close in completion order).
+            for m in events.iter().filter(|e| {
+                matches!(e.kind, EventKind::Send { .. } | EventKind::Recv { .. })
+                    && e.t0 >= c.t0
+                    && e.t0 < c.t1
+            }) {
+                assert!(
+                    m.t1 <= c.t1 + 1e-9,
+                    "rank {rank}: message [{}, {}] escapes collective [{}, {}]",
+                    m.t0,
+                    m.t1,
+                    c.t0,
+                    c.t1
+                );
+            }
+        }
+    }
+}
