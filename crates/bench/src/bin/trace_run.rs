@@ -24,21 +24,44 @@ use hsumma_bench::grid_for;
 use hsumma_core::grid::HierGrid;
 use hsumma_core::lu::{block_lu, sim_block_lu_on, LuConfig};
 use hsumma_core::simdrive::{sim_cannon_on, sim_fox_on, sim_hsumma_on, sim_summa_on};
-use hsumma_core::{cannon, fox, hsumma, summa, HsummaConfig, SummaConfig};
+use hsumma_core::{
+    cannon, fox, hier_bcast, hsumma, summa, summa_cyclic, summa_overlap, summa_rect, tsqr,
+    twodotfive, HsummaConfig, MatMulDims, PhantomMat, SummaConfig, TwoDotFiveConfig,
+};
 use hsumma_matrix::factor::seeded_diag_dominant;
-use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_matrix::{seeded_uniform, BlockCyclicDist, BlockDist, GemmKernel, GridShape, Matrix};
+use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet};
 use hsumma_runtime::{BcastAlgorithm, Runtime};
 use hsumma_trace::{render_breakdown, Trace, Tracer};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// Every algorithm the tracer knows how to drive on both substrates.
+pub const ALGOS: &[&str] = &[
+    "summa",
+    "hsumma",
+    "cannon",
+    "fox",
+    "lu",
+    "cyclic",
+    "overlap",
+    "rect",
+    "twodotfive",
+    "tsqr",
+    "hierbcast",
+];
+
 const USAGE: &str = "usage:
-  trace_run [--algo summa|hsumma|cannon|fox|lu] [--mode real|sim|both]
+  trace_run [--algo summa|hsumma|cannon|fox|lu|cyclic|overlap|rect|
+                    twodotfive|tsqr|hierbcast]
+            [--mode real|sim|both]
             [--p 16] [--n 128] [--b 8] [--B 16] [--G 4]
             [--machine grid5000|bluegene] [--out trace]
 trace an algorithm run; `both` verifies real and simulated runs emit
-identical per-rank (src, dst, bytes) message multisets";
+identical per-rank (src, dst, bytes) message multisets
+(for twodotfive, --G is the replication depth c and p must equal q*q*c;
+for hierbcast, --G is the leader-group count of the two-level tree)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,8 +116,13 @@ fn get<T: std::str::FromStr>(
 
 struct Config {
     algo: String,
+    /// Total rank count (equals `grid.size()` except for 2.5D, where the
+    /// grid is one `q x q` layer of `ranks = q*q*c`).
+    ranks: usize,
     grid: GridShape,
     groups: GridShape,
+    /// Replication depth / leader-group count (the `--G` flag).
+    g: usize,
     n: usize,
     inner_b: usize,
     outer_b: usize,
@@ -121,14 +149,36 @@ fn run(opts: &HashMap<String, String>) -> Result<(), String> {
             }
             GridShape::new(q, q)
         }
+        // 2.5D lays p = q*q*c ranks out as c layers of a q x q grid.
+        "twodotfive" => {
+            if !p.is_multiple_of(g) {
+                return Err(format!(
+                    "--algo twodotfive needs c = G ({g}) to divide p ({p})"
+                ));
+            }
+            let q = ((p / g) as f64).sqrt() as usize;
+            if q * q * g != p {
+                return Err(format!(
+                    "--algo twodotfive needs p = q*q*c; p={p}, c={g} leaves no square q"
+                ));
+            }
+            GridShape::new(q, q)
+        }
         _ => grid_for(p),
     };
-    let groups = HierGrid::factor_groups(grid, g).ok_or_else(|| {
-        format!(
-            "G={g} has no valid factorization on a {}x{} grid",
-            grid.rows, grid.cols
-        )
-    })?;
+    // Only the hierarchical multiplies interpret G as a group grid; the
+    // others use it as a scalar (2.5D depth, broadcast-tree fanout) or
+    // not at all.
+    let groups = match HierGrid::factor_groups(grid, g) {
+        Some(gs) => gs,
+        None if matches!(algo.as_str(), "hsumma" | "lu") => {
+            return Err(format!(
+                "G={g} has no valid factorization on a {}x{} grid",
+                grid.rows, grid.cols
+            ))
+        }
+        None => GridShape::new(1, 1),
+    };
     let platform = match machine.as_str() {
         "grid5000" => Platform::grid5000(),
         "bluegene" => Platform::bluegene_p(),
@@ -136,8 +186,10 @@ fn run(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let cfg = Config {
         algo,
+        ranks: p,
         grid,
         groups,
+        g,
         n,
         inner_b,
         outer_b,
@@ -174,7 +226,7 @@ fn run(opts: &HashMap<String, String>) -> Result<(), String> {
 /// trace (wall-clock timestamps).
 fn run_real(cfg: &Config) -> Result<Trace, String> {
     let (grid, n) = (cfg.grid, cfg.n);
-    let tracer = Tracer::new(grid.size());
+    let tracer = Tracer::new(cfg.ranks);
     let a = seeded_uniform(n, n, 100);
     let b = seeded_uniform(n, n, 200);
     let dist = BlockDist::new(grid, n, n);
@@ -230,17 +282,114 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
                 block_lu(comm, grid, n, &lt[comm.rank()].clone(), &lcfg)
             });
         }
+        "cyclic" => {
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            let cdist = BlockCyclicDist::new(grid, n, n, cfg.inner_b);
+            let at = cdist.scatter(&a);
+            let bt = cdist.scatter(&b);
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                summa_cyclic(comm, grid, n, &at, &bt, &scfg)
+            });
+        }
+        "overlap" => {
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                summa_overlap(comm, grid, n, &at, &bt, &scfg)
+            });
+        }
+        "rect" => {
+            let dims = rect_dims(n);
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            let ra = seeded_uniform(dims.m, dims.l, 100);
+            let rb = seeded_uniform(dims.l, dims.n, 200);
+            let at = BlockDist::new(grid, dims.m, dims.l).scatter(&ra);
+            let bt = BlockDist::new(grid, dims.l, dims.n).scatter(&rb);
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
+                summa_rect(comm, grid, dims, &at, &bt, &scfg)
+            });
+        }
+        "twodotfive" => {
+            let tcfg = TwoDotFiveConfig {
+                q: grid.rows,
+                c: cfg.g,
+                summa: SummaConfig {
+                    block: cfg.inner_b,
+                    bcast: BcastAlgorithm::Binomial,
+                    kernel: GemmKernel::Packed,
+                },
+            };
+            let ts = n / grid.rows;
+            Runtime::run_traced(cfg.ranks, &tracer, |comm| {
+                // Only layer 0 holds real tiles; other layers pass zeros.
+                let layer_rank = comm.rank() % grid.size();
+                let (at, bt) = if comm.rank() < grid.size() {
+                    (at[layer_rank].clone(), bt[layer_rank].clone())
+                } else {
+                    (Matrix::zeros(ts, ts), Matrix::zeros(ts, ts))
+                };
+                twodotfive(comm, n, &at, &bt, &tcfg)
+            });
+        }
+        "tsqr" => {
+            // Tall-skinny: each rank contributes an n x b block.
+            let blocks: Vec<Matrix> = (0..cfg.ranks)
+                .map(|r| seeded_uniform(n, cfg.inner_b, 300 + r as u64))
+                .collect();
+            Runtime::run_traced(cfg.ranks, &tracer, |comm| tsqr(comm, &blocks[comm.rank()]));
+        }
+        "hierbcast" => {
+            let levels = [cfg.g, cfg.ranks / cfg.g];
+            check_hierbcast_levels(cfg)?;
+            Runtime::run_traced(cfg.ranks, &tracer, |comm| {
+                let mut m = if comm.rank() == 0 {
+                    a.clone()
+                } else {
+                    Matrix::zeros(n, n)
+                };
+                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels);
+            });
+        }
         other => return Err(format!("unknown algorithm `{other}`")),
     }
     Ok(tracer.collect())
+}
+
+/// The rectangular shape `rect` traces: `C (n x n) = A (n x 2n) · B (2n x n)`.
+fn rect_dims(n: usize) -> MatMulDims {
+    MatMulDims { m: n, l: 2 * n, n }
+}
+
+fn check_hierbcast_levels(cfg: &Config) -> Result<(), String> {
+    if cfg.g == 0 || !cfg.ranks.is_multiple_of(cfg.g) {
+        return Err(format!(
+            "--algo hierbcast needs G ({}) to divide p ({})",
+            cfg.g, cfg.ranks
+        ));
+    }
+    Ok(())
 }
 
 /// Replays the algorithm's communication schedule on the simulator,
 /// returning its trace (virtual timestamps).
 fn run_sim(cfg: &Config) -> Result<Trace, String> {
     let (grid, n) = (cfg.grid, cfg.n);
-    let tracer = Tracer::new(grid.size());
-    let mut net = SimNet::new(grid.size(), cfg.platform.net);
+    let tracer = Tracer::new(cfg.ranks);
+    let mut net = SimNet::new(cfg.ranks, cfg.platform.net);
     net.attach_tracer(&tracer);
     let gamma = cfg.platform.gamma;
     match cfg.algo.as_str() {
@@ -286,6 +435,84 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
                 Some(cfg.groups),
                 false,
             );
+        }
+        // The remaining algorithms have no bespoke replay driver: the
+        // *generic* schedule itself runs over simulated clocks with
+        // phantom payloads — the same code path the real run takes.
+        "cyclic" => {
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            let (th, tw) = BlockCyclicDist::new(grid, n, n, cfg.inner_b).tile_shape();
+            SimWorld::run(net, gamma, false, move |comm| {
+                let t = PhantomMat { rows: th, cols: tw };
+                summa_cyclic(comm, grid, n, &t, &t, &scfg);
+            });
+        }
+        "overlap" => {
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            let (th, tw) = (n / grid.rows, n / grid.cols);
+            SimWorld::run(net, gamma, false, move |comm| {
+                let a = PhantomMat { rows: th, cols: tw };
+                let b = PhantomMat { rows: th, cols: tw };
+                summa_overlap(comm, grid, n, &a, &b, &scfg);
+            });
+        }
+        "rect" => {
+            let dims = rect_dims(n);
+            let scfg = SummaConfig {
+                block: cfg.inner_b,
+                bcast: BcastAlgorithm::Binomial,
+                kernel: GemmKernel::Packed,
+            };
+            SimWorld::run(net, gamma, false, move |comm| {
+                let a = PhantomMat {
+                    rows: dims.m / grid.rows,
+                    cols: dims.l / grid.cols,
+                };
+                let b = PhantomMat {
+                    rows: dims.l / grid.rows,
+                    cols: dims.n / grid.cols,
+                };
+                summa_rect(comm, grid, dims, &a, &b, &scfg);
+            });
+        }
+        "twodotfive" => {
+            let tcfg = TwoDotFiveConfig {
+                q: grid.rows,
+                c: cfg.g,
+                summa: SummaConfig {
+                    block: cfg.inner_b,
+                    bcast: BcastAlgorithm::Binomial,
+                    kernel: GemmKernel::Packed,
+                },
+            };
+            let ts = n / grid.rows;
+            SimWorld::run(net, gamma, false, move |comm| {
+                let t = PhantomMat { rows: ts, cols: ts };
+                twodotfive(comm, n, &t, &t, &tcfg);
+            });
+        }
+        "tsqr" => {
+            let b = cfg.inner_b;
+            SimWorld::run(net, gamma, false, move |comm| {
+                let block = PhantomMat { rows: n, cols: b };
+                tsqr(comm, &block);
+            });
+        }
+        "hierbcast" => {
+            check_hierbcast_levels(cfg)?;
+            let levels = [cfg.g, cfg.ranks / cfg.g];
+            SimWorld::run(net, gamma, false, move |comm| {
+                let mut m = PhantomMat { rows: n, cols: n };
+                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels);
+            });
         }
         other => return Err(format!("unknown algorithm `{other}`")),
     }

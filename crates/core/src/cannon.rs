@@ -7,39 +7,39 @@
 //! square processor counts is exactly why SUMMA superseded it in general
 //! purpose libraries.
 
-use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
-use hsumma_runtime::Comm;
+use crate::comm::{Communicator, MatLike};
+use hsumma_matrix::{GemmKernel, GridShape};
 
 const TAG_SHIFT_A: u64 = 11;
 const TAG_SHIFT_B: u64 = 12;
 
 /// Sends `mat` to `dst` and receives the replacement from `src` on `comm`
 /// (an `MPI_Sendrecv_replace`). Eager sends make the exchange deadlock-free.
-/// `Matrix` is opaque to the runtime's byte accounting, so the wire size
-/// is declared explicitly.
-fn shift(comm: &Comm, dst: usize, src: usize, tag: u64, mat: Matrix) -> Matrix {
+fn shift<C: Communicator>(comm: &C, dst: usize, src: usize, tag: u64, mat: C::Mat) -> C::Mat {
     if dst == comm.rank() {
         return mat; // rotation by zero
     }
-    let (r, c) = mat.shape();
-    let bytes = (r * c * std::mem::size_of::<f64>()) as u64;
-    comm.send_sized(dst, tag, mat, bytes);
-    comm.recv_sized::<Matrix>(src, tag, bytes)
+    let (r, c) = (mat.rows(), mat.cols());
+    comm.send_mat(dst, tag, mat);
+    comm.recv_mat(src, tag, r, c)
 }
 
 /// Runs Cannon's algorithm on the calling rank. SPMD over a square grid;
 /// operands block-checkerboard distributed. Returns the local `C` tile.
 ///
+/// Generic over the [`Communicator`] substrate: real matrices over the
+/// threaded runtime, or phantom payloads over the simulator's clocks.
+///
 /// # Panics
 /// Panics if the grid is not square or tile shapes are inconsistent.
-pub fn cannon(
-    comm: &Comm,
+pub fn cannon<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     kernel: GemmKernel,
-) -> Matrix {
+) -> C::Mat {
     assert_eq!(
         grid.rows, grid.cols,
         "Cannon requires a square processor grid"
@@ -48,8 +48,8 @@ pub fn cannon(
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % q, 0, "n must be divisible by the grid side");
     let ts = n / q;
-    assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
-    assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (ts, ts), "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), (ts, ts), "B tile has wrong shape");
 
     let (i, j) = grid.coords(comm.rank());
     let left = |steps: usize| grid.rank(i, (j + q - steps % q) % q);
@@ -61,15 +61,18 @@ pub fn cannon(
     let mut a_cur = shift(comm, left(i), right(i), TAG_SHIFT_A, a.clone());
     let mut b_cur = shift(comm, up(j), down(j), TAG_SHIFT_B, b.clone());
 
-    let mut c = Matrix::zeros(ts, ts);
-    let step_flops = (2 * ts * ts * ts) as u64;
+    let mut c = C::Mat::zeros(ts, ts);
+    let step_pairs = ts * ts * ts;
     for k in 0..q {
         (a_cur, b_cur) = comm.trace_step(k, ts, ts, || {
-            comm.time_compute_flops(step_flops, || gemm(kernel, &a_cur, &b_cur, &mut c));
+            comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
+                C::Mat::gemm(kernel, &a_cur, &b_cur, &mut c)
+            });
             let a_next = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur);
             let b_next = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur);
             (a_next, b_next)
         });
+        comm.maybe_step_sync();
     }
     c
 }

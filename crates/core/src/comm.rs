@@ -1,0 +1,697 @@
+//! The substrate-agnostic communicator: one schedule, two substrates.
+//!
+//! Every distributed algorithm in this crate (SUMMA, HSUMMA, Cannon, Fox,
+//! block LU, TSQR, 2.5D, …) is written once, generically, against the
+//! [`Communicator`] trait. Two implementations exist:
+//!
+//! * the threaded runtime's [`Comm`] — moves real [`Matrix`] payloads
+//!   between rank threads and measures wall-clock time;
+//! * the simulator's [`SimComm`] — moves [`PhantomMat`] payloads (shapes
+//!   only), advances [`hsumma_netsim::SimNet`] virtual clocks per the
+//!   Hockney model `α + m·β`, and charges local compute analytically at
+//!   `γ` seconds per multiply-add pair.
+//!
+//! Because the *same* per-rank program runs on both substrates, the
+//! simulator cannot drift from the executable code: the message schedule
+//! is defined exactly once. The simulator-side collective schedules below
+//! are rank-for-rank transliterations of
+//! `hsumma_runtime::collectives` (same trees, same segment dealing), which
+//! is what `tests/sim_golden_parity.rs` and
+//! `tests/sim_model_consistency.rs` pin down.
+//!
+//! Payload shapes are globally known in all these algorithms (each panel's
+//! dimensions follow from the step index), which is why `recv_mat` takes
+//! the expected shape instead of reading it off the wire — exactly MPI's
+//! contract, and what lets the phantom substrate work at all.
+
+use hsumma_matrix::factor::{lu_nopiv_inplace, qr_thin, trsm_left_lower_unit, trsm_right_upper};
+use hsumma_matrix::{gemm, gemm_scaled, GemmKernel, Matrix};
+use hsumma_netsim::SimComm;
+use hsumma_runtime::collectives::{self, chunk_range};
+use hsumma_runtime::{BcastAlgorithm, Comm};
+use std::sync::Arc;
+
+/// Matrix operations the generic algorithms need. Implemented by the real
+/// [`Matrix`] (actual arithmetic) and by [`PhantomMat`] (shape bookkeeping
+/// only — every operation checks conformability and computes nothing).
+pub trait MatLike: Clone + Send + 'static {
+    /// An all-zero `rows × cols` matrix.
+    fn zeros(rows: usize, cols: usize) -> Self;
+    /// The `n × n` identity.
+    fn identity(n: usize) -> Self;
+    /// Row count.
+    fn rows(&self) -> usize;
+    /// Column count.
+    fn cols(&self) -> usize;
+    /// Element count (`rows · cols`).
+    fn elems(&self) -> usize {
+        self.rows() * self.cols()
+    }
+    /// A freshly allocated copy of the `h × w` block at `(r0, c0)`.
+    fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self;
+    /// Copies the block at `(r0, c0)` with `dst`'s shape into `dst`.
+    fn block_into(&self, r0: usize, c0: usize, dst: &mut Self);
+    /// Overwrites the block at `(r0, c0)` with `src`.
+    fn set_block(&mut self, r0: usize, c0: usize, src: &Self);
+    /// `C += A·B`.
+    fn gemm(kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self);
+    /// `C += α·A·B`.
+    fn gemm_scaled(kernel: GemmKernel, alpha: f64, a: &Self, b: &Self, c: &mut Self);
+    /// In-place unpivoted LU of a square matrix.
+    fn lu_nopiv_inplace(&mut self);
+    /// `B ← B·U⁻¹` for upper-triangular `U`.
+    fn trsm_right_upper(u: &Self, b: &mut Self);
+    /// `B ← L⁻¹·B` for unit-lower-triangular `L`.
+    fn trsm_left_lower_unit(l: &Self, b: &mut Self);
+    /// Thin QR of a tall matrix: `(Q, R)` with `Q` the caller's shape's
+    /// `m × n` orthonormal factor and `R` upper-triangular `n × n`.
+    fn qr_thin(&self) -> (Self, Self);
+}
+
+impl MatLike for Matrix {
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix::zeros(rows, cols)
+    }
+    fn identity(n: usize) -> Self {
+        Matrix::identity(n)
+    }
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+    fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        Matrix::block(self, r0, c0, h, w)
+    }
+    fn block_into(&self, r0: usize, c0: usize, dst: &mut Self) {
+        Matrix::block_into(self, r0, c0, dst)
+    }
+    fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
+        Matrix::set_block(self, r0, c0, src)
+    }
+    fn gemm(kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self) {
+        gemm(kernel, a, b, c)
+    }
+    fn gemm_scaled(kernel: GemmKernel, alpha: f64, a: &Self, b: &Self, c: &mut Self) {
+        gemm_scaled(kernel, alpha, a, b, c)
+    }
+    fn lu_nopiv_inplace(&mut self) {
+        lu_nopiv_inplace(self)
+    }
+    fn trsm_right_upper(u: &Self, b: &mut Self) {
+        trsm_right_upper(u, b)
+    }
+    fn trsm_left_lower_unit(l: &Self, b: &mut Self) {
+        trsm_left_lower_unit(l, b)
+    }
+    fn qr_thin(&self) -> (Self, Self) {
+        qr_thin(self)
+    }
+}
+
+/// A matrix that exists only as a shape: the payload the simulated
+/// substrate moves. All [`MatLike`] operations validate dimensions with
+/// the same panics the dense implementations raise, so a generic
+/// algorithm that misindexes fails identically on either substrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhantomMat {
+    /// Row count of the matrix this stands in for.
+    pub rows: usize,
+    /// Column count of the matrix this stands in for.
+    pub cols: usize,
+}
+
+impl MatLike for PhantomMat {
+    fn zeros(rows: usize, cols: usize) -> Self {
+        PhantomMat { rows, cols }
+    }
+    fn identity(n: usize) -> Self {
+        PhantomMat { rows: n, cols: n }
+    }
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
+        PhantomMat { rows: h, cols: w }
+    }
+    fn block_into(&self, r0: usize, c0: usize, dst: &mut Self) {
+        assert!(
+            r0 + dst.rows <= self.rows && c0 + dst.cols <= self.cols,
+            "block out of bounds"
+        );
+    }
+    fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "block out of bounds"
+        );
+    }
+    fn gemm(_kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self) {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        assert_eq!((c.rows, c.cols), (a.rows, b.cols), "output shape mismatch");
+    }
+    fn gemm_scaled(kernel: GemmKernel, _alpha: f64, a: &Self, b: &Self, c: &mut Self) {
+        Self::gemm(kernel, a, b, c);
+    }
+    fn lu_nopiv_inplace(&mut self) {
+        assert_eq!(self.rows, self.cols, "LU needs a square matrix");
+    }
+    fn trsm_right_upper(u: &Self, b: &mut Self) {
+        assert_eq!(u.rows, u.cols, "triangular factor must be square");
+        assert_eq!(b.cols, u.rows, "dimension mismatch");
+    }
+    fn trsm_left_lower_unit(l: &Self, b: &mut Self) {
+        assert_eq!(l.rows, l.cols, "triangular factor must be square");
+        assert_eq!(b.rows, l.cols, "dimension mismatch");
+    }
+    fn qr_thin(&self) -> (Self, Self) {
+        assert!(self.rows >= self.cols, "QR needs a tall matrix");
+        (
+            PhantomMat {
+                rows: self.rows,
+                cols: self.cols,
+            },
+            PhantomMat {
+                rows: self.cols,
+                cols: self.cols,
+            },
+        )
+    }
+}
+
+/// The communicator the algorithms are generic over: MPI-style rank
+/// algebra, matrix-payload point-to-point, rooted collectives with a
+/// selectable broadcast algorithm, and the local-compute hook through
+/// which the substrate charges (real) or models (simulated) flops.
+///
+/// Ranks and roots are always communicator-local. Payload shapes must be
+/// supplied on the receive side (they are globally known in every
+/// algorithm here).
+pub trait Communicator: Sized {
+    /// The matrix payload this substrate moves.
+    type Mat: MatLike;
+    /// A cheaply clonable handle to a `Mat` (`Arc<Matrix>` on the real
+    /// substrate), for one-to-many pushes without deep copies.
+    type Shared: Clone + Send + 'static;
+
+    /// Rank within this communicator.
+    fn rank(&self) -> usize;
+    /// Number of ranks in this communicator.
+    fn size(&self) -> usize;
+    /// `MPI_Comm_split`: groups by `color`, orders by `(key, rank)`.
+    fn split(&self, color: u64, key: i64) -> Self;
+
+    /// Sends `mat` to `dst`.
+    fn send_mat(&self, dst: usize, tag: u64, mat: Self::Mat);
+    /// Receives a `rows × cols` matrix from `src`.
+    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Self::Mat;
+
+    /// Wraps a matrix for shared (clone-free) distribution.
+    fn share(mat: Self::Mat) -> Self::Shared;
+    /// Views the matrix behind a shared handle.
+    fn shared_ref(shared: &Self::Shared) -> &Self::Mat;
+    /// Sends a shared handle to `dst` (payload counted once, not copied).
+    fn send_shared(&self, dst: usize, tag: u64, shared: &Self::Shared);
+    /// Receives a shared `rows × cols` matrix from `src`.
+    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Self::Shared;
+
+    /// Broadcasts `mat` from `root` in place with the selected algorithm.
+    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut Self::Mat);
+    /// Element-wise sum reduction to `root` (binomial tree). Non-root
+    /// buffers are left in an unspecified partial state.
+    fn reduce_sum_mat(&self, root: usize, mat: &mut Self::Mat);
+    /// Synchronizes all ranks of this communicator.
+    fn barrier(&self);
+    /// A step-boundary synchronization hook: a no-op on the real runtime
+    /// (threads synchronize through the messages themselves) and a
+    /// world-wide clock alignment on the simulator when it was configured
+    /// with per-step-synchronized (blocking-collective) semantics.
+    fn maybe_step_sync(&self);
+
+    /// Runs local compute `f`. The real substrate times the call (tagging
+    /// it with `flops` when nonzero); the simulator skips `f`'s arithmetic
+    /// cost-wise and instead charges `γ · pairs` seconds (`pairs` is the
+    /// multiply-add pair count — fractional for non-GEMM kernels such as
+    /// LU's `bs³/3`).
+    fn compute<R>(&self, pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R;
+    /// Records a pivot-step span around `f` for the tracer.
+    fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R;
+}
+
+/// Wire size of a dense `rows × cols` `f64` matrix.
+fn mat_bytes(rows: usize, cols: usize) -> u64 {
+    (rows * cols * 8) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Real substrate: the threaded runtime.
+// ---------------------------------------------------------------------------
+
+impl Communicator for Comm {
+    type Mat = Matrix;
+    type Shared = Arc<Matrix>;
+
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+    fn size(&self) -> usize {
+        Comm::size(self)
+    }
+    fn split(&self, color: u64, key: i64) -> Self {
+        Comm::split(self, color, key)
+    }
+
+    fn send_mat(&self, dst: usize, tag: u64, mat: Matrix) {
+        let bytes = mat_bytes(mat.rows(), mat.cols());
+        self.send_sized(dst, tag, mat, bytes);
+    }
+    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Matrix {
+        self.recv_sized::<Matrix>(src, tag, mat_bytes(rows, cols))
+    }
+
+    fn share(mat: Matrix) -> Arc<Matrix> {
+        Arc::new(mat)
+    }
+    fn shared_ref(shared: &Arc<Matrix>) -> &Matrix {
+        shared
+    }
+    fn send_shared(&self, dst: usize, tag: u64, shared: &Arc<Matrix>) {
+        let bytes = mat_bytes(shared.rows(), shared.cols());
+        self.send_sized(dst, tag, Arc::clone(shared), bytes);
+    }
+    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Arc<Matrix> {
+        self.recv_sized::<Arc<Matrix>>(src, tag, mat_bytes(rows, cols))
+    }
+
+    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut Matrix) {
+        collectives::bcast_f64(self, algo, root, mat.as_mut_slice());
+    }
+    fn reduce_sum_mat(&self, root: usize, mat: &mut Matrix) {
+        collectives::reduce_sum_f64(self, root, mat.as_mut_slice());
+    }
+    fn barrier(&self) {
+        collectives::barrier(self);
+    }
+    fn maybe_step_sync(&self) {}
+
+    fn compute<R>(&self, _pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R {
+        if flops == 0 {
+            self.time_compute(f)
+        } else {
+            self.time_compute_flops(flops, f)
+        }
+    }
+    fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        Comm::trace_step(self, k, outer, inner, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated substrate: phantom payloads over SimNet clocks.
+// ---------------------------------------------------------------------------
+
+// Collective wire tags, far above any tag the algorithms use (the largest
+// algorithm tag is overlap's `2·steps + 2³²`).
+const SIM_TAG_BCAST: u64 = 1 << 62;
+const SIM_TAG_PIPELINE: u64 = (1 << 62) + 1;
+const SIM_TAG_SCATTER: u64 = (1 << 62) + 2;
+const SIM_TAG_ALLGATHER: u64 = (1 << 62) + 3;
+const SIM_TAG_REDUCE: u64 = (1 << 62) + 4;
+
+impl<'w> Communicator for SimComm<'w> {
+    type Mat = PhantomMat;
+    type Shared = PhantomMat;
+
+    fn rank(&self) -> usize {
+        SimComm::rank(self)
+    }
+    fn size(&self) -> usize {
+        SimComm::size(self)
+    }
+    fn split(&self, color: u64, key: i64) -> Self {
+        SimComm::split(self, color, key)
+    }
+
+    fn send_mat(&self, dst: usize, tag: u64, mat: PhantomMat) {
+        self.send_bytes(dst, tag, mat_bytes(mat.rows, mat.cols));
+    }
+    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> PhantomMat {
+        let got = self.recv_bytes(src, tag);
+        assert_eq!(got, mat_bytes(rows, cols), "phantom payload size mismatch");
+        PhantomMat { rows, cols }
+    }
+
+    fn share(mat: PhantomMat) -> PhantomMat {
+        mat
+    }
+    fn shared_ref(shared: &PhantomMat) -> &PhantomMat {
+        shared
+    }
+    fn send_shared(&self, dst: usize, tag: u64, shared: &PhantomMat) {
+        self.send_bytes(dst, tag, mat_bytes(shared.rows, shared.cols));
+    }
+    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> PhantomMat {
+        self.recv_mat(src, tag, rows, cols)
+    }
+
+    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut PhantomMat) {
+        assert!(root < self.size(), "root out of range");
+        sim_bcast(self, algo, root, mat.elems());
+    }
+    fn reduce_sum_mat(&self, root: usize, mat: &mut PhantomMat) {
+        assert!(root < self.size(), "root out of range");
+        sim_reduce(self, root, mat.elems());
+    }
+    fn barrier(&self) {
+        SimComm::barrier(self);
+    }
+    fn maybe_step_sync(&self) {
+        SimComm::maybe_step_sync(self);
+    }
+
+    fn compute<R>(&self, pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R {
+        SimComm::compute(self, pairs, flops);
+        f()
+    }
+    fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        SimComm::trace_step(self, k, outer, inner, f)
+    }
+}
+
+/// Phantom-payload broadcast of `elems` `f64`s: the same per-rank message
+/// schedules as `hsumma_runtime::collectives::bcast_f64`, expressed SPMD
+/// over virtual clocks. Segmenting algorithms deal *elements* with
+/// [`chunk_range`], exactly like the runtime, so segment wire sizes match
+/// message-for-message.
+fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let me = comm.rank();
+    let vrank = (me + p - root) % p;
+    let unvirt = |v: usize| (v + root) % p;
+    let bytes = mat_bytes(1, elems);
+    match algo {
+        BcastAlgorithm::Flat => {
+            // The runtime's root sends in *local-rank* order, not virtual
+            // order — mirrored here so arrival times line up.
+            if me == root {
+                for dst in 0..p {
+                    if dst != root {
+                        comm.send_bytes(dst, SIM_TAG_BCAST, bytes);
+                    }
+                }
+            } else {
+                comm.recv_bytes(root, SIM_TAG_BCAST);
+            }
+        }
+        BcastAlgorithm::Binomial => {
+            if vrank != 0 {
+                let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+                comm.recv_bytes(unvirt(vrank - high), SIM_TAG_BCAST);
+            }
+            let mut mask = 1usize;
+            while mask < p {
+                if mask > vrank && vrank + mask < p {
+                    comm.send_bytes(unvirt(vrank + mask), SIM_TAG_BCAST, bytes);
+                }
+                mask <<= 1;
+            }
+        }
+        BcastAlgorithm::Binary => {
+            if vrank != 0 {
+                comm.recv_bytes(unvirt((vrank - 1) / 2), SIM_TAG_BCAST);
+            }
+            for child in [2 * vrank + 1, 2 * vrank + 2] {
+                if child < p {
+                    comm.send_bytes(unvirt(child), SIM_TAG_BCAST, bytes);
+                }
+            }
+        }
+        BcastAlgorithm::Ring => {
+            if vrank != 0 {
+                comm.recv_bytes(unvirt(vrank - 1), SIM_TAG_BCAST);
+            }
+            if vrank + 1 < p {
+                comm.send_bytes(unvirt(vrank + 1), SIM_TAG_BCAST, bytes);
+            }
+        }
+        BcastAlgorithm::Pipelined { segments } => {
+            assert!(segments >= 1, "need at least one segment");
+            let segments = segments.min(elems.max(1));
+            let prev = unvirt(vrank + p - 1);
+            let next = unvirt(vrank + 1);
+            for s in 0..segments {
+                let (lo, hi) = chunk_range(elems, segments, s);
+                if vrank > 0 {
+                    comm.recv_bytes(prev, SIM_TAG_PIPELINE);
+                }
+                if vrank + 1 < p {
+                    comm.send_bytes(next, SIM_TAG_PIPELINE, mat_bytes(1, hi - lo));
+                }
+            }
+        }
+        BcastAlgorithm::ScatterAllgather => {
+            // Binomial scatter: virtual rank v relays the chunks of
+            // virtual ranks [v, v + extent), extent = v's lowest set bit
+            // (everything for the root). The runtime's relay messages
+            // carry a shared buffer; on the wire the *useful* payload of
+            // an edge is its subtree's chunk range, which is what the
+            // analytic model (and the old central replay) charges.
+            let p2 = p.next_power_of_two();
+            let my_extent = if vrank == 0 {
+                p2
+            } else {
+                vrank & vrank.wrapping_neg()
+            };
+            if vrank != 0 {
+                comm.recv_bytes(unvirt(vrank - my_extent), SIM_TAG_SCATTER);
+            }
+            let mut mask = my_extent >> 1;
+            while mask > 0 {
+                let child = vrank + mask;
+                if child < p {
+                    let hi_v = (child + mask).min(p);
+                    let (lo, _) = chunk_range(elems, p, child);
+                    let (_, hi) = chunk_range(elems, p, hi_v - 1);
+                    comm.send_bytes(unvirt(child), SIM_TAG_SCATTER, mat_bytes(1, hi - lo));
+                }
+                mask >>= 1;
+            }
+            // Ring allgather: round k sends chunk (v−k), receives (v−k−1).
+            let next = unvirt(vrank + 1);
+            let prev = unvirt(vrank + p - 1);
+            for k in 0..p - 1 {
+                let send_chunk = (vrank + p - k) % p;
+                let (slo, shi) = chunk_range(elems, p, send_chunk);
+                comm.send_bytes(next, SIM_TAG_ALLGATHER, mat_bytes(1, shi - slo));
+                comm.recv_bytes(prev, SIM_TAG_ALLGATHER);
+            }
+        }
+    }
+}
+
+/// Phantom binomial-tree sum reduction, mirroring
+/// `hsumma_runtime::collectives::reduce_sum_f64` (leaves send first; the
+/// element-wise adds are uncharged there and so charge nothing here).
+fn sim_reduce(comm: &SimComm<'_>, root: usize, elems: usize) {
+    let p = comm.size();
+    let vrank = (comm.rank() + p - root) % p;
+    let unvirt = |v: usize| (v + root) % p;
+    let bytes = mat_bytes(1, elems);
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            comm.send_bytes(unvirt(vrank ^ mask), SIM_TAG_REDUCE, bytes);
+            return;
+        }
+        if vrank + mask < p {
+            comm.recv_bytes(unvirt(vrank + mask), SIM_TAG_REDUCE);
+        }
+        mask <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsumma_netsim::spmd::SimWorld;
+    use hsumma_netsim::{Hockney, SimNet, SimReport};
+
+    const ALPHA: f64 = 1e-3;
+    const BETA: f64 = 1e-6;
+
+    fn t(bytes: u64) -> f64 {
+        ALPHA + bytes as f64 * BETA
+    }
+
+    fn run_bcast(p: usize, algo: BcastAlgorithm, root: usize, elems: usize) -> SimReport {
+        let net = SimNet::new(p, Hockney::new(ALPHA, BETA));
+        let (net, _) = SimWorld::run(net, 0.0, false, |comm| {
+            let mut m = PhantomMat {
+                rows: 1,
+                cols: elems,
+            };
+            Communicator::bcast_mat(comm, algo, root, &mut m);
+        });
+        net.report()
+    }
+
+    #[test]
+    fn binomial_matches_closed_form_on_powers_of_two() {
+        for p in [2usize, 4, 8, 16, 64] {
+            let r = run_bcast(p, BcastAlgorithm::Binomial, 0, 512);
+            let want = (p as f64).log2() * t(4096);
+            assert!(
+                (r.total_time - want).abs() < 1e-12,
+                "p={p}: got {}, want {want}",
+                r.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn flat_costs_p_minus_1_serial_transfers() {
+        let r = run_bcast(6, BcastAlgorithm::Flat, 0, 100);
+        assert!((r.total_time - 5.0 * t(800)).abs() < 1e-12);
+        assert_eq!(r.msgs, 5);
+    }
+
+    #[test]
+    fn ring_costs_a_chain_of_full_transfers() {
+        let r = run_bcast(7, BcastAlgorithm::Ring, 0, 100);
+        assert!((r.total_time - 6.0 * t(800)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_matches_pipeline_formula() {
+        // (p − 1 + s − 1) stages of (α + m/s·β) when s divides the payload.
+        let (p, s, elems) = (4usize, 8usize, 1000usize);
+        let r = run_bcast(p, BcastAlgorithm::Pipelined { segments: s }, 0, elems);
+        let want = (p - 1 + s - 1) as f64 * t((elems / s * 8) as u64);
+        assert!(
+            (r.total_time - want).abs() < 1e-12,
+            "got {}, want {want}",
+            r.total_time
+        );
+    }
+
+    #[test]
+    fn scatter_allgather_matches_van_de_geijn_cost() {
+        for p in [2usize, 4, 8, 16] {
+            let elems = 2048; // divisible by every p tested
+            let r = run_bcast(p, BcastAlgorithm::ScatterAllgather, 0, elems);
+            let m = (elems * 8) as f64;
+            let pf = p as f64;
+            let want = (pf.log2() + pf - 1.0) * ALPHA + 2.0 * (pf - 1.0) / pf * m * BETA;
+            assert!(
+                (r.total_time - want).abs() < 1e-9,
+                "p={p}: got {}, want {want}",
+                r.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn tree_broadcasts_move_exactly_p_minus_1_payloads() {
+        for algo in [
+            BcastAlgorithm::Flat,
+            BcastAlgorithm::Binomial,
+            BcastAlgorithm::Binary,
+            BcastAlgorithm::Ring,
+        ] {
+            for root in [0usize, 3] {
+                let r = run_bcast(5, algo, root, 77);
+                assert_eq!(r.bytes, 4 * 77 * 8, "{algo:?} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_broadcast_is_free() {
+        let r = run_bcast(1, BcastAlgorithm::Binomial, 0, 1 << 16);
+        assert_eq!((r.msgs, r.bytes), (0, 0));
+        assert_eq!(r.total_time, 0.0);
+    }
+
+    #[test]
+    fn all_algorithms_deliver_from_any_root() {
+        for algo in [
+            BcastAlgorithm::Flat,
+            BcastAlgorithm::Binomial,
+            BcastAlgorithm::Binary,
+            BcastAlgorithm::Ring,
+            BcastAlgorithm::Pipelined { segments: 3 },
+            BcastAlgorithm::ScatterAllgather,
+        ] {
+            for p in [2usize, 3, 5, 8] {
+                for root in [0, p / 2, p - 1] {
+                    // Completion (no deadlock, no leftover messages) is the
+                    // assertion; SimWorld::run panics otherwise.
+                    let r = run_bcast(p, algo, root, 96);
+                    assert!(r.msgs > 0, "{algo:?} p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_moves_p_minus_1_payloads_to_root() {
+        let net = SimNet::new(6, Hockney::new(ALPHA, BETA));
+        let (net, _) = SimWorld::run(net, 0.0, false, |comm| {
+            let mut m = PhantomMat { rows: 4, cols: 8 };
+            Communicator::reduce_sum_mat(comm, 2, &mut m);
+        });
+        assert_eq!(net.report().bytes, 5 * 32 * 8);
+    }
+
+    #[test]
+    fn phantom_ops_enforce_shapes() {
+        let a = PhantomMat { rows: 4, cols: 6 };
+        let b = PhantomMat { rows: 6, cols: 3 };
+        let mut c = PhantomMat { rows: 4, cols: 3 };
+        PhantomMat::gemm(GemmKernel::Naive, &a, &b, &mut c);
+        let (q, r) = PhantomMat { rows: 9, cols: 4 }.qr_thin();
+        assert_eq!((q.rows, q.cols, r.rows, r.cols), (9, 4, 4, 4));
+        let blk = a.block(1, 2, 3, 4);
+        assert_eq!((blk.rows, blk.cols), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn phantom_gemm_rejects_mismatched_shapes() {
+        let a = PhantomMat { rows: 4, cols: 6 };
+        let b = PhantomMat { rows: 5, cols: 3 };
+        let mut c = PhantomMat { rows: 4, cols: 3 };
+        PhantomMat::gemm(GemmKernel::Naive, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn real_and_simulated_splits_agree_on_ordering() {
+        // Same (color, key) program on both substrates must produce the
+        // same communicator membership — the algorithms depend on it.
+        use hsumma_runtime::Runtime;
+        let program = |rank: usize| -> (u64, i64) { ((rank % 2) as u64, -(rank as i64)) };
+        let real = Runtime::run(4, |comm| {
+            let (color, key) = program(Comm::rank(comm));
+            let sub = Communicator::split(comm, color, key);
+            (Communicator::rank(&sub), Communicator::size(&sub))
+        });
+        let net = SimNet::new(4, Hockney::new(ALPHA, BETA));
+        let (_, sim) = SimWorld::run(net, 0.0, false, |comm| {
+            let (color, key) = program(SimComm::rank(comm));
+            let sub = Communicator::split(comm, color, key);
+            (Communicator::rank(&sub), Communicator::size(&sub))
+        });
+        assert_eq!(real, sim);
+    }
+}

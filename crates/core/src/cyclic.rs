@@ -17,10 +17,10 @@
 //!   pivot panels line up with its local `C` tile rows/columns under the
 //!   same cyclic dealing.
 
-use hsumma_matrix::{gemm, BlockCyclicDist, GridShape, Matrix};
-use hsumma_netsim::model::ELEM_BYTES;
+use crate::comm::{Communicator, MatLike, PhantomMat};
+use hsumma_matrix::{BlockCyclicDist, GridShape};
+use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
-use hsumma_runtime::Comm;
 
 use crate::summa::{bcast_matrix, SummaConfig};
 
@@ -33,28 +33,29 @@ use crate::summa::{bcast_matrix, SummaConfig};
 /// Panics if grid, tile shapes or block size are inconsistent (the
 /// global block grid `n/b × n/b` must be divisible by the processor
 /// grid, as `BlockCyclicDist` requires).
-pub fn summa_cyclic(
-    comm: &Comm,
+pub fn summa_cyclic<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &SummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
     // Validates divisibility; we only need it for the shape algebra.
     let dist = BlockCyclicDist::new(grid, n, n, bs);
     let (th, tw) = dist.tile_shape();
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
-    assert_eq!(a.shape(), (th, tw), "A tile has wrong shape");
-    assert_eq!(b.shape(), (th, tw), "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (th, tw), "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), (th, tw), "B tile has wrong shape");
 
     let (gi, gj) = grid.coords(comm.rank());
     let row_comm = comm.split(gi as u64, gj as i64);
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
 
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
+    let step_pairs = th * tw * bs;
     for k in 0..n / bs {
         // Pivot column panel k of A lives in grid column k mod t, local
         // block column k div t.
@@ -62,7 +63,7 @@ pub fn summa_cyclic(
         let mut a_panel = if gj == owner_col {
             a.block(0, (k / grid.cols) * bs, th, bs)
         } else {
-            Matrix::zeros(th, bs)
+            C::Mat::zeros(th, bs)
         };
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
 
@@ -70,19 +71,23 @@ pub fn summa_cyclic(
         let mut b_panel = if gi == owner_row {
             b.block((k / grid.rows) * bs, 0, bs, tw)
         } else {
-            Matrix::zeros(bs, tw)
+            C::Mat::zeros(bs, tw)
         };
         bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
-        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+        comm.compute(step_pairs as f64, 0, || {
+            C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
+        });
+        comm.maybe_step_sync();
     }
     c
 }
 
-/// Timed replay of the block-cyclic SUMMA schedule (rotating roots).
-/// Compare with `simdrive::sim_summa` (block distribution, sticky roots)
-/// under `step_sync = false` to quantify the overlap benefit §VI
-/// anticipates.
+/// Timed replay of the block-cyclic SUMMA schedule (rotating roots):
+/// [`summa_cyclic`] itself, run over simulated clocks with phantom
+/// payloads. Compare with `simdrive::sim_summa` (block distribution,
+/// sticky roots) under `step_sync = false` to quantify the overlap
+/// benefit §VI anticipates.
 pub fn sim_summa_cyclic(
     platform: &Platform,
     grid: GridShape,
@@ -104,31 +109,20 @@ pub fn sim_summa_cyclic(
     );
     let (th, tw) = (n / grid.rows, n / grid.cols);
 
-    let mut net = SimNet::new(grid.size(), platform.net);
-    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
-        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
-        .collect();
-    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
-        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
-        .collect();
-
-    let a_bytes = (th * b) as u64 * ELEM_BYTES;
-    let b_bytes = (b * tw) as u64 * ELEM_BYTES;
-    let pairs = (th * tw * b) as u64;
-    for k in 0..n / b {
-        for ranks in &row_ranks {
-            bcast.run(&mut net, ranks, k % grid.cols, a_bytes);
-        }
-        for ranks in &col_ranks {
-            bcast.run(&mut net, ranks, k % grid.rows, b_bytes);
-        }
-        for r in 0..net.size() {
-            net.compute(r, platform.gamma * pairs as f64);
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
+    let cfg = SummaConfig {
+        block: b,
+        bcast,
+        ..Default::default()
+    };
+    let (net, _) = SimWorld::run(
+        SimNet::new(grid.size(), platform.net),
+        platform.gamma,
+        step_sync,
+        move |comm| {
+            let tile = PhantomMat { rows: th, cols: tw };
+            summa_cyclic(comm, grid, n, &tile, &tile, &cfg)
+        },
+    );
     net.report()
 }
 

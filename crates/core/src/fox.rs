@@ -6,8 +6,9 @@
 //! one position up. Like Cannon's, the square-grid restriction kept it out
 //! of general-purpose libraries.
 
-use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
-use hsumma_runtime::{BcastAlgorithm, Comm};
+use crate::comm::{Communicator, MatLike};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_runtime::BcastAlgorithm;
 
 const TAG_ROLL_B: u64 = 21;
 
@@ -16,21 +17,39 @@ const TAG_ROLL_B: u64 = 21;
 ///
 /// # Panics
 /// Panics if the grid is not square or tile shapes are inconsistent.
-pub fn fox(
-    comm: &Comm,
+pub fn fox<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     kernel: GemmKernel,
-) -> Matrix {
+) -> C::Mat {
+    fox_with(comm, grid, n, a, b, kernel, BcastAlgorithm::Binomial)
+}
+
+/// [`fox`] with an explicit row-broadcast algorithm. Generic over the
+/// [`Communicator`] substrate, so the same schedule runs on the threaded
+/// runtime or on simulated clocks.
+///
+/// # Panics
+/// Panics if the grid is not square or tile shapes are inconsistent.
+pub fn fox_with<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    a: &C::Mat,
+    b: &C::Mat,
+    kernel: GemmKernel,
+    bcast: BcastAlgorithm,
+) -> C::Mat {
     assert_eq!(grid.rows, grid.cols, "Fox requires a square processor grid");
     let q = grid.rows;
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % q, 0, "n must be divisible by the grid side");
     let ts = n / q;
-    assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
-    assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (ts, ts), "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), (ts, ts), "B tile has wrong shape");
 
     let (i, j) = grid.coords(comm.rank());
     let row_comm = comm.split(i as u64, j as i64);
@@ -38,9 +57,8 @@ pub fn fox(
     let down = grid.rank((i + 1) % q, j);
 
     let mut b_cur = b.clone();
-    let mut c = Matrix::zeros(ts, ts);
-    let step_flops = (2 * ts * ts * ts) as u64;
-    let tile_bytes = (ts * ts * std::mem::size_of::<f64>()) as u64;
+    let mut c = C::Mat::zeros(ts, ts);
+    let step_pairs = ts * ts * ts;
     for k in 0..q {
         b_cur = comm.trace_step(k, ts, ts, || {
             // Broadcast A[i][(i+k) mod q] along row i.
@@ -48,20 +66,23 @@ pub fn fox(
             let mut a_bc = if j == root {
                 a.clone()
             } else {
-                Matrix::zeros(ts, ts)
+                C::Mat::zeros(ts, ts)
             };
-            crate::summa::bcast_matrix(&row_comm, BcastAlgorithm::Binomial, root, &mut a_bc);
+            crate::summa::bcast_matrix(&row_comm, bcast, root, &mut a_bc);
 
-            comm.time_compute_flops(step_flops, || gemm(kernel, &a_bc, &b_cur, &mut c));
+            comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
+                C::Mat::gemm(kernel, &a_bc, &b_cur, &mut c)
+            });
 
             // Roll B up by one (skip on a 1-wide column).
             if q > 1 {
-                comm.send_sized(up, TAG_ROLL_B, b_cur, tile_bytes);
-                comm.recv_sized::<Matrix>(down, TAG_ROLL_B, tile_bytes)
+                comm.send_mat(up, TAG_ROLL_B, b_cur);
+                comm.recv_mat(down, TAG_ROLL_B, ts, ts)
             } else {
                 b_cur
             }
         });
+        comm.maybe_step_sync();
     }
     c
 }

@@ -8,6 +8,15 @@
 
 use hsumma_matrix::GridShape;
 
+/// Encodes up to three 20-bit coordinates into one `split` color — the
+/// shared color scheme of every hierarchical communicator construction in
+/// this crate (HSUMMA's four communicators, LU's and the rectangular
+/// forms' group splits).
+pub(crate) fn color3(a: usize, b: usize, c: usize) -> u64 {
+    debug_assert!(a < (1 << 20) && b < (1 << 20) && c < (1 << 20));
+    ((a as u64) << 40) | ((b as u64) << 20) | c as u64
+}
+
 /// A two-level hierarchical view of an `s × t` processor grid as an
 /// `I × J` grid of groups, each an `s/I × t/J` inner grid.
 ///

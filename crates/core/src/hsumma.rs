@@ -15,10 +15,11 @@
 //! (verified by tests), so HSUMMA can never lose to it — the paper's
 //! "worst case" claim.
 
-use crate::grid::HierGrid;
+use crate::comm::{Communicator, MatLike};
+use crate::grid::{color3, HierGrid};
 use crate::summa::{bcast_matrix, check_tiles};
-use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
-use hsumma_runtime::{BcastAlgorithm, Comm};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_runtime::BcastAlgorithm;
 
 /// Parameters of an HSUMMA run.
 #[derive(Clone, Copy, Debug)]
@@ -52,12 +53,6 @@ impl HsummaConfig {
     }
 }
 
-/// Encodes up to three 20-bit coordinates into one split color.
-fn color3(a: usize, b: usize, c: usize) -> u64 {
-    debug_assert!(a < (1 << 20) && b < (1 << 20) && c < (1 << 20));
-    ((a as u64) << 40) | ((b as u64) << 20) | c as u64
-}
-
 /// Runs HSUMMA on the calling rank. SPMD over `comm`; operands are
 /// block-checkerboard distributed over `grid` exactly as in [`crate::summa::summa`]
 /// (HSUMMA "does not change the distribution of the matrices", §VI).
@@ -67,14 +62,14 @@ fn color3(a: usize, b: usize, c: usize) -> u64 {
 /// Panics on inconsistent configuration: `groups` must divide `grid`,
 /// `inner_block` must divide `outer_block`, and `outer_block` must divide
 /// both local tile extents (so outer panels never straddle a tile).
-pub fn hsumma(
-    comm: &Comm,
+pub fn hsumma<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &HsummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let hg = HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -94,17 +89,17 @@ pub fn hsumma(
     let row = comm.split(color3(x, y, i), j as i64); //       P(x,y)(i,·)
     let col = comm.split(color3(x, y, j), i as i64); //       P(x,y)(·,j)
 
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
     // All four panel buffers are allocated once and refilled in place each
     // step: outer-panel holders copy from their tile, inner-broadcast
     // non-roots have theirs overwritten by the broadcast.
-    let mut outer_a = Matrix::zeros(th, bb);
-    let mut outer_b = Matrix::zeros(bb, tw);
-    let mut a_in = Matrix::zeros(th, bs);
-    let mut b_in = Matrix::zeros(bs, tw);
+    let mut outer_a = C::Mat::zeros(th, bb);
+    let mut outer_b = C::Mat::zeros(bb, tw);
+    let mut a_in = C::Mat::zeros(th, bs);
+    let mut b_in = C::Mat::zeros(bs, tw);
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
-    let inner_flops = 2 * th * tw * bs;
+    let inner_pairs = th * tw * bs;
     for kg in 0..outer_steps {
         comm.trace_step(kg, bb, bs, || {
             // ---- inter-group broadcast of A's outer panel ----------------
@@ -141,9 +136,10 @@ pub fn hsumma(
                 }
                 bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
 
-                comm.time_compute_flops(inner_flops as u64, || {
-                    gemm(cfg.kernel, &a_in, &b_in, &mut c)
+                comm.compute(inner_pairs as f64, 2 * inner_pairs as u64, || {
+                    C::Mat::gemm(cfg.kernel, &a_in, &b_in, &mut c)
                 });
+                comm.maybe_step_sync();
             }
         });
     }

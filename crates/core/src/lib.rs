@@ -18,16 +18,17 @@
 //! * [`multilevel`] — ≥ 2 hierarchy levels (the paper's future work);
 //! * [`overlap`] — one-step-lookahead SUMMA hiding panel transfers
 //!   behind the local multiply (§VI's overlap remark);
-//! * [`twodotfive`] — the 2.5D algorithm of §I, executable, for the
+//! * [`mod@twodotfive`] — the 2.5D algorithm of §I, executable, for the
 //!   memory-vs-communication trade-off comparison;
 //! * [`lu`] — distributed block LU with optional hierarchical panel
-//!   broadcasts, and [`tsqr`] — communication-avoiding tall-skinny QR
+//!   broadcasts, and [`mod@tsqr`] — communication-avoiding tall-skinny QR
 //!   (the §VI plan to carry the approach to LU/QR);
 //! * [`rect`] — the general `(M, L, N)` rectangular forms of Algorithm 1;
 //! * [`testutil`] — scatter/run/gather drivers shared by tests, examples
 //!   and benchmarks.
 
 pub mod cannon;
+pub mod comm;
 pub mod cyclic;
 pub mod fox;
 pub mod grid;
@@ -44,11 +45,13 @@ pub mod tuning;
 pub mod twodotfive;
 
 pub use cannon::cannon;
+pub use comm::{Communicator, MatLike, PhantomMat};
 pub use cyclic::summa_cyclic;
 pub use fox::fox;
 pub use grid::HierGrid;
 pub use hsumma::{hsumma, HsummaConfig};
 pub use lu::{block_lu, LuConfig};
+pub use multilevel::hier_bcast;
 pub use overlap::{hsumma_overlap, summa_overlap};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};
 pub use simdrive::{sim_hsumma, sim_summa};

@@ -19,14 +19,20 @@
 //! Pivoting is omitted (see `hsumma_matrix::factor`): it would add a
 //! column-reduction orthogonal to the communication structure under
 //! study. Use diagonally dominant inputs.
+//!
+//! [`block_lu`] is generic over the [`Communicator`] substrate;
+//! [`sim_block_lu`] runs the *same* function over simulated clocks with
+//! phantom payloads (local kernels charged analytically: `bs³/3` pairs
+//! for the diagonal factor, `m·bs²/2` per triangular solve, `r·c·bs` per
+//! trailing update).
 
+use crate::comm::{Communicator, MatLike, PhantomMat};
 use crate::grid::HierGrid;
 use crate::summa::bcast_matrix;
-use hsumma_matrix::factor::{lu_nopiv_inplace, trsm_left_lower_unit, trsm_right_upper};
-use hsumma_matrix::{gemm_scaled, GemmKernel, GridShape, Matrix};
-use hsumma_netsim::model::ELEM_BYTES;
-use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
-use hsumma_runtime::{BcastAlgorithm, Comm};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_netsim::spmd::SimWorld;
+use hsumma_netsim::{Hockney, Platform, SimBcast, SimNet, SimReport};
+use hsumma_runtime::BcastAlgorithm;
 
 /// Parameters of a distributed LU run.
 #[derive(Clone, Copy, Debug)]
@@ -73,12 +79,18 @@ fn below_rows(gi: usize, ri: usize, ro: usize, bs: usize, th: usize) -> (usize, 
 ///
 /// # Panics
 /// Panics on inconsistent configuration or a zero pivot (unpivoted LU).
-pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConfig) -> Matrix {
+pub fn block_lu<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    a: &C::Mat,
+    cfg: &LuConfig,
+) -> C::Mat {
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    assert_eq!(a.shape(), (th, tw), "tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (th, tw), "tile has wrong shape");
     let bs = cfg.block;
     assert!(
         bs > 0 && th % bs == 0 && tw % bs == 0,
@@ -94,7 +106,7 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
         let hg = HierGrid::new(grid, groups);
         let (x, y) = hg.group_of(gi, gj);
         let (i, j) = hg.inner_of(gi, gj);
-        let c3 = |a: usize, b: usize, c: usize| ((a as u64) << 40) | ((b as u64) << 20) | c as u64;
+        let c3 = crate::grid::color3;
         let group_row = comm.split(c3(x, i, j), y as i64);
         let group_col = comm.split(c3(y, i, j), x as i64);
         let inner_row = comm.split(c3(x, y, i), j as i64);
@@ -104,7 +116,7 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
 
     // Two-phase (or flat) broadcast of an L-panel slab along this grid
     // row from grid column `cj`.
-    let bcast_l = |panel: &mut Matrix, cj: usize| match &hier {
+    let bcast_l = |panel: &mut C::Mat, cj: usize| match &hier {
         None => bcast_matrix(&row_comm, cfg.bcast, cj, panel),
         Some((hg, group_row, _, inner_row, _)) => {
             let inner = hg.inner();
@@ -116,7 +128,7 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
             bcast_matrix(inner_row, cfg.bcast, jk, panel);
         }
     };
-    let bcast_u = |panel: &mut Matrix, ri: usize| match &hier {
+    let bcast_u = |panel: &mut C::Mat, ri: usize| match &hier {
         None => bcast_matrix(&col_comm, cfg.bcast, ri, panel),
         Some((hg, _, group_col, _, inner_col)) => {
             let inner = hg.inner();
@@ -138,11 +150,11 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
             // --- 1. diagonal factor + broadcast ------------------------------
             let mut diag = if gi == ri && gj == cj {
                 let mut d = t.block(ro, co, bs, bs);
-                lu_nopiv_inplace(&mut d);
+                comm.compute((bs * bs * bs) as f64 / 3.0, 0, || d.lu_nopiv_inplace());
                 t.set_block(ro, co, &d);
                 d
             } else {
-                Matrix::zeros(bs, bs)
+                C::Mat::zeros(bs, bs)
             };
             // Down the pivot column (for the L slabs' trsm)...
             if gj == cj {
@@ -157,13 +169,17 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
             let (rlo, rcount) = below_rows(gi, ri, ro, bs, th);
             if gj == cj && rcount > 0 {
                 let mut slab = t.block(rlo, co, rcount, bs);
-                comm.time_compute(|| trsm_right_upper(&diag, &mut slab));
+                comm.compute((rcount * bs * bs) as f64 / 2.0, 0, || {
+                    C::Mat::trsm_right_upper(&diag, &mut slab)
+                });
                 t.set_block(rlo, co, &slab);
             }
             let (clo, ccount) = below_rows(gj, cj, co, bs, tw);
             if gi == ri && ccount > 0 {
                 let mut slab = t.block(ro, clo, bs, ccount);
-                comm.time_compute(|| trsm_left_lower_unit(&diag, &mut slab));
+                comm.compute((ccount * bs * bs) as f64 / 2.0, 0, || {
+                    C::Mat::trsm_left_lower_unit(&diag, &mut slab)
+                });
                 t.set_block(ro, clo, &slab);
             }
 
@@ -172,10 +188,10 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
                 if gj == cj {
                     t.block(rlo, co, rcount, bs)
                 } else {
-                    Matrix::zeros(rcount, bs)
+                    C::Mat::zeros(rcount, bs)
                 }
             } else {
-                Matrix::zeros(0, bs)
+                C::Mat::zeros(0, bs)
             };
             if rcount > 0 {
                 bcast_l(&mut l_panel, cj);
@@ -184,10 +200,10 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
                 if gi == ri {
                     t.block(ro, clo, bs, ccount)
                 } else {
-                    Matrix::zeros(bs, ccount)
+                    C::Mat::zeros(bs, ccount)
                 }
             } else {
-                Matrix::zeros(bs, 0)
+                C::Mat::zeros(bs, 0)
             };
             if ccount > 0 {
                 bcast_u(&mut u_panel, ri);
@@ -196,20 +212,21 @@ pub fn block_lu(comm: &Comm, grid: GridShape, n: usize, a: &Matrix, cfg: &LuConf
             // --- 4. trailing update --------------------------------------------
             if rcount > 0 && ccount > 0 {
                 let mut trailing = t.block(rlo, clo, rcount, ccount);
-                let flops = (2 * rcount * ccount * bs) as u64;
-                comm.time_compute_flops(flops, || {
-                    gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing)
+                let pairs = rcount * ccount * bs;
+                comm.compute(pairs as f64, 2 * pairs as u64, || {
+                    C::Mat::gemm_scaled(cfg.kernel, -1.0, &l_panel, &u_panel, &mut trailing)
                 });
                 t.set_block(rlo, clo, &trailing);
             }
         });
+        comm.maybe_step_sync();
     }
     t
 }
 
 /// Timing replay of the block-LU communication schedule (flat or
-/// hierarchical panel broadcasts) on the simulator.
-#[allow(clippy::needless_range_loop)] // grid coordinates double as rank indices
+/// hierarchical panel broadcasts) on the simulator: [`block_lu`] itself,
+/// run over phantom payloads.
 pub fn sim_block_lu(
     platform: &Platform,
     grid: GridShape,
@@ -234,7 +251,7 @@ pub fn sim_block_lu(
 
 /// Like [`sim_block_lu`], on a caller-provided network (so a tracer can
 /// be attached beforehand). `gamma` is seconds per multiply-add pair.
-#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 pub fn sim_block_lu_on(
     net: &mut SimNet,
     gamma: f64,
@@ -246,104 +263,19 @@ pub fn sim_block_lu_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    assert!(
-        bs > 0 && th % bs == 0 && tw % bs == 0,
-        "block must divide tile extents"
-    );
-    let hg = groups.map(|g| HierGrid::new(grid, g));
-    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
-        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
-        .collect();
-    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
-        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
-        .collect();
-
-    // Hierarchical broadcast of one panel slab along a grid row/column.
-    let hier_row = |net: &mut SimNet, hg: &HierGrid, gi: usize, cj: usize, bytes: u64| {
-        let inner = hg.inner();
-        let (yk, jk) = (cj / inner.cols, cj % inner.cols);
-        let (x, i) = (gi / inner.rows, gi % inner.rows);
-        bcast.run(net, &hg.group_row_ranks(x, i, jk), yk, bytes);
-        for y in 0..hg.groups().cols {
-            bcast.run(net, &hg.inner_row_ranks(x, y, i), jk, bytes);
-        }
+    let cfg = LuConfig {
+        block: bs,
+        bcast,
+        groups,
+        ..Default::default()
     };
-    let hier_col = |net: &mut SimNet, hg: &HierGrid, gj: usize, ri: usize, bytes: u64| {
-        let inner = hg.inner();
-        let (xk, ik) = (ri / inner.rows, ri % inner.rows);
-        let (y, j) = (gj / inner.cols, gj % inner.cols);
-        bcast.run(net, &hg.group_col_ranks(y, ik, j), xk, bytes);
-        for x in 0..hg.groups().rows {
-            bcast.run(net, &hg.inner_col_ranks(x, y, j), ik, bytes);
-        }
-    };
-
-    // γ per pair; trsm on an m×bs slab costs ~m·bs²/2 pairs, the diag
-    // factor ~bs³/3.
-    for k in 0..n / bs {
-        let starts: Vec<f64> = (0..grid.size()).map(|r| net.now(r)).collect();
-        let (ri, ro) = (k * bs / th, k * bs % th);
-        let (cj, co) = (k * bs / tw, k * bs % tw);
-        let diag_bytes = (bs * bs) as u64 * ELEM_BYTES;
-
-        net.compute(grid.rank(ri, cj), gamma * (bs * bs * bs) as f64 / 3.0);
-        bcast.run(net, &col_ranks[cj], ri, diag_bytes);
-        bcast.run(net, &row_ranks[ri], cj, diag_bytes);
-
-        // Panel solves + broadcasts.
-        for gi in 0..grid.rows {
-            let (_, rcount) = below_rows(gi, ri, ro, bs, th);
-            if rcount == 0 {
-                continue;
-            }
-            net.compute(grid.rank(gi, cj), gamma * (rcount * bs * bs) as f64 / 2.0);
-            let bytes = (rcount * bs) as u64 * ELEM_BYTES;
-            match &hg {
-                None => {
-                    bcast.run(net, &row_ranks[gi], cj, bytes);
-                }
-                Some(hg) => hier_row(net, hg, gi, cj, bytes),
-            }
-        }
-        for gj in 0..grid.cols {
-            let (_, ccount) = below_rows(gj, cj, co, bs, tw);
-            if ccount == 0 {
-                continue;
-            }
-            net.compute(grid.rank(ri, gj), gamma * (ccount * bs * bs) as f64 / 2.0);
-            let bytes = (bs * ccount) as u64 * ELEM_BYTES;
-            match &hg {
-                None => {
-                    bcast.run(net, &col_ranks[gj], ri, bytes);
-                }
-                Some(hg) => hier_col(net, hg, gj, ri, bytes),
-            }
-        }
-
-        // Trailing updates.
-        for gi in 0..grid.rows {
-            let (_, rcount) = below_rows(gi, ri, ro, bs, th);
-            for gj in 0..grid.cols {
-                let (_, ccount) = below_rows(gj, cj, co, bs, tw);
-                if rcount > 0 && ccount > 0 {
-                    net.compute_flops(
-                        grid.rank(gi, gj),
-                        gamma * (rcount * ccount * bs) as f64,
-                        (2 * rcount * ccount * bs) as u64,
-                    );
-                }
-            }
-        }
-        for (r, t0) in starts.iter().enumerate() {
-            net.record_step(r, k, bs, bs, *t0, net.now(r));
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
+    let owned = std::mem::replace(net, SimNet::new(1, Hockney::new(0.0, 0.0)));
+    let (done, _) = SimWorld::run(owned, gamma, step_sync, move |comm| {
+        let tile = PhantomMat { rows: th, cols: tw };
+        block_lu(comm, grid, n, &tile, &cfg)
+    });
+    *net = done;
     net.report()
 }
 
@@ -351,7 +283,7 @@ pub fn sim_block_lu_on(
 mod tests {
     use super::*;
     use hsumma_matrix::factor::{seeded_diag_dominant, unpack_lower_unit, unpack_upper};
-    use hsumma_matrix::{gemm, BlockDist};
+    use hsumma_matrix::{gemm, BlockDist, Matrix};
     use hsumma_runtime::Runtime;
 
     /// Scatter → distributed LU → gather → reconstruct L·U and compare.

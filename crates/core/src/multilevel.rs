@@ -9,57 +9,66 @@
 //! row/column panel broadcast is replaced by an `L`-level *hierarchical
 //! broadcast*: broadcast among the leaders of the top-level subgroups,
 //! then recurse inside each subgroup. [`hier_bcast`] implements that
-//! schedule on the simulator, and [`sim_summa_hier`] runs the resulting
-//! multi-level algorithm. Two levels reproduce `sim_hsumma` exactly
-//! (verified by tests), so this is a strict generalization.
+//! schedule generically over any [`Communicator`] — real ranks moving
+//! real panels or simulated clocks moving phantom ones — and
+//! [`sim_summa_hier`] runs the resulting multi-level algorithm on the
+//! simulator. Two levels reproduce `sim_hsumma` exactly (verified by
+//! tests), so this is a strict generalization.
 
+use crate::comm::{Communicator, PhantomMat};
 use hsumma_matrix::GridShape;
-use hsumma_netsim::model::ELEM_BYTES;
+use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
+use hsumma_runtime::BcastAlgorithm;
 
-/// Hierarchically broadcasts `bytes` from `group[root]`: `levels[0]`
-/// subgroups at the top, recursing with `levels[1..]`. The product of
-/// `levels` must equal `group.len()`; a single level is a plain `algo`
-/// broadcast.
+/// Hierarchically broadcasts `mat` from rank `root` of `comm`:
+/// `levels[0]` subgroups at the top, recursing with `levels[1..]`. The
+/// product of `levels` must equal the communicator size; a single level
+/// is a plain `algo` broadcast.
+///
+/// Collective: every rank of `comm` must call this with the same `root`
+/// and `levels` (the subgroup splits are themselves collective).
 ///
 /// # Panics
-/// Panics if `levels` is empty or its product differs from the group size.
-pub fn hier_bcast(
-    net: &mut SimNet,
-    algo: SimBcast,
-    group: &[usize],
+/// Panics if `levels` is empty or its product differs from the
+/// communicator size.
+pub fn hier_bcast<C: Communicator>(
+    comm: &C,
+    algo: BcastAlgorithm,
     root: usize,
-    bytes: u64,
+    mat: &mut C::Mat,
     levels: &[usize],
 ) {
     assert!(!levels.is_empty(), "need at least one level");
     assert_eq!(
         levels.iter().product::<usize>(),
-        group.len(),
+        comm.size(),
         "levels {levels:?} must multiply to the group size {}",
-        group.len()
+        comm.size()
     );
     if levels.len() == 1 {
-        algo.run(net, group, root, bytes);
+        comm.bcast_mat(algo, root, mat);
         return;
     }
     let top = levels[0];
-    let sub = group.len() / top;
+    let sub = comm.size() / top;
     // The leaders sit at the root's offset within each subgroup, so the
     // original root is itself a leader.
     let offset = root % sub;
-    let leaders: Vec<usize> = (0..top).map(|s| group[s * sub + offset]).collect();
-    algo.run(net, &leaders, root / sub, bytes);
-    for s in 0..top {
-        hier_bcast(
-            net,
-            algo,
-            &group[s * sub..(s + 1) * sub],
-            offset,
-            bytes,
-            &levels[1..],
-        );
+    let me = comm.rank();
+    let is_leader = me % sub == offset;
+    // Collective split: leaders share color 0 (ordered by subgroup index),
+    // everyone else lands in a singleton group.
+    let leader_comm = if is_leader {
+        comm.split(0, (me / sub) as i64)
+    } else {
+        comm.split(1 + me as u64, 0)
+    };
+    if is_leader {
+        leader_comm.bcast_mat(algo, root / sub, mat);
     }
+    let sub_comm = comm.split((me / sub) as u64, (me % sub) as i64);
+    hier_bcast(&sub_comm, algo, offset, mat, &levels[1..]);
 }
 
 /// SUMMA on a square grid where every panel broadcast is an `levels`-level
@@ -105,33 +114,28 @@ pub fn sim_summa_hier_with(
         "block must divide tile extents"
     );
 
-    let mut net = SimNet::new(grid.size(), platform.net);
-    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
-        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
-        .collect();
-    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
-        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
-        .collect();
-
-    let a_bytes = (th * b) as u64 * ELEM_BYTES;
-    let b_bytes = (b * tw) as u64 * ELEM_BYTES;
-    let pairs = (th * tw * b) as u64;
-    for k in 0..n / b {
-        let owner_col = k * b / tw;
-        for ranks in &row_ranks {
-            hier_bcast(&mut net, algo, ranks, owner_col, a_bytes, levels);
-        }
-        let owner_row = k * b / th;
-        for ranks in &col_ranks {
-            hier_bcast(&mut net, algo, ranks, owner_row, b_bytes, levels);
-        }
-        for r in 0..net.size() {
-            net.compute(r, platform.gamma * pairs as f64);
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
+    let levels: Vec<usize> = levels.to_vec();
+    let (net, _) = SimWorld::run(
+        SimNet::new(grid.size(), platform.net),
+        platform.gamma,
+        step_sync,
+        move |comm| {
+            let (gi, gj) = grid.coords(comm.rank());
+            let row_comm = comm.split(gi as u64, gj as i64);
+            let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+            let pairs = th * tw * b;
+            let mut a_panel = PhantomMat { rows: th, cols: b };
+            let mut b_panel = PhantomMat { rows: b, cols: tw };
+            for k in 0..n / b {
+                let owner_col = k * b / tw;
+                hier_bcast(&row_comm, algo, owner_col, &mut a_panel, &levels);
+                let owner_row = k * b / th;
+                hier_bcast(&col_comm, algo, owner_row, &mut b_panel, &levels);
+                comm.compute(pairs as f64, 2 * pairs as u64);
+                comm.maybe_step_sync();
+            }
+        },
+    );
     net.report()
 }
 
@@ -142,6 +146,21 @@ mod tests {
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    /// Runs a bare hierarchical broadcast of `elems` f64s over `p`
+    /// simulated ranks and returns the network for inspection.
+    fn run_hier_bcast(p: usize, root: usize, elems: usize, levels: &[usize]) -> SimNet {
+        let plat = Platform::grid5000();
+        let levels: Vec<usize> = levels.to_vec();
+        let (net, _) = SimWorld::run(SimNet::new(p, plat.net), plat.gamma, false, move |comm| {
+            let mut m = PhantomMat {
+                rows: 1,
+                cols: elems,
+            };
+            hier_bcast(comm, SimBcast::Binomial, root, &mut m, &levels);
+        });
+        net
     }
 
     #[test]
@@ -183,10 +202,8 @@ mod tests {
     fn hier_bcast_preserves_total_bytes_per_receiver() {
         // Every rank receives the payload exactly once per tree level it
         // participates in; total bytes = (group−1) · payload for trees.
-        let plat = Platform::grid5000();
-        let mut net = SimNet::new(8, plat.net);
-        let group: Vec<usize> = (0..8).collect();
-        hier_bcast(&mut net, SimBcast::Binomial, &group, 0, 1000, &[2, 2, 2]);
+        // 125 f64 elements = 1000 bytes on the wire.
+        let net = run_hier_bcast(8, 0, 125, &[2, 2, 2]);
         assert_eq!(net.report().bytes, 7 * 1000);
     }
 
@@ -210,12 +227,9 @@ mod tests {
 
     #[test]
     fn root_offset_respected_in_hierarchy() {
-        // Root at index 5 of an 8-rank group, 2 levels: leader set must
+        // Root at rank 5 of an 8-rank world, 2 levels: leader set must
         // include the root, and all ranks must advance past zero.
-        let plat = Platform::grid5000();
-        let mut net = SimNet::new(8, plat.net);
-        let group: Vec<usize> = (0..8).collect();
-        hier_bcast(&mut net, SimBcast::Binomial, &group, 5, 64, &[2, 4]);
+        let net = run_hier_bcast(8, 5, 8, &[2, 4]);
         for r in 0..8 {
             if r != 5 {
                 assert!(net.now(r) > 0.0, "rank {r} never received");
@@ -226,9 +240,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "must multiply to the group size")]
     fn mismatched_levels_rejected() {
-        let plat = Platform::grid5000();
-        let mut net = SimNet::new(8, plat.net);
-        let group: Vec<usize> = (0..8).collect();
-        hier_bcast(&mut net, SimBcast::Binomial, &group, 0, 64, &[3, 2]);
+        run_hier_bcast(8, 0, 8, &[3, 2]);
     }
 }

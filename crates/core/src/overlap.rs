@@ -16,11 +16,10 @@
 //! execution semantics; `sim_overlap_benefit` quantifies the gap
 //! against blocking-collective SUMMA.
 
+use crate::comm::{Communicator, MatLike};
 use crate::summa::check_tiles;
-use hsumma_matrix::{gemm, GridShape, Matrix};
+use hsumma_matrix::GridShape;
 use hsumma_netsim::{Platform, SimBcast};
-use hsumma_runtime::Comm;
-use std::sync::Arc;
 
 pub use crate::summa::SummaConfig;
 
@@ -28,16 +27,20 @@ pub use crate::summa::SummaConfig;
 /// distribution, operands and result as [`crate::summa::summa`]; the
 /// `cfg.bcast` field is ignored (the push schedule replaces it).
 ///
+/// Generic over the [`Communicator`] substrate: pushed panels travel as
+/// shared handles (an `Arc` refcount bump per destination on the real
+/// runtime, a byte charge on the simulator).
+///
 /// # Panics
 /// Panics on the same inconsistencies as `summa`.
-pub fn summa_overlap(
-    comm: &Comm,
+pub fn summa_overlap<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &SummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -52,39 +55,34 @@ pub fn summa_overlap(
     let owner_row = |k: usize| k * bs / th;
 
     // Pushes step k's panels to all peers; owners only. The panel is
-    // materialized once and shared — each destination gets an `Arc`
-    // refcount bump, not its own deep copy.
-    let panel_bytes = (th * bs * std::mem::size_of::<f64>()) as u64;
+    // materialized once and shared — each destination gets a shared
+    // handle, not its own deep copy.
     let push = |k: usize| {
         if gj == owner_col(k) {
-            let panel = Arc::new(a.block(0, k * bs % tw, th, bs));
+            let panel = C::share(a.block(0, k * bs % tw, th, bs));
             for dst in 0..row_comm.size() {
                 if dst != row_comm.rank() {
-                    row_comm.send_sized(dst, 2 * k as u64, Arc::clone(&panel), panel_bytes);
+                    row_comm.send_shared(dst, 2 * k as u64, &panel);
                 }
             }
         }
         if gi == owner_row(k) {
-            let panel = Arc::new(b.block(k * bs % th, 0, bs, tw));
+            let panel = C::share(b.block(k * bs % th, 0, bs, tw));
             for dst in 0..col_comm.size() {
                 if dst != col_comm.rank() {
-                    col_comm.send_sized(
-                        dst,
-                        2 * k as u64 + 1,
-                        Arc::clone(&panel),
-                        (bs * tw * std::mem::size_of::<f64>()) as u64,
-                    );
+                    col_comm.send_shared(dst, 2 * k as u64 + 1, &panel);
                 }
             }
         }
     };
 
     let steps = n / bs;
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
     // Owners refill this scratch in place each step instead of allocating
     // a fresh panel; non-owners borrow the received shared panel.
-    let mut a_scratch = Matrix::zeros(th, bs);
-    let mut b_scratch = Matrix::zeros(bs, tw);
+    let mut a_scratch = C::Mat::zeros(th, bs);
+    let mut b_scratch = C::Mat::zeros(bs, tw);
+    let step_pairs = th * tw * bs;
     if steps > 0 {
         push(0);
     }
@@ -93,28 +91,24 @@ pub fn summa_overlap(
         if k + 1 < steps {
             push(k + 1);
         }
-        let a_recv: Arc<Matrix>;
-        let a_panel: &Matrix = if gj == owner_col(k) {
+        let a_recv: C::Shared;
+        let a_panel: &C::Mat = if gj == owner_col(k) {
             a.block_into(0, k * bs % tw, &mut a_scratch);
             &a_scratch
         } else {
-            a_recv = row_comm.recv_sized::<Arc<Matrix>>(owner_col(k), 2 * k as u64, panel_bytes);
-            a_recv.as_ref()
+            a_recv = row_comm.recv_shared(owner_col(k), 2 * k as u64, th, bs);
+            C::shared_ref(&a_recv)
         };
-        let b_recv: Arc<Matrix>;
-        let b_panel: &Matrix = if gi == owner_row(k) {
+        let b_recv: C::Shared;
+        let b_panel: &C::Mat = if gi == owner_row(k) {
             b.block_into(k * bs % th, 0, &mut b_scratch);
             &b_scratch
         } else {
-            b_recv = col_comm.recv_sized::<Arc<Matrix>>(
-                owner_row(k),
-                2 * k as u64 + 1,
-                (bs * tw * std::mem::size_of::<f64>()) as u64,
-            );
-            b_recv.as_ref()
+            b_recv = col_comm.recv_shared(owner_row(k), 2 * k as u64 + 1, bs, tw);
+            C::shared_ref(&b_recv)
         };
-        comm.time_compute_flops((2 * th * tw * bs) as u64, || {
-            gemm(cfg.kernel, a_panel, b_panel, &mut c)
+        comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
+            C::Mat::gemm(cfg.kernel, a_panel, b_panel, &mut c)
         });
     }
     c
@@ -132,14 +126,14 @@ pub fn summa_overlap(
 ///
 /// # Panics
 /// Panics on the same configuration inconsistencies as `hsumma`.
-pub fn hsumma_overlap(
-    comm: &Comm,
+pub fn hsumma_overlap<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &crate::hsumma::HsummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let hg = crate::grid::HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -152,7 +146,7 @@ pub fn hsumma_overlap(
     let (gi, gj) = grid.coords(comm.rank());
     let (x, y) = hg.group_of(gi, gj);
     let (i, j) = hg.inner_of(gi, gj);
-    let color3 = |a: usize, b: usize, c: usize| ((a as u64) << 40) | ((b as u64) << 20) | c as u64;
+    let color3 = crate::grid::color3;
     let group_row = comm.split(color3(x, i, j), y as i64);
     let group_col = comm.split(color3(y, i, j), x as i64);
     let row = comm.split(color3(x, y, i), j as i64);
@@ -170,37 +164,36 @@ pub fn hsumma_overlap(
     };
 
     // Prefetch push of outer step kg across groups (owners only). One
-    // materialized panel per push, `Arc`-shared across destinations.
-    let outer_a_bytes = (th * bb * std::mem::size_of::<f64>()) as u64;
-    let outer_b_bytes = (bb * tw * std::mem::size_of::<f64>()) as u64;
+    // materialized panel per push, shared across destinations.
     let push_outer = |kg: usize| {
         let (gcol, _, jk) = a_owner(kg);
         if gj == gcol && j == jk {
-            let panel = Arc::new(a.block(0, kg * bb % tw, th, bb));
+            let panel = C::share(a.block(0, kg * bb % tw, th, bb));
             for dst in 0..group_row.size() {
                 if dst != group_row.rank() {
-                    group_row.send_sized(dst, 2 * kg as u64, Arc::clone(&panel), outer_a_bytes);
+                    group_row.send_shared(dst, 2 * kg as u64, &panel);
                 }
             }
         }
         let (grow, _, ik) = b_owner(kg);
         if gi == grow && i == ik {
-            let panel = Arc::new(b.block(kg * bb % th, 0, bb, tw));
+            let panel = C::share(b.block(kg * bb % th, 0, bb, tw));
             for dst in 0..group_col.size() {
                 if dst != group_col.rank() {
-                    group_col.send_sized(dst, 2 * kg as u64 + 1, Arc::clone(&panel), outer_b_bytes);
+                    group_col.send_shared(dst, 2 * kg as u64 + 1, &panel);
                 }
             }
         }
     };
 
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
     // Reusable scratch: outer panels for ranks that own them locally,
     // inner panels for every holder of an outer panel.
-    let mut outer_a_scratch = Matrix::zeros(th, bb);
-    let mut outer_b_scratch = Matrix::zeros(bb, tw);
-    let mut a_in_scratch = Matrix::zeros(th, bs);
-    let mut b_in_scratch = Matrix::zeros(bs, tw);
+    let mut outer_a_scratch = C::Mat::zeros(th, bb);
+    let mut outer_b_scratch = C::Mat::zeros(bb, tw);
+    let mut a_in_scratch = C::Mat::zeros(th, bs);
+    let mut b_in_scratch = C::Mat::zeros(bs, tw);
+    let inner_pairs = th * tw * bs;
     if outer_steps > 0 {
         push_outer(0);
     }
@@ -211,29 +204,27 @@ pub fn hsumma_overlap(
 
         // Land the outer panels on the inner pivot row/column.
         let (gcol, yk, jk) = a_owner(kg);
-        let outer_a_recv: Arc<Matrix>;
-        let outer_a: Option<&Matrix> = if j == jk {
+        let outer_a_recv: C::Shared;
+        let outer_a: Option<&C::Mat> = if j == jk {
             Some(if gj == gcol {
                 a.block_into(0, kg * bb % tw, &mut outer_a_scratch);
                 &outer_a_scratch
             } else {
-                outer_a_recv =
-                    group_row.recv_sized::<Arc<Matrix>>(yk, 2 * kg as u64, outer_a_bytes);
-                outer_a_recv.as_ref()
+                outer_a_recv = group_row.recv_shared(yk, 2 * kg as u64, th, bb);
+                C::shared_ref(&outer_a_recv)
             })
         } else {
             None
         };
         let (grow, xk, ik) = b_owner(kg);
-        let outer_b_recv: Arc<Matrix>;
-        let outer_b: Option<&Matrix> = if i == ik {
+        let outer_b_recv: C::Shared;
+        let outer_b: Option<&C::Mat> = if i == ik {
             Some(if gi == grow {
                 b.block_into(kg * bb % th, 0, &mut outer_b_scratch);
                 &outer_b_scratch
             } else {
-                outer_b_recv =
-                    group_col.recv_sized::<Arc<Matrix>>(xk, 2 * kg as u64 + 1, outer_b_bytes);
-                outer_b_recv.as_ref()
+                outer_b_recv = group_col.recv_shared(xk, 2 * kg as u64 + 1, bb, tw);
+                C::shared_ref(&outer_b_recv)
             })
         } else {
             None
@@ -243,60 +234,51 @@ pub fn hsumma_overlap(
         let inner_tag = |ki: usize, is_b: bool| {
             (2 * (kg * inner_steps + ki) + usize::from(is_b)) as u64 + (1 << 32)
         };
-        let inner_a_bytes = (th * bs * std::mem::size_of::<f64>()) as u64;
-        let inner_b_bytes = (bs * tw * std::mem::size_of::<f64>()) as u64;
         if let Some(panel) = outer_a {
             for ki in 0..inner_steps {
-                let slice = Arc::new(panel.block(0, ki * bs, th, bs));
+                let slice = C::share(panel.block(0, ki * bs, th, bs));
                 for dst in 0..row.size() {
                     if dst != row.rank() {
-                        row.send_sized(
-                            dst,
-                            inner_tag(ki, false),
-                            Arc::clone(&slice),
-                            inner_a_bytes,
-                        );
+                        row.send_shared(dst, inner_tag(ki, false), &slice);
                     }
                 }
             }
         }
         if let Some(panel) = outer_b {
             for ki in 0..inner_steps {
-                let slice = Arc::new(panel.block(ki * bs, 0, bs, tw));
+                let slice = C::share(panel.block(ki * bs, 0, bs, tw));
                 for dst in 0..col.size() {
                     if dst != col.rank() {
-                        col.send_sized(dst, inner_tag(ki, true), Arc::clone(&slice), inner_b_bytes);
+                        col.send_shared(dst, inner_tag(ki, true), &slice);
                     }
                 }
             }
         }
         for ki in 0..inner_steps {
-            let a_in_recv: Arc<Matrix>;
-            let a_in: &Matrix = match outer_a {
+            let a_in_recv: C::Shared;
+            let a_in: &C::Mat = match outer_a {
                 Some(panel) => {
                     panel.block_into(0, ki * bs, &mut a_in_scratch);
                     &a_in_scratch
                 }
                 None => {
-                    a_in_recv =
-                        row.recv_sized::<Arc<Matrix>>(jk, inner_tag(ki, false), inner_a_bytes);
-                    a_in_recv.as_ref()
+                    a_in_recv = row.recv_shared(jk, inner_tag(ki, false), th, bs);
+                    C::shared_ref(&a_in_recv)
                 }
             };
-            let b_in_recv: Arc<Matrix>;
-            let b_in: &Matrix = match outer_b {
+            let b_in_recv: C::Shared;
+            let b_in: &C::Mat = match outer_b {
                 Some(panel) => {
                     panel.block_into(ki * bs, 0, &mut b_in_scratch);
                     &b_in_scratch
                 }
                 None => {
-                    b_in_recv =
-                        col.recv_sized::<Arc<Matrix>>(ik, inner_tag(ki, true), inner_b_bytes);
-                    b_in_recv.as_ref()
+                    b_in_recv = col.recv_shared(ik, inner_tag(ki, true), bs, tw);
+                    C::shared_ref(&b_in_recv)
                 }
             };
-            comm.time_compute_flops((2 * th * tw * bs) as u64, || {
-                gemm(cfg.kernel, a_in, b_in, &mut c)
+            comm.compute(inner_pairs as f64, 2 * inner_pairs as u64, || {
+                C::Mat::gemm(cfg.kernel, a_in, b_in, &mut c)
             });
         }
     }

@@ -3,15 +3,15 @@
 //! Algorithm 1 of the paper is stated for general `(M, L, N)` dimensions
 //! ("Data: (M,L,N): Matrix dimensions; A,B: two input sub-matrices of
 //! size (M/s × L/t, L/s × N/t)"); the square `n × n` entry points in
-//! [`crate::summa`]/[`crate::hsumma`] are the common case. This module
+//! [`crate::summa()`]/[`crate::hsumma()`] are the common case. This module
 //! provides the general forms — the pivot traversal runs along the
 //! shared `L` dimension, everything else is unchanged.
 
+use crate::comm::{Communicator, MatLike};
 use crate::grid::HierGrid;
 use crate::hsumma::HsummaConfig;
 use crate::summa::{bcast_matrix, SummaConfig};
-use hsumma_matrix::{gemm, GridShape, Matrix};
-use hsumma_runtime::Comm;
+use hsumma_matrix::GridShape;
 
 /// Global operand dimensions of `C(M×N) = A(M×L) · B(L×N)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,11 +33,11 @@ impl MatMulDims {
 
 /// Validates the rectangular distribution and returns the tile shapes
 /// `((m/s, l/t), (l/s, n/t))`.
-fn check_rect(
+fn check_rect<M: MatLike>(
     grid: GridShape,
     dims: MatMulDims,
-    a: &Matrix,
-    b: &Matrix,
+    a: &M,
+    b: &M,
     comm_size: usize,
 ) -> ((usize, usize), (usize, usize)) {
     assert_eq!(
@@ -52,8 +52,8 @@ fn check_rect(
     assert_eq!(n % grid.cols, 0, "N must be divisible by grid cols");
     let a_tile = (m / grid.rows, l / grid.cols);
     let b_tile = (l / grid.rows, n / grid.cols);
-    assert_eq!(a.shape(), a_tile, "A tile has wrong shape");
-    assert_eq!(b.shape(), b_tile, "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), a_tile, "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), b_tile, "B tile has wrong shape");
     (a_tile, b_tile)
 }
 
@@ -63,14 +63,14 @@ fn check_rect(
 /// # Panics
 /// Panics on inconsistent dimensions/tiles, or a block size that does
 /// not divide the local extents of the shared dimension.
-pub fn summa_rect(
-    comm: &Comm,
+pub fn summa_rect<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     dims: MatMulDims,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &SummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -81,13 +81,14 @@ pub fn summa_rect(
     let row_comm = comm.split(gi as u64, gj as i64);
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
 
-    let mut c = Matrix::zeros(ah, bw);
+    let mut c = C::Mat::zeros(ah, bw);
+    let step_pairs = ah * bw * bs;
     for k in 0..dims.l / bs {
         let owner_col = k * bs / aw;
         let mut a_panel = if gj == owner_col {
             a.block(0, k * bs % aw, ah, bs)
         } else {
-            Matrix::zeros(ah, bs)
+            C::Mat::zeros(ah, bs)
         };
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
 
@@ -95,11 +96,13 @@ pub fn summa_rect(
         let mut b_panel = if gi == owner_row {
             b.block(k * bs % bh, 0, bs, bw)
         } else {
-            Matrix::zeros(bs, bw)
+            C::Mat::zeros(bs, bw)
         };
         bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
-        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+        comm.compute(step_pairs as f64, 0, || {
+            C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
+        });
     }
     c
 }
@@ -109,14 +112,14 @@ pub fn summa_rect(
 /// # Panics
 /// As [`crate::hsumma::hsumma`], with the block constraints applying to
 /// the shared-dimension tile extents.
-pub fn hsumma_rect(
-    comm: &Comm,
+pub fn hsumma_rect<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     dims: MatMulDims,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &HsummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
     let hg = HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -129,13 +132,14 @@ pub fn hsumma_rect(
     let (gi, gj) = grid.coords(comm.rank());
     let (x, y) = hg.group_of(gi, gj);
     let (i, j) = hg.inner_of(gi, gj);
-    let c3 = |a: usize, b: usize, c: usize| ((a as u64) << 40) | ((b as u64) << 20) | c as u64;
+    let c3 = crate::grid::color3;
     let group_row = comm.split(c3(x, i, j), y as i64);
     let group_col = comm.split(c3(y, i, j), x as i64);
     let row = comm.split(c3(x, y, i), j as i64);
     let col = comm.split(c3(x, y, j), i as i64);
 
-    let mut c = Matrix::zeros(ah, bw);
+    let mut c = C::Mat::zeros(ah, bw);
+    let inner_pairs = ah * bw * bs;
     for kg in 0..dims.l / bb {
         let gcol = kg * bb / aw;
         let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
@@ -143,7 +147,7 @@ pub fn hsumma_rect(
             let mut panel = if gj == gcol {
                 a.block(0, kg * bb % aw, ah, bb)
             } else {
-                Matrix::zeros(ah, bb)
+                C::Mat::zeros(ah, bb)
             };
             bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut panel);
             panel
@@ -155,7 +159,7 @@ pub fn hsumma_rect(
             let mut panel = if gi == grow {
                 b.block(kg * bb % bh, 0, bb, bw)
             } else {
-                Matrix::zeros(bb, bw)
+                C::Mat::zeros(bb, bw)
             };
             bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut panel);
             panel
@@ -164,15 +168,17 @@ pub fn hsumma_rect(
         for ki in 0..bb / bs {
             let mut a_in = match &outer_a {
                 Some(panel) => panel.block(0, ki * bs, ah, bs),
-                None => Matrix::zeros(ah, bs),
+                None => C::Mat::zeros(ah, bs),
             };
             bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
             let mut b_in = match &outer_b {
                 Some(panel) => panel.block(ki * bs, 0, bs, bw),
-                None => Matrix::zeros(bs, bw),
+                None => C::Mat::zeros(bs, bw),
             };
             bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
-            comm.time_compute(|| gemm(cfg.kernel, &a_in, &b_in, &mut c));
+            comm.compute(inner_pairs as f64, 0, || {
+                C::Mat::gemm(cfg.kernel, &a_in, &b_in, &mut c)
+            });
         }
     }
     c
@@ -182,8 +188,8 @@ pub fn hsumma_rect(
 mod tests {
     use super::*;
     use crate::testutil::reference_product;
-    use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel};
-    use hsumma_runtime::Runtime;
+    use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, Matrix};
+    use hsumma_runtime::{Comm, Runtime};
     use proptest::prelude::*;
 
     /// Scatter rectangular operands, run `algo`, gather C, compare.

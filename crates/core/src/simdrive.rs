@@ -1,19 +1,44 @@
-//! Timing replay of the SUMMA/HSUMMA communication schedules on the
-//! discrete-event simulator.
+//! Timing replay of the communication schedules on the discrete-event
+//! simulator — thin wrappers over the *same* generic algorithms that run
+//! on the threaded runtime.
 //!
-//! The executable algorithms ([`mod@crate::summa`], [`mod@crate::hsumma`]) move
-//! real matrix data between threads; that caps experiments at laptop
-//! scale. Their communication schedules, however, are data-independent,
-//! so this module replays exactly the same schedules — message sizes,
-//! roots, communicator structure — on [`SimNet`] clocks with phantom
-//! payloads and analytic `γ·flops` compute charges. This is what runs at
-//! `p = 2048 … 16384` and regenerates the paper's BlueGene/P results
-//! (Figs. 8–9) and Grid5000 results (Figs. 5–7).
+//! The executable algorithms ([`mod@crate::summa`], [`mod@crate::hsumma`], …)
+//! are generic over [`crate::comm::Communicator`]. On the threaded
+//! substrate they move real matrix data between threads; that caps
+//! experiments at laptop scale. Run over [`hsumma_netsim::spmd::SimComm`]
+//! instead, the *identical* schedule code moves phantom payloads
+//! ([`PhantomMat`]: sizes only), charges `γ·pairs` analytically and
+//! advances per-rank virtual clocks. Each `sim_*` function here just
+//! instantiates the generic algorithm on that substrate. This is what
+//! runs at `p = 2048 … 16384` and regenerates the paper's BlueGene/P
+//! results (Figs. 8–9) and Grid5000 results (Figs. 5–7).
 
-use crate::grid::HierGrid;
-use hsumma_matrix::GridShape;
-use hsumma_netsim::model::ELEM_BYTES;
-use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
+use crate::cannon::cannon;
+use crate::comm::PhantomMat;
+use crate::fox::fox_with;
+use crate::hsumma::{hsumma, HsummaConfig};
+use crate::overlap::summa_overlap;
+use crate::summa::{summa, SummaConfig};
+use crate::twodotfive::{twodotfive, TwoDotFiveConfig};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_netsim::spmd::SimWorld;
+use hsumma_netsim::{Hockney, Platform, SimBcast, SimNet, SimReport};
+
+pub use crate::lu::sim_block_lu as sim_lu;
+pub use crate::lu::sim_block_lu_on as sim_lu_on;
+
+/// Takes ownership of the caller's network for the duration of an SPMD
+/// run (the `_on` entry points mutate a caller-provided [`SimNet`], e.g.
+/// one with a tracer or torus topology attached).
+fn run_on<F>(net: &mut SimNet, gamma: f64, step_sync: bool, f: F) -> SimReport
+where
+    F: Fn(&hsumma_netsim::spmd::SimComm) + Sync,
+{
+    let owned = std::mem::replace(net, SimNet::new(1, Hockney::new(0.0, 0.0)));
+    let (done, _) = SimWorld::run(owned, gamma, step_sync, f);
+    *net = done;
+    net.report()
+}
 
 /// Simulated SUMMA: `n × n` operands on `grid`, panel width `b`,
 /// broadcast algorithm `bcast`. Returns the aggregate timing report.
@@ -64,39 +89,15 @@ pub fn sim_summa_on(
         b > 0 && tw % b == 0 && th % b == 0,
         "block must divide tile extents"
     );
-
-    let row_ranks: Vec<Vec<usize>> = (0..grid.rows)
-        .map(|gi| (0..grid.cols).map(|gj| grid.rank(gi, gj)).collect())
-        .collect();
-    let col_ranks: Vec<Vec<usize>> = (0..grid.cols)
-        .map(|gj| (0..grid.rows).map(|gi| grid.rank(gi, gj)).collect())
-        .collect();
-
-    let a_panel_bytes = (th * b) as u64 * ELEM_BYTES;
-    let b_panel_bytes = (b * tw) as u64 * ELEM_BYTES;
-    let pairs_per_step = (th * tw * b) as u64;
-
-    for k in 0..n / b {
-        let starts: Vec<f64> = (0..net.size()).map(|r| net.now(r)).collect();
-        let owner_col = k * b / tw;
-        for ranks in &row_ranks {
-            bcast.run(net, ranks, owner_col, a_panel_bytes);
-        }
-        let owner_row = k * b / th;
-        for ranks in &col_ranks {
-            bcast.run(net, ranks, owner_row, b_panel_bytes);
-        }
-        for r in 0..net.size() {
-            net.compute_flops(r, gamma * pairs_per_step as f64, 2 * pairs_per_step);
-        }
-        for (r, t0) in starts.iter().enumerate() {
-            net.record_step(r, k, b, b, *t0, net.now(r));
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
-    net.report()
+    let cfg = SummaConfig {
+        block: b,
+        bcast,
+        ..Default::default()
+    };
+    run_on(net, gamma, step_sync, move |comm| {
+        let tile = PhantomMat { rows: th, cols: tw };
+        summa(comm, grid, n, &tile, &tile, &cfg);
+    })
 }
 
 /// Simulated HSUMMA: `groups = I × J`, outer block `B`, inner block `b`.
@@ -169,99 +170,21 @@ pub fn sim_hsumma_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    let hg = HierGrid::new(grid, groups);
-    let inner = hg.inner();
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let (th, tw) = (n / grid.rows, n / grid.cols);
-    let (bb, bs) = (outer_b, inner_b);
-    assert!(
-        bs > 0 && bb % bs == 0,
-        "inner block must divide outer block"
-    );
-    assert!(
-        tw % bb == 0 && th % bb == 0,
-        "outer block must divide tile extents"
-    );
-
-    let outer_a_bytes = (th * bb) as u64 * ELEM_BYTES;
-    let outer_b_bytes = (bb * tw) as u64 * ELEM_BYTES;
-    let inner_a_bytes = (th * bs) as u64 * ELEM_BYTES;
-    let inner_b_bytes = (bs * tw) as u64 * ELEM_BYTES;
-    let pairs_per_inner_step = (th * tw * bs) as u64;
-
-    // Pre-build the rank lists of the four communicator families.
-    let group_row: Vec<Vec<Vec<usize>>> = (0..grid.rows)
-        .map(|gi| {
-            (0..inner.cols)
-                .map(|jk| hg.group_row_ranks(gi / inner.rows, gi % inner.rows, jk))
-                .collect()
-        })
-        .collect();
-    let group_col: Vec<Vec<Vec<usize>>> = (0..grid.cols)
-        .map(|gj| {
-            (0..inner.rows)
-                .map(|ik| hg.group_col_ranks(gj / inner.cols, ik, gj % inner.cols))
-                .collect()
-        })
-        .collect();
-    let inner_row: Vec<Vec<Vec<usize>>> = (0..grid.rows)
-        .map(|gi| {
-            (0..groups.cols)
-                .map(|y| hg.inner_row_ranks(gi / inner.rows, y, gi % inner.rows))
-                .collect()
-        })
-        .collect();
-    let inner_col: Vec<Vec<Vec<usize>>> = (0..grid.cols)
-        .map(|gj| {
-            (0..groups.rows)
-                .map(|x| hg.inner_col_ranks(x, gj / inner.cols, gj % inner.cols))
-                .collect()
-        })
-        .collect();
-
-    for kg in 0..n / bb {
-        let starts: Vec<f64> = (0..net.size()).map(|r| net.now(r)).collect();
-        // ---- inter-group broadcast of A's outer panel --------------------
-        let gcol = kg * bb / tw;
-        let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
-        for per_row in &group_row {
-            outer_bcast.run(net, &per_row[jk], yk, outer_a_bytes);
-        }
-        // ---- inter-group broadcast of B's outer panel --------------------
-        let grow = kg * bb / th;
-        let (xk, ik) = (grow / inner.rows, grow % inner.rows);
-        for per_col in &group_col {
-            outer_bcast.run(net, &per_col[ik], xk, outer_b_bytes);
-        }
-        // ---- intra-group steps --------------------------------------------
-        for _ki in 0..bb / bs {
-            for per_row in &inner_row {
-                for ranks in per_row {
-                    inner_bcast.run(net, ranks, jk, inner_a_bytes);
-                }
-            }
-            for per_col in &inner_col {
-                for ranks in per_col {
-                    inner_bcast.run(net, ranks, ik, inner_b_bytes);
-                }
-            }
-            for r in 0..net.size() {
-                net.compute_flops(
-                    r,
-                    gamma * pairs_per_inner_step as f64,
-                    2 * pairs_per_inner_step,
-                );
-            }
-            if step_sync {
-                net.barrier_all();
-            }
-        }
-        for (r, t0) in starts.iter().enumerate() {
-            net.record_step(r, kg, bb, bs, *t0, net.now(r));
-        }
-    }
-    net.report()
+    let cfg = HsummaConfig {
+        groups,
+        outer_block: outer_b,
+        inner_block: inner_b,
+        outer_bcast,
+        inner_bcast,
+        kernel: GemmKernel::default(),
+    };
+    run_on(net, gamma, step_sync, move |comm| {
+        let tile = PhantomMat { rows: th, cols: tw };
+        hsumma(comm, grid, n, &tile, &tile, &cfg);
+    })
 }
 
 /// Simulated Cannon's algorithm on a square `q × q` grid: alignment
@@ -288,60 +211,10 @@ pub fn sim_cannon_on(
     let grid = GridShape::new(q, q);
     assert_eq!(net.size(), grid.size(), "network must span the grid");
     let ts = n / q;
-    let tile_bytes = (ts * ts) as u64 * ELEM_BYTES;
-    let pairs_per_round = (ts * ts * ts) as u64;
-
-    // One ring-shift phase: every rank isends to its destination, then
-    // blocks on its source — the eager exchange the runtime performs.
-    let shift = |net: &mut SimNet, dest: &dyn Fn(usize, usize) -> usize| {
-        let pending: Vec<(usize, _)> = (0..q * q)
-            .filter_map(|r| {
-                let (i, j) = grid.coords(r);
-                let d = dest(i, j);
-                // A rotation by zero stays local (the executable version
-                // returns without sending).
-                (d != r).then(|| (d, net.isend(r, d, tile_bytes)))
-            })
-            .collect();
-        for (dst, msg) in pending {
-            net.deliver(dst, msg);
-        }
-    };
-
-    // Alignment: row i of A left by i, column j of B up by j (ranks with
-    // shift 0 stay put, matching the executable implementation).
-    shift(net, &|i, j| {
-        if i == 0 {
-            grid.rank(i, j)
-        } else {
-            grid.rank(i, (j + q - i % q) % q)
-        }
-    });
-    shift(net, &|i, j| {
-        if j == 0 {
-            grid.rank(i, j)
-        } else {
-            grid.rank((i + q - j % q) % q, j)
-        }
-    });
-
-    for k in 0..q {
-        let starts: Vec<f64> = (0..q * q).map(|r| net.now(r)).collect();
-        for r in 0..q * q {
-            net.compute_flops(r, gamma * pairs_per_round as f64, 2 * pairs_per_round);
-        }
-        if q > 1 {
-            shift(net, &|i, j| grid.rank(i, (j + q - 1) % q));
-            shift(net, &|i, j| grid.rank((i + q - 1) % q, j));
-        }
-        for (r, t0) in starts.iter().enumerate() {
-            net.record_step(r, k, ts, ts, *t0, net.now(r));
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
-    net.report()
+    run_on(net, gamma, step_sync, move |comm| {
+        let tile = PhantomMat { rows: ts, cols: ts };
+        cannon(comm, grid, n, &tile, &tile, GemmKernel::default());
+    })
 }
 
 /// Simulated Fox's algorithm on a square `q × q` grid: per round, a
@@ -374,45 +247,68 @@ pub fn sim_fox_on(
     let grid = GridShape::new(q, q);
     assert_eq!(net.size(), grid.size(), "network must span the grid");
     let ts = n / q;
-    let tile_bytes = (ts * ts) as u64 * ELEM_BYTES;
-    let pairs_per_round = (ts * ts * ts) as u64;
-    let row_ranks: Vec<Vec<usize>> = (0..q)
-        .map(|gi| (0..q).map(|gj| grid.rank(gi, gj)).collect())
-        .collect();
+    run_on(net, gamma, step_sync, move |comm| {
+        let tile = PhantomMat { rows: ts, cols: ts };
+        fox_with(comm, grid, n, &tile, &tile, GemmKernel::default(), bcast);
+    })
+}
 
-    for k in 0..q {
-        let starts: Vec<f64> = (0..q * q).map(|r| net.now(r)).collect();
-        for (gi, ranks) in row_ranks.iter().enumerate() {
-            bcast.run(net, ranks, (gi + k) % q, tile_bytes);
-        }
-        for r in 0..q * q {
-            net.compute_flops(r, gamma * pairs_per_round as f64, 2 * pairs_per_round);
-        }
-        if q > 1 {
-            let pending: Vec<(usize, _)> = (0..q * q)
-                .map(|r| {
-                    let (i, j) = grid.coords(r);
-                    let up = grid.rank((i + q - 1) % q, j);
-                    (up, net.isend(r, up, tile_bytes))
-                })
-                .collect();
-            for (dst, msg) in pending {
-                net.deliver(dst, msg);
-            }
-        }
-        for (r, t0) in starts.iter().enumerate() {
-            net.record_step(r, k, ts, ts, *t0, net.now(r));
-        }
-        if step_sync {
-            net.barrier_all();
-        }
-    }
+/// Simulated overlapped SUMMA ([`summa_overlap`]): the double-buffered
+/// schedule where each step's panels are pushed during the previous
+/// step's multiply. Inherently unsynchronized — a per-step barrier would
+/// defeat the overlap being measured.
+pub fn sim_overlap(
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+) -> SimReport {
+    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
+    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
+    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let cfg = SummaConfig {
+        block: b,
+        bcast,
+        ..Default::default()
+    };
+    let (net, _) = SimWorld::run(
+        SimNet::new(grid.size(), platform.net),
+        platform.gamma,
+        false,
+        move |comm| {
+            let tile = PhantomMat { rows: th, cols: tw };
+            summa_overlap(comm, grid, n, &tile, &tile, &cfg);
+        },
+    );
+    net.report()
+}
+
+/// Simulated 2.5D multiplication ([`crate::twodotfive::twodotfive`]) over `q²·c` virtual
+/// ranks: replicate down the depth communicators, per-layer partial
+/// SUMMA, reduce back onto layer 0.
+pub fn sim_twodotfive(platform: &Platform, n: usize, cfg: &TwoDotFiveConfig) -> SimReport {
+    let (q, c) = (cfg.q, cfg.c);
+    assert!(q > 0 && c > 0, "arrangement extents must be positive");
+    assert_eq!(n % q, 0, "n must be divisible by the layer grid side");
+    let ts = n / q;
+    let cfg = *cfg;
+    let (net, _) = SimWorld::run(
+        SimNet::new(q * q * c, platform.net),
+        platform.gamma,
+        false,
+        move |comm| {
+            let tile = PhantomMat { rows: ts, cols: ts };
+            twodotfive(comm, n, &tile, &tile, &cfg);
+        },
+    );
     net.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::HierGrid;
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
@@ -672,5 +568,71 @@ mod tests {
         );
         assert!(h.total_time > 0.0);
         assert_eq!(h.bytes, s.bytes);
+    }
+
+    #[test]
+    fn overlap_sim_beats_synchronized_summa() {
+        // The double-buffered schedule must not be slower than the
+        // blocking one on the same platform and configuration.
+        let plat = Platform::grid5000();
+        let grid = GridShape::new(4, 4);
+        let over = sim_overlap(&plat, grid, 64, 8, SimBcast::Flat);
+        let sync = sim_summa_sync(&plat, grid, 64, 8, SimBcast::Flat);
+        assert!(
+            over.total_time <= sync.total_time,
+            "overlap {} vs sync {}",
+            over.total_time,
+            sync.total_time
+        );
+        // Same panels travel either way.
+        let plain = sim_summa(&plat, grid, 64, 8, SimBcast::Flat);
+        assert_eq!(over.bytes, plain.bytes);
+    }
+
+    #[test]
+    fn twodotfive_c1_costs_like_summa_plus_depth_collectives() {
+        // With c = 1 the depth communicators are singletons: no replicate
+        // or reduce messages, so the cost is exactly SUMMA's.
+        let plat = Platform::grid5000();
+        let cfg = TwoDotFiveConfig {
+            q: 4,
+            c: 1,
+            summa: SummaConfig {
+                block: 8,
+                ..Default::default()
+            },
+        };
+        let td = sim_twodotfive(&plat, 64, &cfg);
+        let s = sim_summa(&plat, GridShape::new(4, 4), 64, 8, SimBcast::Binomial);
+        assert_eq!(td.msgs, s.msgs);
+        assert_eq!(td.bytes, s.bytes);
+    }
+
+    #[test]
+    fn twodotfive_replication_cuts_communication_time() {
+        // The 2.5D promise: c layers cut each layer's SUMMA steps by c,
+        // at the price of replicate/reduce — a win once broadcasts are
+        // the bottleneck.
+        let plat = Platform {
+            name: "latency-bound",
+            net: hsumma_netsim::Hockney::new(1e-3, 1e-12),
+            gamma: 0.0,
+        };
+        let mk = |c: usize| TwoDotFiveConfig {
+            q: 4,
+            c,
+            summa: SummaConfig {
+                block: 8,
+                ..Default::default()
+            },
+        };
+        let flat = sim_twodotfive(&plat, 64, &mk(1));
+        let deep = sim_twodotfive(&plat, 64, &mk(4));
+        assert!(
+            deep.total_time < flat.total_time,
+            "c=4 {} should beat c=1 {} when latency dominates",
+            deep.total_time,
+            flat.total_time
+        );
     }
 }

@@ -6,8 +6,9 @@
 //! pivot row panel `k` of `B` broadcast it along their grid columns, and
 //! every processor accumulates `C_tile += A_panel · B_panel`.
 
-use hsumma_matrix::{gemm, GemmKernel, GridShape, Matrix};
-use hsumma_runtime::{collectives, BcastAlgorithm, Comm};
+use crate::comm::{Communicator, MatLike};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_runtime::BcastAlgorithm;
 
 /// Parameters of a SUMMA run.
 #[derive(Clone, Copy, Debug)]
@@ -32,17 +33,22 @@ impl Default for SummaConfig {
 
 /// Broadcasts `mat` (whose shape every member already knows) from `root`
 /// over `comm` in place; non-roots pass a correctly shaped scratch matrix.
-pub(crate) fn bcast_matrix(comm: &Comm, algo: BcastAlgorithm, root: usize, mat: &mut Matrix) {
-    collectives::bcast_f64(comm, algo, root, mat.as_mut_slice());
+pub(crate) fn bcast_matrix<C: Communicator>(
+    comm: &C,
+    algo: BcastAlgorithm,
+    root: usize,
+    mat: &mut C::Mat,
+) {
+    comm.bcast_mat(algo, root, mat);
 }
 
 /// Validates the distributed-operand invariants shared by SUMMA and
 /// HSUMMA and returns `(tile_rows, tile_cols)`.
-pub(crate) fn check_tiles(
+pub(crate) fn check_tiles<M: MatLike>(
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &M,
+    b: &M,
     comm_size: usize,
 ) -> (usize, usize) {
     assert_eq!(
@@ -54,8 +60,8 @@ pub(crate) fn check_tiles(
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
     let th = n / grid.rows;
     let tw = n / grid.cols;
-    assert_eq!(a.shape(), (th, tw), "A tile has wrong shape");
-    assert_eq!(b.shape(), (th, tw), "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (th, tw), "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), (th, tw), "B tile has wrong shape");
     (th, tw)
 }
 
@@ -64,17 +70,21 @@ pub(crate) fn check_tiles(
 /// distribution over `grid`, square `n × n` global operands). Returns the
 /// local tile of `C`.
 ///
+/// Generic over the [`Communicator`] substrate: with the runtime's `Comm`
+/// it multiplies real matrices; with the simulator's `SimComm` the same
+/// schedule advances virtual clocks over phantom payloads.
+///
 /// # Panics
 /// Panics if the grid, tile shapes or block size are inconsistent
 /// (`block` must divide `n/s` and `n/t`).
-pub fn summa(
-    comm: &Comm,
+pub fn summa<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &SummaConfig,
-) -> Matrix {
+) -> C::Mat {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -87,14 +97,14 @@ pub fn summa(
     // Column communicator: same grid column, ordered by row.
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
 
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
     // Panel scratch is allocated once and reused across all steps: pivot
     // owners refill it from their tile, everyone else has it overwritten
     // by the broadcast.
-    let mut a_panel = Matrix::zeros(th, bs);
-    let mut b_panel = Matrix::zeros(bs, tw);
+    let mut a_panel = C::Mat::zeros(th, bs);
+    let mut b_panel = C::Mat::zeros(bs, tw);
     let steps = n / bs;
-    let step_flops = 2 * th * tw * bs;
+    let step_pairs = th * tw * bs;
     for k in 0..steps {
         comm.trace_step(k, bs, bs, || {
             // --- pivot column panel of A, broadcast along the grid row ---
@@ -112,10 +122,11 @@ pub fn summa(
             bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
             // --- local update: C += A_panel · B_panel ---------------------
-            comm.time_compute_flops(step_flops as u64, || {
-                gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
+            comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
+                C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
             });
         });
+        comm.maybe_step_sync();
     }
     c
 }

@@ -12,14 +12,16 @@
 //!
 //! Just as HSUMMA's hierarchy restructures SUMMA's broadcasts, TSQR's
 //! tree restructures the panel factorization's reduction — the same
-//! "make the communicator smaller" principle applied to QR. [`sim_tsqr`]
-//! prices the schedule against the naive gather-and-factor alternative.
+//! "make the communicator smaller" principle applied to QR. [`tsqr()`] is
+//! generic over the [`Communicator`] substrate (real payloads or phantom
+//! ones on simulated clocks); [`sim_tsqr`] prices the schedule
+//! analytically against the naive gather-and-factor alternative.
 
-use hsumma_matrix::factor::qr_thin;
-use hsumma_matrix::{gemm, GemmKernel, Matrix};
+use crate::comm::{Communicator, MatLike};
+use hsumma_matrix::GemmKernel;
 use hsumma_netsim::model::ELEM_BYTES;
 use hsumma_netsim::{Platform, SimNet};
-use hsumma_runtime::Comm;
+use hsumma_runtime::BcastAlgorithm;
 
 const TAG_R_UP: u64 = 41;
 const TAG_Q_DOWN: u64 = 42;
@@ -32,35 +34,36 @@ const TAG_Q_DOWN: u64 = 42;
 ///
 /// # Panics
 /// Panics if `rows < n` on any rank (each local block must be tall).
-pub fn tsqr(comm: &Comm, a_local: &Matrix) -> (Matrix, Matrix) {
+pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
     let n = a_local.cols();
+    let rows = a_local.rows();
     let p = comm.size();
     let me = comm.rank();
 
-    // Local factorization.
-    let (q_local, mut r) = comm.time_compute(|| qr_thin(a_local));
+    // Local factorization: a thin QR of an m×n block costs ~m·n² pairs.
+    let (q_local, mut r) = comm.compute((rows * n * n) as f64, 0, || a_local.qr_thin());
 
     // Upward sweep: binary tree on ranks; at level `l` ranks aligned to
     // 2^(l+1) absorb the R of the partner 2^l above them. Remember each
     // combine's orthogonal factor halves for the downward sweep.
-    let mut combines: Vec<(usize, Matrix, Matrix)> = Vec::new(); // (partner, q_top, q_bot)
+    let mut combines: Vec<(usize, C::Mat, C::Mat)> = Vec::new(); // (partner, q_top, q_bot)
     let mut stride = 1usize;
     while stride < p {
         if me.is_multiple_of(2 * stride) {
             let partner = me + stride;
             if partner < p {
-                let r_partner: Matrix = comm.recv(partner, TAG_R_UP);
-                let (q2, r_new) = comm.time_compute(|| {
-                    let mut stacked = Matrix::zeros(2 * n, n);
+                let r_partner = comm.recv_mat(partner, TAG_R_UP, n, n);
+                let (q2, r_new) = comm.compute((2 * n * n * n) as f64, 0, || {
+                    let mut stacked = C::Mat::zeros(2 * n, n);
                     stacked.set_block(0, 0, &r);
                     stacked.set_block(n, 0, &r_partner);
-                    qr_thin(&stacked)
+                    stacked.qr_thin()
                 });
                 combines.push((partner, q2.block(0, 0, n, n), q2.block(n, 0, n, n)));
                 r = r_new;
             }
         } else if me % (2 * stride) == stride {
-            comm.send(me - stride, TAG_R_UP, r.clone());
+            comm.send_mat(me - stride, TAG_R_UP, r.clone());
         }
         stride *= 2;
     }
@@ -69,36 +72,30 @@ pub fn tsqr(comm: &Comm, a_local: &Matrix) -> (Matrix, Matrix) {
     // each combine sends its bottom half (times the running transform) to
     // the partner and keeps the top half.
     let mut transform = if me == 0 {
-        Matrix::identity(n)
+        C::Mat::identity(n)
     } else {
-        Matrix::zeros(0, 0)
-    };
-    if me != 0 {
         // Wait for our transform from whoever absorbed our R.
-        let parent_stride = lowest_set_bit(me);
-        let parent = me - parent_stride;
-        transform = comm.recv(parent, TAG_Q_DOWN);
-    }
+        let parent = me - lowest_set_bit(me);
+        comm.recv_mat(parent, TAG_Q_DOWN, n, n)
+    };
     for (partner, q_top, q_bot) in combines.into_iter().rev() {
-        let mut down = Matrix::zeros(n, n);
-        gemm(GemmKernel::Blocked, &q_bot, &transform, &mut down);
-        comm.send(partner, TAG_Q_DOWN, down);
-        let mut up = Matrix::zeros(n, n);
-        gemm(GemmKernel::Blocked, &q_top, &transform, &mut up);
+        let mut down = C::Mat::zeros(n, n);
+        C::Mat::gemm(GemmKernel::Blocked, &q_bot, &transform, &mut down);
+        comm.send_mat(partner, TAG_Q_DOWN, down);
+        let mut up = C::Mat::zeros(n, n);
+        C::Mat::gemm(GemmKernel::Blocked, &q_top, &transform, &mut up);
         transform = up;
     }
 
     // Local Q slice: Q_local · transform.
-    let mut q_out = Matrix::zeros(q_local.rows(), n);
-    comm.time_compute(|| gemm(GemmKernel::Blocked, &q_local, &transform, &mut q_out));
+    let mut q_out = C::Mat::zeros(rows, n);
+    comm.compute((rows * n * n) as f64, 0, || {
+        C::Mat::gemm(GemmKernel::Blocked, &q_local, &transform, &mut q_out)
+    });
 
-    // Everyone needs the final R (rank 0 holds it after the sweep).
-    let r = hsumma_runtime::collectives::bcast(
-        comm,
-        hsumma_runtime::BcastAlgorithm::Binomial,
-        0,
-        (me == 0).then_some(r),
-    );
+    // Everyone needs the final R (rank 0 holds it after the sweep; other
+    // ranks' stale partials are overwritten).
+    comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut r);
     (q_out, r)
 }
 
@@ -145,7 +142,7 @@ pub fn sim_tsqr(platform: &Platform, p: usize, rows: usize, n: usize) -> (f64, f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsumma_matrix::seeded_uniform;
+    use hsumma_matrix::{gemm, seeded_uniform, Matrix};
     use hsumma_runtime::Runtime;
 
     /// Runs TSQR end-to-end and checks the three QR postconditions.
@@ -208,6 +205,22 @@ mod tests {
     #[test]
     fn tsqr_square_local_blocks() {
         run_tsqr_case(4, 3, 3);
+    }
+
+    #[test]
+    fn tsqr_runs_on_the_simulator() {
+        // The same schedule over phantom payloads: 4 ranks, 8×3 blocks.
+        use crate::comm::PhantomMat;
+        use hsumma_netsim::spmd::SimWorld;
+        let plat = Platform::grid5000();
+        let (net, _) = SimWorld::run(SimNet::new(4, plat.net), plat.gamma, false, |comm| {
+            let block = PhantomMat { rows: 8, cols: 3 };
+            tsqr(comm, &block)
+        });
+        let rep = net.report();
+        // Upward: 3 R messages; downward: 3 Q messages; bcast: 3 messages.
+        assert_eq!(rep.msgs, 9);
+        assert_eq!(rep.bytes, 9 * 9 * ELEM_BYTES);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! argues HSUMMA is preferable because it reduces communication *without*
 //! the `c`× memory blowup; `hsumma-model::related` quantifies that
 //! trade-off analytically, and this module lets the claim be exercised
-//! with real data movement.
+//! with real data movement — or replayed on simulated clocks at
+//! BlueGene/P scale via `simdrive::sim_twodotfive`.
 
+use crate::comm::{Communicator, MatLike};
 use crate::summa::SummaConfig;
-use hsumma_matrix::{GridShape, Matrix};
-use hsumma_runtime::{collectives, BcastAlgorithm, Comm};
+use hsumma_matrix::GridShape;
+use hsumma_runtime::BcastAlgorithm;
 
 /// Parameters of a 2.5D run.
 #[derive(Clone, Copy, Debug)]
@@ -48,20 +50,20 @@ pub fn coords_3d(rank: usize, q: usize) -> (usize, usize, usize) {
 /// # Panics
 /// Panics if the communicator size is not `q²·c` or tile shapes are
 /// inconsistent.
-pub fn twodotfive(
-    comm: &Comm,
+pub fn twodotfive<C: Communicator>(
+    comm: &C,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &TwoDotFiveConfig,
-) -> Option<Matrix> {
+) -> Option<C::Mat> {
     let (q, c) = (cfg.q, cfg.c);
     assert!(q > 0 && c > 0, "arrangement extents must be positive");
     assert_eq!(comm.size(), q * q * c, "communicator must span q*q*c ranks");
     assert_eq!(n % q, 0, "n must be divisible by the layer grid side");
     let ts = n / q;
-    assert_eq!(a.shape(), (ts, ts), "A tile has wrong shape");
-    assert_eq!(b.shape(), (ts, ts), "B tile has wrong shape");
+    assert_eq!((a.rows(), a.cols()), (ts, ts), "A tile has wrong shape");
+    assert_eq!((b.rows(), b.cols()), (ts, ts), "B tile has wrong shape");
     let bs = cfg.summa.block;
     assert!(
         bs > 0 && ts.is_multiple_of(bs),
@@ -84,25 +86,15 @@ pub fn twodotfive(
     let mut a_rep = if layer == 0 {
         a.clone()
     } else {
-        Matrix::zeros(ts, ts)
+        C::Mat::zeros(ts, ts)
     };
     let mut b_rep = if layer == 0 {
         b.clone()
     } else {
-        Matrix::zeros(ts, ts)
+        C::Mat::zeros(ts, ts)
     };
-    collectives::bcast_f64(
-        &depth_comm,
-        BcastAlgorithm::Binomial,
-        0,
-        a_rep.as_mut_slice(),
-    );
-    collectives::bcast_f64(
-        &depth_comm,
-        BcastAlgorithm::Binomial,
-        0,
-        b_rep.as_mut_slice(),
-    );
+    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut a_rep);
+    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut b_rep);
 
     // --- 2. partial SUMMA: this layer takes steps k ≡ layer (mod c) ----
     let grid = GridShape::new(q, q);
@@ -112,24 +104,23 @@ pub fn twodotfive(
 
     // --- 3. reduce the partials onto layer 0 ----------------------------
     let mut partial = partial;
-    collectives::reduce_sum_f64(&depth_comm, 0, partial.as_mut_slice());
+    depth_comm.reduce_sum_mat(0, &mut partial);
     (layer == 0).then_some(partial)
 }
 
 /// SUMMA restricted to the pivot steps selected by `take`; shared by
-/// [`twodotfive`] (per-layer partial products) and plain SUMMA semantics
+/// [`twodotfive()`] (per-layer partial products) and plain SUMMA semantics
 /// when `take` is always true.
-fn summa_steps(
-    comm: &Comm,
+fn summa_steps<C: Communicator>(
+    comm: &C,
     grid: GridShape,
     n: usize,
-    a: &Matrix,
-    b: &Matrix,
+    a: &C::Mat,
+    b: &C::Mat,
     cfg: &SummaConfig,
     take: impl Fn(usize) -> bool,
-) -> Matrix {
+) -> C::Mat {
     use crate::summa::bcast_matrix;
-    use hsumma_matrix::gemm;
 
     let (th, tw) = (n / grid.rows, n / grid.cols);
     let (gi, gj) = grid.coords(comm.rank());
@@ -137,13 +128,14 @@ fn summa_steps(
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
     let bs = cfg.block;
 
-    let mut c = Matrix::zeros(th, tw);
+    let mut c = C::Mat::zeros(th, tw);
+    let step_pairs = th * tw * bs;
     for k in (0..n / bs).filter(|&k| take(k)) {
         let owner_col = k * bs / tw;
         let mut a_panel = if gj == owner_col {
             a.block(0, k * bs % tw, th, bs)
         } else {
-            Matrix::zeros(th, bs)
+            C::Mat::zeros(th, bs)
         };
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
 
@@ -151,11 +143,13 @@ fn summa_steps(
         let mut b_panel = if gi == owner_row {
             b.block(k * bs % th, 0, bs, tw)
         } else {
-            Matrix::zeros(bs, tw)
+            C::Mat::zeros(bs, tw)
         };
         bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
 
-        comm.time_compute(|| gemm(cfg.kernel, &a_panel, &b_panel, &mut c));
+        comm.compute(step_pairs as f64, 0, || {
+            C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
+        });
     }
     c
 }
@@ -164,7 +158,7 @@ fn summa_steps(
 mod tests {
     use super::*;
     use crate::testutil::reference_product;
-    use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel};
+    use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, Matrix};
     use hsumma_runtime::Runtime;
 
     fn run_25d_case(q: usize, c: usize, n: usize, block: usize) {

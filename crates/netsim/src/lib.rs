@@ -13,23 +13,35 @@
 //!   (eager sends: a sender is busy for `α + m·β`, the receiver waits for
 //!   arrival), with communication and computation time accounted
 //!   separately per rank;
-//! * [`collectives`] — the same broadcast algorithms as the real runtime
-//!   (`hsumma-runtime`), replayed as timed message schedules over arbitrary
-//!   rank subsets. Their simulated costs are validated against the closed
-//!   forms the paper quotes (binomial: `log₂(p)(α+mβ)`; van de Geijn:
-//!   `(log₂p + p−1)α + 2(p−1)/p·mβ`);
+//! * [`spmd`] — SPMD execution over the simulated network: one thread per
+//!   rank, each holding a [`spmd::SimComm`] with the same communicator
+//!   algebra as the real runtime's `Comm` (rank/size/split, tagged
+//!   point-to-point, barriers), but carrying phantom payloads (sizes
+//!   only) and advancing virtual clocks. This is what lets the *same*
+//!   generic algorithm code run on both substrates — there is no longer a
+//!   separate hand-written replay of each schedule;
 //! * [`topology`] — an optional 3-D torus latency refinement (per-hop
 //!   latency), the mechanism behind the "zigzags" the paper observes on
 //!   BlueGene/P when a group layout maps badly onto the torus.
 //!
-//! Simulated clocks are `f64` seconds; the simulation is deterministic.
+//! The broadcast-algorithm selector ([`SimBcast`]) is the shared
+//! [`hsumma_trace::BcastAlgorithm`]: one enum for both substrates, so the
+//! runtime and the simulator cannot drift apart. The schedules themselves
+//! live once, generically, in `hsumma-core`.
+//!
+//! Simulated clocks are `f64` seconds; the simulation is deterministic —
+//! including under [`NoiseModel`] jitter, whose draws are keyed by
+//! `(sender, message index)` rather than a global sequence.
 
-pub mod collectives;
 pub mod model;
 pub mod sim;
+pub mod spmd;
 pub mod topology;
 
-pub use collectives::SimBcast;
+/// The shared broadcast-algorithm selector, re-exported under the name
+/// the simulator APIs have always used.
+pub use hsumma_trace::BcastAlgorithm as SimBcast;
 pub use model::{Hockney, Platform};
 pub use sim::{NoiseModel, SimNet, SimReport};
+pub use spmd::{SimComm, SimWorld};
 pub use topology::{Topology, Torus3D};

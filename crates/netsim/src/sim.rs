@@ -24,6 +24,14 @@ pub struct PendingMsg {
     arrival: f64,
 }
 
+impl PendingMsg {
+    /// Payload size of the in-flight message (crate-internal: the SPMD
+    /// mailboxes report it to phantom receivers).
+    pub(crate) fn payload_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
 /// Aggregated outcome of a simulated schedule.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SimReport {
@@ -44,6 +52,8 @@ pub struct SimNet {
     clocks: Vec<f64>,
     comm: Vec<f64>,
     comp: Vec<f64>,
+    /// Per-rank count of messages sent so far (keys the noise stream).
+    send_seq: Vec<u64>,
     msgs: u64,
     bytes: u64,
     net: Hockney,
@@ -61,7 +71,7 @@ pub struct SimNet {
 /// average 30 noisy runs; this models the phenomenon they average over.)
 #[derive(Clone, Copy, Debug)]
 pub struct NoiseModel {
-    state: u64,
+    seed: u64,
     amplitude: f64,
 }
 
@@ -70,17 +80,21 @@ impl NoiseModel {
     /// slowdown (e.g. `0.2` = up to 20 % slower per transfer).
     pub fn new(seed: u64, amplitude: f64) -> Self {
         assert!(amplitude >= 0.0, "amplitude must be non-negative");
-        NoiseModel {
-            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
-            amplitude,
-        }
+        NoiseModel { seed, amplitude }
     }
 
-    /// Next multiplicative factor in `[1, 1 + amplitude]`.
-    fn next_factor(&mut self) -> f64 {
-        // SplitMix64: deterministic, seedable, no dependency.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
+    /// Multiplicative factor in `[1, 1 + amplitude]` for the `seq`-th
+    /// message sent by `src`. Keyed per-sender rather than drawn from one
+    /// sequential stream so the factor depends only on a rank's own
+    /// message order — the SPMD driver runs ranks concurrently and a
+    /// global draw order would not be reproducible.
+    fn factor_for(&self, src: usize, seq: u64) -> f64 {
+        // SplitMix64 finalizer over (seed, src, seq): deterministic,
+        // seedable, no dependency.
+        let mut z = self
+            .seed
+            .wrapping_add((src as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -107,6 +121,7 @@ impl SimNet {
             clocks: vec![0.0; p],
             comm: vec![0.0; p],
             comp: vec![0.0; p],
+            send_seq: vec![0; p],
             msgs: 0,
             bytes: 0,
             net,
@@ -188,9 +203,10 @@ impl SimNet {
     /// topology latency of the route.
     pub fn isend(&mut self, src: usize, dst: usize, bytes: u64) -> PendingMsg {
         let mut busy = self.net.time(bytes);
-        if let Some(noise) = &mut self.noise {
-            busy *= noise.next_factor();
+        if let Some(noise) = &self.noise {
+            busy *= noise.factor_for(src, self.send_seq[src]);
         }
+        self.send_seq[src] += 1;
         let departure = self.clocks[src];
         self.clocks[src] += busy;
         self.comm[src] += busy;
@@ -269,6 +285,19 @@ impl SimNet {
     pub fn barrier_all(&mut self) {
         let t = self.elapsed();
         for r in 0..self.clocks.len() {
+            self.comm[r] += t - self.clocks[r];
+            self.clocks[r] = t;
+        }
+    }
+
+    /// Advances every rank in `ranks` to the group's latest clock (a
+    /// subgroup barrier); the wait is accounted as communication.
+    pub fn barrier_group(&mut self, ranks: &[usize]) {
+        let t = ranks
+            .iter()
+            .map(|&r| self.clocks[r])
+            .fold(0.0_f64, f64::max);
+        for &r in ranks {
             self.comm[r] += t - self.clocks[r];
             self.clocks[r] = t;
         }

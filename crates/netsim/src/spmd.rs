@@ -1,0 +1,534 @@
+//! SPMD execution of communication schedules on the simulated network.
+//!
+//! The pre-refactor simulator replayed each algorithm from a hand-written
+//! central driver — a second copy of every schedule that had to be kept
+//! in sync with the executable one by eye. This module removes the need
+//! for that copy: it runs the *same* per-rank program the threaded
+//! runtime runs, but over [`SimNet`] virtual clocks and phantom payloads
+//! (sizes only, no data).
+//!
+//! [`SimWorld::run`] spawns one thread per simulated rank, hands each a
+//! [`SimComm`] handle, and lets the ranks exchange messages through
+//! tag-addressed mailboxes of [`crate::sim::PendingMsg`]s. Determinism does not
+//! depend on thread scheduling: every [`SimNet`] operation only moves the
+//! clock of the rank performing it (`isend` the sender, `deliver` the
+//! receiver, `compute` the owner), so each rank's virtual timeline is a
+//! function of its own program order plus which messages it matched —
+//! both fixed by the algorithm, not by the interleaving. This is what
+//! lets the SPMD path reproduce the old central-driver timings
+//! bit-for-bit (see `tests/sim_golden_parity.rs` at the workspace root).
+//!
+//! Threads block on per-rank condition variables; a sender wakes only the
+//! destination rank, so a `p`-rank simulation does `O(1)` wakeups per
+//! message rather than `O(p)`. Stacks are kept small so `p = 4096` ranks
+//! (the paper's Fig. 7 scale) fit comfortably.
+
+use crate::sim::{SimNet, SimReport};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Mailbox key: `(context, src, dst, tag)`, world ranks. FIFO per key
+/// gives MPI's non-overtaking guarantee, matching the runtime's mailboxes.
+type MailKey = (u64, usize, usize, u64);
+
+/// One split subgroup: `(child context, world ranks)`, keyed by color.
+type SplitGroups = HashMap<u64, (u64, Arc<Vec<usize>>)>;
+
+/// In-progress `split` rendezvous for one `(parent context, epoch)`.
+struct SplitState {
+    /// `(color, key)` deposited by each member of the parent group.
+    table: Vec<Option<(u64, i64)>>,
+    arrived: usize,
+    departed: usize,
+    /// Filled by the last arriver.
+    groups: Option<SplitGroups>,
+}
+
+/// In-progress group barrier for one `(context, sequence number)`.
+struct BarrierState {
+    arrived: usize,
+    departed: usize,
+    done: bool,
+}
+
+struct WorldState {
+    net: SimNet,
+    mail: HashMap<MailKey, VecDeque<crate::sim::PendingMsg>>,
+    splits: HashMap<(u64, u64), SplitState>,
+    barriers: HashMap<(u64, u64), BarrierState>,
+    /// Next fresh communicator context id (0 is the world context).
+    next_ctx: u64,
+}
+
+/// A simulated machine shared by all rank threads of one SPMD run.
+pub struct SimWorld {
+    state: Mutex<WorldState>,
+    /// One condition variable per world rank: senders wake only the
+    /// destination, barriers and splits wake only their members.
+    wake: Vec<Condvar>,
+    gamma: f64,
+    step_sync: bool,
+}
+
+impl SimWorld {
+    /// Runs `f` as an SPMD program: one thread per rank of `net`, each
+    /// receiving its own [`SimComm`] spanning the whole world. Returns
+    /// the network (with all accounting) and the per-rank results.
+    ///
+    /// `gamma` is the virtual cost of one multiply-add pair in seconds
+    /// (see [`SimComm::compute`]); `step_sync` makes
+    /// [`SimComm::maybe_step_sync`] a world-wide clock alignment.
+    pub fn run<R, F>(net: SimNet, gamma: f64, step_sync: bool, f: F) -> (SimNet, Vec<R>)
+    where
+        R: Send,
+        F: Fn(&SimComm) -> R + Sync,
+    {
+        let p = net.size();
+        let world = SimWorld {
+            state: Mutex::new(WorldState {
+                net,
+                mail: HashMap::new(),
+                splits: HashMap::new(),
+                barriers: HashMap::new(),
+                next_ctx: 1,
+            }),
+            wake: (0..p).map(|_| Condvar::new()).collect(),
+            gamma,
+            step_sync,
+        };
+        let members: Arc<Vec<usize>> = Arc::new((0..p).collect());
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for rank in 0..p {
+                let comm = SimComm {
+                    world: &world,
+                    ctx: 0,
+                    members: members.clone(),
+                    my_rank: rank,
+                    epoch: Cell::new(0),
+                    barrier_seq: Cell::new(0),
+                };
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("sim-rank-{rank}"))
+                    // Schedules recurse shallowly; small stacks keep
+                    // thousands of rank threads cheap.
+                    .stack_size(512 * 1024)
+                    .spawn_scoped(scope, move || f(&comm))
+                    .expect("failed to spawn simulated rank thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let state = world.state.into_inner().expect("no rank may hold the lock");
+        assert!(
+            state.mail.values().all(VecDeque::is_empty),
+            "simulated program left undelivered messages behind"
+        );
+        (state.net, results.into_iter().map(Option::unwrap).collect())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WorldState> {
+        self.state.lock().expect("a simulated rank panicked")
+    }
+}
+
+/// One rank's handle onto a [`SimWorld`]: the simulator-substrate
+/// counterpart of the runtime's `Comm`. Supports the same communicator
+/// algebra (`rank`/`size`/`split`) plus phantom point-to-point transfers
+/// that move virtual clocks instead of data.
+pub struct SimComm<'w> {
+    world: &'w SimWorld,
+    ctx: u64,
+    /// World ranks of this communicator's members, in rank order.
+    members: Arc<Vec<usize>>,
+    my_rank: usize,
+    /// Per-communicator split counter (disambiguates successive splits).
+    epoch: Cell<u64>,
+    /// Per-communicator barrier counter (sequences successive barriers).
+    barrier_seq: Cell<u64>,
+}
+
+impl<'w> SimComm<'w> {
+    /// Rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of this communicator's rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    fn world_me(&self) -> usize {
+        self.members[self.my_rank]
+    }
+
+    /// This rank's virtual clock.
+    pub fn now(&self) -> f64 {
+        let st = self.world.lock();
+        st.net.now(self.world_me())
+    }
+
+    /// Whether [`SimComm::maybe_step_sync`] aligns clocks.
+    pub fn step_sync(&self) -> bool {
+        self.world.step_sync
+    }
+
+    /// Sends `bytes` phantom payload bytes to `dst` (communicator rank):
+    /// occupies this rank's clock for the transfer and enqueues the
+    /// message for `dst`. Zero-byte messages model control traffic.
+    pub fn send_bytes(&self, dst: usize, tag: u64, bytes: u64) {
+        let src_w = self.world_me();
+        let dst_w = self.members[dst];
+        let mut st = self.world.lock();
+        let msg = st.net.isend(src_w, dst_w, bytes);
+        st.mail
+            .entry((self.ctx, src_w, dst_w, tag))
+            .or_default()
+            .push_back(msg);
+        drop(st);
+        self.world.wake[dst_w].notify_all();
+    }
+
+    /// Receives the next phantom message from `src` (communicator rank)
+    /// with `tag`, blocking this rank's virtual clock until it arrives.
+    /// Returns the payload size in bytes.
+    pub fn recv_bytes(&self, src: usize, tag: u64) -> u64 {
+        let src_w = self.members[src];
+        let dst_w = self.world_me();
+        let key = (self.ctx, src_w, dst_w, tag);
+        let mut st = self.world.lock();
+        loop {
+            if let Some(msg) = st.mail.get_mut(&key).and_then(VecDeque::pop_front) {
+                let bytes = msg.payload_bytes();
+                st.net.deliver(dst_w, msg);
+                return bytes;
+            }
+            st = self.world.wake[dst_w]
+                .wait(st)
+                .expect("a simulated rank panicked");
+        }
+    }
+
+    /// Charges `pairs` multiply-add pairs of local compute to this rank's
+    /// clock at the world's `γ` seconds per pair — the paper's compute
+    /// model. `pairs` is fractional because non-GEMM kernels charge
+    /// fractions of a cube (LU's diagonal factorization is `bs³/3` pairs,
+    /// a triangular solve `m·bs²/2`). `flops` stamps the accounting only.
+    pub fn compute(&self, pairs: f64, flops: u64) {
+        let me = self.world_me();
+        let seconds = self.world.gamma * pairs;
+        let mut st = self.world.lock();
+        st.net.compute_flops(me, seconds, flops);
+    }
+
+    /// Records a pivot-step span around `f` on this rank's trace track.
+    pub fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        let me = self.world_me();
+        let t0 = {
+            let st = self.world.lock();
+            st.net.now(me)
+        };
+        let out = f();
+        let st = self.world.lock();
+        st.net.record_step(me, k, outer, inner, t0, st.net.now(me));
+        out
+    }
+
+    /// Aligns every member of this communicator to the group's latest
+    /// clock; the wait is accounted as communication. No messages are
+    /// modelled — this is the idealized barrier the analytic model uses.
+    pub fn barrier(&self) {
+        let seq = self.barrier_seq.get();
+        self.barrier_seq.set(seq + 1);
+        let key = (self.ctx, seq);
+        let group = self.members.len();
+        let me_w = self.world_me();
+        let mut st = self.world.lock();
+        let entry = st.barriers.entry(key).or_insert(BarrierState {
+            arrived: 0,
+            departed: 0,
+            done: false,
+        });
+        entry.arrived += 1;
+        if entry.arrived == group {
+            entry.done = true;
+            let members = self.members.clone();
+            st.net.barrier_group(&members);
+            for &m in members.iter() {
+                if m != me_w {
+                    self.world.wake[m].notify_all();
+                }
+            }
+        } else {
+            while !st.barriers[&key].done {
+                st = self.world.wake[me_w]
+                    .wait(st)
+                    .expect("a simulated rank panicked");
+            }
+        }
+        let entry = st.barriers.get_mut(&key).expect("barrier entry vanished");
+        entry.departed += 1;
+        if entry.departed == group {
+            st.barriers.remove(&key);
+        }
+    }
+
+    /// A world-wide clock alignment after a schedule step, if this run
+    /// was configured with `step_sync` (the per-step-synchronized
+    /// variants of the `sim_*` drivers); otherwise a no-op.
+    pub fn maybe_step_sync(&self) {
+        if self.world.step_sync {
+            // Alignment is world-wide regardless of which communicator
+            // the handle spans, matching the old drivers' `barrier_all`.
+            let world_members = self.members.len() == self.world.wake.len();
+            assert!(
+                world_members,
+                "maybe_step_sync must be called on the world communicator"
+            );
+            self.barrier();
+        }
+    }
+
+    /// Splits this communicator by `color`; members of the new group are
+    /// ordered by `(key, parent rank)`. Pure control plane: unlike the
+    /// runtime's split (which gathers and broadcasts the color table in
+    /// zero-byte messages), the simulator charges nothing, matching the
+    /// analytic model.
+    pub fn split(&self, color: u64, key: i64) -> SimComm<'w> {
+        let epoch = self.epoch.get();
+        self.epoch.set(epoch + 1);
+        let rkey = (self.ctx, epoch);
+        let group = self.members.len();
+        let me_w = self.world_me();
+        let mut st = self.world.lock();
+        let entry = st.splits.entry(rkey).or_insert_with(|| SplitState {
+            table: vec![None; group],
+            arrived: 0,
+            departed: 0,
+            groups: None,
+        });
+        entry.table[self.my_rank] = Some((color, key));
+        entry.arrived += 1;
+        if entry.arrived == group {
+            // Last arriver computes every color's membership and context.
+            let table: Vec<(u64, i64)> = entry.table.iter().map(|e| e.unwrap()).collect();
+            let mut colors: Vec<u64> = table.iter().map(|&(c, _)| c).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut groups = HashMap::new();
+            let mut next_ctx = st.next_ctx;
+            for &c in &colors {
+                let mut members: Vec<(i64, usize)> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(mc, _))| mc == c)
+                    .map(|(parent_rank, &(_, k))| (k, parent_rank))
+                    .collect();
+                members.sort_unstable();
+                let world: Vec<usize> = members
+                    .into_iter()
+                    .map(|(_, parent_rank)| self.members[parent_rank])
+                    .collect();
+                groups.insert(c, (next_ctx, Arc::new(world)));
+                next_ctx += 1;
+            }
+            st.next_ctx = next_ctx;
+            let entry = st.splits.get_mut(&rkey).expect("split entry vanished");
+            entry.groups = Some(groups);
+            for &m in self.members.iter() {
+                if m != me_w {
+                    self.world.wake[m].notify_all();
+                }
+            }
+        } else {
+            while st.splits[&rkey].groups.is_none() {
+                st = self.world.wake[me_w]
+                    .wait(st)
+                    .expect("a simulated rank panicked");
+            }
+        }
+        let entry = st.splits.get_mut(&rkey).expect("split entry vanished");
+        let (ctx, members) = entry.groups.as_ref().expect("groups just computed")[&color].clone();
+        entry.departed += 1;
+        if entry.departed == group {
+            st.splits.remove(&rkey);
+        }
+        drop(st);
+        let my_rank = members
+            .iter()
+            .position(|&w| w == me_w)
+            .expect("caller must be a member of its own color group");
+        SimComm {
+            world: self.world,
+            ctx,
+            members,
+            my_rank,
+            epoch: Cell::new(0),
+            barrier_seq: Cell::new(0),
+        }
+    }
+}
+
+/// Convenience wrapper: runs `f` SPMD over a fresh flat network and
+/// returns the final [`SimReport`].
+pub fn simulate<F>(p: usize, net: SimNet, gamma: f64, step_sync: bool, f: F) -> SimReport
+where
+    F: Fn(&SimComm) + Sync,
+{
+    assert_eq!(p, net.size(), "rank count must match the network");
+    let (net, _) = SimWorld::run(net, gamma, step_sync, f);
+    net.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hockney;
+
+    fn world(p: usize) -> SimNet {
+        SimNet::new(p, Hockney::new(1e-3, 1e-6))
+    }
+
+    #[test]
+    fn spmd_send_matches_central_driver() {
+        // Central driver.
+        let mut net = world(2);
+        net.send(0, 1, 1000);
+        let want = net.report();
+        // SPMD program.
+        let (net2, _) = SimWorld::run(world(2), 0.0, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 7, 1000);
+            } else {
+                assert_eq!(comm.recv_bytes(0, 7), 1000);
+            }
+        });
+        assert_eq!(net2.report(), want);
+    }
+
+    #[test]
+    fn messages_between_same_pair_are_fifo() {
+        let (_, sizes) = SimWorld::run(world(2), 0.0, false, |comm| {
+            if comm.rank() == 0 {
+                for b in [10, 20, 30] {
+                    comm.send_bytes(1, 3, b);
+                }
+                vec![]
+            } else {
+                (0..3).map(|_| comm.recv_bytes(0, 3)).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(sizes[1], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn distinct_tags_do_not_interfere() {
+        let (_, got) = SimWorld::run(world(2), 0.0, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 1, 111);
+                comm.send_bytes(1, 2, 222);
+                (0, 0)
+            } else {
+                // Receive in the opposite order of sending.
+                let b2 = comm.recv_bytes(0, 2);
+                let b1 = comm.recv_bytes(0, 1);
+                (b1, b2)
+            }
+        });
+        assert_eq!(got[1], (111, 222));
+    }
+
+    #[test]
+    fn compute_charges_gamma_per_pair() {
+        let gamma = 2e-9;
+        let (net, _) = SimWorld::run(world(1), gamma, false, |comm| comm.compute(500.0, 1000));
+        assert_eq!(net.report().comp_time, gamma * 500.0);
+    }
+
+    #[test]
+    fn split_is_free_and_orders_by_key_then_parent_rank() {
+        let (net, ranks) = SimWorld::run(world(4), 0.0, false, |comm| {
+            // Two colors; reversed keys flip the rank order.
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, -(comm.rank() as i64));
+            (sub.rank(), sub.size(), sub.world_rank_of(0))
+        });
+        // Color 0 holds world ranks {0, 2} with keys {0, -2}: rank order 2, 0.
+        assert_eq!(ranks[0], (1, 2, 2));
+        assert_eq!(ranks[2], (0, 2, 2));
+        // Color 1 holds world ranks {1, 3} with keys {-1, -3}: order 3, 1.
+        assert_eq!(ranks[1], (1, 2, 3));
+        assert_eq!(ranks[3], (0, 2, 3));
+        let r = net.report();
+        assert_eq!((r.msgs, r.bytes), (0, 0), "split must cost nothing");
+    }
+
+    #[test]
+    fn sub_communicator_messages_are_isolated() {
+        let (net, _) = SimWorld::run(world(4), 0.0, false, |comm| {
+            let sub = comm.split((comm.rank() / 2) as u64, comm.rank() as i64);
+            if sub.rank() == 0 {
+                comm.send_bytes(comm.rank() + 1, 5, 64); // world-context send
+                sub.send_bytes(1, 5, 32); // same tag, sub-context
+            } else {
+                let w = comm.recv_bytes(comm.rank() - 1, 5);
+                let s = sub.recv_bytes(0, 5);
+                assert_eq!((w, s), (64, 32));
+            }
+        });
+        assert_eq!(net.report().msgs, 4);
+    }
+
+    #[test]
+    fn barrier_aligns_group_clocks() {
+        let (net, _) = SimWorld::run(world(3), 1e-6, false, |comm| {
+            if comm.rank() == 1 {
+                comm.compute(1_000_000.0, 2_000_000); // 1 second ahead
+            }
+            comm.barrier();
+            assert_eq!(comm.now(), 1.0);
+        });
+        let r = net.report();
+        assert_eq!(r.msgs, 0, "barrier models no messages");
+        assert_eq!(r.total_time, 1.0);
+        assert_eq!(r.comm_time, 1.0, "waiting at the barrier is comm time");
+    }
+
+    #[test]
+    fn successive_barriers_do_not_entangle() {
+        let (net, _) = SimWorld::run(world(2), 1e-6, false, |comm| {
+            for step in 0..3 {
+                if comm.rank() == step % 2 {
+                    comm.compute(1_000_000.0, 2_000_000);
+                }
+                comm.barrier();
+            }
+        });
+        assert_eq!(net.report().total_time, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undelivered messages")]
+    fn leftover_messages_are_detected() {
+        let _ = SimWorld::run(world(2), 0.0, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 9, 8);
+            }
+        });
+    }
+}

@@ -9,7 +9,7 @@
 //! that effect qualitatively.
 
 /// Maps a rank pair to the extra latency their route incurs.
-pub trait Topology {
+pub trait Topology: Send {
     /// Additional one-way latency between two ranks, in seconds, added on
     /// top of the platform `α`.
     fn extra_latency(&self, src: usize, dst: usize) -> f64;

@@ -35,64 +35,10 @@ const TAG_PIPELINE: Tag = INTERNAL_TAG_BASE + 22;
 const TAG_ALLTOALL: Tag = INTERNAL_TAG_BASE + 23;
 const TAG_ALLREDUCE: Tag = INTERNAL_TAG_BASE + 24;
 
-/// Selectable broadcast algorithm (see module docs for cost models).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BcastAlgorithm {
-    /// Root sends the full message to every other rank.
-    Flat,
-    /// Binomial tree: `⌈log₂ p⌉` rounds, the classic short-message choice.
-    Binomial,
-    /// Balanced binary tree rooted at the root.
-    Binary,
-    /// Linear chain through all ranks (pipeline with one segment).
-    Ring,
-    /// Linear chain with the payload cut into `segments` pipelined pieces.
-    Pipelined {
-        /// Number of segments the payload is cut into (≥ 1).
-        segments: usize,
-    },
-    /// Van de Geijn: binomial-tree scatter then ring allgather. The paper's
-    /// long-message broadcast (Table II).
-    ScatterAllgather,
-}
-
-impl BcastAlgorithm {
-    /// Stable name for traces and CLI flags.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BcastAlgorithm::Flat => "flat",
-            BcastAlgorithm::Binomial => "binomial",
-            BcastAlgorithm::Binary => "binary",
-            BcastAlgorithm::Ring => "ring",
-            BcastAlgorithm::Pipelined { .. } => "pipelined",
-            BcastAlgorithm::ScatterAllgather => "scatter_allgather",
-        }
-    }
-
-    /// Whether the algorithm needs to cut the payload into pieces and
-    /// therefore requires the slice-based [`bcast_f64`] entry point.
-    pub fn needs_segmentation(&self) -> bool {
-        matches!(
-            self,
-            BcastAlgorithm::Pipelined { .. } | BcastAlgorithm::ScatterAllgather
-        )
-    }
-}
-
-/// MPICH's broadcast-selection policy, reproduced: binomial tree for
-/// short messages, scatter + allgather (van de Geijn) for long ones.
-/// The default threshold is MPICH's classic 12 KiB medium-message cutoff.
-///
-/// This is what "MPI_Bcast" effectively ran inside the paper's SUMMA:
-/// pass the result as the algorithm to [`bcast_f64`].
-pub fn auto_bcast(payload_bytes: usize, p: usize) -> BcastAlgorithm {
-    const MEDIUM: usize = 12 * 1024;
-    if payload_bytes < MEDIUM || p < 8 {
-        BcastAlgorithm::Binomial
-    } else {
-        BcastAlgorithm::ScatterAllgather
-    }
-}
+// The algorithm selector itself lives in `hsumma-trace` (the leaf crate
+// both substrates depend on) so the runtime and the simulator cannot
+// drift; this module provides the executable schedules for it.
+pub use hsumma_trace::{auto_bcast, BcastAlgorithm};
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, no root.
 pub fn barrier(comm: &Comm) {

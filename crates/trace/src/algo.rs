@@ -1,0 +1,113 @@
+//! The one shared broadcast-algorithm selector.
+//!
+//! Both execution substrates — the threaded runtime (`hsumma-runtime`)
+//! and the discrete-event simulator (`hsumma-netsim`) — schedule their
+//! broadcasts from this single enum. It lives here, in the leaf crate
+//! both already depend on for tracing, so the two sides *cannot* drift:
+//! there is no second copy to re-unify (the duplication used to exist as
+//! `runtime::BcastAlgorithm` vs `netsim::SimBcast`, and the trees had to
+//! be hand-reconciled once already).
+//!
+//! Cost models on a flat Hockney network (`α + m·β` per message):
+//!
+//! | algorithm | messages on the critical path | model cost |
+//! |---|---|---|
+//! | `Flat` | root sends `p−1` copies | `(p−1)(α+mβ)` |
+//! | `Binomial` | `⌈log₂p⌉` rounds of full copies | `log₂(p)(α+mβ)` |
+//! | `Binary` | depth `⌊log₂p⌋` tree, 2 sends per node | `≈2log₂(p)(α+mβ)` |
+//! | `Ring` | chain of `p−1` full copies | `(p−1)(α+mβ)` |
+//! | `Pipelined{s}` | chain of `p−1+s−1` segments | `(p+s−2)(α+mβ/s)` |
+//! | `ScatterAllgather` | binomial scatter + ring allgather | `(log₂p+p−1)α + 2((p−1)/p)mβ` |
+
+/// Selectable broadcast algorithm (see module docs for cost models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastAlgorithm {
+    /// Root sends the full message to every other rank.
+    Flat,
+    /// Binomial tree: `⌈log₂ p⌉` rounds, the classic short-message choice.
+    Binomial,
+    /// Balanced binary tree rooted at the root.
+    Binary,
+    /// Linear chain through all ranks (pipeline with one segment).
+    Ring,
+    /// Linear chain with the payload cut into `segments` pipelined pieces.
+    Pipelined {
+        /// Number of segments the payload is cut into (≥ 1).
+        segments: usize,
+    },
+    /// Van de Geijn: binomial-tree scatter then ring allgather. The paper's
+    /// long-message broadcast (Table II).
+    ScatterAllgather,
+}
+
+impl BcastAlgorithm {
+    /// Stable name for traces and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BcastAlgorithm::Flat => "flat",
+            BcastAlgorithm::Binomial => "binomial",
+            BcastAlgorithm::Binary => "binary",
+            BcastAlgorithm::Ring => "ring",
+            BcastAlgorithm::Pipelined { .. } => "pipelined",
+            BcastAlgorithm::ScatterAllgather => "scatter_allgather",
+        }
+    }
+
+    /// Whether the algorithm cuts the payload into pieces (and therefore
+    /// requires a sliceable payload on the executable substrate).
+    pub fn needs_segmentation(&self) -> bool {
+        matches!(
+            self,
+            BcastAlgorithm::Pipelined { .. } | BcastAlgorithm::ScatterAllgather
+        )
+    }
+}
+
+/// MPICH's broadcast-selection policy, reproduced: binomial tree for
+/// short messages, scatter + allgather (van de Geijn) for long ones.
+/// The default threshold is MPICH's classic 12 KiB medium-message cutoff.
+///
+/// This is what "MPI_Bcast" effectively ran inside the paper's SUMMA.
+pub fn auto_bcast(payload_bytes: usize, p: usize) -> BcastAlgorithm {
+    const MEDIUM: usize = 12 * 1024;
+    if payload_bytes < MEDIUM || p < 8 {
+        BcastAlgorithm::Binomial
+    } else {
+        BcastAlgorithm::ScatterAllgather
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        for (algo, want) in [
+            (BcastAlgorithm::Flat, "flat"),
+            (BcastAlgorithm::Binomial, "binomial"),
+            (BcastAlgorithm::Binary, "binary"),
+            (BcastAlgorithm::Ring, "ring"),
+            (BcastAlgorithm::Pipelined { segments: 4 }, "pipelined"),
+            (BcastAlgorithm::ScatterAllgather, "scatter_allgather"),
+        ] {
+            assert_eq!(algo.name(), want);
+        }
+    }
+
+    #[test]
+    fn auto_bcast_reproduces_mpich_cutoff() {
+        assert_eq!(auto_bcast(1024, 64), BcastAlgorithm::Binomial);
+        assert_eq!(auto_bcast(64 * 1024, 64), BcastAlgorithm::ScatterAllgather);
+        // Small communicators stay binomial even for long messages.
+        assert_eq!(auto_bcast(64 * 1024, 4), BcastAlgorithm::Binomial);
+    }
+
+    #[test]
+    fn segmentation_flags() {
+        assert!(BcastAlgorithm::Pipelined { segments: 2 }.needs_segmentation());
+        assert!(BcastAlgorithm::ScatterAllgather.needs_segmentation());
+        assert!(!BcastAlgorithm::Binomial.needs_segmentation());
+        assert!(!BcastAlgorithm::Ring.needs_segmentation());
+    }
+}

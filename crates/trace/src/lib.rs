@@ -24,6 +24,7 @@
 //!   dependency graph with per-edge α/β attribution) and
 //!   [`Trace::step_breakdown`] (per-pivot-step comm/compute table).
 
+mod algo;
 mod breakdown;
 mod chrome;
 mod critical;
@@ -31,6 +32,7 @@ mod event;
 mod ring;
 mod tracer;
 
+pub use algo::{auto_bcast, BcastAlgorithm};
 pub use breakdown::{render_breakdown, StepRow};
 pub use chrome::validate_json;
 pub use critical::{CriticalPath, MessageEdge, PathCost};

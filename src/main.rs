@@ -281,13 +281,19 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_bcast(opts: &HashMap<String, String>) -> Result<(), String> {
+    use hsumma_repro::core::{Communicator, PhantomMat};
+    use hsumma_repro::netsim::spmd::SimWorld;
+
     let p: usize = get(opts, "p", 16)?;
     let bytes: u64 = get(opts, "bytes", 1_048_576)?;
+    // Payloads travel as whole f64 elements on every substrate.
+    let elems = (bytes / 8).max(1) as usize;
     let net_params = Hockney::new(get(opts, "alpha", 1e-5)?, get(opts, "beta", 1e-9)?);
-    let group: Vec<usize> = (0..p).collect();
     println!(
-        "broadcast of {bytes} B over {p} ranks (alpha={:.1e}, beta={:.1e}):",
-        net_params.alpha, net_params.beta
+        "broadcast of {} B over {p} ranks (alpha={:.1e}, beta={:.1e}):",
+        elems as u64 * 8,
+        net_params.alpha,
+        net_params.beta
     );
     for (name, algo) in [
         ("flat", SimBcast::Flat),
@@ -297,9 +303,14 @@ fn cmd_bcast(opts: &HashMap<String, String>) -> Result<(), String> {
         ("pipelined(16)", SimBcast::Pipelined { segments: 16 }),
         ("van de Geijn", SimBcast::ScatterAllgather),
     ] {
-        let mut net = SimNet::new(p, net_params);
-        let t = algo.run(&mut net, &group, 0, bytes);
-        println!("{name:>14}: {t:.6} s");
+        let (net, _) = SimWorld::run(SimNet::new(p, net_params), 0.0, false, move |comm| {
+            let mut m = PhantomMat {
+                rows: 1,
+                cols: elems,
+            };
+            comm.bcast_mat(algo, 0, &mut m);
+        });
+        println!("{name:>14}: {:.6} s", net.elapsed());
     }
     Ok(())
 }

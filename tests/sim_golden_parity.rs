@@ -1,0 +1,194 @@
+//! Golden-parity tests for the simulator refactor.
+//!
+//! These `SimReport` values were captured bit-for-bit from the
+//! pre-refactor `simdrive` replay engine (the hand-written per-algorithm
+//! schedules) on the paper's Grid5000 and BlueGene/P platform models.
+//! The generic `Communicator`-driven simulator must reproduce them
+//! exactly: same virtual times to the last ulp, same message and byte
+//! counts. Any divergence means the single-source schedule no longer
+//! matches what the paper-model validation in `simdrive` was built on.
+//!
+//! Configs are chosen so panel sizes divide evenly among every group the
+//! schedule broadcasts over, keeping byte-chunked and element-chunked
+//! segmentation identical.
+
+use hsumma_core::simdrive::{sim_cannon, sim_fox, sim_hsumma, sim_summa};
+use hsumma_matrix::GridShape;
+use hsumma_netsim::{Platform, SimBcast, SimReport};
+
+/// (label, total_time bits, comm_time bits, comp_time bits, msgs, bytes)
+type Golden = (&'static str, u64, u64, u64, u64, u64);
+
+const GOLDENS: &[Golden] = &[
+    (
+        "summa-binomial-g5k",
+        0x3f83f9e901e51c1e,
+        0x3f83c2ef42316ca3,
+        0x3f1b7cdfd9d7bdbc,
+        1792,
+        7340032,
+    ),
+    (
+        "summa-sag-g5k",
+        0x3fa073ce55795e66,
+        0x3fa0660fe58c7286,
+        0x3f1b7cdfd9d7bdbc,
+        16128,
+        8912896,
+    ),
+    (
+        "summa-ring-g5k",
+        0x3f784ed49a0dc237,
+        0x3f77e0e11aa66341,
+        0x3f1b7cdfd9d7bdbc,
+        1792,
+        7340032,
+    ),
+    (
+        "summa-pipe4-g5k",
+        0x3f8fcb5875bb5799,
+        0x3f8f945eb607a81d,
+        0x3f1b7cdfd9d7bdbc,
+        7168,
+        7340032,
+    ),
+    (
+        "hsumma-binomial-g5k",
+        0x3f80b30ca48193b3,
+        0x3f807c12e4cde439,
+        0x3f1b7cdfd9d7bdbc,
+        1664,
+        7340032,
+    ),
+    (
+        "cannon-g5k",
+        0x3f5f82dc7bb1f62e,
+        0x3f5dcb0e7e147a55,
+        0x3f1b7cdfd9d7bdba,
+        1136,
+        9306112,
+    ),
+    (
+        "fox-g5k",
+        0x3f6b5782198b9c71,
+        0x3f6a7b9b1abcde83,
+        0x3f1b7cdfd9d7bdba,
+        960,
+        7864320,
+    ),
+    (
+        "summa-binomial-bgp",
+        0x3f41eb745e9fe92f,
+        0x3f361878d053f380,
+        0x3f2b7cdfd9d7bdbc,
+        1792,
+        7340032,
+    ),
+    (
+        "summa-sag-bgp",
+        0x3f53a266753e9660,
+        0x3f5032ca7a039e95,
+        0x3f2b7cdfd9d7bdbc,
+        16128,
+        8912896,
+    ),
+    (
+        "summa-ring-bgp",
+        0x3f3b17e39573eca7,
+        0x3f2ab2e751101b90,
+        0x3f2b7cdfd9d7bdbc,
+        1792,
+        7340032,
+    ),
+    (
+        "summa-pipe4-bgp",
+        0x3f46a81c9b148e9c,
+        0x3f3f91c9493d3e54,
+        0x3f2b7cdfd9d7bdbc,
+        7168,
+        7340032,
+    ),
+    (
+        "hsumma-binomial-bgp",
+        0x3f4058cd278edae8,
+        0x3f32f32a6231d6f1,
+        0x3f2b7cdfd9d7bdbc,
+        1664,
+        7340032,
+    ),
+    (
+        "cannon-bgp",
+        0x3f327da4ff24fa0d,
+        0x3f12fcd448e46cc9,
+        0x3f2b7cdfd9d7bdba,
+        1136,
+        9306112,
+    ),
+    (
+        "fox-bgp",
+        0x3f362ece4634f2c0,
+        0x3f20e0bcb29227cb,
+        0x3f2b7cdfd9d7bdba,
+        960,
+        7864320,
+    ),
+];
+
+fn run(label: &str) -> SimReport {
+    let (algo, plat) = label.rsplit_once('-').unwrap();
+    let plat = match plat {
+        "g5k" => Platform::grid5000(),
+        "bgp" => Platform::bluegene_p(),
+        other => panic!("unknown platform tag {other}"),
+    };
+    let grid = GridShape::new(8, 8);
+    match algo {
+        "summa-binomial" => sim_summa(&plat, grid, 256, 16, SimBcast::Binomial),
+        "summa-sag" => sim_summa(&plat, grid, 256, 16, SimBcast::ScatterAllgather),
+        "summa-ring" => sim_summa(&plat, grid, 256, 16, SimBcast::Ring),
+        "summa-pipe4" => sim_summa(&plat, grid, 256, 16, SimBcast::Pipelined { segments: 4 }),
+        "hsumma-binomial" => sim_hsumma(
+            &plat,
+            grid,
+            GridShape::new(2, 2),
+            256,
+            32,
+            16,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+        ),
+        "cannon" => sim_cannon(&plat, 8, 256, false),
+        "fox" => sim_fox(&plat, 8, 256, SimBcast::Binomial, false),
+        other => panic!("unknown algorithm tag {other}"),
+    }
+}
+
+#[test]
+fn simulated_reports_match_pre_refactor_goldens_bit_for_bit() {
+    for &(label, total, comm, comp, msgs, bytes) in GOLDENS {
+        let r = run(label);
+        assert_eq!(
+            r.total_time.to_bits(),
+            total,
+            "{label}: total_time {:.17e} != golden {:.17e}",
+            r.total_time,
+            f64::from_bits(total)
+        );
+        assert_eq!(
+            r.comm_time.to_bits(),
+            comm,
+            "{label}: comm_time {:.17e} != golden {:.17e}",
+            r.comm_time,
+            f64::from_bits(comm)
+        );
+        assert_eq!(
+            r.comp_time.to_bits(),
+            comp,
+            "{label}: comp_time {:.17e} != golden {:.17e}",
+            r.comp_time,
+            f64::from_bits(comp)
+        );
+        assert_eq!(r.msgs, msgs, "{label}: message count drifted");
+        assert_eq!(r.bytes, bytes, "{label}: byte volume drifted");
+    }
+}

@@ -45,9 +45,35 @@ fn split_cost(p: usize) -> u64 {
 /// trace (split-protocol control messages carry 0 payload bytes, so the
 /// payload multisets below are multiply-phase traffic only).
 fn real_trace(grid: GridShape, run: impl Fn(&Comm) + Send + Sync) -> Trace {
-    let tracer = Tracer::new(grid.size());
-    Runtime::run_traced(grid.size(), &tracer, |comm| run(comm));
+    real_trace_p(grid.size(), run)
+}
+
+/// [`real_trace`] for rank counts that are not a 2-D grid (2.5D, TSQR).
+fn real_trace_p(p: usize, run: impl Fn(&Comm) + Send + Sync) -> Trace {
+    let tracer = Tracer::new(p);
+    Runtime::run_traced(p, &tracer, |comm| run(comm));
     tracer.collect()
+}
+
+/// Runs the *same generic algorithm* over simulated clocks with phantom
+/// payloads and a tracer attached, returning the trace.
+fn sim_trace(p: usize, f: impl Fn(&hsumma_repro::netsim::spmd::SimComm) + Sync) -> Trace {
+    let tracer = Tracer::new(p);
+    let mut net = SimNet::new(p, Platform::grid5000().net);
+    net.attach_tracer(&tracer);
+    let _ = hsumma_repro::netsim::spmd::SimWorld::run(net, 0.0, false, f);
+    tracer.collect()
+}
+
+/// The multiset identity both substrates must satisfy: every rank sends
+/// the same `(src, dst, bytes)` multiset (zero-byte control messages
+/// excluded) whether the schedule moves real data or phantom payloads.
+fn assert_same_sends(real: &Trace, sim: &Trace, what: &str) {
+    assert_eq!(
+        real.per_rank_send_multisets(),
+        sim.per_rank_send_multisets(),
+        "{what}: real and simulated schedules moved different messages"
+    );
 }
 
 /// The strongest cross-substrate check: the real runtime and the
@@ -142,6 +168,228 @@ fn real_and_sim_hsumma_emit_identical_payload_multisets() {
         sim.per_rank_send_multisets(),
         "every rank must send the same (src, dst, bytes) multiset on both substrates"
     );
+}
+
+// ---------------------------------------------------------------------
+// Per-rank multiset parity for every algorithm in the crate. Each test
+// runs the *same generic function* on both substrates — real `Matrix`
+// payloads over threads, `PhantomMat` over simulated clocks — and
+// demands identical per-rank `(src, dst, bytes)` send multisets.
+// Broadcasts are pinned to Binomial where configurable: relayed trees
+// move the same wire bytes on both substrates, while scatter-allgather's
+// real segmentation differs from the simulator's subtree accounting.
+// ---------------------------------------------------------------------
+
+use hsumma_repro::core::{
+    block_lu, cannon, fox, hier_bcast, summa_cyclic, summa_overlap, summa_rect, tsqr, twodotfive,
+    LuConfig, MatMulDims, PhantomMat, TwoDotFiveConfig,
+};
+use hsumma_repro::matrix::{factor::seeded_diag_dominant, BlockCyclicDist, Matrix};
+
+#[test]
+fn real_and_sim_cannon_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let (n, ts) = (32usize, 8usize);
+    let tiles: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(ts, ts, 100 + r as u64))
+        .collect();
+    let real = real_trace(grid, |comm| {
+        let t = &tiles[comm.rank()];
+        let _ = cannon(comm, grid, n, t, t, GemmKernel::Blocked);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let t = PhantomMat { rows: ts, cols: ts };
+        let _ = cannon(comm, grid, n, &t, &t, GemmKernel::Blocked);
+    });
+    assert_same_sends(&real, &sim, "cannon");
+}
+
+#[test]
+fn real_and_sim_fox_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let (n, ts) = (32usize, 8usize);
+    let tiles: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(ts, ts, 200 + r as u64))
+        .collect();
+    let real = real_trace(grid, |comm| {
+        let t = &tiles[comm.rank()];
+        let _ = fox(comm, grid, n, t, t, GemmKernel::Blocked);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let t = PhantomMat { rows: ts, cols: ts };
+        let _ = fox(comm, grid, n, &t, &t, GemmKernel::Blocked);
+    });
+    assert_same_sends(&real, &sim, "fox");
+}
+
+#[test]
+fn real_and_sim_cyclic_summa_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let (n, b) = (32usize, 4usize);
+    let dist = BlockCyclicDist::new(grid, n, n, b);
+    let (th, tw) = dist.tile_shape();
+    let cfg = SummaConfig {
+        block: b,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    };
+    let tiles: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(th, tw, 300 + r as u64))
+        .collect();
+    let real = real_trace(grid, |comm| {
+        let t = &tiles[comm.rank()];
+        let _ = summa_cyclic(comm, grid, n, t, t, &cfg);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let t = PhantomMat { rows: th, cols: tw };
+        let _ = summa_cyclic(comm, grid, n, &t, &t, &cfg);
+    });
+    assert_same_sends(&real, &sim, "cyclic summa");
+}
+
+#[test]
+fn real_and_sim_overlap_emit_identical_payload_multisets() {
+    let grid = GridShape::new(4, 4);
+    let (n, ts) = (32usize, 8usize);
+    let cfg = SummaConfig {
+        block: 4,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    };
+    let tiles: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(ts, ts, 400 + r as u64))
+        .collect();
+    let real = real_trace(grid, |comm| {
+        let t = &tiles[comm.rank()];
+        let _ = summa_overlap(comm, grid, n, t, t, &cfg);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let t = PhantomMat { rows: ts, cols: ts };
+        let _ = summa_overlap(comm, grid, n, &t, &t, &cfg);
+    });
+    assert_same_sends(&real, &sim, "overlapped summa");
+}
+
+#[test]
+fn real_and_sim_rect_summa_emit_identical_payload_multisets() {
+    // Rectangular shapes exercise the m/l/n bookkeeping: A tiles are
+    // 4×8, B tiles 8×4 on a 2×2 grid.
+    let grid = GridShape::new(2, 2);
+    let dims = MatMulDims { m: 8, l: 16, n: 8 };
+    let cfg = SummaConfig {
+        block: 2,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+    };
+    let (ah, aw) = (dims.m / grid.rows, dims.l / grid.cols);
+    let (bh, bw) = (dims.l / grid.rows, dims.n / grid.cols);
+    let ats: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(ah, aw, 500 + r as u64))
+        .collect();
+    let bts: Vec<Matrix> = (0..grid.size())
+        .map(|r| seeded_uniform(bh, bw, 600 + r as u64))
+        .collect();
+    let real = real_trace(grid, |comm| {
+        let _ = summa_rect(comm, grid, dims, &ats[comm.rank()], &bts[comm.rank()], &cfg);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let a = PhantomMat { rows: ah, cols: aw };
+        let b = PhantomMat { rows: bh, cols: bw };
+        let _ = summa_rect(comm, grid, dims, &a, &b, &cfg);
+    });
+    assert_same_sends(&real, &sim, "rectangular summa");
+}
+
+#[test]
+fn real_and_sim_lu_emit_identical_payload_multisets() {
+    // Hierarchical panel broadcasts (groups = 2×2) on both substrates.
+    // LU needs nonzero pivots on the real side, hence diag-dominant data.
+    let grid = GridShape::new(4, 4);
+    let (n, bs) = (16usize, 2usize);
+    let cfg = LuConfig {
+        block: bs,
+        bcast: BcastAlgorithm::Binomial,
+        kernel: GemmKernel::Blocked,
+        groups: Some(GridShape::new(2, 2)),
+    };
+    let a = seeded_diag_dominant(n, 9);
+    let dist = BlockDist::new(grid, n, n);
+    let at = dist.scatter(&a);
+    let real = real_trace(grid, |comm| {
+        let _ = block_lu(comm, grid, n, &at[comm.rank()].clone(), &cfg);
+    });
+    let sim = sim_trace(grid.size(), |comm| {
+        let t = PhantomMat { rows: 4, cols: 4 };
+        let _ = block_lu(comm, grid, n, &t, &cfg);
+    });
+    assert_same_sends(&real, &sim, "block LU");
+}
+
+#[test]
+fn real_and_sim_twodotfive_emit_identical_payload_multisets() {
+    // q = 2, c = 2: replication broadcasts, layer-local partial SUMMA,
+    // and the depth reduction all have to line up across substrates.
+    let cfg = TwoDotFiveConfig {
+        q: 2,
+        c: 2,
+        summa: SummaConfig {
+            block: 2,
+            bcast: BcastAlgorithm::Binomial,
+            kernel: GemmKernel::Blocked,
+        },
+    };
+    let (n, ts, p) = (8usize, 4usize, 8usize);
+    let tiles: Vec<Matrix> = (0..p)
+        .map(|r| seeded_uniform(ts, ts, 700 + r as u64))
+        .collect();
+    let real = real_trace_p(p, |comm| {
+        let t = &tiles[comm.rank()];
+        let _ = twodotfive(comm, n, t, t, &cfg);
+    });
+    let sim = sim_trace(p, |comm| {
+        let t = PhantomMat { rows: ts, cols: ts };
+        let _ = twodotfive(comm, n, &t, &t, &cfg);
+    });
+    assert_same_sends(&real, &sim, "2.5D");
+}
+
+#[test]
+fn real_and_sim_tsqr_emit_identical_payload_multisets() {
+    // Tree reduction + downward sweep + final R broadcast. QR needs
+    // full-rank local blocks on the real side, hence random data.
+    let (p, rows, ncols) = (4usize, 8usize, 3usize);
+    let blocks: Vec<Matrix> = (0..p)
+        .map(|r| seeded_uniform(rows, ncols, 800 + r as u64))
+        .collect();
+    let real = real_trace_p(p, |comm| {
+        let _ = tsqr(comm, &blocks[comm.rank()]);
+    });
+    let sim = sim_trace(p, |comm| {
+        let block = PhantomMat { rows, cols: ncols };
+        let _ = tsqr(comm, &block);
+    });
+    assert_same_sends(&real, &sim, "TSQR");
+}
+
+#[test]
+fn real_and_sim_hier_bcast_emit_identical_payload_multisets() {
+    // Multi-level broadcast with a non-leader root (rank 5, levels 2×4):
+    // the leader relay and the subgroup broadcasts must pair identically.
+    let p = 8usize;
+    let root = 5usize;
+    let real = real_trace_p(p, |comm| {
+        let mut m = if comm.rank() == root {
+            seeded_uniform(2, 4, 9)
+        } else {
+            Matrix::zeros(2, 4)
+        };
+        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]);
+    });
+    let sim = sim_trace(p, |comm| {
+        let mut m = PhantomMat { rows: 2, cols: 4 };
+        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]);
+    });
+    assert_same_sends(&real, &sim, "hierarchical broadcast");
 }
 
 #[test]

@@ -70,12 +70,17 @@ fn disabled_tracer_adds_no_events_and_no_hot_path_allocations() {
 /// one hop to the longest chain.
 #[test]
 fn binomial_bcast_critical_path_is_exactly_log2_p_edges() {
+    use hsumma_repro::core::{Communicator, PhantomMat};
+    use hsumma_repro::netsim::spmd::SimWorld;
     for p in [2usize, 4, 8, 16, 32] {
         let tracer = Tracer::new(p);
         let mut net = SimNet::new(p, Hockney::new(1e-5, 1e-9));
         net.attach_tracer(&tracer);
-        let ranks: Vec<usize> = (0..p).collect();
-        SimBcast::Binomial.run(&mut net, &ranks, 0, 4096);
+        // 512 f64 elements = the 4096 wire bytes the cost check expects.
+        let (_net, _) = SimWorld::run(net, 0.0, false, move |comm| {
+            let mut m = PhantomMat { rows: 1, cols: 512 };
+            comm.bcast_mat(SimBcast::Binomial, 0, &mut m);
+        });
         let cp = tracer.collect().critical_path();
         let want = p.ilog2() as usize;
         assert_eq!(
