@@ -16,6 +16,8 @@
 //! * [`simdrive`] — schedule replay on `hsumma-netsim` clocks (Figs. 5–9);
 //! * [`tuning`] — optimal group count selection by sampling (§VI);
 //! * [`multilevel`] — ≥ 2 hierarchy levels (the paper's future work);
+//! * [`plan`] — executable algorithm plans ([`PlannedAlgo`]) and the
+//!   generic dispatcher [`run_planned`], used by the serving layer;
 //! * [`overlap`] — one-step-lookahead SUMMA hiding panel transfers
 //!   behind the local multiply (§VI's overlap remark);
 //! * [`mod@twodotfive`] — the 2.5D algorithm of §I, executable, for the
@@ -36,6 +38,7 @@ pub mod hsumma;
 pub mod lu;
 pub mod multilevel;
 pub mod overlap;
+pub mod plan;
 pub mod rect;
 pub mod simdrive;
 pub mod summa;
@@ -53,6 +56,7 @@ pub use hsumma::{hsumma, HsummaConfig};
 pub use lu::{block_lu, LuConfig};
 pub use multilevel::hier_bcast;
 pub use overlap::{hsumma_overlap, summa_overlap};
+pub use plan::{run_planned, PlannedAlgo};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};
 pub use simdrive::{sim_hsumma, sim_summa};
 pub use summa::{summa, SummaConfig};

@@ -1,0 +1,129 @@
+//! Executable plans: one value that says *which* multiply to run and
+//! *how*, plus the dispatcher that runs it.
+//!
+//! The serving layer's planner (and any caller that wants to defer the
+//! algorithm decision) produces a [`PlannedAlgo`]; [`run_planned`] maps
+//! it onto the algorithm implementations. Because the dispatcher is
+//! generic over [`Communicator`], the same plan value executes real
+//! matrices on the threaded runtime *and* replays on the simulator — so
+//! a plan can be priced on `SimComm` before being committed to a pool.
+
+use crate::cannon::cannon;
+use crate::comm::Communicator;
+use crate::hsumma::{hsumma, HsummaConfig};
+use crate::summa::{summa, SummaConfig};
+use hsumma_matrix::{GemmKernel, GridShape};
+
+/// A fully resolved algorithm choice for one square `n × n` multiply.
+#[derive(Clone, Copy, Debug)]
+pub enum PlannedAlgo {
+    /// SUMMA with the given panel width / broadcast / kernel.
+    Summa(SummaConfig),
+    /// HSUMMA with a concrete `(I × J, B, b)` grouping.
+    Hsumma(HsummaConfig),
+    /// Cannon's algorithm (square grids only).
+    Cannon {
+        /// Local multiply kernel.
+        kernel: GemmKernel,
+    },
+}
+
+impl PlannedAlgo {
+    /// Short human-readable description for logs and job reports.
+    pub fn describe(&self) -> String {
+        match self {
+            PlannedAlgo::Summa(cfg) => format!("summa(b={})", cfg.block),
+            PlannedAlgo::Hsumma(cfg) => format!(
+                "hsumma(G={}x{}, B={}, b={})",
+                cfg.groups.rows, cfg.groups.cols, cfg.outer_block, cfg.inner_block
+            ),
+            PlannedAlgo::Cannon { .. } => "cannon".to_string(),
+        }
+    }
+}
+
+/// Runs the planned algorithm on the calling rank. SPMD: every rank of
+/// `comm` must call this with the same plan and its local
+/// block-checkerboard tiles; returns the local tile of `C`.
+///
+/// # Panics
+/// Panics if the plan is inconsistent with `grid`/`n` (block-divisibility
+/// and grouping preconditions of the underlying algorithms).
+pub fn run_planned<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    a: &C::Mat,
+    b: &C::Mat,
+    plan: &PlannedAlgo,
+) -> C::Mat {
+    match plan {
+        PlannedAlgo::Summa(cfg) => summa(comm, grid, n, a, b, cfg),
+        PlannedAlgo::Hsumma(cfg) => hsumma(comm, grid, n, a, b, cfg),
+        PlannedAlgo::Cannon { kernel } => cannon(comm, grid, n, a, b, *kernel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{distributed_product, reference_product};
+    use hsumma_matrix::seeded_uniform;
+
+    fn check(plan: PlannedAlgo, grid: GridShape, n: usize) {
+        let a = seeded_uniform(n, n, 21);
+        let b = seeded_uniform(n, n, 22);
+        let want = reference_product(&a, &b);
+        let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            run_planned(comm, grid, n, &at, &bt, &plan)
+        });
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "{} err {}",
+            plan.describe(),
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn dispatches_summa() {
+        check(
+            PlannedAlgo::Summa(SummaConfig {
+                block: 4,
+                ..SummaConfig::default()
+            }),
+            GridShape::new(2, 2),
+            16,
+        );
+    }
+
+    #[test]
+    fn dispatches_hsumma() {
+        check(
+            PlannedAlgo::Hsumma(HsummaConfig::uniform(GridShape::new(2, 2), 4)),
+            GridShape::new(4, 4),
+            32,
+        );
+    }
+
+    #[test]
+    fn dispatches_cannon() {
+        check(
+            PlannedAlgo::Cannon {
+                kernel: GemmKernel::Packed,
+            },
+            GridShape::new(2, 2),
+            16,
+        );
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let plan = PlannedAlgo::Hsumma(HsummaConfig::uniform(GridShape::new(2, 4), 8));
+        assert_eq!(plan.describe(), "hsumma(G=2x4, B=8, b=8)");
+        assert_eq!(
+            PlannedAlgo::Summa(SummaConfig::default()).describe(),
+            "summa(b=32)"
+        );
+    }
+}

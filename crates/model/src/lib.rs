@@ -14,7 +14,11 @@
 //!   extremum is the minimum (HSUMMA wins) or the maximum (HSUMMA falls
 //!   back to `G ∈ {1, p}`, tying SUMMA);
 //! * [`predict`] — parameter sweeps over `G` and platform presets used to
-//!   regenerate Fig. 10 (exascale) and validate Figs. 5–9.
+//!   regenerate Fig. 10 (exascale) and validate Figs. 5–9;
+//! * [`plan`] — algorithm selection on top of the cost models: given
+//!   `(n, p, b)` and a platform, pick SUMMA vs HSUMMA-at-best-`G` vs
+//!   Cannon by predicted communication time (the entry point the serving
+//!   layer's planner consults).
 //!
 //! ## Units
 //!
@@ -25,12 +29,14 @@
 
 pub mod bcast;
 pub mod cost;
+pub mod plan;
 pub mod predict;
 pub mod regime;
 pub mod related;
 
 pub use bcast::BcastModel;
 pub use cost::{hsumma_cost, summa_cost, CostBreakdown, ModelParams};
+pub use plan::{advise_square, AlgoChoice, PlanAdvice};
 pub use predict::{sweep_groups, SweepPoint};
 pub use regime::{classify_regime, dtheta_dg_vdg, Regime};
 

@@ -1,0 +1,194 @@
+//! Algorithm selection from the closed-form models — the planning half
+//! of the serving layer's "model-driven planner".
+//!
+//! The paper's analysis (§IV) already knows, for a given `(n, p, b)` and
+//! platform `(α, β, γ)`, what SUMMA costs and what HSUMMA costs at every
+//! group count `G`; COSMA and Demmel et al.'s strong-scaling analysis
+//! (see PAPERS.md) make the broader point that the *winning algorithm*
+//! depends on the problem regime. [`advise_square`] turns that into a
+//! decision procedure: evaluate SUMMA, HSUMMA at its best `G` (seeded by
+//! the paper's `G = √p` extremum, Eq. 6), and Cannon's nearest-neighbor
+//! schedule, and return the predicted winner with the full scoreboard so
+//! callers can log *why* the choice fell where it did.
+//!
+//! The advice is intentionally coarse — closed-form, contention-free. The
+//! serving planner treats it as the first pass and refines HSUMMA's `G`
+//! against the timing simulator (`hsumma-core::tuning`), then caches the
+//! final plan per shape class.
+
+use crate::bcast::BcastModel;
+use crate::cost::{summa_cost, CostBreakdown, ModelParams};
+use crate::predict::{best_point, power_of_two_gs, sweep_groups};
+use crate::related::cannon_cost;
+
+/// The algorithm a plan selects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlgoChoice {
+    /// Plain SUMMA (the `G = 1` degenerate of the hierarchy).
+    Summa,
+    /// HSUMMA with the predicted-best number of groups.
+    Hsumma {
+        /// Predicted-optimal group count (a power of two in `[1, p]`).
+        g: f64,
+    },
+    /// Cannon's nearest-neighbor rotation schedule.
+    Cannon,
+}
+
+/// The scoreboard behind a choice: every candidate's predicted cost.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanAdvice {
+    /// The predicted winner (by communication time, the quantity the
+    /// paper optimizes — compute is identical across candidates).
+    pub choice: AlgoChoice,
+    /// The winner's predicted cost.
+    pub predicted: CostBreakdown,
+    /// SUMMA's predicted cost.
+    pub summa: CostBreakdown,
+    /// HSUMMA's predicted-best `(G, cost)` over power-of-two group counts.
+    pub hsumma: (f64, CostBreakdown),
+    /// Cannon's predicted cost — `None` when `√p` is not integral (Cannon
+    /// requires a square grid, §I).
+    pub cannon: Option<CostBreakdown>,
+}
+
+/// Picks the predicted-cheapest algorithm for a square `n × n` multiply
+/// on `p` ranks with panel width `b`, comparing communication cost (the
+/// compute term is identical for all three candidates).
+///
+/// HSUMMA candidates are the power-of-two group counts of Fig. 8 — the
+/// set always contains `G = 1` (= SUMMA) and brackets the paper's `√p`
+/// extremum — evaluated at `b = B` as in all the paper's experiments.
+///
+/// # Panics
+/// Panics unless `p ≥ 1` and `n ≥ b ≥ 1` (the cost models' domain).
+pub fn advise_square(
+    params: &ModelParams,
+    bcast: BcastModel,
+    n: f64,
+    p: f64,
+    b: f64,
+) -> PlanAdvice {
+    let summa = summa_cost(params, bcast, n, p, b);
+    let sweep = sweep_groups(params, bcast, n, p, b, &power_of_two_gs(p));
+    let best_h = best_point(&sweep);
+
+    let q = p.sqrt();
+    let square = (q.round() - q).abs() < 1e-9;
+    let cannon = if square {
+        Some(cannon_cost(params, n, p))
+    } else {
+        None
+    };
+
+    let mut choice = AlgoChoice::Summa;
+    let mut predicted = summa;
+    if best_h.hsumma.comm() < predicted.comm() {
+        choice = AlgoChoice::Hsumma { g: best_h.g };
+        predicted = best_h.hsumma;
+    }
+    // Cannon is only credible where its α term dominates: its bandwidth
+    // term assumes all 2(√p+1) ring shifts proceed contention-free in
+    // lockstep, which no hierarchical network honors (the paper's §I
+    // premise). Latency-bound problems are where its √p-message schedule
+    // beats log-depth collectives for certain.
+    if let Some(c) = cannon {
+        if c.latency >= c.bandwidth && c.comm() < predicted.comm() {
+            choice = AlgoChoice::Cannon;
+            predicted = c;
+        }
+    }
+    PlanAdvice {
+        choice,
+        predicted,
+        summa,
+        hsumma: (best_h.g, best_h.hsumma),
+        cannon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exascale_regime_prefers_hierarchical_grouping() {
+        // Fig. 10's regime: the interior G minimum is real, so the advice
+        // must be HSUMMA at the √p-adjacent grouping.
+        let params = ModelParams::exascale();
+        let p = (1u64 << 20) as f64;
+        let advice = advise_square(
+            &params,
+            BcastModel::VanDeGeijn,
+            (1u64 << 22) as f64,
+            p,
+            256.0,
+        );
+        match advice.choice {
+            AlgoChoice::Hsumma { g } => assert_eq!(g, 1024.0, "√p extremum"),
+            other => panic!("expected HSUMMA, got {other:?}"),
+        }
+        assert!(advice.predicted.comm() < advice.summa.comm());
+    }
+
+    #[test]
+    fn tiny_latency_bound_problems_prefer_cannon() {
+        // Small p, small n, huge α: log-depth collectives cost more than
+        // √p nearest-neighbor hops.
+        let params = ModelParams {
+            alpha: 1e-2,
+            beta: 1e-12,
+            gamma: 0.0,
+        };
+        let advice = advise_square(&params, BcastModel::Binomial, 256.0, 16.0, 16.0);
+        assert_eq!(advice.choice, AlgoChoice::Cannon);
+        let cannon = advice.cannon.expect("square grid");
+        assert!(cannon.comm() < advice.summa.comm());
+    }
+
+    #[test]
+    fn non_square_p_never_advises_cannon() {
+        let params = ModelParams::grid5000();
+        let advice = advise_square(&params, BcastModel::Binomial, 1024.0, 8.0, 32.0);
+        assert!(advice.cannon.is_none());
+        assert_ne!(advice.choice, AlgoChoice::Cannon);
+    }
+
+    #[test]
+    fn advice_always_at_least_ties_summa() {
+        // G = 1 is in every sweep, so the winner can never lose to SUMMA.
+        for (n, p, b) in [(1024.0, 64.0, 32.0), (8192.0, 128.0, 64.0)] {
+            let advice = advise_square(&ModelParams::grid5000(), BcastModel::Binomial, n, p, b);
+            assert!(advice.predicted.comm() <= advice.summa.comm() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn scoreboard_is_consistent_with_choice() {
+        let params = ModelParams::bluegene_p();
+        let advice = advise_square(&params, BcastModel::VanDeGeijn, 65536.0, 16384.0, 256.0);
+        // The winner is the min over the *eligible* candidates: Cannon
+        // only competes when its own cost is latency-bound.
+        let best = [
+            Some(advice.summa.comm()),
+            Some(advice.hsumma.1.comm()),
+            advice
+                .cannon
+                .filter(|c| c.latency >= c.bandwidth)
+                .map(|c| c.comm()),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(f64::INFINITY, f64::min);
+        assert!((advice.predicted.comm() - best).abs() <= 1e-12 * best);
+    }
+
+    #[test]
+    fn cannon_candidate_uses_related_work_model() {
+        let params = ModelParams::grid5000();
+        let advice = advise_square(&params, BcastModel::Binomial, 1024.0, 16.0, 32.0);
+        let expected = cannon_cost(&params, 1024.0, 16.0);
+        let got = advice.cannon.expect("square grid");
+        assert_eq!(got.comm(), expected.comm());
+    }
+}

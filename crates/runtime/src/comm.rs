@@ -30,6 +30,10 @@ pub(crate) struct RankShared {
     pub mailbox: RefCell<Mailbox>,
     pub stats: RefCell<CommStats>,
     pub world_rank: usize,
+    /// Job epoch stamped on every outgoing envelope. 0 for one-shot
+    /// [`crate::Runtime`] worlds; the pooled runtime advances it per job
+    /// so stragglers of finished jobs can never match a later one.
+    pub epoch: u64,
     /// Event recorder for this rank; a disabled sink (the default) is a
     /// `None` and every trace call below collapses to one branch.
     pub sink: TraceSink,
@@ -80,19 +84,55 @@ impl Comm {
         world_rank: usize,
         sink: TraceSink,
     ) -> Self {
+        Self::world_epoch(senders, mailbox, world_rank, sink, 0)
+    }
+
+    /// Builds the world communicator for one job of a pooled rank thread.
+    /// The world context is derived from `epoch`, so even the ctx-0-level
+    /// traffic of two jobs can never cross-match; the mailbox must already
+    /// be advanced to the same epoch (see `Mailbox::begin_epoch`).
+    pub(crate) fn world_epoch(
+        senders: Arc<Vec<MailboxSender>>,
+        mailbox: Mailbox,
+        world_rank: usize,
+        sink: TraceSink,
+        epoch: u64,
+    ) -> Self {
         let size = senders.len();
+        debug_assert_eq!(mailbox.epoch(), epoch, "mailbox not at the job epoch");
         Comm {
             shared: Rc::new(RankShared {
                 senders,
                 mailbox: RefCell::new(mailbox),
                 stats: RefCell::new(CommStats::default()),
                 world_rank,
+                epoch,
                 sink,
             }),
-            ctx: 0,
+            ctx: if epoch == 0 {
+                0
+            } else {
+                derive_context(epoch, 0, 0)
+            },
             members: Rc::new((0..size).collect()),
             my_rank: world_rank,
             derive_epoch: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Tears a job's world communicator back down into its persistent
+    /// parts — the mailbox (kept by the pool worker for the next job) and
+    /// the job's accumulated statistics. Returns `None` if communicator
+    /// clones outlive the job (they would keep the shared state alive, so
+    /// the mailbox cannot be recovered).
+    ///
+    /// The rank's trace sink is dropped here, releasing its ring for the
+    /// next traced job.
+    pub(crate) fn into_parts(self) -> Option<(Mailbox, CommStats)> {
+        let Comm { shared, .. } = self;
+        match Rc::try_unwrap(shared) {
+            Ok(s) => Some((s.mailbox.into_inner(), s.stats.into_inner())),
+            Err(_) => None,
         }
     }
 
@@ -206,6 +246,7 @@ impl Comm {
             ctx: self.ctx,
             src: self.shared.world_rank,
             tag,
+            epoch: self.shared.epoch,
             payload: Box::new(value),
         });
         {

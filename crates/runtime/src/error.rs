@@ -1,0 +1,99 @@
+//! Runtime failures surfaced as values instead of process aborts.
+//!
+//! The original entry point ([`crate::Runtime::run`]) answers every
+//! failure with a panic, which is the right contract for tests but not
+//! for a long-lived serving process: one bad job must fail *that job*,
+//! not the process. [`RuntimeError`] is the error type the fallible
+//! entry points ([`crate::Runtime::try_run`], [`crate::RankPool`])
+//! return instead.
+
+use std::fmt;
+use std::io;
+
+/// Why a runtime launch or a pooled job failed.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The OS refused to spawn a rank thread (resource exhaustion).
+    /// Already-spawned ranks are poisoned and joined before this is
+    /// returned, so no thread is leaked.
+    Spawn {
+        /// Rank whose thread could not be created.
+        rank: usize,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A rank panicked while executing the SPMD function. For a pooled
+    /// job this fails the job only: the worker threads survive and the
+    /// next job runs on a clean epoch.
+    RankPanicked {
+        /// The first rank whose panic was not a secondary poison cascade.
+        rank: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A pool worker died and its job result will never arrive (only
+    /// reachable if a job leaks communicator clones past its own end,
+    /// breaking mailbox recovery).
+    WorkerLost {
+        /// Rank of the lost worker.
+        rank: usize,
+    },
+    /// The pool has been shut down and accepts no further jobs.
+    PoolShutdown,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Spawn { rank, source } => {
+                write!(f, "failed to spawn rank {rank} thread: {source}")
+            }
+            RuntimeError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RuntimeError::WorkerLost { rank } => {
+                write!(
+                    f,
+                    "pool worker for rank {rank} died without reporting a result"
+                )
+            }
+            RuntimeError::PoolShutdown => write!(f, "rank pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Spawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::RankPanicked {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rank 3 panicked: boom");
+        let e = RuntimeError::PoolShutdown;
+        assert!(e.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn spawn_error_exposes_source() {
+        use std::error::Error;
+        let e = RuntimeError::Spawn {
+            rank: 0,
+            source: io::Error::other("EAGAIN"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("rank 0"));
+    }
+}

@@ -21,15 +21,27 @@
 //! * every operation accumulates wall-clock time into per-rank
 //!   [`stats::CommStats`], which is how the experiments separate
 //!   *communication* from *computation* time, mirroring the paper's
-//!   measurements.
+//!   measurements;
+//! * [`RankPool`] is the long-lived variant of [`Runtime::run`]: the `p`
+//!   rank threads are created once and execute a sequence of SPMD jobs,
+//!   each demarcated by an epoch (per-job stats, per-job tracing, stale
+//!   messages purged at the boundary) — the substrate of the serving
+//!   layer (`hsumma-serve`);
+//! * failures surface as [`RuntimeError`] through [`Runtime::try_run`]
+//!   and the pool API, so a server can fail one job without aborting the
+//!   process.
 
 pub mod collectives;
 pub mod comm;
+pub mod error;
 pub mod message;
+pub mod pool;
 pub mod runtime;
 pub mod stats;
 
 pub use collectives::BcastAlgorithm;
 pub use comm::Comm;
+pub use error::RuntimeError;
+pub use pool::{PoolRun, RankPool};
 pub use runtime::Runtime;
 pub use stats::CommStats;

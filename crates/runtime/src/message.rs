@@ -30,6 +30,11 @@ pub struct Envelope {
     pub src: usize,
     /// User tag.
     pub tag: Tag,
+    /// Job epoch the message belongs to. [`crate::Runtime::run`] always
+    /// uses epoch 0; the persistent [`crate::RankPool`] stamps every
+    /// message with the running job's epoch so stragglers from a finished
+    /// (or crashed) job can never match — or poison — a later one.
+    pub epoch: u64,
     /// The payload; downcast on receipt.
     pub payload: Box<dyn Any + Send>,
 }
@@ -55,10 +60,15 @@ pub struct Mailbox {
     rx: Receiver<Envelope>,
     /// Messages received but not yet matched by a `recv`.
     unexpected: VecDeque<Envelope>,
+    /// The job epoch this mailbox currently accepts. Envelopes from other
+    /// epochs are dropped on sight: they are stragglers from a previous
+    /// pooled job (including its poison markers) and must neither match
+    /// nor kill the current one.
+    epoch: u64,
 }
 
 impl Mailbox {
-    /// Creates a connected (sender, receiver) mailbox pair.
+    /// Creates a connected (sender, receiver) mailbox pair at epoch 0.
     pub fn new() -> (MailboxSender, Mailbox) {
         let (tx, rx) = unbounded();
         (
@@ -66,8 +76,43 @@ impl Mailbox {
             Mailbox {
                 rx,
                 unexpected: VecDeque::new(),
+                epoch: 0,
             },
         )
+    }
+
+    /// The job epoch the mailbox currently accepts.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the mailbox to a new job epoch, purging everything left
+    /// over from earlier epochs (parked unexpected messages and anything
+    /// already sitting in the channel, poison included). Messages of the
+    /// *new* epoch — sent by pool workers that entered the job first —
+    /// are kept, in arrival order.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.unexpected.retain(|e| e.epoch == epoch);
+        while let Ok(env) = self.rx.try_recv() {
+            if env.epoch == epoch {
+                self.unexpected.push_back(env);
+            }
+        }
+    }
+
+    /// Whether an envelope belongs to the current epoch; stale ones are
+    /// dropped, poison of the current epoch aborts the waiting rank.
+    fn admit(&self, env: &Envelope) -> bool {
+        if env.epoch != self.epoch {
+            return false;
+        }
+        assert_ne!(
+            env.ctx, POISON_CTX,
+            "peer rank {} panicked while this rank was communicating",
+            env.src
+        );
+        true
     }
 
     /// Blocks until a message matching `(ctx, src, tag)` is available and
@@ -92,11 +137,9 @@ impl Mailbox {
                 .rx
                 .recv()
                 .expect("mailbox closed while waiting: a peer rank terminated early");
-            assert_ne!(
-                env.ctx, POISON_CTX,
-                "peer rank {} panicked while this rank was communicating",
-                env.src
-            );
+            if !self.admit(&env) {
+                continue;
+            }
             if env.ctx == ctx && env.src == src && env.tag == tag {
                 return Self::downcast(env);
             }
@@ -117,11 +160,9 @@ impl Mailbox {
         }
         // Drain whatever has already arrived without blocking.
         while let Ok(env) = self.rx.try_recv() {
-            assert_ne!(
-                env.ctx, POISON_CTX,
-                "peer rank {} panicked while this rank was communicating",
-                env.src
-            );
+            if !self.admit(&env) {
+                continue;
+            }
             if env.ctx == ctx && env.src == src && env.tag == tag {
                 return Some(Self::downcast(env));
             }
@@ -159,6 +200,7 @@ mod tests {
             ctx: 1,
             src: 0,
             tag: 7,
+            epoch: 0,
             payload: Box::new(42u32),
         });
         let v: u32 = mb.recv(1, 0, 7);
@@ -172,12 +214,14 @@ mod tests {
             ctx: 1,
             src: 0,
             tag: 1,
+            epoch: 0,
             payload: Box::new("first"),
         });
         tx.deliver(Envelope {
             ctx: 1,
             src: 0,
             tag: 2,
+            epoch: 0,
             payload: Box::new("second"),
         });
         // Receive tag 2 first; tag 1 must be parked, not lost.
@@ -197,6 +241,7 @@ mod tests {
                 ctx: 0,
                 src: 3,
                 tag: 5,
+                epoch: 0,
                 payload: Box::new(i),
             });
         }
@@ -213,18 +258,89 @@ mod tests {
             ctx: 10,
             src: 0,
             tag: 0,
+            epoch: 0,
             payload: Box::new(1i32),
         });
         tx.deliver(Envelope {
             ctx: 20,
             src: 0,
             tag: 0,
+            epoch: 0,
             payload: Box::new(2i32),
         });
         let from_ctx20: i32 = mb.recv(20, 0, 0);
         assert_eq!(from_ctx20, 2);
         let from_ctx10: i32 = mb.recv(10, 0, 0);
         assert_eq!(from_ctx10, 1);
+    }
+
+    fn env(ctx: Context, tag: Tag, epoch: u64, v: u32) -> Envelope {
+        Envelope {
+            ctx,
+            src: 0,
+            tag,
+            epoch,
+            payload: Box::new(v),
+        }
+    }
+
+    #[test]
+    fn begin_epoch_purges_stale_keeps_current() {
+        let (tx, mut mb) = Mailbox::new();
+        // Parked from epoch 0, plus channel backlog from epochs 0 and 1.
+        tx.deliver(env(1, 1, 0, 10));
+        let none: Option<u32> = mb.try_recv(9, 0, 9); // parks the epoch-0 msg
+        assert!(none.is_none());
+        tx.deliver(env(1, 2, 0, 20));
+        tx.deliver(env(1, 3, 1, 30)); // early arrival for the next job
+        mb.begin_epoch(1);
+        assert_eq!(mb.epoch(), 1);
+        assert_eq!(mb.unexpected_len(), 1, "only the epoch-1 message survives");
+        let v: u32 = mb.recv(1, 0, 3);
+        assert_eq!(v, 30);
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_dropped_in_recv_path() {
+        let (tx, mut mb) = Mailbox::new();
+        mb.begin_epoch(2);
+        tx.deliver(env(1, 1, 1, 10)); // straggler from a finished job
+        tx.deliver(env(1, 1, 2, 20));
+        let v: u32 = mb.recv(1, 0, 1);
+        assert_eq!(v, 20, "current-epoch message matches, straggler dropped");
+        assert_eq!(mb.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn stale_poison_is_ignored_current_poison_panics() {
+        let (tx, mut mb) = Mailbox::new();
+        mb.begin_epoch(5);
+        // Poison from a previous job's crash must not kill this epoch.
+        tx.deliver(Envelope {
+            ctx: POISON_CTX,
+            src: 3,
+            tag: 0,
+            epoch: 4,
+            payload: Box::new(()),
+        });
+        tx.deliver(env(0, 7, 5, 42));
+        let v: u32 = mb.recv(0, 0, 7);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank 3 panicked")]
+    fn current_epoch_poison_still_panics() {
+        let (tx, mut mb) = Mailbox::new();
+        mb.begin_epoch(5);
+        tx.deliver(Envelope {
+            ctx: POISON_CTX,
+            src: 3,
+            tag: 0,
+            epoch: 5,
+            payload: Box::new(()),
+        });
+        let _: u32 = mb.recv(0, 0, 7);
     }
 
     #[test]
@@ -235,6 +351,7 @@ mod tests {
             ctx: 0,
             src: 0,
             tag: 0,
+            epoch: 0,
             payload: Box::new(1u8),
         });
         let _: String = mb.recv(0, 0, 0);

@@ -1,0 +1,451 @@
+//! A persistent rank pool: `p` worker threads created once, executing a
+//! sequence of SPMD jobs without respawning.
+//!
+//! [`crate::Runtime::run`] plays `mpirun`: it spawns `p` OS threads,
+//! runs one SPMD function, and joins them. That is the right shape for a
+//! test or a single experiment, but a serving process multiplies many
+//! matrices back to back, and paying thread creation, wiring and teardown
+//! per call puts `O(p)` system calls on every request's critical path.
+//!
+//! [`RankPool`] keeps the world alive between jobs:
+//!
+//! * workers and their mailbox wiring are created **once** in
+//!   [`RankPool::new`] (failures surface as [`RuntimeError::Spawn`], not
+//!   a process abort);
+//! * each [`RankPool::run`] dispatches one SPMD closure to all ranks and
+//!   collects their results — a *job*;
+//! * jobs are demarcated by **epochs**: every message carries its job's
+//!   epoch, mailboxes purge stragglers at the epoch boundary, and the
+//!   per-job [`CommStats`] start from zero, so a job's report describes
+//!   that job only (see [`PoolRun`]);
+//! * a panicking rank fails **its job**, not the pool: peers are poisoned
+//!   (scoped to the epoch), the error is returned as
+//!   [`RuntimeError::RankPanicked`], and the workers go on to the next
+//!   job on a clean epoch.
+//!
+//! Jobs must be well-formed SPMD programs: every message a job sends to a
+//! rank that survives the job must be received by it or be discardable —
+//! leftovers are dropped at the next epoch boundary. A job that deadlocks
+//! (a receive nothing will satisfy) blocks the pool, exactly as it would
+//! block `mpirun`.
+
+use crate::comm::Comm;
+use crate::error::RuntimeError;
+use crate::message::{Mailbox, MailboxSender};
+use crate::runtime::{panic_message, poison_peers, primary_panic};
+use crate::stats::CommStats;
+use hsumma_trace::{TraceSink, Tracer};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A boxed SPMD closure as shipped to the workers: rank-typed results are
+/// erased here and recovered by downcast in [`RankPool::run_traced`].
+type JobFn = Arc<dyn Fn(&mut Comm) -> Box<dyn Any + Send> + Send + Sync>;
+
+/// What a worker reports back per job: the erased result, or the panic
+/// message if the rank's closure panicked.
+type RankResult = Result<Box<dyn Any + Send>, String>;
+
+struct Job {
+    epoch: u64,
+    f: JobFn,
+    sink: TraceSink,
+    result_tx: mpsc::Sender<(usize, RankResult, CommStats)>,
+}
+
+/// The outcome of one pooled job: per-rank results (indexed by rank) and
+/// the per-rank communication statistics *of this job only* — each job
+/// starts its counters from zero, so these are epoch deltas, not pool
+/// lifetime accumulations.
+#[derive(Debug)]
+pub struct PoolRun<R> {
+    /// Rank results, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank [`CommStats`] accumulated by this job alone.
+    pub stats: Vec<CommStats>,
+}
+
+/// A persistent world of `p` rank threads executing SPMD jobs in
+/// sequence. See the [module docs](self) for the contract.
+///
+/// ```
+/// use hsumma_runtime::RankPool;
+///
+/// let mut pool = RankPool::new(4).expect("spawn");
+/// // Two jobs on the same threads — no respawn in between.
+/// let a = pool.run(|comm| comm.rank()).unwrap();
+/// let b = pool.run(|comm| comm.size()).unwrap();
+/// assert_eq!(a.results, vec![0, 1, 2, 3]);
+/// assert_eq!(b.results, vec![4, 4, 4, 4]);
+/// ```
+pub struct RankPool {
+    job_txs: Vec<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-rank stats merged over every completed job (pool lifetime).
+    lifetime: Arc<Vec<Mutex<CommStats>>>,
+    /// Epoch of the next job. Starts at 1: epoch 0 is the one-shot
+    /// [`crate::Runtime`] world, so pooled traffic never collides with it.
+    next_epoch: u64,
+    jobs_run: u64,
+    p: usize,
+}
+
+impl RankPool {
+    /// Spawns the `p` worker threads and wires their mailboxes. The
+    /// threads park on an empty job queue until [`RankPool::run`].
+    ///
+    /// On a refused spawn, the workers already launched are shut down and
+    /// joined before [`RuntimeError::Spawn`] is returned — a failed pool
+    /// launch leaks nothing.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Result<Self, RuntimeError> {
+        assert!(p > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut mailboxes = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = Mailbox::new();
+            senders.push(tx);
+            mailboxes.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let lifetime: Arc<Vec<Mutex<CommStats>>> =
+            Arc::new((0..p).map(|_| Mutex::new(CommStats::default())).collect());
+
+        let mut job_txs = Vec::with_capacity(p);
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(p);
+        for (rank, mailbox) in mailboxes.into_iter().enumerate() {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            let senders = Arc::clone(&senders);
+            let lifetime = Arc::clone(&lifetime);
+            let spawned = std::thread::Builder::new()
+                .name(format!("pool-rank-{rank}"))
+                .spawn(move || worker_loop(rank, senders, mailbox, job_rx, lifetime));
+            match spawned {
+                Ok(h) => {
+                    job_txs.push(job_tx);
+                    handles.push(h);
+                }
+                Err(source) => {
+                    // Dropping the queues ends the already-running workers.
+                    drop(job_txs);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(RuntimeError::Spawn { rank, source });
+                }
+            }
+        }
+        Ok(RankPool {
+            job_txs,
+            handles,
+            lifetime,
+            next_epoch: 1,
+            jobs_run: 0,
+            p,
+        })
+    }
+
+    /// Number of ranks in the pool.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Jobs completed (successfully or not) so far.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run
+    }
+
+    /// Runs one SPMD job on all ranks and returns their results with the
+    /// job's per-rank [`CommStats`] deltas.
+    ///
+    /// A rank panic fails the job — [`RuntimeError::RankPanicked`] names
+    /// the originating rank — and the pool remains usable: the next job
+    /// starts on a fresh epoch with purged mailboxes.
+    pub fn run<R, F>(&mut self, f: F) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        self.run_traced(&Tracer::disabled(), f)
+    }
+
+    /// Like [`RankPool::run`], recording the job's events into `tracer`.
+    /// Per-job tracing demarcation: hand each job its own [`Tracer`] and
+    /// the collected trace contains exactly that job's spans (rank sinks
+    /// are claimed at job start and released at job end).
+    pub fn run_traced<R, F>(&mut self, tracer: &Tracer, f: F) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        assert!(
+            !tracer.enabled() || tracer.ranks() >= self.p,
+            "tracer sized for {} ranks, pool has {}",
+            tracer.ranks(),
+            self.p
+        );
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.jobs_run += 1;
+
+        let f: JobFn =
+            Arc::new(move |comm: &mut Comm| -> Box<dyn Any + Send> { Box::new(f(comm)) });
+        let (result_tx, result_rx) = mpsc::channel();
+        for (rank, tx) in self.job_txs.iter().enumerate() {
+            let job = Job {
+                epoch,
+                f: Arc::clone(&f),
+                sink: tracer.sink(rank),
+                result_tx: result_tx.clone(),
+            };
+            if tx.send(job).is_err() {
+                return Err(RuntimeError::WorkerLost { rank });
+            }
+        }
+        drop(result_tx);
+
+        let mut results: Vec<Option<(RankResult, CommStats)>> = (0..self.p).map(|_| None).collect();
+        for _ in 0..self.p {
+            match result_rx.recv() {
+                Ok((rank, res, stats)) => results[rank] = Some((res, stats)),
+                Err(_) => {
+                    // A worker died before reporting; identify which.
+                    let rank = results.iter().position(Option::is_none).unwrap_or(0);
+                    return Err(RuntimeError::WorkerLost { rank });
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(self.p);
+        let mut stats = Vec::with_capacity(self.p);
+        let mut panics: Vec<(usize, String)> = Vec::new();
+        for (rank, slot) in results.into_iter().enumerate() {
+            let (res, st) = slot.expect("all ranks reported");
+            stats.push(st);
+            match res {
+                Ok(boxed) => out.push(
+                    *boxed
+                        .downcast::<R>()
+                        .expect("job closure returned its own result type"),
+                ),
+                Err(message) => panics.push((rank, message)),
+            }
+        }
+        if !panics.is_empty() {
+            let (rank, message) = primary_panic(&panics);
+            return Err(RuntimeError::RankPanicked { rank, message });
+        }
+        Ok(PoolRun {
+            results: out,
+            stats,
+        })
+    }
+
+    /// Per-rank statistics accumulated across every job the pool has run
+    /// (the sum of all per-job deltas).
+    pub fn lifetime_stats(&self) -> Vec<CommStats> {
+        self.lifetime
+            .iter()
+            .map(|m| m.lock().expect("stats lock").clone())
+            .collect()
+    }
+}
+
+impl Drop for RankPool {
+    fn drop(&mut self) {
+        // Closing the job queues ends the worker loops.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One pool worker: parks on the job queue, and per job advances its
+/// mailbox to the new epoch, rebuilds the world communicator around it,
+/// runs the closure, and tears the communicator back down to recover the
+/// mailbox for the next job.
+fn worker_loop(
+    rank: usize,
+    senders: Arc<Vec<MailboxSender>>,
+    mailbox: Mailbox,
+    job_rx: mpsc::Receiver<Job>,
+    lifetime: Arc<Vec<Mutex<CommStats>>>,
+) {
+    let mut parked = Some(mailbox);
+    while let Ok(job) = job_rx.recv() {
+        let Job {
+            epoch,
+            f,
+            sink,
+            result_tx,
+        } = job;
+        let mut mailbox = parked.take().expect("mailbox parked between jobs");
+        // Entering the epoch purges everything a previous job left behind
+        // (stale payloads and stale poison); messages already sent by
+        // faster peers of *this* job are kept.
+        mailbox.begin_epoch(epoch);
+        let mut comm = Comm::world_epoch(Arc::clone(&senders), mailbox, rank, sink, epoch);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+        let result: RankResult = match outcome {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                // Fail the job, not the pool: unblock peers waiting on
+                // this rank (poison scoped to this epoch) and report.
+                poison_peers(&senders, rank, epoch);
+                Err(panic_message(payload.as_ref()))
+            }
+        };
+        let (mb, stats) = comm
+            .into_parts()
+            .expect("job leaked a communicator clone past its end");
+        parked = Some(mb);
+        lifetime[rank]
+            .lock()
+            .expect("stats lock")
+            .merge_in_place(&stats);
+        // Send last: the job is only "done" once the mailbox is parked.
+        let _ = result_tx.send((rank, result, stats));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::allreduce;
+
+    #[test]
+    fn pool_runs_many_jobs_without_respawn() {
+        let mut pool = RankPool::new(4).unwrap();
+        for job in 0..10u64 {
+            let run = pool
+                .run(move |comm| {
+                    let next = (comm.rank() + 1) % comm.size();
+                    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                    comm.send(next, 1, comm.rank() as u64 + job);
+                    comm.recv::<u64>(prev, 1)
+                })
+                .unwrap();
+            for (rank, got) in run.results.iter().enumerate() {
+                assert_eq!(*got, ((rank + 3) % 4) as u64 + job);
+            }
+        }
+        assert_eq!(pool.jobs_run(), 10);
+    }
+
+    #[test]
+    fn per_job_stats_are_deltas_not_accumulations() {
+        let mut pool = RankPool::new(2).unwrap();
+        let job = |comm: &mut Comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 1, vec![0.0f64; 100]);
+            let _: Vec<f64> = comm.recv(peer, 1);
+        };
+        let first = pool.run(job).unwrap();
+        let second = pool.run(job).unwrap();
+        // Identical jobs: identical per-job counters, NOT 2x on the second.
+        assert_eq!(first.stats[0].msgs_sent, 1);
+        assert_eq!(second.stats[0].msgs_sent, 1);
+        assert_eq!(second.stats[0].bytes_sent, 800);
+        // Lifetime view is the running sum of the deltas.
+        let life = pool.lifetime_stats();
+        assert_eq!(life[0].msgs_sent, 2);
+        assert_eq!(life[1].bytes_recv, 1600);
+    }
+
+    #[test]
+    fn splits_and_collectives_work_across_jobs() {
+        let mut pool = RankPool::new(8).unwrap();
+        for _ in 0..3 {
+            let run = pool
+                .run(|comm| {
+                    let color = (comm.rank() % 2) as u64;
+                    let sub = comm.split(color, comm.rank() as i64);
+                    allreduce(&sub, comm.rank(), |a, b| a + b)
+                })
+                .unwrap();
+            // Evens sum 0+2+4+6 = 12, odds 1+3+5+7 = 16.
+            for (rank, sum) in run.results.iter().enumerate() {
+                assert_eq!(*sum, if rank % 2 == 0 { 12 } else { 16 });
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_fails_but_the_pool_survives() {
+        let mut pool = RankPool::new(4).unwrap();
+        // Job 1: rank 2 dies while others wait on it.
+        let err = pool
+            .run(|comm| {
+                if comm.rank() == 2 {
+                    panic!("bad job");
+                }
+                comm.recv::<u8>(2, 1)
+            })
+            .expect_err("job must fail");
+        match err {
+            RuntimeError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 2);
+                assert!(message.contains("bad job"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Job 2 on the same pool: clean epoch, correct answers.
+        let run = pool.run(|comm| comm.rank() + 10).unwrap();
+        assert_eq!(run.results, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn unreceived_messages_do_not_leak_into_the_next_job() {
+        let mut pool = RankPool::new(2).unwrap();
+        // Job 1 sends a message nobody receives.
+        pool.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 123u32);
+            }
+        })
+        .unwrap();
+        // Job 2 receives on the same (peer, tag): it must get job 2's
+        // message, not job 1's straggler.
+        let run = pool
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, 456u32);
+                    0
+                } else {
+                    comm.recv::<u32>(0, 7)
+                }
+            })
+            .unwrap();
+        assert_eq!(run.results[1], 456);
+    }
+
+    #[test]
+    fn traced_jobs_get_their_own_spans() {
+        let mut pool = RankPool::new(2).unwrap();
+        let job = |comm: &mut Comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 1, vec![1.0f64; 4]);
+            let _: Vec<f64> = comm.recv(peer, 1);
+        };
+        let t1 = Tracer::new(2);
+        pool.run_traced(&t1, job).unwrap();
+        let t2 = Tracer::new(2);
+        pool.run_traced(&t2, job).unwrap();
+        // Each job's tracer holds exactly that job's sends (one per rank).
+        assert_eq!(t1.collect().payload_send_multiset().len(), 2);
+        assert_eq!(t2.collect().payload_send_multiset().len(), 2);
+    }
+
+    #[test]
+    fn pool_of_one_rank_works() {
+        let mut pool = RankPool::new(1).unwrap();
+        let run = pool.run(|comm| comm.size()).unwrap();
+        assert_eq!(run.results, vec![1]);
+    }
+}

@@ -1,11 +1,48 @@
 //! Spawning and joining rank threads.
 
 use crate::comm::Comm;
-use crate::message::{Envelope, Mailbox, POISON_CTX};
+use crate::error::RuntimeError;
+use crate::message::{Envelope, Mailbox, MailboxSender, POISON_CTX};
 use hsumma_trace::Tracer;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
+
+/// Delivers a poison envelope (at `epoch`) to every peer of `rank`, so
+/// ranks blocked in a receive on it fail fast instead of hanging.
+pub(crate) fn poison_peers(senders: &[MailboxSender], rank: usize, epoch: u64) {
+    for (peer, tx) in senders.iter().enumerate() {
+        if peer != rank {
+            tx.deliver(Envelope {
+                ctx: POISON_CTX,
+                src: rank,
+                tag: 0,
+                epoch,
+                payload: Box::new(()),
+            });
+        }
+    }
+}
+
+/// Picks the most informative panic out of a crashed world: the first
+/// failure that is not a secondary "peer rank panicked" poison cascade.
+pub(crate) fn primary_panic(panics: &[(usize, String)]) -> (usize, String) {
+    panics
+        .iter()
+        .find(|(_, m)| !m.contains("panicked while this rank was communicating"))
+        .unwrap_or(&panics[0])
+        .clone()
+}
+
+/// Stringifies a panic payload for error reporting.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>")
+        .to_owned()
+}
 
 /// Entry point of the runtime: maps `p` ranks onto `p` OS threads.
 ///
@@ -56,6 +93,36 @@ impl Runtime {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        match Self::try_run_traced(p, tracer, f) {
+            Ok(out) => out,
+            Err(RuntimeError::RankPanicked { rank, message }) => {
+                panic!("rank {rank} panicked: {message}")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Runtime::run`], but surfaces launch and rank failures as a
+    /// [`RuntimeError`] instead of panicking: a refused thread spawn
+    /// returns [`RuntimeError::Spawn`] (after poisoning and joining the
+    /// ranks already launched, so none is leaked), and a rank panic
+    /// returns [`RuntimeError::RankPanicked`] carrying the originating
+    /// failure. This is the entry point a long-lived caller (the serving
+    /// layer) uses to fail one request, not the process.
+    pub fn try_run<R, F>(p: usize, f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        Self::try_run_traced(p, &Tracer::disabled(), f)
+    }
+
+    /// Fallible form of [`Runtime::run_traced`]; see [`Runtime::try_run`].
+    pub fn try_run_traced<R, F>(p: usize, tracer: &Tracer, f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
         assert!(
             !tracer.enabled() || tracer.ranks() >= p,
@@ -72,19 +139,19 @@ impl Runtime {
         let senders = Arc::new(senders);
         let f = &f;
 
-        let results: Vec<thread::Result<R>> = thread::scope(|scope| {
-            let handles: Vec<_> = mailboxes
-                .into_iter()
-                .enumerate()
-                .map(|(rank, mailbox)| {
-                    let senders = Arc::clone(&senders);
+        let (results, spawn_err): (Vec<thread::Result<R>>, Option<RuntimeError>) =
+            thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p);
+                let mut spawn_err = None;
+                for (rank, mailbox) in mailboxes.into_iter().enumerate() {
+                    let senders_for_rank = Arc::clone(&senders);
                     let sink = tracer.sink(rank);
-                    thread::Builder::new()
+                    let spawned = thread::Builder::new()
                         .name(format!("rank-{rank}"))
                         .spawn_scoped(scope, move || {
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 let mut comm =
-                                    Comm::world(Arc::clone(&senders), mailbox, rank, sink);
+                                    Comm::world(Arc::clone(&senders_for_rank), mailbox, rank, sink);
                                 f(&mut comm)
                             }));
                             match result {
@@ -92,58 +159,52 @@ impl Runtime {
                                 Err(payload) => {
                                     // Poison every peer so ranks blocked on
                                     // this one fail fast instead of hanging.
-                                    for (peer, tx) in senders.iter().enumerate() {
-                                        if peer != rank {
-                                            tx.deliver(Envelope {
-                                                ctx: POISON_CTX,
-                                                src: rank,
-                                                tag: 0,
-                                                payload: Box::new(()),
-                                            });
-                                        }
-                                    }
+                                    poison_peers(&senders_for_rank, rank, 0);
                                     resume_unwind(payload);
                                 }
                             }
-                        })
-                        .expect("failed to spawn rank thread")
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+                        });
+                    match spawned {
+                        Ok(h) => handles.push(h),
+                        Err(source) => {
+                            // Unblock the ranks already running, then stop
+                            // launching: the world is not viable.
+                            poison_peers(&senders[..rank], p, 0);
+                            spawn_err = Some(RuntimeError::Spawn { rank, source });
+                            break;
+                        }
+                    }
+                }
+                (handles.into_iter().map(|h| h.join()).collect(), spawn_err)
+            });
 
         let mut out = Vec::with_capacity(p);
         let mut panics: Vec<(usize, String)> = Vec::new();
         for (rank, r) in results.into_iter().enumerate() {
             match r {
                 Ok(v) => out.push(v),
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic payload>")
-                        .to_owned();
-                    panics.push((rank, msg));
-                }
+                Err(payload) => panics.push((rank, panic_message(payload.as_ref()))),
             }
+        }
+        if let Some(e) = spawn_err {
+            // The launch failure is the primary fault; panics among the
+            // survivors are poison cascades it induced.
+            return Err(e);
         }
         if !panics.is_empty() {
             // Prefer reporting the originating failure over the secondary
             // "peer rank panicked" poison cascades it triggers.
-            let (rank, msg) = panics
-                .iter()
-                .find(|(_, m)| !m.contains("panicked while this rank was communicating"))
-                .unwrap_or(&panics[0]);
-            panic!("rank {rank} panicked: {msg}");
+            let (rank, message) = primary_panic(&panics);
+            return Err(RuntimeError::RankPanicked { rank, message });
         }
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RuntimeError;
 
     #[test]
     fn ranks_see_their_own_rank_and_size() {
@@ -194,6 +255,50 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn try_run_returns_results_on_success() {
+        let out = Runtime::try_run(3, |comm| comm.rank() * 2).expect("healthy world");
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn try_run_surfaces_rank_panic_as_error() {
+        let err = Runtime::try_run(4, |comm| {
+            if comm.rank() == 1 {
+                panic!("job-level failure");
+            }
+            comm.rank()
+        })
+        .expect_err("rank 1 panicked");
+        match err {
+            RuntimeError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("job-level failure"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_run_reports_originating_rank_not_poison_cascade() {
+        // Every other rank blocks on rank 2; its panic poisons them, and
+        // the error must still name rank 2.
+        let err = Runtime::try_run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("origin");
+            }
+            comm.recv::<u8>(2, 1)
+        })
+        .expect_err("world crashed");
+        match err {
+            RuntimeError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 2);
+                assert!(message.contains("origin"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]

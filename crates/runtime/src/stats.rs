@@ -57,6 +57,32 @@ impl CommStats {
         }
     }
 
+    /// In-place form of [`CommStats::merge`].
+    pub fn merge_in_place(&mut self, other: &CommStats) {
+        *self = self.merge(other);
+    }
+
+    /// The change since `baseline` — what happened between two snapshots
+    /// of the same accumulating instance. This is how pooled jobs report
+    /// *per-job* statistics (an epoch's delta) instead of counters
+    /// accumulated over the pool's whole lifetime. Counters saturate at 0
+    /// and times clamp at 0.0, so a stale baseline (e.g. taken before a
+    /// reset) degrades to the raw values instead of underflowing.
+    pub fn delta(&self, baseline: &CommStats) -> CommStats {
+        CommStats {
+            comm_seconds: (self.comm_seconds - baseline.comm_seconds).max(0.0),
+            comp_seconds: (self.comp_seconds - baseline.comp_seconds).max(0.0),
+            msgs_sent: self.msgs_sent.saturating_sub(baseline.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(baseline.bytes_sent),
+            msgs_recv: self.msgs_recv.saturating_sub(baseline.msgs_recv),
+            bytes_recv: self.bytes_recv.saturating_sub(baseline.bytes_recv),
+            payload_clones: self.payload_clones.saturating_sub(baseline.payload_clones),
+            payload_clone_bytes: self
+                .payload_clone_bytes
+                .saturating_sub(baseline.payload_clone_bytes),
+        }
+    }
+
     /// Element-wise maximum of the time fields, counter sum — the usual
     /// "slowest rank defines the phase time" reduction for BSP phases.
     pub fn max_times(&self, other: &CommStats) -> CommStats {
@@ -99,6 +125,21 @@ mod tests {
     fn merge_sums_everything() {
         let m = sample(1.0, 2.0, 3, 4).merge(&sample(10.0, 20.0, 30, 40));
         assert_eq!(m, sample(11.0, 22.0, 33, 44));
+    }
+
+    #[test]
+    fn delta_subtracts_a_snapshot_baseline() {
+        let before = sample(1.0, 2.0, 3, 4);
+        let after = sample(10.0, 22.0, 33, 44);
+        assert_eq!(after.delta(&before), sample(9.0, 20.0, 30, 40));
+        // Snapshot arithmetic round-trips: baseline + delta == current.
+        assert_eq!(before.merge(&after.delta(&before)), after);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let d = sample(1.0, 1.0, 1, 1).delta(&sample(5.0, 5.0, 5, 5));
+        assert_eq!(d, sample(0.0, 0.0, 0, 0));
     }
 
     #[test]

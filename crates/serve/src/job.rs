@@ -1,0 +1,315 @@
+//! Job vocabulary: what a client submits, how it tracks progress, and
+//! what it gets back.
+//!
+//! A *job* is one `C = A·B` multiply. The client hands the server a
+//! [`JobSpec`] plus the operands and receives a [`JobHandle`] — a cheap,
+//! clonable ticket it can poll ([`JobHandle::state`]) or block on
+//! ([`JobHandle::wait`]). Completion yields a [`JobOutput`]: the product
+//! and a [`JobReport`] describing exactly what the service did for this
+//! job — the plan it ran, the wall time, and the per-rank communication
+//! deltas of this job alone (the pool's epoch demarcation guarantees the
+//! counters contain nothing from neighbouring jobs).
+
+use hsumma_core::PlannedAlgo;
+use hsumma_matrix::Matrix;
+use hsumma_runtime::CommStats;
+use hsumma_trace::Trace;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What the client wants multiplied, before operands are attached.
+///
+/// The dimensions describe `C[m × n] = A[m × k] · B[k × n]`. The current
+/// service executes **square** problems (`m = k = n`) — the rectangular
+/// generalization (`hsumma-core::rect`) is not yet plumbed through the
+/// planner — and rejects others at submission with a reason.
+#[derive(Clone, Copy, Debug)]
+pub struct JobSpec {
+    /// Columns of `C` (and of `B`).
+    pub n: usize,
+    /// Rows of `C` (and of `A`).
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// How much freedom the planner has.
+    pub hint: PlanHint,
+}
+
+impl JobSpec {
+    /// A square `n × n` job with the planner free to choose.
+    pub fn square(n: usize) -> Self {
+        JobSpec {
+            n,
+            m: n,
+            k: n,
+            hint: PlanHint::Auto,
+        }
+    }
+
+    /// Same spec with a different planning hint.
+    pub fn with_hint(mut self, hint: PlanHint) -> Self {
+        self.hint = hint;
+        self
+    }
+}
+
+/// Client guidance to the planner.
+#[derive(Clone, Copy, Debug)]
+pub enum PlanHint {
+    /// Let the planner choose (cost models + simulator refinement,
+    /// memoized per shape class).
+    Auto,
+    /// Run exactly this plan, bypassing the planner. The escape hatch for
+    /// experiments and A/B comparisons; an ill-suited plan fails *this
+    /// job*, never the service.
+    Force(PlannedAlgo),
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting in the FIFO queue.
+    Queued,
+    /// Executing on the rank pool.
+    Running,
+    /// Finished; the output is (or was) available via [`JobHandle::wait`].
+    Done,
+    /// Failed; [`JobHandle::wait`] returns the [`JobError`].
+    Failed,
+}
+
+/// Why a submission was refused at the door. Admission control is
+/// synchronous: a rejected job costs the client one mutex acquisition and
+/// nothing of the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure. Retry later or
+    /// shed load; the error carries the numbers a client needs to decide.
+    QueueFull {
+        /// Configured queue bound.
+        capacity: usize,
+        /// Jobs waiting right now (= capacity when rejected).
+        queued: usize,
+    },
+    /// The spec or operands cannot be executed on this service.
+    Invalid(String),
+    /// The service is shutting down and takes no new work.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, queued } => write!(
+                f,
+                "admission queue full ({queued}/{capacity} jobs queued); retry later"
+            ),
+            SubmitError::Invalid(reason) => write!(f, "invalid job: {reason}"),
+            SubmitError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted job did not produce a product.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job failed while executing (e.g. a rank panicked on a plan
+    /// precondition). The service survives; the message names the cause.
+    Execution(String),
+    /// The service shut down before the job ran.
+    Shutdown,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Execution(msg) => write!(f, "job failed: {msg}"),
+            JobError::Shutdown => write!(f, "service shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// What the service did for one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Service-assigned job id (submission order).
+    pub job_id: u64,
+    /// The plan that executed.
+    pub plan: PlannedAlgo,
+    /// Human-readable plan summary (e.g. `hsumma(G=2x2, B=8, b=8)`).
+    pub plan_desc: String,
+    /// Whether the plan came from the cache (`true`) or was computed —
+    /// model evaluation plus simulator sweep — for this job (`false`).
+    pub plan_cached: bool,
+    /// Wall time from dequeue to gathered product (scatter + SPMD run +
+    /// gather; queueing time excluded).
+    pub wall: Duration,
+    /// Per-rank communication statistics of this job alone.
+    pub stats: Vec<CommStats>,
+    /// This job's spans, when the service traces jobs.
+    pub trace: Option<Trace>,
+}
+
+impl JobReport {
+    /// All ranks' stats merged into one.
+    pub fn merged_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for s in &self.stats {
+            total.merge_in_place(s);
+        }
+        total
+    }
+}
+
+/// A completed job: the product and the report.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// The global `C = A·B`.
+    pub c: Matrix,
+    /// What the service did to produce it.
+    pub report: JobReport,
+}
+
+/// The shared completion cell behind a [`JobHandle`].
+pub(crate) struct JobCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+}
+
+enum CellState {
+    Queued,
+    Running,
+    // Boxed: a JobOutput carries a whole result matrix plus a report,
+    // dwarfing the other variants.
+    Done(Box<JobOutput>),
+    Failed(JobError),
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(JobCell {
+            state: Mutex::new(CellState::Queued),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn set_running(&self) {
+        *self.state.lock().expect("job cell lock") = CellState::Running;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn finish(&self, outcome: Result<JobOutput, JobError>) {
+        let mut st = self.state.lock().expect("job cell lock");
+        *st = match outcome {
+            Ok(out) => CellState::Done(Box::new(out)),
+            Err(e) => CellState::Failed(e),
+        };
+        self.cv.notify_all();
+    }
+}
+
+/// The client's ticket for one submitted job. Clonable; any clone may
+/// poll, every waiter sees the same outcome.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) cell: Arc<JobCell>,
+}
+
+impl JobHandle {
+    /// Service-assigned job id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state, without blocking.
+    pub fn state(&self) -> JobState {
+        match *self.cell.state.lock().expect("job cell lock") {
+            CellState::Queued => JobState::Queued,
+            CellState::Running => JobState::Running,
+            CellState::Done(_) => JobState::Done,
+            CellState::Failed(_) => JobState::Failed,
+        }
+    }
+
+    /// Blocks until the job completes and returns its outcome. The output
+    /// is cloned out of the cell, so every clone of the handle can wait.
+    pub fn wait(&self) -> Result<JobOutput, JobError> {
+        let mut st = self.cell.state.lock().expect("job cell lock");
+        loop {
+            match &*st {
+                CellState::Done(out) => return Ok((**out).clone()),
+                CellState::Failed(e) => return Err(e.clone()),
+                _ => st = self.cell.cv.wait(st).expect("job cell lock"),
+            }
+        }
+    }
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_observes_lifecycle() {
+        let cell = JobCell::new();
+        let h = JobHandle {
+            id: 7,
+            cell: Arc::clone(&cell),
+        };
+        assert_eq!(h.state(), JobState::Queued);
+        cell.set_running();
+        assert_eq!(h.state(), JobState::Running);
+        cell.finish(Err(JobError::Shutdown));
+        assert_eq!(h.state(), JobState::Failed);
+        assert_eq!(h.wait().unwrap_err(), JobError::Shutdown);
+    }
+
+    #[test]
+    fn wait_blocks_until_finish_and_all_clones_see_it() {
+        let cell = JobCell::new();
+        let h = JobHandle {
+            id: 1,
+            cell: Arc::clone(&cell),
+        };
+        let h2 = h.clone();
+        let waiter = std::thread::spawn(move || h2.wait());
+        cell.finish(Err(JobError::Execution("boom".into())));
+        let got = waiter.join().expect("waiter thread");
+        assert_eq!(got.unwrap_err(), JobError::Execution("boom".into()));
+        assert_eq!(h.wait().unwrap_err(), JobError::Execution("boom".into()));
+    }
+
+    #[test]
+    fn submit_errors_render_reasons() {
+        let e = SubmitError::QueueFull {
+            capacity: 4,
+            queued: 4,
+        };
+        assert!(e.to_string().contains("4/4"));
+        assert!(SubmitError::Invalid("m != n".into())
+            .to_string()
+            .contains("m != n"));
+    }
+
+    #[test]
+    fn square_spec_is_square() {
+        let s = JobSpec::square(64);
+        assert_eq!((s.m, s.k, s.n), (64, 64, 64));
+        assert!(matches!(s.hint, PlanHint::Auto));
+    }
+}

@@ -1,0 +1,324 @@
+//! The model-driven planner: from a job's shape to an executable
+//! [`PlannedAlgo`], memoized per shape class.
+//!
+//! Planning is two passes, exactly as ROADMAP.md sketches for the
+//! serving layer:
+//!
+//! 1. **Closed form** — [`hsumma_model::advise_square`] compares SUMMA,
+//!    HSUMMA at its predicted-best `G` (seeded by the paper's `G = √p`
+//!    extremum) and Cannon on the configured `(α, β, γ)`, in microseconds
+//!    of arithmetic;
+//! 2. **Simulator refinement** — when the advice is HSUMMA, the analytic
+//!    `G` is cross-checked against the timing simulator
+//!    ([`hsumma_core::tuning::sweep_groups`]), which prices the *actual
+//!    schedule* (pipelining, per-step dependencies) rather than the
+//!    closed form. The simulator sweep is the expensive part — tens of
+//!    milliseconds for large `p` — which is why its outcome is cached.
+//!
+//! The plan cache is keyed by `(p, shape class)` where the shape class
+//! is `⌈log₂ n⌉`: two problems within a factor of two of each other get
+//! the same plan, a deliberate coarsening that makes a serving workload
+//! of "roughly n = 256" jobs hit the cache after the first one. Cache
+//! statistics ([`PlannerStats`]) are part of the public API so tests and
+//! operators can *prove* the second same-shape job skipped the sweep.
+
+use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
+use hsumma_core::{HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
+use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_model::{advise_square, AlgoChoice, BcastModel, ModelParams};
+use hsumma_netsim::{Platform, SimBcast};
+use std::collections::HashMap;
+
+/// Planner configuration: which cost model and which simulated platform
+/// rank the candidates.
+///
+/// The platform prices *relative* choices (which algorithm, which `G`),
+/// not absolute in-process speed — the default Grid5000 profile has the
+/// latency/bandwidth ratio closest to thread-mailbox messaging among the
+/// presets.
+#[derive(Clone, Debug)]
+pub struct PlannerConfig {
+    /// Simulated platform used for the refinement sweep and, via its
+    /// `(α, β, γ)`, for the closed-form pass.
+    pub platform: Platform,
+    /// Broadcast cost model of the closed-form pass.
+    pub bcast: BcastModel,
+    /// Whether to refine HSUMMA's `G` on the simulator (pass 2). When
+    /// `false` the analytic `G` is used directly and no sweeps run.
+    pub refine_with_sim: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            platform: Platform::grid5000(),
+            bcast: BcastModel::Binomial,
+            refine_with_sim: true,
+        }
+    }
+}
+
+/// Cache key: problems of the same rank count and size class share a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeClass {
+    /// Rank count the plan was made for.
+    pub p: usize,
+    /// `⌈log₂ n⌉` of the (square) problem size.
+    pub log2_n: u32,
+}
+
+impl ShapeClass {
+    /// The class of an `n × n` problem on `p` ranks.
+    pub fn of(p: usize, n: usize) -> Self {
+        ShapeClass {
+            p,
+            log2_n: (n.max(1) as f64).log2().ceil() as u32,
+        }
+    }
+}
+
+/// Counters proving what the planner did (and did not) compute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans computed fresh (model + optional sweep).
+    pub misses: u64,
+    /// Individual simulator evaluations run (one per candidate `G` per
+    /// refinement sweep). Stays flat across cache hits.
+    pub sims_run: u64,
+}
+
+/// What the cache remembers per shape class: the *decision* — which
+/// algorithm and, for HSUMMA, which grouping. The panel width is NOT
+/// cached: two sizes of the same class (say 24 and 32) need different
+/// blocks to satisfy the tile-divisibility preconditions, so the block
+/// is re-derived per job — a divisor search, not a simulator sweep.
+#[derive(Clone, Copy, Debug)]
+enum CachedChoice {
+    Summa,
+    Hsumma { groups: GridShape },
+    Cannon,
+}
+
+/// Plans jobs for one fixed grid, with a [`ShapeClass`]-keyed memo.
+pub struct Planner {
+    config: PlannerConfig,
+    grid: GridShape,
+    cache: HashMap<ShapeClass, CachedChoice>,
+    stats: PlannerStats,
+}
+
+/// A planning outcome plus its provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct Planned {
+    /// The executable plan.
+    pub plan: PlannedAlgo,
+    /// `true` when served from the cache without recomputation.
+    pub cached: bool,
+}
+
+impl Planner {
+    /// A planner for jobs executing on `grid`.
+    pub fn new(grid: GridShape, config: PlannerConfig) -> Self {
+        Planner {
+            config,
+            grid,
+            cache: HashMap::new(),
+            stats: PlannerStats::default(),
+        }
+    }
+
+    /// The grid this planner plans for.
+    pub fn grid(&self) -> GridShape {
+        self.grid
+    }
+
+    /// Cache/sweep counters so far.
+    pub fn stats(&self) -> PlannerStats {
+        self.stats
+    }
+
+    /// Plans a square `n × n` multiply, consulting the cache first.
+    ///
+    /// `n` must satisfy the service's divisibility invariants (validated
+    /// at admission, before planning).
+    pub fn plan_square(&mut self, n: usize) -> Planned {
+        let key = ShapeClass::of(self.grid.size(), n);
+        if let Some(&choice) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return Planned {
+                plan: self.materialize(choice, n),
+                cached: true,
+            };
+        }
+        self.stats.misses += 1;
+        let choice = self.compute_choice(n);
+        self.cache.insert(key, choice);
+        Planned {
+            plan: self.materialize(choice, n),
+            cached: false,
+        }
+    }
+
+    /// The expensive half: model comparison plus (for HSUMMA) the
+    /// simulator sweep. Runs once per shape class.
+    fn compute_choice(&mut self, n: usize) -> CachedChoice {
+        let p = self.grid.size();
+        let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
+        let params = ModelParams {
+            alpha: self.config.platform.net.alpha,
+            beta: self.config.platform.net.beta,
+            gamma: self.config.platform.gamma,
+        };
+        let advice = advise_square(&params, self.config.bcast, n as f64, p as f64, block as f64);
+        match advice.choice {
+            AlgoChoice::Cannon if self.grid.rows == self.grid.cols => CachedChoice::Cannon,
+            AlgoChoice::Summa | AlgoChoice::Cannon => CachedChoice::Summa,
+            AlgoChoice::Hsumma { g } => {
+                let g = if self.config.refine_with_sim {
+                    self.refine_g(n, block)
+                } else {
+                    g as usize
+                };
+                match HierGrid::factor_groups(self.grid, g) {
+                    Some(groups) => CachedChoice::Hsumma { groups },
+                    // No valid factorization of the advised G on this
+                    // grid: fall back to the G = 1 degenerate (SUMMA).
+                    None => CachedChoice::Summa,
+                }
+            }
+        }
+    }
+
+    /// The cheap half: turn a cached decision into an executable plan for
+    /// this exact `n` — the panel width must divide this job's tiles.
+    fn materialize(&self, choice: CachedChoice, n: usize) -> PlannedAlgo {
+        let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
+        match choice {
+            CachedChoice::Summa => PlannedAlgo::Summa(SummaConfig {
+                block,
+                ..SummaConfig::default()
+            }),
+            CachedChoice::Hsumma { groups } => {
+                PlannedAlgo::Hsumma(HsummaConfig::uniform(groups, block))
+            }
+            CachedChoice::Cannon => PlannedAlgo::Cannon {
+                kernel: GemmKernel::Packed,
+            },
+        }
+    }
+
+    /// Pass 2: pick `G` by simulated communication time over the
+    /// power-of-two candidates (the paper's Fig. 8 sweep).
+    fn refine_g(&mut self, n: usize, block: usize) -> usize {
+        let gs = power_of_two_gs(self.grid.size());
+        let sweep = sweep_groups(
+            &self.config.platform,
+            self.grid,
+            n,
+            block,
+            block,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+            &gs,
+        );
+        self.stats.sims_run += sweep.len() as u64;
+        best_by_comm(&sweep).g
+    }
+}
+
+/// The largest panel width ≤ 32 dividing both tile extents — the planner
+/// never proposes a block the algorithms' divisibility preconditions
+/// would reject.
+fn preferred_block(tile_rows: usize, tile_cols: usize) -> usize {
+    (1..=tile_rows.min(tile_cols).min(32))
+        .rev()
+        .find(|&b| tile_rows.is_multiple_of(b) && tile_cols.is_multiple_of(b))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferred_block_divides_both_extents() {
+        assert_eq!(preferred_block(64, 64), 32);
+        assert_eq!(preferred_block(48, 36), 12);
+        assert_eq!(preferred_block(7, 7), 7);
+        assert_eq!(preferred_block(3, 5), 1);
+    }
+
+    #[test]
+    fn shape_class_buckets_by_power_of_two() {
+        assert_eq!(ShapeClass::of(16, 256), ShapeClass::of(16, 129));
+        assert_ne!(ShapeClass::of(16, 256), ShapeClass::of(16, 257));
+        assert_ne!(ShapeClass::of(16, 256), ShapeClass::of(4, 256));
+    }
+
+    #[test]
+    fn second_same_shape_plan_is_a_cache_hit_with_no_new_sims() {
+        let mut planner = Planner::new(GridShape::new(4, 4), PlannerConfig::default());
+        let first = planner.plan_square(256);
+        assert!(!first.cached);
+        let after_first = planner.stats();
+        assert_eq!(after_first.misses, 1);
+
+        let second = planner.plan_square(256);
+        assert!(second.cached);
+        let after_second = planner.stats();
+        assert_eq!(after_second.hits, 1);
+        // The load-bearing claim: no additional simulator work.
+        assert_eq!(after_second.sims_run, after_first.sims_run);
+        assert_eq!(format!("{:?}", second.plan), format!("{:?}", first.plan));
+    }
+
+    #[test]
+    fn different_shape_classes_plan_independently() {
+        let mut planner = Planner::new(GridShape::new(2, 2), PlannerConfig::default());
+        planner.plan_square(64);
+        planner.plan_square(512);
+        assert_eq!(planner.stats().misses, 2);
+        assert_eq!(planner.stats().hits, 0);
+    }
+
+    #[test]
+    fn plans_are_executable_on_the_grid() {
+        // Whatever the planner picks, its block sizes must satisfy the
+        // algorithms' divisibility preconditions.
+        for (grid, n) in [
+            (GridShape::new(2, 2), 16),
+            (GridShape::new(4, 4), 64),
+            (GridShape::new(2, 4), 32),
+        ] {
+            let mut planner = Planner::new(grid, PlannerConfig::default());
+            let planned = planner.plan_square(n);
+            let (th, tw) = (n / grid.rows, n / grid.cols);
+            match planned.plan {
+                PlannedAlgo::Summa(cfg) => {
+                    assert_eq!(th % cfg.block, 0);
+                    assert_eq!(tw % cfg.block, 0);
+                }
+                PlannedAlgo::Hsumma(cfg) => {
+                    assert_eq!(th % cfg.inner_block, 0);
+                    assert_eq!(tw % cfg.inner_block, 0);
+                    assert_eq!(grid.rows % cfg.groups.rows, 0);
+                    assert_eq!(grid.cols % cfg.groups.cols, 0);
+                }
+                PlannedAlgo::Cannon { .. } => assert_eq!(grid.rows, grid.cols),
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_refinement_runs_no_sims() {
+        let config = PlannerConfig {
+            refine_with_sim: false,
+            ..PlannerConfig::default()
+        };
+        let mut planner = Planner::new(GridShape::new(4, 4), config);
+        planner.plan_square(256);
+        assert_eq!(planner.stats().sims_run, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The GEMM job service: bounded admission, FIFO scheduling, pooled
+//! execution.
+//!
+//! One [`GemmServer`] owns three things:
+//!
+//! * a **[`RankPool`]** of `p` worker threads, created once at server
+//!   start — jobs pay no thread spawn/teardown (the reason the pooled
+//!   throughput benchmark beats back-to-back `Runtime::run` calls);
+//! * a **bounded FIFO queue** guarding admission. `submit` never blocks:
+//!   a full queue rejects with [`SubmitError::QueueFull`] carrying the
+//!   numbers (backpressure is the client's signal to shed or retry);
+//! * a **scheduler thread** that drains the queue in order: plan (via
+//!   the memoizing [`Planner`]) → scatter → run the SPMD plan on the
+//!   pool → gather → complete the client's [`JobHandle`].
+//!
+//! Failure containment mirrors the pool's: a job whose plan panics on a
+//! rank fails *that job* ([`JobError::Execution`]) and the server keeps
+//! serving. Shutdown is graceful — queued jobs run to completion before
+//! the scheduler exits (`shutdown()`, also invoked by `Drop`).
+
+use crate::job::{
+    JobCell, JobError, JobHandle, JobOutput, JobReport, JobSpec, PlanHint, SubmitError,
+};
+use crate::planner::{Planned, Planner, PlannerConfig, PlannerStats};
+use hsumma_core::run_planned;
+use hsumma_matrix::{BlockDist, GridShape, Matrix};
+use hsumma_runtime::{PoolRun, RankPool, RuntimeError};
+use hsumma_trace::Tracer;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Processor grid; the pool has `grid.size()` ranks.
+    pub grid: GridShape,
+    /// Admission queue bound (jobs waiting, excluding the running one).
+    pub queue_capacity: usize,
+    /// Record a per-job [`hsumma_trace::Trace`] into every report.
+    pub trace_jobs: bool,
+    /// Planner configuration (cost model, simulator, refinement).
+    pub planner: PlannerConfig,
+}
+
+impl ServerConfig {
+    /// Defaults: queue of 32, no tracing, default planner.
+    pub fn new(grid: GridShape) -> Self {
+        ServerConfig {
+            grid,
+            queue_capacity: 32,
+            trace_jobs: false,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    a: Matrix,
+    b: Matrix,
+    cell: Arc<JobCell>,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+    /// Jobs submitted (admitted) so far; also the next job id.
+    submitted: u64,
+    /// Submissions refused because the queue was full.
+    rejected: u64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals the scheduler: work available or shutdown requested.
+    cv: Condvar,
+}
+
+/// Aggregate service counters (see also [`GemmServer::planner_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs admitted to the queue since start.
+    pub submitted: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs currently waiting (excludes the running job).
+    pub queued: usize,
+}
+
+/// A persistent GEMM job service over a pooled rank runtime. See the
+/// [module docs](self).
+pub struct GemmServer {
+    shared: Arc<Shared>,
+    planner: Arc<Mutex<Planner>>,
+    scheduler: Option<JoinHandle<()>>,
+    grid: GridShape,
+    capacity: usize,
+}
+
+impl GemmServer {
+    /// Starts the service: spawns the rank pool (surfacing
+    /// [`RuntimeError::Spawn`] instead of aborting) and the scheduler.
+    ///
+    /// # Panics
+    /// Panics if `queue_capacity == 0` (a queue that can hold nothing
+    /// rejects everything).
+    pub fn new(config: ServerConfig) -> Result<Self, RuntimeError> {
+        assert!(config.queue_capacity > 0, "queue capacity must be ≥ 1");
+        let pool = RankPool::new(config.grid.size())?;
+        let planner = Arc::new(Mutex::new(Planner::new(
+            config.grid,
+            config.planner.clone(),
+        )));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                submitted: 0,
+                rejected: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let planner = Arc::clone(&planner);
+            let grid = config.grid;
+            let trace_jobs = config.trace_jobs;
+            std::thread::Builder::new()
+                .name("gemm-scheduler".into())
+                .spawn(move || scheduler_loop(shared, planner, pool, grid, trace_jobs))
+                .map_err(|source| RuntimeError::Spawn {
+                    rank: config.grid.size(),
+                    source,
+                })?
+        };
+        Ok(GemmServer {
+            shared,
+            planner,
+            scheduler: Some(scheduler),
+            grid: config.grid,
+            capacity: config.queue_capacity,
+        })
+    }
+
+    /// The service's processor grid.
+    pub fn grid(&self) -> GridShape {
+        self.grid
+    }
+
+    /// Submits one job. Non-blocking admission control: the job is either
+    /// queued (returning a [`JobHandle`]) or refused with the reason.
+    ///
+    /// `a` and `b` must match the spec's dimensions; the current service
+    /// additionally requires square shapes divisible by the grid (see
+    /// [`JobSpec`]).
+    pub fn submit(&self, spec: JobSpec, a: Matrix, b: Matrix) -> Result<JobHandle, SubmitError> {
+        self.validate(&spec, &a, &b)?;
+        let mut st = self.shared.state.lock().expect("queue lock");
+        if st.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        if st.jobs.len() >= self.capacity {
+            st.rejected += 1;
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+                queued: st.jobs.len(),
+            });
+        }
+        let id = st.submitted;
+        st.submitted += 1;
+        let cell = JobCell::new();
+        st.jobs.push_back(QueuedJob {
+            id,
+            spec,
+            a,
+            b,
+            cell: Arc::clone(&cell),
+        });
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(JobHandle { id, cell })
+    }
+
+    /// Admission validation — every rejection names its reason.
+    fn validate(&self, spec: &JobSpec, a: &Matrix, b: &Matrix) -> Result<(), SubmitError> {
+        let invalid = |reason: String| Err(SubmitError::Invalid(reason));
+        if spec.n == 0 || spec.m == 0 || spec.k == 0 {
+            return invalid("dimensions must be positive".into());
+        }
+        if spec.m != spec.n || spec.k != spec.n {
+            return invalid(format!(
+                "only square jobs are served (m = k = n); got m={}, k={}, n={}",
+                spec.m, spec.k, spec.n
+            ));
+        }
+        if a.shape() != (spec.m, spec.k) {
+            return invalid(format!(
+                "A is {:?}, spec says {:?}",
+                a.shape(),
+                (spec.m, spec.k)
+            ));
+        }
+        if b.shape() != (spec.k, spec.n) {
+            return invalid(format!(
+                "B is {:?}, spec says {:?}",
+                b.shape(),
+                (spec.k, spec.n)
+            ));
+        }
+        if !spec.n.is_multiple_of(self.grid.rows) || !spec.n.is_multiple_of(self.grid.cols) {
+            return invalid(format!(
+                "n={} not divisible by the {}x{} grid",
+                spec.n, self.grid.rows, self.grid.cols
+            ));
+        }
+        Ok(())
+    }
+
+    /// Queue and admission counters at this instant.
+    pub fn stats(&self) -> ServerStats {
+        let st = self.shared.state.lock().expect("queue lock");
+        ServerStats {
+            submitted: st.submitted,
+            rejected: st.rejected,
+            queued: st.jobs.len(),
+        }
+    }
+
+    /// The planner's cache/sweep counters (see [`PlannerStats`]).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.lock().expect("planner lock").stats()
+    }
+
+    /// Graceful shutdown: stops admitting, runs every queued job to
+    /// completion, then joins the scheduler and the rank pool.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GemmServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The scheduler: FIFO over the queue until shutdown *and* empty.
+fn scheduler_loop(
+    shared: Arc<Shared>,
+    planner: Arc<Mutex<Planner>>,
+    mut pool: RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("queue lock");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.cv.wait(st).expect("queue lock");
+            }
+        };
+        job.cell.set_running();
+        let outcome = execute(&planner, &mut pool, grid, trace_jobs, &job);
+        job.cell.finish(outcome);
+    }
+}
+
+/// Plan → scatter → pooled SPMD run → gather, with per-job accounting.
+fn execute(
+    planner: &Arc<Mutex<Planner>>,
+    pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+    job: &QueuedJob,
+) -> Result<JobOutput, JobError> {
+    let n = job.spec.n;
+    let planned = match job.spec.hint {
+        PlanHint::Auto => planner.lock().expect("planner lock").plan_square(n),
+        PlanHint::Force(plan) => Planned {
+            plan,
+            cached: false,
+        },
+    };
+    let started = Instant::now();
+
+    let dist = BlockDist::new(grid, n, n);
+    let a_tiles = Arc::new(dist.scatter(&job.a));
+    let b_tiles = Arc::new(dist.scatter(&job.b));
+    let plan = planned.plan;
+    let tracer = if trace_jobs {
+        Tracer::new(grid.size())
+    } else {
+        Tracer::disabled()
+    };
+    let run = pool.run_traced(&tracer, move |comm| {
+        let at = a_tiles[comm.rank()].clone();
+        let bt = b_tiles[comm.rank()].clone();
+        run_planned(comm, grid, n, &at, &bt, &plan)
+    });
+    match run {
+        Ok(PoolRun { results, stats }) => {
+            let c = dist.gather(&results);
+            let report = JobReport {
+                job_id: job.id,
+                plan,
+                plan_desc: plan.describe(),
+                plan_cached: planned.cached,
+                wall: started.elapsed(),
+                stats,
+                trace: trace_jobs.then(|| tracer.collect()),
+            };
+            Ok(JobOutput { c, report })
+        }
+        Err(e) => Err(JobError::Execution(e.to_string())),
+    }
+}

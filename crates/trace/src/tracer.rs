@@ -219,6 +219,49 @@ impl Trace {
     pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
         self.events.iter().filter(|e| pred(e)).count()
     }
+
+    /// The same trace with every timestamp shifted by `dt` seconds.
+    ///
+    /// Each pooled job records into its own tracer whose clock starts at
+    /// the job's own epoch; to lay several jobs on one server-lifetime
+    /// timeline, shift each job's trace by its start offset before
+    /// [`Trace::merged`] concatenates them.
+    pub fn shifted(&self, dt: f64) -> Trace {
+        Trace {
+            ranks: self.ranks,
+            events: self
+                .events
+                .iter()
+                .map(|e| TraceEvent {
+                    rank: e.rank,
+                    t0: e.t0 + dt,
+                    t1: e.t1 + dt,
+                    kind: e.kind,
+                })
+                .collect(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Concatenates per-job traces into one timeline, preserving the
+    /// grouped-by-rank invariant (all of rank 0's events — job after
+    /// job — then rank 1's, …). Callers wanting disjoint job spans
+    /// should [`Trace::shifted`] each input by its job's start offset
+    /// first; `merged` itself does not reclock anything.
+    pub fn merged(traces: &[Trace]) -> Trace {
+        let ranks = traces.iter().map(|t| t.ranks).max().unwrap_or(0);
+        let mut events = Vec::with_capacity(traces.iter().map(|t| t.events.len()).sum());
+        for rank in 0..ranks {
+            for t in traces {
+                events.extend(t.events_of(rank).cloned());
+            }
+        }
+        Trace {
+            ranks,
+            events,
+            dropped: traces.iter().map(|t| t.dropped).sum(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +320,55 @@ mod tests {
         let per_rank = trace.per_rank_send_multisets();
         assert_eq!(per_rank[0], vec![(0, 1, 8)]);
         assert_eq!(per_rank[1], vec![(1, 0, 16)]);
+    }
+
+    #[test]
+    fn shifted_moves_every_timestamp() {
+        let t = Tracer::new(1);
+        {
+            let s = t.sink(0);
+            s.record(send(0, 8), 1.0, 2.0);
+        }
+        let shifted = t.collect().shifted(10.0);
+        assert_eq!(shifted.events[0].t0, 11.0);
+        assert_eq!(shifted.events[0].t1, 12.0);
+        assert_eq!(shifted.ranks, 1);
+    }
+
+    #[test]
+    fn merged_concatenates_jobs_grouped_by_rank() {
+        // Two "jobs", each with its own tracer over the same 2 ranks.
+        let job = |bytes: u64| {
+            let t = Tracer::new(2);
+            {
+                let s0 = t.sink(0);
+                let s1 = t.sink(1);
+                s0.record(send(1, bytes), 0.0, 1.0);
+                s1.record(send(0, bytes), 0.0, 1.0);
+            }
+            t.collect()
+        };
+        let first = job(8);
+        let second = job(16).shifted(5.0);
+        let merged = Trace::merged(&[first, second]);
+        assert_eq!(merged.ranks, 2);
+        assert_eq!(merged.events.len(), 4);
+        // Grouped by rank: rank 0's two jobs first, then rank 1's.
+        let ranks: Vec<usize> = merged.events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0, 0, 1, 1]);
+        // Second job's events carry the shifted clock.
+        assert_eq!(merged.events[1].t0, 5.0);
+        assert_eq!(
+            merged.payload_send_multiset(),
+            vec![(0, 1, 8), (0, 1, 16), (1, 0, 8), (1, 0, 16)]
+        );
+    }
+
+    #[test]
+    fn merged_of_nothing_is_empty() {
+        let m = Trace::merged(&[]);
+        assert_eq!(m.ranks, 0);
+        assert!(m.events.is_empty());
     }
 
     #[test]
