@@ -1,9 +1,16 @@
 //! Broadcast algorithms in the real threaded runtime (§II-B of the
 //! paper): which schedule wins at which message size. Ablation for the
-//! broadcast choices in SUMMA/HSUMMA configurations.
+//! broadcast choices in SUMMA/HSUMMA configurations, plus the clean-path
+//! guard for the fallible-communication refactor: a broadcast under an
+//! armed deadline (and an empty fault plan) must cost what the unbounded
+//! one costs (`BENCH_faults.json`, via `--bin fault_overhead`, records
+//! the same comparison as a number).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hsumma_runtime::{collectives, BcastAlgorithm, Runtime};
+use hsumma_runtime::{collectives, BcastAlgorithm, FaultPlan, JobOptions, Runtime};
+use hsumma_trace::Tracer;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_bcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("bcast_p8");
@@ -26,7 +33,7 @@ fn bench_bcast(c: &mut Criterion) {
                         } else {
                             vec![0.0f64; elems]
                         };
-                        collectives::bcast_f64(comm, algo, 0, &mut buf);
+                        collectives::bcast_f64(comm, algo, 0, &mut buf).unwrap();
                         buf[elems - 1]
                     })
                 });
@@ -42,7 +49,7 @@ fn bench_barrier_and_reduce(c: &mut Criterion) {
     group.bench_function("barrier", |bench| {
         bench.iter(|| {
             Runtime::run(8, |comm| {
-                collectives::barrier(comm);
+                collectives::barrier(comm).unwrap();
             })
         });
     });
@@ -56,5 +63,52 @@ fn bench_barrier_and_reduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bcast, bench_barrier_and_reduce);
+/// The pay-as-you-go claim, measured: the same binomial broadcast with
+/// no failure policy, with an armed 30 s deadline, and with a deadline
+/// plus an (empty) fault-injection cursor at the send path. Every
+/// blocking wait checks the policy, so any busy-wait or per-message
+/// regression shows up here as a gap between the three bars.
+fn bench_deadline_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcast_deadline_p8");
+    group.sample_size(20);
+    let elems = 262_144usize;
+    group.throughput(Throughput::Bytes((elems * 8) as u64));
+    let cases = [
+        ("unbounded", JobOptions::default()),
+        (
+            "deadline",
+            JobOptions::default().with_deadline(Duration::from_secs(30)),
+        ),
+        (
+            "deadline_faultplan",
+            JobOptions::default()
+                .with_deadline(Duration::from_secs(30))
+                .with_faults(Arc::new(FaultPlan::new())),
+        ),
+    ];
+    for (name, opts) in cases {
+        group.bench_with_input(BenchmarkId::new(name, elems), &opts, |bench, opts| {
+            bench.iter(|| {
+                Runtime::try_run_opts(8, &Tracer::disabled(), opts, |comm| {
+                    let mut buf = if comm.rank() == 0 {
+                        vec![1.0f64; elems]
+                    } else {
+                        vec![0.0f64; elems]
+                    };
+                    collectives::bcast_f64(comm, BcastAlgorithm::Binomial, 0, &mut buf).unwrap();
+                    buf[elems - 1]
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bcast,
+    bench_barrier_and_reduce,
+    bench_deadline_overhead
+);
 criterion_main!(benches);

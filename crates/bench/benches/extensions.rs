@@ -27,7 +27,7 @@ fn bench_lu(c: &mut Criterion) {
         group.bench_function(name, |bench| {
             bench.iter(|| {
                 Runtime::run(grid.size(), |comm| {
-                    block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+                    block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
                 })
             });
         });
@@ -66,7 +66,7 @@ fn bench_twodotfive(c: &mut Criterion) {
                         let (th, tw) = dist.tile_shape();
                         (Matrix::zeros(th, tw), Matrix::zeros(th, tw))
                     };
-                    twodotfive(comm, n, &ai, &bi, &cfg)
+                    twodotfive(comm, n, &ai, &bi, &cfg).unwrap()
                 })
             });
         });

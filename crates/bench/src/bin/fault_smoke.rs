@@ -1,0 +1,153 @@
+//! CI fault-injection smoke: replays the same `FaultPlan` — a dropped
+//! broadcast and a killed rank — through SUMMA on **both** substrates
+//! (threaded runtime with wall-clock deadlines, simulator with virtual
+//! deadlines), asserts the parity contract (same per-rank outcome kinds,
+//! same injected-fault count), and writes the traces of the faulted runs
+//! as Chrome-trace JSON artifacts.
+//!
+//! ```sh
+//! cargo run --release -p hsumma-bench --bin fault_smoke [-- --out fault-smoke]
+//! ```
+//!
+//! Exits nonzero on any parity mismatch — this is the executable twin of
+//! `tests/fault_parity.rs`, kept as a standalone binary so CI can upload
+//! the faulted traces for inspection.
+
+use hsumma_core::{summa, PhantomMat, SummaConfig};
+use hsumma_matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_netsim::{Platform, SimNet, SimRunOptions, SimWorld};
+use hsumma_runtime::{JobOptions, Runtime};
+use hsumma_trace::{CommErrorKind, FaultPlan, TagClass, Tracer};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 64;
+const BLOCK: usize = 16;
+
+fn grid() -> GridShape {
+    GridShape::new(2, 2)
+}
+
+fn cfg() -> SummaConfig {
+    SummaConfig {
+        block: BLOCK,
+        kernel: GemmKernel::Naive,
+        ..SummaConfig::default()
+    }
+}
+
+/// `(per-rank outcome kind, total injected faults, chrome-trace JSON)`.
+type Smoke = (Vec<Option<CommErrorKind>>, u64, String);
+
+fn threaded(plan: &Arc<FaultPlan>) -> Smoke {
+    let grid = grid();
+    let a = seeded_uniform(N, N, 91);
+    let b = seeded_uniform(N, N, 92);
+    let dist = BlockDist::new(grid, N, N);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&b);
+    let tracer = Tracer::new(grid.size());
+    let opts = JobOptions::default()
+        .with_deadline(Duration::from_millis(300))
+        .with_faults(Arc::clone(plan));
+    let per_rank = Runtime::try_run_opts(grid.size(), &tracer, &opts, |comm| {
+        let r = summa(comm, grid, N, &at[comm.rank()], &bt[comm.rank()], &cfg());
+        (
+            r.map(|_| ()).map_err(|e| e.kind()),
+            comm.stats().faults_injected,
+        )
+    })
+    .expect("faults surface as Err results, not rank panics");
+    let kinds = per_rank
+        .iter()
+        .map(|(r, _)| r.as_ref().err().copied())
+        .collect();
+    let injected = per_rank.iter().map(|(_, n)| n).sum();
+    (kinds, injected, tracer.collect().to_chrome_json())
+}
+
+fn simulated(plan: &Arc<FaultPlan>) -> Smoke {
+    let grid = grid();
+    let platform = Platform::bluegene_p_effective();
+    let tile = PhantomMat {
+        rows: N / grid.rows,
+        cols: N / grid.cols,
+    };
+    let tracer = Tracer::new(grid.size());
+    let mut net = SimNet::new(grid.size(), platform.net);
+    net.attach_tracer(&tracer);
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(plan));
+    let out = SimWorld::run_with(net, platform.gamma, false, &opts, |comm| {
+        summa(comm, grid, N, &tile, &tile, &cfg())
+            .map(|_| ())
+            .map_err(|e| e.kind())
+    });
+    let kinds = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().err().copied())
+        .collect();
+    (
+        kinds,
+        out.faults_injected,
+        tracer.collect().to_chrome_json(),
+    )
+}
+
+fn run_scenario(label: &str, plan: FaultPlan, out: &str) -> Result<(), String> {
+    let plan = Arc::new(plan);
+    let (real_kinds, real_faults, real_json) = threaded(&plan);
+    let (sim_kinds, sim_faults, sim_json) = simulated(&plan);
+    println!(
+        "{label:>9}: threaded {real_kinds:?} ({real_faults} injected) | simulated {sim_kinds:?} ({sim_faults} injected)"
+    );
+    for (suffix, json) in [("real", &real_json), ("sim", &sim_json)] {
+        let path = format!("{out}-{label}-{suffix}.json");
+        hsumma_trace::validate_json(json)
+            .map_err(|e| format!("{label} {suffix} trace JSON invalid: {e}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("{:>9}  {suffix} trace -> {path}", "");
+    }
+    if real_kinds != sim_kinds {
+        return Err(format!(
+            "{label}: per-rank outcome kinds diverge: threaded {real_kinds:?} vs simulated {sim_kinds:?}"
+        ));
+    }
+    if real_faults != sim_faults {
+        return Err(format!(
+            "{label}: injected-fault counts diverge: threaded {real_faults} vs simulated {sim_faults}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = match args.as_slice() {
+        [] => "fault-smoke".to_string(),
+        [flag, value] if flag == "--out" => value.clone(),
+        _ => {
+            eprintln!("usage: fault_smoke [--out <prefix>]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Scenario 1: drop the step-0 A-panel broadcast 0 -> 1; the stall
+    // cascades and every rank unwinds with a diagnosed timeout.
+    let drop = FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::Collective, 0);
+    // Scenario 2: rank 3 dies at its first send; it reports Shutdown,
+    // its peers time out on it.
+    let kill = FaultPlan::new().kill_rank(3, 0);
+
+    for (label, plan) in [("drop", drop), ("kill", kill)] {
+        if let Err(e) = run_scenario(label, plan, &out) {
+            eprintln!("fault smoke FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("fault smoke OK: both substrates agree on both scenarios");
+    ExitCode::SUCCESS
+}

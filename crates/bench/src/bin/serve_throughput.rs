@@ -117,7 +117,7 @@ fn main() {
         // (same plan, same deterministic schedule).
         let check =
             distributed_product(w.grid, w.n, &operands[0].0, &operands[0].1, |comm, a, b| {
-                run_planned(comm, w.grid, w.n, &a, &b, &plan)
+                run_planned(comm, w.grid, w.n, &a, &b, &plan).unwrap()
             });
         assert_eq!(outputs[0].c, check, "pooled and cold products must agree");
         (total, mean_wall)
@@ -128,7 +128,7 @@ fn main() {
         let pass_start = Instant::now();
         for (a, b) in batch {
             let c = distributed_product(w.grid, w.n, &a, &b, |comm, at, bt| {
-                run_planned(comm, w.grid, w.n, &at, &bt, &plan)
+                run_planned(comm, w.grid, w.n, &at, &bt, &plan).unwrap()
             });
             std::hint::black_box(c);
         }

@@ -241,7 +241,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             };
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                summa(comm, grid, n, &at, &bt, &scfg)
+                summa(comm, grid, n, &at, &bt, &scfg).unwrap()
             });
         }
         "hsumma" => {
@@ -255,19 +255,19 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             };
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                hsumma(comm, grid, n, &at, &bt, &hcfg)
+                hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
             });
         }
         "cannon" => {
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                cannon(comm, grid, n, &at, &bt, GemmKernel::Packed)
+                cannon(comm, grid, n, &at, &bt, GemmKernel::Packed).unwrap()
             });
         }
         "fox" => {
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                fox(comm, grid, n, &at, &bt, GemmKernel::Packed)
+                fox(comm, grid, n, &at, &bt, GemmKernel::Packed).unwrap()
             });
         }
         "lu" => {
@@ -279,7 +279,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             };
             let lt = BlockDist::new(grid, n, n).scatter(&seeded_diag_dominant(n, 42));
             Runtime::run_traced(grid.size(), &tracer, |comm| {
-                block_lu(comm, grid, n, &lt[comm.rank()].clone(), &lcfg)
+                block_lu(comm, grid, n, &lt[comm.rank()].clone(), &lcfg).unwrap()
             });
         }
         "cyclic" => {
@@ -293,7 +293,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             let bt = cdist.scatter(&b);
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                summa_cyclic(comm, grid, n, &at, &bt, &scfg)
+                summa_cyclic(comm, grid, n, &at, &bt, &scfg).unwrap()
             });
         }
         "overlap" => {
@@ -304,7 +304,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             };
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                summa_overlap(comm, grid, n, &at, &bt, &scfg)
+                summa_overlap(comm, grid, n, &at, &bt, &scfg).unwrap()
             });
         }
         "rect" => {
@@ -320,7 +320,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             let bt = BlockDist::new(grid, dims.l, dims.n).scatter(&rb);
             Runtime::run_traced(grid.size(), &tracer, |comm| {
                 let (at, bt) = (at[comm.rank()].clone(), bt[comm.rank()].clone());
-                summa_rect(comm, grid, dims, &at, &bt, &scfg)
+                summa_rect(comm, grid, dims, &at, &bt, &scfg).unwrap()
             });
         }
         "twodotfive" => {
@@ -342,7 +342,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
                 } else {
                     (Matrix::zeros(ts, ts), Matrix::zeros(ts, ts))
                 };
-                twodotfive(comm, n, &at, &bt, &tcfg)
+                twodotfive(comm, n, &at, &bt, &tcfg).unwrap()
             });
         }
         "tsqr" => {
@@ -350,7 +350,9 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
             let blocks: Vec<Matrix> = (0..cfg.ranks)
                 .map(|r| seeded_uniform(n, cfg.inner_b, 300 + r as u64))
                 .collect();
-            Runtime::run_traced(cfg.ranks, &tracer, |comm| tsqr(comm, &blocks[comm.rank()]));
+            Runtime::run_traced(cfg.ranks, &tracer, |comm| {
+                tsqr(comm, &blocks[comm.rank()]).unwrap()
+            });
         }
         "hierbcast" => {
             let levels = [cfg.g, cfg.ranks / cfg.g];
@@ -361,7 +363,7 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
                 } else {
                     Matrix::zeros(n, n)
                 };
-                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels);
+                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels).unwrap();
             });
         }
         other => return Err(format!("unknown algorithm `{other}`")),
@@ -448,7 +450,7 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             let (th, tw) = BlockCyclicDist::new(grid, n, n, cfg.inner_b).tile_shape();
             SimWorld::run(net, gamma, false, move |comm| {
                 let t = PhantomMat { rows: th, cols: tw };
-                summa_cyclic(comm, grid, n, &t, &t, &scfg);
+                summa_cyclic(comm, grid, n, &t, &t, &scfg).unwrap();
             });
         }
         "overlap" => {
@@ -461,7 +463,7 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             SimWorld::run(net, gamma, false, move |comm| {
                 let a = PhantomMat { rows: th, cols: tw };
                 let b = PhantomMat { rows: th, cols: tw };
-                summa_overlap(comm, grid, n, &a, &b, &scfg);
+                summa_overlap(comm, grid, n, &a, &b, &scfg).unwrap();
             });
         }
         "rect" => {
@@ -480,7 +482,7 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
                     rows: dims.l / grid.rows,
                     cols: dims.n / grid.cols,
                 };
-                summa_rect(comm, grid, dims, &a, &b, &scfg);
+                summa_rect(comm, grid, dims, &a, &b, &scfg).unwrap();
             });
         }
         "twodotfive" => {
@@ -496,14 +498,14 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             let ts = n / grid.rows;
             SimWorld::run(net, gamma, false, move |comm| {
                 let t = PhantomMat { rows: ts, cols: ts };
-                twodotfive(comm, n, &t, &t, &tcfg);
+                twodotfive(comm, n, &t, &t, &tcfg).unwrap();
             });
         }
         "tsqr" => {
             let b = cfg.inner_b;
             SimWorld::run(net, gamma, false, move |comm| {
                 let block = PhantomMat { rows: n, cols: b };
-                tsqr(comm, &block);
+                tsqr(comm, &block).unwrap();
             });
         }
         "hierbcast" => {
@@ -511,7 +513,7 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             let levels = [cfg.g, cfg.ranks / cfg.g];
             SimWorld::run(net, gamma, false, move |comm| {
                 let mut m = PhantomMat { rows: n, cols: n };
-                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels);
+                hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels).unwrap();
             });
         }
         other => return Err(format!("unknown algorithm `{other}`")),

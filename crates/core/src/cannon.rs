@@ -9,18 +9,25 @@
 
 use crate::comm::{Communicator, MatLike};
 use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_runtime::CommError;
 
 const TAG_SHIFT_A: u64 = 11;
 const TAG_SHIFT_B: u64 = 12;
 
 /// Sends `mat` to `dst` and receives the replacement from `src` on `comm`
 /// (an `MPI_Sendrecv_replace`). Eager sends make the exchange deadlock-free.
-fn shift<C: Communicator>(comm: &C, dst: usize, src: usize, tag: u64, mat: C::Mat) -> C::Mat {
+fn shift<C: Communicator>(
+    comm: &C,
+    dst: usize,
+    src: usize,
+    tag: u64,
+    mat: C::Mat,
+) -> Result<C::Mat, CommError> {
     if dst == comm.rank() {
-        return mat; // rotation by zero
+        return Ok(mat); // rotation by zero
     }
     let (r, c) = (mat.rows(), mat.cols());
-    comm.send_mat(dst, tag, mat);
+    comm.send_mat(dst, tag, mat)?;
     comm.recv_mat(src, tag, r, c)
 }
 
@@ -39,7 +46,7 @@ pub fn cannon<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     kernel: GemmKernel,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     assert_eq!(
         grid.rows, grid.cols,
         "Cannon requires a square processor grid"
@@ -58,23 +65,23 @@ pub fn cannon<C: Communicator>(
     let down = |steps: usize| grid.rank((i + steps) % q, j);
 
     // Initial alignment: A_i· moves i positions left, B·_j moves j up.
-    let mut a_cur = shift(comm, left(i), right(i), TAG_SHIFT_A, a.clone());
-    let mut b_cur = shift(comm, up(j), down(j), TAG_SHIFT_B, b.clone());
+    let mut a_cur = shift(comm, left(i), right(i), TAG_SHIFT_A, a.clone())?;
+    let mut b_cur = shift(comm, up(j), down(j), TAG_SHIFT_B, b.clone())?;
 
     let mut c = C::Mat::zeros(ts, ts);
     let step_pairs = ts * ts * ts;
     for k in 0..q {
-        (a_cur, b_cur) = comm.trace_step(k, ts, ts, || {
+        (a_cur, b_cur) = comm.trace_step(k, ts, ts, || -> Result<_, CommError> {
             comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
                 C::Mat::gemm(kernel, &a_cur, &b_cur, &mut c)
             });
-            let a_next = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur);
-            let b_next = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur);
-            (a_next, b_next)
-        });
-        comm.maybe_step_sync();
+            let a_next = shift(comm, left(1), right(1), TAG_SHIFT_A, a_cur)?;
+            let b_next = shift(comm, up(1), down(1), TAG_SHIFT_B, b_cur)?;
+            Ok((a_next, b_next))
+        })?;
+        comm.maybe_step_sync()?;
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -88,7 +95,7 @@ mod tests {
         let a = seeded_uniform(n, n, 500);
         let b = seeded_uniform(n, n, 600);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+            cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
         });
         let want = reference_product(&a, &b);
         assert!(
@@ -125,7 +132,7 @@ mod tests {
         let a = seeded_uniform(8, 8, 1);
         let b = seeded_uniform(8, 8, 2);
         let _ = distributed_product(grid, 8, &a, &b, |comm, at, bt| {
-            cannon(comm, grid, 8, &at, &bt, GemmKernel::Blocked)
+            cannon(comm, grid, 8, &at, &bt, GemmKernel::Blocked).unwrap()
         });
     }
 }

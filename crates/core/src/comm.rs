@@ -28,7 +28,7 @@ use hsumma_matrix::factor::{lu_nopiv_inplace, qr_thin, trsm_left_lower_unit, trs
 use hsumma_matrix::{gemm, gemm_scaled, GemmKernel, Matrix};
 use hsumma_netsim::SimComm;
 use hsumma_runtime::collectives::{self, chunk_range};
-use hsumma_runtime::{BcastAlgorithm, Comm};
+use hsumma_runtime::{BcastAlgorithm, Comm, CommError};
 use std::sync::Arc;
 
 /// Matrix operations the generic algorithms need. Implemented by the real
@@ -195,6 +195,12 @@ impl MatLike for PhantomMat {
 /// Ranks and roots are always communicator-local. Payload shapes must be
 /// supplied on the receive side (they are globally known in every
 /// algorithm here).
+///
+/// Every communication operation is fallible: it returns
+/// `Result<_, CommError>` so deadlines, cancellation and injected faults
+/// propagate out of the schedules (the algorithms use `?` throughout)
+/// instead of hanging a rank. Both substrates produce the same error
+/// vocabulary — [`CommError`] names the stalled edge either way.
 pub trait Communicator: Sized {
     /// The matrix payload this substrate moves.
     type Mat: MatLike;
@@ -207,34 +213,51 @@ pub trait Communicator: Sized {
     /// Number of ranks in this communicator.
     fn size(&self) -> usize;
     /// `MPI_Comm_split`: groups by `color`, orders by `(key, rank)`.
-    fn split(&self, color: u64, key: i64) -> Self;
+    fn split(&self, color: u64, key: i64) -> Result<Self, CommError>;
 
     /// Sends `mat` to `dst`.
-    fn send_mat(&self, dst: usize, tag: u64, mat: Self::Mat);
+    fn send_mat(&self, dst: usize, tag: u64, mat: Self::Mat) -> Result<(), CommError>;
     /// Receives a `rows × cols` matrix from `src`.
-    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Self::Mat;
+    fn recv_mat(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self::Mat, CommError>;
 
     /// Wraps a matrix for shared (clone-free) distribution.
     fn share(mat: Self::Mat) -> Self::Shared;
     /// Views the matrix behind a shared handle.
     fn shared_ref(shared: &Self::Shared) -> &Self::Mat;
     /// Sends a shared handle to `dst` (payload counted once, not copied).
-    fn send_shared(&self, dst: usize, tag: u64, shared: &Self::Shared);
+    fn send_shared(&self, dst: usize, tag: u64, shared: &Self::Shared) -> Result<(), CommError>;
     /// Receives a shared `rows × cols` matrix from `src`.
-    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Self::Shared;
+    fn recv_shared(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self::Shared, CommError>;
 
     /// Broadcasts `mat` from `root` in place with the selected algorithm.
-    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut Self::Mat);
+    fn bcast_mat(
+        &self,
+        algo: BcastAlgorithm,
+        root: usize,
+        mat: &mut Self::Mat,
+    ) -> Result<(), CommError>;
     /// Element-wise sum reduction to `root` (binomial tree). Non-root
     /// buffers are left in an unspecified partial state.
-    fn reduce_sum_mat(&self, root: usize, mat: &mut Self::Mat);
+    fn reduce_sum_mat(&self, root: usize, mat: &mut Self::Mat) -> Result<(), CommError>;
     /// Synchronizes all ranks of this communicator.
-    fn barrier(&self);
+    fn barrier(&self) -> Result<(), CommError>;
     /// A step-boundary synchronization hook: a no-op on the real runtime
     /// (threads synchronize through the messages themselves) and a
     /// world-wide clock alignment on the simulator when it was configured
     /// with per-step-synchronized (blocking-collective) semantics.
-    fn maybe_step_sync(&self);
+    fn maybe_step_sync(&self) -> Result<(), CommError>;
 
     /// Runs local compute `f`. The real substrate times the call (tagging
     /// it with `flops` when nonzero); the simulator skips `f`'s arithmetic
@@ -265,15 +288,21 @@ impl Communicator for Comm {
     fn size(&self) -> usize {
         Comm::size(self)
     }
-    fn split(&self, color: u64, key: i64) -> Self {
+    fn split(&self, color: u64, key: i64) -> Result<Self, CommError> {
         Comm::split(self, color, key)
     }
 
-    fn send_mat(&self, dst: usize, tag: u64, mat: Matrix) {
+    fn send_mat(&self, dst: usize, tag: u64, mat: Matrix) -> Result<(), CommError> {
         let bytes = mat_bytes(mat.rows(), mat.cols());
-        self.send_sized(dst, tag, mat, bytes);
+        self.send_sized(dst, tag, mat, bytes)
     }
-    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Matrix {
+    fn recv_mat(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix, CommError> {
         self.recv_sized::<Matrix>(src, tag, mat_bytes(rows, cols))
     }
 
@@ -283,24 +312,37 @@ impl Communicator for Comm {
     fn shared_ref(shared: &Arc<Matrix>) -> &Matrix {
         shared
     }
-    fn send_shared(&self, dst: usize, tag: u64, shared: &Arc<Matrix>) {
+    fn send_shared(&self, dst: usize, tag: u64, shared: &Arc<Matrix>) -> Result<(), CommError> {
         let bytes = mat_bytes(shared.rows(), shared.cols());
-        self.send_sized(dst, tag, Arc::clone(shared), bytes);
+        self.send_sized(dst, tag, Arc::clone(shared), bytes)
     }
-    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> Arc<Matrix> {
+    fn recv_shared(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Arc<Matrix>, CommError> {
         self.recv_sized::<Arc<Matrix>>(src, tag, mat_bytes(rows, cols))
     }
 
-    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut Matrix) {
-        collectives::bcast_f64(self, algo, root, mat.as_mut_slice());
+    fn bcast_mat(
+        &self,
+        algo: BcastAlgorithm,
+        root: usize,
+        mat: &mut Matrix,
+    ) -> Result<(), CommError> {
+        collectives::bcast_f64(self, algo, root, mat.as_mut_slice())
     }
-    fn reduce_sum_mat(&self, root: usize, mat: &mut Matrix) {
-        collectives::reduce_sum_f64(self, root, mat.as_mut_slice());
+    fn reduce_sum_mat(&self, root: usize, mat: &mut Matrix) -> Result<(), CommError> {
+        collectives::reduce_sum_f64(self, root, mat.as_mut_slice())
     }
-    fn barrier(&self) {
-        collectives::barrier(self);
+    fn barrier(&self) -> Result<(), CommError> {
+        collectives::barrier(self)
     }
-    fn maybe_step_sync(&self) {}
+    fn maybe_step_sync(&self) -> Result<(), CommError> {
+        Ok(())
+    }
 
     fn compute<R>(&self, _pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R {
         if flops == 0 {
@@ -336,17 +378,23 @@ impl<'w> Communicator for SimComm<'w> {
     fn size(&self) -> usize {
         SimComm::size(self)
     }
-    fn split(&self, color: u64, key: i64) -> Self {
+    fn split(&self, color: u64, key: i64) -> Result<Self, CommError> {
         SimComm::split(self, color, key)
     }
 
-    fn send_mat(&self, dst: usize, tag: u64, mat: PhantomMat) {
-        self.send_bytes(dst, tag, mat_bytes(mat.rows, mat.cols));
+    fn send_mat(&self, dst: usize, tag: u64, mat: PhantomMat) -> Result<(), CommError> {
+        self.send_bytes(dst, tag, mat_bytes(mat.rows, mat.cols))
     }
-    fn recv_mat(&self, src: usize, tag: u64, rows: usize, cols: usize) -> PhantomMat {
-        let got = self.recv_bytes(src, tag);
+    fn recv_mat(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<PhantomMat, CommError> {
+        let got = self.recv_bytes(src, tag)?;
         assert_eq!(got, mat_bytes(rows, cols), "phantom payload size mismatch");
-        PhantomMat { rows, cols }
+        Ok(PhantomMat { rows, cols })
     }
 
     fn share(mat: PhantomMat) -> PhantomMat {
@@ -355,26 +403,37 @@ impl<'w> Communicator for SimComm<'w> {
     fn shared_ref(shared: &PhantomMat) -> &PhantomMat {
         shared
     }
-    fn send_shared(&self, dst: usize, tag: u64, shared: &PhantomMat) {
-        self.send_bytes(dst, tag, mat_bytes(shared.rows, shared.cols));
+    fn send_shared(&self, dst: usize, tag: u64, shared: &PhantomMat) -> Result<(), CommError> {
+        self.send_bytes(dst, tag, mat_bytes(shared.rows, shared.cols))
     }
-    fn recv_shared(&self, src: usize, tag: u64, rows: usize, cols: usize) -> PhantomMat {
-        self.recv_mat(src, tag, rows, cols)
+    fn recv_shared(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<PhantomMat, CommError> {
+        Communicator::recv_mat(self, src, tag, rows, cols)
     }
 
-    fn bcast_mat(&self, algo: BcastAlgorithm, root: usize, mat: &mut PhantomMat) {
+    fn bcast_mat(
+        &self,
+        algo: BcastAlgorithm,
+        root: usize,
+        mat: &mut PhantomMat,
+    ) -> Result<(), CommError> {
         assert!(root < self.size(), "root out of range");
-        sim_bcast(self, algo, root, mat.elems());
+        sim_bcast(self, algo, root, mat.elems())
     }
-    fn reduce_sum_mat(&self, root: usize, mat: &mut PhantomMat) {
+    fn reduce_sum_mat(&self, root: usize, mat: &mut PhantomMat) -> Result<(), CommError> {
         assert!(root < self.size(), "root out of range");
-        sim_reduce(self, root, mat.elems());
+        sim_reduce(self, root, mat.elems())
     }
-    fn barrier(&self) {
-        SimComm::barrier(self);
+    fn barrier(&self) -> Result<(), CommError> {
+        SimComm::barrier(self)
     }
-    fn maybe_step_sync(&self) {
-        SimComm::maybe_step_sync(self);
+    fn maybe_step_sync(&self) -> Result<(), CommError> {
+        SimComm::maybe_step_sync(self)
     }
 
     fn compute<R>(&self, pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R {
@@ -391,10 +450,15 @@ impl<'w> Communicator for SimComm<'w> {
 /// over virtual clocks. Segmenting algorithms deal *elements* with
 /// [`chunk_range`], exactly like the runtime, so segment wire sizes match
 /// message-for-message.
-fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize) {
+fn sim_bcast(
+    comm: &SimComm<'_>,
+    algo: BcastAlgorithm,
+    root: usize,
+    elems: usize,
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     let me = comm.rank();
     let vrank = (me + p - root) % p;
@@ -407,42 +471,42 @@ fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize
             if me == root {
                 for dst in 0..p {
                     if dst != root {
-                        comm.send_bytes(dst, SIM_TAG_BCAST, bytes);
+                        comm.send_bytes(dst, SIM_TAG_BCAST, bytes)?;
                     }
                 }
             } else {
-                comm.recv_bytes(root, SIM_TAG_BCAST);
+                comm.recv_bytes(root, SIM_TAG_BCAST)?;
             }
         }
         BcastAlgorithm::Binomial => {
             if vrank != 0 {
                 let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
-                comm.recv_bytes(unvirt(vrank - high), SIM_TAG_BCAST);
+                comm.recv_bytes(unvirt(vrank - high), SIM_TAG_BCAST)?;
             }
             let mut mask = 1usize;
             while mask < p {
                 if mask > vrank && vrank + mask < p {
-                    comm.send_bytes(unvirt(vrank + mask), SIM_TAG_BCAST, bytes);
+                    comm.send_bytes(unvirt(vrank + mask), SIM_TAG_BCAST, bytes)?;
                 }
                 mask <<= 1;
             }
         }
         BcastAlgorithm::Binary => {
             if vrank != 0 {
-                comm.recv_bytes(unvirt((vrank - 1) / 2), SIM_TAG_BCAST);
+                comm.recv_bytes(unvirt((vrank - 1) / 2), SIM_TAG_BCAST)?;
             }
             for child in [2 * vrank + 1, 2 * vrank + 2] {
                 if child < p {
-                    comm.send_bytes(unvirt(child), SIM_TAG_BCAST, bytes);
+                    comm.send_bytes(unvirt(child), SIM_TAG_BCAST, bytes)?;
                 }
             }
         }
         BcastAlgorithm::Ring => {
             if vrank != 0 {
-                comm.recv_bytes(unvirt(vrank - 1), SIM_TAG_BCAST);
+                comm.recv_bytes(unvirt(vrank - 1), SIM_TAG_BCAST)?;
             }
             if vrank + 1 < p {
-                comm.send_bytes(unvirt(vrank + 1), SIM_TAG_BCAST, bytes);
+                comm.send_bytes(unvirt(vrank + 1), SIM_TAG_BCAST, bytes)?;
             }
         }
         BcastAlgorithm::Pipelined { segments } => {
@@ -453,10 +517,10 @@ fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize
             for s in 0..segments {
                 let (lo, hi) = chunk_range(elems, segments, s);
                 if vrank > 0 {
-                    comm.recv_bytes(prev, SIM_TAG_PIPELINE);
+                    comm.recv_bytes(prev, SIM_TAG_PIPELINE)?;
                 }
                 if vrank + 1 < p {
-                    comm.send_bytes(next, SIM_TAG_PIPELINE, mat_bytes(1, hi - lo));
+                    comm.send_bytes(next, SIM_TAG_PIPELINE, mat_bytes(1, hi - lo))?;
                 }
             }
         }
@@ -474,7 +538,7 @@ fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize
                 vrank & vrank.wrapping_neg()
             };
             if vrank != 0 {
-                comm.recv_bytes(unvirt(vrank - my_extent), SIM_TAG_SCATTER);
+                comm.recv_bytes(unvirt(vrank - my_extent), SIM_TAG_SCATTER)?;
             }
             let mut mask = my_extent >> 1;
             while mask > 0 {
@@ -483,7 +547,7 @@ fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize
                     let hi_v = (child + mask).min(p);
                     let (lo, _) = chunk_range(elems, p, child);
                     let (_, hi) = chunk_range(elems, p, hi_v - 1);
-                    comm.send_bytes(unvirt(child), SIM_TAG_SCATTER, mat_bytes(1, hi - lo));
+                    comm.send_bytes(unvirt(child), SIM_TAG_SCATTER, mat_bytes(1, hi - lo))?;
                 }
                 mask >>= 1;
             }
@@ -493,17 +557,18 @@ fn sim_bcast(comm: &SimComm<'_>, algo: BcastAlgorithm, root: usize, elems: usize
             for k in 0..p - 1 {
                 let send_chunk = (vrank + p - k) % p;
                 let (slo, shi) = chunk_range(elems, p, send_chunk);
-                comm.send_bytes(next, SIM_TAG_ALLGATHER, mat_bytes(1, shi - slo));
-                comm.recv_bytes(prev, SIM_TAG_ALLGATHER);
+                comm.send_bytes(next, SIM_TAG_ALLGATHER, mat_bytes(1, shi - slo))?;
+                comm.recv_bytes(prev, SIM_TAG_ALLGATHER)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Phantom binomial-tree sum reduction, mirroring
 /// `hsumma_runtime::collectives::reduce_sum_f64` (leaves send first; the
 /// element-wise adds are uncharged there and so charge nothing here).
-fn sim_reduce(comm: &SimComm<'_>, root: usize, elems: usize) {
+fn sim_reduce(comm: &SimComm<'_>, root: usize, elems: usize) -> Result<(), CommError> {
     let p = comm.size();
     let vrank = (comm.rank() + p - root) % p;
     let unvirt = |v: usize| (v + root) % p;
@@ -511,14 +576,15 @@ fn sim_reduce(comm: &SimComm<'_>, root: usize, elems: usize) {
     let mut mask = 1usize;
     while mask < p {
         if vrank & mask != 0 {
-            comm.send_bytes(unvirt(vrank ^ mask), SIM_TAG_REDUCE, bytes);
-            return;
+            comm.send_bytes(unvirt(vrank ^ mask), SIM_TAG_REDUCE, bytes)?;
+            return Ok(());
         }
         if vrank + mask < p {
-            comm.recv_bytes(unvirt(vrank + mask), SIM_TAG_REDUCE);
+            comm.recv_bytes(unvirt(vrank + mask), SIM_TAG_REDUCE)?;
         }
         mask <<= 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -541,7 +607,7 @@ mod tests {
                 rows: 1,
                 cols: elems,
             };
-            Communicator::bcast_mat(comm, algo, root, &mut m);
+            Communicator::bcast_mat(comm, algo, root, &mut m).unwrap();
         });
         net.report()
     }
@@ -649,7 +715,7 @@ mod tests {
         let net = SimNet::new(6, Hockney::new(ALPHA, BETA));
         let (net, _) = SimWorld::run(net, 0.0, false, |comm| {
             let mut m = PhantomMat { rows: 4, cols: 8 };
-            Communicator::reduce_sum_mat(comm, 2, &mut m);
+            Communicator::reduce_sum_mat(comm, 2, &mut m).unwrap();
         });
         assert_eq!(net.report().bytes, 5 * 32 * 8);
     }
@@ -683,13 +749,13 @@ mod tests {
         let program = |rank: usize| -> (u64, i64) { ((rank % 2) as u64, -(rank as i64)) };
         let real = Runtime::run(4, |comm| {
             let (color, key) = program(Comm::rank(comm));
-            let sub = Communicator::split(comm, color, key);
+            let sub = Communicator::split(comm, color, key).unwrap();
             (Communicator::rank(&sub), Communicator::size(&sub))
         });
         let net = SimNet::new(4, Hockney::new(ALPHA, BETA));
         let (_, sim) = SimWorld::run(net, 0.0, false, |comm| {
             let (color, key) = program(SimComm::rank(comm));
-            let sub = Communicator::split(comm, color, key);
+            let sub = Communicator::split(comm, color, key).unwrap();
             (Communicator::rank(&sub), Communicator::size(&sub))
         });
         assert_eq!(real, sim);

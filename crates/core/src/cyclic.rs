@@ -21,6 +21,7 @@ use crate::comm::{Communicator, MatLike, PhantomMat};
 use hsumma_matrix::{BlockCyclicDist, GridShape};
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
+use hsumma_runtime::CommError;
 
 use crate::summa::{bcast_matrix, SummaConfig};
 
@@ -40,7 +41,7 @@ pub fn summa_cyclic<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &SummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
     // Validates divisibility; we only need it for the shape algebra.
@@ -51,8 +52,8 @@ pub fn summa_cyclic<C: Communicator>(
     assert_eq!((b.rows(), b.cols()), (th, tw), "B tile has wrong shape");
 
     let (gi, gj) = grid.coords(comm.rank());
-    let row_comm = comm.split(gi as u64, gj as i64);
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
     let mut c = C::Mat::zeros(th, tw);
     let step_pairs = th * tw * bs;
@@ -65,7 +66,7 @@ pub fn summa_cyclic<C: Communicator>(
         } else {
             C::Mat::zeros(th, bs)
         };
-        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
         let owner_row = k % grid.rows;
         let mut b_panel = if gi == owner_row {
@@ -73,14 +74,14 @@ pub fn summa_cyclic<C: Communicator>(
         } else {
             C::Mat::zeros(bs, tw)
         };
-        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel)?;
 
         comm.compute(step_pairs as f64, 0, || {
             C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
         });
-        comm.maybe_step_sync();
+        comm.maybe_step_sync()?;
     }
-    c
+    Ok(c)
 }
 
 /// Timed replay of the block-cyclic SUMMA schedule (rotating roots):
@@ -120,7 +121,7 @@ pub fn sim_summa_cyclic(
         step_sync,
         move |comm| {
             let tile = PhantomMat { rows: th, cols: tw };
-            summa_cyclic(comm, grid, n, &tile, &tile, &cfg)
+            summa_cyclic(comm, grid, n, &tile, &tile, &cfg).unwrap()
         },
     );
     net.report()
@@ -153,6 +154,7 @@ mod tests {
                 &bt[comm.rank()].clone(),
                 &cfg,
             )
+            .unwrap()
         });
         let got = dist.gather(&ct);
         let want = reference_product(&a, &b);
@@ -198,7 +200,7 @@ mod tests {
         };
 
         let by_block = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &cfg)
+            summa(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
 
         let dist = BlockCyclicDist::new(grid, n, n, 2);
@@ -213,6 +215,7 @@ mod tests {
                 &bt[comm.rank()].clone(),
                 &cfg,
             )
+            .unwrap()
         });
         let by_cyclic = dist.gather(&ct);
 

@@ -8,7 +8,7 @@
 
 use crate::comm::{Communicator, MatLike};
 use hsumma_matrix::{GemmKernel, GridShape};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 const TAG_ROLL_B: u64 = 21;
 
@@ -24,7 +24,7 @@ pub fn fox<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     kernel: GemmKernel,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     fox_with(comm, grid, n, a, b, kernel, BcastAlgorithm::Binomial)
 }
 
@@ -42,7 +42,7 @@ pub fn fox_with<C: Communicator>(
     b: &C::Mat,
     kernel: GemmKernel,
     bcast: BcastAlgorithm,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     assert_eq!(grid.rows, grid.cols, "Fox requires a square processor grid");
     let q = grid.rows;
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
@@ -52,7 +52,7 @@ pub fn fox_with<C: Communicator>(
     assert_eq!((b.rows(), b.cols()), (ts, ts), "B tile has wrong shape");
 
     let (i, j) = grid.coords(comm.rank());
-    let row_comm = comm.split(i as u64, j as i64);
+    let row_comm = comm.split(i as u64, j as i64)?;
     let up = grid.rank((i + q - 1) % q, j);
     let down = grid.rank((i + 1) % q, j);
 
@@ -60,7 +60,7 @@ pub fn fox_with<C: Communicator>(
     let mut c = C::Mat::zeros(ts, ts);
     let step_pairs = ts * ts * ts;
     for k in 0..q {
-        b_cur = comm.trace_step(k, ts, ts, || {
+        b_cur = comm.trace_step(k, ts, ts, || -> Result<_, CommError> {
             // Broadcast A[i][(i+k) mod q] along row i.
             let root = (i + k) % q;
             let mut a_bc = if j == root {
@@ -68,7 +68,7 @@ pub fn fox_with<C: Communicator>(
             } else {
                 C::Mat::zeros(ts, ts)
             };
-            crate::summa::bcast_matrix(&row_comm, bcast, root, &mut a_bc);
+            crate::summa::bcast_matrix(&row_comm, bcast, root, &mut a_bc)?;
 
             comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
                 C::Mat::gemm(kernel, &a_bc, &b_cur, &mut c)
@@ -76,15 +76,15 @@ pub fn fox_with<C: Communicator>(
 
             // Roll B up by one (skip on a 1-wide column).
             if q > 1 {
-                comm.send_mat(up, TAG_ROLL_B, b_cur);
+                comm.send_mat(up, TAG_ROLL_B, b_cur)?;
                 comm.recv_mat(down, TAG_ROLL_B, ts, ts)
             } else {
-                b_cur
+                Ok(b_cur)
             }
-        });
-        comm.maybe_step_sync();
+        })?;
+        comm.maybe_step_sync()?;
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -98,7 +98,7 @@ mod tests {
         let a = seeded_uniform(n, n, 700);
         let b = seeded_uniform(n, n, 800);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
         });
         let want = reference_product(&a, &b);
         assert!(
@@ -140,10 +140,10 @@ mod tests {
         let want = reference_product(&a, &b);
 
         let by_fox = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+            fox(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
         });
         let by_cannon = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            crate::cannon::cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+            crate::cannon::cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
         });
         let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
             summa(
@@ -157,6 +157,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
         });
         let by_hsumma = distributed_product(grid, n, &a, &b, |comm, at, bt| {
             hsumma(
@@ -167,6 +168,7 @@ mod tests {
                 &bt,
                 &HsummaConfig::uniform(GridShape::new(2, 2), 2),
             )
+            .unwrap()
         });
 
         for (name, got) in [

@@ -19,7 +19,7 @@ use crate::comm::{Communicator, MatLike};
 use crate::grid::{color3, HierGrid};
 use crate::summa::{bcast_matrix, check_tiles};
 use hsumma_matrix::{GemmKernel, GridShape};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 /// Parameters of an HSUMMA run.
 #[derive(Clone, Copy, Debug)]
@@ -69,7 +69,7 @@ pub fn hsumma<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &HsummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let hg = HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -84,10 +84,10 @@ pub fn hsumma<C: Communicator>(
     let (i, j) = hg.inner_of(gi, gj);
 
     // Algorithm 1's four communicators.
-    let group_row = comm.split(color3(x, i, j), y as i64); // P(x,·)(i,j)
-    let group_col = comm.split(color3(y, i, j), x as i64); // P(·,y)(i,j)
-    let row = comm.split(color3(x, y, i), j as i64); //       P(x,y)(i,·)
-    let col = comm.split(color3(x, y, j), i as i64); //       P(x,y)(·,j)
+    let group_row = comm.split(color3(x, i, j), y as i64)?; // P(x,·)(i,j)
+    let group_col = comm.split(color3(y, i, j), x as i64)?; // P(·,y)(i,j)
+    let row = comm.split(color3(x, y, i), j as i64)?; //       P(x,y)(i,·)
+    let col = comm.split(color3(x, y, j), i as i64)?; //       P(x,y)(·,j)
 
     let mut c = C::Mat::zeros(th, tw);
     // All four panel buffers are allocated once and refilled in place each
@@ -101,7 +101,7 @@ pub fn hsumma<C: Communicator>(
     let inner_steps = bb / bs;
     let inner_pairs = th * tw * bs;
     for kg in 0..outer_steps {
-        comm.trace_step(kg, bb, bs, || {
+        comm.trace_step(kg, bb, bs, || -> Result<(), CommError> {
             // ---- inter-group broadcast of A's outer panel ----------------
             let gcol = kg * bb / tw; // grid column owning the panel
             let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
@@ -110,7 +110,7 @@ pub fn hsumma<C: Communicator>(
                 if gj == gcol {
                     a.block_into(0, kg * bb % tw, &mut outer_a);
                 }
-                bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a);
+                bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a)?;
             }
 
             // ---- inter-group broadcast of B's outer panel ----------------
@@ -121,7 +121,7 @@ pub fn hsumma<C: Communicator>(
                 if gi == grow {
                     b.block_into(kg * bb % th, 0, &mut outer_b);
                 }
-                bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b);
+                bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b)?;
             }
 
             // ---- intra-group SUMMA steps over the outer panel ------------
@@ -129,21 +129,22 @@ pub fn hsumma<C: Communicator>(
                 if holds_a {
                     outer_a.block_into(0, ki * bs, &mut a_in);
                 }
-                bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
+                bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in)?;
 
                 if holds_b {
                     outer_b.block_into(ki * bs, 0, &mut b_in);
                 }
-                bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
+                bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in)?;
 
                 comm.compute(inner_pairs as f64, 2 * inner_pairs as u64, || {
                     C::Mat::gemm(cfg.kernel, &a_in, &b_in, &mut c)
                 });
-                comm.maybe_step_sync();
+                comm.maybe_step_sync()?;
             }
-        });
+            Ok(())
+        })?;
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -157,7 +158,7 @@ mod tests {
         let a = seeded_uniform(n, n, 300);
         let b = seeded_uniform(n, n, 400);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma(comm, grid, n, &at, &bt, &cfg)
+            hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
         let want = reference_product(&a, &b);
         assert!(
@@ -232,7 +233,7 @@ mod tests {
         for (g, groups) in HierGrid::valid_group_counts(grid) {
             let cfg = HsummaConfig::uniform(groups, 2);
             let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-                hsumma(comm, grid, n, &at, &bt, &cfg)
+                hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
             });
             assert!(got.approx_eq(&want, 1e-9), "G={g} ({groups:?}) diverged");
         }
@@ -260,13 +261,13 @@ mod tests {
                 let before = comm.stats().msgs_sent;
                 if hier {
                     let cfg = HsummaConfig::uniform(GridShape::new(1, 1), 2);
-                    let _ = hsumma(comm, grid, n, &a_tile, &b_tile, &cfg);
+                    let _ = hsumma(comm, grid, n, &a_tile, &b_tile, &cfg).unwrap();
                 } else {
                     let cfg = SummaConfig {
                         block: 2,
                         ..Default::default()
                     };
-                    let _ = summa(comm, grid, n, &a_tile, &b_tile, &cfg);
+                    let _ = summa(comm, grid, n, &a_tile, &b_tile, &cfg).unwrap();
                 }
                 comm.stats().msgs_sent - before
             });

@@ -32,7 +32,7 @@ use crate::summa::bcast_matrix;
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Hockney, Platform, SimBcast, SimNet, SimReport};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 /// Parameters of a distributed LU run.
 #[derive(Clone, Copy, Debug)]
@@ -85,7 +85,7 @@ pub fn block_lu<C: Communicator>(
     n: usize,
     a: &C::Mat,
     cfg: &LuConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
     assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
     assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
@@ -99,51 +99,58 @@ pub fn block_lu<C: Communicator>(
 
     let (gi, gj) = grid.coords(comm.rank());
     // Flat row/column communicators (always needed: diagonal broadcast).
-    let row_comm = comm.split(gi as u64, gj as i64);
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
     // Optional hierarchy for the panel broadcasts.
-    let hier = cfg.groups.map(|groups| {
-        let hg = HierGrid::new(grid, groups);
-        let (x, y) = hg.group_of(gi, gj);
-        let (i, j) = hg.inner_of(gi, gj);
-        let c3 = crate::grid::color3;
-        let group_row = comm.split(c3(x, i, j), y as i64);
-        let group_col = comm.split(c3(y, i, j), x as i64);
-        let inner_row = comm.split(c3(x, y, i), j as i64);
-        let inner_col = comm.split(c3(x, y, j), i as i64);
-        (hg, group_row, group_col, inner_row, inner_col)
-    });
+    let hier = match cfg.groups {
+        None => None,
+        Some(groups) => {
+            let hg = HierGrid::new(grid, groups);
+            let (x, y) = hg.group_of(gi, gj);
+            let (i, j) = hg.inner_of(gi, gj);
+            let c3 = crate::grid::color3;
+            let group_row = comm.split(c3(x, i, j), y as i64)?;
+            let group_col = comm.split(c3(y, i, j), x as i64)?;
+            let inner_row = comm.split(c3(x, y, i), j as i64)?;
+            let inner_col = comm.split(c3(x, y, j), i as i64)?;
+            Some((hg, group_row, group_col, inner_row, inner_col))
+        }
+    };
 
     // Two-phase (or flat) broadcast of an L-panel slab along this grid
     // row from grid column `cj`.
-    let bcast_l = |panel: &mut C::Mat, cj: usize| match &hier {
-        None => bcast_matrix(&row_comm, cfg.bcast, cj, panel),
-        Some((hg, group_row, _, inner_row, _)) => {
-            let inner = hg.inner();
-            let (yk, jk) = (cj / inner.cols, cj % inner.cols);
-            let my_j = gj % inner.cols;
-            if my_j == jk {
-                bcast_matrix(group_row, cfg.bcast, yk, panel);
+    let bcast_l = |panel: &mut C::Mat, cj: usize| -> Result<(), CommError> {
+        match &hier {
+            None => bcast_matrix(&row_comm, cfg.bcast, cj, panel),
+            Some((hg, group_row, _, inner_row, _)) => {
+                let inner = hg.inner();
+                let (yk, jk) = (cj / inner.cols, cj % inner.cols);
+                let my_j = gj % inner.cols;
+                if my_j == jk {
+                    bcast_matrix(group_row, cfg.bcast, yk, panel)?;
+                }
+                bcast_matrix(inner_row, cfg.bcast, jk, panel)
             }
-            bcast_matrix(inner_row, cfg.bcast, jk, panel);
         }
     };
-    let bcast_u = |panel: &mut C::Mat, ri: usize| match &hier {
-        None => bcast_matrix(&col_comm, cfg.bcast, ri, panel),
-        Some((hg, _, group_col, _, inner_col)) => {
-            let inner = hg.inner();
-            let (xk, ik) = (ri / inner.rows, ri % inner.rows);
-            let my_i = gi % inner.rows;
-            if my_i == ik {
-                bcast_matrix(group_col, cfg.bcast, xk, panel);
+    let bcast_u = |panel: &mut C::Mat, ri: usize| -> Result<(), CommError> {
+        match &hier {
+            None => bcast_matrix(&col_comm, cfg.bcast, ri, panel),
+            Some((hg, _, group_col, _, inner_col)) => {
+                let inner = hg.inner();
+                let (xk, ik) = (ri / inner.rows, ri % inner.rows);
+                let my_i = gi % inner.rows;
+                if my_i == ik {
+                    bcast_matrix(group_col, cfg.bcast, xk, panel)?;
+                }
+                bcast_matrix(inner_col, cfg.bcast, ik, panel)
             }
-            bcast_matrix(inner_col, cfg.bcast, ik, panel);
         }
     };
 
     let mut t = a.clone();
     for k in 0..n / bs {
-        comm.trace_step(k, bs, bs, || {
+        comm.trace_step(k, bs, bs, || -> Result<(), CommError> {
             let (ri, ro) = (k * bs / th, k * bs % th);
             let (cj, co) = (k * bs / tw, k * bs % tw);
 
@@ -158,11 +165,11 @@ pub fn block_lu<C: Communicator>(
             };
             // Down the pivot column (for the L slabs' trsm)...
             if gj == cj {
-                bcast_matrix(&col_comm, cfg.bcast, ri, &mut diag);
+                bcast_matrix(&col_comm, cfg.bcast, ri, &mut diag)?;
             }
             // ...and across the pivot row (for the U slabs' trsm).
             if gi == ri {
-                bcast_matrix(&row_comm, cfg.bcast, cj, &mut diag);
+                bcast_matrix(&row_comm, cfg.bcast, cj, &mut diag)?;
             }
 
             // --- 2. panel solves ----------------------------------------------
@@ -194,7 +201,7 @@ pub fn block_lu<C: Communicator>(
                 C::Mat::zeros(0, bs)
             };
             if rcount > 0 {
-                bcast_l(&mut l_panel, cj);
+                bcast_l(&mut l_panel, cj)?;
             }
             let mut u_panel = if ccount > 0 {
                 if gi == ri {
@@ -206,7 +213,7 @@ pub fn block_lu<C: Communicator>(
                 C::Mat::zeros(bs, 0)
             };
             if ccount > 0 {
-                bcast_u(&mut u_panel, ri);
+                bcast_u(&mut u_panel, ri)?;
             }
 
             // --- 4. trailing update --------------------------------------------
@@ -218,10 +225,11 @@ pub fn block_lu<C: Communicator>(
                 });
                 t.set_block(rlo, clo, &trailing);
             }
-        });
-        comm.maybe_step_sync();
+            Ok(())
+        })?;
+        comm.maybe_step_sync()?;
     }
-    t
+    Ok(t)
 }
 
 /// Timing replay of the block-LU communication schedule (flat or
@@ -273,7 +281,7 @@ pub fn sim_block_lu_on(
     let owned = std::mem::replace(net, SimNet::new(1, Hockney::new(0.0, 0.0)));
     let (done, _) = SimWorld::run(owned, gamma, step_sync, move |comm| {
         let tile = PhantomMat { rows: th, cols: tw };
-        block_lu(comm, grid, n, &tile, &cfg)
+        block_lu(comm, grid, n, &tile, &cfg).unwrap()
     });
     *net = done;
     net.report()
@@ -292,7 +300,7 @@ mod tests {
         let dist = BlockDist::new(grid, n, n);
         let tiles = dist.scatter(&a);
         let out = Runtime::run(grid.size(), |comm| {
-            block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+            block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
         });
         let packed = dist.gather(&out);
         let l = unpack_lower_unit(&packed);
@@ -377,7 +385,7 @@ mod tests {
                 ..Default::default()
             };
             let out = Runtime::run(grid.size(), |comm| {
-                block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+                block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
             });
             dist.gather(&out)
         };

@@ -19,7 +19,7 @@ use crate::comm::{Communicator, PhantomMat};
 use hsumma_matrix::GridShape;
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 /// Hierarchically broadcasts `mat` from rank `root` of `comm`:
 /// `levels[0]` subgroups at the top, recursing with `levels[1..]`. The
@@ -38,7 +38,7 @@ pub fn hier_bcast<C: Communicator>(
     root: usize,
     mat: &mut C::Mat,
     levels: &[usize],
-) {
+) -> Result<(), CommError> {
     assert!(!levels.is_empty(), "need at least one level");
     assert_eq!(
         levels.iter().product::<usize>(),
@@ -47,8 +47,7 @@ pub fn hier_bcast<C: Communicator>(
         comm.size()
     );
     if levels.len() == 1 {
-        comm.bcast_mat(algo, root, mat);
-        return;
+        return comm.bcast_mat(algo, root, mat);
     }
     let top = levels[0];
     let sub = comm.size() / top;
@@ -60,15 +59,15 @@ pub fn hier_bcast<C: Communicator>(
     // Collective split: leaders share color 0 (ordered by subgroup index),
     // everyone else lands in a singleton group.
     let leader_comm = if is_leader {
-        comm.split(0, (me / sub) as i64)
+        comm.split(0, (me / sub) as i64)?
     } else {
-        comm.split(1 + me as u64, 0)
+        comm.split(1 + me as u64, 0)?
     };
     if is_leader {
-        leader_comm.bcast_mat(algo, root / sub, mat);
+        leader_comm.bcast_mat(algo, root / sub, mat)?;
     }
-    let sub_comm = comm.split((me / sub) as u64, (me % sub) as i64);
-    hier_bcast(&sub_comm, algo, offset, mat, &levels[1..]);
+    let sub_comm = comm.split((me / sub) as u64, (me % sub) as i64)?;
+    hier_bcast(&sub_comm, algo, offset, mat, &levels[1..])
 }
 
 /// SUMMA on a square grid where every panel broadcast is an `levels`-level
@@ -121,18 +120,18 @@ pub fn sim_summa_hier_with(
         step_sync,
         move |comm| {
             let (gi, gj) = grid.coords(comm.rank());
-            let row_comm = comm.split(gi as u64, gj as i64);
-            let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+            let row_comm = comm.split(gi as u64, gj as i64).unwrap();
+            let col_comm = comm.split((grid.rows + gj) as u64, gi as i64).unwrap();
             let pairs = th * tw * b;
             let mut a_panel = PhantomMat { rows: th, cols: b };
             let mut b_panel = PhantomMat { rows: b, cols: tw };
             for k in 0..n / b {
                 let owner_col = k * b / tw;
-                hier_bcast(&row_comm, algo, owner_col, &mut a_panel, &levels);
+                hier_bcast(&row_comm, algo, owner_col, &mut a_panel, &levels).unwrap();
                 let owner_row = k * b / th;
-                hier_bcast(&col_comm, algo, owner_row, &mut b_panel, &levels);
+                hier_bcast(&col_comm, algo, owner_row, &mut b_panel, &levels).unwrap();
                 comm.compute(pairs as f64, 2 * pairs as u64);
-                comm.maybe_step_sync();
+                comm.maybe_step_sync().unwrap();
             }
         },
     );
@@ -158,7 +157,7 @@ mod tests {
                 rows: 1,
                 cols: elems,
             };
-            hier_bcast(comm, SimBcast::Binomial, root, &mut m, &levels);
+            hier_bcast(comm, SimBcast::Binomial, root, &mut m, &levels).unwrap();
         });
         net
     }

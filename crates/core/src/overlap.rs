@@ -20,6 +20,7 @@ use crate::comm::{Communicator, MatLike};
 use crate::summa::check_tiles;
 use hsumma_matrix::GridShape;
 use hsumma_netsim::{Platform, SimBcast};
+use hsumma_runtime::CommError;
 
 pub use crate::summa::SummaConfig;
 
@@ -40,7 +41,7 @@ pub fn summa_overlap<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &SummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -48,8 +49,8 @@ pub fn summa_overlap<C: Communicator>(
     assert_eq!(th % bs, 0, "block must divide the tile height");
 
     let (gi, gj) = grid.coords(comm.rank());
-    let row_comm = comm.split(gi as u64, gj as i64);
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
     let owner_col = |k: usize| k * bs / tw;
     let owner_row = |k: usize| k * bs / th;
@@ -57,12 +58,12 @@ pub fn summa_overlap<C: Communicator>(
     // Pushes step k's panels to all peers; owners only. The panel is
     // materialized once and shared — each destination gets a shared
     // handle, not its own deep copy.
-    let push = |k: usize| {
+    let push = |k: usize| -> Result<(), CommError> {
         if gj == owner_col(k) {
             let panel = C::share(a.block(0, k * bs % tw, th, bs));
             for dst in 0..row_comm.size() {
                 if dst != row_comm.rank() {
-                    row_comm.send_shared(dst, 2 * k as u64, &panel);
+                    row_comm.send_shared(dst, 2 * k as u64, &panel)?;
                 }
             }
         }
@@ -70,10 +71,11 @@ pub fn summa_overlap<C: Communicator>(
             let panel = C::share(b.block(k * bs % th, 0, bs, tw));
             for dst in 0..col_comm.size() {
                 if dst != col_comm.rank() {
-                    col_comm.send_shared(dst, 2 * k as u64 + 1, &panel);
+                    col_comm.send_shared(dst, 2 * k as u64 + 1, &panel)?;
                 }
             }
         }
+        Ok(())
     };
 
     let steps = n / bs;
@@ -84,19 +86,19 @@ pub fn summa_overlap<C: Communicator>(
     let mut b_scratch = C::Mat::zeros(bs, tw);
     let step_pairs = th * tw * bs;
     if steps > 0 {
-        push(0);
+        push(0)?;
     }
     for k in 0..steps {
         // Lookahead: inject step k+1's panels before computing step k.
         if k + 1 < steps {
-            push(k + 1);
+            push(k + 1)?;
         }
         let a_recv: C::Shared;
         let a_panel: &C::Mat = if gj == owner_col(k) {
             a.block_into(0, k * bs % tw, &mut a_scratch);
             &a_scratch
         } else {
-            a_recv = row_comm.recv_shared(owner_col(k), 2 * k as u64, th, bs);
+            a_recv = row_comm.recv_shared(owner_col(k), 2 * k as u64, th, bs)?;
             C::shared_ref(&a_recv)
         };
         let b_recv: C::Shared;
@@ -104,14 +106,14 @@ pub fn summa_overlap<C: Communicator>(
             b.block_into(k * bs % th, 0, &mut b_scratch);
             &b_scratch
         } else {
-            b_recv = col_comm.recv_shared(owner_row(k), 2 * k as u64 + 1, bs, tw);
+            b_recv = col_comm.recv_shared(owner_row(k), 2 * k as u64 + 1, bs, tw)?;
             C::shared_ref(&b_recv)
         };
         comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
             C::Mat::gemm(cfg.kernel, a_panel, b_panel, &mut c)
         });
     }
-    c
+    Ok(c)
 }
 
 /// HSUMMA with overlap *on the virtual hierarchies* (§VI verbatim):
@@ -133,7 +135,7 @@ pub fn hsumma_overlap<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &crate::hsumma::HsummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let hg = crate::grid::HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -147,10 +149,10 @@ pub fn hsumma_overlap<C: Communicator>(
     let (x, y) = hg.group_of(gi, gj);
     let (i, j) = hg.inner_of(gi, gj);
     let color3 = crate::grid::color3;
-    let group_row = comm.split(color3(x, i, j), y as i64);
-    let group_col = comm.split(color3(y, i, j), x as i64);
-    let row = comm.split(color3(x, y, i), j as i64);
-    let col = comm.split(color3(x, y, j), i as i64);
+    let group_row = comm.split(color3(x, i, j), y as i64)?;
+    let group_col = comm.split(color3(y, i, j), x as i64)?;
+    let row = comm.split(color3(x, y, i), j as i64)?;
+    let col = comm.split(color3(x, y, j), i as i64)?;
 
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
@@ -165,13 +167,13 @@ pub fn hsumma_overlap<C: Communicator>(
 
     // Prefetch push of outer step kg across groups (owners only). One
     // materialized panel per push, shared across destinations.
-    let push_outer = |kg: usize| {
+    let push_outer = |kg: usize| -> Result<(), CommError> {
         let (gcol, _, jk) = a_owner(kg);
         if gj == gcol && j == jk {
             let panel = C::share(a.block(0, kg * bb % tw, th, bb));
             for dst in 0..group_row.size() {
                 if dst != group_row.rank() {
-                    group_row.send_shared(dst, 2 * kg as u64, &panel);
+                    group_row.send_shared(dst, 2 * kg as u64, &panel)?;
                 }
             }
         }
@@ -180,10 +182,11 @@ pub fn hsumma_overlap<C: Communicator>(
             let panel = C::share(b.block(kg * bb % th, 0, bb, tw));
             for dst in 0..group_col.size() {
                 if dst != group_col.rank() {
-                    group_col.send_shared(dst, 2 * kg as u64 + 1, &panel);
+                    group_col.send_shared(dst, 2 * kg as u64 + 1, &panel)?;
                 }
             }
         }
+        Ok(())
     };
 
     let mut c = C::Mat::zeros(th, tw);
@@ -195,11 +198,11 @@ pub fn hsumma_overlap<C: Communicator>(
     let mut b_in_scratch = C::Mat::zeros(bs, tw);
     let inner_pairs = th * tw * bs;
     if outer_steps > 0 {
-        push_outer(0);
+        push_outer(0)?;
     }
     for kg in 0..outer_steps {
         if kg + 1 < outer_steps {
-            push_outer(kg + 1);
+            push_outer(kg + 1)?;
         }
 
         // Land the outer panels on the inner pivot row/column.
@@ -210,7 +213,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 a.block_into(0, kg * bb % tw, &mut outer_a_scratch);
                 &outer_a_scratch
             } else {
-                outer_a_recv = group_row.recv_shared(yk, 2 * kg as u64, th, bb);
+                outer_a_recv = group_row.recv_shared(yk, 2 * kg as u64, th, bb)?;
                 C::shared_ref(&outer_a_recv)
             })
         } else {
@@ -223,7 +226,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 b.block_into(kg * bb % th, 0, &mut outer_b_scratch);
                 &outer_b_scratch
             } else {
-                outer_b_recv = group_col.recv_shared(xk, 2 * kg as u64 + 1, bb, tw);
+                outer_b_recv = group_col.recv_shared(xk, 2 * kg as u64 + 1, bb, tw)?;
                 C::shared_ref(&outer_b_recv)
             })
         } else {
@@ -239,7 +242,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 let slice = C::share(panel.block(0, ki * bs, th, bs));
                 for dst in 0..row.size() {
                     if dst != row.rank() {
-                        row.send_shared(dst, inner_tag(ki, false), &slice);
+                        row.send_shared(dst, inner_tag(ki, false), &slice)?;
                     }
                 }
             }
@@ -249,7 +252,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 let slice = C::share(panel.block(ki * bs, 0, bs, tw));
                 for dst in 0..col.size() {
                     if dst != col.rank() {
-                        col.send_shared(dst, inner_tag(ki, true), &slice);
+                        col.send_shared(dst, inner_tag(ki, true), &slice)?;
                     }
                 }
             }
@@ -262,7 +265,7 @@ pub fn hsumma_overlap<C: Communicator>(
                     &a_in_scratch
                 }
                 None => {
-                    a_in_recv = row.recv_shared(jk, inner_tag(ki, false), th, bs);
+                    a_in_recv = row.recv_shared(jk, inner_tag(ki, false), th, bs)?;
                     C::shared_ref(&a_in_recv)
                 }
             };
@@ -273,7 +276,7 @@ pub fn hsumma_overlap<C: Communicator>(
                     &b_in_scratch
                 }
                 None => {
-                    b_in_recv = col.recv_shared(ik, inner_tag(ki, true), bs, tw);
+                    b_in_recv = col.recv_shared(ik, inner_tag(ki, true), bs, tw)?;
                     C::shared_ref(&b_in_recv)
                 }
             };
@@ -282,7 +285,7 @@ pub fn hsumma_overlap<C: Communicator>(
             });
         }
     }
-    c
+    Ok(c)
 }
 
 /// Quantifies the overlap benefit in the simulator: free-running
@@ -318,7 +321,7 @@ mod tests {
             let want = reference_product(&a, &b);
             let c = cfg(block);
             let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-                summa_overlap(comm, grid, n, &at, &bt, &c)
+                summa_overlap(comm, grid, n, &at, &bt, &c).unwrap()
             });
             assert!(
                 got.approx_eq(&want, 1e-9),
@@ -337,10 +340,10 @@ mod tests {
         let b = seeded_uniform(n, n, 72);
         let c = cfg(4);
         let plain = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &c)
+            summa(comm, grid, n, &at, &bt, &c).unwrap()
         });
         let overlapped = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa_overlap(comm, grid, n, &at, &bt, &c)
+            summa_overlap(comm, grid, n, &at, &bt, &c).unwrap()
         });
         assert_eq!(plain, overlapped);
     }
@@ -360,7 +363,7 @@ mod tests {
                 ..HsummaConfig::uniform(groups, 2)
             };
             let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-                hsumma_overlap(comm, grid, n, &at, &bt, &hcfg)
+                hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
             });
             assert!(got.approx_eq(&want, 1e-9), "G={g} diverged");
         }
@@ -380,10 +383,10 @@ mod tests {
             ..HsummaConfig::uniform(GridShape::new(2, 2), 8)
         };
         let plain = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma(comm, grid, n, &at, &bt, &hcfg)
+            hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
         });
         let overlapped = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma_overlap(comm, grid, n, &at, &bt, &hcfg)
+            hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
         });
         assert_eq!(plain, overlapped, "same local op order => bitwise equal");
     }

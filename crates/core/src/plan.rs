@@ -13,6 +13,7 @@ use crate::comm::Communicator;
 use crate::hsumma::{hsumma, HsummaConfig};
 use crate::summa::{summa, SummaConfig};
 use hsumma_matrix::{GemmKernel, GridShape};
+use hsumma_runtime::CommError;
 
 /// A fully resolved algorithm choice for one square `n × n` multiply.
 #[derive(Clone, Copy, Debug)]
@@ -56,7 +57,7 @@ pub fn run_planned<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     plan: &PlannedAlgo,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     match plan {
         PlannedAlgo::Summa(cfg) => summa(comm, grid, n, a, b, cfg),
         PlannedAlgo::Hsumma(cfg) => hsumma(comm, grid, n, a, b, cfg),
@@ -75,7 +76,7 @@ mod tests {
         let b = seeded_uniform(n, n, 22);
         let want = reference_product(&a, &b);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            run_planned(comm, grid, n, &at, &bt, &plan)
+            run_planned(comm, grid, n, &at, &bt, &plan).unwrap()
         });
         assert!(
             got.approx_eq(&want, 1e-9),

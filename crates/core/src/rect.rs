@@ -12,6 +12,7 @@ use crate::grid::HierGrid;
 use crate::hsumma::HsummaConfig;
 use crate::summa::{bcast_matrix, SummaConfig};
 use hsumma_matrix::GridShape;
+use hsumma_runtime::CommError;
 
 /// Global operand dimensions of `C(M×N) = A(M×L) · B(L×N)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,7 +71,7 @@ pub fn summa_rect<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &SummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -78,8 +79,8 @@ pub fn summa_rect<C: Communicator>(
     assert_eq!(bh % bs, 0, "block must divide B's tile height (L/s)");
 
     let (gi, gj) = grid.coords(comm.rank());
-    let row_comm = comm.split(gi as u64, gj as i64);
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
     let mut c = C::Mat::zeros(ah, bw);
     let step_pairs = ah * bw * bs;
@@ -90,7 +91,7 @@ pub fn summa_rect<C: Communicator>(
         } else {
             C::Mat::zeros(ah, bs)
         };
-        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
         let owner_row = k * bs / bh;
         let mut b_panel = if gi == owner_row {
@@ -98,13 +99,13 @@ pub fn summa_rect<C: Communicator>(
         } else {
             C::Mat::zeros(bs, bw)
         };
-        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel)?;
 
         comm.compute(step_pairs as f64, 0, || {
             C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
         });
     }
-    c
+    Ok(c)
 }
 
 /// Rectangular HSUMMA per Algorithm 1's general form.
@@ -119,7 +120,7 @@ pub fn hsumma_rect<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &HsummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let ((ah, aw), (bh, bw)) = check_rect(grid, dims, a, b, comm.size());
     let hg = HierGrid::new(grid, cfg.groups);
     let inner = hg.inner();
@@ -133,55 +134,59 @@ pub fn hsumma_rect<C: Communicator>(
     let (x, y) = hg.group_of(gi, gj);
     let (i, j) = hg.inner_of(gi, gj);
     let c3 = crate::grid::color3;
-    let group_row = comm.split(c3(x, i, j), y as i64);
-    let group_col = comm.split(c3(y, i, j), x as i64);
-    let row = comm.split(c3(x, y, i), j as i64);
-    let col = comm.split(c3(x, y, j), i as i64);
+    let group_row = comm.split(c3(x, i, j), y as i64)?;
+    let group_col = comm.split(c3(y, i, j), x as i64)?;
+    let row = comm.split(c3(x, y, i), j as i64)?;
+    let col = comm.split(c3(x, y, j), i as i64)?;
 
     let mut c = C::Mat::zeros(ah, bw);
     let inner_pairs = ah * bw * bs;
     for kg in 0..dims.l / bb {
         let gcol = kg * bb / aw;
         let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
-        let outer_a = (j == jk).then(|| {
+        let outer_a = if j == jk {
             let mut panel = if gj == gcol {
                 a.block(0, kg * bb % aw, ah, bb)
             } else {
                 C::Mat::zeros(ah, bb)
             };
-            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut panel);
-            panel
-        });
+            bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut panel)?;
+            Some(panel)
+        } else {
+            None
+        };
 
         let grow = kg * bb / bh;
         let (xk, ik) = (grow / inner.rows, grow % inner.rows);
-        let outer_b = (i == ik).then(|| {
+        let outer_b = if i == ik {
             let mut panel = if gi == grow {
                 b.block(kg * bb % bh, 0, bb, bw)
             } else {
                 C::Mat::zeros(bb, bw)
             };
-            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut panel);
-            panel
-        });
+            bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut panel)?;
+            Some(panel)
+        } else {
+            None
+        };
 
         for ki in 0..bb / bs {
             let mut a_in = match &outer_a {
                 Some(panel) => panel.block(0, ki * bs, ah, bs),
                 None => C::Mat::zeros(ah, bs),
             };
-            bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in);
+            bcast_matrix(&row, cfg.inner_bcast, jk, &mut a_in)?;
             let mut b_in = match &outer_b {
                 Some(panel) => panel.block(ki * bs, 0, bs, bw),
                 None => C::Mat::zeros(bs, bw),
             };
-            bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in);
+            bcast_matrix(&col, cfg.inner_bcast, ik, &mut b_in)?;
             comm.compute(inner_pairs as f64, 0, || {
                 C::Mat::gemm(cfg.kernel, &a_in, &b_in, &mut c)
             });
         }
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -227,7 +232,7 @@ mod tests {
             ..Default::default()
         };
         run_rect(grid, dims, move |comm, a, b| {
-            summa_rect(comm, grid, dims, &a, &b, &cfg)
+            summa_rect(comm, grid, dims, &a, &b, &cfg).unwrap()
         });
     }
 
@@ -241,7 +246,7 @@ mod tests {
             ..Default::default()
         };
         run_rect(grid, dims, move |comm, a, b| {
-            summa_rect(comm, grid, dims, &a, &b, &cfg)
+            summa_rect(comm, grid, dims, &a, &b, &cfg).unwrap()
         });
     }
 
@@ -270,6 +275,7 @@ mod tests {
                 &bt[comm.rank()].clone(),
                 &cfg,
             )
+            .unwrap()
         });
         let by_square = Runtime::run(grid.size(), |comm| {
             summa(
@@ -280,6 +286,7 @@ mod tests {
                 &bt[comm.rank()].clone(),
                 &cfg,
             )
+            .unwrap()
         });
         assert_eq!(by_rect, by_square, "square case must be identical");
     }
@@ -293,7 +300,7 @@ mod tests {
             ..HsummaConfig::uniform(GridShape::new(2, 2), 2)
         };
         run_rect(grid, dims, move |comm, a, b| {
-            hsumma_rect(comm, grid, dims, &a, &b, &cfg)
+            hsumma_rect(comm, grid, dims, &a, &b, &cfg).unwrap()
         });
     }
 
@@ -308,7 +315,7 @@ mod tests {
             ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
         };
         run_rect(grid, dims, move |comm, a, b| {
-            hsumma_rect(comm, grid, dims, &a, &b, &cfg)
+            hsumma_rect(comm, grid, dims, &a, &b, &cfg).unwrap()
         });
     }
 
@@ -326,7 +333,7 @@ mod tests {
         let _ = Runtime::run(grid.size(), |comm| {
             let a = Matrix::zeros(2, 3);
             let b = Matrix::zeros(1, 4);
-            summa_rect(comm, grid, dims, &a, &b, &cfg)
+            summa_rect(comm, grid, dims, &a, &b, &cfg).unwrap()
         });
     }
 
@@ -352,7 +359,7 @@ mod tests {
             let bt = b_dist.scatter(&b);
             let cfg = SummaConfig { block: 1, kernel: GemmKernel::Blocked, ..Default::default() };
             let ct = Runtime::run(grid.size(), |comm| {
-                summa_rect(comm, grid, dims, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg)
+                summa_rect(comm, grid, dims, &at[comm.rank()].clone(), &bt[comm.rank()].clone(), &cfg).unwrap()
             });
             prop_assert!(c_dist.gather(&ct).approx_eq(&want, 1e-9));
         }

@@ -96,7 +96,7 @@ pub fn sim_summa_on(
     };
     run_on(net, gamma, step_sync, move |comm| {
         let tile = PhantomMat { rows: th, cols: tw };
-        summa(comm, grid, n, &tile, &tile, &cfg);
+        summa(comm, grid, n, &tile, &tile, &cfg).unwrap();
     })
 }
 
@@ -183,7 +183,7 @@ pub fn sim_hsumma_on(
     };
     run_on(net, gamma, step_sync, move |comm| {
         let tile = PhantomMat { rows: th, cols: tw };
-        hsumma(comm, grid, n, &tile, &tile, &cfg);
+        hsumma(comm, grid, n, &tile, &tile, &cfg).unwrap();
     })
 }
 
@@ -213,7 +213,7 @@ pub fn sim_cannon_on(
     let ts = n / q;
     run_on(net, gamma, step_sync, move |comm| {
         let tile = PhantomMat { rows: ts, cols: ts };
-        cannon(comm, grid, n, &tile, &tile, GemmKernel::default());
+        cannon(comm, grid, n, &tile, &tile, GemmKernel::default()).unwrap();
     })
 }
 
@@ -249,7 +249,7 @@ pub fn sim_fox_on(
     let ts = n / q;
     run_on(net, gamma, step_sync, move |comm| {
         let tile = PhantomMat { rows: ts, cols: ts };
-        fox_with(comm, grid, n, &tile, &tile, GemmKernel::default(), bcast);
+        fox_with(comm, grid, n, &tile, &tile, GemmKernel::default(), bcast).unwrap();
     })
 }
 
@@ -278,7 +278,7 @@ pub fn sim_overlap(
         false,
         move |comm| {
             let tile = PhantomMat { rows: th, cols: tw };
-            summa_overlap(comm, grid, n, &tile, &tile, &cfg);
+            summa_overlap(comm, grid, n, &tile, &tile, &cfg).unwrap();
         },
     );
     net.report()
@@ -299,7 +299,7 @@ pub fn sim_twodotfive(platform: &Platform, n: usize, cfg: &TwoDotFiveConfig) -> 
         false,
         move |comm| {
             let tile = PhantomMat { rows: ts, cols: ts };
-            twodotfive(comm, n, &tile, &tile, &cfg);
+            twodotfive(comm, n, &tile, &tile, &cfg).unwrap();
         },
     );
     net.report()

@@ -8,7 +8,7 @@
 
 use crate::comm::{Communicator, MatLike};
 use hsumma_matrix::{GemmKernel, GridShape};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 /// Parameters of a SUMMA run.
 #[derive(Clone, Copy, Debug)]
@@ -38,8 +38,8 @@ pub(crate) fn bcast_matrix<C: Communicator>(
     algo: BcastAlgorithm,
     root: usize,
     mat: &mut C::Mat,
-) {
-    comm.bcast_mat(algo, root, mat);
+) -> Result<(), CommError> {
+    comm.bcast_mat(algo, root, mat)
 }
 
 /// Validates the distributed-operand invariants shared by SUMMA and
@@ -84,7 +84,7 @@ pub fn summa<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &SummaConfig,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     let (th, tw) = check_tiles(grid, n, a, b, comm.size());
     let bs = cfg.block;
     assert!(bs > 0, "block size must be positive");
@@ -93,9 +93,9 @@ pub fn summa<C: Communicator>(
 
     let (gi, gj) = grid.coords(comm.rank());
     // Row communicator: same grid row, ordered by column (local rank = gj).
-    let row_comm = comm.split(gi as u64, gj as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
     // Column communicator: same grid column, ordered by row.
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
     let mut c = C::Mat::zeros(th, tw);
     // Panel scratch is allocated once and reused across all steps: pivot
@@ -106,29 +106,30 @@ pub fn summa<C: Communicator>(
     let steps = n / bs;
     let step_pairs = th * tw * bs;
     for k in 0..steps {
-        comm.trace_step(k, bs, bs, || {
+        comm.trace_step(k, bs, bs, || -> Result<(), CommError> {
             // --- pivot column panel of A, broadcast along the grid row ---
             let owner_col = k * bs / tw;
             if gj == owner_col {
                 a.block_into(0, k * bs % tw, &mut a_panel);
             }
-            bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+            bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
             // --- pivot row panel of B, broadcast along the grid column ---
             let owner_row = k * bs / th;
             if gi == owner_row {
                 b.block_into(k * bs % th, 0, &mut b_panel);
             }
-            bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+            bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel)?;
 
             // --- local update: C += A_panel · B_panel ---------------------
             comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
                 C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
             });
-        });
-        comm.maybe_step_sync();
+            Ok(())
+        })?;
+        comm.maybe_step_sync()?;
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -143,7 +144,7 @@ mod tests {
         let a = seeded_uniform(n, n, 100);
         let b = seeded_uniform(n, n, 200);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &cfg)
+            summa(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
         let want = reference_product(&a, &b);
         assert!(
@@ -269,7 +270,8 @@ mod tests {
                     block: 4,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             comm.stats()
         });
         for s in &stats {
@@ -297,6 +299,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
         });
     }
 }

@@ -21,7 +21,7 @@ use crate::comm::{Communicator, MatLike};
 use hsumma_matrix::GemmKernel;
 use hsumma_netsim::model::ELEM_BYTES;
 use hsumma_netsim::{Platform, SimNet};
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 const TAG_R_UP: u64 = 41;
 const TAG_Q_DOWN: u64 = 42;
@@ -34,7 +34,7 @@ const TAG_Q_DOWN: u64 = 42;
 ///
 /// # Panics
 /// Panics if `rows < n` on any rank (each local block must be tall).
-pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
+pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> Result<(C::Mat, C::Mat), CommError> {
     let n = a_local.cols();
     let rows = a_local.rows();
     let p = comm.size();
@@ -52,7 +52,7 @@ pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
         if me.is_multiple_of(2 * stride) {
             let partner = me + stride;
             if partner < p {
-                let r_partner = comm.recv_mat(partner, TAG_R_UP, n, n);
+                let r_partner = comm.recv_mat(partner, TAG_R_UP, n, n)?;
                 let (q2, r_new) = comm.compute((2 * n * n * n) as f64, 0, || {
                     let mut stacked = C::Mat::zeros(2 * n, n);
                     stacked.set_block(0, 0, &r);
@@ -63,7 +63,7 @@ pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
                 r = r_new;
             }
         } else if me % (2 * stride) == stride {
-            comm.send_mat(me - stride, TAG_R_UP, r.clone());
+            comm.send_mat(me - stride, TAG_R_UP, r.clone())?;
         }
         stride *= 2;
     }
@@ -76,12 +76,12 @@ pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
     } else {
         // Wait for our transform from whoever absorbed our R.
         let parent = me - lowest_set_bit(me);
-        comm.recv_mat(parent, TAG_Q_DOWN, n, n)
+        comm.recv_mat(parent, TAG_Q_DOWN, n, n)?
     };
     for (partner, q_top, q_bot) in combines.into_iter().rev() {
         let mut down = C::Mat::zeros(n, n);
         C::Mat::gemm(GemmKernel::Blocked, &q_bot, &transform, &mut down);
-        comm.send_mat(partner, TAG_Q_DOWN, down);
+        comm.send_mat(partner, TAG_Q_DOWN, down)?;
         let mut up = C::Mat::zeros(n, n);
         C::Mat::gemm(GemmKernel::Blocked, &q_top, &transform, &mut up);
         transform = up;
@@ -95,8 +95,8 @@ pub fn tsqr<C: Communicator>(comm: &C, a_local: &C::Mat) -> (C::Mat, C::Mat) {
 
     // Everyone needs the final R (rank 0 holds it after the sweep; other
     // ranks' stale partials are overwritten).
-    comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut r);
-    (q_out, r)
+    comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut r)?;
+    Ok((q_out, r))
 }
 
 fn lowest_set_bit(x: usize) -> usize {
@@ -152,7 +152,7 @@ mod tests {
         let blocks: Vec<Matrix> = (0..p)
             .map(|r| a.block(r * rows_per_rank, 0, rows_per_rank, n))
             .collect();
-        let out = Runtime::run(p, |comm| tsqr(comm, &blocks[comm.rank()]));
+        let out = Runtime::run(p, |comm| tsqr(comm, &blocks[comm.rank()]).unwrap());
 
         // All ranks agree on R, and R is upper triangular.
         let r = &out[0].1;
@@ -215,7 +215,7 @@ mod tests {
         let plat = Platform::grid5000();
         let (net, _) = SimWorld::run(SimNet::new(4, plat.net), plat.gamma, false, |comm| {
             let block = PhantomMat { rows: 8, cols: 3 };
-            tsqr(comm, &block)
+            tsqr(comm, &block).unwrap()
         });
         let rep = net.report();
         // Upward: 3 R messages; downward: 3 Q messages; bcast: 3 messages.

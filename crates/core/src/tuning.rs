@@ -158,7 +158,7 @@ pub fn tuned_hsumma(
     block: usize,
     candidates: &[usize],
     sample_steps: usize,
-) -> (hsumma_matrix::Matrix, GridShape) {
+) -> Result<(hsumma_matrix::Matrix, GridShape), hsumma_runtime::CommError> {
     use crate::hsumma::HsummaConfig;
     use hsumma_runtime::collectives;
 
@@ -182,18 +182,18 @@ pub fn tuned_hsumma(
         // sample_n-sized subproblem exercises the same communicator
         // structure and panel sizes as the full run.
         let before = comm.stats().comm_seconds;
-        let _ = hsumma_sample(comm, grid, n, sample_n, a, b, &cfg);
+        let _ = hsumma_sample(comm, grid, n, sample_n, a, b, &cfg)?;
         let elapsed = comm.stats().comm_seconds - before;
         // Algorithm choice must be identical on every rank: agree on the
         // slowest rank's time.
-        let agreed = collectives::allreduce(comm, elapsed, f64::max);
+        let agreed = collectives::allreduce(comm, elapsed, f64::max)?;
         if best.is_none_or(|(t, _)| agreed < t) {
             best = Some((agreed, groups));
         }
     }
     let (_, groups) = best.expect("at least one candidate must factor the grid");
     let cfg = HsummaConfig::uniform(groups, block);
-    (crate::hsumma::hsumma(comm, grid, n, a, b, &cfg), groups)
+    Ok((crate::hsumma::hsumma(comm, grid, n, a, b, &cfg)?, groups))
 }
 
 /// Runs only the first `sample_n / B` outer steps of HSUMMA (same
@@ -206,7 +206,7 @@ fn hsumma_sample(
     a: &hsumma_matrix::Matrix,
     b: &hsumma_matrix::Matrix,
     cfg: &crate::hsumma::HsummaConfig,
-) -> hsumma_matrix::Matrix {
+) -> Result<hsumma_matrix::Matrix, hsumma_runtime::CommError> {
     // The full algorithm on the full operands, but with the step loop
     // truncated: emulate by running on a copy whose trailing pivot
     // panels are unused. Simplest faithful prefix: run the full HSUMMA
@@ -242,7 +242,7 @@ mod tests {
         let b = seeded_uniform(n, n, 2);
         let want = reference_product(&a, &b);
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            let (c, groups) = tuned_hsumma(comm, grid, n, &at, &bt, 4, &[1, 4, 16], 2);
+            let (c, groups) = tuned_hsumma(comm, grid, n, &at, &bt, 4, &[1, 4, 16], 2).unwrap();
             // Every rank must have agreed on the same grouping; encode it
             // into the tile for a cheap cross-rank consistency check.
             assert!(grid.rows.is_multiple_of(groups.rows) && grid.cols.is_multiple_of(groups.cols));
@@ -265,7 +265,7 @@ mod tests {
             let dist = hsumma_matrix::BlockDist::new(grid, n, n);
             let at = dist.scatter(&a)[comm.rank()].clone();
             let bt = dist.scatter(&b)[comm.rank()].clone();
-            let (_, g) = tuned_hsumma(comm, grid, n, &at, &bt, 2, &[1, 2, 4], 2);
+            let (_, g) = tuned_hsumma(comm, grid, n, &at, &bt, 2, &[1, 2, 4], 2).unwrap();
             (g.rows, g.cols)
         });
         assert!(

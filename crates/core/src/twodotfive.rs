@@ -22,7 +22,7 @@
 use crate::comm::{Communicator, MatLike};
 use crate::summa::SummaConfig;
 use hsumma_matrix::GridShape;
-use hsumma_runtime::BcastAlgorithm;
+use hsumma_runtime::{BcastAlgorithm, CommError};
 
 /// Parameters of a 2.5D run.
 #[derive(Clone, Copy, Debug)]
@@ -56,7 +56,7 @@ pub fn twodotfive<C: Communicator>(
     a: &C::Mat,
     b: &C::Mat,
     cfg: &TwoDotFiveConfig,
-) -> Option<C::Mat> {
+) -> Result<Option<C::Mat>, CommError> {
     let (q, c) = (cfg.q, cfg.c);
     assert!(q > 0 && c > 0, "arrangement extents must be positive");
     assert_eq!(comm.size(), q * q * c, "communicator must span q*q*c ranks");
@@ -78,9 +78,9 @@ pub fn twodotfive<C: Communicator>(
 
     let (layer, i, j) = coords_3d(comm.rank(), q);
     // Layer communicator: all ranks of my layer, row-major rank order.
-    let layer_comm = comm.split(layer as u64, (i * q + j) as i64);
+    let layer_comm = comm.split(layer as u64, (i * q + j) as i64)?;
     // Depth communicator: same (i, j) across layers, ordered by layer.
-    let depth_comm = comm.split((c + i * q + j) as u64, layer as i64);
+    let depth_comm = comm.split((c + i * q + j) as u64, layer as i64)?;
 
     // --- 1. replicate the operands from layer 0 ------------------------
     let mut a_rep = if layer == 0 {
@@ -93,19 +93,19 @@ pub fn twodotfive<C: Communicator>(
     } else {
         C::Mat::zeros(ts, ts)
     };
-    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut a_rep);
-    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut b_rep);
+    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut a_rep)?;
+    depth_comm.bcast_mat(BcastAlgorithm::Binomial, 0, &mut b_rep)?;
 
     // --- 2. partial SUMMA: this layer takes steps k ≡ layer (mod c) ----
     let grid = GridShape::new(q, q);
     let partial = summa_steps(&layer_comm, grid, n, &a_rep, &b_rep, &cfg.summa, |k| {
         k % c == layer
-    });
+    })?;
 
     // --- 3. reduce the partials onto layer 0 ----------------------------
     let mut partial = partial;
-    depth_comm.reduce_sum_mat(0, &mut partial);
-    (layer == 0).then_some(partial)
+    depth_comm.reduce_sum_mat(0, &mut partial)?;
+    Ok((layer == 0).then_some(partial))
 }
 
 /// SUMMA restricted to the pivot steps selected by `take`; shared by
@@ -119,13 +119,13 @@ fn summa_steps<C: Communicator>(
     b: &C::Mat,
     cfg: &SummaConfig,
     take: impl Fn(usize) -> bool,
-) -> C::Mat {
+) -> Result<C::Mat, CommError> {
     use crate::summa::bcast_matrix;
 
     let (th, tw) = (n / grid.rows, n / grid.cols);
     let (gi, gj) = grid.coords(comm.rank());
-    let row_comm = comm.split(gi as u64, gj as i64);
-    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64);
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
     let bs = cfg.block;
 
     let mut c = C::Mat::zeros(th, tw);
@@ -137,7 +137,7 @@ fn summa_steps<C: Communicator>(
         } else {
             C::Mat::zeros(th, bs)
         };
-        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel);
+        bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
         let owner_row = k * bs / th;
         let mut b_panel = if gi == owner_row {
@@ -145,13 +145,13 @@ fn summa_steps<C: Communicator>(
         } else {
             C::Mat::zeros(bs, tw)
         };
-        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel);
+        bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel)?;
 
         comm.compute(step_pairs as f64, 0, || {
             C::Mat::gemm(cfg.kernel, &a_panel, &b_panel, &mut c)
         });
     }
-    c
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -187,7 +187,7 @@ mod tests {
                 let (th, tw) = dist.tile_shape();
                 (Matrix::zeros(th, tw), Matrix::zeros(th, tw))
             };
-            twodotfive(comm, n, &a_in, &b_in, &cfg)
+            twodotfive(comm, n, &a_in, &b_in, &cfg).unwrap()
         });
         // Collect layer-0 tiles in grid order.
         let tiles: Vec<Matrix> = (0..q * q)

@@ -43,5 +43,5 @@ pub mod topology;
 pub use hsumma_trace::BcastAlgorithm as SimBcast;
 pub use model::{Hockney, Platform};
 pub use sim::{NoiseModel, SimNet, SimReport};
-pub use spmd::{SimComm, SimWorld};
+pub use spmd::{SimComm, SimOutcome, SimRunOptions, SimWorld};
 pub use topology::{Topology, Torus3D};

@@ -30,6 +30,18 @@ impl PendingMsg {
     pub(crate) fn payload_bytes(&self) -> u64 {
         self.bytes
     }
+
+    /// Virtual arrival time (crate-internal: the SPMD mailboxes compare
+    /// it against the job deadline).
+    pub(crate) fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// Postpones arrival by `seconds` — the simulator's half of the
+    /// `FaultAction::Delay` injection.
+    pub(crate) fn delay(&mut self, seconds: f64) {
+        self.arrival += seconds;
+    }
 }
 
 /// Aggregated outcome of a simulated schedule.
@@ -300,6 +312,25 @@ impl SimNet {
         for &r in ranks {
             self.comm[r] += t - self.clocks[r];
             self.clocks[r] = t;
+        }
+    }
+
+    /// Removes the accounting of a message that a fault plan dropped at
+    /// the send path: the sender stays busy (it did the work) but the
+    /// world's send ledger must not count a message no receiver can see,
+    /// mirroring the threaded runtime's drop semantics.
+    pub(crate) fn uncount_send(&mut self, bytes: u64) {
+        self.msgs -= 1;
+        self.bytes -= bytes;
+    }
+
+    /// Advances `rank`'s clock to `t` (no-op if already past), charging
+    /// the wait as communication — used when a blocked rank gives up at
+    /// the virtual deadline.
+    pub(crate) fn wait_until(&mut self, rank: usize, t: f64) {
+        if t > self.clocks[rank] {
+            self.comm[rank] += t - self.clocks[rank];
+            self.clocks[rank] = t;
         }
     }
 

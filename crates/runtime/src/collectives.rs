@@ -19,13 +19,19 @@
 //!
 //! Reductions, gathers and barriers follow the textbook constructions
 //! (binomial reduce, flat gather, dissemination barrier).
+//!
+//! Every collective returns `Result<_, CommError>`: a blocked rank whose
+//! job deadline passes (or whose job is cancelled, or whose peer dies)
+//! unwinds out of the schedule with the stalled edge named instead of
+//! hanging the world.
 
 use crate::comm::{Comm, INTERNAL_TAG_BASE};
 use crate::message::Tag;
+use hsumma_trace::CommError;
 use std::any::Any;
 use std::sync::Arc;
 
-const TAG_BARRIER: Tag = INTERNAL_TAG_BASE + 16;
+pub(crate) const TAG_BARRIER: Tag = INTERNAL_TAG_BASE + 16;
 const TAG_BCAST: Tag = INTERNAL_TAG_BASE + 17;
 const TAG_GATHER: Tag = INTERNAL_TAG_BASE + 18;
 const TAG_REDUCE: Tag = INTERNAL_TAG_BASE + 19;
@@ -41,7 +47,7 @@ const TAG_ALLREDUCE: Tag = INTERNAL_TAG_BASE + 24;
 pub use hsumma_trace::{auto_bcast, BcastAlgorithm};
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, no root.
-pub fn barrier(comm: &Comm) {
+pub fn barrier(comm: &Comm) -> Result<(), CommError> {
     comm.trace_collective("barrier", "dissemination", 0, || {
         let p = comm.size();
         let r = comm.rank();
@@ -49,10 +55,11 @@ pub fn barrier(comm: &Comm) {
         while round < p {
             let dst = (r + round) % p;
             let src = (r + p - round % p) % p;
-            comm.send_internal(dst, TAG_BARRIER, ());
-            comm.recv_internal::<()>(src, TAG_BARRIER);
+            comm.send_internal(dst, TAG_BARRIER, ())?;
+            comm.recv_internal::<()>(src, TAG_BARRIER)?;
             round <<= 1;
         }
+        Ok(())
     })
 }
 
@@ -69,7 +76,7 @@ pub fn bcast<T: Any + Send + Clone>(
     algo: BcastAlgorithm,
     root: usize,
     value: Option<T>,
-) -> T {
+) -> Result<T, CommError> {
     assert!(root < comm.size(), "root out of range");
     assert!(
         !algo.needs_segmentation(),
@@ -83,8 +90,8 @@ pub fn bcast<T: Any + Send + Clone>(
             // The internal binomial bcast wants a concrete value on every
             // rank; give non-roots a placeholder they'll overwrite. `Option`
             // keeps this allocation-free.
-            let v = comm.binomial_bcast_internal(root, TAG_BCAST, value);
-            v.expect("binomial bcast delivered no value")
+            let v = comm.binomial_bcast_internal(root, TAG_BCAST, value)?;
+            Ok(v.expect("binomial bcast delivered no value"))
         }
         BcastAlgorithm::Binary => bcast_binary(comm, root, value),
         BcastAlgorithm::Ring => bcast_ring(comm, root, value),
@@ -92,49 +99,61 @@ pub fn bcast<T: Any + Send + Clone>(
     })
 }
 
-fn bcast_flat<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+fn bcast_flat<T: Any + Send + Clone>(
+    comm: &Comm,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
     if comm.rank() == root {
         let v = value.expect("root must supply the value");
         for dst in 0..comm.size() {
             if dst != root {
-                comm.send_internal(dst, TAG_BCAST, v.clone());
+                comm.send_internal(dst, TAG_BCAST, v.clone())?;
             }
         }
-        v
+        Ok(v)
     } else {
         comm.recv_internal(root, TAG_BCAST)
     }
 }
 
-fn bcast_binary<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+fn bcast_binary<T: Any + Send + Clone>(
+    comm: &Comm,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
     let p = comm.size();
     let vrank = (comm.rank() + p - root) % p;
     let value = if vrank == 0 {
         value.expect("root must supply the value")
     } else {
         let parent_v = (vrank - 1) / 2;
-        comm.recv_internal((parent_v + root) % p, TAG_BCAST)
+        comm.recv_internal((parent_v + root) % p, TAG_BCAST)?
     };
     for child_v in [2 * vrank + 1, 2 * vrank + 2] {
         if child_v < p {
-            comm.send_internal((child_v + root) % p, TAG_BCAST, value.clone());
+            comm.send_internal((child_v + root) % p, TAG_BCAST, value.clone())?;
         }
     }
-    value
+    Ok(value)
 }
 
-fn bcast_ring<T: Any + Send + Clone>(comm: &Comm, root: usize, value: Option<T>) -> T {
+fn bcast_ring<T: Any + Send + Clone>(
+    comm: &Comm,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
     let p = comm.size();
     let vrank = (comm.rank() + p - root) % p;
     let value = if vrank == 0 {
         value.expect("root must supply the value")
     } else {
-        comm.recv_internal((vrank - 1 + root) % p, TAG_BCAST)
+        comm.recv_internal((vrank - 1 + root) % p, TAG_BCAST)?
     };
     if vrank + 1 < p {
-        comm.send_internal((vrank + 1 + root) % p, TAG_BCAST, value.clone());
+        comm.send_internal((vrank + 1 + root) % p, TAG_BCAST, value.clone())?;
     }
-    value
+    Ok(value)
 }
 
 /// Element range of chunk `i` when `len` elements are dealt over `p`
@@ -152,11 +171,16 @@ pub fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
 /// shape*, so lengths are globally known — MPI's contract as well).
 ///
 /// Supports every [`BcastAlgorithm`] including the segmenting ones.
-pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64]) {
+pub fn bcast_f64(
+    comm: &Comm,
+    algo: BcastAlgorithm,
+    root: usize,
+    data: &mut [f64],
+) -> Result<(), CommError> {
     assert!(root < comm.size(), "root out of range");
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     match algo {
         BcastAlgorithm::Flat
@@ -172,10 +196,11 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
             } else {
                 None
             };
-            let out: Arc<Vec<f64>> = bcast(comm, algo, root, value);
+            let out: Arc<Vec<f64>> = bcast(comm, algo, root, value)?;
             if comm.rank() != root {
                 data.copy_from_slice(&out);
             }
+            Ok(())
         }
         BcastAlgorithm::Pipelined { segments } => {
             comm.trace_collective("bcast", algo.name(), root, || {
@@ -194,7 +219,12 @@ pub fn bcast_f64(comm: &Comm, algo: BcastAlgorithm, root: usize, data: &mut [f64
 /// forwards it to k+1 while already receiving the next one. The root
 /// materializes each segment once; every later hop forwards the same
 /// `Arc`-shared segment it received.
-fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) {
+fn bcast_pipelined(
+    comm: &Comm,
+    root: usize,
+    data: &mut [f64],
+    segments: usize,
+) -> Result<(), CommError> {
     assert!(segments >= 1, "need at least one segment");
     let p = comm.size();
     let vrank = (comm.rank() + p - root) % p;
@@ -204,7 +234,7 @@ fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) 
     for s in 0..segments {
         let (lo, hi) = chunk_range(data.len(), segments, s);
         let received: Option<Arc<Vec<f64>>> = if vrank > 0 {
-            let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_PIPELINE);
+            let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_PIPELINE)?;
             data[lo..hi].copy_from_slice(&seg);
             Some(seg)
         } else {
@@ -215,15 +245,16 @@ fn bcast_pipelined(comm: &Comm, root: usize, data: &mut [f64], segments: usize) 
                 comm.count_payload_clone(((hi - lo) * 8) as u64);
                 Arc::new(data[lo..hi].to_vec())
             });
-            comm.send_internal(next, TAG_PIPELINE, seg);
+            comm.send_internal(next, TAG_PIPELINE, seg)?;
         }
     }
+    Ok(())
 }
 
 /// Van de Geijn long-message broadcast: binomial-tree scatter of the `p`
 /// chunks, then a ring allgather. Bandwidth term `2(p−1)/p·mβ`, latency
 /// `(log₂p + p − 1)α`.
-fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
+fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) -> Result<(), CommError> {
     let p = comm.size();
     let len = data.len();
     let vrank = (comm.rank() + p - root) % p;
@@ -250,7 +281,8 @@ fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
         let hi_v = (vrank + my_extent).min(p);
         let (lo, _) = chunk_range(len, p, vrank);
         let (_, hi) = chunk_range(len, p, hi_v - 1);
-        let (buf, off): (Arc<Vec<f64>>, usize) = comm.recv_internal(to_world(parent), TAG_SCATTER);
+        let (buf, off): (Arc<Vec<f64>>, usize) =
+            comm.recv_internal(to_world(parent), TAG_SCATTER)?;
         data[lo..hi].copy_from_slice(&buf[lo - off..hi - off]);
         (buf, off)
     };
@@ -258,7 +290,7 @@ fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
     while mask > 0 {
         let child = vrank + mask;
         if child < p {
-            comm.send_internal(to_world(child), TAG_SCATTER, relay.clone());
+            comm.send_internal(to_world(child), TAG_SCATTER, relay.clone())?;
         }
         mask >>= 1;
     }
@@ -280,47 +312,56 @@ fn bcast_scatter_allgather(comm: &Comm, root: usize, data: &mut [f64]) {
             comm.count_payload_clone(((shi - slo) * 8) as u64);
             Arc::new(data[slo..shi].to_vec())
         });
-        comm.send_internal(next, TAG_ALLGATHER, seg);
-        let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_ALLGATHER);
+        comm.send_internal(next, TAG_ALLGATHER, seg)?;
+        let seg: Arc<Vec<f64>> = comm.recv_internal(prev, TAG_ALLGATHER)?;
         let (rlo, rhi) = chunk_range(len, p, recv_chunk);
         data[rlo..rhi].copy_from_slice(&seg);
         carry = Some(seg);
     }
+    Ok(())
 }
 
 /// Flat gather: every rank's `value` collected at `root` in rank order.
 /// Returns `Some(values)` at the root, `None` elsewhere.
-pub fn gather<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
+pub fn gather<T: Any + Send>(
+    comm: &Comm,
+    root: usize,
+    value: T,
+) -> Result<Option<Vec<T>>, CommError> {
     assert!(root < comm.size(), "root out of range");
     comm.trace_collective("gather", "flat", root, || gather_inner(comm, root, value))
 }
 
-fn gather_inner<T: Any + Send>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>> {
+fn gather_inner<T: Any + Send>(
+    comm: &Comm,
+    root: usize,
+    value: T,
+) -> Result<Option<Vec<T>>, CommError> {
     if comm.rank() == root {
         let mut out: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
         out[root] = Some(value);
         for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                *slot = Some(comm.recv_internal(src, TAG_GATHER));
+                *slot = Some(comm.recv_internal(src, TAG_GATHER)?);
             }
         }
-        Some(
+        Ok(Some(
             out.into_iter()
                 .map(|v| v.expect("gather slot filled"))
                 .collect(),
-        )
+        ))
     } else {
-        comm.send_internal(root, TAG_GATHER, value);
-        None
+        comm.send_internal(root, TAG_GATHER, value)?;
+        Ok(None)
     }
 }
 
 /// Gather to rank 0 followed by a binomial broadcast of the table.
-pub fn allgather<T: Any + Send + Clone>(comm: &Comm, value: T) -> Vec<T> {
+pub fn allgather<T: Any + Send + Clone>(comm: &Comm, value: T) -> Result<Vec<T>, CommError> {
     comm.trace_collective("allgather", "gather_bcast", 0, || {
-        let gathered = gather_inner(comm, 0, value);
-        let v = comm.binomial_bcast_internal(0, TAG_ALLGATHER, gathered);
-        v.expect("allgather bcast delivered no value")
+        let gathered = gather_inner(comm, 0, value)?;
+        let v = comm.binomial_bcast_internal(0, TAG_ALLGATHER, gathered)?;
+        Ok(v.expect("allgather bcast delivered no value"))
     })
 }
 
@@ -331,7 +372,7 @@ pub fn reduce<T: Any + Send>(
     root: usize,
     value: T,
     mut combine: impl FnMut(T, T) -> T,
-) -> Option<T> {
+) -> Result<Option<T>, CommError> {
     assert!(root < comm.size(), "root out of range");
     comm.trace_collective("reduce", "binomial", root, || {
         let p = comm.size();
@@ -342,16 +383,16 @@ pub fn reduce<T: Any + Send>(
         // Mirror image of the binomial broadcast: leaves send first.
         while mask < p {
             if vrank & mask != 0 {
-                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, acc);
-                return None;
+                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, acc)?;
+                return Ok(None);
             }
             if vrank + mask < p {
-                let child: T = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+                let child: T = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE)?;
                 acc = combine(acc, child);
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     })
 }
 
@@ -360,11 +401,11 @@ pub fn allreduce<T: Any + Send + Clone>(
     comm: &Comm,
     value: T,
     combine: impl FnMut(T, T) -> T,
-) -> T {
+) -> Result<T, CommError> {
     comm.trace_collective("allreduce", "reduce_bcast", 0, || {
-        let reduced = reduce(comm, 0, value, combine);
-        let v = comm.binomial_bcast_internal(0, TAG_REDUCE, reduced);
-        v.expect("allreduce bcast delivered no value")
+        let reduced = reduce(comm, 0, value, combine)?;
+        let v = comm.binomial_bcast_internal(0, TAG_REDUCE, reduced)?;
+        Ok(v.expect("allreduce bcast delivered no value"))
     })
 }
 
@@ -376,8 +417,8 @@ pub fn sendrecv<T: Any + Send>(
     send_value: T,
     src: usize,
     tag: crate::message::Tag,
-) -> T {
-    comm.send(dst, tag, send_value);
+) -> Result<T, CommError> {
+    comm.send(dst, tag, send_value)?;
     comm.recv(src, tag)
 }
 
@@ -386,14 +427,22 @@ pub fn sendrecv<T: Any + Send>(
 ///
 /// # Panics
 /// Panics if the root's vector length differs from the communicator size.
-pub fn scatter<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) -> T {
+pub fn scatter<T: Any + Send>(
+    comm: &Comm,
+    root: usize,
+    values: Option<Vec<T>>,
+) -> Result<T, CommError> {
     assert!(root < comm.size(), "root out of range");
     comm.trace_collective("scatter", "flat", root, || {
         scatter_inner(comm, root, values)
     })
 }
 
-fn scatter_inner<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>) -> T {
+fn scatter_inner<T: Any + Send>(
+    comm: &Comm,
+    root: usize,
+    values: Option<Vec<T>>,
+) -> Result<T, CommError> {
     if comm.rank() == root {
         let values = values.expect("root must supply the values");
         assert_eq!(values.len(), comm.size(), "one value per rank required");
@@ -402,10 +451,10 @@ fn scatter_inner<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>
             if dst == root {
                 mine = Some(v);
             } else {
-                comm.send_internal(dst, TAG_SCATTER, v);
+                comm.send_internal(dst, TAG_SCATTER, v)?;
             }
         }
-        mine.expect("root keeps its own slot")
+        Ok(mine.expect("root keeps its own slot"))
     } else {
         assert!(values.is_none(), "only the root supplies values");
         comm.recv_internal(root, TAG_SCATTER)
@@ -417,7 +466,7 @@ fn scatter_inner<T: Any + Send>(comm: &Comm, root: usize, values: Option<Vec<T>>
 ///
 /// # Panics
 /// Panics if `values.len() != comm.size()`.
-pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
+pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Result<Vec<T>, CommError> {
     let p = comm.size();
     assert_eq!(values.len(), p, "one value per destination required");
     comm.trace_collective("alltoall", "pairwise", 0, || {
@@ -427,13 +476,13 @@ pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
             if dst == me {
                 mine = Some(v);
             } else {
-                comm.send_internal(dst, TAG_ALLTOALL, v);
+                comm.send_internal(dst, TAG_ALLTOALL, v)?;
             }
         }
         (0..p)
             .map(|src| {
                 if src == me {
-                    mine.take().expect("own slot present")
+                    Ok(mine.take().expect("own slot present"))
                 } else {
                     comm.recv_internal(src, TAG_ALLTOALL)
                 }
@@ -446,7 +495,7 @@ pub fn alltoall<T: Any + Send>(comm: &Comm, values: Vec<T>) -> Vec<T> {
 /// over a binomial tree. On return the root's buffer holds the sum;
 /// other buffers are left in an unspecified partial state (like an MPI
 /// send buffer).
-pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
+pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) -> Result<(), CommError> {
     assert!(root < comm.size(), "root out of range");
     comm.trace_collective("reduce_sum", "binomial", root, || {
         let p = comm.size();
@@ -455,11 +504,11 @@ pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
         let mut mask = 1usize;
         while mask < p {
             if vrank & mask != 0 {
-                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, data.to_vec());
-                return;
+                comm.send_internal(to_world(vrank ^ mask), TAG_REDUCE, data.to_vec())?;
+                return Ok(());
             }
             if vrank + mask < p {
-                let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE);
+                let child: Vec<f64> = comm.recv_internal(to_world(vrank + mask), TAG_REDUCE)?;
                 assert_eq!(
                     child.len(),
                     data.len(),
@@ -471,6 +520,7 @@ pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
             }
             mask <<= 1;
         }
+        Ok(())
     })
 }
 
@@ -478,17 +528,17 @@ pub fn reduce_sum_f64(comm: &Comm, root: usize, data: &mut [f64]) {
 /// ring reduce-scatter (each rank ends owning the sum of one chunk) then
 /// ring allgather. Bandwidth `≈ 2(p−1)/p · m·β`, like the van de Geijn
 /// broadcast — the long-vector algorithm MPI implementations use.
-pub fn allreduce_sum_f64(comm: &Comm, data: &mut [f64]) {
+pub fn allreduce_sum_f64(comm: &Comm, data: &mut [f64]) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     comm.trace_collective("allreduce_sum", "ring", 0, || {
         allreduce_sum_f64_inner(comm, data)
     })
 }
 
-fn allreduce_sum_f64_inner(comm: &Comm, data: &mut [f64]) {
+fn allreduce_sum_f64_inner(comm: &Comm, data: &mut [f64]) -> Result<(), CommError> {
     let p = comm.size();
     let me = comm.rank();
     let next = (me + 1) % p;
@@ -501,8 +551,8 @@ fn allreduce_sum_f64_inner(comm: &Comm, data: &mut [f64]) {
         let send_chunk = (me + p - k) % p;
         let recv_chunk = (me + p - k - 1) % p;
         let (slo, shi) = chunk_range(len, p, send_chunk);
-        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec());
-        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE);
+        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec())?;
+        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE)?;
         let (rlo, rhi) = chunk_range(len, p, recv_chunk);
         for (a, b) in data[rlo..rhi].iter_mut().zip(&seg) {
             *a += b;
@@ -513,17 +563,19 @@ fn allreduce_sum_f64_inner(comm: &Comm, data: &mut [f64]) {
         let send_chunk = (me + 1 + p - k) % p;
         let recv_chunk = (me + p - k) % p;
         let (slo, shi) = chunk_range(len, p, send_chunk);
-        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec());
-        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE);
+        comm.send_internal(next, TAG_ALLREDUCE, data[slo..shi].to_vec())?;
+        let seg: Vec<f64> = comm.recv_internal(prev, TAG_ALLREDUCE)?;
         let (rlo, rhi) = chunk_range(len, p, recv_chunk);
         data[rlo..rhi].copy_from_slice(&seg);
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runtime::Runtime;
+    use proptest::prelude::*;
 
     const ALGOS: [BcastAlgorithm; 6] = [
         BcastAlgorithm::Flat,
@@ -550,6 +602,59 @@ mod tests {
         }
     }
 
+    proptest! {
+        // The segment-dealing edge cases the scatter-allgather and
+        // pipelined broadcasts rely on: chunks tile [0, len) in order,
+        // sizes differ by at most one, and the first len % p chunks get
+        // the extra element. Covers p > len (zero-length chunks) and
+        // non-divisible splits by construction.
+        #[test]
+        fn chunk_range_tiles_exactly(len in 0usize..10_000, p in 1usize..256) {
+            let mut cursor = 0;
+            for i in 0..p {
+                let (lo, hi) = chunk_range(len, p, i);
+                prop_assert_eq!(lo, cursor);
+                prop_assert!(hi >= lo);
+                cursor = hi;
+            }
+            prop_assert_eq!(cursor, len);
+        }
+
+        #[test]
+        fn chunk_range_sizes_are_balanced(len in 0usize..10_000, p in 1usize..256) {
+            let sizes: Vec<usize> = (0..p)
+                .map(|i| {
+                    let (lo, hi) = chunk_range(len, p, i);
+                    hi - lo
+                })
+                .collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "sizes differ by more than one: {:?}", sizes);
+            // The first len % p chunks carry the extra element.
+            for (i, s) in sizes.iter().enumerate() {
+                prop_assert_eq!(*s, len / p + usize::from(i < len % p));
+            }
+        }
+
+        #[test]
+        fn chunk_range_more_ranks_than_elements(len in 0usize..16, p in 16usize..512) {
+            // p > len: exactly `len` chunks are non-empty, the rest are
+            // zero-length slices sitting at the end of the buffer.
+            let nonempty = (0..p)
+                .filter(|&i| {
+                    let (lo, hi) = chunk_range(len, p, i);
+                    hi > lo
+                })
+                .count();
+            prop_assert_eq!(nonempty, len.min(p));
+            for i in len..p {
+                let (lo, hi) = chunk_range(len, p, i);
+                prop_assert_eq!((lo, hi), (len, len), "tail chunk {} not empty", i);
+            }
+        }
+    }
+
     #[test]
     fn whole_message_bcast_delivers_to_all_ranks_and_roots() {
         for p in [1usize, 2, 5, 8] {
@@ -566,7 +671,7 @@ mod tests {
                         } else {
                             None
                         };
-                        bcast(comm, algo, root, v)
+                        bcast(comm, algo, root, v).unwrap()
                     });
                     assert_eq!(out, vec![42u64; p], "p={p} algo={algo:?} root={root}");
                 }
@@ -585,7 +690,7 @@ mod tests {
                         } else {
                             vec![0.0; 37]
                         };
-                        bcast_f64(comm, algo, root, &mut buf);
+                        bcast_f64(comm, algo, root, &mut buf).unwrap();
                         buf
                     });
                     let want: Vec<f64> = (0..37).map(|i| i as f64 * 1.5).collect();
@@ -606,7 +711,7 @@ mod tests {
             } else {
                 vec![0.0; 3]
             };
-            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf);
+            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf).unwrap();
             buf
         });
         for buf in out {
@@ -627,7 +732,8 @@ mod tests {
                 BcastAlgorithm::Pipelined { segments: 16 },
                 0,
                 &mut buf,
-            );
+            )
+            .unwrap();
             buf
         });
         for buf in out {
@@ -637,7 +743,7 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = Runtime::run(5, |comm| gather(comm, 2, comm.rank() as u32));
+        let out = Runtime::run(5, |comm| gather(comm, 2, comm.rank() as u32).unwrap());
         for (rank, res) in out.iter().enumerate() {
             if rank == 2 {
                 assert_eq!(res.as_deref(), Some(&[0u32, 1, 2, 3, 4][..]));
@@ -649,7 +755,9 @@ mod tests {
 
     #[test]
     fn allgather_gives_everyone_the_table() {
-        let out = Runtime::run(4, |comm| allgather(comm, (comm.rank() * 10) as u32));
+        let out = Runtime::run(4, |comm| {
+            allgather(comm, (comm.rank() * 10) as u32).unwrap()
+        });
         for table in out {
             assert_eq!(table, vec![0, 10, 20, 30]);
         }
@@ -657,7 +765,9 @@ mod tests {
 
     #[test]
     fn reduce_sums_at_root_only() {
-        let out = Runtime::run(6, |comm| reduce(comm, 1, comm.rank() as u64, |a, b| a + b));
+        let out = Runtime::run(6, |comm| {
+            reduce(comm, 1, comm.rank() as u64, |a, b| a + b).unwrap()
+        });
         for (rank, res) in out.iter().enumerate() {
             if rank == 1 {
                 assert_eq!(*res, Some(15));
@@ -672,14 +782,14 @@ mod tests {
         // String concatenation is associative but not commutative; the
         // binomial tree must still produce rank order relative to the root.
         let out = Runtime::run(4, |comm| {
-            reduce(comm, 0, comm.rank().to_string(), |a, b| format!("{a}{b}"))
+            reduce(comm, 0, comm.rank().to_string(), |a, b| format!("{a}{b}")).unwrap()
         });
         assert_eq!(out[0].as_deref(), Some("0123"));
     }
 
     #[test]
     fn allreduce_delivers_everywhere() {
-        let out = Runtime::run(7, |comm| allreduce(comm, 1u64, |a, b| a + b));
+        let out = Runtime::run(7, |comm| allreduce(comm, 1u64, |a, b| a + b).unwrap());
         assert_eq!(out, vec![7u64; 7]);
     }
 
@@ -687,8 +797,8 @@ mod tests {
     fn barrier_completes_for_various_sizes() {
         for p in [1usize, 2, 3, 5, 8, 13] {
             let out = Runtime::run(p, |comm| {
-                barrier(comm);
-                barrier(comm);
+                barrier(comm).unwrap();
+                barrier(comm).unwrap();
                 true
             });
             assert_eq!(out, vec![true; p]);
@@ -713,7 +823,7 @@ mod tests {
                 } else {
                     vec![0.0; elems]
                 };
-                bcast_f64(comm, algo, 3, &mut buf);
+                bcast_f64(comm, algo, 3, &mut buf).unwrap();
                 buf[elems - 1]
             });
             assert_eq!(out, vec![2.5; 8]);
@@ -724,7 +834,7 @@ mod tests {
     fn sendrecv_swaps_values() {
         let out = Runtime::run(2, |comm| {
             let peer = 1 - comm.rank();
-            sendrecv(comm, peer, comm.rank() as u32 * 100, peer, 7)
+            sendrecv(comm, peer, comm.rank() as u32 * 100, peer, 7).unwrap()
         });
         assert_eq!(out, vec![100, 0]);
     }
@@ -733,7 +843,7 @@ mod tests {
     fn scatter_deals_one_value_per_rank() {
         let out = Runtime::run(4, |comm| {
             let values = (comm.rank() == 1).then(|| vec![10u32, 11, 12, 13]);
-            scatter(comm, 1, values)
+            scatter(comm, 1, values).unwrap()
         });
         assert_eq!(out, vec![10, 11, 12, 13]);
     }
@@ -743,7 +853,7 @@ mod tests {
     fn scatter_rejects_wrong_count() {
         let _ = Runtime::run(2, |comm| {
             let values = (comm.rank() == 0).then(|| vec![1u8]);
-            scatter(comm, 0, values)
+            scatter(comm, 0, values).unwrap()
         });
     }
 
@@ -753,7 +863,7 @@ mod tests {
         let out = Runtime::run(p, |comm| {
             // Rank r sends (r, d) to rank d.
             let values: Vec<(usize, usize)> = (0..p).map(|d| (comm.rank(), d)).collect();
-            alltoall(comm, values)
+            alltoall(comm, values).unwrap()
         });
         for (rank, received) in out.iter().enumerate() {
             for (src, pair) in received.iter().enumerate() {
@@ -766,7 +876,7 @@ mod tests {
     fn reduce_sum_f64_sums_at_root() {
         let out = Runtime::run(5, |comm| {
             let mut buf = vec![comm.rank() as f64; 16];
-            reduce_sum_f64(comm, 2, &mut buf);
+            reduce_sum_f64(comm, 2, &mut buf).unwrap();
             if comm.rank() == 2 {
                 Some(buf)
             } else {
@@ -782,7 +892,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 7, 8] {
             let out = Runtime::run(p, |comm| {
                 let mut buf: Vec<f64> = (0..23).map(|i| (comm.rank() * 31 + i) as f64).collect();
-                allreduce_sum_f64(comm, &mut buf);
+                allreduce_sum_f64(comm, &mut buf).unwrap();
                 buf
             });
             let want: Vec<f64> = (0..23)
@@ -801,7 +911,7 @@ mod tests {
         // Fewer elements than ranks: some ring chunks are empty.
         let out = Runtime::run(8, |comm| {
             let mut buf = vec![1.0f64, 2.0];
-            allreduce_sum_f64(comm, &mut buf);
+            allreduce_sum_f64(comm, &mut buf).unwrap();
             buf
         });
         for buf in out {
@@ -818,7 +928,7 @@ mod tests {
             } else {
                 vec![0.0; 100]
             };
-            bcast_f64(comm, BcastAlgorithm::Binomial, 0, &mut buf);
+            bcast_f64(comm, BcastAlgorithm::Binomial, 0, &mut buf).unwrap();
             comm.stats().bytes_sent
         });
         assert_eq!(out[0], 800);
@@ -843,6 +953,12 @@ mod tests {
             assert_eq!(total.msgs_sent, total.msgs_recv, "{label}: message count");
             assert_eq!(total.bytes_sent, total.bytes_recv, "{label}: byte count");
             assert!(total.msgs_sent > 0, "{label}: nothing happened");
+            // A clean run must not touch the failure counters.
+            assert_eq!(
+                (total.timeouts, total.cancelled, total.faults_injected),
+                (0, 0, 0),
+                "{label}: failure counters on a clean run"
+            );
         };
         for algo in ALGOS {
             check(algo.name(), &move |comm: &Comm| {
@@ -851,32 +967,32 @@ mod tests {
                 } else {
                     vec![0.0; 96]
                 };
-                bcast_f64(comm, algo, 1, &mut buf);
+                bcast_f64(comm, algo, 1, &mut buf).unwrap();
             });
         }
-        check("barrier", &|comm: &Comm| barrier(comm));
+        check("barrier", &|comm: &Comm| barrier(comm).unwrap());
         check("gather", &|comm: &Comm| {
-            let _ = gather(comm, 0, vec![comm.rank() as f64; 4]);
+            let _ = gather(comm, 0, vec![comm.rank() as f64; 4]).unwrap();
         });
         check("allgather", &|comm: &Comm| {
-            let _ = allgather(comm, comm.rank() as u64);
+            let _ = allgather(comm, comm.rank() as u64).unwrap();
         });
         check("reduce_sum", &|comm: &Comm| {
             let mut buf = vec![1.0; 32];
-            reduce_sum_f64(comm, 2, &mut buf);
+            reduce_sum_f64(comm, 2, &mut buf).unwrap();
         });
         check("allreduce_sum", &|comm: &Comm| {
             let mut buf = vec![1.0; 32];
-            allreduce_sum_f64(comm, &mut buf);
+            allreduce_sum_f64(comm, &mut buf).unwrap();
         });
         check("alltoall", &|comm: &Comm| {
             let vals: Vec<Vec<f64>> = (0..comm.size()).map(|d| vec![d as f64; 3]).collect();
-            let _ = alltoall(comm, vals);
+            let _ = alltoall(comm, vals).unwrap();
         });
         check("scatter", &|comm: &Comm| {
             let vals =
                 (comm.rank() == 0).then(|| (0..comm.size()).map(|d| vec![d as f64; 5]).collect());
-            let _ = scatter::<Vec<f64>>(comm, 0, vals);
+            let _ = scatter::<Vec<f64>>(comm, 0, vals).unwrap();
         });
     }
 
@@ -899,7 +1015,7 @@ mod tests {
                 } else {
                     vec![0.0; ELEMS]
                 };
-                bcast_f64(comm, algo, ROOT, &mut buf);
+                bcast_f64(comm, algo, ROOT, &mut buf).unwrap();
                 let s = comm.stats();
                 (s.payload_clones, s.payload_clone_bytes, buf)
             });
@@ -935,7 +1051,7 @@ mod tests {
             } else {
                 vec![0.0; ELEMS]
             };
-            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf);
+            bcast_f64(comm, BcastAlgorithm::ScatterAllgather, 0, &mut buf).unwrap();
             let s = comm.stats();
             (s.payload_clone_bytes, buf)
         });
@@ -955,7 +1071,7 @@ mod tests {
     #[should_panic(expected = "needs a sliceable payload")]
     fn generic_bcast_rejects_segmenting_algorithms() {
         let _ = Runtime::run(2, |comm| {
-            bcast(comm, BcastAlgorithm::ScatterAllgather, 0, Some(1u8))
+            bcast(comm, BcastAlgorithm::ScatterAllgather, 0, Some(1u8)).unwrap()
         });
     }
 }

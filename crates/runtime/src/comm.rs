@@ -7,9 +7,9 @@
 //! reproduces `MPI_Comm_split(color, key)` semantics and is how the
 //! distributed algorithms build row, column and group communicators.
 
-use crate::message::{Context, Envelope, Mailbox, MailboxSender, Tag};
+use crate::message::{Context, Envelope, JobCtl, Mailbox, MailboxSender, RecvFault, Tag};
 use crate::stats::CommStats;
-use hsumma_trace::{EventKind, TraceSink};
+use hsumma_trace::{CommEdge, CommError, EventKind, FaultDecision, FaultState, TraceSink};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -22,6 +22,20 @@ pub const INTERNAL_TAG_BASE: Tag = 1 << 63;
 
 const TAG_SPLIT_GATHER: Tag = INTERNAL_TAG_BASE;
 const TAG_SPLIT_BCAST: Tag = INTERNAL_TAG_BASE + 1;
+/// Tag carried by the extra envelope of a `Duplicate` fault. Nothing ever
+/// posts a receive for it, so the duplicate is pure stray traffic absorbed
+/// by the epoch purge — mirroring the simulator, where the duplicate sits
+/// in a reserved mail slot until the run ends.
+const TAG_FAULT_DUP: Tag = INTERNAL_TAG_BASE + 63;
+
+/// Whether a message tag participates in fault injection and kill-rule
+/// send counting. The split and barrier bookkeeping protocols are
+/// excluded: the simulator implements split/barrier by rendezvous without
+/// sending messages, so counting them here would desynchronise the two
+/// substrates' fault-replay cursors.
+fn fault_eligible(tag: Tag) -> bool {
+    tag != TAG_SPLIT_GATHER && tag != TAG_SPLIT_BCAST && tag != crate::collectives::TAG_BARRIER
+}
 
 /// State shared by every communicator a single rank thread holds: the
 /// routes to all peers, this rank's mailbox, and its timing counters.
@@ -37,6 +51,12 @@ pub(crate) struct RankShared {
     /// Event recorder for this rank; a disabled sink (the default) is a
     /// `None` and every trace call below collapses to one branch.
     pub sink: TraceSink,
+    /// The job's wait bounds: optional deadline plus shared cancellation
+    /// flag, consulted by every blocking operation.
+    pub ctl: JobCtl,
+    /// Fault-injection replay cursor for this rank, when the job runs
+    /// under a `FaultPlan`. Consulted at the send path.
+    pub faults: Option<RefCell<FaultState>>,
 }
 
 /// Wire size of a payload, for the byte ledgers and the trace. The
@@ -76,27 +96,20 @@ pub struct Comm {
 }
 
 impl Comm {
-    /// Builds the world communicator for one rank thread. Called by the
-    /// runtime only.
-    pub(crate) fn world(
-        senders: Arc<Vec<MailboxSender>>,
-        mailbox: Mailbox,
-        world_rank: usize,
-        sink: TraceSink,
-    ) -> Self {
-        Self::world_epoch(senders, mailbox, world_rank, sink, 0)
-    }
-
-    /// Builds the world communicator for one job of a pooled rank thread.
-    /// The world context is derived from `epoch`, so even the ctx-0-level
-    /// traffic of two jobs can never cross-match; the mailbox must already
-    /// be advanced to the same epoch (see `Mailbox::begin_epoch`).
-    pub(crate) fn world_epoch(
+    /// Builds the world communicator for one rank thread (one job of a
+    /// pooled rank thread, or the one-shot runtime at epoch 0). The world
+    /// context is derived from `epoch`, so even the ctx-0-level traffic
+    /// of two jobs can never cross-match; the mailbox must already be
+    /// advanced to the same epoch (see `Mailbox::begin_epoch`). Carries
+    /// the job's wait bounds and an optional fault-injection cursor.
+    pub(crate) fn world_opts(
         senders: Arc<Vec<MailboxSender>>,
         mailbox: Mailbox,
         world_rank: usize,
         sink: TraceSink,
         epoch: u64,
+        ctl: JobCtl,
+        faults: Option<FaultState>,
     ) -> Self {
         let size = senders.len();
         debug_assert_eq!(mailbox.epoch(), epoch, "mailbox not at the job epoch");
@@ -108,6 +121,8 @@ impl Comm {
                 world_rank,
                 epoch,
                 sink,
+                ctl,
+                faults: faults.map(RefCell::new),
             }),
             ctx: if epoch == 0 {
                 0
@@ -165,26 +180,56 @@ impl Comm {
         self.ctx
     }
 
+    /// The `(rank, peer, ctx, tag, epoch)` edge a failing operation on
+    /// this communicator reports; `peer_world` is a *world* rank.
+    fn edge(&self, peer_world: usize, tag: Tag) -> CommEdge {
+        CommEdge {
+            rank: self.shared.world_rank,
+            peer: peer_world,
+            ctx: self.ctx,
+            tag,
+            epoch: self.shared.epoch,
+        }
+    }
+
     /// Sends `value` to local rank `dst` with `tag`. Buffered: returns
-    /// immediately (eager protocol), so exchanges can't deadlock.
+    /// immediately (eager protocol), so exchanges can't deadlock. Fails
+    /// only when the job is already cancelled, past its deadline, or this
+    /// rank is killed by the job's fault plan.
     ///
     /// # Panics
     /// Panics if `dst` is out of range or `tag` uses the reserved high bit.
-    pub fn send<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) {
+    pub fn send<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) -> Result<(), CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.send_internal(dst, tag, value);
+        self.send_internal(dst, tag, value)
     }
 
-    /// Receives a `T` from local rank `src` with `tag`, blocking.
-    pub fn recv<T: Any + Send>(&self, src: usize, tag: Tag) -> T {
+    /// Receives a `T` from local rank `src` with `tag`, blocking until
+    /// the message arrives, the job deadline passes, the job is
+    /// cancelled, or the peer dies.
+    pub fn recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
         self.recv_internal(src, tag)
     }
 
-    /// Non-blocking receive: `Some(value)` if a matching message has
-    /// already arrived, `None` otherwise (poll again later). Lets callers
-    /// overlap local work with pending transfers.
-    pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Option<T> {
+    /// Like [`Comm::recv`], but bounded by `deadline` as well as the
+    /// job-level deadline (whichever is sooner).
+    pub fn recv_deadline<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        deadline: Instant,
+    ) -> Result<T, CommError> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        let ctl = self.shared.ctl.tightened(deadline);
+        self.recv_with(src, tag, None, &ctl)
+    }
+
+    /// Non-blocking receive: `Ok(Some(value))` if a matching message has
+    /// already arrived, `Ok(None)` otherwise (poll again later). Lets
+    /// callers overlap local work with pending transfers. Surfaces a
+    /// peer's death as an error like the blocking form does.
+    pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Result<Option<T>, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
@@ -193,7 +238,8 @@ impl Comm {
             .shared
             .mailbox
             .borrow_mut()
-            .try_recv::<T>(self.ctx, src_world, tag);
+            .try_recv::<T>(self.ctx, src_world, tag)
+            .map_err(|f| self.map_recv_fault(f, src_world, tag, "try_recv"))?;
         {
             let mut stats = self.shared.stats.borrow_mut();
             if let Some(v) = &value {
@@ -216,37 +262,125 @@ impl Comm {
                 );
             }
         }
-        value
+        Ok(value)
     }
 
     /// Sends a payload whose wire size the caller knows (e.g. an opaque
     /// matrix type the byte probe can't see). Identical to [`Comm::send`]
     /// except the byte ledgers and the trace account `bytes`.
-    pub fn send_sized<T: Any + Send>(&self, dst: usize, tag: Tag, value: T, bytes: u64) {
+    pub fn send_sized<T: Any + Send>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+        bytes: u64,
+    ) -> Result<(), CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.send_impl(dst, tag, value, Some(bytes));
+        self.send_impl(dst, tag, value, Some(bytes))
     }
 
     /// Receiving half of [`Comm::send_sized`]: accounts `bytes` received.
-    pub fn recv_sized<T: Any + Send>(&self, src: usize, tag: Tag, bytes: u64) -> T {
+    pub fn recv_sized<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        bytes: u64,
+    ) -> Result<T, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
         self.recv_impl(src, tag, Some(bytes))
     }
 
-    pub(crate) fn send_internal<T: Any + Send>(&self, dst: usize, tag: Tag, value: T) {
-        self.send_impl(dst, tag, value, None);
+    pub(crate) fn send_internal<T: Any + Send>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), CommError> {
+        self.send_impl(dst, tag, value, None)
     }
 
-    fn send_impl<T: Any + Send>(&self, dst: usize, tag: Tag, value: T, bytes: Option<u64>) {
+    fn send_impl<T: Any + Send>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+        bytes: Option<u64>,
+    ) -> Result<(), CommError> {
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
-        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
         let dst_world = self.members[dst];
+        // Bounded-job checks: a cancelled or expired job must stop
+        // feeding its peers. (`t0` doubles as "now" — the clock was read
+        // for the stats anyway, so the clean path pays no extra syscall.)
+        if self.shared.ctl.is_cancelled() {
+            self.shared.stats.borrow_mut().cancelled += 1;
+            return Err(CommError::Cancelled {
+                edge: self.edge(dst_world, tag),
+                op: "send",
+            });
+        }
+        if self.shared.ctl.deadline().is_some_and(|d| t0 >= d) {
+            self.shared.stats.borrow_mut().timeouts += 1;
+            return Err(CommError::Timeout {
+                edge: self.edge(dst_world, tag),
+                op: "send",
+            });
+        }
+        // Fault injection: consult the plan's replay cursor for every
+        // eligible send (split/barrier bookkeeping excluded — see
+        // `fault_eligible`).
+        let mut not_before = None;
+        let mut duplicate = false;
+        if fault_eligible(tag) {
+            if let Some(f) = &self.shared.faults {
+                let mut f = f.borrow_mut();
+                let before = f.injected();
+                let decision = f.on_send(dst_world, tag);
+                let injected_now = f.injected() - before;
+                drop(f);
+                self.shared.stats.borrow_mut().faults_injected += injected_now;
+                match decision {
+                    FaultDecision::Deliver => {}
+                    FaultDecision::Drop => {
+                        // The message vanishes at the send path: no
+                        // delivery, no msgs_sent — the world's send/recv
+                        // ledgers stay balanced.
+                        self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+                        return Ok(());
+                    }
+                    FaultDecision::DeliverDelayed(s) => {
+                        not_before = Some(t0 + std::time::Duration::from_secs_f64(s));
+                    }
+                    FaultDecision::DeliverTwice => duplicate = true,
+                    FaultDecision::Kill => {
+                        return Err(CommError::Shutdown {
+                            rank: self.shared.world_rank,
+                            detail: "killed by fault plan at send".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
+        if duplicate {
+            // The duplicate travels on a reserved tag nothing matches, so
+            // it is stray wire traffic (absorbed by the epoch purge), not
+            // a second deliverable copy — mirroring the simulator.
+            self.shared.senders[dst_world].deliver(Envelope {
+                ctx: self.ctx,
+                src: self.shared.world_rank,
+                tag: TAG_FAULT_DUP,
+                epoch: self.shared.epoch,
+                not_before: None,
+                payload: Box::new(()),
+            });
+        }
         self.shared.senders[dst_world].deliver(Envelope {
             ctx: self.ctx,
             src: self.shared.world_rank,
             tag,
             epoch: self.shared.epoch,
+            not_before,
             payload: Box::new(value),
         });
         {
@@ -267,13 +401,70 @@ impl Comm {
                 self.shared.sink.now(),
             );
         }
+        Ok(())
     }
 
-    pub(crate) fn recv_internal<T: Any + Send>(&self, src: usize, tag: Tag) -> T {
+    pub(crate) fn recv_internal<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<T, CommError> {
         self.recv_impl(src, tag, None)
     }
 
-    fn recv_impl<T: Any + Send>(&self, src: usize, tag: Tag, bytes: Option<u64>) -> T {
+    fn recv_impl<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        bytes: Option<u64>,
+    ) -> Result<T, CommError> {
+        self.recv_with(src, tag, bytes, &self.shared.ctl)
+    }
+
+    /// Translates a mailbox-level [`RecvFault`] into a [`CommError`]
+    /// naming the stalled edge, bumping the matching counter.
+    fn map_recv_fault(
+        &self,
+        fault: RecvFault,
+        src_world: usize,
+        tag: Tag,
+        op: &'static str,
+    ) -> CommError {
+        match fault {
+            RecvFault::Timeout => {
+                self.shared.stats.borrow_mut().timeouts += 1;
+                CommError::Timeout {
+                    edge: self.edge(src_world, tag),
+                    op,
+                }
+            }
+            RecvFault::Cancelled => {
+                self.shared.stats.borrow_mut().cancelled += 1;
+                CommError::Cancelled {
+                    edge: self.edge(src_world, tag),
+                    op,
+                }
+            }
+            RecvFault::PeerDead { src: dead } => CommError::PeerDead {
+                edge: self.edge(dead, tag),
+                op,
+            },
+            // Every peer thread is gone: the channel closing is a mass
+            // peer death, reported against the rank we were waiting on.
+            RecvFault::Closed => CommError::PeerDead {
+                edge: self.edge(src_world, tag),
+                op: "recv (all peers gone)",
+            },
+        }
+    }
+
+    fn recv_with<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        bytes: Option<u64>,
+        ctl: &JobCtl,
+    ) -> Result<T, CommError> {
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
         let src_world = self.members[src];
@@ -281,7 +472,14 @@ impl Comm {
             .shared
             .mailbox
             .borrow_mut()
-            .recv::<T>(self.ctx, src_world, tag);
+            .recv::<T>(self.ctx, src_world, tag, ctl);
+        let value = match value {
+            Ok(v) => v,
+            Err(fault) => {
+                self.shared.stats.borrow_mut().comm_seconds += t0.elapsed().as_secs_f64();
+                return Err(self.map_recv_fault(fault, src_world, tag, "recv"));
+            }
+        };
         let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
         {
             let mut stats = self.shared.stats.borrow_mut();
@@ -301,7 +499,7 @@ impl Comm {
                 self.shared.sink.now(),
             );
         }
-        value
+        Ok(value)
     }
 
     /// Records one payload-buffer materialization of `bytes` bytes.
@@ -408,7 +606,7 @@ impl Comm {
     /// `MPI_Comm_split` semantics.
     ///
     /// Collective: every member must call it in the same program order.
-    pub fn split(&self, color: u64, key: i64) -> Comm {
+    pub fn split(&self, color: u64, key: i64) -> Result<Comm, CommError> {
         let epoch = self.bump_epoch();
         let p = self.size();
 
@@ -418,14 +616,14 @@ impl Comm {
             let mut table = vec![(0u64, 0i64); p];
             table[0] = (color, key);
             for (src, slot) in table.iter_mut().enumerate().skip(1) {
-                *slot = self.recv_internal::<(u64, i64)>(src, TAG_SPLIT_GATHER);
+                *slot = self.recv_internal::<(u64, i64)>(src, TAG_SPLIT_GATHER)?;
             }
             table
         } else {
-            self.send_internal(0, TAG_SPLIT_GATHER, (color, key));
+            self.send_internal(0, TAG_SPLIT_GATHER, (color, key))?;
             Vec::new()
         };
-        let table = self.binomial_bcast_internal(0, TAG_SPLIT_BCAST, table);
+        let table = self.binomial_bcast_internal(0, TAG_SPLIT_BCAST, table)?;
 
         // My group: parent ranks with my color, sorted by (key, parent rank).
         let mut group: Vec<usize> = (0..p).filter(|&r| table[r].0 == color).collect();
@@ -436,13 +634,13 @@ impl Comm {
             .expect("caller must be in its own color group");
         let members: Vec<usize> = group.iter().map(|&r| self.members[r]).collect();
 
-        Comm {
+        Ok(Comm {
             shared: Rc::clone(&self.shared),
             ctx: derive_context(self.ctx, epoch, color),
             members: Rc::new(members),
             my_rank: my_pos,
             derive_epoch: Rc::new(Cell::new(0)),
-        }
+        })
     }
 
     fn bump_epoch(&self) -> u64 {
@@ -464,10 +662,10 @@ impl Comm {
         root: usize,
         tag: Tag,
         mut value: T,
-    ) -> T {
+    ) -> Result<T, CommError> {
         let p = self.size();
         if p == 1 {
-            return value;
+            return Ok(value);
         }
         // Re-index so the root is virtual rank 0.
         let vrank = (self.my_rank + p - root) % p;
@@ -475,7 +673,7 @@ impl Comm {
             // Receive from our virtual rank with the highest bit cleared.
             let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
             let src = ((vrank - high) + root) % p;
-            value = self.recv_internal(src, tag);
+            value = self.recv_internal(src, tag)?;
         }
         // Relay in every later round: all masks strictly above our own
         // virtual rank (the root participates from mask 1).
@@ -483,11 +681,29 @@ impl Comm {
         while mask < p {
             if mask > vrank && vrank + mask < p {
                 let dst = (vrank + mask + root) % p;
-                self.send_internal(dst, tag, value.clone());
+                self.send_internal(dst, tag, value.clone())?;
             }
             mask <<= 1;
         }
-        value
+        Ok(value)
+    }
+
+    /// A handle that raises this job's cancellation flag from any thread.
+    /// Note that ranks parked in a blocking wait only notice the flag when
+    /// next woken; [`Comm::cancel_job`] (or the pool watchdog) also pokes
+    /// every mailbox so no rank sleeps through its own cancellation.
+    pub fn cancel_token(&self) -> crate::message::CancelToken {
+        self.shared.ctl.cancel_token()
+    }
+
+    /// Cancels the whole job: raises the shared cancellation flag and
+    /// wakes every rank of the world so blocked waits return
+    /// [`CommError::Cancelled`] promptly instead of sleeping on.
+    pub fn cancel_job(&self) {
+        self.shared.ctl.cancel_token().cancel();
+        for tx in self.shared.senders.iter() {
+            tx.deliver_cancel(self.shared.epoch);
+        }
     }
 }
 

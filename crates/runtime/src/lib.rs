@@ -29,7 +29,14 @@
 //!   layer (`hsumma-serve`);
 //! * failures surface as [`RuntimeError`] through [`Runtime::try_run`]
 //!   and the pool API, so a server can fail one job without aborting the
-//!   process.
+//!   process;
+//! * communication is **fallible end-to-end**: every send, receive and
+//!   collective returns `Result<_, CommError>`. A job can carry a
+//!   wall-clock deadline and a cancellation flag ([`runtime::JobOptions`],
+//!   [`message::JobCtl`]) observed by every blocking wait — no busy
+//!   spinning — and a deterministic fault plan
+//!   ([`hsumma_trace::FaultPlan`]) can drop, delay, duplicate or kill at
+//!   the send path, for testing how the schedules degrade.
 
 pub mod collectives;
 pub mod comm;
@@ -42,6 +49,13 @@ pub mod stats;
 pub use collectives::BcastAlgorithm;
 pub use comm::Comm;
 pub use error::RuntimeError;
+pub use message::{CancelToken, JobCtl};
 pub use pool::{PoolRun, RankPool};
-pub use runtime::Runtime;
+pub use runtime::{JobOptions, Runtime};
 pub use stats::CommStats;
+
+// The fault vocabulary lives in `hsumma-trace` (shared with the
+// simulator); re-export it so runtime users need one import path.
+pub use hsumma_trace::{
+    CommEdge, CommError, CommErrorKind, FaultAction, FaultPlan, FaultRule, KillRule, TagClass,
+};

@@ -31,15 +31,23 @@
 
 use crate::comm::Comm;
 use crate::error::RuntimeError;
-use crate::message::{Mailbox, MailboxSender};
-use crate::runtime::{panic_message, poison_peers, primary_panic};
+use crate::message::{JobCtl, Mailbox, MailboxSender};
+use crate::runtime::{panic_message, poison_peers, primary_panic, JobOptions};
 use crate::stats::CommStats;
-use hsumma_trace::{TraceSink, Tracer};
+use hsumma_trace::{FaultPlan, FaultState, TraceSink, Tracer};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Extra wall-clock slack the pool watchdog grants past a job's deadline
+/// before it steps in. Ranks parked in a blocking wait enforce the
+/// deadline themselves; the watchdog only has to catch ranks that are
+/// stuck *outside* the communication layer (long local compute), and the
+/// slack keeps it from racing the ranks' own timeout reporting.
+const WATCHDOG_GRACE: Duration = Duration::from_millis(50);
 
 /// A boxed SPMD closure as shipped to the workers: rank-typed results are
 /// erased here and recovered by downcast in [`RankPool::run_traced`].
@@ -53,6 +61,8 @@ struct Job {
     epoch: u64,
     f: JobFn,
     sink: TraceSink,
+    ctl: JobCtl,
+    faults: Option<Arc<FaultPlan>>,
     result_tx: mpsc::Sender<(usize, RankResult, CommStats)>,
 }
 
@@ -84,6 +94,9 @@ pub struct PoolRun<R> {
 pub struct RankPool {
     job_txs: Vec<mpsc::Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    /// Mailbox senders of every rank, kept so the watchdog can wake
+    /// blocked ranks when it cancels an overrunning job.
+    senders: Arc<Vec<MailboxSender>>,
     /// Per-rank stats merged over every completed job (pool lifetime).
     lifetime: Arc<Vec<Mutex<CommStats>>>,
     /// Epoch of the next job. Starts at 1: epoch 0 is the one-shot
@@ -143,6 +156,7 @@ impl RankPool {
         Ok(RankPool {
             job_txs,
             handles,
+            senders,
             lifetime,
             next_epoch: 1,
             jobs_run: 0,
@@ -183,6 +197,31 @@ impl RankPool {
         R: Send + 'static,
         F: Fn(&mut Comm) -> R + Send + Sync + 'static,
     {
+        self.run_opts(tracer, &JobOptions::default(), f)
+    }
+
+    /// Like [`RankPool::run_traced`] with a per-job failure policy
+    /// ([`JobOptions`]): a wall-clock deadline and/or a fault plan.
+    ///
+    /// With a deadline set, a watchdog on the calling thread backs up the
+    /// ranks' own deadline enforcement: if any rank is still out a small
+    /// grace period (`WATCHDOG_GRACE`, 50 ms) past the deadline (stuck in
+    /// local compute, where
+    /// the communication layer cannot observe the deadline), the watchdog
+    /// raises the job's cancellation flag and wakes every rank, then goes
+    /// back to collecting. The job fails — each affected rank returns
+    /// `CommError::Timeout`/`Cancelled` — but the pool keeps its workers:
+    /// the next job starts on a fresh epoch with purged mailboxes.
+    pub fn run_opts<R, F>(
+        &mut self,
+        tracer: &Tracer,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
         assert!(
             !tracer.enabled() || tracer.ranks() >= self.p,
             "tracer sized for {} ranks, pool has {}",
@@ -193,6 +232,11 @@ impl RankPool {
         self.next_epoch += 1;
         self.jobs_run += 1;
 
+        // One absolute deadline and one shared cancellation flag for the
+        // whole job, fixed at dispatch.
+        let ctl = JobCtl::with_timeout(opts.deadline);
+        let token = ctl.cancel_token();
+
         let f: JobFn =
             Arc::new(move |comm: &mut Comm| -> Box<dyn Any + Send> { Box::new(f(comm)) });
         let (result_tx, result_rx) = mpsc::channel();
@@ -201,6 +245,8 @@ impl RankPool {
                 epoch,
                 f: Arc::clone(&f),
                 sink: tracer.sink(rank),
+                ctl: ctl.clone(),
+                faults: opts.faults.clone(),
                 result_tx: result_tx.clone(),
             };
             if tx.send(job).is_err() {
@@ -210,10 +256,36 @@ impl RankPool {
         drop(result_tx);
 
         let mut results: Vec<Option<(RankResult, CommStats)>> = (0..self.p).map(|_| None).collect();
-        for _ in 0..self.p {
-            match result_rx.recv() {
-                Ok((rank, res, stats)) => results[rank] = Some((res, stats)),
-                Err(_) => {
+        let mut watchdog_armed = ctl.deadline();
+        let mut received = 0;
+        while received < self.p {
+            let msg = if let Some(d) = watchdog_armed {
+                let wait = (d + WATCHDOG_GRACE).saturating_duration_since(Instant::now());
+                match result_rx.recv_timeout(wait) {
+                    Ok(msg) => Ok(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Deadline (plus grace) passed with ranks still
+                        // out: cancel the job and wake every rank, then
+                        // keep collecting — the ranks unwind with
+                        // `Timeout`/`Cancelled` and the workers survive.
+                        token.cancel();
+                        for tx in self.senders.iter() {
+                            tx.deliver_cancel(epoch);
+                        }
+                        watchdog_armed = None;
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
+                }
+            } else {
+                result_rx.recv().map_err(|_| ())
+            };
+            match msg {
+                Ok((rank, res, stats)) => {
+                    results[rank] = Some((res, stats));
+                    received += 1;
+                }
+                Err(()) => {
                     // A worker died before reporting; identify which.
                     let rank = results.iter().position(Option::is_none).unwrap_or(0);
                     return Err(RuntimeError::WorkerLost { rank });
@@ -283,6 +355,8 @@ fn worker_loop(
             epoch,
             f,
             sink,
+            ctl,
+            faults,
             result_tx,
         } = job;
         let mut mailbox = parked.take().expect("mailbox parked between jobs");
@@ -290,7 +364,16 @@ fn worker_loop(
         // (stale payloads and stale poison); messages already sent by
         // faster peers of *this* job are kept.
         mailbox.begin_epoch(epoch);
-        let mut comm = Comm::world_epoch(Arc::clone(&senders), mailbox, rank, sink, epoch);
+        let fault_state = faults.map(|plan| FaultState::new(plan, rank));
+        let mut comm = Comm::world_opts(
+            Arc::clone(&senders),
+            mailbox,
+            rank,
+            sink,
+            epoch,
+            ctl,
+            fault_state,
+        );
         let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
         let result: RankResult = match outcome {
             Ok(v) => Ok(v),
@@ -327,8 +410,8 @@ mod tests {
                 .run(move |comm| {
                     let next = (comm.rank() + 1) % comm.size();
                     let prev = (comm.rank() + comm.size() - 1) % comm.size();
-                    comm.send(next, 1, comm.rank() as u64 + job);
-                    comm.recv::<u64>(prev, 1)
+                    comm.send(next, 1, comm.rank() as u64 + job).unwrap();
+                    comm.recv::<u64>(prev, 1).unwrap()
                 })
                 .unwrap();
             for (rank, got) in run.results.iter().enumerate() {
@@ -343,8 +426,8 @@ mod tests {
         let mut pool = RankPool::new(2).unwrap();
         let job = |comm: &mut Comm| {
             let peer = 1 - comm.rank();
-            comm.send(peer, 1, vec![0.0f64; 100]);
-            let _: Vec<f64> = comm.recv(peer, 1);
+            comm.send(peer, 1, vec![0.0f64; 100]).unwrap();
+            let _: Vec<f64> = comm.recv(peer, 1).unwrap();
         };
         let first = pool.run(job).unwrap();
         let second = pool.run(job).unwrap();
@@ -365,8 +448,8 @@ mod tests {
             let run = pool
                 .run(|comm| {
                     let color = (comm.rank() % 2) as u64;
-                    let sub = comm.split(color, comm.rank() as i64);
-                    allreduce(&sub, comm.rank(), |a, b| a + b)
+                    let sub = comm.split(color, comm.rank() as i64).unwrap();
+                    allreduce(&sub, comm.rank(), |a, b| a + b).unwrap()
                 })
                 .unwrap();
             // Evens sum 0+2+4+6 = 12, odds 1+3+5+7 = 16.
@@ -385,7 +468,7 @@ mod tests {
                 if comm.rank() == 2 {
                     panic!("bad job");
                 }
-                comm.recv::<u8>(2, 1)
+                comm.recv::<u8>(2, 1).unwrap()
             })
             .expect_err("job must fail");
         match err {
@@ -406,7 +489,7 @@ mod tests {
         // Job 1 sends a message nobody receives.
         pool.run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, 7, 123u32);
+                comm.send(1, 7, 123u32).unwrap();
             }
         })
         .unwrap();
@@ -415,10 +498,10 @@ mod tests {
         let run = pool
             .run(|comm| {
                 if comm.rank() == 0 {
-                    comm.send(1, 7, 456u32);
+                    comm.send(1, 7, 456u32).unwrap();
                     0
                 } else {
-                    comm.recv::<u32>(0, 7)
+                    comm.recv::<u32>(0, 7).unwrap()
                 }
             })
             .unwrap();
@@ -430,8 +513,8 @@ mod tests {
         let mut pool = RankPool::new(2).unwrap();
         let job = |comm: &mut Comm| {
             let peer = 1 - comm.rank();
-            comm.send(peer, 1, vec![1.0f64; 4]);
-            let _: Vec<f64> = comm.recv(peer, 1);
+            comm.send(peer, 1, vec![1.0f64; 4]).unwrap();
+            let _: Vec<f64> = comm.recv(peer, 1).unwrap();
         };
         let t1 = Tracer::new(2);
         pool.run_traced(&t1, job).unwrap();
@@ -447,5 +530,137 @@ mod tests {
         let mut pool = RankPool::new(1).unwrap();
         let run = pool.run(|comm| comm.size()).unwrap();
         assert_eq!(run.results, vec![1]);
+    }
+
+    #[test]
+    fn deadline_job_times_out_and_pool_keeps_serving() {
+        use hsumma_trace::CommError;
+        let mut pool = RankPool::new(4).unwrap();
+        // Rank 0 never sends what the others wait for.
+        let opts = JobOptions::default().with_deadline(Duration::from_millis(100));
+        let run = pool
+            .run_opts(&Tracer::disabled(), &opts, |comm| {
+                if comm.rank() == 0 {
+                    Ok(0u8)
+                } else {
+                    comm.recv::<u8>(0, 1)
+                }
+            })
+            .unwrap();
+        assert!(run.results[0].is_ok());
+        for rank in 1..4 {
+            match &run.results[rank] {
+                Err(CommError::Timeout { edge, .. }) => {
+                    assert_eq!((edge.rank, edge.peer), (rank, 0));
+                }
+                other => panic!("rank {rank}: expected timeout, got {other:?}"),
+            }
+            assert_eq!(run.stats[rank].timeouts, 1, "rank {rank}");
+        }
+        // The pool is still healthy: a clean job on a fresh epoch works.
+        let next = pool.run(|comm| comm.rank() + 100).unwrap();
+        assert_eq!(next.results, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn watchdog_cancels_ranks_stuck_outside_the_comm_layer() {
+        use hsumma_trace::CommError;
+        let mut pool = RankPool::new(2).unwrap();
+        // Rank 0 overruns the deadline in *local compute*, where the
+        // communication layer cannot observe the deadline, then tries to
+        // communicate; rank 1 blocks on it. The watchdog must cancel the
+        // job rather than let the dispatch hang.
+        let opts = JobOptions::default().with_deadline(Duration::from_millis(80));
+        let run = pool
+            .run_opts(&Tracer::disabled(), &opts, |comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(300));
+                    comm.send(1, 1, 1u8)?;
+                    comm.recv::<u8>(1, 2)
+                } else {
+                    comm.recv::<u8>(0, 1)?;
+                    comm.send(0, 2, 2u8)?;
+                    Ok(0)
+                }
+            })
+            .unwrap();
+        // Rank 1 timed out waiting (its own deadline enforcement); rank 0
+        // hit the deadline or the watchdog's cancellation when it finally
+        // reached the comm layer.
+        assert!(
+            matches!(
+                run.results[0],
+                Err(CommError::Timeout { .. }) | Err(CommError::Cancelled { .. })
+            ),
+            "{:?}",
+            run.results[0]
+        );
+        assert!(matches!(run.results[1], Err(CommError::Timeout { .. })));
+        // Pool survives the overrun.
+        let next = pool.run(|comm| comm.rank()).unwrap();
+        assert_eq!(next.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn killed_rank_fails_its_job_but_not_the_pool() {
+        use hsumma_trace::{CommError, FaultPlan};
+        let mut pool = RankPool::new(3).unwrap();
+        let plan = Arc::new(FaultPlan::new().kill_rank(1, 0));
+        let opts = JobOptions::default()
+            .with_deadline(Duration::from_millis(100))
+            .with_faults(plan);
+        let run = pool
+            .run_opts(&Tracer::disabled(), &opts, |comm| {
+                // A ring everyone participates in; rank 1 dies at its
+                // first send, so its neighbour times out.
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, 1, comm.rank())?;
+                comm.recv::<usize>(prev, 1)
+            })
+            .unwrap();
+        assert!(
+            matches!(run.results[1], Err(CommError::Shutdown { rank: 1, .. })),
+            "{:?}",
+            run.results[1]
+        );
+        // Rank 2 never gets rank 1's message.
+        assert!(matches!(run.results[2], Err(CommError::Timeout { .. })));
+        assert_eq!(run.stats[1].faults_injected, 1);
+        // Workers are recycled, not lost.
+        let next = pool.run(|comm| comm.rank() * 2).unwrap();
+        assert_eq!(next.results, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn per_rank_failure_counters_balance_under_fault_injection() {
+        use hsumma_trace::{FaultPlan, TagClass};
+        let mut pool = RankPool::new(2).unwrap();
+        let plan = Arc::new(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::App, 0));
+        let opts = JobOptions::default()
+            .with_deadline(Duration::from_millis(100))
+            .with_faults(plan);
+        let run = pool
+            .run_opts(&Tracer::disabled(), &opts, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 5, 1u8)?;
+                    Ok(0)
+                } else {
+                    comm.recv::<u8>(0, 5)
+                }
+            })
+            .unwrap();
+        // Exactly one fault was injected, at the sender; exactly one
+        // timeout was suffered, at the receiver. The dropped message is
+        // not counted as sent, so the world ledger still balances:
+        // nothing sent, nothing received.
+        let total = run
+            .stats
+            .iter()
+            .fold(CommStats::default(), |acc, s| acc.merge(s));
+        assert_eq!(run.stats[0].faults_injected, 1);
+        assert_eq!(run.stats[1].timeouts, 1);
+        assert_eq!(total.msgs_sent, total.msgs_recv);
+        assert_eq!(total.bytes_sent, total.bytes_recv);
     }
 }

@@ -35,6 +35,17 @@ pub struct CommStats {
     pub payload_clones: u64,
     /// Bytes those materializations copied (see [`Self::payload_clones`]).
     pub payload_clone_bytes: u64,
+    /// Blocking waits on this rank that gave up because the job deadline
+    /// passed.
+    pub timeouts: u64,
+    /// Blocking waits on this rank that gave up because the job was
+    /// cancelled (watchdog or caller-held cancel token).
+    pub cancelled: u64,
+    /// Faults a `FaultPlan` injected at this rank's send path (drops,
+    /// delays, duplicates and kills). Dropped and duplicated messages do
+    /// NOT perturb `msgs_sent`/`bytes_sent`, so the world send/recv
+    /// ledgers still balance under fault injection.
+    pub faults_injected: u64,
 }
 
 impl CommStats {
@@ -54,6 +65,9 @@ impl CommStats {
             bytes_recv: self.bytes_recv + other.bytes_recv,
             payload_clones: self.payload_clones + other.payload_clones,
             payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
+            timeouts: self.timeouts + other.timeouts,
+            cancelled: self.cancelled + other.cancelled,
+            faults_injected: self.faults_injected + other.faults_injected,
         }
     }
 
@@ -80,6 +94,11 @@ impl CommStats {
             payload_clone_bytes: self
                 .payload_clone_bytes
                 .saturating_sub(baseline.payload_clone_bytes),
+            timeouts: self.timeouts.saturating_sub(baseline.timeouts),
+            cancelled: self.cancelled.saturating_sub(baseline.cancelled),
+            faults_injected: self
+                .faults_injected
+                .saturating_sub(baseline.faults_injected),
         }
     }
 
@@ -95,6 +114,9 @@ impl CommStats {
             bytes_recv: self.bytes_recv + other.bytes_recv,
             payload_clones: self.payload_clones + other.payload_clones,
             payload_clone_bytes: self.payload_clone_bytes + other.payload_clone_bytes,
+            timeouts: self.timeouts + other.timeouts,
+            cancelled: self.cancelled + other.cancelled,
+            faults_injected: self.faults_injected + other.faults_injected,
         }
     }
 }
@@ -113,6 +135,9 @@ mod tests {
             bytes_recv: b,
             payload_clones: m,
             payload_clone_bytes: b,
+            timeouts: m,
+            cancelled: m,
+            faults_injected: m,
         }
     }
 

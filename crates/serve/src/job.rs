@@ -13,7 +13,7 @@
 use hsumma_core::PlannedAlgo;
 use hsumma_matrix::Matrix;
 use hsumma_runtime::CommStats;
-use hsumma_trace::Trace;
+use hsumma_trace::{FaultPlan, Trace};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -24,7 +24,7 @@ use std::time::Duration;
 /// service executes **square** problems (`m = k = n`) — the rectangular
 /// generalization (`hsumma-core::rect`) is not yet plumbed through the
 /// planner — and rejects others at submission with a reason.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct JobSpec {
     /// Columns of `C` (and of `B`).
     pub n: usize,
@@ -34,6 +34,18 @@ pub struct JobSpec {
     pub k: usize,
     /// How much freedom the planner has.
     pub hint: PlanHint,
+    /// Wall-clock budget from dispatch to gathered product. When the job
+    /// overruns it, every rank unwinds with `CommError::Timeout`/
+    /// `Cancelled`, the job fails with [`JobError::Timeout`], and the
+    /// pool goes on to the next job. `None` = unbounded (pre-existing
+    /// behaviour; a stalled job then blocks the FIFO, exactly as a
+    /// deadlocked `mpirun` would).
+    pub deadline: Option<Duration>,
+    /// Deterministic fault schedule injected at this job's send paths —
+    /// the service-level entry point to the fault machinery (see
+    /// `docs/faults.md`). Faulty jobs should set a `deadline`: a dropped
+    /// message otherwise stalls the job forever.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl JobSpec {
@@ -44,12 +56,26 @@ impl JobSpec {
             m: n,
             k: n,
             hint: PlanHint::Auto,
+            deadline: None,
+            faults: None,
         }
     }
 
     /// Same spec with a different planning hint.
     pub fn with_hint(mut self, hint: PlanHint) -> Self {
         self.hint = hint;
+        self
+    }
+
+    /// Same spec with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Same spec with an injected fault schedule.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -114,25 +140,68 @@ impl fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Why an admitted job did not produce a product.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub enum JobError {
     /// The job failed while executing (e.g. a rank panicked on a plan
     /// precondition). The service survives; the message names the cause.
     Execution(String),
+    /// The job overran its deadline. `detail` names the primary stalled
+    /// communication edge (`rank ← peer, ctx/tag/epoch`); the report
+    /// carries the per-rank stats — including the `timeouts` and
+    /// `faults_injected` counters — of the failed run.
+    Timeout {
+        /// The primary stalled edge, human-readable.
+        detail: String,
+        /// What the service observed while the job ran and failed.
+        report: Box<JobReport>,
+    },
+    /// The job was cancelled (watchdog or explicit) before completing.
+    Cancelled {
+        /// The primary cancelled operation, human-readable.
+        detail: String,
+        /// What the service observed while the job ran and failed.
+        report: Box<JobReport>,
+    },
     /// The service shut down before the job ran.
     Shutdown,
+}
+
+impl JobError {
+    /// The failed run's report, when the job got far enough to have one
+    /// (deadline and cancellation failures do; panics and shutdown don't).
+    pub fn report(&self) -> Option<&JobReport> {
+        match self {
+            JobError::Timeout { report, .. } | JobError::Cancelled { report, .. } => Some(report),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Execution(msg) => write!(f, "job failed: {msg}"),
+            JobError::Timeout { detail, .. } => write!(f, "job timed out: {detail}"),
+            JobError::Cancelled { detail, .. } => write!(f, "job cancelled: {detail}"),
             JobError::Shutdown => write!(f, "service shut down before the job ran"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// How one job's execution resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every rank finished and the product was gathered.
+    Completed,
+    /// At least one rank hit the job deadline; the primary error was a
+    /// timeout.
+    TimedOut,
+    /// The job was cancelled (primary error `CommError::Cancelled`)
+    /// before the deadline diagnosis could be made.
+    Cancelled,
+}
 
 /// What the service did for one job.
 #[derive(Clone, Debug)]
@@ -153,6 +222,16 @@ pub struct JobReport {
     pub stats: Vec<CommStats>,
     /// This job's spans, when the service traces jobs.
     pub trace: Option<Trace>,
+    /// How the run resolved. `Completed` reports ride in a
+    /// [`JobOutput`]; `TimedOut`/`Cancelled` reports ride in the
+    /// corresponding [`JobError`] variant.
+    pub outcome: JobOutcome,
+    /// Blocking waits that hit the job deadline, summed over ranks.
+    pub timeouts: u64,
+    /// Operations aborted by cancellation, summed over ranks.
+    pub cancelled: u64,
+    /// Faults the job's [`FaultPlan`] injected, summed over ranks.
+    pub faults_injected: u64,
 }
 
 impl JobReport {
@@ -276,7 +355,7 @@ mod tests {
         assert_eq!(h.state(), JobState::Running);
         cell.finish(Err(JobError::Shutdown));
         assert_eq!(h.state(), JobState::Failed);
-        assert_eq!(h.wait().unwrap_err(), JobError::Shutdown);
+        assert!(matches!(h.wait().unwrap_err(), JobError::Shutdown));
     }
 
     #[test]
@@ -290,8 +369,8 @@ mod tests {
         let waiter = std::thread::spawn(move || h2.wait());
         cell.finish(Err(JobError::Execution("boom".into())));
         let got = waiter.join().expect("waiter thread");
-        assert_eq!(got.unwrap_err(), JobError::Execution("boom".into()));
-        assert_eq!(h.wait().unwrap_err(), JobError::Execution("boom".into()));
+        assert!(matches!(got.unwrap_err(), JobError::Execution(msg) if msg == "boom"));
+        assert!(matches!(h.wait().unwrap_err(), JobError::Execution(msg) if msg == "boom"));
     }
 
     #[test]

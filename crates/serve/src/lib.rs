@@ -43,7 +43,7 @@ pub mod planner;
 pub mod server;
 
 pub use job::{
-    JobError, JobHandle, JobOutput, JobReport, JobSpec, JobState, PlanHint, SubmitError,
+    JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, JobState, PlanHint, SubmitError,
 };
 pub use planner::{Planned, Planner, PlannerConfig, PlannerStats, ShapeClass};
 pub use server::{GemmServer, ServerConfig, ServerStats};

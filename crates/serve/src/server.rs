@@ -19,13 +19,13 @@
 //! the scheduler exits (`shutdown()`, also invoked by `Drop`).
 
 use crate::job::{
-    JobCell, JobError, JobHandle, JobOutput, JobReport, JobSpec, PlanHint, SubmitError,
+    JobCell, JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, PlanHint, SubmitError,
 };
 use crate::planner::{Planned, Planner, PlannerConfig, PlannerStats};
 use hsumma_core::run_planned;
 use hsumma_matrix::{BlockDist, GridShape, Matrix};
-use hsumma_runtime::{PoolRun, RankPool, RuntimeError};
-use hsumma_trace::Tracer;
+use hsumma_runtime::{CommStats, JobOptions, PoolRun, RankPool, RuntimeError};
+use hsumma_trace::{primary_comm_error, CommError, CommErrorKind, Tracer};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -312,25 +312,71 @@ fn execute(
     } else {
         Tracer::disabled()
     };
-    let run = pool.run_traced(&tracer, move |comm| {
+    let mut opts = JobOptions::default();
+    if let Some(d) = job.spec.deadline {
+        opts = opts.with_deadline(d);
+    }
+    if let Some(f) = &job.spec.faults {
+        opts = opts.with_faults(Arc::clone(f));
+    }
+    let run = pool.run_opts(&tracer, &opts, move |comm| {
         let at = a_tiles[comm.rank()].clone();
         let bt = b_tiles[comm.rank()].clone();
         run_planned(comm, grid, n, &at, &bt, &plan)
     });
-    match run {
-        Ok(PoolRun { results, stats }) => {
-            let c = dist.gather(&results);
-            let report = JobReport {
-                job_id: job.id,
-                plan,
-                plan_desc: plan.describe(),
-                plan_cached: planned.cached,
-                wall: started.elapsed(),
-                stats,
-                trace: trace_jobs.then(|| tracer.collect()),
-            };
-            Ok(JobOutput { c, report })
+    let PoolRun { results, stats } = match run {
+        Ok(run) => run,
+        Err(e) => return Err(JobError::Execution(e.to_string())),
+    };
+    let report = |outcome: JobOutcome, stats: Vec<CommStats>| {
+        let merged = stats
+            .iter()
+            .fold(CommStats::default(), |acc, s| acc.merge(s));
+        JobReport {
+            job_id: job.id,
+            plan,
+            plan_desc: plan.describe(),
+            plan_cached: planned.cached,
+            wall: started.elapsed(),
+            timeouts: merged.timeouts,
+            cancelled: merged.cancelled,
+            faults_injected: merged.faults_injected,
+            stats,
+            trace: trace_jobs.then(|| tracer.collect()),
+            outcome,
         }
-        Err(e) => Err(JobError::Execution(e.to_string())),
+    };
+    let errors: Vec<&CommError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    match primary_comm_error(errors) {
+        None => {
+            let tiles: Vec<Matrix> = results
+                .into_iter()
+                .map(|r| r.expect("no errors means every rank produced a tile"))
+                .collect();
+            let c = dist.gather(&tiles);
+            Ok(JobOutput {
+                c,
+                report: report(JobOutcome::Completed, stats),
+            })
+        }
+        Some(primary) => {
+            let detail = primary.to_string();
+            match primary.kind() {
+                CommErrorKind::Timeout => Err(JobError::Timeout {
+                    detail,
+                    report: Box::new(report(JobOutcome::TimedOut, stats)),
+                }),
+                CommErrorKind::Cancelled => Err(JobError::Cancelled {
+                    detail,
+                    report: Box::new(report(JobOutcome::Cancelled, stats)),
+                }),
+                // A dead or poisoned peer without any timeout is an
+                // execution failure (e.g. a kill-rank fault with no
+                // deadline racing ahead of the peers' own timeouts).
+                CommErrorKind::PeerDead | CommErrorKind::Shutdown => {
+                    Err(JobError::Execution(detail))
+                }
+            }
+        }
     }
 }

@@ -135,10 +135,8 @@ fn invalid_jobs_are_rejected_at_the_door_with_reasons() {
 
     // Non-square spec.
     let spec = JobSpec {
-        n: 8,
         m: 16,
-        k: 8,
-        hint: PlanHint::Auto,
+        ..JobSpec::square(8)
     };
     match server.submit(spec, a.clone(), b.clone()) {
         Err(SubmitError::Invalid(reason)) => assert!(reason.contains("square")),

@@ -29,6 +29,7 @@ mod breakdown;
 mod chrome;
 mod critical;
 mod event;
+pub mod fault;
 mod ring;
 mod tracer;
 
@@ -37,4 +38,8 @@ pub use breakdown::{render_breakdown, StepRow};
 pub use chrome::validate_json;
 pub use critical::{CriticalPath, MessageEdge, PathCost};
 pub use event::{EventKind, TraceEvent};
+pub use fault::{
+    primary_comm_error, CommEdge, CommError, CommErrorKind, FaultAction, FaultDecision, FaultPlan,
+    FaultRule, FaultState, KillRule, TagClass, COLLECTIVE_TAG_FLOOR,
+};
 pub use tracer::{Trace, TraceSink, Tracer};

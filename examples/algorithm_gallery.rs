@@ -54,10 +54,10 @@ fn main() {
     println!("C = A*B, n = {n}, 16 ranks on a 4x4 grid\n");
 
     run_algo("cannon", grid, n, &a, &b, &want, |comm, at, bt| {
-        cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
     });
     run_algo("fox", grid, n, &a, &b, &want, |comm, at, bt| {
-        fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        fox(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
     });
     let scfg = SummaConfig {
         block: 32,
@@ -65,14 +65,14 @@ fn main() {
         ..Default::default()
     };
     run_algo("summa", grid, n, &a, &b, &want, move |comm, at, bt| {
-        summa(comm, grid, n, &at, &bt, &scfg)
+        summa(comm, grid, n, &at, &bt, &scfg).unwrap()
     });
     let hcfg = HsummaConfig {
         kernel: GemmKernel::Blocked,
         ..HsummaConfig::uniform(GridShape::new(2, 2), 32)
     };
     run_algo("hsumma", grid, n, &a, &b, &want, move |comm, at, bt| {
-        hsumma(comm, grid, n, &at, &bt, &hcfg)
+        hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
     });
 
     println!("\nall four algorithms agree with the serial reference.");

@@ -49,7 +49,8 @@ fn main() {
             block,
             &candidates,
             2,
-        );
+        )
+        .unwrap();
         (c, (groups.rows, groups.cols))
     });
     let wall = t0.elapsed().as_secs_f64();

@@ -1,0 +1,130 @@
+//! Quickstart for the failure path: deadlines, fault injection, and the
+//! diagnosed errors they produce — on the GEMM service, the raw threaded
+//! runtime, and the network simulator (same plan, same outcome).
+//!
+//! ```sh
+//! cargo run --release --example deadline_quickstart
+//! ```
+
+use hsumma_repro::core::{summa, PhantomMat, SummaConfig};
+use hsumma_repro::matrix::{seeded_uniform, GemmKernel, GridShape};
+use hsumma_repro::netsim::{Platform, SimNet, SimRunOptions, SimWorld};
+use hsumma_repro::trace::{FaultPlan, TagClass};
+use hsumma_serve::{GemmServer, JobError, JobSpec, PlanHint, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let grid = GridShape::new(2, 2);
+    let n = 64;
+    let a = seeded_uniform(n, n, 1);
+    let b = seeded_uniform(n, n, 2);
+
+    // --- 1. a healthy job under a deadline: pay-as-you-go ---------------
+    let server = GemmServer::new(ServerConfig::new(grid)).unwrap();
+    let out = server
+        .submit(
+            JobSpec::square(n).with_deadline(Duration::from_secs(10)),
+            a.clone(),
+            b.clone(),
+        )
+        .unwrap()
+        .wait()
+        .expect("a healthy job beats a 10 s deadline");
+    println!(
+        "1. healthy job:   {:?} in {:.1} ms (timeouts {}, faults {})",
+        out.report.outcome,
+        out.report.wall.as_secs_f64() * 1e3,
+        out.report.timeouts,
+        out.report.faults_injected
+    );
+
+    // --- 2. the same job with a dropped broadcast -----------------------
+    // Drop the first collective-class message rank 0 sends to rank 1: the
+    // step-0 A-panel broadcast. Rank 1 stalls; the 200 ms deadline turns
+    // the stall into a diagnosed timeout naming the stalled edge, and the
+    // pool survives to serve the next job.
+    let plan = Arc::new(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::Collective, 0));
+    let cfg = SummaConfig {
+        block: 16,
+        kernel: GemmKernel::Naive,
+        ..SummaConfig::default()
+    };
+    let hint = PlanHint::Force(hsumma_repro::core::PlannedAlgo::Summa(cfg));
+    let err = server
+        .submit(
+            JobSpec::square(n)
+                .with_hint(hint)
+                .with_deadline(Duration::from_millis(200))
+                .with_faults(Arc::clone(&plan)),
+            a.clone(),
+            b.clone(),
+        )
+        .unwrap()
+        .wait()
+        .expect_err("the dropped broadcast must fail the job");
+    match &err {
+        JobError::Timeout { detail, report } => {
+            println!("2. dropped bcast: Timeout — {detail}");
+            println!(
+                "   report: outcome {:?}, {} rank(s) timed out, {} fault(s) injected",
+                report.outcome, report.timeouts, report.faults_injected
+            );
+        }
+        other => println!("2. unexpected failure shape: {other:?}"),
+    }
+
+    // ...and the pool keeps serving.
+    let again = server
+        .submit(JobSpec::square(n), a, b)
+        .unwrap()
+        .wait()
+        .expect("the pool survives a timed-out job");
+    println!(
+        "3. next job:      {:?} — pool still serving",
+        again.report.outcome
+    );
+    server.shutdown();
+
+    // --- 3. the same plan replayed on the simulator ---------------------
+    // Fault plans are portable across substrates: virtual clocks hit the
+    // same per-rank outcome kinds as the wall clock above.
+    let platform = Platform::bluegene_p_effective();
+    let tile = PhantomMat {
+        rows: n / grid.rows,
+        cols: n / grid.cols,
+    };
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(plan);
+    let sim = SimWorld::run_with(
+        SimNet::new(grid.size(), platform.net),
+        platform.gamma,
+        false,
+        &opts,
+        |comm| {
+            summa(
+                comm,
+                grid,
+                n,
+                &tile,
+                &tile,
+                &SummaConfig {
+                    block: 16,
+                    ..SummaConfig::default()
+                },
+            )
+            .map(|_| ())
+        },
+    );
+    println!(
+        "4. same plan, simulated ranks ({} fault injected):",
+        sim.faults_injected
+    );
+    for (rank, r) in sim.results.iter().enumerate() {
+        match r {
+            Ok(()) => println!("   rank {rank}: completed"),
+            Err(e) => println!("   rank {rank}: {e}"),
+        }
+    }
+}

@@ -47,6 +47,7 @@ fn main() {
             &bt[comm.rank()].clone(),
             &scfg,
         )
+        .unwrap()
     });
     let err = dist.gather(&ct).max_abs_diff(&want);
     println!("1. block-cyclic SUMMA          max err {err:.2e}");
@@ -65,7 +66,7 @@ fn main() {
 
     // --- 2. overlap -------------------------------------------------------
     let by_overlap = distributed_product(grid, n, &a, &b, |comm, a_t, b_t| {
-        summa_overlap(comm, grid, n, &a_t, &b_t, &scfg)
+        summa_overlap(comm, grid, n, &a_t, &b_t, &scfg).unwrap()
     });
     println!(
         "2. lookahead SUMMA             max err {:.2e}",
@@ -76,7 +77,7 @@ fn main() {
         ..HsummaConfig::uniform(GridShape::new(2, 2), 32)
     };
     let by_hoverlap = distributed_product(grid, n, &a, &b, |comm, a_t, b_t| {
-        hsumma_overlap(comm, grid, n, &a_t, &b_t, &hcfg)
+        hsumma_overlap(comm, grid, n, &a_t, &b_t, &hcfg).unwrap()
     });
     println!(
         "   lookahead HSUMMA            max err {:.2e}",

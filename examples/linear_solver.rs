@@ -44,7 +44,7 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let out = Runtime::run(grid.size(), |comm| {
-        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
     });
     let factor_time = t0.elapsed().as_secs_f64();
     let packed = dist.gather(&out);

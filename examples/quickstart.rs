@@ -29,7 +29,7 @@ fn main() {
     let results = Runtime::run(grid.size(), |comm| {
         let at = a_tiles[comm.rank()].clone();
         let bt = b_tiles[comm.rank()].clone();
-        let c_tile = hsumma(comm, grid, n, &at, &bt, &cfg);
+        let c_tile = hsumma(comm, grid, n, &at, &bt, &cfg).unwrap();
         (c_tile, comm.stats())
     });
 

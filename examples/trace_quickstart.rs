@@ -34,7 +34,7 @@ fn main() {
     Runtime::run_traced(grid.size(), &tracer, |comm| {
         let at = a_tiles[comm.rank()].clone();
         let bt = b_tiles[comm.rank()].clone();
-        hsumma(comm, grid, n, &at, &bt, &cfg)
+        hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
     });
 
     let trace = tracer.collect();

@@ -6,7 +6,7 @@
 //! re-exports that surface under crossbeam's names so the offline build
 //! needs no external crate.
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// Sending half of an unbounded channel; cloneable, never blocks.
 pub struct Sender<T> {
@@ -42,6 +42,12 @@ impl<T> Receiver<T> {
     /// Returns immediately with whatever is available.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.inner.try_recv()
+    }
+
+    /// Blocks until a value arrives, the timeout elapses, or all senders
+    /// disconnect.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
     }
 }
 
@@ -88,5 +94,19 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(100)),
+            Ok(7)
+        );
     }
 }

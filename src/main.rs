@@ -130,7 +130,8 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
             &at[comm.rank()].clone(),
             &bt[comm.rank()].clone(),
             &cfg,
-        );
+        )
+        .unwrap();
         (c, comm.stats())
     });
     let wall = t0.elapsed().as_secs_f64();
@@ -308,7 +309,7 @@ fn cmd_bcast(opts: &HashMap<String, String>) -> Result<(), String> {
                 rows: 1,
                 cols: elems,
             };
-            comm.bcast_mat(algo, 0, &mut m);
+            comm.bcast_mat(algo, 0, &mut m).unwrap();
         });
         println!("{name:>14}: {:.6} s", net.elapsed());
     }

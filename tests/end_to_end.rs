@@ -30,7 +30,7 @@ fn summa_across_grids_and_blocks() {
                 ..Default::default()
             };
             let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-                summa(comm, grid, n, &at, &bt, &cfg)
+                summa(comm, grid, n, &at, &bt, &cfg).unwrap()
             });
             assert!(
                 got.approx_eq(&want, TOL),
@@ -56,14 +56,14 @@ fn hsumma_matches_summa_bit_for_bit_when_schedules_align() {
         ..Default::default()
     };
     let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        summa(comm, grid, n, &at, &bt, &scfg)
+        summa(comm, grid, n, &at, &bt, &scfg).unwrap()
     });
     let hcfg = HsummaConfig {
         kernel: GemmKernel::Blocked,
         ..HsummaConfig::uniform(GridShape::new(1, 1), 4)
     };
     let by_hsumma = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        hsumma(comm, grid, n, &at, &bt, &hcfg)
+        hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
     });
     assert_eq!(by_summa, by_hsumma, "G=1 HSUMMA must equal SUMMA exactly");
 }
@@ -77,21 +77,21 @@ fn all_four_algorithms_agree_on_a_square_grid() {
     let want = reference_product(&a, &b);
 
     let by_cannon = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        cannon(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
     });
     let by_fox = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        fox(comm, grid, n, &at, &bt, GemmKernel::Blocked)
+        fox(comm, grid, n, &at, &bt, GemmKernel::Blocked).unwrap()
     });
     let scfg = SummaConfig {
         block: 2,
         ..Default::default()
     };
     let by_summa = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        summa(comm, grid, n, &at, &bt, &scfg)
+        summa(comm, grid, n, &at, &bt, &scfg).unwrap()
     });
     let hcfg = HsummaConfig::uniform(GridShape::new(3, 3), 2);
     let by_hsumma = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        hsumma(comm, grid, n, &at, &bt, &hcfg)
+        hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
     });
 
     for (name, got) in [
@@ -122,7 +122,7 @@ fn hsumma_with_larger_outer_block_and_vdg_broadcasts() {
         kernel: GemmKernel::Blocked,
     };
     let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        hsumma(comm, grid, n, &at, &bt, &cfg)
+        hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
     });
     assert!(got.approx_eq(&want, TOL), "err {}", got.max_abs_diff(&want));
 }
@@ -144,7 +144,7 @@ proptest! {
         let want = reference_product(&a, &b);
         let cfg = SummaConfig { block: 1, kernel: GemmKernel::Blocked, ..Default::default() };
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            summa(comm, grid, n, &at, &bt, &cfg)
+            summa(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
         prop_assert!(got.approx_eq(&want, TOL));
     }
@@ -167,7 +167,7 @@ proptest! {
             ..HsummaConfig::uniform(groups, 2)
         };
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma(comm, grid, n, &at, &bt, &cfg)
+            hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
         prop_assert!(got.approx_eq(&want, TOL));
     }

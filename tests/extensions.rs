@@ -38,6 +38,7 @@ fn cyclic_summa_matches_serial_through_facade() {
             &bt[comm.rank()].clone(),
             &cfg,
         )
+        .unwrap()
     });
     assert!(dist.gather(&ct).approx_eq(&want, 1e-9));
 }
@@ -56,7 +57,7 @@ fn overlap_variants_match_their_blocking_counterparts() {
         ..Default::default()
     };
     let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        summa_overlap(comm, grid, n, &at, &bt, &scfg)
+        summa_overlap(comm, grid, n, &at, &bt, &scfg).unwrap()
     });
     assert!(got.approx_eq(&want, 1e-9));
 
@@ -65,7 +66,7 @@ fn overlap_variants_match_their_blocking_counterparts() {
         ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
     };
     let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-        hsumma_overlap(comm, grid, n, &at, &bt, &hcfg)
+        hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
     });
     assert!(got.approx_eq(&want, 1e-9));
 }
@@ -97,7 +98,7 @@ fn twodotfive_matches_serial_through_facade() {
             let (th, tw) = dist.tile_shape();
             (Matrix::zeros(th, tw), Matrix::zeros(th, tw))
         };
-        twodotfive(comm, n, &ai, &bi, &cfg)
+        twodotfive(comm, n, &ai, &bi, &cfg).unwrap()
     });
     let tiles: Vec<Matrix> = (0..q * q)
         .map(|r| out[r].clone().expect("layer 0"))
@@ -122,7 +123,7 @@ fn block_lu_solves_a_linear_system_end_to_end() {
         ..Default::default()
     };
     let out = Runtime::run(grid.size(), |comm| {
-        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
     });
     let packed = dist.gather(&out);
     let l = unpack_lower_unit(&packed);
@@ -171,7 +172,7 @@ fn hierarchical_lu_reconstructs_through_facade() {
         ..Default::default()
     };
     let out = Runtime::run(grid.size(), |comm| {
-        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg)
+        block_lu(comm, grid, n, &tiles[comm.rank()].clone(), &cfg).unwrap()
     });
     let packed = dist.gather(&out);
     let mut rebuilt = Matrix::zeros(n, n);

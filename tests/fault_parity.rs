@@ -1,0 +1,165 @@
+//! Fault-replay parity between the two substrates, in the style of
+//! `sim_model_consistency.rs`: the *same* `FaultPlan` driven through the
+//! *same generic algorithm* on the threaded runtime (real data, wall
+//! clocks) and the network simulator (phantom payloads, virtual clocks)
+//! must produce
+//!
+//! 1. the same per-rank outcome kind (`Ok` / `Timeout` / `Shutdown` /
+//!    …), and
+//! 2. the same number of injected faults,
+//!
+//! because both replay the plan with world-rank cursors at the send path
+//! and both exclude the split/barrier bookkeeping protocols from fault
+//! eligibility. This is what makes a failure schedule *portable*: debug
+//! it in simulation, then reproduce it on real threads (or vice versa).
+
+use hsumma_repro::core::{summa, PhantomMat, SummaConfig};
+use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
+use hsumma_repro::netsim::{Platform, SimNet, SimRunOptions, SimWorld};
+use hsumma_repro::runtime::{JobOptions, Runtime};
+use hsumma_repro::trace::{CommErrorKind, FaultPlan, TagClass, Tracer};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 8;
+const BLOCK: usize = 2;
+
+fn grid() -> GridShape {
+    GridShape::new(2, 2)
+}
+
+fn cfg() -> SummaConfig {
+    SummaConfig {
+        block: BLOCK,
+        kernel: GemmKernel::Naive,
+        ..SummaConfig::default()
+    }
+}
+
+/// Per-rank outcome kinds plus the total number of injected faults —
+/// the two quantities the acceptance criterion requires to agree.
+type Replay = (Vec<Option<CommErrorKind>>, u64);
+
+/// Replays `plan` through SUMMA on the threaded runtime with a wall-clock
+/// deadline; faults counted from each rank's own [`CommStats`].
+fn replay_threaded(plan: &Arc<FaultPlan>) -> Replay {
+    let grid = grid();
+    let a = seeded_uniform(N, N, 71);
+    let b = seeded_uniform(N, N, 72);
+    let dist = BlockDist::new(grid, N, N);
+    let at = dist.scatter(&a);
+    let bt = dist.scatter(&b);
+    let opts = JobOptions::default()
+        .with_deadline(Duration::from_millis(300))
+        .with_faults(Arc::clone(plan));
+    let per_rank = Runtime::try_run_opts(grid.size(), &Tracer::disabled(), &opts, |comm| {
+        let r = summa(comm, grid, N, &at[comm.rank()], &bt[comm.rank()], &cfg());
+        (
+            r.map(|_| ()).map_err(|e| e.kind()),
+            comm.stats().faults_injected,
+        )
+    })
+    .expect("faults surface as Err results, not rank panics");
+    let kinds = per_rank
+        .iter()
+        .map(|(r, _)| r.as_ref().err().copied())
+        .collect();
+    let injected = per_rank.iter().map(|(_, n)| n).sum();
+    (kinds, injected)
+}
+
+/// Replays `plan` through the *same* SUMMA source on the simulator with a
+/// virtual-time deadline; faults counted by the [`SimWorld`] itself.
+fn replay_sim(plan: &Arc<FaultPlan>) -> Replay {
+    let grid = grid();
+    let platform = Platform::bluegene_p_effective();
+    let tile = PhantomMat {
+        rows: N / grid.rows,
+        cols: N / grid.cols,
+    };
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(plan));
+    let net = SimNet::new(grid.size(), platform.net);
+    let out = SimWorld::run_with(net, platform.gamma, false, &opts, |comm| {
+        summa(comm, grid, N, &tile, &tile, &cfg())
+            .map(|_| ())
+            .map_err(|e| e.kind())
+    });
+    let kinds = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().err().copied())
+        .collect();
+    (kinds, out.faults_injected)
+}
+
+fn assert_parity(plan: FaultPlan) -> Replay {
+    let plan = Arc::new(plan);
+    let threaded = replay_threaded(&plan);
+    let sim = replay_sim(&plan);
+    assert_eq!(
+        threaded, sim,
+        "threaded and simulated replays of the same fault plan disagree \
+         (per-rank outcome kinds, injected-fault count)"
+    );
+    threaded
+}
+
+#[test]
+fn dropped_collective_message_times_out_identically_on_both_substrates() {
+    // Drop the first collective-class message 0 -> 1: the step-0 A-panel
+    // broadcast of the {0, 1} row communicator. Rank 1 stalls, and the
+    // stall propagates to every rank that transitively needs rank 1.
+    let (kinds, injected) =
+        assert_parity(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::Collective, 0));
+    assert_eq!(injected, 1, "exactly the one planned drop");
+    assert_eq!(
+        kinds[1],
+        Some(CommErrorKind::Timeout),
+        "the rank whose broadcast was dropped must time out"
+    );
+    // By step 2 every other rank transitively depends on rank 1 (its
+    // panel roots, or roots stalled on it), so the stall cascades: no
+    // rank panics, every rank unwinds with a diagnosed timeout.
+    assert!(
+        kinds.iter().all(|k| *k == Some(CommErrorKind::Timeout)),
+        "the stall must cascade as clean timeouts: {kinds:?}"
+    );
+}
+
+#[test]
+fn killed_rank_reports_shutdown_and_stalls_peers_identically() {
+    // Rank 3 dies at its very first send. It must report `Shutdown` on
+    // both substrates; its peers stall on it and convert to `Timeout`.
+    let (kinds, injected) = assert_parity(FaultPlan::new().kill_rank(3, 0));
+    assert_eq!(injected, 1, "the kill counts once");
+    assert_eq!(kinds[3], Some(CommErrorKind::Shutdown));
+    assert!(
+        kinds[..3].contains(&Some(CommErrorKind::Timeout)),
+        "at least one peer must stall on the dead rank: {kinds:?}"
+    );
+}
+
+#[test]
+fn delayed_and_duplicated_messages_leave_the_outcome_clean_on_both() {
+    // Sub-deadline delay plus a duplicate ghost: the job completes on
+    // both substrates, and both count the same two injected faults.
+    let (kinds, injected) = assert_parity(
+        FaultPlan::new()
+            .delay_nth(Some(0), Some(1), TagClass::Collective, 0, 0.01)
+            .duplicate_nth(Some(2), Some(3), TagClass::Collective, 0),
+    );
+    assert_eq!(injected, 2);
+    assert!(
+        kinds.iter().all(Option::is_none),
+        "benign faults must not change the outcome: {kinds:?}"
+    );
+}
+
+#[test]
+fn clean_plan_is_a_no_op_on_both_substrates() {
+    let (kinds, injected) = assert_parity(FaultPlan::new());
+    assert_eq!(injected, 0);
+    assert!(kinds.iter().all(Option::is_none));
+}

@@ -119,7 +119,7 @@ proptest! {
             ..HsummaConfig::uniform(groups, 1)
         };
         let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
-            hsumma(comm, grid, n, &at, &bt, &cfg)
+            hsumma(comm, grid, n, &at, &bt, &cfg).unwrap()
         });
         prop_assert!(got.approx_eq(&want, 1e-9));
     }

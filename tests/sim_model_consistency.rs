@@ -383,11 +383,11 @@ fn real_and_sim_hier_bcast_emit_identical_payload_multisets() {
         } else {
             Matrix::zeros(2, 4)
         };
-        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]);
+        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]).unwrap();
     });
     let sim = sim_trace(p, |comm| {
         let mut m = PhantomMat { rows: 2, cols: 4 };
-        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]);
+        hier_bcast(comm, BcastAlgorithm::Binomial, root, &mut m, &[2, 4]).unwrap();
     });
     assert_same_sends(&real, &sim, "hierarchical broadcast");
 }

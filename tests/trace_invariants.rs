@@ -79,7 +79,7 @@ fn binomial_bcast_critical_path_is_exactly_log2_p_edges() {
         // 512 f64 elements = the 4096 wire bytes the cost check expects.
         let (_net, _) = SimWorld::run(net, 0.0, false, move |comm| {
             let mut m = PhantomMat { rows: 1, cols: 512 };
-            comm.bcast_mat(SimBcast::Binomial, 0, &mut m);
+            comm.bcast_mat(SimBcast::Binomial, 0, &mut m).unwrap();
         });
         let cp = tracer.collect().critical_path();
         let want = p.ilog2() as usize;
