@@ -76,7 +76,11 @@ fn main() {
     let plan = Planner::new(w.grid, PlannerConfig::default())
         .plan_square(w.n)
         .plan;
-    println!("plan under test: {}\n", plan.describe());
+    println!(
+        "plan under test: {} (gemm path: {})\n",
+        plan.describe(),
+        plan.gemm_path()
+    );
 
     // A pass consumes a pre-built batch of operands: cloning stays
     // outside every timed region, identically for both legs.
@@ -182,12 +186,14 @@ fn main() {
     let _ = write!(
         json,
         "  \"p\": {p},\n  \"grid\": \"{}x{}\",\n  \"n\": {},\n  \"jobs\": {},\n  \
-         \"smoke\": {smoke},\n  \"reps\": {REPS},\n  \"plan\": \"{}\",\n",
+         \"smoke\": {smoke},\n  \"reps\": {REPS},\n  \"plan\": \"{}\",\n  \
+         \"gemm_path\": \"{}\",\n",
         w.grid.rows,
         w.grid.cols,
         w.n,
         w.jobs,
-        plan.describe()
+        plan.describe(),
+        plan.gemm_path()
     );
     let _ = write!(
         json,

@@ -187,6 +187,101 @@ impl MatLike for PhantomMat {
     }
 }
 
+/// A pending nonblocking collective: the in-flight half of an
+/// `ibcast`-style `start`/`test`/`wait` protocol.
+///
+/// Handles are started by [`Communicator::ibcast_shared`], polled with
+/// [`Communicator::ibcast_test`] and completed with
+/// [`Communicator::ibcast_wait`]. They compose with the fallible
+/// communication machinery: a start sends through the normal (deadline-,
+/// cancellation- and fault-checked) send path, and a wait receives
+/// through the normal receive path, so a dropped or delayed in-flight
+/// broadcast surfaces as a [`CommError`] naming the stalled edge rather
+/// than a hang or a torn buffer.
+/// Wire-tag band for in-flight panel broadcasts: a caller's ibcast tag
+/// is offset into the collective region (`≥ COLLECTIVE_TAG_FLOOR`,
+/// `1 << 62`) so fault rules written against `TagClass::Collective`
+/// match ibcast traffic exactly like blocking-collective traffic, on
+/// both substrates. The `1 << 48` offset keeps the band disjoint from
+/// the simulator's fixed collective tags (`SIM_TAG_*`, small offsets
+/// above `1 << 62`) and below the runtime's internal protocol tags
+/// (`1 << 63`).
+pub const IBCAST_TAG_BASE: u64 = (1 << 62) + (1 << 48);
+
+/// Width of the ibcast tag band; caller-supplied ibcast tags must be
+/// smaller than this.
+pub const IBCAST_TAG_SPAN: u64 = 1 << 48;
+
+pub trait CollectiveHandle {
+    /// Root rank (communicator-local) the payload originates from.
+    fn root(&self) -> usize;
+    /// Wire tag the collective's messages travel under.
+    fn tag(&self) -> u64;
+    /// Whether the payload is already locally available, i.e. `wait`
+    /// will return without blocking. Always true at the root.
+    fn is_complete(&self) -> bool;
+}
+
+/// Handle to one in-flight nonblocking panel broadcast
+/// ([`Communicator::ibcast_shared`]). Generic over the substrate's
+/// [`Communicator::Shared`] payload, so the same handle type serves both
+/// the threaded runtime (`Arc<Matrix>`) and the simulator
+/// ([`PhantomMat`]).
+#[derive(Debug)]
+pub struct PanelBcast<S> {
+    root: usize,
+    tag: u64,
+    rows: usize,
+    cols: usize,
+    /// The panel, once locally available: immediately at the root, after
+    /// a successful `test`/`wait` everywhere else.
+    got: Option<S>,
+}
+
+impl<S> PanelBcast<S> {
+    fn started(root: usize, tag: u64, rows: usize, cols: usize, got: Option<S>) -> Self {
+        PanelBcast {
+            root,
+            tag,
+            rows,
+            cols,
+            got,
+        }
+    }
+
+    /// Row count of the broadcast panel.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count of the broadcast panel.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Records the received panel (used by the substrates' `test`/`wait`).
+    fn fulfill(&mut self, panel: S) {
+        debug_assert!(self.got.is_none(), "broadcast fulfilled twice");
+        self.got = Some(panel);
+    }
+
+    fn take(self) -> (usize, u64, usize, usize, Option<S>) {
+        (self.root, self.tag, self.rows, self.cols, self.got)
+    }
+}
+
+impl<S> CollectiveHandle for PanelBcast<S> {
+    fn root(&self) -> usize {
+        self.root
+    }
+    fn tag(&self) -> u64 {
+        self.tag
+    }
+    fn is_complete(&self) -> bool {
+        self.got.is_some()
+    }
+}
+
 /// The communicator the algorithms are generic over: MPI-style rank
 /// algebra, matrix-payload point-to-point, rooted collectives with a
 /// selectable broadcast algorithm, and the local-compute hook through
@@ -240,6 +335,74 @@ pub trait Communicator: Sized {
         rows: usize,
         cols: usize,
     ) -> Result<Self::Shared, CommError>;
+
+    /// Starts a nonblocking flat broadcast of a shared `rows × cols`
+    /// panel from `root`: the `start` of the `ibcast` protocol. The root
+    /// passes `Some(panel)` — its fan-out sends complete eagerly
+    /// (buffered on the threaded runtime, priced at the virtual send
+    /// path on the simulator), so the root's handle is complete on
+    /// return. Every other rank passes `None` and gets a pending handle
+    /// to poll ([`Communicator::ibcast_test`]) or block on
+    /// ([`Communicator::ibcast_wait`]).
+    ///
+    /// The fan-out is flat by design: the pipelined algorithms must
+    /// never make a non-root rank relay (a relay is a blocking receive
+    /// inside the "nonblocking" start, which would put the broadcast
+    /// right back on the critical path). Deadline, cancellation and
+    /// fault injection compose unchanged — the start goes through the
+    /// fallible send path, completion through the fallible receive path,
+    /// so a dropped in-flight broadcast surfaces at the wait as
+    /// [`CommError::Timeout`] naming the stalled edge.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    fn ibcast_shared(
+        &self,
+        root: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+        panel: Option<Self::Shared>,
+    ) -> Result<PanelBcast<Self::Shared>, CommError> {
+        // An ibcast is a collective: its wire traffic must live in the
+        // collective tag band so fault rules written against
+        // `TagClass::Collective` target it on either substrate, and so
+        // a stalled-edge diagnostic identifies the tag as a broadcast.
+        debug_assert!(tag < IBCAST_TAG_SPAN, "ibcast user tag out of band");
+        let tag = IBCAST_TAG_BASE + tag;
+        if self.rank() == root {
+            let panel = panel.expect("the broadcast root must supply the panel");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_shared(dst, tag, &panel)?;
+                }
+            }
+            Ok(PanelBcast::started(root, tag, rows, cols, Some(panel)))
+        } else {
+            assert!(panel.is_none(), "only the broadcast root supplies a panel");
+            Ok(PanelBcast::started(root, tag, rows, cols, None))
+        }
+    }
+
+    /// Polls an in-flight broadcast: `Ok(true)` once the panel is
+    /// locally available (after which `wait` returns without blocking).
+    /// Never blocks and never advances the simulator's virtual clock —
+    /// a poll is free; only consuming the message costs time.
+    fn ibcast_test(&self, handle: &mut PanelBcast<Self::Shared>) -> Result<bool, CommError>;
+
+    /// Completes an in-flight broadcast, blocking until the panel
+    /// arrives. On the threaded runtime a not-yet-arrived panel parks
+    /// the rank in its mailbox (condvar-backed — no busy-wait); on the
+    /// simulator it advances the rank's virtual clock to the message's
+    /// arrival time, which is how a wait deferred behind `compute`
+    /// models overlap.
+    fn ibcast_wait(&self, handle: PanelBcast<Self::Shared>) -> Result<Self::Shared, CommError> {
+        let (root, tag, rows, cols, got) = handle.take();
+        match got {
+            Some(panel) => Ok(panel),
+            None => self.recv_shared(root, tag, rows, cols),
+        }
+    }
 
     /// Broadcasts `mat` from `root` in place with the selected algorithm.
     fn bcast_mat(
@@ -324,6 +487,20 @@ impl Communicator for Comm {
         cols: usize,
     ) -> Result<Arc<Matrix>, CommError> {
         self.recv_sized::<Arc<Matrix>>(src, tag, mat_bytes(rows, cols))
+    }
+
+    fn ibcast_test(&self, handle: &mut PanelBcast<Arc<Matrix>>) -> Result<bool, CommError> {
+        if handle.is_complete() {
+            return Ok(true);
+        }
+        let bytes = mat_bytes(handle.rows(), handle.cols());
+        match self.try_recv_sized::<Arc<Matrix>>(handle.root(), handle.tag(), bytes)? {
+            Some(panel) => {
+                handle.fulfill(panel);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     fn bcast_mat(
@@ -414,6 +591,27 @@ impl<'w> Communicator for SimComm<'w> {
         cols: usize,
     ) -> Result<PhantomMat, CommError> {
         Communicator::recv_mat(self, src, tag, rows, cols)
+    }
+
+    fn ibcast_test(&self, handle: &mut PanelBcast<PhantomMat>) -> Result<bool, CommError> {
+        if handle.is_complete() {
+            return Ok(true);
+        }
+        match self.try_recv_bytes(handle.root(), handle.tag())? {
+            Some(bytes) => {
+                assert_eq!(
+                    bytes,
+                    mat_bytes(handle.rows(), handle.cols()),
+                    "phantom payload size mismatch"
+                );
+                handle.fulfill(PhantomMat {
+                    rows: handle.rows(),
+                    cols: handle.cols(),
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     fn bcast_mat(

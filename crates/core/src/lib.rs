@@ -48,14 +48,16 @@ pub mod tuning;
 pub mod twodotfive;
 
 pub use cannon::cannon;
-pub use comm::{Communicator, MatLike, PhantomMat};
+pub use comm::{CollectiveHandle, Communicator, MatLike, PanelBcast, PhantomMat};
 pub use cyclic::summa_cyclic;
 pub use fox::fox;
 pub use grid::HierGrid;
 pub use hsumma::{hsumma, HsummaConfig};
 pub use lu::{block_lu, LuConfig};
 pub use multilevel::hier_bcast;
-pub use overlap::{hsumma_overlap, summa_overlap};
+pub use overlap::{
+    hsumma_overlap, hsumma_overlap_lookahead, summa_overlap, summa_overlap_lookahead,
+};
 pub use plan::{run_planned, PlannedAlgo};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};
 pub use simdrive::{sim_hsumma, sim_summa};

@@ -3,20 +3,38 @@
 //!
 //! §VI: "until now we got all these improvements without overlapping the
 //! communications on the virtual hierarchies", i.e. further gains are
-//! available by hiding panel transfers behind the local multiply.
+//! available by hiding panel transfers behind the local multiply. This
+//! module realizes that remark as a *double-buffered pivot pipeline*
+//! built on the nonblocking collective handles of
+//! [`crate::comm::Communicator::ibcast_shared`]:
 //!
-//! [`summa_overlap`] implements one-step lookahead: pivot owners *push*
-//! step `k+1`'s panels (eager point-to-point sends, per-step tags) before
-//! anyone computes step `k`, so by the time a rank finishes its multiply
-//! the next panels are already in its mailbox and `recv` returns without
-//! blocking. The push distribution is a flat tree — relays would have to
-//! block, which is exactly what lookahead avoids.
+//! * [`summa_overlap`] keeps a two-slot panel buffer per operand. While
+//!   the kernel consumes the panels in slot `k mod 2`, the broadcasts
+//!   for step `k+1` stream into the other slot; the wait for a panel is
+//!   deferred until the moment the kernel needs it, so a transfer that
+//!   finished during the previous multiply costs nothing.
+//! * [`hsumma_overlap`] runs the same two-slot protocol on *both* levels
+//!   of the hierarchy — inter-group outer panels and intra-group inner
+//!   slices — and lets the inner pipeline cross outer-step boundaries:
+//!   the last slice of outer step `kg` overlaps with landing outer step
+//!   `kg+1` and starting its first slice, so neither broadcast level
+//!   ever stalls the multiply loop.
 //!
-//! In the simulator, overlap corresponds to the free-running (non-`sync`)
-//! execution semantics; `sim_overlap_benefit` quantifies the gap
-//! against blocking-collective SUMMA.
+//! The broadcasts are flat pushes (relays would have to block inside the
+//! "nonblocking" start, putting the transfer right back on the critical
+//! path), and the wire traffic — every (src, dst, tag, bytes) — is
+//! identical to the retained one-step-lookahead baselines
+//! ([`summa_overlap_lookahead`], [`hsumma_overlap_lookahead`]); only
+//! *when* each rank blocks changes. The `overlap_pipeline` bench bin
+//! measures the two against each other, and `trace_run --algo overlap`
+//! shows the broadcast edges leaving the critical path once the compute
+//! term dominates.
+//!
+//! In the simulator, overlap corresponds to the free-running
+//! (non-`sync`) execution semantics; `sim_overlap_benefit` quantifies
+//! the gap against blocking-collective SUMMA.
 
-use crate::comm::{Communicator, MatLike};
+use crate::comm::{Communicator, MatLike, PanelBcast};
 use crate::summa::check_tiles;
 use hsumma_matrix::GridShape;
 use hsumma_netsim::{Platform, SimBcast};
@@ -24,17 +42,115 @@ use hsumma_runtime::CommError;
 
 pub use crate::summa::SummaConfig;
 
-/// SUMMA with one-step lookahead (flat push distribution). Same
-/// distribution, operands and result as [`crate::summa::summa`]; the
-/// `cfg.bcast` field is ignored (the push schedule replaces it).
+/// A step's pair of in-flight broadcasts: the A-panel and B-panel
+/// handles filling one pipeline slot.
+type BcastPair<C> = (
+    PanelBcast<<C as Communicator>::Shared>,
+    PanelBcast<<C as Communicator>::Shared>,
+);
+
+/// A landed outer step's shared panels (`None` on ranks outside the
+/// pivot inner row/column, which receive slices instead).
+type LandedPair<C> = (
+    Option<<C as Communicator>::Shared>,
+    Option<<C as Communicator>::Shared>,
+);
+
+/// SUMMA with a double-buffered pivot pipeline. Same distribution,
+/// operands and result (bit for bit) as [`crate::summa::summa`]; the
+/// `cfg.bcast` field is ignored (the flat nonblocking push schedule
+/// replaces it).
 ///
 /// Generic over the [`Communicator`] substrate: pushed panels travel as
 /// shared handles (an `Arc` refcount bump per destination on the real
-/// runtime, a byte charge on the simulator).
+/// runtime, a byte charge on the simulator), and completion is deferred
+/// to the moment the kernel needs the panel, so transfers that landed
+/// during the previous step's multiply are free.
 ///
 /// # Panics
 /// Panics on the same inconsistencies as `summa`.
 pub fn summa_overlap<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    a: &C::Mat,
+    b: &C::Mat,
+    cfg: &SummaConfig,
+) -> Result<C::Mat, CommError> {
+    let (th, tw) = check_tiles(grid, n, a, b, comm.size());
+    let bs = cfg.block;
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(tw % bs, 0, "block must divide the tile width");
+    assert_eq!(th % bs, 0, "block must divide the tile height");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let row_comm = comm.split(gi as u64, gj as i64)?;
+    let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
+
+    let owner_col = |k: usize| k * bs / tw;
+    let owner_row = |k: usize| k * bs / th;
+
+    // Starts step k's broadcasts: the pivot owners materialize the panel
+    // once and fan it out nonblocking; everyone else gets a pending
+    // handle for the slot.
+    let start = |k: usize| -> Result<BcastPair<C>, CommError> {
+        let ac = owner_col(k);
+        let a_h = row_comm.ibcast_shared(
+            ac,
+            2 * k as u64,
+            th,
+            bs,
+            (gj == ac).then(|| C::share(a.block(0, k * bs % tw, th, bs))),
+        )?;
+        let br = owner_row(k);
+        let b_h = col_comm.ibcast_shared(
+            br,
+            2 * k as u64 + 1,
+            bs,
+            tw,
+            (gi == br).then(|| C::share(b.block(k * bs % th, 0, bs, tw))),
+        )?;
+        Ok((a_h, b_h))
+    };
+
+    let steps = n / bs;
+    let mut c = C::Mat::zeros(th, tw);
+    let step_pairs = th * tw * bs;
+    // Two-slot pipeline: slot k mod 2 holds step k's in-flight
+    // broadcasts; while the kernel consumes that slot, step k+1's
+    // broadcasts fill the other.
+    let mut slots: [Option<BcastPair<C>>; 2] = [None, None];
+    if steps > 0 {
+        slots[0] = Some(start(0)?);
+    }
+    for k in 0..steps {
+        if k + 1 < steps {
+            slots[(k + 1) % 2] = Some(start(k + 1)?);
+        }
+        let (a_h, b_h) = slots[k % 2].take().expect("slot k was started");
+        let a_panel = row_comm.ibcast_wait(a_h)?;
+        let b_panel = col_comm.ibcast_wait(b_h)?;
+        comm.compute(step_pairs as f64, 2 * step_pairs as u64, || {
+            C::Mat::gemm(
+                cfg.kernel,
+                C::shared_ref(&a_panel),
+                C::shared_ref(&b_panel),
+                &mut c,
+            )
+        });
+    }
+    Ok(c)
+}
+
+/// The pre-pipeline overlap baseline: SUMMA with one-step lookahead and
+/// *blocking* receives (flat push distribution). Kept verbatim so the
+/// `overlap_pipeline` bench can measure the pipelined rewrite against
+/// the exact schedule it replaced; produces bit-identical results to
+/// [`summa_overlap`] and [`crate::summa::summa`].
+///
+/// # Panics
+/// Panics on the same inconsistencies as `summa`.
+pub fn summa_overlap_lookahead<C: Communicator>(
     comm: &C,
     grid: GridShape,
     n: usize,
@@ -116,19 +232,247 @@ pub fn summa_overlap<C: Communicator>(
     Ok(c)
 }
 
-/// HSUMMA with overlap *on the virtual hierarchies* (§VI verbatim):
-/// outer panels are prefetched one outer step ahead across groups, and a
-/// whole outer panel's worth of inner panels is pushed inside the group
-/// as soon as the outer panel lands — so neither broadcast level blocks
-/// the multiply loop.
+/// HSUMMA with the double-buffered pivot pipeline *on the virtual
+/// hierarchies* (§VI verbatim): two-slot buffers at both broadcast
+/// levels. Outer (inter-group) panels for step `kg+1` stream while step
+/// `kg`'s inner slices are consumed; inner (intra-group) slices run one
+/// slice ahead, and the inner pipeline crosses outer-step boundaries —
+/// during the last slice of `kg`, outer step `kg+1` is landed and its
+/// first slice started, so the multiply loop never waits on a transfer
+/// that could have been overlapped.
 ///
-/// Same operands, distribution and result as [`crate::hsumma::hsumma`];
-/// the `outer_bcast`/`inner_bcast` fields are ignored (flat pushes
-/// replace them — relays would have to block, defeating the lookahead).
+/// Same operands, distribution and result (bit for bit) as
+/// [`crate::hsumma::hsumma`]; the `outer_bcast`/`inner_bcast` fields are
+/// ignored (flat nonblocking pushes replace them — relays would have to
+/// block, defeating the pipeline).
 ///
 /// # Panics
 /// Panics on the same configuration inconsistencies as `hsumma`.
 pub fn hsumma_overlap<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    a: &C::Mat,
+    b: &C::Mat,
+    cfg: &crate::hsumma::HsummaConfig,
+) -> Result<C::Mat, CommError> {
+    let (th, tw) = check_tiles(grid, n, a, b, comm.size());
+    let hg = crate::grid::HierGrid::new(grid, cfg.groups);
+    let inner = hg.inner();
+    let (bb, bs) = (cfg.outer_block, cfg.inner_block);
+    assert!(bs > 0 && bb > 0, "block sizes must be positive");
+    assert_eq!(bb % bs, 0, "inner block must divide outer block");
+    assert_eq!(tw % bb, 0, "outer block must divide the tile width");
+    assert_eq!(th % bb, 0, "outer block must divide the tile height");
+
+    let (gi, gj) = grid.coords(comm.rank());
+    let (x, y) = hg.group_of(gi, gj);
+    let (i, j) = hg.inner_of(gi, gj);
+    let color3 = crate::grid::color3;
+    let group_row = comm.split(color3(x, i, j), y as i64)?;
+    let group_col = comm.split(color3(y, i, j), x as i64)?;
+    let row = comm.split(color3(x, y, i), j as i64)?;
+    let col = comm.split(color3(x, y, j), i as i64)?;
+
+    let outer_steps = n / bb;
+    let inner_steps = bb / bs;
+    let a_owner = |kg: usize| {
+        let gcol = kg * bb / tw;
+        (gcol, gcol / inner.cols, gcol % inner.cols) // (grid col, yk, jk)
+    };
+    let b_owner = |kg: usize| {
+        let grow = kg * bb / th;
+        (grow, grow / inner.rows, grow % inner.rows) // (grid row, xk, ik)
+    };
+
+    // Starts outer step kg's inter-group broadcasts. Only the pivot
+    // inner column (A) / inner row (B) participates: the handle is
+    // `None` elsewhere, and those ranks get the panel re-broadcast in
+    // inner slices instead.
+    type OuterPair<C> = (
+        Option<PanelBcast<<C as Communicator>::Shared>>,
+        Option<PanelBcast<<C as Communicator>::Shared>>,
+    );
+    let start_outer = |kg: usize| -> Result<OuterPair<C>, CommError> {
+        let (gcol, yk, jk) = a_owner(kg);
+        let a_h = if j == jk {
+            Some(group_row.ibcast_shared(
+                yk,
+                2 * kg as u64,
+                th,
+                bb,
+                (gj == gcol).then(|| C::share(a.block(0, kg * bb % tw, th, bb))),
+            )?)
+        } else {
+            None
+        };
+        let (grow, xk, ik) = b_owner(kg);
+        let b_h = if i == ik {
+            Some(group_col.ibcast_shared(
+                xk,
+                2 * kg as u64 + 1,
+                bb,
+                tw,
+                (gi == grow).then(|| C::share(b.block(kg * bb % th, 0, bb, tw))),
+            )?)
+        } else {
+            None
+        };
+        Ok((a_h, b_h))
+    };
+
+    let inner_tag = |kg: usize, ki: usize, is_b: bool| {
+        (2 * (kg * inner_steps + ki) + usize::from(is_b)) as u64 + (1 << 32)
+    };
+
+    // Starts the intra-group broadcasts of slice ki of outer step kg:
+    // the holder of the outer panel (the inner pivot row/column, which
+    // is exactly the inner root) slices it and fans the slice out.
+    let start_inner = |kg: usize,
+                       ki: usize,
+                       outer_a: Option<&C::Shared>,
+                       outer_b: Option<&C::Shared>|
+     -> Result<BcastPair<C>, CommError> {
+        let (_, _, jk) = a_owner(kg);
+        let a_h = row.ibcast_shared(
+            jk,
+            inner_tag(kg, ki, false),
+            th,
+            bs,
+            outer_a.map(|p| C::share(C::shared_ref(p).block(0, ki * bs, th, bs))),
+        )?;
+        let (_, _, ik) = b_owner(kg);
+        let b_h = col.ibcast_shared(
+            ik,
+            inner_tag(kg, ki, true),
+            bs,
+            tw,
+            outer_b.map(|p| C::share(C::shared_ref(p).block(ki * bs, 0, bs, tw))),
+        )?;
+        Ok((a_h, b_h))
+    };
+
+    let mut c = C::Mat::zeros(th, tw);
+    let inner_pairs = th * tw * bs;
+    if outer_steps == 0 {
+        return Ok(c);
+    }
+
+    // Two-slot buffers at both hierarchy levels. `outer_p[s]` holds the
+    // *landed* outer panels of the outer step occupying slot s (shared
+    // handles, so consecutive pivot ownership reuses the storage safely
+    // — a fresh panel always lands in the *other* slot while this one is
+    // still being sliced). `inner_h[idx % 2]` holds the in-flight slice
+    // broadcasts for global slice index idx = kg·inner_steps + ki.
+    let mut outer_h: [Option<OuterPair<C>>; 2] = [None, None];
+    let mut outer_p: [LandedPair<C>; 2] = [(None, None), (None, None)];
+    let mut inner_h: [Option<BcastPair<C>>; 2] = [None, None];
+
+    // Prime the pipeline. Ordering rule (it is THE rule of this
+    // schedule): a root posts its fan-out *before* it blocks on anything
+    // — sender time is a serial resource, so a send issued after a wait
+    // arrives a whole wait later at every destination. Hence outer step
+    // 1 is started before outer step 0 is landed.
+    outer_h[0] = Some(start_outer(0)?);
+    if outer_steps > 1 {
+        outer_h[1] = Some(start_outer(1)?);
+    }
+    let (a_h, b_h) = outer_h[0].take().expect("outer 0 started");
+    outer_p[0] = (
+        a_h.map(|h| group_row.ibcast_wait(h)).transpose()?,
+        b_h.map(|h| group_col.ibcast_wait(h)).transpose()?,
+    );
+    inner_h[0] = Some(start_inner(
+        0,
+        0,
+        outer_p[0].0.as_ref(),
+        outer_p[0].1.as_ref(),
+    )?);
+
+    for kg in 0..outer_steps {
+        for ki in 0..inner_steps {
+            let idx = kg * inner_steps + ki;
+            let boundary = ki + 1 == inner_steps && kg + 1 < outer_steps;
+            // Keep the inner pipeline one slice ahead. At the outer
+            // boundary (last slice of kg) this means landing outer step
+            // kg+1 and starting *its* first slice — the cross-boundary
+            // overlap the one-step-lookahead baseline lacked.
+            if ki + 1 < inner_steps {
+                let (oa, ob) = &outer_p[kg % 2];
+                inner_h[(idx + 1) % 2] = Some(start_inner(kg, ki + 1, oa.as_ref(), ob.as_ref())?);
+            } else if boundary {
+                // Slot kg%2 is free (its handles were consumed when kg
+                // landed); refill it with outer kg+2's fan-out NOW, before
+                // any wait below can delay the sends.
+                if kg + 2 < outer_steps {
+                    outer_h[kg % 2] = Some(start_outer(kg + 2)?);
+                }
+                // Adaptive handoff: *poll* outer kg+1 (free — no clock
+                // advance, no park). Only if both panels already landed
+                // does the first slice of kg+1 start here, streaming
+                // during the gemm below. A still-in-flight outer panel
+                // must NOT be waited for in front of the multiply — that
+                // would put the inter-group transfer right back on the
+                // critical path — so it lands after the gemm instead,
+                // when the wait is hidden behind the compute just done.
+                let pair = outer_h[(kg + 1) % 2].as_mut().expect("outer kg+1 started");
+                let a_done = match pair.0.as_mut() {
+                    Some(h) => group_row.ibcast_test(h)?,
+                    None => true,
+                };
+                let b_done = match pair.1.as_mut() {
+                    Some(h) => group_col.ibcast_test(h)?,
+                    None => true,
+                };
+                if a_done && b_done {
+                    let (a_h, b_h) = outer_h[(kg + 1) % 2].take().expect("outer kg+1 started");
+                    outer_p[(kg + 1) % 2] = (
+                        a_h.map(|h| group_row.ibcast_wait(h)).transpose()?,
+                        b_h.map(|h| group_col.ibcast_wait(h)).transpose()?,
+                    );
+                    let (oa, ob) = &outer_p[(kg + 1) % 2];
+                    inner_h[(idx + 1) % 2] =
+                        Some(start_inner(kg + 1, 0, oa.as_ref(), ob.as_ref())?);
+                }
+            }
+            let (a_h, b_h) = inner_h[idx % 2].take().expect("inner slice started");
+            let a_in = row.ibcast_wait(a_h)?;
+            let b_in = col.ibcast_wait(b_h)?;
+            comm.compute(inner_pairs as f64, 2 * inner_pairs as u64, || {
+                C::Mat::gemm(
+                    cfg.kernel,
+                    C::shared_ref(&a_in),
+                    C::shared_ref(&b_in),
+                    &mut c,
+                )
+            });
+            if boundary && inner_h[(idx + 1) % 2].is_none() {
+                // Outer kg+1 was still in flight before the gemm: land
+                // it now, with the multiply's worth of transfer time
+                // already credited, and start its first slice.
+                let (a_h, b_h) = outer_h[(kg + 1) % 2].take().expect("outer kg+1 started");
+                outer_p[(kg + 1) % 2] = (
+                    a_h.map(|h| group_row.ibcast_wait(h)).transpose()?,
+                    b_h.map(|h| group_col.ibcast_wait(h)).transpose()?,
+                );
+                let (oa, ob) = &outer_p[(kg + 1) % 2];
+                inner_h[(idx + 1) % 2] = Some(start_inner(kg + 1, 0, oa.as_ref(), ob.as_ref())?);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// The pre-pipeline HSUMMA overlap baseline: outer panels prefetched one
+/// outer step ahead, a whole outer panel's worth of inner slices pushed
+/// in a burst once the outer panel lands, blocking receives throughout.
+/// Kept verbatim as the `overlap_pipeline` bench baseline; produces
+/// bit-identical results to [`hsumma_overlap`] and
+/// [`crate::hsumma::hsumma`], and moves the identical wire traffic.
+///
+/// # Panics
+/// Panics on the same configuration inconsistencies as `hsumma`.
+pub fn hsumma_overlap_lookahead<C: Communicator>(
     comm: &C,
     grid: GridShape,
     n: usize,
@@ -300,9 +644,12 @@ pub fn sim_overlap_benefit(platform: &Platform, grid: GridShape, n: usize, b: us
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::HierGrid;
+    use crate::hsumma::{hsumma, HsummaConfig};
     use crate::summa::summa;
     use crate::testutil::{distributed_product, reference_product};
     use hsumma_matrix::{seeded_uniform, GemmKernel};
+    use proptest::prelude::*;
 
     fn cfg(block: usize) -> SummaConfig {
         SummaConfig {
@@ -349,9 +696,44 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_equals_lookahead_exactly() {
+        // The rewrite changed *when* ranks block, not what they compute:
+        // pipelined and lookahead must agree bit for bit, on SUMMA and
+        // on HSUMMA.
+        let grid = GridShape::new(2, 2);
+        let n = 16;
+        let a = seeded_uniform(n, n, 73);
+        let b = seeded_uniform(n, n, 74);
+        let c = cfg(4);
+        let pipelined = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa_overlap(comm, grid, n, &at, &bt, &c).unwrap()
+        });
+        let lookahead = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            summa_overlap_lookahead(comm, grid, n, &at, &bt, &c).unwrap()
+        });
+        assert_eq!(pipelined, lookahead);
+
+        let grid = GridShape::new(4, 4);
+        let n = 32;
+        let a = seeded_uniform(n, n, 75);
+        let b = seeded_uniform(n, n, 76);
+        let hcfg = HsummaConfig {
+            outer_block: 8,
+            inner_block: 2,
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(GridShape::new(2, 2), 8)
+        };
+        let pipelined = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
+        });
+        let lookahead = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma_overlap_lookahead(comm, grid, n, &at, &bt, &hcfg).unwrap()
+        });
+        assert_eq!(pipelined, lookahead);
+    }
+
+    #[test]
     fn hsumma_overlap_matches_serial_across_groupings() {
-        use crate::grid::HierGrid;
-        use crate::hsumma::HsummaConfig;
         let grid = GridShape::new(4, 4);
         let n = 16;
         let a = seeded_uniform(n, n, 81);
@@ -371,7 +753,6 @@ mod tests {
 
     #[test]
     fn hsumma_overlap_equals_hsumma_exactly() {
-        use crate::hsumma::{hsumma, HsummaConfig};
         let grid = GridShape::new(4, 4);
         let n = 32;
         let a = seeded_uniform(n, n, 83);
@@ -389,6 +770,109 @@ mod tests {
             hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
         });
         assert_eq!(plain, overlapped, "same local op order => bitwise equal");
+    }
+
+    #[test]
+    fn consecutive_pivot_owner_reuses_slots_safely() {
+        // The buffer-reuse hazard: outer_block < tile width means the
+        // same group column owns the pivot panel two outer steps in a
+        // row (kg·bb/tw identical for consecutive kg), so both outer
+        // slots hold panels from the *same* owner simultaneously. The
+        // two-slot protocol must keep them apart.
+        let grid = GridShape::new(4, 4);
+        let n = 32; // tiles 8×8, bb = 4 => outer owner repeats: 0,0,1,1,...
+        let a = seeded_uniform(n, n, 85);
+        let b = seeded_uniform(n, n, 86);
+        let hcfg = HsummaConfig {
+            outer_block: 4,
+            inner_block: 2,
+            kernel: GemmKernel::Blocked,
+            ..HsummaConfig::uniform(GridShape::new(2, 2), 4)
+        };
+        let owner = |kg: usize| (kg * hcfg.outer_block) / 8;
+        assert_eq!(
+            owner(0),
+            owner(1),
+            "precondition: steps 0 and 1 share a pivot owner"
+        );
+        let plain = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
+        });
+        let pipelined = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+            hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
+        });
+        assert_eq!(plain, pipelined);
+    }
+
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    fn divisors(v: usize) -> Vec<usize> {
+        (1..=v).filter(|d| v.is_multiple_of(*d)).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn pipelined_paths_match_reference_on_awkward_shapes(
+            rows in 1usize..4,
+            cols in 1usize..4,
+            tile in 1usize..4,
+            pick in 0usize..1024,
+        ) {
+            // Non-square grids, non-square tiles, every valid grouping
+            // reachable by `pick` — including shapes where a group owns
+            // the pivot panel several steps in a row (bb < tile extent).
+            let grid = GridShape::new(rows, cols);
+            let n = rows * cols * tile * 2;
+            let (th, tw) = (n / rows, n / cols);
+            let bbs = divisors(gcd(th, tw));
+            let bb = bbs[pick % bbs.len()];
+            let bss = divisors(bb);
+            let bs = bss[(pick / bbs.len()) % bss.len()];
+            let groupings = HierGrid::valid_group_counts(grid);
+            let (_, groups) = groupings[(pick / 7) % groupings.len()];
+
+            let a = seeded_uniform(n, n, 90 + pick as u64);
+            let b = seeded_uniform(n, n, 91 + pick as u64);
+            let want = reference_product(&a, &b);
+
+            let scfg = cfg(bs);
+            let got = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+                summa_overlap(comm, grid, n, &at, &bt, &scfg).unwrap()
+            });
+            prop_assert!(
+                got.approx_eq(&want, 1e-9),
+                "summa {rows}x{cols} n={n} bs={bs}: err {}",
+                got.max_abs_diff(&want)
+            );
+
+            let hcfg = HsummaConfig {
+                outer_block: bb,
+                inner_block: bs,
+                kernel: GemmKernel::Blocked,
+                ..HsummaConfig::uniform(groups, bb)
+            };
+            let blocking = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+                hsumma(comm, grid, n, &at, &bt, &hcfg).unwrap()
+            });
+            let pipelined = distributed_product(grid, n, &a, &b, |comm, at, bt| {
+                hsumma_overlap(comm, grid, n, &at, &bt, &hcfg).unwrap()
+            });
+            prop_assert!(
+                pipelined.approx_eq(&want, 1e-9),
+                "hsumma {rows}x{cols} n={n} G={groups:?} bb={bb} bs={bs}: err {}",
+                pipelined.max_abs_diff(&want)
+            );
+            // Stronger than approx: the pipeline preserves the exact
+            // accumulation order of the blocking reference.
+            prop_assert_eq!(blocking, pipelined);
+        }
     }
 
     #[test]

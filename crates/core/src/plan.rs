@@ -11,6 +11,7 @@
 use crate::cannon::cannon;
 use crate::comm::Communicator;
 use crate::hsumma::{hsumma, HsummaConfig};
+use crate::overlap::{hsumma_overlap, summa_overlap};
 use crate::summa::{summa, SummaConfig};
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_runtime::CommError;
@@ -20,8 +21,16 @@ use hsumma_runtime::CommError;
 pub enum PlannedAlgo {
     /// SUMMA with the given panel width / broadcast / kernel.
     Summa(SummaConfig),
+    /// SUMMA over the double-buffered pivot pipeline
+    /// ([`crate::overlap::summa_overlap`]); `cfg.bcast` is ignored —
+    /// nonblocking flat pushes replace the collective.
+    SummaPipelined(SummaConfig),
     /// HSUMMA with a concrete `(I × J, B, b)` grouping.
     Hsumma(HsummaConfig),
+    /// HSUMMA over the two-level pivot pipeline
+    /// ([`crate::overlap::hsumma_overlap`]); the `*_bcast` fields are
+    /// ignored — nonblocking flat pushes replace the collectives.
+    HsummaPipelined(HsummaConfig),
     /// Cannon's algorithm (square grids only).
     Cannon {
         /// Local multiply kernel.
@@ -34,11 +43,28 @@ impl PlannedAlgo {
     pub fn describe(&self) -> String {
         match self {
             PlannedAlgo::Summa(cfg) => format!("summa(b={})", cfg.block),
+            PlannedAlgo::SummaPipelined(cfg) => format!("summa+pipe(b={})", cfg.block),
             PlannedAlgo::Hsumma(cfg) => format!(
                 "hsumma(G={}x{}, B={}, b={})",
                 cfg.groups.rows, cfg.groups.cols, cfg.outer_block, cfg.inner_block
             ),
+            PlannedAlgo::HsummaPipelined(cfg) => format!(
+                "hsumma+pipe(G={}x{}, B={}, b={})",
+                cfg.groups.rows, cfg.groups.cols, cfg.outer_block, cfg.inner_block
+            ),
             PlannedAlgo::Cannon { .. } => "cannon".to_string(),
+        }
+    }
+
+    /// Which GEMM path the plan takes: `"pipelined"` for the
+    /// double-buffered overlap variants, `"blocking"` otherwise. Benches
+    /// report this per job so BENCH_*.json entries stay attributable.
+    pub fn gemm_path(&self) -> &'static str {
+        match self {
+            PlannedAlgo::SummaPipelined(_) | PlannedAlgo::HsummaPipelined(_) => "pipelined",
+            PlannedAlgo::Summa(_) | PlannedAlgo::Hsumma(_) | PlannedAlgo::Cannon { .. } => {
+                "blocking"
+            }
         }
     }
 }
@@ -60,7 +86,9 @@ pub fn run_planned<C: Communicator>(
 ) -> Result<C::Mat, CommError> {
     match plan {
         PlannedAlgo::Summa(cfg) => summa(comm, grid, n, a, b, cfg),
+        PlannedAlgo::SummaPipelined(cfg) => summa_overlap(comm, grid, n, a, b, cfg),
         PlannedAlgo::Hsumma(cfg) => hsumma(comm, grid, n, a, b, cfg),
+        PlannedAlgo::HsummaPipelined(cfg) => hsumma_overlap(comm, grid, n, a, b, cfg),
         PlannedAlgo::Cannon { kernel } => cannon(comm, grid, n, a, b, *kernel),
     }
 }
@@ -108,6 +136,40 @@ mod tests {
     }
 
     #[test]
+    fn dispatches_pipelined_variants() {
+        check(
+            PlannedAlgo::SummaPipelined(SummaConfig {
+                block: 4,
+                ..SummaConfig::default()
+            }),
+            GridShape::new(2, 2),
+            16,
+        );
+        check(
+            PlannedAlgo::HsummaPipelined(HsummaConfig::uniform(GridShape::new(2, 2), 4)),
+            GridShape::new(4, 4),
+            32,
+        );
+    }
+
+    #[test]
+    fn gemm_path_attributes_the_plan() {
+        let cfg = SummaConfig::default();
+        assert_eq!(PlannedAlgo::Summa(cfg).gemm_path(), "blocking");
+        assert_eq!(PlannedAlgo::SummaPipelined(cfg).gemm_path(), "pipelined");
+        let hcfg = HsummaConfig::uniform(GridShape::new(2, 2), 4);
+        assert_eq!(PlannedAlgo::Hsumma(hcfg).gemm_path(), "blocking");
+        assert_eq!(PlannedAlgo::HsummaPipelined(hcfg).gemm_path(), "pipelined");
+        assert_eq!(
+            PlannedAlgo::Cannon {
+                kernel: GemmKernel::Packed
+            }
+            .gemm_path(),
+            "blocking"
+        );
+    }
+
+    #[test]
     fn dispatches_cannon() {
         check(
             PlannedAlgo::Cannon {
@@ -125,6 +187,14 @@ mod tests {
         assert_eq!(
             PlannedAlgo::Summa(SummaConfig::default()).describe(),
             "summa(b=32)"
+        );
+        assert_eq!(
+            PlannedAlgo::SummaPipelined(SummaConfig::default()).describe(),
+            "summa+pipe(b=32)"
+        );
+        assert_eq!(
+            PlannedAlgo::HsummaPipelined(HsummaConfig::uniform(GridShape::new(2, 4), 8)).describe(),
+            "hsumma+pipe(G=2x4, B=8, b=8)"
         );
     }
 }

@@ -71,6 +71,23 @@ impl CostBreakdown {
     pub fn total(&self) -> f64 {
         self.latency + self.bandwidth + self.compute
     }
+
+    /// Predicted execution time when panel transfers are pipelined
+    /// behind the multiply (the §VI overlap, realized by the
+    /// double-buffered `summa_overlap`/`hsumma_overlap` pipeline): the
+    /// latency term stays serial — every step still pays its `α·log`
+    /// startup before the first byte moves — but the bandwidth term
+    /// streams concurrently with compute, so only the larger of the two
+    /// is exposed: `α-term + max(β-term, γ-term)`.
+    pub fn pipelined(&self) -> f64 {
+        self.latency + self.bandwidth.max(self.compute)
+    }
+
+    /// Time the pipeline hides relative to the blocking schedule:
+    /// `total − pipelined = min(β-term, γ-term)`.
+    pub fn overlap_win(&self) -> f64 {
+        self.total() - self.pipelined()
+    }
 }
 
 /// Per-processor compute time: `n³/p` multiply-add pairs (the paper's
@@ -366,6 +383,29 @@ mod tests {
         };
         assert_eq!(c.comm(), 3.0);
         assert_eq!(c.total(), 7.0);
+    }
+
+    #[test]
+    fn pipelined_exposes_max_of_bandwidth_and_compute() {
+        // Compute-bound: the bandwidth term hides entirely.
+        let c = CostBreakdown {
+            latency: 1.0,
+            bandwidth: 2.0,
+            compute: 4.0,
+        };
+        assert_eq!(c.pipelined(), 5.0);
+        assert_eq!(c.overlap_win(), 2.0);
+        // Bandwidth-bound: the compute hides instead.
+        let c = CostBreakdown {
+            latency: 1.0,
+            bandwidth: 6.0,
+            compute: 4.0,
+        };
+        assert_eq!(c.pipelined(), 7.0);
+        assert_eq!(c.overlap_win(), 4.0);
+        // Pipelining never loses, and latency is never hidden.
+        assert!(c.pipelined() <= c.total());
+        assert!(c.pipelined() >= c.latency);
     }
 
     #[test]

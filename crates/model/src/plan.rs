@@ -50,6 +50,24 @@ pub struct PlanAdvice {
     /// Cannon's predicted cost — `None` when `√p` is not integral (Cannon
     /// requires a square grid, §I).
     pub cannon: Option<CostBreakdown>,
+    /// The winner's predicted time with the double-buffered pivot
+    /// pipeline (the §VI overlap term): `α·log + max(β·bytes, γ·flops)`
+    /// instead of the blocking sum. Always ≤ `predicted.total()`; the
+    /// gap is [`CostBreakdown::overlap_win`].
+    pub predicted_pipelined: f64,
+}
+
+impl PlanAdvice {
+    /// Fraction of the winner's blocking time the pipeline hides:
+    /// `1 − pipelined/total`. Zero when the schedule is pure latency.
+    pub fn overlap_win_fraction(&self) -> f64 {
+        let total = self.predicted.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.predicted_pipelined / total
+        }
+    }
 }
 
 /// Picks the predicted-cheapest algorithm for a square `n × n` multiply
@@ -104,6 +122,7 @@ pub fn advise_square(
         summa,
         hsumma: (best_h.g, best_h.hsumma),
         cannon,
+        predicted_pipelined: predicted.pipelined(),
     }
 }
 
@@ -181,6 +200,16 @@ mod tests {
         .flatten()
         .fold(f64::INFINITY, f64::min);
         assert!((advice.predicted.comm() - best).abs() <= 1e-12 * best);
+    }
+
+    #[test]
+    fn overlap_term_is_the_pipelined_cost_of_the_winner() {
+        let params = ModelParams::bluegene_p();
+        let advice = advise_square(&params, BcastModel::VanDeGeijn, 65536.0, 16384.0, 256.0);
+        assert_eq!(advice.predicted_pipelined, advice.predicted.pipelined());
+        assert!(advice.predicted_pipelined <= advice.predicted.total());
+        let f = advice.overlap_win_fraction();
+        assert!((0.0..1.0).contains(&f), "hid {f} of the blocking time");
     }
 
     #[test]

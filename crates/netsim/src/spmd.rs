@@ -550,6 +550,81 @@ impl<'w> SimComm<'w> {
         }
     }
 
+    /// Non-blocking receive probe in *virtual* time: `Ok(Some(bytes))`
+    /// when the next phantom message from `src` with `tag` has arrived
+    /// by this rank's current virtual clock (it is then consumed and
+    /// delivered, advancing the clock at most to its arrival),
+    /// `Ok(None)` when it has not. A negative probe neither advances
+    /// the clock nor charges waiting time — polling is free in virtual
+    /// time, which is what lets the critical-path analyzer see a
+    /// deferred completion as overlapped rather than serialized.
+    ///
+    /// Determinism: the probe's answer is a function of virtual clocks
+    /// only, never of host-thread scheduling. When no matching message
+    /// is queued yet the rank *parks in wall-clock time* (conservative
+    /// parallel-discrete-event synchronization) until the sender's
+    /// matching send is posted — whose virtual `arrival` then decides
+    /// Some/None exactly — or the world quiesces. Parking costs no
+    /// virtual time, so the probe is still "free"; it merely refuses to
+    /// answer before the answer is determined.
+    ///
+    /// Fails with [`CommError::Timeout`] — naming the stalled edge —
+    /// when the deadline has already passed or the world quiesced with
+    /// no deliverable message, so a poll loop over a dropped broadcast
+    /// diagnoses the stall instead of spinning forever.
+    pub fn try_recv_bytes(&self, src: usize, tag: u64) -> Result<Option<u64>, CommError> {
+        let src_w = self.members[src];
+        let dst_w = self.world_me();
+        let key = (self.ctx, src_w, dst_w, tag);
+        let mut st = self.world.lock();
+        loop {
+            let d = st.deadline;
+            if let Some(d) = d {
+                if st.net.now(dst_w) >= d {
+                    return Err(self.timeout(dst_w, src_w, tag, "try_recv"));
+                }
+            }
+            let head = st.mail.get(&key).and_then(|q| q.front().copied());
+            if let Some(msg) = head {
+                if msg.arrival() <= st.net.now(dst_w) {
+                    let msg = st
+                        .mail
+                        .get_mut(&key)
+                        .and_then(VecDeque::pop_front)
+                        .expect("head message vanished under the lock");
+                    let bytes = msg.payload_bytes();
+                    st.net.deliver(dst_w, msg);
+                    return Ok(Some(bytes));
+                }
+                // Posted but virtually still in flight: a poll at this
+                // rank's `now` deterministically sees nothing. Leave it
+                // queued for the eventual wait.
+                return Ok(None);
+            }
+            if st.net.now(src_w) > st.net.now(dst_w) {
+                // The sender's clock is already past ours, so any send
+                // it has yet to post departs later than our `now` and
+                // cannot have arrived: deterministically None.
+                return Ok(None);
+            }
+            if st.timed_out {
+                // World quiesced: nothing further will arrive, and this
+                // rank's clock will never advance to meet an in-flight
+                // arrival. Fail at the deadline exactly like `recv_bytes`.
+                if let Some(d) = d {
+                    st.net.wait_until(dst_w, d);
+                }
+                return Err(self.timeout(dst_w, src_w, tag, "try_recv"));
+            }
+            let (guard, dead) = self.world.park(st, dst_w);
+            st = guard;
+            if dead {
+                drop(st);
+                panic!("{DEADLOCK_MSG}");
+            }
+        }
+    }
+
     /// Charges `pairs` multiply-add pairs of local compute to this rank's
     /// clock at the world's `γ` seconds per pair — the paper's compute
     /// model. `pairs` is fractional because non-GEMM kernels charge

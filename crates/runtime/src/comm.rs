@@ -231,6 +231,32 @@ impl Comm {
     /// peer's death as an error like the blocking form does.
     pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Result<Option<T>, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.try_recv_impl(src, tag, None)
+    }
+
+    /// Non-blocking receive of a payload whose wire size the caller
+    /// knows: [`Comm::try_recv`] with the byte ledgers and trace
+    /// accounting `bytes`, the polling counterpart of
+    /// [`Comm::recv_sized`]. This is the completion probe behind
+    /// nonblocking collectives (`ibcast_test`): it never blocks, never
+    /// parks the rank, and charges bytes only when a message is actually
+    /// consumed.
+    pub fn try_recv_sized<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        bytes: u64,
+    ) -> Result<Option<T>, CommError> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.try_recv_impl(src, tag, Some(bytes))
+    }
+
+    fn try_recv_impl<T: Any + Send>(
+        &self,
+        src: usize,
+        tag: Tag,
+        bytes: Option<u64>,
+    ) -> Result<Option<T>, CommError> {
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
         let src_world = self.members[src];
@@ -244,7 +270,7 @@ impl Comm {
             let mut stats = self.shared.stats.borrow_mut();
             if let Some(v) = &value {
                 stats.msgs_recv += 1;
-                stats.bytes_recv += payload_bytes_of(v);
+                stats.bytes_recv += bytes.unwrap_or_else(|| payload_bytes_of(v));
             }
             stats.comm_seconds += t0.elapsed().as_secs_f64();
         }
@@ -255,7 +281,7 @@ impl Comm {
                         src: src_world,
                         tag,
                         channel: self.ctx,
-                        bytes: payload_bytes_of(v),
+                        bytes: bytes.unwrap_or_else(|| payload_bytes_of(v)),
                     },
                     tr0,
                     self.shared.sink.now(),

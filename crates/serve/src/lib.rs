@@ -45,5 +45,5 @@ pub mod server;
 pub use job::{
     JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, JobState, PlanHint, SubmitError,
 };
-pub use planner::{Planned, Planner, PlannerConfig, PlannerStats, ShapeClass};
+pub use planner::{PipelinePolicy, Planned, Planner, PlannerConfig, PlannerStats, ShapeClass};
 pub use server::{GemmServer, ServerConfig, ServerStats};

@@ -46,6 +46,8 @@ pub struct PlannerConfig {
     /// Whether to refine HSUMMA's `G` on the simulator (pass 2). When
     /// `false` the analytic `G` is used directly and no sweeps run.
     pub refine_with_sim: bool,
+    /// When to take the double-buffered overlap GEMM path.
+    pub pipeline: PipelinePolicy,
 }
 
 impl Default for PlannerConfig {
@@ -54,9 +56,34 @@ impl Default for PlannerConfig {
             platform: Platform::grid5000(),
             bcast: BcastModel::Binomial,
             refine_with_sim: true,
+            pipeline: PipelinePolicy::Auto,
         }
     }
 }
+
+/// Whether plans use the pipelined (double-buffered overlap) GEMM path
+/// or the blocking collectives.
+///
+/// In the pure cost model pipelining never loses — `α + max(β·m, γ·f)`
+/// is at most `α + β·m + γ·f` — so an unconditional "always pipeline"
+/// rule would make the choice vacuous. `Auto` instead demands a
+/// *material* modeled win before taking the pipelined path, mirroring
+/// the `fault_overhead` guard: the handle machinery is only free when
+/// there is real transfer time to hide behind real compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelinePolicy {
+    /// Pipeline when the model predicts the overlap hides more than 2%
+    /// of the blocking execution time ([`hsumma_model::PlanAdvice::overlap_win_fraction`]).
+    Auto,
+    /// Always use the blocking collectives (pre-pipeline behavior).
+    Blocking,
+    /// Always use the pipelined path (where one exists; Cannon has none).
+    Pipelined,
+}
+
+/// `Auto`'s threshold: the modeled fraction of blocking time the
+/// pipeline must hide before it is worth the handle machinery.
+const AUTO_MIN_WIN: f64 = 0.02;
 
 /// Cache key: problems of the same rank count and size class share a plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,8 +123,8 @@ pub struct PlannerStats {
 /// is re-derived per job — a divisor search, not a simulator sweep.
 #[derive(Clone, Copy, Debug)]
 enum CachedChoice {
-    Summa,
-    Hsumma { groups: GridShape },
+    Summa { pipelined: bool },
+    Hsumma { groups: GridShape, pipelined: bool },
     Cannon,
 }
 
@@ -172,9 +199,16 @@ impl Planner {
             gamma: self.config.platform.gamma,
         };
         let advice = advise_square(&params, self.config.bcast, n as f64, p as f64, block as f64);
+        // Path decision: does the modeled overlap win justify the
+        // pipelined schedule for this shape class?
+        let pipelined = match self.config.pipeline {
+            PipelinePolicy::Auto => advice.overlap_win_fraction() > AUTO_MIN_WIN,
+            PipelinePolicy::Blocking => false,
+            PipelinePolicy::Pipelined => true,
+        };
         match advice.choice {
             AlgoChoice::Cannon if self.grid.rows == self.grid.cols => CachedChoice::Cannon,
-            AlgoChoice::Summa | AlgoChoice::Cannon => CachedChoice::Summa,
+            AlgoChoice::Summa | AlgoChoice::Cannon => CachedChoice::Summa { pipelined },
             AlgoChoice::Hsumma { g } => {
                 let g = if self.config.refine_with_sim {
                     self.refine_g(n, block)
@@ -182,10 +216,10 @@ impl Planner {
                     g as usize
                 };
                 match HierGrid::factor_groups(self.grid, g) {
-                    Some(groups) => CachedChoice::Hsumma { groups },
+                    Some(groups) => CachedChoice::Hsumma { groups, pipelined },
                     // No valid factorization of the advised G on this
                     // grid: fall back to the G = 1 degenerate (SUMMA).
-                    None => CachedChoice::Summa,
+                    None => CachedChoice::Summa { pipelined },
                 }
             }
         }
@@ -196,12 +230,24 @@ impl Planner {
     fn materialize(&self, choice: CachedChoice, n: usize) -> PlannedAlgo {
         let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
         match choice {
-            CachedChoice::Summa => PlannedAlgo::Summa(SummaConfig {
-                block,
-                ..SummaConfig::default()
-            }),
-            CachedChoice::Hsumma { groups } => {
-                PlannedAlgo::Hsumma(HsummaConfig::uniform(groups, block))
+            CachedChoice::Summa { pipelined } => {
+                let cfg = SummaConfig {
+                    block,
+                    ..SummaConfig::default()
+                };
+                if pipelined {
+                    PlannedAlgo::SummaPipelined(cfg)
+                } else {
+                    PlannedAlgo::Summa(cfg)
+                }
+            }
+            CachedChoice::Hsumma { groups, pipelined } => {
+                let cfg = HsummaConfig::uniform(groups, block);
+                if pipelined {
+                    PlannedAlgo::HsummaPipelined(cfg)
+                } else {
+                    PlannedAlgo::Hsumma(cfg)
+                }
             }
             CachedChoice::Cannon => PlannedAlgo::Cannon {
                 kernel: GemmKernel::Packed,
@@ -296,11 +342,11 @@ mod tests {
             let planned = planner.plan_square(n);
             let (th, tw) = (n / grid.rows, n / grid.cols);
             match planned.plan {
-                PlannedAlgo::Summa(cfg) => {
+                PlannedAlgo::Summa(cfg) | PlannedAlgo::SummaPipelined(cfg) => {
                     assert_eq!(th % cfg.block, 0);
                     assert_eq!(tw % cfg.block, 0);
                 }
-                PlannedAlgo::Hsumma(cfg) => {
+                PlannedAlgo::Hsumma(cfg) | PlannedAlgo::HsummaPipelined(cfg) => {
                     assert_eq!(th % cfg.inner_block, 0);
                     assert_eq!(tw % cfg.inner_block, 0);
                     assert_eq!(grid.rows % cfg.groups.rows, 0);
@@ -308,6 +354,55 @@ mod tests {
                 }
                 PlannedAlgo::Cannon { .. } => assert_eq!(grid.rows, grid.cols),
             }
+        }
+    }
+
+    #[test]
+    fn pipeline_policy_forces_the_path() {
+        // Non-square grid so Cannon (which has no pipelined variant) is
+        // out of the running and the forced policies can pin the path.
+        for (policy, want) in [
+            (PipelinePolicy::Blocking, "blocking"),
+            (PipelinePolicy::Pipelined, "pipelined"),
+        ] {
+            let config = PlannerConfig {
+                pipeline: policy,
+                ..PlannerConfig::default()
+            };
+            let mut planner = Planner::new(GridShape::new(2, 4), config);
+            assert_eq!(planner.plan_square(256).plan.gemm_path(), want);
+        }
+    }
+
+    #[test]
+    fn auto_policy_agrees_with_the_model_overlap_win() {
+        // Auto's decision must be exactly the model's: pipeline iff the
+        // predicted overlap hides more than the threshold fraction.
+        let grid = GridShape::new(2, 4);
+        let config = PlannerConfig::default();
+        for n in [64usize, 256, 1024] {
+            let params = hsumma_model::ModelParams {
+                alpha: config.platform.net.alpha,
+                beta: config.platform.net.beta,
+                gamma: config.platform.gamma,
+            };
+            let block = preferred_block(n / grid.rows, n / grid.cols);
+            let advice = advise_square(
+                &params,
+                config.bcast,
+                n as f64,
+                grid.size() as f64,
+                block as f64,
+            );
+            let mut planner = Planner::new(grid, config.clone());
+            let plan = planner.plan_square(n).plan;
+            assert_eq!(
+                plan.gemm_path() == "pipelined",
+                advice.overlap_win_fraction() > AUTO_MIN_WIN,
+                "n={n}: plan {} vs modeled win {}",
+                plan.describe(),
+                advice.overlap_win_fraction()
+            );
         }
     }
 

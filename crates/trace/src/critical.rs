@@ -55,6 +55,40 @@ pub struct PathCost {
 }
 
 impl CriticalPath {
+    /// Message edges that occur *after* the chain has started computing
+    /// — steady-state stalls, as opposed to pipeline-fill edges. Any
+    /// cold-started SPMD broadcast schedule necessarily has fill edges
+    /// on its longest chain (the last-finishing rank is one that waited
+    /// for the first panel; no schedule can hide a transfer before there
+    /// is compute to hide it behind), so the meaningful overlap signal
+    /// is whether any transfer stalls the multiply loop *once it is
+    /// running*.
+    pub fn steady_state_edges(&self) -> Vec<MessageEdge> {
+        let first_compute = self
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Compute { .. }));
+        let Some(fc) = first_compute else {
+            return Vec::new();
+        };
+        let cutoff = self.events[fc].t1;
+        self.message_edges
+            .iter()
+            .filter(|e| e.arrive > cutoff)
+            .copied()
+            .collect()
+    }
+
+    /// Whether every message edge on the path is pipeline fill: once the
+    /// chain's first compute completes, no transfer ever stalls it
+    /// again, i.e. steady-state communication is fully hidden behind the
+    /// multiply. This is the acceptance signal for the pipelined overlap
+    /// algorithms — at compute-bound sizes their broadcast edges must
+    /// leave the steady-state critical path entirely.
+    pub fn is_compute_bound(&self) -> bool {
+        self.steady_state_edges().is_empty()
+    }
+
     /// Attributes the path's message edges to latency (α per hop) and
     /// bandwidth (β per byte), and sums the compute spans on the path.
     pub fn attribute(&self, alpha: f64, beta: f64) -> PathCost {
@@ -355,6 +389,39 @@ mod tests {
         assert!((cost.alpha_seconds - 0.5).abs() < 1e-12);
         assert!((cost.beta_seconds - 1.0).abs() < 1e-12);
         assert!((cost.compute_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_edges_do_not_break_compute_bound() {
+        // Rank 1 waits for the first panel (fill edge), then computes to
+        // the end: compute-bound despite the edge.
+        let events = vec![
+            ev(0, 0.0, 1.0, send(1, 8)),
+            ev(1, 0.0, 1.0, recv(0, 8)),
+            ev(1, 1.0, 9.0, EventKind::Compute { flops: 100 }),
+        ];
+        let cp = critical_path(&events);
+        assert_eq!(cp.message_edges.len(), 1);
+        assert!(cp.steady_state_edges().is_empty());
+        assert!(cp.is_compute_bound());
+    }
+
+    #[test]
+    fn steady_state_stall_breaks_compute_bound() {
+        // The multiply is already running (rank 0 computes, then sends a
+        // panel rank 1 stalls on): an edge past the chain's first compute
+        // is a steady-state stall, not pipeline fill.
+        let events = vec![
+            ev(0, 0.0, 2.0, EventKind::Compute { flops: 100 }),
+            ev(0, 2.0, 3.0, send(1, 8)),
+            ev(1, 0.0, 1.0, EventKind::Compute { flops: 100 }),
+            ev(1, 1.0, 3.0, recv(0, 8)),
+            ev(1, 3.0, 4.0, EventKind::Compute { flops: 100 }),
+        ];
+        let cp = critical_path(&events);
+        assert_eq!(cp.message_edges.len(), 1);
+        assert_eq!(cp.steady_state_edges().len(), 1);
+        assert!(!cp.is_compute_bound());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! eligibility. This is what makes a failure schedule *portable*: debug
 //! it in simulation, then reproduce it on real threads (or vice versa).
 
-use hsumma_repro::core::{summa, PhantomMat, SummaConfig};
+use hsumma_repro::core::{summa, summa_overlap, PhantomMat, SummaConfig};
 use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
 use hsumma_repro::netsim::{Platform, SimNet, SimRunOptions, SimWorld};
 use hsumma_repro::runtime::{JobOptions, Runtime};
@@ -42,7 +42,10 @@ type Replay = (Vec<Option<CommErrorKind>>, u64);
 
 /// Replays `plan` through SUMMA on the threaded runtime with a wall-clock
 /// deadline; faults counted from each rank's own [`CommStats`].
-fn replay_threaded(plan: &Arc<FaultPlan>) -> Replay {
+/// `pipelined` selects the nonblocking-collective schedule
+/// ([`summa_overlap`]) instead of the blocking reference, so the same
+/// plans can be replayed against in-flight `ibcast` traffic.
+fn replay_threaded(plan: &Arc<FaultPlan>, pipelined: bool) -> Replay {
     let grid = grid();
     let a = seeded_uniform(N, N, 71);
     let b = seeded_uniform(N, N, 72);
@@ -53,7 +56,12 @@ fn replay_threaded(plan: &Arc<FaultPlan>) -> Replay {
         .with_deadline(Duration::from_millis(300))
         .with_faults(Arc::clone(plan));
     let per_rank = Runtime::try_run_opts(grid.size(), &Tracer::disabled(), &opts, |comm| {
-        let r = summa(comm, grid, N, &at[comm.rank()], &bt[comm.rank()], &cfg());
+        let (mine_a, mine_b) = (&at[comm.rank()], &bt[comm.rank()]);
+        let r = if pipelined {
+            summa_overlap(comm, grid, N, mine_a, mine_b, &cfg())
+        } else {
+            summa(comm, grid, N, mine_a, mine_b, &cfg())
+        };
         (
             r.map(|_| ()).map_err(|e| e.kind()),
             comm.stats().faults_injected,
@@ -70,7 +78,7 @@ fn replay_threaded(plan: &Arc<FaultPlan>) -> Replay {
 
 /// Replays `plan` through the *same* SUMMA source on the simulator with a
 /// virtual-time deadline; faults counted by the [`SimWorld`] itself.
-fn replay_sim(plan: &Arc<FaultPlan>) -> Replay {
+fn replay_sim(plan: &Arc<FaultPlan>, pipelined: bool) -> Replay {
     let grid = grid();
     let platform = Platform::bluegene_p_effective();
     let tile = PhantomMat {
@@ -82,9 +90,12 @@ fn replay_sim(plan: &Arc<FaultPlan>) -> Replay {
         .with_faults(Arc::clone(plan));
     let net = SimNet::new(grid.size(), platform.net);
     let out = SimWorld::run_with(net, platform.gamma, false, &opts, |comm| {
-        summa(comm, grid, N, &tile, &tile, &cfg())
-            .map(|_| ())
-            .map_err(|e| e.kind())
+        let r = if pipelined {
+            summa_overlap(comm, grid, N, &tile, &tile, &cfg())
+        } else {
+            summa(comm, grid, N, &tile, &tile, &cfg())
+        };
+        r.map(|_| ()).map_err(|e| e.kind())
     });
     let kinds = out
         .results
@@ -94,16 +105,20 @@ fn replay_sim(plan: &Arc<FaultPlan>) -> Replay {
     (kinds, out.faults_injected)
 }
 
-fn assert_parity(plan: FaultPlan) -> Replay {
+fn assert_parity_on(plan: FaultPlan, pipelined: bool) -> Replay {
     let plan = Arc::new(plan);
-    let threaded = replay_threaded(&plan);
-    let sim = replay_sim(&plan);
+    let threaded = replay_threaded(&plan, pipelined);
+    let sim = replay_sim(&plan, pipelined);
     assert_eq!(
         threaded, sim,
         "threaded and simulated replays of the same fault plan disagree \
          (per-rank outcome kinds, injected-fault count)"
     );
     threaded
+}
+
+fn assert_parity(plan: FaultPlan) -> Replay {
+    assert_parity_on(plan, false)
 }
 
 #[test]
@@ -162,4 +177,120 @@ fn clean_plan_is_a_no_op_on_both_substrates() {
     let (kinds, injected) = assert_parity(FaultPlan::new());
     assert_eq!(injected, 0);
     assert!(kinds.iter().all(Option::is_none));
+}
+
+// ---------------------------------------------------------------------
+// The same plans replayed against the *pipelined* schedule: faults now
+// land on in-flight `ibcast` traffic — the drop happens at the
+// nonblocking start (the root's flat fan-out), but the victim only
+// discovers it at the deferred wait, possibly a full pipeline stage
+// after the panel "should" have arrived.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_in_flight_ibcast_times_out_identically_on_both_substrates() {
+    // Drop the step-0 A-panel ibcast 0 -> 1. The send vanishes at the
+    // pipeline's prologue; rank 1 posts its gemm-side work and only
+    // stalls when the deferred `ibcast_wait` finds the mailbox empty.
+    let (kinds, injected) = assert_parity_on(
+        FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::Collective, 0),
+        true,
+    );
+    assert_eq!(injected, 1, "exactly the one planned drop");
+    assert_eq!(
+        kinds[1],
+        Some(CommErrorKind::Timeout),
+        "the rank whose in-flight broadcast was dropped must time out at the wait"
+    );
+    // Unlike the blocking schedule (where this same drop cascades to
+    // every rank), the pipeline *contains* the stall: the roots posted
+    // their fan-outs before ever blocking, so ranks 2 and 3 — which
+    // never receive from the stalled rank 1 — run to completion. Only
+    // rank 0, which needs rank 1's later A-panels (never started,
+    // because rank 1 stalled before posting them), times out with it.
+    assert_eq!(
+        kinds,
+        vec![
+            Some(CommErrorKind::Timeout),
+            Some(CommErrorKind::Timeout),
+            None,
+            None
+        ],
+        "the pipelined schedule must contain the stall to the dependent column"
+    );
+}
+
+#[test]
+fn killed_rank_under_pipelined_schedule_matches_across_substrates() {
+    let (kinds, injected) = assert_parity_on(FaultPlan::new().kill_rank(3, 0), true);
+    assert_eq!(injected, 1, "the kill counts once");
+    assert_eq!(kinds[3], Some(CommErrorKind::Shutdown));
+    assert!(
+        kinds[..3].contains(&Some(CommErrorKind::Timeout)),
+        "at least one peer must stall on the dead rank: {kinds:?}"
+    );
+}
+
+#[test]
+fn delayed_in_flight_ibcast_within_deadline_completes_cleanly_on_both() {
+    // A sub-deadline delay on an in-flight ibcast is exactly what the
+    // pipeline exists to absorb: the panel arrives late but before the
+    // deferred wait's deadline, so the job completes clean on both
+    // substrates with the same single injected fault.
+    let (kinds, injected) = assert_parity_on(
+        FaultPlan::new().delay_nth(Some(0), Some(1), TagClass::Collective, 0, 0.01),
+        true,
+    );
+    assert_eq!(injected, 1);
+    assert!(
+        kinds.iter().all(Option::is_none),
+        "a late panel inside the deadline must not change the outcome: {kinds:?}"
+    );
+}
+
+/// The diagnostic itself (sim substrate, where the full error is easy to
+/// capture): a dropped in-flight ibcast must surface as
+/// [`CommError::Timeout`] whose edge names the expected sender and a
+/// collective-class tag — "which broadcast stalled", not just "a
+/// deadline passed".
+#[test]
+fn dropped_ibcast_timeout_names_the_stalled_edge() {
+    use hsumma_repro::trace::{CommError, COLLECTIVE_TAG_FLOOR};
+
+    let grid = grid();
+    let platform = Platform::bluegene_p_effective();
+    let tile = PhantomMat {
+        rows: N / grid.rows,
+        cols: N / grid.cols,
+    };
+    let plan = Arc::new(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::Collective, 0));
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(&plan));
+    let net = SimNet::new(grid.size(), platform.net);
+    let out = SimWorld::run_with(net, platform.gamma, false, &opts, |comm| {
+        summa_overlap(comm, grid, N, &tile, &tile, &cfg()).map(|_| ())
+    });
+
+    let err = out.results[1]
+        .as_ref()
+        .expect_err("rank 1's dropped broadcast must surface as an error");
+    match err {
+        CommError::Timeout { edge, .. } => {
+            assert_eq!(edge.rank, 1, "the error is reported by the stalled rank");
+            assert_eq!(edge.peer, 0, "the edge names the expected sender");
+            assert!(
+                edge.tag >= COLLECTIVE_TAG_FLOOR,
+                "the stalled tag must be collective-class, got {:#x}",
+                edge.tag
+            );
+        }
+        other => panic!("expected Timeout naming the stalled edge, got: {other}"),
+    }
+    // And the rendered message carries the edge for humans reading logs.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("rank 1") && msg.contains("rank 0"),
+        "display must name both endpoints: {msg}"
+    );
 }
