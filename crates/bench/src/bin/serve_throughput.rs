@@ -123,7 +123,11 @@ fn main() {
             distributed_product(w.grid, w.n, &operands[0].0, &operands[0].1, |comm, a, b| {
                 run_planned(comm, w.grid, w.n, &a, &b, &plan).unwrap()
             });
-        assert_eq!(outputs[0].c, check, "pooled and cold products must agree");
+        assert_eq!(
+            *outputs[0].c.dense(),
+            check,
+            "pooled and cold products must agree"
+        );
         (total, mean_wall)
     };
 

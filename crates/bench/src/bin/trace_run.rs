@@ -30,13 +30,16 @@ use hsumma_core::{
     TwoDotFiveConfig,
 };
 use hsumma_matrix::factor::seeded_diag_dominant;
+use hsumma_matrix::sparse::{seeded_sparse, CsrMatrix};
 use hsumma_matrix::{seeded_uniform, BlockCyclicDist, BlockDist, GemmKernel, GridShape, Matrix};
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet};
 use hsumma_runtime::{BcastAlgorithm, Runtime};
+use hsumma_sparse::{scatter_csr, sddmm_2d, spgemm_2d, PhantomSparse, SparseConfig};
 use hsumma_trace::{render_breakdown, Trace, Tracer};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Every algorithm the tracer knows how to drive on both substrates.
 pub const ALGOS: &[&str] = &[
@@ -52,18 +55,27 @@ pub const ALGOS: &[&str] = &[
     "twodotfive",
     "tsqr",
     "hierbcast",
+    "spgemm",
+    "sddmm",
 ];
+
+/// Fill used for the sparse operands of `--algo spgemm|sddmm`, chosen
+/// well inside the regime where the nnz-aware scoreboard keeps the CSR
+/// schedule (so the trace exercises genuinely nnz-dependent wire bytes).
+const SPARSE_DENSITY: f64 = 0.2;
 
 const USAGE: &str = "usage:
   trace_run [--algo summa|hsumma|cannon|fox|lu|cyclic|overlap|
-                    hsumma-overlap|rect|twodotfive|tsqr|hierbcast]
+                    hsumma-overlap|rect|twodotfive|tsqr|hierbcast|
+                    spgemm|sddmm]
             [--mode real|sim|both]
             [--p 16] [--n 128] [--b 8] [--B 16] [--G 4]
             [--machine grid5000|bluegene] [--out trace]
 trace an algorithm run; `both` verifies real and simulated runs emit
 identical per-rank (src, dst, bytes) message multisets
 (for twodotfive, --G is the replication depth c and p must equal q*q*c;
-for hierbcast, --G is the leader-group count of the two-level tree)";
+for hierbcast, --G is the leader-group count of the two-level tree;
+spgemm/sddmm move CSR payloads at 20% fill, pivot block --b)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -382,9 +394,48 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
                 hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels).unwrap();
             });
         }
+        "spgemm" => {
+            let scfg = sparse_cfg(cfg);
+            let (sa, sb) = sparse_operands(cfg);
+            let sat: Vec<Arc<CsrMatrix>> =
+                scatter_csr(grid, &sa).into_iter().map(Arc::new).collect();
+            let sbt: Vec<Arc<CsrMatrix>> =
+                scatter_csr(grid, &sb).into_iter().map(Arc::new).collect();
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let r = comm.rank();
+                spgemm_2d(comm, grid, n, &sat[r], &sbt[r], &scfg).unwrap();
+            });
+        }
+        "sddmm" => {
+            let scfg = sparse_cfg(cfg);
+            let s = seeded_sparse(n, n, SPARSE_DENSITY, 300);
+            let st: Vec<Arc<CsrMatrix>> = scatter_csr(grid, &s).into_iter().map(Arc::new).collect();
+            // The dense factors reuse the block-scattered A and B tiles.
+            Runtime::run_traced(grid.size(), &tracer, |comm| {
+                let r = comm.rank();
+                sddmm_2d(comm, grid, n, &st[r], &at[r], &bt[r], &scfg).unwrap();
+            });
+        }
         other => return Err(format!("unknown algorithm `{other}`")),
     }
     Ok(tracer.collect())
+}
+
+/// Sparse schedule config shared by the spgemm/sddmm arms: the pivot
+/// block is the same `--b` the dense algorithms use.
+fn sparse_cfg(cfg: &Config) -> SparseConfig {
+    SparseConfig {
+        block: cfg.inner_b,
+        ..SparseConfig::default()
+    }
+}
+
+/// The seeded CSR operands both substrates trace for `--algo spgemm`.
+fn sparse_operands(cfg: &Config) -> (CsrMatrix, CsrMatrix) {
+    (
+        seeded_sparse(cfg.n, cfg.n, SPARSE_DENSITY, 100),
+        seeded_sparse(cfg.n, cfg.n, SPARSE_DENSITY, 200),
+    )
 }
 
 /// The rectangular shape `rect` traces: `C (n x n) = A (n x 2n) · B (2n x n)`.
@@ -545,6 +596,39 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             SimWorld::run(net, gamma, false, move |comm| {
                 let mut m = PhantomMat { rows: n, cols: n };
                 hier_bcast(comm, BcastAlgorithm::Binomial, 0, &mut m, &levels).unwrap();
+            });
+        }
+        // The sparse schedules also run generically: the simulator holds
+        // only the nonzero *patterns* (`PhantomSparse`), yet must price
+        // every panel at its exact CSR wire size.
+        "spgemm" => {
+            let scfg = sparse_cfg(cfg);
+            let (sa, sb) = sparse_operands(cfg);
+            let sat: Vec<PhantomSparse> = scatter_csr(grid, &sa)
+                .iter()
+                .map(PhantomSparse::from_csr)
+                .collect();
+            let sbt: Vec<PhantomSparse> = scatter_csr(grid, &sb)
+                .iter()
+                .map(PhantomSparse::from_csr)
+                .collect();
+            SimWorld::run(net, gamma, false, move |comm| {
+                let r = comm.rank();
+                spgemm_2d(comm, grid, n, &sat[r], &sbt[r], &scfg).unwrap();
+            });
+        }
+        "sddmm" => {
+            let scfg = sparse_cfg(cfg);
+            let s = seeded_sparse(n, n, SPARSE_DENSITY, 300);
+            let st: Vec<PhantomSparse> = scatter_csr(grid, &s)
+                .iter()
+                .map(PhantomSparse::from_csr)
+                .collect();
+            let (th, tw) = (n / grid.rows, n / grid.cols);
+            SimWorld::run(net, gamma, false, move |comm| {
+                let r = comm.rank();
+                let tile = PhantomMat { rows: th, cols: tw };
+                sddmm_2d(comm, grid, n, &st[r], &tile, &tile, &scfg).unwrap();
             });
         }
         other => return Err(format!("unknown algorithm `{other}`")),

@@ -28,7 +28,7 @@ use hsumma_matrix::factor::{lu_nopiv_inplace, qr_thin, trsm_left_lower_unit, trs
 use hsumma_matrix::{gemm, gemm_scaled, GemmKernel, Matrix};
 use hsumma_netsim::SimComm;
 use hsumma_runtime::collectives::{self, chunk_range};
-use hsumma_runtime::{BcastAlgorithm, Comm, CommError};
+use hsumma_runtime::{BcastAlgorithm, Comm, CommError, WirePayload};
 use std::sync::Arc;
 
 /// Matrix operations the generic algorithms need. Implemented by the real
@@ -120,6 +120,14 @@ pub struct PhantomMat {
     pub rows: usize,
     /// Column count of the matrix this stands in for.
     pub cols: usize,
+}
+
+/// A phantom stand-in ships exactly the bytes the dense matrix it
+/// models would — the sim substrate's half of the shared accounting.
+impl WirePayload for PhantomMat {
+    fn payload_bytes(&self) -> u64 {
+        (self.rows * self.cols * 8) as u64
+    }
 }
 
 impl MatLike for PhantomMat {
@@ -432,9 +440,12 @@ pub trait Communicator: Sized {
     fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R;
 }
 
-/// Wire size of a dense `rows × cols` `f64` matrix.
+/// Wire size of a dense `rows × cols` tile, asked of the payload's
+/// [`WirePayload`] hook (`PhantomMat` models the same bytes a real
+/// `Matrix` of that shape ships, so both substrates account through one
+/// code path).
 fn mat_bytes(rows: usize, cols: usize) -> u64 {
-    (rows * cols * 8) as u64
+    PhantomMat { rows, cols }.payload_bytes()
 }
 
 // ---------------------------------------------------------------------------
@@ -456,8 +467,7 @@ impl Communicator for Comm {
     }
 
     fn send_mat(&self, dst: usize, tag: u64, mat: Matrix) -> Result<(), CommError> {
-        let bytes = mat_bytes(mat.rows(), mat.cols());
-        self.send_sized(dst, tag, mat, bytes)
+        self.send_payload(dst, tag, mat)
     }
     fn recv_mat(
         &self,
@@ -466,7 +476,13 @@ impl Communicator for Comm {
         rows: usize,
         cols: usize,
     ) -> Result<Matrix, CommError> {
-        self.recv_sized::<Matrix>(src, tag, mat_bytes(rows, cols))
+        let mat = self.recv_payload::<Matrix>(src, tag)?;
+        debug_assert_eq!(
+            (mat.rows(), mat.cols()),
+            (rows, cols),
+            "tile shape mismatch"
+        );
+        Ok(mat)
     }
 
     fn share(mat: Matrix) -> Arc<Matrix> {
@@ -476,8 +492,7 @@ impl Communicator for Comm {
         shared
     }
     fn send_shared(&self, dst: usize, tag: u64, shared: &Arc<Matrix>) -> Result<(), CommError> {
-        let bytes = mat_bytes(shared.rows(), shared.cols());
-        self.send_sized(dst, tag, Arc::clone(shared), bytes)
+        self.send_payload(dst, tag, Arc::clone(shared))
     }
     fn recv_shared(
         &self,
@@ -486,15 +501,20 @@ impl Communicator for Comm {
         rows: usize,
         cols: usize,
     ) -> Result<Arc<Matrix>, CommError> {
-        self.recv_sized::<Arc<Matrix>>(src, tag, mat_bytes(rows, cols))
+        let mat = self.recv_payload::<Arc<Matrix>>(src, tag)?;
+        debug_assert_eq!(
+            (mat.rows(), mat.cols()),
+            (rows, cols),
+            "tile shape mismatch"
+        );
+        Ok(mat)
     }
 
     fn ibcast_test(&self, handle: &mut PanelBcast<Arc<Matrix>>) -> Result<bool, CommError> {
         if handle.is_complete() {
             return Ok(true);
         }
-        let bytes = mat_bytes(handle.rows(), handle.cols());
-        match self.try_recv_sized::<Arc<Matrix>>(handle.root(), handle.tag(), bytes)? {
+        match self.try_recv_payload::<Arc<Matrix>>(handle.root(), handle.tag())? {
             Some(panel) => {
                 handle.fulfill(panel);
                 Ok(true)
@@ -560,7 +580,7 @@ impl<'w> Communicator for SimComm<'w> {
     }
 
     fn send_mat(&self, dst: usize, tag: u64, mat: PhantomMat) -> Result<(), CommError> {
-        self.send_bytes(dst, tag, mat_bytes(mat.rows, mat.cols))
+        self.send_bytes(dst, tag, mat.payload_bytes())
     }
     fn recv_mat(
         &self,
@@ -581,7 +601,7 @@ impl<'w> Communicator for SimComm<'w> {
         shared
     }
     fn send_shared(&self, dst: usize, tag: u64, shared: &PhantomMat) -> Result<(), CommError> {
-        self.send_bytes(dst, tag, mat_bytes(shared.rows, shared.cols))
+        self.send_bytes(dst, tag, shared.payload_bytes())
     }
     fn recv_shared(
         &self,

@@ -18,6 +18,7 @@
 //!   same cyclic dealing.
 
 use crate::comm::{Communicator, MatLike, PhantomMat};
+use crate::partition::tile_shape;
 use hsumma_matrix::{BlockCyclicDist, GridShape};
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
@@ -108,7 +109,7 @@ pub fn sim_summa_cyclic(
         0,
         "block grid must divide processor grid cols"
     );
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = tile_shape(grid, n);
 
     let cfg = SummaConfig {
         block: b,

@@ -17,6 +17,7 @@
 
 use crate::comm::{Communicator, MatLike};
 use crate::grid::{color3, HierGrid};
+use crate::partition::{pivot_offset, pivot_owner};
 use crate::summa::{bcast_matrix, check_tiles};
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_runtime::{BcastAlgorithm, CommError};
@@ -103,23 +104,23 @@ pub fn hsumma<C: Communicator>(
     for kg in 0..outer_steps {
         comm.trace_step(kg, bb, bs, || -> Result<(), CommError> {
             // ---- inter-group broadcast of A's outer panel ----------------
-            let gcol = kg * bb / tw; // grid column owning the panel
+            let gcol = pivot_owner(kg, bb, tw); // grid column owning the panel
             let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
             let holds_a = j == jk; // this rank takes part in the outer A phase
             if holds_a {
                 if gj == gcol {
-                    a.block_into(0, kg * bb % tw, &mut outer_a);
+                    a.block_into(0, pivot_offset(kg, bb, tw), &mut outer_a);
                 }
                 bcast_matrix(&group_row, cfg.outer_bcast, yk, &mut outer_a)?;
             }
 
             // ---- inter-group broadcast of B's outer panel ----------------
-            let grow = kg * bb / th; // grid row owning the panel
+            let grow = pivot_owner(kg, bb, th); // grid row owning the panel
             let (xk, ik) = (grow / inner.rows, grow % inner.rows);
             let holds_b = i == ik;
             if holds_b {
                 if gi == grow {
-                    b.block_into(kg * bb % th, 0, &mut outer_b);
+                    b.block_into(pivot_offset(kg, bb, th), 0, &mut outer_b);
                 }
                 bcast_matrix(&group_col, cfg.outer_bcast, xk, &mut outer_b)?;
             }

@@ -38,6 +38,7 @@ pub mod hsumma;
 pub mod lu;
 pub mod multilevel;
 pub mod overlap;
+pub mod partition;
 pub mod plan;
 pub mod rect;
 pub mod simdrive;
@@ -57,6 +58,9 @@ pub use lu::{block_lu, LuConfig};
 pub use multilevel::hier_bcast;
 pub use overlap::{
     hsumma_overlap, hsumma_overlap_lookahead, summa_overlap, summa_overlap_lookahead,
+};
+pub use partition::{
+    ceil_div, chunk_range, pivot_offset, pivot_owner, tile_shape, tile_shape_rect,
 };
 pub use plan::{run_planned, PlannedAlgo};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};

@@ -28,6 +28,7 @@
 
 use crate::comm::{Communicator, MatLike, PhantomMat};
 use crate::grid::HierGrid;
+use crate::partition::{pivot_offset, pivot_owner, tile_shape};
 use crate::summa::bcast_matrix;
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_netsim::spmd::SimWorld;
@@ -87,9 +88,7 @@ pub fn block_lu<C: Communicator>(
     cfg: &LuConfig,
 ) -> Result<C::Mat, CommError> {
     assert_eq!(comm.size(), grid.size(), "communicator must span the grid");
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = tile_shape(grid, n);
     assert_eq!((a.rows(), a.cols()), (th, tw), "tile has wrong shape");
     let bs = cfg.block;
     assert!(
@@ -151,8 +150,8 @@ pub fn block_lu<C: Communicator>(
     let mut t = a.clone();
     for k in 0..n / bs {
         comm.trace_step(k, bs, bs, || -> Result<(), CommError> {
-            let (ri, ro) = (k * bs / th, k * bs % th);
-            let (cj, co) = (k * bs / tw, k * bs % tw);
+            let (ri, ro) = (pivot_owner(k, bs, th), pivot_offset(k, bs, th));
+            let (cj, co) = (pivot_owner(k, bs, tw), pivot_offset(k, bs, tw));
 
             // --- 1. diagonal factor + broadcast ------------------------------
             let mut diag = if gi == ri && gj == cj {
@@ -271,7 +270,7 @@ pub fn sim_block_lu_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = tile_shape(grid, n);
     let cfg = LuConfig {
         block: bs,
         bcast,

@@ -16,6 +16,7 @@
 //! tests), so this is a strict generalization.
 
 use crate::comm::{Communicator, PhantomMat};
+use crate::partition::{pivot_owner, tile_shape};
 use hsumma_matrix::GridShape;
 use hsumma_netsim::spmd::SimWorld;
 use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
@@ -106,8 +107,7 @@ pub fn sim_summa_hier_with(
         grid.cols,
         "levels must multiply to the grid side"
     );
-    assert_eq!(n % grid.rows, 0, "n must be divisible by the grid side");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = tile_shape(grid, n);
     assert!(
         b > 0 && tw % b == 0 && th % b == 0,
         "block must divide tile extents"
@@ -126,9 +126,9 @@ pub fn sim_summa_hier_with(
             let mut a_panel = PhantomMat { rows: th, cols: b };
             let mut b_panel = PhantomMat { rows: b, cols: tw };
             for k in 0..n / b {
-                let owner_col = k * b / tw;
+                let owner_col = pivot_owner(k, b, tw);
                 hier_bcast(&row_comm, algo, owner_col, &mut a_panel, &levels).unwrap();
-                let owner_row = k * b / th;
+                let owner_row = pivot_owner(k, b, th);
                 hier_bcast(&col_comm, algo, owner_row, &mut b_panel, &levels).unwrap();
                 comm.compute(pairs as f64, 2 * pairs as u64);
                 comm.maybe_step_sync().unwrap();

@@ -35,6 +35,7 @@
 //! the gap against blocking-collective SUMMA.
 
 use crate::comm::{Communicator, MatLike, PanelBcast};
+use crate::partition::{pivot_offset, pivot_owner};
 use crate::summa::check_tiles;
 use hsumma_matrix::GridShape;
 use hsumma_netsim::{Platform, SimBcast};
@@ -87,8 +88,8 @@ pub fn summa_overlap<C: Communicator>(
     let row_comm = comm.split(gi as u64, gj as i64)?;
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
-    let owner_col = |k: usize| k * bs / tw;
-    let owner_row = |k: usize| k * bs / th;
+    let owner_col = |k: usize| pivot_owner(k, bs, tw);
+    let owner_row = |k: usize| pivot_owner(k, bs, th);
 
     // Starts step k's broadcasts: the pivot owners materialize the panel
     // once and fan it out nonblocking; everyone else gets a pending
@@ -100,7 +101,7 @@ pub fn summa_overlap<C: Communicator>(
             2 * k as u64,
             th,
             bs,
-            (gj == ac).then(|| C::share(a.block(0, k * bs % tw, th, bs))),
+            (gj == ac).then(|| C::share(a.block(0, pivot_offset(k, bs, tw), th, bs))),
         )?;
         let br = owner_row(k);
         let b_h = col_comm.ibcast_shared(
@@ -108,7 +109,7 @@ pub fn summa_overlap<C: Communicator>(
             2 * k as u64 + 1,
             bs,
             tw,
-            (gi == br).then(|| C::share(b.block(k * bs % th, 0, bs, tw))),
+            (gi == br).then(|| C::share(b.block(pivot_offset(k, bs, th), 0, bs, tw))),
         )?;
         Ok((a_h, b_h))
     };
@@ -168,15 +169,15 @@ pub fn summa_overlap_lookahead<C: Communicator>(
     let row_comm = comm.split(gi as u64, gj as i64)?;
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
 
-    let owner_col = |k: usize| k * bs / tw;
-    let owner_row = |k: usize| k * bs / th;
+    let owner_col = |k: usize| pivot_owner(k, bs, tw);
+    let owner_row = |k: usize| pivot_owner(k, bs, th);
 
     // Pushes step k's panels to all peers; owners only. The panel is
     // materialized once and shared — each destination gets a shared
     // handle, not its own deep copy.
     let push = |k: usize| -> Result<(), CommError> {
         if gj == owner_col(k) {
-            let panel = C::share(a.block(0, k * bs % tw, th, bs));
+            let panel = C::share(a.block(0, pivot_offset(k, bs, tw), th, bs));
             for dst in 0..row_comm.size() {
                 if dst != row_comm.rank() {
                     row_comm.send_shared(dst, 2 * k as u64, &panel)?;
@@ -184,7 +185,7 @@ pub fn summa_overlap_lookahead<C: Communicator>(
             }
         }
         if gi == owner_row(k) {
-            let panel = C::share(b.block(k * bs % th, 0, bs, tw));
+            let panel = C::share(b.block(pivot_offset(k, bs, th), 0, bs, tw));
             for dst in 0..col_comm.size() {
                 if dst != col_comm.rank() {
                     col_comm.send_shared(dst, 2 * k as u64 + 1, &panel)?;
@@ -211,7 +212,7 @@ pub fn summa_overlap_lookahead<C: Communicator>(
         }
         let a_recv: C::Shared;
         let a_panel: &C::Mat = if gj == owner_col(k) {
-            a.block_into(0, k * bs % tw, &mut a_scratch);
+            a.block_into(0, pivot_offset(k, bs, tw), &mut a_scratch);
             &a_scratch
         } else {
             a_recv = row_comm.recv_shared(owner_col(k), 2 * k as u64, th, bs)?;
@@ -219,7 +220,7 @@ pub fn summa_overlap_lookahead<C: Communicator>(
         };
         let b_recv: C::Shared;
         let b_panel: &C::Mat = if gi == owner_row(k) {
-            b.block_into(k * bs % th, 0, &mut b_scratch);
+            b.block_into(pivot_offset(k, bs, th), 0, &mut b_scratch);
             &b_scratch
         } else {
             b_recv = col_comm.recv_shared(owner_row(k), 2 * k as u64 + 1, bs, tw)?;
@@ -277,11 +278,11 @@ pub fn hsumma_overlap<C: Communicator>(
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
     let a_owner = |kg: usize| {
-        let gcol = kg * bb / tw;
+        let gcol = pivot_owner(kg, bb, tw);
         (gcol, gcol / inner.cols, gcol % inner.cols) // (grid col, yk, jk)
     };
     let b_owner = |kg: usize| {
-        let grow = kg * bb / th;
+        let grow = pivot_owner(kg, bb, th);
         (grow, grow / inner.rows, grow % inner.rows) // (grid row, xk, ik)
     };
 
@@ -301,7 +302,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 2 * kg as u64,
                 th,
                 bb,
-                (gj == gcol).then(|| C::share(a.block(0, kg * bb % tw, th, bb))),
+                (gj == gcol).then(|| C::share(a.block(0, pivot_offset(kg, bb, tw), th, bb))),
             )?)
         } else {
             None
@@ -313,7 +314,7 @@ pub fn hsumma_overlap<C: Communicator>(
                 2 * kg as u64 + 1,
                 bb,
                 tw,
-                (gi == grow).then(|| C::share(b.block(kg * bb % th, 0, bb, tw))),
+                (gi == grow).then(|| C::share(b.block(pivot_offset(kg, bb, th), 0, bb, tw))),
             )?)
         } else {
             None
@@ -501,11 +502,11 @@ pub fn hsumma_overlap_lookahead<C: Communicator>(
     let outer_steps = n / bb;
     let inner_steps = bb / bs;
     let a_owner = |kg: usize| {
-        let gcol = kg * bb / tw;
+        let gcol = pivot_owner(kg, bb, tw);
         (gcol, gcol / inner.cols, gcol % inner.cols) // (grid col, yk, jk)
     };
     let b_owner = |kg: usize| {
-        let grow = kg * bb / th;
+        let grow = pivot_owner(kg, bb, th);
         (grow, grow / inner.rows, grow % inner.rows) // (grid row, xk, ik)
     };
 
@@ -514,7 +515,7 @@ pub fn hsumma_overlap_lookahead<C: Communicator>(
     let push_outer = |kg: usize| -> Result<(), CommError> {
         let (gcol, _, jk) = a_owner(kg);
         if gj == gcol && j == jk {
-            let panel = C::share(a.block(0, kg * bb % tw, th, bb));
+            let panel = C::share(a.block(0, pivot_offset(kg, bb, tw), th, bb));
             for dst in 0..group_row.size() {
                 if dst != group_row.rank() {
                     group_row.send_shared(dst, 2 * kg as u64, &panel)?;
@@ -523,7 +524,7 @@ pub fn hsumma_overlap_lookahead<C: Communicator>(
         }
         let (grow, _, ik) = b_owner(kg);
         if gi == grow && i == ik {
-            let panel = C::share(b.block(kg * bb % th, 0, bb, tw));
+            let panel = C::share(b.block(pivot_offset(kg, bb, th), 0, bb, tw));
             for dst in 0..group_col.size() {
                 if dst != group_col.rank() {
                     group_col.send_shared(dst, 2 * kg as u64 + 1, &panel)?;
@@ -554,7 +555,7 @@ pub fn hsumma_overlap_lookahead<C: Communicator>(
         let outer_a_recv: C::Shared;
         let outer_a: Option<&C::Mat> = if j == jk {
             Some(if gj == gcol {
-                a.block_into(0, kg * bb % tw, &mut outer_a_scratch);
+                a.block_into(0, pivot_offset(kg, bb, tw), &mut outer_a_scratch);
                 &outer_a_scratch
             } else {
                 outer_a_recv = group_row.recv_shared(yk, 2 * kg as u64, th, bb)?;
@@ -567,7 +568,7 @@ pub fn hsumma_overlap_lookahead<C: Communicator>(
         let outer_b_recv: C::Shared;
         let outer_b: Option<&C::Mat> = if i == ik {
             Some(if gi == grow {
-                b.block_into(kg * bb % th, 0, &mut outer_b_scratch);
+                b.block_into(pivot_offset(kg, bb, th), 0, &mut outer_b_scratch);
                 &outer_b_scratch
             } else {
                 outer_b_recv = group_col.recv_shared(xk, 2 * kg as u64 + 1, bb, tw)?;

@@ -1,0 +1,123 @@
+//! Block-partition arithmetic shared by every 2-D algorithm.
+//!
+//! Each schedule in this crate walks the same block-checkerboard
+//! geometry: a square `n × n` operand over an `s × t` grid yields
+//! `(n/s) × (n/t)` local tiles, and pivot step `k` with panel width `bs`
+//! lives on the grid row/column owning global index `k·bs`. That
+//! arithmetic used to be re-derived inline in every algorithm file
+//! (summa, hsumma, overlap, lu, 2.5D, cyclic, …) — and again by the
+//! sparse panel schedules — so it lives here exactly once.
+//!
+//! The 1-D "deal `len` elements over `p` parts" helper used by the
+//! segmented collectives is [`chunk_range`], re-exported from the
+//! runtime so core-side schedule code has a single import path.
+
+use hsumma_matrix::GridShape;
+
+pub use hsumma_runtime::collectives::chunk_range;
+
+/// `⌈a / b⌉` for positive `b`.
+///
+/// # Panics
+/// Panics if `b == 0`.
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b > 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+/// Local tile shape `(rows, cols)` of a square `n × n` operand
+/// block-distributed over `grid`.
+///
+/// # Panics
+/// Panics unless both grid extents divide `n` (the block-checkerboard
+/// precondition every algorithm here checks).
+pub fn tile_shape(grid: GridShape, n: usize) -> (usize, usize) {
+    tile_shape_rect(grid, n, n)
+}
+
+/// Local tile shape of a rectangular `rows × cols` operand
+/// block-distributed over `grid`.
+///
+/// # Panics
+/// Panics unless `grid.rows` divides `rows` and `grid.cols` divides
+/// `cols`.
+pub fn tile_shape_rect(grid: GridShape, rows: usize, cols: usize) -> (usize, usize) {
+    assert_eq!(
+        rows % grid.rows,
+        0,
+        "rows must be divisible by the grid rows"
+    );
+    assert_eq!(
+        cols % grid.cols,
+        0,
+        "cols must be divisible by the grid cols"
+    );
+    (rows / grid.rows, cols / grid.cols)
+}
+
+/// Grid row/column owning pivot step `k`: the tile of extent `extent`
+/// containing global index `k·bs`.
+///
+/// # Panics
+/// Panics if `extent == 0`.
+pub fn pivot_owner(k: usize, bs: usize, extent: usize) -> usize {
+    assert!(extent > 0, "tile extent must be positive");
+    k * bs / extent
+}
+
+/// Offset of pivot step `k`'s panel within its owner's tile.
+///
+/// # Panics
+/// Panics if `extent == 0`.
+pub fn pivot_offset(k: usize, bs: usize, extent: usize) -> usize {
+    assert!(extent > 0, "tile extent must be positive");
+    k * bs % extent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_shape_divides_the_grid() {
+        assert_eq!(tile_shape(GridShape::new(2, 4), 16), (8, 4));
+        assert_eq!(tile_shape(GridShape::new(1, 1), 7), (7, 7));
+        assert_eq!(tile_shape_rect(GridShape::new(2, 3), 10, 9), (5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn tile_shape_rejects_non_dividing_grid() {
+        let _ = tile_shape(GridShape::new(3, 3), 16);
+    }
+
+    #[test]
+    fn pivot_owner_and_offset_walk_the_tiles() {
+        // Tiles of extent 8, panels of 4: steps 0,1 live on owner 0 at
+        // offsets 0,4; steps 2,3 on owner 1; and so on.
+        let (bs, tw) = (4, 8);
+        let walk: Vec<(usize, usize)> = (0..6)
+            .map(|k| (pivot_owner(k, bs, tw), pivot_offset(k, bs, tw)))
+            .collect();
+        assert_eq!(walk, [(0, 0), (0, 4), (1, 0), (1, 4), (2, 0), (2, 4)]);
+    }
+
+    #[test]
+    fn pivot_offset_plus_width_stays_in_tile() {
+        for (bs, extent) in [(1, 5), (2, 8), (4, 8), (8, 8), (3, 12)] {
+            for k in 0..(4 * extent / bs) {
+                assert!(
+                    pivot_offset(k, bs, extent) + bs <= extent,
+                    "{bs}/{extent}/{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_div_rounds_up() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(8, 4), 2);
+        assert_eq!(ceil_div(9, 4), 3);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::comm::{Communicator, MatLike};
 use crate::grid::HierGrid;
 use crate::hsumma::HsummaConfig;
+use crate::partition::{pivot_offset, pivot_owner};
 use crate::summa::{bcast_matrix, SummaConfig};
 use hsumma_matrix::GridShape;
 use hsumma_runtime::CommError;
@@ -85,17 +86,17 @@ pub fn summa_rect<C: Communicator>(
     let mut c = C::Mat::zeros(ah, bw);
     let step_pairs = ah * bw * bs;
     for k in 0..dims.l / bs {
-        let owner_col = k * bs / aw;
+        let owner_col = pivot_owner(k, bs, aw);
         let mut a_panel = if gj == owner_col {
-            a.block(0, k * bs % aw, ah, bs)
+            a.block(0, pivot_offset(k, bs, aw), ah, bs)
         } else {
             C::Mat::zeros(ah, bs)
         };
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
-        let owner_row = k * bs / bh;
+        let owner_row = pivot_owner(k, bs, bh);
         let mut b_panel = if gi == owner_row {
-            b.block(k * bs % bh, 0, bs, bw)
+            b.block(pivot_offset(k, bs, bh), 0, bs, bw)
         } else {
             C::Mat::zeros(bs, bw)
         };
@@ -142,11 +143,11 @@ pub fn hsumma_rect<C: Communicator>(
     let mut c = C::Mat::zeros(ah, bw);
     let inner_pairs = ah * bw * bs;
     for kg in 0..dims.l / bb {
-        let gcol = kg * bb / aw;
+        let gcol = pivot_owner(kg, bb, aw);
         let (yk, jk) = (gcol / inner.cols, gcol % inner.cols);
         let outer_a = if j == jk {
             let mut panel = if gj == gcol {
-                a.block(0, kg * bb % aw, ah, bb)
+                a.block(0, pivot_offset(kg, bb, aw), ah, bb)
             } else {
                 C::Mat::zeros(ah, bb)
             };
@@ -156,11 +157,11 @@ pub fn hsumma_rect<C: Communicator>(
             None
         };
 
-        let grow = kg * bb / bh;
+        let grow = pivot_owner(kg, bb, bh);
         let (xk, ik) = (grow / inner.rows, grow % inner.rows);
         let outer_b = if i == ik {
             let mut panel = if gi == grow {
-                b.block(kg * bb % bh, 0, bb, bw)
+                b.block(pivot_offset(kg, bb, bh), 0, bb, bw)
             } else {
                 C::Mat::zeros(bb, bw)
             };

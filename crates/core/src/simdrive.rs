@@ -82,9 +82,7 @@ pub fn sim_summa_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = crate::partition::tile_shape(grid, n);
     assert!(
         b > 0 && tw % b == 0 && th % b == 0,
         "block must divide tile extents"
@@ -170,9 +168,7 @@ pub fn sim_hsumma_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = crate::partition::tile_shape(grid, n);
     let cfg = HsummaConfig {
         groups,
         outer_block: outer_b,
@@ -264,9 +260,7 @@ pub fn sim_overlap(
     b: usize,
     bcast: SimBcast,
 ) -> SimReport {
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = crate::partition::tile_shape(grid, n);
     let cfg = SummaConfig {
         block: b,
         bcast,

@@ -7,6 +7,7 @@
 //! every processor accumulates `C_tile += A_panel · B_panel`.
 
 use crate::comm::{Communicator, MatLike};
+use crate::partition::{pivot_offset, pivot_owner, tile_shape};
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_runtime::{BcastAlgorithm, CommError};
 
@@ -56,10 +57,7 @@ pub(crate) fn check_tiles<M: MatLike>(
         grid.size(),
         "communicator must span the whole grid"
     );
-    assert_eq!(n % grid.rows, 0, "n must be divisible by grid rows");
-    assert_eq!(n % grid.cols, 0, "n must be divisible by grid cols");
-    let th = n / grid.rows;
-    let tw = n / grid.cols;
+    let (th, tw) = tile_shape(grid, n);
     assert_eq!((a.rows(), a.cols()), (th, tw), "A tile has wrong shape");
     assert_eq!((b.rows(), b.cols()), (th, tw), "B tile has wrong shape");
     (th, tw)
@@ -108,16 +106,16 @@ pub fn summa<C: Communicator>(
     for k in 0..steps {
         comm.trace_step(k, bs, bs, || -> Result<(), CommError> {
             // --- pivot column panel of A, broadcast along the grid row ---
-            let owner_col = k * bs / tw;
+            let owner_col = pivot_owner(k, bs, tw);
             if gj == owner_col {
-                a.block_into(0, k * bs % tw, &mut a_panel);
+                a.block_into(0, pivot_offset(k, bs, tw), &mut a_panel);
             }
             bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
             // --- pivot row panel of B, broadcast along the grid column ---
-            let owner_row = k * bs / th;
+            let owner_row = pivot_owner(k, bs, th);
             if gi == owner_row {
-                b.block_into(k * bs % th, 0, &mut b_panel);
+                b.block_into(pivot_offset(k, bs, th), 0, &mut b_panel);
             }
             bcast_matrix(&col_comm, cfg.bcast, owner_row, &mut b_panel)?;
 

@@ -214,7 +214,7 @@ fn hsumma_sample(
     // divides evenly; otherwise fall back to one full run (still a valid
     // measurement, just not cheaper).
     if sample_n < n && sample_n.is_multiple_of(grid.rows) && sample_n.is_multiple_of(grid.cols) {
-        let (sh, sw) = (sample_n / grid.rows, sample_n / grid.cols);
+        let (sh, sw) = crate::partition::tile_shape(grid, sample_n);
         if sh >= cfg.outer_block
             && sw >= cfg.outer_block
             && sh % cfg.outer_block == 0

@@ -20,6 +20,7 @@
 //! BlueGene/P scale via `simdrive::sim_twodotfive`.
 
 use crate::comm::{Communicator, MatLike};
+use crate::partition::{pivot_offset, pivot_owner, tile_shape};
 use crate::summa::SummaConfig;
 use hsumma_matrix::GridShape;
 use hsumma_runtime::{BcastAlgorithm, CommError};
@@ -122,7 +123,7 @@ fn summa_steps<C: Communicator>(
 ) -> Result<C::Mat, CommError> {
     use crate::summa::bcast_matrix;
 
-    let (th, tw) = (n / grid.rows, n / grid.cols);
+    let (th, tw) = tile_shape(grid, n);
     let (gi, gj) = grid.coords(comm.rank());
     let row_comm = comm.split(gi as u64, gj as i64)?;
     let col_comm = comm.split((grid.rows + gj) as u64, gi as i64)?;
@@ -131,17 +132,17 @@ fn summa_steps<C: Communicator>(
     let mut c = C::Mat::zeros(th, tw);
     let step_pairs = th * tw * bs;
     for k in (0..n / bs).filter(|&k| take(k)) {
-        let owner_col = k * bs / tw;
+        let owner_col = pivot_owner(k, bs, tw);
         let mut a_panel = if gj == owner_col {
-            a.block(0, k * bs % tw, th, bs)
+            a.block(0, pivot_offset(k, bs, tw), th, bs)
         } else {
             C::Mat::zeros(th, bs)
         };
         bcast_matrix(&row_comm, cfg.bcast, owner_col, &mut a_panel)?;
 
-        let owner_row = k * bs / th;
+        let owner_row = pivot_owner(k, bs, th);
         let mut b_panel = if gi == owner_row {
-            b.block(k * bs % th, 0, bs, tw)
+            b.block(pivot_offset(k, bs, th), 0, bs, tw)
         } else {
             C::Mat::zeros(bs, tw)
         };

@@ -27,6 +27,13 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// A dense tile's wire size is a pure function of shape.
+impl hsumma_trace::WirePayload for Matrix {
+    fn payload_bytes(&self) -> u64 {
+        (self.rows * self.cols * 8) as u64
+    }
+}
+
 impl Matrix {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {

@@ -14,7 +14,11 @@
 //! * [`distribute`] — the two-dimensional block-checkerboard distribution
 //!   used by SUMMA/HSUMMA, plus a block-cyclic distribution (the paper's
 //!   future-work extension), with scatter/gather between a global matrix
-//!   and per-rank local tiles.
+//!   and per-rank local tiles;
+//! * [`mod@sparse`] — [`sparse::CsrMatrix`] with serial SpGEMM/SDDMM
+//!   reference kernels and the invertible CSR wire format the
+//!   distributed sparse subsystem (`hsumma-sparse`) prices messages
+//!   with (see `docs/sparse.md`).
 //!
 //! The crate has no knowledge of processes or networks; it is pure local
 //! computation and layout.
@@ -25,10 +29,15 @@ pub mod factor;
 pub mod gemm;
 pub mod generate;
 pub mod ops;
+pub mod sparse;
 pub mod view;
 
 pub use dense::Matrix;
 pub use distribute::{BlockCyclicDist, BlockDist, GridShape};
 pub use gemm::{gemm, gemm_scaled, GemmKernel, PackedParams};
 pub use generate::{deterministic, random_uniform, seeded_uniform};
+pub use sparse::{
+    csr_nnz_from_wire, csr_wire_bytes, sddmm, seeded_sparse, spgemm, spgemm_pairs, CsrMatrix,
+    SpGemmAcc,
+};
 pub use view::{gemm_view, MatrixView};

@@ -18,7 +18,10 @@
 //! * [`plan`] — algorithm selection on top of the cost models: given
 //!   `(n, p, b)` and a platform, pick SUMMA vs HSUMMA-at-best-`G` vs
 //!   Cannon by predicted communication time (the entry point the serving
-//!   layer's planner consults).
+//!   layer's planner consults);
+//! * [`sparse`] — nnz-aware extensions: CSR wire-format byte models,
+//!   sampled [`SparsityProfile`]s, SpGEMM/SDDMM cost breakdowns and the
+//!   [`advise_sparse`] densify-vs-SpGEMM scoreboard.
 //!
 //! ## Units
 //!
@@ -33,12 +36,17 @@ pub mod plan;
 pub mod predict;
 pub mod regime;
 pub mod related;
+pub mod sparse;
 
 pub use bcast::BcastModel;
 pub use cost::{hsumma_cost, summa_cost, CostBreakdown, ModelParams};
 pub use plan::{advise_square, AlgoChoice, PlanAdvice};
 pub use predict::{sweep_groups, SweepPoint};
 pub use regime::{classify_regime, dtheta_dg_vdg, Regime};
+pub use sparse::{
+    advise_sparse, sddmm_cost, spgemm_cost, spgemm_flops, SparseAdvice, SparseChoice,
+    SparsityProfile,
+};
 
 /// Bytes per matrix element (`f64`).
 pub const ELEM_BYTES: f64 = 8.0;

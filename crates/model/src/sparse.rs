@@ -1,0 +1,314 @@
+//! nnz-aware cost models and the dense-vs-sparse decision.
+//!
+//! Dense GEMM on sparse data wastes bandwidth (shipping zeros) and
+//! flops (multiplying them); SpGEMM pays CSR overhead per stored entry
+//! (12 bytes vs 8) and loses the dense kernel's arithmetic intensity.
+//! Which wins is a function of the operands' fill — so the planner needs
+//! sparse cost terms next to the dense ones.
+//!
+//! * message sizes come from the CSR wire format (replicated here as
+//!   floating-point constants — this crate is dependency-free; a
+//!   cross-crate test pins them to `hsumma_matrix::sparse`'s `u64`
+//!   originals), so predicted bytes are `∝ nnz/p` per panel plus the
+//!   row-pointer overhead, exactly what the simulator charges;
+//! * flop counts come from a [`SparsityProfile`] estimated by *sampling
+//!   row densities* — the planner never needs the full pattern, just a
+//!   handful of row nnz counts;
+//! * [`advise_sparse`] is the scoreboard: densify-and-SUMMA vs native
+//!   SpGEMM, by predicted total time, with both candidates' breakdowns
+//!   attached so callers can log the crossover.
+
+use crate::bcast::BcastModel;
+use crate::cost::{summa_cost, CostBreakdown, ModelParams};
+
+/// CSR wire-format constants, mirroring `hsumma_matrix::sparse` (fixed
+/// header; one 8-byte offset per row boundary; 12 bytes per stored
+/// entry). A cross-crate consistency test keeps the mirror honest.
+pub const CSR_HEADER_BYTES: f64 = 16.0;
+/// Per-row-boundary bytes of the CSR wire format.
+pub const CSR_ROW_PTR_BYTES: f64 = 8.0;
+/// Per-stored-entry bytes of the CSR wire format.
+pub const CSR_ENTRY_BYTES: f64 = 12.0;
+
+/// Serialized size of a CSR panel with (fractional, expected) `nnz`.
+pub fn csr_wire_bytes_model(rows: f64, nnz: f64) -> f64 {
+    CSR_HEADER_BYTES + (rows + 1.0) * CSR_ROW_PTR_BYTES + nnz * CSR_ENTRY_BYTES
+}
+
+/// A sparsity estimate from sampled row densities: what the planner
+/// knows about an operand without reading its full pattern.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SparsityProfile {
+    /// Global row count.
+    pub rows: f64,
+    /// Global column count.
+    pub cols: f64,
+    /// Mean stored entries per row (from the sample).
+    pub avg_row_nnz: f64,
+}
+
+impl SparsityProfile {
+    /// Builds a profile from the nnz counts of a row sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn from_row_samples(rows: f64, cols: f64, sampled_row_nnz: &[usize]) -> Self {
+        assert!(!sampled_row_nnz.is_empty(), "need at least one sampled row");
+        let avg = sampled_row_nnz.iter().sum::<usize>() as f64 / sampled_row_nnz.len() as f64;
+        SparsityProfile {
+            rows,
+            cols,
+            avg_row_nnz: avg,
+        }
+    }
+
+    /// A profile with uniform fill `density ∈ [0, 1]`.
+    pub fn uniform(rows: f64, cols: f64, density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        SparsityProfile {
+            rows,
+            cols,
+            avg_row_nnz: cols * density,
+        }
+    }
+
+    /// Estimated total stored entries.
+    pub fn nnz(&self) -> f64 {
+        self.rows * self.avg_row_nnz
+    }
+
+    /// Estimated fill fraction.
+    pub fn density(&self) -> f64 {
+        if self.cols == 0.0 {
+            0.0
+        } else {
+            self.avg_row_nnz / self.cols
+        }
+    }
+}
+
+/// Expected multiply-add pairs of the sparse product `A·B` under the
+/// scattered-fill model: every stored `(i, k)` of `A` meets the expected
+/// `avg_row_nnz(B)` stored entries of `B`'s row `k`, so
+/// `pairs = nnz(A) · avg_row_nnz(B)`.
+pub fn spgemm_flops(a: &SparsityProfile, b: &SparsityProfile) -> f64 {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    a.nnz() * b.avg_row_nnz
+}
+
+/// Predicted cost of the 2-D SpGEMM schedule (`spgemm_2d`) on a square
+/// `√p × √p` grid: `n/b` steps, each broadcasting a CSR pivot panel of
+/// `A` along grid rows and of `B` along grid columns down binomial trees
+/// (`log₂√p` deep — the sparse broadcast is always the binomial tree),
+/// with per-panel wire sizes from the operands' expected fill.
+///
+/// # Panics
+/// Panics unless `p ≥ 1`, `n ≥ b ≥ 1`, and the profiles are `n × n`.
+pub fn spgemm_cost(
+    params: &ModelParams,
+    n: f64,
+    p: f64,
+    b: f64,
+    a: &SparsityProfile,
+    bp: &SparsityProfile,
+) -> CostBreakdown {
+    assert!(p >= 1.0 && n >= b && b >= 1.0, "invalid SpGEMM parameters");
+    assert_eq!((a.rows, a.cols), (n, n), "A profile must be n × n");
+    assert_eq!((bp.rows, bp.cols), (n, n), "B profile must be n × n");
+    let q = p.sqrt();
+    let steps = n / b;
+    let depth = q.log2().max(0.0); // binomial tree over √p ranks
+    let tile = n / q;
+    // A's pivot panel: tile-height rows, b columns of them stored.
+    let a_panel_bytes = csr_wire_bytes_model(tile, tile * b * a.density());
+    // B's pivot panel: b rows, tile-width columns.
+    let b_panel_bytes = csr_wire_bytes_model(b, b * tile * bp.density());
+    CostBreakdown {
+        latency: 2.0 * steps * depth * params.alpha,
+        bandwidth: steps * depth * (a_panel_bytes + b_panel_bytes) * params.beta,
+        compute: params.gamma * spgemm_flops(a, bp) / p,
+    }
+}
+
+/// Predicted cost of the 2-D SDDMM schedule (`sddmm_2d`): the *wire*
+/// cost is exactly SUMMA's (dense pivot panels of `A` and `B`; the
+/// sample matrix never travels), but the compute term is sampled —
+/// `nnz(S) · n` multiply-add pairs total instead of `n³`.
+pub fn sddmm_cost(
+    params: &ModelParams,
+    bcast: BcastModel,
+    n: f64,
+    p: f64,
+    b: f64,
+    s: &SparsityProfile,
+) -> CostBreakdown {
+    assert_eq!((s.rows, s.cols), (n, n), "S profile must be n × n");
+    let dense = summa_cost(params, bcast, n, p, b);
+    CostBreakdown {
+        latency: dense.latency,
+        bandwidth: dense.bandwidth,
+        compute: params.gamma * s.nnz() * n / p,
+    }
+}
+
+/// How a sparse multiply should run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseChoice {
+    /// Densify the operands and run the dense SUMMA schedule.
+    DenseGemm,
+    /// Run the native 2-D SpGEMM schedule.
+    SpGemm,
+}
+
+/// The scoreboard behind a dense-vs-sparse decision.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseAdvice {
+    /// The predicted winner by total time (unlike the dense-only
+    /// scoreboard, the *compute* terms differ radically here, so the
+    /// comparison cannot be communication-only).
+    pub choice: SparseChoice,
+    /// The winner's predicted cost.
+    pub predicted: CostBreakdown,
+    /// Densify-and-SUMMA's predicted cost.
+    pub dense: CostBreakdown,
+    /// Native SpGEMM's predicted cost.
+    pub spgemm: CostBreakdown,
+}
+
+/// Decides densify-and-SUMMA vs native SpGEMM for a square `n × n`
+/// sparse product on `p` ranks with panel width `b`, from the operands'
+/// sampled sparsity profiles.
+///
+/// Near full density SpGEMM's 12-byte entries and Gustavson bookkeeping
+/// lose to the dense schedule; at low fill the dense schedule ships and
+/// multiplies zeros. The crossover this scoreboard finds is the
+/// planner-visible quantity `BENCH_sparse.json` records empirically.
+pub fn advise_sparse(
+    params: &ModelParams,
+    n: f64,
+    p: f64,
+    b: f64,
+    a: &SparsityProfile,
+    bp: &SparsityProfile,
+) -> SparseAdvice {
+    let dense = summa_cost(params, BcastModel::Binomial, n, p, b);
+    let spgemm = spgemm_cost(params, n, p, b, a, bp);
+    let (choice, predicted) = if spgemm.total() < dense.total() {
+        (SparseChoice::SpGemm, spgemm)
+    } else {
+        (SparseChoice::DenseGemm, dense)
+    };
+    SparseAdvice {
+        choice,
+        predicted,
+        dense,
+        spgemm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_constants_mirror_the_matrix_crate() {
+        // The authoritative u64 format lives in hsumma_matrix::sparse;
+        // this crate is dependency-free, so the mirror is pinned here
+        // (dev-dependencies are allowed where dependencies are not).
+        use hsumma_matrix::sparse as wire;
+        assert_eq!(CSR_HEADER_BYTES, wire::CSR_HEADER_BYTES as f64);
+        assert_eq!(CSR_ROW_PTR_BYTES, wire::CSR_ROW_PTR_BYTES as f64);
+        assert_eq!(CSR_ENTRY_BYTES, wire::CSR_ENTRY_BYTES as f64);
+        for (rows, nnz) in [(1usize, 0usize), (64, 777), (4096, 123456)] {
+            assert_eq!(
+                csr_wire_bytes_model(rows as f64, nnz as f64),
+                wire::csr_wire_bytes(rows, nnz) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn profile_from_samples_averages_row_nnz() {
+        let prof = SparsityProfile::from_row_samples(1024.0, 1024.0, &[10, 20, 30]);
+        assert_eq!(prof.avg_row_nnz, 20.0);
+        assert_eq!(prof.nnz(), 1024.0 * 20.0);
+        assert!((prof.density() - 20.0 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spgemm_flops_match_the_scattered_fill_formula() {
+        let a = SparsityProfile::uniform(512.0, 512.0, 0.1);
+        let b = SparsityProfile::uniform(512.0, 512.0, 0.2);
+        // nnz(A) = 512·51.2; each entry meets 102.4 of B's row entries.
+        assert!((spgemm_flops(&a, &b) - 512.0 * 51.2 * 102.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_dense_profiles_cost_more_wire_than_dense_gemm() {
+        // At density 1.0 CSR ships 12 bytes/entry vs dense 8: SpGEMM's
+        // bandwidth term must exceed SUMMA's.
+        let params = ModelParams::grid5000();
+        let (n, p, b) = (4096.0, 64.0, 64.0);
+        let full = SparsityProfile::uniform(n, n, 1.0);
+        let sp = spgemm_cost(&params, n, p, b, &full, &full);
+        let dn = summa_cost(&params, BcastModel::Binomial, n, p, b);
+        assert!(sp.bandwidth > dn.bandwidth);
+    }
+
+    #[test]
+    fn advice_crosses_over_with_density() {
+        // Sweep density: sparse must win at the low end, dense at the
+        // high end, with a single crossover between.
+        let params = ModelParams::grid5000();
+        let (n, p, b) = (4096.0, 64.0, 64.0);
+        let choice_at = |d: f64| {
+            let prof = SparsityProfile::uniform(n, n, d);
+            advise_sparse(&params, n, p, b, &prof, &prof).choice
+        };
+        assert_eq!(choice_at(0.001), SparseChoice::SpGemm);
+        assert_eq!(choice_at(1.0), SparseChoice::DenseGemm);
+        let mut flips = 0;
+        let mut prev = choice_at(0.001);
+        for i in 1..=100 {
+            let cur = choice_at(0.001 + (1.0 - 0.001) * i as f64 / 100.0);
+            if cur != prev {
+                flips += 1;
+                prev = cur;
+            }
+        }
+        assert_eq!(flips, 1, "exactly one dense/sparse crossover");
+    }
+
+    #[test]
+    fn advice_scoreboard_is_consistent() {
+        let params = ModelParams::bluegene_p();
+        let prof = SparsityProfile::uniform(1024.0, 1024.0, 0.05);
+        let adv = advise_sparse(&params, 1024.0, 16.0, 32.0, &prof, &prof);
+        let want = adv.dense.total().min(adv.spgemm.total());
+        assert_eq!(adv.predicted.total(), want);
+    }
+
+    #[test]
+    fn sddmm_comm_is_dense_but_compute_is_sampled() {
+        let params = ModelParams::grid5000();
+        let (n, p, b) = (2048.0, 64.0, 64.0);
+        let s = SparsityProfile::uniform(n, n, 0.01);
+        let c = sddmm_cost(&params, BcastModel::Binomial, n, p, b, &s);
+        let dense = summa_cost(&params, BcastModel::Binomial, n, p, b);
+        assert_eq!(c.latency, dense.latency);
+        assert_eq!(c.bandwidth, dense.bandwidth);
+        assert!(c.compute < dense.compute, "sampled flops must be fewer");
+        assert!((c.compute - params.gamma * s.nnz() * n / p).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_profile_costs_only_structure() {
+        // nnz = 0 still ships headers and row pointers — latency and the
+        // structural bytes, no compute.
+        let params = ModelParams::grid5000();
+        let empty = SparsityProfile::uniform(256.0, 256.0, 0.0);
+        let c = spgemm_cost(&params, 256.0, 16.0, 16.0, &empty, &empty);
+        assert!(c.latency > 0.0 && c.bandwidth > 0.0);
+        assert_eq!(c.compute, 0.0);
+    }
+}

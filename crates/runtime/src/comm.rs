@@ -9,7 +9,9 @@
 
 use crate::message::{Context, Envelope, JobCtl, Mailbox, MailboxSender, RecvFault, Tag};
 use crate::stats::CommStats;
-use hsumma_trace::{CommEdge, CommError, EventKind, FaultDecision, FaultState, TraceSink};
+use hsumma_trace::{
+    CommEdge, CommError, EventKind, FaultDecision, FaultState, TraceSink, WirePayload,
+};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -66,15 +68,36 @@ pub(crate) struct RankShared {
 fn payload_bytes_of<T: Any>(value: &T) -> u64 {
     let v = value as &dyn Any;
     if let Some(x) = v.downcast_ref::<Vec<f64>>() {
-        (x.len() * 8) as u64
+        x.payload_bytes()
     } else if let Some(x) = v.downcast_ref::<Arc<Vec<f64>>>() {
-        (x.len() * 8) as u64
+        x.payload_bytes()
     } else if let Some(x) = v.downcast_ref::<Option<Arc<Vec<f64>>>>() {
-        x.as_ref().map_or(0, |b| (b.len() * 8) as u64)
-    } else if let Some((x, _)) = v.downcast_ref::<(Arc<Vec<f64>>, usize)>() {
-        (x.len() * 8) as u64
+        x.payload_bytes()
+    } else if let Some(x) = v.downcast_ref::<(Arc<Vec<f64>>, usize)>() {
+        x.payload_bytes()
     } else {
         0
+    }
+}
+
+/// How a send/recv path learns a message's wire size: probe the `Any`
+/// payload for the buffer types the collectives ship, trust an exact
+/// caller-supplied figure, or ask the payload's own [`WirePayload`]
+/// hook. The hook is the path dense and sparse application payloads
+/// share, so their bytes are counted by identical code.
+enum PayloadSize<T> {
+    Probe,
+    Exact(u64),
+    Hook(fn(&T) -> u64),
+}
+
+impl<T: Any> PayloadSize<T> {
+    fn of(&self, value: &T) -> u64 {
+        match self {
+            PayloadSize::Probe => payload_bytes_of(value),
+            PayloadSize::Exact(b) => *b,
+            PayloadSize::Hook(f) => f(value),
+        }
     }
 }
 
@@ -222,7 +245,7 @@ impl Comm {
     ) -> Result<T, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
         let ctl = self.shared.ctl.tightened(deadline);
-        self.recv_with(src, tag, None, &ctl)
+        self.recv_with(src, tag, PayloadSize::Probe, &ctl)
     }
 
     /// Non-blocking receive: `Ok(Some(value))` if a matching message has
@@ -231,7 +254,7 @@ impl Comm {
     /// peer's death as an error like the blocking form does.
     pub fn try_recv<T: Any + Send>(&self, src: usize, tag: Tag) -> Result<Option<T>, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.try_recv_impl(src, tag, None)
+        self.try_recv_impl(src, tag, PayloadSize::Probe)
     }
 
     /// Non-blocking receive of a payload whose wire size the caller
@@ -248,14 +271,14 @@ impl Comm {
         bytes: u64,
     ) -> Result<Option<T>, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.try_recv_impl(src, tag, Some(bytes))
+        self.try_recv_impl(src, tag, PayloadSize::Exact(bytes))
     }
 
     fn try_recv_impl<T: Any + Send>(
         &self,
         src: usize,
         tag: Tag,
-        bytes: Option<u64>,
+        size: PayloadSize<T>,
     ) -> Result<Option<T>, CommError> {
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
@@ -270,7 +293,7 @@ impl Comm {
             let mut stats = self.shared.stats.borrow_mut();
             if let Some(v) = &value {
                 stats.msgs_recv += 1;
-                stats.bytes_recv += bytes.unwrap_or_else(|| payload_bytes_of(v));
+                stats.bytes_recv += size.of(v);
             }
             stats.comm_seconds += t0.elapsed().as_secs_f64();
         }
@@ -281,7 +304,7 @@ impl Comm {
                         src: src_world,
                         tag,
                         channel: self.ctx,
-                        bytes: bytes.unwrap_or_else(|| payload_bytes_of(v)),
+                        bytes: size.of(v),
                     },
                     tr0,
                     self.shared.sink.now(),
@@ -302,7 +325,7 @@ impl Comm {
         bytes: u64,
     ) -> Result<(), CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.send_impl(dst, tag, value, Some(bytes))
+        self.send_impl(dst, tag, value, PayloadSize::Exact(bytes))
     }
 
     /// Receiving half of [`Comm::send_sized`]: accounts `bytes` received.
@@ -313,7 +336,44 @@ impl Comm {
         bytes: u64,
     ) -> Result<T, CommError> {
         assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
-        self.recv_impl(src, tag, Some(bytes))
+        self.recv_impl(src, tag, PayloadSize::Exact(bytes))
+    }
+
+    /// Sends a payload whose wire size comes from its own
+    /// [`WirePayload`] hook. This is the one code path that accounts
+    /// dense and sparse application payloads alike — prefer it over
+    /// [`Comm::send_sized`] whenever the payload type models its wire
+    /// size.
+    pub fn send_payload<T: Any + Send + WirePayload>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), CommError> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.send_impl(dst, tag, value, PayloadSize::Hook(T::payload_bytes))
+    }
+
+    /// Receiving half of [`Comm::send_payload`]: bytes are taken from
+    /// the *received* value's [`WirePayload`] hook, so non-uniform
+    /// (e.g. nnz-dependent) message sizes are accounted exactly.
+    pub fn recv_payload<T: Any + Send + WirePayload>(
+        &self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<T, CommError> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.recv_impl(src, tag, PayloadSize::Hook(T::payload_bytes))
+    }
+
+    /// Polling counterpart of [`Comm::recv_payload`].
+    pub fn try_recv_payload<T: Any + Send + WirePayload>(
+        &self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<Option<T>, CommError> {
+        assert!(tag < INTERNAL_TAG_BASE, "tag uses reserved high bit");
+        self.try_recv_impl(src, tag, PayloadSize::Hook(T::payload_bytes))
     }
 
     pub(crate) fn send_internal<T: Any + Send>(
@@ -322,7 +382,7 @@ impl Comm {
         tag: Tag,
         value: T,
     ) -> Result<(), CommError> {
-        self.send_impl(dst, tag, value, None)
+        self.send_impl(dst, tag, value, PayloadSize::Probe)
     }
 
     fn send_impl<T: Any + Send>(
@@ -330,7 +390,7 @@ impl Comm {
         dst: usize,
         tag: Tag,
         value: T,
-        bytes: Option<u64>,
+        size: PayloadSize<T>,
     ) -> Result<(), CommError> {
         let t0 = Instant::now();
         let tr0 = self.shared.sink.now();
@@ -387,7 +447,7 @@ impl Comm {
                 }
             }
         }
-        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
+        let bytes = size.of(&value);
         if duplicate {
             // The duplicate travels on a reserved tag nothing matches, so
             // it is stray wire traffic (absorbed by the epoch purge), not
@@ -435,16 +495,16 @@ impl Comm {
         src: usize,
         tag: Tag,
     ) -> Result<T, CommError> {
-        self.recv_impl(src, tag, None)
+        self.recv_impl(src, tag, PayloadSize::Probe)
     }
 
     fn recv_impl<T: Any + Send>(
         &self,
         src: usize,
         tag: Tag,
-        bytes: Option<u64>,
+        size: PayloadSize<T>,
     ) -> Result<T, CommError> {
-        self.recv_with(src, tag, bytes, &self.shared.ctl)
+        self.recv_with(src, tag, size, &self.shared.ctl)
     }
 
     /// Translates a mailbox-level [`RecvFault`] into a [`CommError`]
@@ -488,7 +548,7 @@ impl Comm {
         &self,
         src: usize,
         tag: Tag,
-        bytes: Option<u64>,
+        size: PayloadSize<T>,
         ctl: &JobCtl,
     ) -> Result<T, CommError> {
         let t0 = Instant::now();
@@ -506,7 +566,7 @@ impl Comm {
                 return Err(self.map_recv_fault(fault, src_world, tag, "recv"));
             }
         };
-        let bytes = bytes.unwrap_or_else(|| payload_bytes_of(&value));
+        let bytes = size.of(&value);
         {
             let mut stats = self.shared.stats.borrow_mut();
             stats.msgs_recv += 1;

@@ -58,4 +58,5 @@ pub use stats::CommStats;
 // simulator); re-export it so runtime users need one import path.
 pub use hsumma_trace::{
     CommEdge, CommError, CommErrorKind, FaultAction, FaultPlan, FaultRule, KillRule, TagClass,
+    WirePayload,
 };

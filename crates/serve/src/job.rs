@@ -1,22 +1,46 @@
 //! Job vocabulary: what a client submits, how it tracks progress, and
 //! what it gets back.
 //!
-//! A *job* is one `C = A·B` multiply. The client hands the server a
-//! [`JobSpec`] plus the operands and receives a [`JobHandle`] — a cheap,
-//! clonable ticket it can poll ([`JobHandle::state`]) or block on
-//! ([`JobHandle::wait`]). Completion yields a [`JobOutput`]: the product
-//! and a [`JobReport`] describing exactly what the service did for this
-//! job — the plan it ran, the wall time, and the per-rank communication
-//! deltas of this job alone (the pool's epoch demarcation guarantees the
-//! counters contain nothing from neighbouring jobs).
+//! A *job* is one multiply — dense `C = A·B`, sparse `C = A·B`
+//! (SpGEMM), or sampled `C = S ⊙ (A·B)` (SDDMM), per its [`Workload`].
+//! The client hands the server a [`JobSpec`] plus the operands and
+//! receives a [`JobHandle`] — a cheap, clonable ticket it can poll
+//! ([`JobHandle::state`]) or block on ([`JobHandle::wait`]). Completion
+//! yields a [`JobOutput`]: the [`Product`] (dense or CSR, matching the
+//! workload) and a [`JobReport`] describing exactly what the service did
+//! for this job — the plan it ran, the wall time, and the per-rank
+//! communication deltas of this job alone (the pool's epoch demarcation
+//! guarantees the counters contain nothing from neighbouring jobs).
 
 use hsumma_core::PlannedAlgo;
+use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::Matrix;
 use hsumma_runtime::CommStats;
 use hsumma_trace::{FaultPlan, Trace};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Which multiply a job runs — and therefore which submission entry
+/// point it must arrive through and which [`Product`] it yields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Dense `C = A·B` via [`GemmServer::submit`]; dense product.
+    ///
+    /// [`GemmServer::submit`]: crate::GemmServer::submit
+    DenseGemm,
+    /// Sparse `C = A·B` via [`GemmServer::submit_spgemm`]; CSR product.
+    /// The nnz-aware planner decides densify-and-SUMMA vs native 2-D
+    /// SpGEMM per job from sampled sparsity profiles.
+    ///
+    /// [`GemmServer::submit_spgemm`]: crate::GemmServer::submit_spgemm
+    SpGemm,
+    /// Sampled `C = S ⊙ (A·B)` via [`GemmServer::submit_sddmm`]; CSR
+    /// product with exactly `S`'s pattern.
+    ///
+    /// [`GemmServer::submit_sddmm`]: crate::GemmServer::submit_sddmm
+    Sddmm,
+}
 
 /// What the client wants multiplied, before operands are attached.
 ///
@@ -32,6 +56,9 @@ pub struct JobSpec {
     pub m: usize,
     /// Inner (contraction) dimension.
     pub k: usize,
+    /// Which multiply this job runs; must match the submission entry
+    /// point (`submit` / `submit_spgemm` / `submit_sddmm`).
+    pub workload: Workload,
     /// How much freedom the planner has.
     pub hint: PlanHint,
     /// Wall-clock budget from dispatch to gathered product. When the job
@@ -49,15 +76,32 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A square `n × n` job with the planner free to choose.
+    /// A square `n × n` dense GEMM job with the planner free to choose.
     pub fn square(n: usize) -> Self {
         JobSpec {
             n,
             m: n,
             k: n,
+            workload: Workload::DenseGemm,
             hint: PlanHint::Auto,
             deadline: None,
             faults: None,
+        }
+    }
+
+    /// A square `n × n` sparse × sparse (SpGEMM) job.
+    pub fn spgemm(n: usize) -> Self {
+        JobSpec {
+            workload: Workload::SpGemm,
+            ..JobSpec::square(n)
+        }
+    }
+
+    /// A square `n × n` sampled dense-dense (SDDMM) job.
+    pub fn sddmm(n: usize) -> Self {
+        JobSpec {
+            workload: Workload::Sddmm,
+            ..JobSpec::square(n)
         }
     }
 
@@ -203,13 +247,49 @@ pub enum JobOutcome {
     Cancelled,
 }
 
+/// The schedule one job actually executed — dense plans come from the
+/// model-driven [`Planner`], sparse ones from the nnz-aware scoreboard.
+///
+/// [`Planner`]: crate::Planner
+#[derive(Clone, Copy, Debug)]
+pub enum ServePlan {
+    /// A dense GEMM plan on dense operands.
+    Dense(PlannedAlgo),
+    /// A dense GEMM plan on *densified* CSR operands: the sparse
+    /// scoreboard predicted the operands were full enough that shipping
+    /// 8-byte dense panels beats CSR's 12-byte entries.
+    Densified(PlannedAlgo),
+    /// Native 2-D SpGEMM with pivot panel width `block`.
+    SpGemm {
+        /// Pivot panel width.
+        block: usize,
+    },
+    /// 2-D SDDMM with pivot panel width `block`.
+    Sddmm {
+        /// Pivot panel width.
+        block: usize,
+    },
+}
+
+impl ServePlan {
+    /// Human-readable plan summary.
+    pub fn describe(&self) -> String {
+        match self {
+            ServePlan::Dense(p) => p.describe(),
+            ServePlan::Densified(p) => format!("densify→{}", p.describe()),
+            ServePlan::SpGemm { block } => format!("spgemm_2d(b={block})"),
+            ServePlan::Sddmm { block } => format!("sddmm_2d(b={block})"),
+        }
+    }
+}
+
 /// What the service did for one job.
 #[derive(Clone, Debug)]
 pub struct JobReport {
     /// Service-assigned job id (submission order).
     pub job_id: u64,
     /// The plan that executed.
-    pub plan: PlannedAlgo,
+    pub plan: ServePlan,
     /// Human-readable plan summary (e.g. `hsumma(G=2x2, B=8, b=8)`).
     pub plan_desc: String,
     /// Whether the plan came from the cache (`true`) or was computed —
@@ -245,11 +325,55 @@ impl JobReport {
     }
 }
 
+/// A finished job's product, typed by workload: dense GEMM jobs yield
+/// [`Product::Dense`], SpGEMM and SDDMM jobs yield [`Product::Sparse`]
+/// (even when the sparse planner chose to densify internally — the
+/// product contract follows the *submission*, not the execution path).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Product {
+    /// A dense result matrix.
+    Dense(Matrix),
+    /// A CSR result matrix.
+    Sparse(CsrMatrix),
+}
+
+impl Product {
+    /// `(rows, cols)` of the product, either representation.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Product::Dense(m) => m.shape(),
+            Product::Sparse(m) => m.shape(),
+        }
+    }
+
+    /// The dense product.
+    ///
+    /// # Panics
+    /// Panics if the product is sparse (SpGEMM/SDDMM jobs).
+    pub fn dense(&self) -> &Matrix {
+        match self {
+            Product::Dense(m) => m,
+            Product::Sparse(_) => panic!("job produced a sparse product, not a dense one"),
+        }
+    }
+
+    /// The CSR product.
+    ///
+    /// # Panics
+    /// Panics if the product is dense (plain GEMM jobs).
+    pub fn sparse(&self) -> &CsrMatrix {
+        match self {
+            Product::Sparse(m) => m,
+            Product::Dense(_) => panic!("job produced a dense product, not a sparse one"),
+        }
+    }
+}
+
 /// A completed job: the product and the report.
 #[derive(Clone, Debug)]
 pub struct JobOutput {
-    /// The global `C = A·B`.
-    pub c: Matrix,
+    /// The global product (dense or CSR, per the job's [`Workload`]).
+    pub c: Product,
     /// What the service did to produce it.
     pub report: JobReport,
 }
@@ -390,5 +514,35 @@ mod tests {
         let s = JobSpec::square(64);
         assert_eq!((s.m, s.k, s.n), (64, 64, 64));
         assert!(matches!(s.hint, PlanHint::Auto));
+        assert_eq!(s.workload, Workload::DenseGemm);
+    }
+
+    #[test]
+    fn workload_constructors_set_the_workload() {
+        assert_eq!(JobSpec::spgemm(64).workload, Workload::SpGemm);
+        assert_eq!(JobSpec::sddmm(64).workload, Workload::Sddmm);
+        assert_eq!((JobSpec::sddmm(64).m, JobSpec::sddmm(64).n), (64, 64));
+    }
+
+    #[test]
+    fn serve_plan_describe_names_the_schedule() {
+        assert_eq!(ServePlan::SpGemm { block: 8 }.describe(), "spgemm_2d(b=8)");
+        assert_eq!(ServePlan::Sddmm { block: 4 }.describe(), "sddmm_2d(b=4)");
+    }
+
+    #[test]
+    fn product_accessors_type_check() {
+        let d = Product::Dense(Matrix::zeros(3, 5));
+        assert_eq!(d.shape(), (3, 5));
+        assert_eq!(d.dense().shape(), (3, 5));
+        let s = Product::Sparse(CsrMatrix::zeros(4, 6));
+        assert_eq!(s.shape(), (4, 6));
+        assert_eq!(s.sparse().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse product")]
+    fn dense_accessor_rejects_sparse_products() {
+        let _ = Product::Sparse(CsrMatrix::zeros(2, 2)).dense();
     }
 }

@@ -16,7 +16,12 @@
 //!   reason when full (backpressure, never silent blocking), job states
 //!   `Queued → Running → Done/Failed`, and a per-job [`JobReport`]
 //!   carrying the executed plan, wall time and this job's [`CommStats`]
-//!   deltas;
+//!   deltas. Beyond dense GEMM the same queue serves sparse workloads:
+//!   `submit_spgemm(spec, A, B)` with CSR operands (routed by the
+//!   nnz-aware scoreboard to densify-and-SUMMA or the native 2-D SpGEMM
+//!   schedule) and `submit_sddmm(spec, S, A, B)`, both yielding a
+//!   [`Product::Sparse`] and honouring deadlines and fault plans exactly
+//!   like dense jobs;
 //! * **Model-driven planning** — the [`Planner`] picks SUMMA vs HSUMMA
 //!   vs Cannon and the `(G, B, b)` grouping from the paper's closed-form
 //!   cost models, refines HSUMMA's `G` on the timing simulator, and
@@ -43,7 +48,11 @@ pub mod planner;
 pub mod server;
 
 pub use job::{
-    JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, JobState, PlanHint, SubmitError,
+    JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, JobState, PlanHint, Product,
+    ServePlan, SubmitError, Workload,
 };
-pub use planner::{PipelinePolicy, Planned, Planner, PlannerConfig, PlannerStats, ShapeClass};
+pub use planner::{
+    sparsity_profile, PipelinePolicy, Planned, Planner, PlannerConfig, PlannerStats, ShapeClass,
+    SparsePlanned,
+};
 pub use server::{GemmServer, ServerConfig, ServerStats};

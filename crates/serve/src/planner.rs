@@ -24,8 +24,12 @@
 
 use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
 use hsumma_core::{HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
+use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{GemmKernel, GridShape};
-use hsumma_model::{advise_square, AlgoChoice, BcastModel, ModelParams};
+use hsumma_model::{
+    advise_sparse, advise_square, AlgoChoice, BcastModel, ModelParams, SparseAdvice, SparseChoice,
+    SparsityProfile,
+};
 use hsumma_netsim::{Platform, SimBcast};
 use std::collections::HashMap;
 
@@ -255,6 +259,50 @@ impl Planner {
         }
     }
 
+    /// Plans a square `n × n` SpGEMM from the operands' sampled sparsity
+    /// profiles: the nnz-aware scoreboard ([`advise_sparse`]) decides
+    /// densify-and-SUMMA vs native 2-D SpGEMM by predicted *total* time
+    /// (wire bytes `∝ nnz`, flops from the sampled row densities). When
+    /// it chooses to densify, the ordinary dense planning pipeline
+    /// (cache, simulator refinement) supplies the plan.
+    ///
+    /// The sparse decision itself is never cached — it is one closed-form
+    /// evaluation per job, and unlike shape, *sparsity* varies freely
+    /// between same-shaped jobs.
+    pub fn plan_spgemm(
+        &mut self,
+        n: usize,
+        a: &SparsityProfile,
+        b: &SparsityProfile,
+    ) -> SparsePlanned {
+        let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
+        let params = ModelParams {
+            alpha: self.config.platform.net.alpha,
+            beta: self.config.platform.net.beta,
+            gamma: self.config.platform.gamma,
+        };
+        let advice = advise_sparse(
+            &params,
+            n as f64,
+            self.grid.size() as f64,
+            block as f64,
+            a,
+            b,
+        );
+        let dense = matches!(advice.choice, SparseChoice::DenseGemm).then(|| self.plan_square(n));
+        SparsePlanned {
+            advice,
+            block,
+            dense,
+        }
+    }
+
+    /// The pivot panel width an SDDMM job uses on this grid (SDDMM has no
+    /// dense-vs-sparse decision to make — `S` never travels).
+    pub fn sddmm_block(&self, n: usize) -> usize {
+        preferred_block(n / self.grid.rows, n / self.grid.cols)
+    }
+
     /// Pass 2: pick `G` by simulated communication time over the
     /// power-of-two candidates (the paper's Fig. 8 sweep).
     fn refine_g(&mut self, n: usize, block: usize) -> usize {
@@ -272,6 +320,35 @@ impl Planner {
         self.stats.sims_run += sweep.len() as u64;
         best_by_comm(&sweep).g
     }
+}
+
+/// A sparse planning outcome: the scoreboard's verdict plus whatever the
+/// execution path needs — the panel width for native SpGEMM, or the full
+/// dense plan when densifying won.
+#[derive(Clone, Copy, Debug)]
+pub struct SparsePlanned {
+    /// The scoreboard: choice plus both candidates' predicted costs.
+    pub advice: SparseAdvice,
+    /// Pivot panel width for the native SpGEMM schedule.
+    pub block: usize,
+    /// The dense plan, present exactly when the advice is to densify.
+    pub dense: Option<Planned>,
+}
+
+/// Estimates a [`SparsityProfile`] for the planner by sampling up to
+/// `max_samples` evenly-strided rows of `m` — the planner's view of an
+/// operand is a handful of row nnz counts, never the full pattern.
+///
+/// # Panics
+/// Panics if `m` has no rows or `max_samples` is zero.
+pub fn sparsity_profile(m: &CsrMatrix, max_samples: usize) -> SparsityProfile {
+    assert!(m.rows() > 0 && max_samples > 0, "nothing to sample");
+    let stride = (m.rows() / max_samples).max(1);
+    let samples: Vec<usize> = (0..m.rows())
+        .step_by(stride)
+        .map(|i| m.row_nnz(i))
+        .collect();
+    SparsityProfile::from_row_samples(m.rows() as f64, m.cols() as f64, &samples)
 }
 
 /// The largest panel width ≤ 32 dividing both tile extents — the planner
@@ -404,6 +481,34 @@ mod tests {
                 advice.overlap_win_fraction()
             );
         }
+    }
+
+    #[test]
+    fn sparsity_profile_samples_row_densities() {
+        // Exact when every row is sampled.
+        let m = hsumma_matrix::seeded_sparse(64, 64, 0.2, 9);
+        let full = sparsity_profile(&m, 64);
+        assert!((full.nnz() - m.nnz() as f64).abs() < 1e-9);
+        // A strided sample is an estimate of the same quantity.
+        let sampled = sparsity_profile(&m, 8);
+        assert!((sampled.density() - full.density()).abs() < 0.1);
+    }
+
+    #[test]
+    fn spgemm_plan_follows_the_scoreboard() {
+        let mut planner = Planner::new(GridShape::new(2, 2), PlannerConfig::default());
+        let n = 64;
+        // Nearly empty operands: native SpGEMM must win, no dense plan.
+        let lo = SparsityProfile::uniform(n as f64, n as f64, 0.01);
+        let sp = planner.plan_spgemm(n, &lo, &lo);
+        assert_eq!(sp.advice.choice, SparseChoice::SpGemm);
+        assert!(sp.dense.is_none());
+        assert_eq!(n / 2 % sp.block, 0, "block must divide the tile");
+        // Fully dense operands: densify, carrying an executable plan.
+        let hi = SparsityProfile::uniform(n as f64, n as f64, 1.0);
+        let sp = planner.plan_spgemm(n, &hi, &hi);
+        assert_eq!(sp.advice.choice, SparseChoice::DenseGemm);
+        assert!(sp.dense.is_some());
     }
 
     #[test]

@@ -13,23 +13,38 @@
 //!   the memoizing [`Planner`]) → scatter → run the SPMD plan on the
 //!   pool → gather → complete the client's [`JobHandle`].
 //!
+//! The queue carries three workloads through one pipeline: dense GEMM
+//! ([`GemmServer::submit`]), sparse SpGEMM ([`GemmServer::submit_spgemm`]
+//! — routed by the nnz-aware scoreboard to either densify-and-SUMMA or
+//! the native 2-D CSR schedule) and SDDMM
+//! ([`GemmServer::submit_sddmm`]). Deadlines, fault injection, per-job
+//! stats demarcation and tracing apply identically to all three — they
+//! live in the pooled-run tail every workload shares.
+//!
 //! Failure containment mirrors the pool's: a job whose plan panics on a
 //! rank fails *that job* ([`JobError::Execution`]) and the server keeps
 //! serving. Shutdown is graceful — queued jobs run to completion before
 //! the scheduler exits (`shutdown()`, also invoked by `Drop`).
 
 use crate::job::{
-    JobCell, JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, PlanHint, SubmitError,
+    JobCell, JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, PlanHint, Product,
+    ServePlan, SubmitError, Workload,
 };
-use crate::planner::{Planned, Planner, PlannerConfig, PlannerStats};
+use crate::planner::{sparsity_profile, Planned, Planner, PlannerConfig, PlannerStats};
 use hsumma_core::run_planned;
+use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{BlockDist, GridShape, Matrix};
-use hsumma_runtime::{CommStats, JobOptions, PoolRun, RankPool, RuntimeError};
+use hsumma_runtime::{Comm, CommStats, JobOptions, PoolRun, RankPool, RuntimeError};
+use hsumma_sparse::{gather_csr, scatter_csr, sddmm_2d, spgemm_2d, SparseConfig};
 use hsumma_trace::{primary_comm_error, CommError, CommErrorKind, Tracer};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Rows sampled per CSR operand when estimating a sparsity profile for
+/// the planner.
+const PROFILE_SAMPLES: usize = 64;
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -56,11 +71,17 @@ impl ServerConfig {
     }
 }
 
+/// A queued job's operands, matching its spec's [`Workload`].
+enum JobOperands {
+    Dense { a: Matrix, b: Matrix },
+    SpGemm { a: CsrMatrix, b: CsrMatrix },
+    Sddmm { s: CsrMatrix, a: Matrix, b: Matrix },
+}
+
 struct QueuedJob {
     id: u64,
     spec: JobSpec,
-    a: Matrix,
-    b: Matrix,
+    operands: JobOperands,
     cell: Arc<JobCell>,
 }
 
@@ -150,14 +171,55 @@ impl GemmServer {
         self.grid
     }
 
-    /// Submits one job. Non-blocking admission control: the job is either
-    /// queued (returning a [`JobHandle`]) or refused with the reason.
+    /// Submits one dense GEMM job. Non-blocking admission control: the
+    /// job is either queued (returning a [`JobHandle`]) or refused with
+    /// the reason.
     ///
     /// `a` and `b` must match the spec's dimensions; the current service
     /// additionally requires square shapes divisible by the grid (see
     /// [`JobSpec`]).
     pub fn submit(&self, spec: JobSpec, a: Matrix, b: Matrix) -> Result<JobHandle, SubmitError> {
-        self.validate(&spec, &a, &b)?;
+        self.validate_square(&spec, Workload::DenseGemm)?;
+        self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
+        self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
+        self.admit(spec, JobOperands::Dense { a, b })
+    }
+
+    /// Submits one sparse × sparse (SpGEMM) job; the product is CSR.
+    /// The planner samples both operands' row densities and routes the
+    /// job — densify-and-SUMMA or native 2-D SpGEMM — by predicted total
+    /// time. A [`PlanHint::Force`] hint forces the densified path with
+    /// exactly that dense plan.
+    pub fn submit_spgemm(
+        &self,
+        spec: JobSpec,
+        a: CsrMatrix,
+        b: CsrMatrix,
+    ) -> Result<JobHandle, SubmitError> {
+        self.validate_square(&spec, Workload::SpGemm)?;
+        self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
+        self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
+        self.admit(spec, JobOperands::SpGemm { a, b })
+    }
+
+    /// Submits one SDDMM job `C = S ⊙ (A·B)`: sparse sample matrix `S`,
+    /// dense operands; the product is CSR with exactly `S`'s pattern.
+    pub fn submit_sddmm(
+        &self,
+        spec: JobSpec,
+        s: CsrMatrix,
+        a: Matrix,
+        b: Matrix,
+    ) -> Result<JobHandle, SubmitError> {
+        self.validate_square(&spec, Workload::Sddmm)?;
+        self.validate_shape("S", s.shape(), (spec.m, spec.n))?;
+        self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
+        self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
+        self.admit(spec, JobOperands::Sddmm { s, a, b })
+    }
+
+    /// Shared admission tail: queue bound, id assignment, handle.
+    fn admit(&self, spec: JobSpec, operands: JobOperands) -> Result<JobHandle, SubmitError> {
         let mut st = self.shared.state.lock().expect("queue lock");
         if st.shutdown {
             return Err(SubmitError::Shutdown);
@@ -175,8 +237,7 @@ impl GemmServer {
         st.jobs.push_back(QueuedJob {
             id,
             spec,
-            a,
-            b,
+            operands,
             cell: Arc::clone(&cell),
         });
         drop(st);
@@ -184,9 +245,16 @@ impl GemmServer {
         Ok(JobHandle { id, cell })
     }
 
-    /// Admission validation — every rejection names its reason.
-    fn validate(&self, spec: &JobSpec, a: &Matrix, b: &Matrix) -> Result<(), SubmitError> {
+    /// Spec-level admission validation — every rejection names its
+    /// reason. `expected` is the workload implied by the entry point.
+    fn validate_square(&self, spec: &JobSpec, expected: Workload) -> Result<(), SubmitError> {
         let invalid = |reason: String| Err(SubmitError::Invalid(reason));
+        if spec.workload != expected {
+            return invalid(format!(
+                "spec workload is {:?} but the submission entry point serves {:?}",
+                spec.workload, expected
+            ));
+        }
         if spec.n == 0 || spec.m == 0 || spec.k == 0 {
             return invalid("dimensions must be positive".into());
         }
@@ -196,25 +264,26 @@ impl GemmServer {
                 spec.m, spec.k, spec.n
             ));
         }
-        if a.shape() != (spec.m, spec.k) {
-            return invalid(format!(
-                "A is {:?}, spec says {:?}",
-                a.shape(),
-                (spec.m, spec.k)
-            ));
-        }
-        if b.shape() != (spec.k, spec.n) {
-            return invalid(format!(
-                "B is {:?}, spec says {:?}",
-                b.shape(),
-                (spec.k, spec.n)
-            ));
-        }
         if !spec.n.is_multiple_of(self.grid.rows) || !spec.n.is_multiple_of(self.grid.cols) {
             return invalid(format!(
                 "n={} not divisible by the {}x{} grid",
                 spec.n, self.grid.rows, self.grid.cols
             ));
+        }
+        Ok(())
+    }
+
+    /// One operand's shape against the spec's.
+    fn validate_shape(
+        &self,
+        name: &str,
+        got: (usize, usize),
+        want: (usize, usize),
+    ) -> Result<(), SubmitError> {
+        if got != want {
+            return Err(SubmitError::Invalid(format!(
+                "{name} is {got:?}, spec says {want:?}"
+            )));
         }
         Ok(())
     }
@@ -285,7 +354,7 @@ fn scheduler_loop(
     }
 }
 
-/// Plan → scatter → pooled SPMD run → gather, with per-job accounting.
+/// Plan → scatter → pooled SPMD run → gather, routed by workload.
 fn execute(
     planner: &Arc<Mutex<Planner>>,
     pool: &mut RankPool,
@@ -294,19 +363,215 @@ fn execute(
     job: &QueuedJob,
 ) -> Result<JobOutput, JobError> {
     let n = job.spec.n;
-    let planned = match job.spec.hint {
-        PlanHint::Auto => planner.lock().expect("planner lock").plan_square(n),
-        PlanHint::Force(plan) => Planned {
-            plan,
-            cached: false,
-        },
-    };
     let started = Instant::now();
+    match &job.operands {
+        JobOperands::Dense { a, b } => {
+            let planned = match job.spec.hint {
+                PlanHint::Auto => planner.lock().expect("planner lock").plan_square(n),
+                PlanHint::Force(plan) => Planned {
+                    plan,
+                    cached: false,
+                },
+            };
+            run_dense(pool, grid, trace_jobs, job, started, planned, a, b, false)
+        }
+        JobOperands::SpGemm { a, b } => {
+            // A forced dense plan bypasses the scoreboard: densify and
+            // run exactly that plan.
+            if let PlanHint::Force(plan) = job.spec.hint {
+                let planned = Planned {
+                    plan,
+                    cached: false,
+                };
+                return run_dense(
+                    pool,
+                    grid,
+                    trace_jobs,
+                    job,
+                    started,
+                    planned,
+                    &a.to_dense(),
+                    &b.to_dense(),
+                    true,
+                );
+            }
+            let prof_a = sparsity_profile(a, PROFILE_SAMPLES);
+            let prof_b = sparsity_profile(b, PROFILE_SAMPLES);
+            let sp = planner
+                .lock()
+                .expect("planner lock")
+                .plan_spgemm(n, &prof_a, &prof_b);
+            match sp.dense {
+                // The scoreboard says the operands are full enough that
+                // dense panels win: densify and run the dense plan.
+                Some(planned) => run_dense(
+                    pool,
+                    grid,
+                    trace_jobs,
+                    job,
+                    started,
+                    planned,
+                    &a.to_dense(),
+                    &b.to_dense(),
+                    true,
+                ),
+                None => run_spgemm(pool, grid, trace_jobs, job, started, sp.block, a, b),
+            }
+        }
+        JobOperands::Sddmm { s, a, b } => {
+            let block = planner.lock().expect("planner lock").sddmm_block(n);
+            run_sddmm(pool, grid, trace_jobs, job, started, block, s, a, b)
+        }
+    }
+}
 
+/// Dense schedule on dense tiles. With `sparsify`, the operands were
+/// densified CSR inputs and the product converts back to CSR — the
+/// product contract follows the submission, not the execution path.
+#[allow(clippy::too_many_arguments)]
+fn run_dense(
+    pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+    job: &QueuedJob,
+    started: Instant,
+    planned: Planned,
+    a: &Matrix,
+    b: &Matrix,
+    sparsify: bool,
+) -> Result<JobOutput, JobError> {
+    let n = job.spec.n;
     let dist = BlockDist::new(grid, n, n);
-    let a_tiles = Arc::new(dist.scatter(&job.a));
-    let b_tiles = Arc::new(dist.scatter(&job.b));
+    let a_tiles = Arc::new(dist.scatter(a));
+    let b_tiles = Arc::new(dist.scatter(b));
     let plan = planned.plan;
+    let serve_plan = if sparsify {
+        ServePlan::Densified(plan)
+    } else {
+        ServePlan::Dense(plan)
+    };
+    let (tiles, report) = run_pooled(
+        pool,
+        grid,
+        trace_jobs,
+        job,
+        serve_plan,
+        planned.cached,
+        started,
+        move |comm| {
+            let at = a_tiles[comm.rank()].clone();
+            let bt = b_tiles[comm.rank()].clone();
+            run_planned(comm, grid, n, &at, &bt, &plan)
+        },
+    )?;
+    let c = dist.gather(&tiles);
+    let c = if sparsify {
+        Product::Sparse(CsrMatrix::from_dense(&c))
+    } else {
+        Product::Dense(c)
+    };
+    Ok(JobOutput { c, report })
+}
+
+/// Native 2-D SpGEMM on CSR tiles.
+#[allow(clippy::too_many_arguments)]
+fn run_spgemm(
+    pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+    job: &QueuedJob,
+    started: Instant,
+    block: usize,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+) -> Result<JobOutput, JobError> {
+    let n = job.spec.n;
+    let at: Arc<Vec<Arc<CsrMatrix>>> =
+        Arc::new(scatter_csr(grid, a).into_iter().map(Arc::new).collect());
+    let bt: Arc<Vec<Arc<CsrMatrix>>> =
+        Arc::new(scatter_csr(grid, b).into_iter().map(Arc::new).collect());
+    let cfg = SparseConfig {
+        block,
+        ..SparseConfig::default()
+    };
+    let (tiles, report) = run_pooled(
+        pool,
+        grid,
+        trace_jobs,
+        job,
+        ServePlan::SpGemm { block },
+        false,
+        started,
+        move |comm| {
+            let r = comm.rank();
+            spgemm_2d(comm, grid, n, &at[r], &bt[r], &cfg)
+        },
+    )?;
+    let tiles: Vec<CsrMatrix> = tiles.iter().map(|t| (**t).clone()).collect();
+    Ok(JobOutput {
+        c: Product::Sparse(gather_csr(grid, &tiles)),
+        report,
+    })
+}
+
+/// 2-D SDDMM: CSR sample tiles, dense operand tiles.
+#[allow(clippy::too_many_arguments)]
+fn run_sddmm(
+    pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+    job: &QueuedJob,
+    started: Instant,
+    block: usize,
+    s: &CsrMatrix,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<JobOutput, JobError> {
+    let n = job.spec.n;
+    let st: Arc<Vec<Arc<CsrMatrix>>> =
+        Arc::new(scatter_csr(grid, s).into_iter().map(Arc::new).collect());
+    let dist = BlockDist::new(grid, n, n);
+    let at = Arc::new(dist.scatter(a));
+    let bt = Arc::new(dist.scatter(b));
+    let cfg = SparseConfig {
+        block,
+        ..SparseConfig::default()
+    };
+    let (tiles, report) = run_pooled(
+        pool,
+        grid,
+        trace_jobs,
+        job,
+        ServePlan::Sddmm { block },
+        false,
+        started,
+        move |comm| {
+            let r = comm.rank();
+            sddmm_2d(comm, grid, n, &st[r], &at[r], &bt[r], &cfg)
+        },
+    )?;
+    let tiles: Vec<CsrMatrix> = tiles.iter().map(|t| (**t).clone()).collect();
+    Ok(JobOutput {
+        c: Product::Sparse(gather_csr(grid, &tiles)),
+        report,
+    })
+}
+
+/// The pooled-run tail every workload shares: run the SPMD closure under
+/// the job's deadline/fault options with per-job stat demarcation, then
+/// either hand back the per-rank values with a `Completed` report or
+/// diagnose the primary failure into a [`JobError`] carrying the report.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled<T: Send + 'static>(
+    pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+    job: &QueuedJob,
+    plan: ServePlan,
+    plan_cached: bool,
+    started: Instant,
+    f: impl Fn(&mut Comm) -> Result<T, CommError> + Send + Sync + 'static,
+) -> Result<(Vec<T>, JobReport), JobError> {
     let tracer = if trace_jobs {
         Tracer::new(grid.size())
     } else {
@@ -316,14 +581,10 @@ fn execute(
     if let Some(d) = job.spec.deadline {
         opts = opts.with_deadline(d);
     }
-    if let Some(f) = &job.spec.faults {
-        opts = opts.with_faults(Arc::clone(f));
+    if let Some(fp) = &job.spec.faults {
+        opts = opts.with_faults(Arc::clone(fp));
     }
-    let run = pool.run_opts(&tracer, &opts, move |comm| {
-        let at = a_tiles[comm.rank()].clone();
-        let bt = b_tiles[comm.rank()].clone();
-        run_planned(comm, grid, n, &at, &bt, &plan)
-    });
+    let run = pool.run_opts(&tracer, &opts, f);
     let PoolRun { results, stats } = match run {
         Ok(run) => run,
         Err(e) => return Err(JobError::Execution(e.to_string())),
@@ -336,7 +597,7 @@ fn execute(
             job_id: job.id,
             plan,
             plan_desc: plan.describe(),
-            plan_cached: planned.cached,
+            plan_cached,
             wall: started.elapsed(),
             timeouts: merged.timeouts,
             cancelled: merged.cancelled,
@@ -349,15 +610,14 @@ fn execute(
     let errors: Vec<&CommError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
     match primary_comm_error(errors) {
         None => {
-            let tiles: Vec<Matrix> = results
+            let values: Vec<T> = results
                 .into_iter()
-                .map(|r| r.expect("no errors means every rank produced a tile"))
+                .map(|r| match r {
+                    Ok(v) => v,
+                    Err(_) => unreachable!("no errors means every rank produced a value"),
+                })
                 .collect();
-            let c = dist.gather(&tiles);
-            Ok(JobOutput {
-                c,
-                report: report(JobOutcome::Completed, stats),
-            })
+            Ok((values, report(JobOutcome::Completed, stats)))
         }
         Some(primary) => {
             let detail = primary.to_string();

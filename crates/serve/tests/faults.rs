@@ -126,11 +126,14 @@ fn dropped_broadcast_times_out_its_job_and_the_pool_keeps_serving() {
         assert_eq!(out.report.outcome, JobOutcome::Completed);
         assert_eq!(out.report.faults_injected, 0);
         assert_eq!(
-            out.c.max_abs_diff(&want),
+            out.c.dense().max_abs_diff(&want),
             0.0,
             "clean product must be bit-identical to the serial panel replay"
         );
-        assert!(out.c.approx_eq(&loose, 1e-9), "and numerically correct");
+        assert!(
+            out.c.dense().approx_eq(&loose, 1e-9),
+            "and numerically correct"
+        );
 
         // And the pool still serves: a third job on the same workers.
         let a2 = seeded_uniform(n, n, 41);
@@ -141,7 +144,7 @@ fn dropped_broadcast_times_out_its_job_and_the_pool_keeps_serving() {
             .unwrap()
             .wait()
             .expect("the pool must keep serving after a timed-out job");
-        assert_eq!(out2.c.max_abs_diff(&want2), 0.0);
+        assert_eq!(out2.c.dense().max_abs_diff(&want2), 0.0);
 
         // Graceful shutdown joins the scheduler and every worker — a
         // leaked or wedged thread would hang here and trip the watchdog.
@@ -182,7 +185,7 @@ fn killed_rank_fails_its_job_with_a_named_edge() {
             .unwrap()
             .wait()
             .unwrap();
-        assert_eq!(out.c.max_abs_diff(&want), 0.0);
+        assert_eq!(out.c.dense().max_abs_diff(&want), 0.0);
     });
 }
 
@@ -209,5 +212,5 @@ fn deadline_without_faults_is_free_on_the_clean_path() {
     assert_eq!(out.report.outcome, JobOutcome::Completed);
     assert_eq!(out.report.timeouts, 0);
     assert_eq!(out.report.cancelled, 0);
-    assert_eq!(out.c.max_abs_diff(&want), 0.0);
+    assert_eq!(out.c.dense().max_abs_diff(&want), 0.0);
 }

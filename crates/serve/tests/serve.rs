@@ -32,7 +32,7 @@ fn concurrent_mixed_size_clients_all_get_correct_products() {
                     .expect("queue is large enough for this burst");
                 let out = handle.wait().expect("job must succeed");
                 assert!(
-                    out.c.approx_eq(&want, 1e-9),
+                    out.c.dense().approx_eq(&want, 1e-9),
                     "client {client} job {i} (n={n}) wrong, plan {}",
                     out.report.plan_desc
                 );
@@ -166,7 +166,7 @@ fn invalid_jobs_are_rejected_at_the_door_with_reasons() {
         .unwrap()
         .wait()
         .unwrap();
-    assert!(out.c.approx_eq(&want, 1e-9));
+    assert!(out.c.dense().approx_eq(&want, 1e-9));
     assert_eq!(server.stats().submitted, 1);
 }
 
@@ -201,7 +201,7 @@ fn a_failing_job_reports_failure_and_the_server_keeps_serving() {
         .unwrap()
         .wait()
         .unwrap();
-    assert!(out.c.approx_eq(&want, 1e-9));
+    assert!(out.c.dense().approx_eq(&want, 1e-9));
 }
 
 #[test]
@@ -241,6 +241,6 @@ fn graceful_shutdown_completes_queued_jobs() {
     server.shutdown();
     for (h, want) in handles.into_iter().zip(&wants) {
         let out = h.wait().expect("queued jobs run to completion");
-        assert!(out.c.approx_eq(want, 1e-9));
+        assert!(out.c.dense().approx_eq(want, 1e-9));
     }
 }

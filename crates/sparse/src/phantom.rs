@@ -1,0 +1,214 @@
+//! Sparse payloads for the simulated substrate.
+//!
+//! The simulator transfers *byte counts*, not data, so a received sparse
+//! panel cannot carry its nonzero pattern across the wire. What it *can*
+//! carry — because the CSR wire format is invertible for a known row
+//! count — is its exact `nnz`: receivers reconstruct it with
+//! [`csr_nnz_from_wire`] and re-send the identical byte count when they
+//! relay. That is all byte-multiset parity with the real substrate
+//! needs.
+//!
+//! [`PhantomSparse`] therefore holds `rows`, `cols`, `nnz`, and an
+//! *optional* pattern: present on locally-held tiles (built from the
+//! real [`CsrMatrix`] at scatter time, which lets pivot owners slice
+//! panels with exact per-panel `nnz`), absent on panels that arrived
+//! over the simulated wire.
+
+use hsumma_matrix::sparse::{csr_nnz_from_wire, csr_wire_bytes, CsrMatrix};
+use hsumma_trace::WirePayload;
+use std::sync::Arc;
+
+/// The structure (pattern) of a sparse matrix: CSR minus the values.
+/// Shared by `Arc` so slicing phantom tiles never copies more than the
+/// panel it extracts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsePattern {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl SparsePattern {
+    /// The pattern of `csr`.
+    pub fn of(csr: &CsrMatrix) -> Self {
+        SparsePattern {
+            row_ptr: csr.row_ptr().to_vec(),
+            col_idx: csr.col_idx().to_vec(),
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Column indices of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// The pattern of the `h × w` block at `(r0, c0)`, columns rebased
+    /// to the block.
+    fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        let (c_lo, c_hi) = (c0 as u32, (c0 + w) as u32);
+        let mut row_ptr = Vec::with_capacity(h + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for i in r0..r0 + h {
+            let cols_i = self.row(i);
+            let lo = cols_i.partition_point(|&j| j < c_lo);
+            let hi = cols_i.partition_point(|&j| j < c_hi);
+            col_idx.extend(cols_i[lo..hi].iter().map(|&j| j - c_lo));
+            row_ptr.push(col_idx.len());
+        }
+        SparsePattern { row_ptr, col_idx }
+    }
+}
+
+/// A sparse matrix that exists as a shape plus a nonzero count — the
+/// payload the simulated substrate moves where the real substrate moves
+/// a [`CsrMatrix`].
+///
+/// The pattern is `Some` only for tiles the rank holds locally (it was
+/// never on the wire); panels received over the simulated network are
+/// pattern-less, with `nnz` recovered exactly from their wire bytes.
+#[derive(Clone, Debug)]
+pub struct PhantomSparse {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    pattern: Option<Arc<SparsePattern>>,
+}
+
+/// Ships exactly the bytes the real CSR payload it models would —
+/// *nnz-dependent*, unlike the dense phantom's shape-only size.
+impl WirePayload for PhantomSparse {
+    fn payload_bytes(&self) -> u64 {
+        csr_wire_bytes(self.rows, self.nnz)
+    }
+}
+
+impl PhantomSparse {
+    /// The phantom stand-in for a locally-held CSR tile: full pattern,
+    /// so panels sliced from it carry exact per-panel `nnz`.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        PhantomSparse {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+            pattern: Some(Arc::new(SparsePattern::of(csr))),
+        }
+    }
+
+    /// A pattern-less phantom reconstructed from a wire byte count (the
+    /// receive path: the schedule knows the panel shape, the byte count
+    /// determines `nnz`).
+    pub fn from_wire(rows: usize, cols: usize, bytes: u64) -> Self {
+        PhantomSparse {
+            rows,
+            cols,
+            nnz: csr_nnz_from_wire(rows, bytes),
+            pattern: None,
+        }
+    }
+
+    /// A pattern-less phantom with an explicit nonzero count (modeling
+    /// output tiles whose structure is estimated, not known).
+    pub fn with_nnz(rows: usize, cols: usize, nnz: usize) -> Self {
+        assert!(nnz <= rows * cols, "nnz exceeds the shape");
+        PhantomSparse {
+            rows,
+            cols,
+            nnz,
+            pattern: None,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Stored-entry count (exact, even for pattern-less panels).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+    /// The pattern, if this phantom was built from a local tile.
+    pub fn pattern(&self) -> Option<&SparsePattern> {
+        self.pattern.as_deref()
+    }
+
+    /// Slices the `h × w` panel at `(r0, c0)`. Only locally-held tiles
+    /// are ever sliced by the 2-D schedules (pivot owners cut panels out
+    /// of their own tiles), so the pattern must be present.
+    ///
+    /// # Panics
+    /// Panics on a pattern-less phantom or an out-of-bounds block.
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
+        let pattern = self
+            .pattern
+            .as_ref()
+            .expect("cannot slice a pattern-less phantom panel (it arrived over the wire)");
+        let sub = pattern.block(r0, c0, h, w);
+        PhantomSparse {
+            rows: h,
+            cols: w,
+            nnz: sub.nnz(),
+            pattern: Some(Arc::new(sub)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsumma_matrix::sparse::seeded_sparse;
+
+    #[test]
+    fn phantom_tracks_csr_bytes_exactly() {
+        let csr = seeded_sparse(12, 9, 0.3, 7);
+        let ph = PhantomSparse::from_csr(&csr);
+        assert_eq!(ph.payload_bytes(), csr.payload_bytes());
+        assert_eq!(ph.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn wire_roundtrip_recovers_nnz_without_pattern() {
+        let csr = seeded_sparse(8, 8, 0.4, 3);
+        let ph = PhantomSparse::from_csr(&csr);
+        let rx = PhantomSparse::from_wire(8, 8, ph.payload_bytes());
+        assert_eq!(rx.nnz(), csr.nnz());
+        assert!(rx.pattern().is_none());
+        // And the relay re-sends the identical byte count.
+        assert_eq!(rx.payload_bytes(), ph.payload_bytes());
+    }
+
+    #[test]
+    fn block_nnz_matches_the_real_slice() {
+        let csr = seeded_sparse(10, 10, 0.35, 11);
+        let ph = PhantomSparse::from_csr(&csr);
+        for (r0, c0, h, w) in [(0, 0, 10, 10), (2, 3, 4, 5), (0, 5, 10, 5)] {
+            let real = csr.block(r0, c0, h, w);
+            let phan = ph.block(r0, c0, h, w);
+            assert_eq!(phan.nnz(), real.nnz(), "block ({r0},{c0},{h},{w})");
+            assert_eq!(phan.payload_bytes(), real.payload_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern-less")]
+    fn received_panels_cannot_be_sliced() {
+        PhantomSparse::from_wire(4, 4, csr_wire_bytes(4, 3)).block(0, 0, 2, 2);
+    }
+}

@@ -30,6 +30,7 @@ mod chrome;
 mod critical;
 mod event;
 pub mod fault;
+mod payload;
 mod ring;
 mod tracer;
 
@@ -42,4 +43,5 @@ pub use fault::{
     primary_comm_error, CommEdge, CommError, CommErrorKind, FaultAction, FaultDecision, FaultPlan,
     FaultRule, FaultState, KillRule, TagClass, COLLECTIVE_TAG_FLOOR,
 };
+pub use payload::WirePayload;
 pub use tracer::{Trace, TraceSink, Tracer};

@@ -65,10 +65,12 @@ pub mod test_runner {
 }
 
 pub mod strategy {
-    //! Value-generation strategies. Only ranges are needed here.
+    //! Value-generation strategies: ranges (half-open and inclusive)
+    //! and tuples of strategies.
 
     use super::test_runner::TestRng;
     use super::Range;
+    use std::ops::RangeInclusive;
 
     /// A source of values for one property argument.
     pub trait Strategy {
@@ -89,6 +91,16 @@ pub mod strategy {
                     (self.start as i128 + off as i128) as $t
                 }
             }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
         )*};
     }
 
@@ -102,6 +114,52 @@ pub mod strategy {
             self.start + (self.end - self.start) * unit
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::Range;
+
+    /// Strategy yielding `Vec`s of `element`-drawn values with a length
+    /// sampled from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
 }
 
 pub mod prelude {
@@ -109,6 +167,11 @@ pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The `prop::` path alias real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::collection;
+    }
 }
 
 /// Property-test entry point. Each contained `#[test] fn name(arg in
@@ -199,6 +262,20 @@ mod tests {
         #[test]
         fn configured_case_count_runs(a in 0u64..10, b in 0u64..10) {
             prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn inclusive_tuple_and_vec_strategies(
+            pairs in prop::collection::vec((0usize..4, -2i8..=2), 0..10),
+            hi in 7u32..=7,
+        ) {
+            prop_assert!(pairs.len() < 10);
+            for (i, v) in pairs {
+                prop_assert!(i < 4 && (-2..=2).contains(&v));
+            }
+            prop_assert_eq!(hi, 7); // single-point inclusive range
         }
     }
 }

@@ -10,7 +10,9 @@
 //! * [`runtime`] — the threaded message-passing runtime (MPI substitute);
 //! * [`netsim`] — the discrete-event Hockney-model network simulator;
 //! * [`core`] — SUMMA / HSUMMA / Cannon / Fox, real and simulated;
-//! * [`model`] — the paper's closed-form cost models and predictions;
+//! * [`sparse`] — CSR payloads on both substrates, 2-D SpGEMM/SDDMM;
+//! * [`model`] — the paper's closed-form cost models and predictions,
+//!   including the nnz-aware sparse scoreboard;
 //! * [`trace`] — per-rank event tracing, Chrome-trace export,
 //!   critical-path analysis (shared by `runtime` and `netsim`).
 //!
@@ -22,4 +24,5 @@ pub use hsumma_matrix as matrix;
 pub use hsumma_model as model;
 pub use hsumma_netsim as netsim;
 pub use hsumma_runtime as runtime;
+pub use hsumma_sparse as sparse;
 pub use hsumma_trace as trace;
