@@ -25,8 +25,8 @@ use hsumma_core::grid::HierGrid;
 use hsumma_core::lu::{block_lu, sim_block_lu_on, LuConfig};
 use hsumma_core::simdrive::{sim_cannon_on, sim_fox_on, sim_hsumma_on, sim_summa_on};
 use hsumma_core::{
-    cannon, fox, hier_bcast, hsumma, hsumma_overlap, summa, summa_cyclic, summa_overlap,
-    summa_rect, tsqr, twodotfive, HsummaConfig, MatMulDims, PhantomMat, SummaConfig,
+    cannon, cosma, fox, hier_bcast, hsumma, hsumma_overlap, summa, summa_cyclic, summa_overlap,
+    summa_rect, tsqr, twodotfive, CosmaConfig, HsummaConfig, MatMulDims, PhantomMat, SummaConfig,
     TwoDotFiveConfig,
 };
 use hsumma_matrix::factor::seeded_diag_dominant;
@@ -53,6 +53,7 @@ pub const ALGOS: &[&str] = &[
     "hsumma-overlap",
     "rect",
     "twodotfive",
+    "cosma",
     "tsqr",
     "hierbcast",
     "spgemm",
@@ -66,8 +67,8 @@ const SPARSE_DENSITY: f64 = 0.2;
 
 const USAGE: &str = "usage:
   trace_run [--algo summa|hsumma|cannon|fox|lu|cyclic|overlap|
-                    hsumma-overlap|rect|twodotfive|tsqr|hierbcast|
-                    spgemm|sddmm]
+                    hsumma-overlap|rect|twodotfive|cosma|tsqr|
+                    hierbcast|spgemm|sddmm]
             [--mode real|sim|both]
             [--p 16] [--n 128] [--b 8] [--B 16] [--G 4]
             [--machine grid5000|bluegene] [--out trace]
@@ -75,6 +76,7 @@ trace an algorithm run; `both` verifies real and simulated runs emit
 identical per-rank (src, dst, bytes) message multisets
 (for twodotfive, --G is the replication depth c and p must equal q*q*c;
 for hierbcast, --G is the leader-group count of the two-level tree;
+cosma runs the searched (a, b, c) brick schedule — p need not be square;
 spgemm/sddmm move CSR payloads at 20% fill, pivot block --b)";
 
 fn main() -> ExitCode {
@@ -373,6 +375,16 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
                 twodotfive(comm, n, &at, &bt, &tcfg).unwrap()
             });
         }
+        "cosma" => {
+            let ccfg = cosma_cfg(cfg);
+            let d = ccfg.decomp;
+            let at = d.a_distribution(n, n, cfg.ranks).scatter(&a);
+            let bt = d.b_distribution(n, n, cfg.ranks).scatter(&b);
+            Runtime::run_traced(cfg.ranks, &tracer, |comm| {
+                let r = comm.rank();
+                cosma(comm, n, n, n, &at[r], &bt[r], &ccfg).unwrap();
+            });
+        }
         "tsqr" => {
             // Tall-skinny: each rank contributes an n x b block.
             let blocks: Vec<Matrix> = (0..cfg.ranks)
@@ -419,6 +431,18 @@ fn run_real(cfg: &Config) -> Result<Trace, String> {
         other => return Err(format!("unknown algorithm `{other}`")),
     }
     Ok(tracer.collect())
+}
+
+/// The brick schedule both substrates trace for `--algo cosma`: a
+/// searched `(a, b, c)` decomposition of the square `n³` cube, with the
+/// replication pipelined over `--b`-wide `k`-slices.
+fn cosma_cfg(cfg: &Config) -> CosmaConfig {
+    let base = CosmaConfig::for_problem(cfg.ranks, cfg.n, cfg.n, cfg.n);
+    let k_brick = cfg.n.div_ceil(base.decomp.c);
+    CosmaConfig {
+        steps: (k_brick / cfg.inner_b.max(1)).max(1),
+        ..base
+    }
 }
 
 /// Sparse schedule config shared by the spgemm/sddmm arms: the pivot
@@ -581,6 +605,17 @@ fn run_sim(cfg: &Config) -> Result<Trace, String> {
             SimWorld::run(net, gamma, false, move |comm| {
                 let t = PhantomMat { rows: ts, cols: ts };
                 twodotfive(comm, n, &t, &t, &tcfg).unwrap();
+            });
+        }
+        "cosma" => {
+            let ccfg = cosma_cfg(cfg);
+            let d = ccfg.decomp;
+            let pm = PhantomMat { rows: n, cols: n };
+            let at = d.a_distribution(n, n, cfg.ranks).scatter(&pm);
+            let bt = d.b_distribution(n, n, cfg.ranks).scatter(&pm);
+            SimWorld::run(net, gamma, false, move |comm| {
+                let r = comm.rank();
+                cosma(comm, n, n, n, &at[r], &bt[r], &ccfg).unwrap();
             });
         }
         "tsqr" => {

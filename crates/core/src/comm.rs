@@ -53,6 +53,8 @@ pub trait MatLike: Clone + Send + 'static {
     fn block_into(&self, r0: usize, c0: usize, dst: &mut Self);
     /// Overwrites the block at `(r0, c0)` with `src`.
     fn set_block(&mut self, r0: usize, c0: usize, src: &Self);
+    /// Element-wise `self += other`; shapes must agree.
+    fn add_assign(&mut self, other: &Self);
     /// `C += A·B`.
     fn gemm(kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self);
     /// `C += α·A·B`.
@@ -89,6 +91,9 @@ impl MatLike for Matrix {
     }
     fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
         Matrix::set_block(self, r0, c0, src)
+    }
+    fn add_assign(&mut self, other: &Self) {
+        Matrix::add_assign(self, other)
     }
     fn gemm(kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self) {
         gemm(kernel, a, b, c)
@@ -160,6 +165,13 @@ impl MatLike for PhantomMat {
         assert!(
             r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
             "block out of bounds"
+        );
+    }
+    fn add_assign(&mut self, other: &Self) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in add_assign"
         );
     }
     fn gemm(_kernel: GemmKernel, a: &Self, b: &Self, c: &mut Self) {

@@ -26,12 +26,19 @@
 //!   broadcasts, and [`mod@tsqr`] — communication-avoiding tall-skinny QR
 //!   (the §VI plan to carry the approach to LU/QR);
 //! * [`rect`] — the general `(M, L, N)` rectangular forms of Algorithm 1;
+//! * [`distribution`] — grid-free ownership descriptors ([`Distribution`],
+//!   [`BrickDecomp`]) with exact-cover validation, host-side
+//!   scatter/gather, and SPMD [`redistribute`];
+//! * [`mod@cosma`] — the COSMA-style near-communication-optimal schedule
+//!   over `(a, b, c)` brick decompositions of the `m × n × k` cube;
 //! * [`testutil`] — scatter/run/gather drivers shared by tests, examples
 //!   and benchmarks.
 
 pub mod cannon;
 pub mod comm;
+pub mod cosma;
 pub mod cyclic;
+pub mod distribution;
 pub mod fox;
 pub mod grid;
 pub mod hsumma;
@@ -50,7 +57,9 @@ pub mod twodotfive;
 
 pub use cannon::cannon;
 pub use comm::{CollectiveHandle, Communicator, MatLike, PanelBcast, PhantomMat};
+pub use cosma::{cosma, reduce_scatter_gather, CosmaConfig};
 pub use cyclic::summa_cyclic;
+pub use distribution::{redistribute, BrickDecomp, Distribution};
 pub use fox::fox;
 pub use grid::HierGrid;
 pub use hsumma::{hsumma, HsummaConfig};
@@ -62,9 +71,9 @@ pub use overlap::{
 pub use partition::{
     ceil_div, chunk_range, pivot_offset, pivot_owner, tile_shape, tile_shape_rect,
 };
-pub use plan::{run_planned, PlannedAlgo};
+pub use plan::{run_planned, run_planned_gemm, PlannedAlgo};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};
-pub use simdrive::{sim_hsumma, sim_summa};
+pub use simdrive::{sim_cosma, sim_hsumma, sim_summa};
 pub use summa::{summa, SummaConfig};
 pub use tsqr::tsqr;
 pub use tuning::tuned_hsumma;

@@ -1,16 +1,21 @@
 //! Block-partition arithmetic shared by every 2-D algorithm.
 //!
 //! Each schedule in this crate walks the same block-checkerboard
-//! geometry: a square `n × n` operand over an `s × t` grid yields
-//! `(n/s) × (n/t)` local tiles, and pivot step `k` with panel width `bs`
-//! lives on the grid row/column owning global index `k·bs`. That
-//! arithmetic used to be re-derived inline in every algorithm file
-//! (summa, hsumma, overlap, lu, 2.5D, cyclic, …) — and again by the
-//! sparse panel schedules — so it lives here exactly once.
+//! geometry: a `rows × cols` operand over an `s × t` grid yields
+//! `(rows/s) × (cols/t)` local tiles (square `n × n` being the common
+//! case), and pivot step `k` with panel width `bs` lives on the grid
+//! row/column owning global index `k·bs`. That arithmetic used to be
+//! re-derived inline in every algorithm file (summa, hsumma, overlap,
+//! lu, 2.5D, cyclic, …) — and again by the sparse panel schedules — so
+//! it lives here exactly once.
 //!
 //! The 1-D "deal `len` elements over `p` parts" helper used by the
 //! segmented collectives is [`chunk_range`], re-exported from the
-//! runtime so core-side schedule code has a single import path.
+//! runtime so core-side schedule code has a single import path. It is
+//! also the dealing rule behind [`crate::distribution::Distribution`]'s
+//! checkerboard constructor, which drops the divisibility requirement
+//! entirely; the exact-cover invariant both must satisfy is property
+//! tested below.
 
 use hsumma_matrix::GridShape;
 
@@ -119,5 +124,66 @@ mod tests {
         assert_eq!(ceil_div(0, 4), 0);
         assert_eq!(ceil_div(8, 4), 2);
         assert_eq!(ceil_div(9, 4), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `ceil_div` is the least multiple-count covering `a`.
+            #[test]
+            fn ceil_div_is_the_least_cover(a in 0usize..10_000, b in 1usize..100) {
+                let q = ceil_div(a, b);
+                prop_assert!(q * b >= a, "covers");
+                if a > 0 {
+                    prop_assert!((q - 1) * b < a, "least");
+                }
+            }
+
+            /// `chunk_range` deals `len` over `p` parts with no gap, no
+            /// overlap, and near-even extents — for *any* `p`, dividing
+            /// or not. This is the 1-D invariant `Distribution::grid2d`
+            /// lifts to two dimensions.
+            #[test]
+            fn chunk_range_tiles_exactly(len in 0usize..500, p in 1usize..40) {
+                let mut cursor = 0usize;
+                let (mut min_ext, mut max_ext) = (usize::MAX, 0usize);
+                for i in 0..p {
+                    let (start, end) = chunk_range(len, p, i);
+                    prop_assert_eq!(start, cursor, "contiguous, in order");
+                    prop_assert!(end >= start);
+                    min_ext = min_ext.min(end - start);
+                    max_ext = max_ext.max(end - start);
+                    cursor = end;
+                }
+                prop_assert_eq!(cursor, len, "full cover");
+                prop_assert!(max_ext - min_ext <= 1, "balanced dealing");
+            }
+
+            /// On dividing shapes the rectangular tile shape reassembles
+            /// the global exactly: `s·(rows/s) = rows`, `t·(cols/t) = cols`.
+            #[test]
+            fn tile_shape_rect_reassembles_the_global(
+                s in 1usize..8, t in 1usize..8,
+                rf in 1usize..10, cf in 1usize..10,
+            ) {
+                let grid = GridShape::new(s, t);
+                let (rows, cols) = (s * rf, t * cf);
+                let (th, tw) = tile_shape_rect(grid, rows, cols);
+                prop_assert_eq!(th * grid.rows, rows);
+                prop_assert_eq!(tw * grid.cols, cols);
+                // And it agrees with the chunk_range dealing (which is
+                // uniform exactly when the grid divides).
+                for i in 0..s {
+                    let (r0, r1) = chunk_range(rows, s, i);
+                    prop_assert_eq!(r1 - r0, th);
+                }
+                for j in 0..t {
+                    let (c0, c1) = chunk_range(cols, t, j);
+                    prop_assert_eq!(c1 - c0, tw);
+                }
+            }
+        }
     }
 }

@@ -9,33 +9,48 @@
 //! a plan can be priced on `SimComm` before being committed to a pool.
 
 use crate::cannon::cannon;
-use crate::comm::Communicator;
+use crate::comm::{Communicator, MatLike};
+use crate::cosma::{cosma, CosmaConfig};
+use crate::distribution::{redistribute, Distribution};
 use crate::hsumma::{hsumma, HsummaConfig};
 use crate::overlap::{hsumma_overlap, summa_overlap};
+use crate::rect::{hsumma_rect, summa_rect, MatMulDims};
 use crate::summa::{summa, SummaConfig};
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_runtime::CommError;
 
-/// A fully resolved algorithm choice for one square `n × n` multiply.
+/// A fully resolved algorithm choice for one `C(m×n) = A(m×k) · B(k×n)`
+/// multiply (square `m = n = k` being the common case).
 #[derive(Clone, Copy, Debug)]
 pub enum PlannedAlgo {
-    /// SUMMA with the given panel width / broadcast / kernel.
+    /// SUMMA with the given panel width / broadcast / kernel. Square
+    /// operands run the classic schedule; rectangular extents dispatch
+    /// to [`crate::rect::summa_rect`].
     Summa(SummaConfig),
     /// SUMMA over the double-buffered pivot pipeline
     /// ([`crate::overlap::summa_overlap`]); `cfg.bcast` is ignored —
-    /// nonblocking flat pushes replace the collective.
+    /// nonblocking flat pushes replace the collective. Square only.
     SummaPipelined(SummaConfig),
-    /// HSUMMA with a concrete `(I × J, B, b)` grouping.
+    /// HSUMMA with a concrete `(I × J, B, b)` grouping; rectangular
+    /// extents dispatch to [`crate::rect::hsumma_rect`].
     Hsumma(HsummaConfig),
     /// HSUMMA over the two-level pivot pipeline
     /// ([`crate::overlap::hsumma_overlap`]); the `*_bcast` fields are
     /// ignored — nonblocking flat pushes replace the collectives.
+    /// Square only.
     HsummaPipelined(HsummaConfig),
-    /// Cannon's algorithm (square grids only).
+    /// Cannon's algorithm (square grids and operands only).
     Cannon {
         /// Local multiply kernel.
         kernel: GemmKernel,
     },
+    /// The COSMA-style brick schedule ([`crate::cosma()`]). The
+    /// dispatcher redistributes the block-checkerboard tiles into the
+    /// decomposition's brick layout, runs the schedule, and
+    /// redistributes the product back — so the plan is interchangeable
+    /// with the grid algorithms under the same tile convention, and
+    /// needs no divisibility from `(m, n, k)` at all.
+    Cosma(CosmaConfig),
 }
 
 impl PlannedAlgo {
@@ -53,6 +68,10 @@ impl PlannedAlgo {
                 cfg.groups.rows, cfg.groups.cols, cfg.outer_block, cfg.inner_block
             ),
             PlannedAlgo::Cannon { .. } => "cannon".to_string(),
+            PlannedAlgo::Cosma(cfg) => format!(
+                "cosma({}x{}x{}, steps={})",
+                cfg.decomp.a, cfg.decomp.b, cfg.decomp.c, cfg.steps
+            ),
         }
     }
 
@@ -62,9 +81,10 @@ impl PlannedAlgo {
     pub fn gemm_path(&self) -> &'static str {
         match self {
             PlannedAlgo::SummaPipelined(_) | PlannedAlgo::HsummaPipelined(_) => "pipelined",
-            PlannedAlgo::Summa(_) | PlannedAlgo::Hsumma(_) | PlannedAlgo::Cannon { .. } => {
-                "blocking"
-            }
+            PlannedAlgo::Summa(_)
+            | PlannedAlgo::Hsumma(_)
+            | PlannedAlgo::Cannon { .. }
+            | PlannedAlgo::Cosma(_) => "blocking",
         }
     }
 }
@@ -72,6 +92,8 @@ impl PlannedAlgo {
 /// Runs the planned algorithm on the calling rank. SPMD: every rank of
 /// `comm` must call this with the same plan and its local
 /// block-checkerboard tiles; returns the local tile of `C`.
+///
+/// Square-operand shim for [`run_planned_gemm`].
 ///
 /// # Panics
 /// Panics if the plan is inconsistent with `grid`/`n` (block-divisibility
@@ -84,12 +106,76 @@ pub fn run_planned<C: Communicator>(
     b: &C::Mat,
     plan: &PlannedAlgo,
 ) -> Result<C::Mat, CommError> {
+    run_planned_gemm(comm, grid, n, n, n, a, b, plan)
+}
+
+/// Runs the planned algorithm for `C(m×n) = A(m×k) · B(k×n)` on the
+/// calling rank. SPMD: every rank of `comm` must call this with the
+/// same plan and its local tiles under the checkerboard layout of
+/// [`Distribution::grid2d`] (`A` over `grid2d(grid, m, k)`, `B` over
+/// `grid2d(grid, k, n)`); returns the local tile of `C` under
+/// `grid2d(grid, m, n)`. When the grid divides every extent — a
+/// precondition of the grid algorithms anyway — those layouts are the
+/// classic uniform block-checkerboard tiles.
+///
+/// # Panics
+/// Panics if the plan is inconsistent with `grid`/`(m, n, k)`: the
+/// pipelined and Cannon plans require square operands, the grid
+/// algorithms require grid divisibility; only [`PlannedAlgo::Cosma`]
+/// accepts arbitrary extents.
+#[allow(clippy::too_many_arguments)]
+pub fn run_planned_gemm<C: Communicator>(
+    comm: &C,
+    grid: GridShape,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &C::Mat,
+    b: &C::Mat,
+    plan: &PlannedAlgo,
+) -> Result<C::Mat, CommError> {
+    let square = m == n && k == n;
+    let dims = MatMulDims { m, l: k, n };
     match plan {
-        PlannedAlgo::Summa(cfg) => summa(comm, grid, n, a, b, cfg),
-        PlannedAlgo::SummaPipelined(cfg) => summa_overlap(comm, grid, n, a, b, cfg),
-        PlannedAlgo::Hsumma(cfg) => hsumma(comm, grid, n, a, b, cfg),
-        PlannedAlgo::HsummaPipelined(cfg) => hsumma_overlap(comm, grid, n, a, b, cfg),
-        PlannedAlgo::Cannon { kernel } => cannon(comm, grid, n, a, b, *kernel),
+        PlannedAlgo::Summa(cfg) if square => summa(comm, grid, n, a, b, cfg),
+        PlannedAlgo::Summa(cfg) => summa_rect(comm, grid, dims, a, b, cfg),
+        PlannedAlgo::SummaPipelined(cfg) => {
+            assert!(square, "the pipelined SUMMA plan is square-only");
+            summa_overlap(comm, grid, n, a, b, cfg)
+        }
+        PlannedAlgo::Hsumma(cfg) if square => hsumma(comm, grid, n, a, b, cfg),
+        PlannedAlgo::Hsumma(cfg) => hsumma_rect(comm, grid, dims, a, b, cfg),
+        PlannedAlgo::HsummaPipelined(cfg) => {
+            assert!(square, "the pipelined HSUMMA plan is square-only");
+            hsumma_overlap(comm, grid, n, a, b, cfg)
+        }
+        PlannedAlgo::Cannon { kernel } => {
+            assert!(square, "the Cannon plan is square-only");
+            cannon(comm, grid, n, a, b, *kernel)
+        }
+        PlannedAlgo::Cosma(cfg) => {
+            let p = comm.size();
+            let d = cfg.decomp;
+            // Checkerboard → bricks, run, bricks → checkerboard. The
+            // redistribution schedules are pure functions of the
+            // descriptors, preserving multiset parity across substrates.
+            let a_brick = redistribute(
+                comm,
+                &Distribution::grid2d(grid, m, k),
+                &d.a_distribution(m, k, p),
+                a,
+            )?;
+            let b_brick = redistribute(
+                comm,
+                &Distribution::grid2d(grid, k, n),
+                &d.b_distribution(k, n, p),
+                b,
+            )?;
+            let dc = d.c_distribution(m, n, p);
+            let c_brick = cosma(comm, m, n, k, &a_brick, &b_brick, cfg)?
+                .unwrap_or_else(|| C::Mat::zeros(0, 0));
+            redistribute(comm, &dc, &Distribution::grid2d(grid, m, n), &c_brick)
+        }
     }
 }
 
@@ -166,6 +252,78 @@ mod tests {
             }
             .gemm_path(),
             "blocking"
+        );
+    }
+
+    /// Runs `run_planned_gemm` over checkerboard tiles dealt by
+    /// `Distribution::grid2d` (uneven extents allowed) and compares the
+    /// gathered product with the serial reference.
+    fn check_gemm(plan: PlannedAlgo, grid: GridShape, m: usize, n: usize, k: usize) {
+        use hsumma_runtime::Runtime;
+        let a = seeded_uniform(m, k, 31);
+        let b = seeded_uniform(k, n, 32);
+        let da = Distribution::grid2d(grid, m, k);
+        let db = Distribution::grid2d(grid, k, n);
+        let dc = Distribution::grid2d(grid, m, n);
+        let a_tiles = std::sync::Arc::new(da.scatter(&a));
+        let b_tiles = std::sync::Arc::new(db.scatter(&b));
+        let tiles = Runtime::run(grid.size(), {
+            let (a_tiles, b_tiles) = (a_tiles.clone(), b_tiles.clone());
+            move |comm| {
+                let at = a_tiles[comm.rank()].clone();
+                let bt = b_tiles[comm.rank()].clone();
+                run_planned_gemm(comm, grid, m, n, k, &at, &bt, &plan).unwrap()
+            }
+        });
+        let got = dc.gather(&tiles);
+        let want = reference_product(&a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "{} err {}",
+            plan.describe(),
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn dispatches_cosma_with_redistribution() {
+        // Nothing divides anything: the cosma plan is the only one that
+        // can serve this shape on a 2 x 2 grid.
+        check_gemm(
+            PlannedAlgo::Cosma(CosmaConfig::for_problem(4, 7, 5, 9)),
+            GridShape::new(2, 2),
+            7,
+            5,
+            9,
+        );
+        // Square divisible shape through the same path.
+        check_gemm(
+            PlannedAlgo::Cosma(CosmaConfig::for_problem(4, 16, 16, 16)),
+            GridShape::new(2, 2),
+            16,
+            16,
+            16,
+        );
+    }
+
+    #[test]
+    fn dispatches_rect_forms_for_rectangular_extents() {
+        check_gemm(
+            PlannedAlgo::Summa(SummaConfig {
+                block: 2,
+                ..SummaConfig::default()
+            }),
+            GridShape::new(2, 2),
+            8,
+            6,
+            4,
+        );
+        check_gemm(
+            PlannedAlgo::Hsumma(HsummaConfig::uniform(GridShape::new(2, 2), 4)),
+            GridShape::new(4, 4),
+            16,
+            32,
+            16,
         );
     }
 

@@ -14,7 +14,8 @@
 //! results (Figs. 8–9) and Grid5000 results (Figs. 5–7).
 
 use crate::cannon::cannon;
-use crate::comm::PhantomMat;
+use crate::comm::{MatLike, PhantomMat};
+use crate::cosma::{cosma, CosmaConfig};
 use crate::fox::fox_with;
 use crate::hsumma::{hsumma, HsummaConfig};
 use crate::overlap::summa_overlap;
@@ -297,6 +298,61 @@ pub fn sim_twodotfive(platform: &Platform, n: usize, cfg: &TwoDotFiveConfig) -> 
         },
     );
     net.report()
+}
+
+/// Simulated COSMA: `C(m×n) = A(m×k) · B(k×n)` over `p` virtual ranks
+/// with the configured brick decomposition ([`crate::cosma::cosma`]).
+/// Bricks live in their native [`crate::distribution::BrickDecomp`]
+/// layouts — no redistribution, matching how the serving layer would
+/// stage operands for a pure cosma job.
+pub fn sim_cosma(
+    platform: &Platform,
+    p: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: &CosmaConfig,
+) -> SimReport {
+    let mut net = SimNet::new(p, platform.net);
+    sim_cosma_on(&mut net, platform.gamma, m, n, k, cfg)
+}
+
+/// Simulated COSMA on a caller-provided network (e.g. with a tracer
+/// attached). The rank count is the network's.
+pub fn sim_cosma_on(
+    net: &mut SimNet,
+    gamma: f64,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: &CosmaConfig,
+) -> SimReport {
+    let cfg = *cfg;
+    let d = cfg.decomp;
+    run_on(net, gamma, false, move |comm| {
+        let me = comm.rank();
+        let (a, b) = if me < d.ranks() {
+            let (i, j, l) = d.coords(me);
+            let (m0, m1) = d.m_range(i, m);
+            let (n0, n1) = d.n_range(j, n);
+            let (k0, k1) = d.k_range(l, k);
+            (
+                if j == 0 {
+                    PhantomMat::zeros(m1 - m0, k1 - k0)
+                } else {
+                    PhantomMat::zeros(0, 0)
+                },
+                if i == 0 {
+                    PhantomMat::zeros(k1 - k0, n1 - n0)
+                } else {
+                    PhantomMat::zeros(0, 0)
+                },
+            )
+        } else {
+            (PhantomMat::zeros(0, 0), PhantomMat::zeros(0, 0))
+        };
+        cosma(comm, m, n, k, &a, &b, &cfg).unwrap();
+    })
 }
 
 #[cfg(test)]

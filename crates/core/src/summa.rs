@@ -65,8 +65,10 @@ pub(crate) fn check_tiles<M: MatLike>(
 
 /// Runs SUMMA on the calling rank. SPMD: every rank of `comm` must call
 /// this with its local tiles of `A` and `B` (block-checkerboard
-/// distribution over `grid`, square `n × n` global operands). Returns the
-/// local tile of `C`.
+/// distribution over `grid`). This entry point is the square `n × n`
+/// special case — [`crate::rect::summa_rect`] takes general `(M, L, N)`
+/// extents, and the planner layer reaches non-grid-divisible shapes via
+/// the [`crate::cosma()`] brick schedule. Returns the local tile of `C`.
 ///
 /// Generic over the [`Communicator`] substrate: with the runtime's `Comm`
 /// it multiplies real matrices; with the simulator's `SimComm` the same

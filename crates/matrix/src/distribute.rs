@@ -1,15 +1,114 @@
 //! Two-dimensional data distributions over a processor grid.
 //!
-//! SUMMA and HSUMMA distribute the `n × n` operand matrices over an `s × t`
+//! SUMMA and HSUMMA distribute the operand matrices over an `s × t`
 //! grid of processors by *block-checkerboard* distribution: processor
-//! `(i, j)` owns the contiguous `n/s × n/t` tile whose top-left corner is
-//! `(i·n/s, j·n/t)` ([`BlockDist`]). The paper's future-work extension,
+//! `(i, j)` owns the contiguous `m/s × n/t` tile whose top-left corner is
+//! `(i·m/s, j·n/t)` ([`BlockDist`]). The paper's future-work extension,
 //! *block-cyclic* distribution, deals blocks of a fixed size round-robin
 //! over the grid ([`BlockCyclicDist`]).
+//!
+//! Both are special cases of "each rank owns one rectangular sub-block of
+//! the global": [`BlockRange`] is that primitive — a half-open rectangle
+//! with extract/place against a global [`Matrix`] — and is what the
+//! grid-free `Distribution` descriptors in the core crate are built from.
 //!
 //! Ranks are ordered row-major over the grid: `rank = i·t + j`.
 
 use crate::dense::Matrix;
+
+/// A half-open rectangular block `[row0, row1) × [col0, col1)` of some
+/// global matrix: the unit of ownership in grid-free distributions.
+///
+/// Empty ranges (zero rows or columns) are legal and describe ranks that
+/// own no part of the operand — e.g. idle ranks of a brick decomposition
+/// whose processor count doesn't factor evenly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRange {
+    /// First owned row.
+    pub row0: usize,
+    /// One past the last owned row.
+    pub row1: usize,
+    /// First owned column.
+    pub col0: usize,
+    /// One past the last owned column.
+    pub col1: usize,
+}
+
+impl BlockRange {
+    /// Creates a range; panics if either interval is inverted.
+    pub fn new(row0: usize, row1: usize, col0: usize, col1: usize) -> Self {
+        assert!(row0 <= row1, "inverted row range {row0}..{row1}");
+        assert!(col0 <= col1, "inverted col range {col0}..{col1}");
+        BlockRange {
+            row0,
+            row1,
+            col0,
+            col1,
+        }
+    }
+
+    /// The empty range at the origin.
+    pub fn empty() -> Self {
+        BlockRange::new(0, 0, 0, 0)
+    }
+
+    /// Owned row count.
+    pub fn rows(&self) -> usize {
+        self.row1 - self.row0
+    }
+
+    /// Owned column count.
+    pub fn cols(&self) -> usize {
+        self.col1 - self.col0
+    }
+
+    /// Owned element count.
+    pub fn elems(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Whether the range owns nothing.
+    pub fn is_empty(&self) -> bool {
+        self.elems() == 0
+    }
+
+    /// The intersection with `other`, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &BlockRange) -> Option<BlockRange> {
+        let r0 = self.row0.max(other.row0);
+        let r1 = self.row1.min(other.row1);
+        let c0 = self.col0.max(other.col0);
+        let c1 = self.col1.min(other.col1);
+        (r0 < r1 && c0 < c1).then(|| BlockRange::new(r0, r1, c0, c1))
+    }
+
+    /// Extracts this block from the global matrix as a fresh local tile.
+    ///
+    /// # Panics
+    /// Panics if the range reaches outside `global`.
+    pub fn extract(&self, global: &Matrix) -> Matrix {
+        assert!(
+            self.row1 <= global.rows() && self.col1 <= global.cols(),
+            "range {self:?} outside global {:?}",
+            global.shape()
+        );
+        global.block(self.row0, self.col0, self.rows(), self.cols())
+    }
+
+    /// Places a local tile of this range's shape back into the global.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch or if the range reaches outside `global`.
+    pub fn place(&self, global: &mut Matrix, tile: &Matrix) {
+        assert_eq!(
+            tile.shape(),
+            (self.rows(), self.cols()),
+            "tile shape does not match range {self:?}"
+        );
+        if !self.is_empty() {
+            global.set_block(self.row0, self.col0, tile);
+        }
+    }
+}
 
 /// An `s × t` arrangement of `p = s·t` processors, row-major rank order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,12 +214,17 @@ impl BlockDist {
         (i * th, j * tw)
     }
 
+    /// `rank`'s owned block as a [`BlockRange`].
+    pub fn tile_range(&self, rank: usize) -> BlockRange {
+        let (r0, c0) = self.tile_origin(rank);
+        let (th, tw) = self.tile_shape();
+        BlockRange::new(r0, r0 + th, c0, c0 + tw)
+    }
+
     /// Extracts `rank`'s local tile from the global matrix.
     pub fn local_tile(&self, global: &Matrix, rank: usize) -> Matrix {
         assert_eq!(global.shape(), (self.mat_rows, self.mat_cols));
-        let (r0, c0) = self.tile_origin(rank);
-        let (th, tw) = self.tile_shape();
-        global.block(r0, c0, th, tw)
+        self.tile_range(rank).extract(global)
     }
 
     /// Splits the global matrix into per-rank tiles, indexed by rank.
@@ -140,8 +244,7 @@ impl BlockDist {
         let mut global = Matrix::zeros(self.mat_rows, self.mat_cols);
         for (rank, tile) in tiles.iter().enumerate() {
             assert_eq!(tile.shape(), (th, tw), "tile {rank} has wrong shape");
-            let (r0, c0) = self.tile_origin(rank);
-            global.set_block(r0, c0, tile);
+            self.tile_range(rank).place(&mut global, tile);
         }
         global
     }
@@ -406,6 +509,40 @@ mod tests {
             let dist = BlockCyclicDist::new(g, rows, cols, bl);
             let m = seeded_uniform(rows, cols, seed);
             prop_assert_eq!(dist.gather(&dist.scatter(&m)), m);
+        }
+    }
+
+    #[test]
+    fn block_range_extract_place_roundtrip() {
+        let m = seeded_uniform(7, 9, 3);
+        let r = BlockRange::new(2, 5, 4, 9);
+        assert_eq!((r.rows(), r.cols(), r.elems()), (3, 5, 15));
+        let tile = r.extract(&m);
+        assert_eq!(tile, m.block(2, 4, 3, 5));
+        let mut out = Matrix::zeros(7, 9);
+        r.place(&mut out, &tile);
+        assert_eq!(out.block(2, 4, 3, 5), tile);
+        assert_eq!(out.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn block_range_intersection() {
+        let a = BlockRange::new(0, 4, 0, 4);
+        let b = BlockRange::new(2, 6, 3, 8);
+        assert_eq!(a.intersect(&b), Some(BlockRange::new(2, 4, 3, 4)));
+        let far = BlockRange::new(4, 6, 0, 4);
+        assert_eq!(a.intersect(&far), None);
+        assert!(BlockRange::empty().is_empty());
+        assert_eq!(a.intersect(&BlockRange::empty()), None);
+    }
+
+    #[test]
+    fn block_dist_tile_range_matches_origin_and_shape() {
+        let dist = BlockDist::new(GridShape::new(2, 3), 10, 9);
+        for rank in 0..6 {
+            let r = dist.tile_range(rank);
+            assert_eq!((r.row0, r.col0), dist.tile_origin(rank));
+            assert_eq!((r.rows(), r.cols()), dist.tile_shape());
         }
     }
 }

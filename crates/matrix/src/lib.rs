@@ -33,7 +33,7 @@ pub mod sparse;
 pub mod view;
 
 pub use dense::Matrix;
-pub use distribute::{BlockCyclicDist, BlockDist, GridShape};
+pub use distribute::{BlockCyclicDist, BlockDist, BlockRange, GridShape};
 pub use gemm::{gemm, gemm_scaled, GemmKernel, PackedParams};
 pub use generate::{deterministic, random_uniform, seeded_uniform};
 pub use sparse::{

@@ -181,6 +181,79 @@ pub fn hsumma_cost(
     }
 }
 
+/// SUMMA predicted cost for a rectangular `C(m×n) = A(m×k)·B(k×n)`
+/// multiply on a square `√p × √p` grid: `k/b` panel steps, each
+/// broadcasting `m/√p × b` of A along grid rows and `b × n/√p` of B
+/// along grid columns. Reduces exactly to [`summa_cost`] when
+/// `m = n = k` (checked in the tests).
+///
+/// # Panics
+/// Panics unless `p ≥ 1` and `m, n, k ≥ b ≥ 1`.
+pub fn summa_gemm_cost(
+    params: &ModelParams,
+    bcast: BcastModel,
+    m: f64,
+    n: f64,
+    k: f64,
+    p: f64,
+    b: f64,
+) -> CostBreakdown {
+    assert!(
+        p >= 1.0 && b >= 1.0 && m >= b && n >= b && k >= b,
+        "invalid SUMMA parameters"
+    );
+    let q = p.sqrt();
+    let steps = k / b;
+    let panel_bytes = (m + n) / q * b * ELEM_BYTES; // A row-panel + B col-panel
+    CostBreakdown {
+        latency: 2.0 * steps * bcast.latency(q) * params.alpha,
+        bandwidth: steps * panel_bytes * bcast.bandwidth(q) * params.beta,
+        compute: params.gamma * m * n * k / p,
+    }
+}
+
+/// HSUMMA predicted cost for a rectangular `C(m×n) = A(m×k)·B(k×n)`
+/// multiply: the two-level grouping of [`hsumma_cost`] with `k/bb`
+/// outer and `k/bs` inner steps over the contraction dimension.
+/// Reduces exactly to [`hsumma_cost`] when `m = n = k`.
+///
+/// # Panics
+/// Panics unless `1 ≤ G ≤ p` and `bs ≤ bb ≤ k`.
+#[allow(clippy::too_many_arguments)]
+pub fn hsumma_gemm_cost(
+    params: &ModelParams,
+    outer_bcast: BcastModel,
+    inner_bcast: BcastModel,
+    m: f64,
+    n: f64,
+    k: f64,
+    p: f64,
+    g: f64,
+    bb: f64,
+    bs: f64,
+) -> CostBreakdown {
+    assert!((1.0..=p).contains(&g), "G must lie in [1, p]");
+    assert!(bs >= 1.0 && bs <= bb && bb <= k, "invalid block sizes");
+    let q = p.sqrt();
+    let qg = g.sqrt();
+    let qi = q / qg;
+
+    let outer_steps = k / bb;
+    let inner_steps = k / bs;
+    let outer_bytes = (m + n) / q * bb * ELEM_BYTES;
+    let inner_bytes = (m + n) / q * bs * ELEM_BYTES;
+
+    CostBreakdown {
+        latency: 2.0
+            * (outer_steps * outer_bcast.latency(qg) + inner_steps * inner_bcast.latency(qi))
+            * params.alpha,
+        bandwidth: (outer_steps * outer_bytes * outer_bcast.bandwidth(qg)
+            + inner_steps * inner_bytes * inner_bcast.bandwidth(qi))
+            * params.beta,
+        compute: params.gamma * m * n * k / p,
+    }
+}
+
 /// The optimal-configuration row of Table II: HSUMMA with van de Geijn
 /// broadcast at `G = √p`, `b = B`:
 /// `(log₂p + 4(p^¼ − 1))·(n/b)·α + 8(1 − 1/p^¼)·(n²/√p)·β` (Eq. 12).
@@ -406,6 +479,68 @@ mod tests {
         // Pipelining never loses, and latency is never hidden.
         assert!(c.pipelined() <= c.total());
         assert!(c.pipelined() >= c.latency);
+    }
+
+    #[test]
+    fn rect_summa_reduces_to_square_form() {
+        let params = ModelParams::bluegene_p();
+        let (n, p, b) = (65536.0, 16384.0, 256.0);
+        for m in [BcastModel::Binomial, BcastModel::VanDeGeijn] {
+            let sq = summa_cost(&params, m, n, p, b);
+            let rect = summa_gemm_cost(&params, m, n, n, n, p, b);
+            assert!(close(sq.latency, rect.latency), "{m:?}");
+            assert!(close(sq.bandwidth, rect.bandwidth), "{m:?}");
+            assert!(close(sq.compute, rect.compute), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn rect_hsumma_reduces_to_square_form() {
+        let params = ModelParams::bluegene_p();
+        let (n, p, g, bb, bs) = (65536.0, 16384.0, 128.0, 256.0, 128.0);
+        let sq = hsumma_cost(
+            &params,
+            BcastModel::VanDeGeijn,
+            BcastModel::Binomial,
+            n,
+            p,
+            g,
+            bb,
+            bs,
+        );
+        let rect = hsumma_gemm_cost(
+            &params,
+            BcastModel::VanDeGeijn,
+            BcastModel::Binomial,
+            n,
+            n,
+            n,
+            p,
+            g,
+            bb,
+            bs,
+        );
+        assert!(close(sq.latency, rect.latency));
+        assert!(close(sq.bandwidth, rect.bandwidth));
+        assert!(close(sq.compute, rect.compute));
+    }
+
+    #[test]
+    fn square_grid_shape_sensitivity_brackets_the_square_case() {
+        // Equal m·n·k flops, very different wire bills on a √p × √p
+        // grid: a thin contraction (k small) broadcasts less, a long m
+        // (tall-skinny) broadcasts enormous A panels — the mis-shaping
+        // the brick decomposition of `cosma` exists to fix.
+        let params = ModelParams::bluegene_p();
+        let (p, b) = (4096.0, 64.0);
+        let square = summa_gemm_cost(&params, BcastModel::Binomial, 4096.0, 4096.0, 4096.0, p, b);
+        let outerish =
+            summa_gemm_cost(&params, BcastModel::Binomial, 16384.0, 16384.0, 256.0, p, b);
+        let tall = summa_gemm_cost(&params, BcastModel::Binomial, 65536.0, 1024.0, 1024.0, p, b);
+        assert!(close(square.compute, outerish.compute));
+        assert!(close(square.compute, tall.compute));
+        assert!(outerish.bandwidth < square.bandwidth);
+        assert!(tall.bandwidth > square.bandwidth);
     }
 
     #[test]

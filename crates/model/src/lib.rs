@@ -15,9 +15,12 @@
 //!   back to `G ∈ {1, p}`, tying SUMMA);
 //! * [`predict`] — parameter sweeps over `G` and platform presets used to
 //!   regenerate Fig. 10 (exascale) and validate Figs. 5–9;
+//! * [`mod@cosma`] — the COSMA-style brick schedule's critical path and
+//!   exact wire volume over `(a, b, c)` decompositions of the
+//!   `m × n × k` cube, with a memory-budgeted [`best_brick`] search;
 //! * [`plan`] — algorithm selection on top of the cost models: given
-//!   `(n, p, b)` and a platform, pick SUMMA vs HSUMMA-at-best-`G` vs
-//!   Cannon by predicted communication time (the entry point the serving
+//!   `(m, n, k, p, b)` and a platform, pick SUMMA vs HSUMMA-at-best-`G`
+//!   vs Cannon vs COSMA by predicted time (the entry point the serving
 //!   layer's planner consults);
 //! * [`sparse`] — nnz-aware extensions: CSR wire-format byte models,
 //!   sampled [`SparsityProfile`]s, SpGEMM/SDDMM cost breakdowns and the
@@ -31,6 +34,7 @@
 //! [`ELEM_BYTES`] bytes, `gamma` in seconds per fused multiply-add pair.
 
 pub mod bcast;
+pub mod cosma;
 pub mod cost;
 pub mod plan;
 pub mod predict;
@@ -39,8 +43,14 @@ pub mod related;
 pub mod sparse;
 
 pub use bcast::BcastModel;
-pub use cost::{hsumma_cost, summa_cost, CostBreakdown, ModelParams};
-pub use plan::{advise_square, AlgoChoice, PlanAdvice};
+pub use cosma::{
+    best_brick, cosma_cost, cosma_footprint_elems, cosma_volume, redistribution_cost, BrickAdvice,
+    BrickShape,
+};
+pub use cost::{
+    hsumma_cost, hsumma_gemm_cost, summa_cost, summa_gemm_cost, CostBreakdown, ModelParams,
+};
+pub use plan::{advise_gemm, advise_square, AlgoChoice, PlanAdvice};
 pub use predict::{sweep_groups, SweepPoint};
 pub use regime::{classify_regime, dtheta_dg_vdg, Regime};
 pub use sparse::{

@@ -5,11 +5,22 @@
 //! platform `(α, β, γ)`, what SUMMA costs and what HSUMMA costs at every
 //! group count `G`; COSMA and Demmel et al.'s strong-scaling analysis
 //! (see PAPERS.md) make the broader point that the *winning algorithm*
-//! depends on the problem regime. [`advise_square`] turns that into a
-//! decision procedure: evaluate SUMMA, HSUMMA at its best `G` (seeded by
-//! the paper's `G = √p` extremum, Eq. 6), and Cannon's nearest-neighbor
-//! schedule, and return the predicted winner with the full scoreboard so
-//! callers can log *why* the choice fell where it did.
+//! depends on the problem regime. [`advise_gemm`] turns that into a
+//! decision procedure for a general `C(m×n) = A(m×k)·B(k×n)`: evaluate
+//! SUMMA, HSUMMA at its best `G` (seeded by the paper's `G = √p`
+//! extremum, Eq. 6), Cannon's nearest-neighbor schedule (square shapes
+//! only), and the COSMA-style brick schedule at its best power-of-two
+//! `(a, b, c)` decomposition, and return the predicted winner with the
+//! full scoreboard so callers can log *why* the choice fell where it
+//! did. [`advise_square`] is the historical square entry point, now a
+//! thin `advise_gemm(n, n, n, …)` shim.
+//!
+//! COSMA's candidate is priced *including* the one-time cost of
+//! redistributing checkerboard-distributed operands into brick layouts
+//! and back ([`crate::cosma::redistribution_cost`]) — the serving
+//! layer's input contract is the checkerboard, so that toll is part of
+//! choosing the brick schedule, and it keeps the comparison honest on
+//! problems where cosma's schedule advantage is thin.
 //!
 //! The advice is intentionally coarse — closed-form, contention-free. The
 //! serving planner treats it as the first pass and refines HSUMMA's `G`
@@ -17,8 +28,9 @@
 //! final plan per shape class.
 
 use crate::bcast::BcastModel;
-use crate::cost::{summa_cost, CostBreakdown, ModelParams};
-use crate::predict::{best_point, power_of_two_gs, sweep_groups};
+use crate::cosma::{cosma_cost, redistribution_cost, BrickAdvice, BrickShape};
+use crate::cost::{hsumma_gemm_cost, summa_gemm_cost, CostBreakdown, ModelParams};
+use crate::predict::power_of_two_gs;
 use crate::related::cannon_cost;
 
 /// The algorithm a plan selects.
@@ -33,6 +45,11 @@ pub enum AlgoChoice {
     },
     /// Cannon's nearest-neighbor rotation schedule.
     Cannon,
+    /// The COSMA-style brick schedule at the given decomposition.
+    Cosma {
+        /// Predicted-best `(a, b, c)` brick decomposition.
+        shape: BrickShape,
+    },
 }
 
 /// The scoreboard behind a choice: every candidate's predicted cost.
@@ -47,9 +64,13 @@ pub struct PlanAdvice {
     pub summa: CostBreakdown,
     /// HSUMMA's predicted-best `(G, cost)` over power-of-two group counts.
     pub hsumma: (f64, CostBreakdown),
-    /// Cannon's predicted cost — `None` when `√p` is not integral (Cannon
-    /// requires a square grid, §I).
+    /// Cannon's predicted cost — `None` when the problem is not square
+    /// or `√p` is not integral (Cannon requires both, §I).
     pub cannon: Option<CostBreakdown>,
+    /// COSMA's predicted-best brick configuration. Its cost *includes*
+    /// the checkerboard→brick redistribution toll, so it is directly
+    /// comparable with the grid algorithms' entries above.
+    pub cosma: Option<BrickAdvice>,
     /// The winner's predicted time with the double-buffered pivot
     /// pipeline (the §VI overlap term): `α·log + max(β·bytes, γ·flops)`
     /// instead of the blocking sum. Always ≤ `predicted.total()`; the
@@ -70,40 +91,94 @@ impl PlanAdvice {
     }
 }
 
-/// Picks the predicted-cheapest algorithm for a square `n × n` multiply
-/// on `p` ranks with panel width `b`, comparing communication cost (the
-/// compute term is identical for all three candidates).
-///
-/// HSUMMA candidates are the power-of-two group counts of Fig. 8 — the
-/// set always contains `G = 1` (= SUMMA) and brackets the paper's `√p`
-/// extremum — evaluated at `b = B` as in all the paper's experiments.
-///
-/// # Panics
-/// Panics unless `p ≥ 1` and `n ≥ b ≥ 1` (the cost models' domain).
-pub fn advise_square(
+/// Powers of two not exceeding `limit` (always contains 1).
+fn pow2s_upto(limit: usize) -> impl Iterator<Item = usize> {
+    std::iter::successors(Some(1usize), |v| v.checked_mul(2)).take_while(move |v| *v <= limit)
+}
+
+/// COSMA candidate for the advisory: power-of-two `(a, b, c)` bricks
+/// (mirroring the power-of-two `G` sweep) at the caller's panel
+/// granularity — `steps = ⌈(k/c)/b_width⌉`, so every candidate streams
+/// k-slices of the same width the grid algorithms use. The returned
+/// cost includes the checkerboard↔brick redistribution toll.
+fn best_pow2_brick(
     params: &ModelParams,
     bcast: BcastModel,
+    p: usize,
+    m: f64,
     n: f64,
+    k: f64,
+    width: f64,
+) -> Option<BrickAdvice> {
+    let toll = redistribution_cost(params, p as f64, m, n, k);
+    let mut best: Option<BrickAdvice> = None;
+    for a in pow2s_upto(p.min(m.ceil() as usize)).collect::<Vec<_>>() {
+        for b in pow2s_upto((p / a).min(n.ceil() as usize)).collect::<Vec<_>>() {
+            for c in pow2s_upto((p / (a * b)).min(k.ceil() as usize)) {
+                let shape = BrickShape { a, b, c };
+                let steps = ((k / c as f64) / width).ceil().max(1.0) as usize;
+                let sched = cosma_cost(params, bcast, shape, m, n, k, steps);
+                let cost = CostBreakdown {
+                    latency: sched.latency + toll.latency,
+                    bandwidth: sched.bandwidth + toll.bandwidth,
+                    compute: sched.compute,
+                };
+                if best.is_none_or(|w| cost.total() < w.cost.total()) {
+                    best = Some(BrickAdvice { shape, steps, cost });
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Picks the predicted-cheapest algorithm for `C(m×n) = A(m×k)·B(k×n)`
+/// on `p` ranks with panel width `b`.
+///
+/// The 2-D grid candidates (SUMMA, HSUMMA, Cannon) all perform the same
+/// `m·n·k/p` multiply-add pairs, so they compete on communication time,
+/// exactly as the paper's §IV frames it; HSUMMA candidates are the
+/// power-of-two group counts of Fig. 8, evaluated at `b = B`. The COSMA
+/// brick candidate may idle ranks (its compute term can exceed
+/// `m·n·k/p`), so it competes on *total* predicted time, and carries
+/// the checkerboard↔brick redistribution toll — see `best_pow2_brick`.
+///
+/// # Panics
+/// Panics unless `p ≥ 1` and `m, n, k ≥ b ≥ 1` (the cost models'
+/// domain).
+pub fn advise_gemm(
+    params: &ModelParams,
+    bcast: BcastModel,
+    m: f64,
+    n: f64,
+    k: f64,
     p: f64,
     b: f64,
 ) -> PlanAdvice {
-    let summa = summa_cost(params, bcast, n, p, b);
-    let sweep = sweep_groups(params, bcast, n, p, b, &power_of_two_gs(p));
-    let best_h = best_point(&sweep);
+    let summa = summa_gemm_cost(params, bcast, m, n, k, p, b);
+    let mut best_h = (1.0, summa);
+    for g in power_of_two_gs(p) {
+        let cost = hsumma_gemm_cost(params, bcast, bcast, m, n, k, p, g, b, b);
+        if cost.comm() < best_h.1.comm() {
+            best_h = (g, cost);
+        }
+    }
 
     let q = p.sqrt();
-    let square = (q.round() - q).abs() < 1e-9;
-    let cannon = if square {
+    let square_p = (q.round() - q).abs() < 1e-9;
+    let square_shape = m == n && k == n;
+    let cannon = if square_p && square_shape {
         Some(cannon_cost(params, n, p))
     } else {
         None
     };
+    let cosma = best_pow2_brick(params, bcast, p.round() as usize, m, n, k, b);
 
     let mut choice = AlgoChoice::Summa;
     let mut predicted = summa;
-    if best_h.hsumma.comm() < predicted.comm() {
-        choice = AlgoChoice::Hsumma { g: best_h.g };
-        predicted = best_h.hsumma;
+    if best_h.1.comm() < predicted.comm() {
+        choice = AlgoChoice::Hsumma { g: best_h.0 };
+        predicted = best_h.1;
     }
     // Cannon is only credible where its α term dominates: its bandwidth
     // term assumes all 2(√p+1) ring shifts proceed contention-free in
@@ -116,14 +191,37 @@ pub fn advise_square(
             predicted = c;
         }
     }
+    // COSMA competes on total time (its brick grid may idle ranks, so
+    // its compute term is not the shared m·n·k/p of the 2-D grids).
+    // Winning on total with compute ≥ m·n·k/p implies winning on comm
+    // too, so the scoreboard stays monotone vs SUMMA.
+    if let Some(cb) = cosma {
+        if cb.cost.total() < predicted.total() {
+            choice = AlgoChoice::Cosma { shape: cb.shape };
+            predicted = cb.cost;
+        }
+    }
     PlanAdvice {
         choice,
         predicted,
         summa,
-        hsumma: (best_h.g, best_h.hsumma),
+        hsumma: best_h,
         cannon,
+        cosma,
         predicted_pipelined: predicted.pipelined(),
     }
+}
+
+/// Square-shape shim over [`advise_gemm`]: the historical entry point
+/// for `n × n` multiplies, kept so existing callers read naturally.
+pub fn advise_square(
+    params: &ModelParams,
+    bcast: BcastModel,
+    n: f64,
+    p: f64,
+    b: f64,
+) -> PlanAdvice {
+    advise_gemm(params, bcast, n, n, n, p, b)
 }
 
 #[cfg(test)]
@@ -132,8 +230,11 @@ mod tests {
 
     #[test]
     fn exascale_regime_prefers_hierarchical_grouping() {
-        // Fig. 10's regime: the interior G minimum is real, so the advice
-        // must be HSUMMA at the √p-adjacent grouping.
+        // Fig. 10's regime: the interior G minimum is real, so on the
+        // 2-D scoreboard HSUMMA's best grouping is the √p-adjacent one
+        // and it beats SUMMA. The overall winner is the brick schedule
+        // — COSMA's near-optimal decomposition out-communicates every
+        // 2-D grid here even after the redistribution toll.
         let params = ModelParams::exascale();
         let p = (1u64 << 20) as f64;
         let advice = advise_square(
@@ -143,11 +244,16 @@ mod tests {
             p,
             256.0,
         );
+        let (g, hsumma) = advice.hsumma;
+        assert_eq!(g, 1024.0, "√p extremum");
+        assert!(hsumma.comm() < advice.summa.comm());
         match advice.choice {
-            AlgoChoice::Hsumma { g } => assert_eq!(g, 1024.0, "√p extremum"),
-            other => panic!("expected HSUMMA, got {other:?}"),
+            AlgoChoice::Cosma { shape } => {
+                assert!(shape.c > 1, "exascale bandwidth regime replicates");
+            }
+            other => panic!("expected COSMA to displace the 2-D grids, got {other:?}"),
         }
-        assert!(advice.predicted.comm() < advice.summa.comm());
+        assert!(advice.predicted.comm() < hsumma.comm());
     }
 
     #[test]
@@ -186,9 +292,9 @@ mod tests {
     fn scoreboard_is_consistent_with_choice() {
         let params = ModelParams::bluegene_p();
         let advice = advise_square(&params, BcastModel::VanDeGeijn, 65536.0, 16384.0, 256.0);
-        // The winner is the min over the *eligible* candidates: Cannon
-        // only competes when its own cost is latency-bound.
-        let best = [
+        // The 2-D winner is the min over the *eligible* candidates:
+        // Cannon only competes when its own cost is latency-bound.
+        let best_2d = [
             Some(advice.summa.comm()),
             Some(advice.hsumma.1.comm()),
             advice
@@ -199,7 +305,19 @@ mod tests {
         .into_iter()
         .flatten()
         .fold(f64::INFINITY, f64::min);
-        assert!((advice.predicted.comm() - best).abs() <= 1e-12 * best);
+        // COSMA displaces them by *total* time; the scoreboard entry
+        // must be what the choice points at, and must genuinely win.
+        match advice.choice {
+            AlgoChoice::Cosma { shape } => {
+                let cb = advice.cosma.expect("choice must appear on the scoreboard");
+                assert_eq!(shape, cb.shape);
+                assert_eq!(advice.predicted.comm(), cb.cost.comm());
+                let summa_total = advice.summa.total();
+                assert!(cb.cost.total() < summa_total);
+                assert!(cb.cost.total() < advice.hsumma.1.total());
+            }
+            _ => assert!((advice.predicted.comm() - best_2d).abs() <= 1e-12 * best_2d),
+        }
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub enum Workload {
 
 /// What the client wants multiplied, before operands are attached.
 ///
-/// The dimensions describe `C[m × n] = A[m × k] · B[k × n]`. The current
-/// service executes **square** problems (`m = k = n`) — the rectangular
-/// generalization (`hsumma-core::rect`) is not yet plumbed through the
-/// planner — and rejects others at submission with a reason.
+/// The dimensions describe `C[m × n] = A[m × k] · B[k × n]`. Dense GEMM
+/// jobs accept any positive extents: the planner picks the rectangular
+/// grid forms (`hsumma-core::rect`) when the grid tiles the shape and
+/// the COSMA brick schedule (which needs no divisibility) otherwise.
+/// The sparse workloads still require square grid-divisible operands
+/// and reject others at submission with a reason.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// Columns of `C` (and of `B`).
@@ -86,6 +88,16 @@ impl JobSpec {
             hint: PlanHint::Auto,
             deadline: None,
             faults: None,
+        }
+    }
+
+    /// A general `C[m × n] = A[m × k] · B[k × n]` dense GEMM job with
+    /// the planner free to choose.
+    pub fn gemm(m: usize, k: usize, n: usize) -> Self {
+        JobSpec {
+            m,
+            k,
+            ..JobSpec::square(n)
         }
     }
 

@@ -4,10 +4,10 @@
 //! Planning is two passes, exactly as ROADMAP.md sketches for the
 //! serving layer:
 //!
-//! 1. **Closed form** — [`hsumma_model::advise_square`] compares SUMMA,
+//! 1. **Closed form** — [`hsumma_model::advise_gemm`] compares SUMMA,
 //!    HSUMMA at its predicted-best `G` (seeded by the paper's `G = √p`
-//!    extremum) and Cannon on the configured `(α, β, γ)`, in microseconds
-//!    of arithmetic;
+//!    extremum), Cannon, and the COSMA-style brick schedule on the
+//!    configured `(α, β, γ)`, in microseconds of arithmetic;
 //! 2. **Simulator refinement** — when the advice is HSUMMA, the analytic
 //!    `G` is cross-checked against the timing simulator
 //!    ([`hsumma_core::tuning::sweep_groups`]), which prices the *actual
@@ -16,18 +16,24 @@
 //!    milliseconds for large `p` — which is why its outcome is cached.
 //!
 //! The plan cache is keyed by `(p, shape class)` where the shape class
-//! is `⌈log₂ n⌉`: two problems within a factor of two of each other get
-//! the same plan, a deliberate coarsening that makes a serving workload
-//! of "roughly n = 256" jobs hit the cache after the first one. Cache
-//! statistics ([`PlannerStats`]) are part of the public API so tests and
-//! operators can *prove* the second same-shape job skipped the sweep.
+//! is `(⌈log₂ m⌉, ⌈log₂ k⌉, ⌈log₂ n⌉)`: two problems within a factor of
+//! two of each other in every extent get the same plan, a deliberate
+//! coarsening that makes a serving workload of "roughly n = 256" jobs
+//! hit the cache after the first one. Cache statistics
+//! ([`PlannerStats`]) are part of the public API so tests and operators
+//! can *prove* the second same-shape job skipped the sweep.
+//!
+//! Shapes the grid cannot tile (extents not divisible by the grid rows
+//! and columns) bypass both the cache and the model: only the brick
+//! schedule ([`hsumma_core::cosma()`]) can serve them, so planning is one
+//! decomposition search per job.
 
 use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
-use hsumma_core::{HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
+use hsumma_core::{CosmaConfig, HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_model::{
-    advise_sparse, advise_square, AlgoChoice, BcastModel, ModelParams, SparseAdvice, SparseChoice,
+    advise_gemm, advise_sparse, AlgoChoice, BcastModel, ModelParams, SparseAdvice, SparseChoice,
     SparsityProfile,
 };
 use hsumma_netsim::{Platform, SimBcast};
@@ -81,7 +87,9 @@ pub enum PipelinePolicy {
     Auto,
     /// Always use the blocking collectives (pre-pipeline behavior).
     Blocking,
-    /// Always use the pipelined path (where one exists; Cannon has none).
+    /// Always use the pipelined path (where one exists; Cannon and the
+    /// Cosma brick schedule have none, and rectangular shapes run the
+    /// blocking rect forms).
     Pipelined,
 }
 
@@ -94,16 +102,31 @@ const AUTO_MIN_WIN: f64 = 0.02;
 pub struct ShapeClass {
     /// Rank count the plan was made for.
     pub p: usize,
-    /// `⌈log₂ n⌉` of the (square) problem size.
+    /// `⌈log₂ m⌉` of `C`'s row extent.
+    pub log2_m: u32,
+    /// `⌈log₂ k⌉` of the shared (contraction) extent.
+    pub log2_k: u32,
+    /// `⌈log₂ n⌉` of `C`'s column extent.
     pub log2_n: u32,
+}
+
+fn log2_class(extent: usize) -> u32 {
+    (extent.max(1) as f64).log2().ceil() as u32
 }
 
 impl ShapeClass {
     /// The class of an `n × n` problem on `p` ranks.
     pub fn of(p: usize, n: usize) -> Self {
+        ShapeClass::of_gemm(p, n, n, n)
+    }
+
+    /// The class of a `C(m×n) = A(m×k)·B(k×n)` problem on `p` ranks.
+    pub fn of_gemm(p: usize, m: usize, k: usize, n: usize) -> Self {
         ShapeClass {
             p,
-            log2_n: (n.max(1) as f64).log2().ceil() as u32,
+            log2_m: log2_class(m),
+            log2_k: log2_class(k),
+            log2_n: log2_class(n),
         }
     }
 }
@@ -127,9 +150,18 @@ pub struct PlannerStats {
 /// is re-derived per job — a divisor search, not a simulator sweep.
 #[derive(Clone, Copy, Debug)]
 enum CachedChoice {
-    Summa { pipelined: bool },
-    Hsumma { groups: GridShape, pipelined: bool },
+    Summa {
+        pipelined: bool,
+    },
+    Hsumma {
+        groups: GridShape,
+        pipelined: bool,
+    },
     Cannon,
+    /// The COSMA brick schedule. Only the *decision* is cached: the
+    /// `(a, b, c)` decomposition depends on the exact `(m, k, n)`, so
+    /// materialization re-runs the (cheap) brick search per job.
+    Cosma,
 }
 
 /// Plans jobs for one fixed grid, with a [`ShapeClass`]-keyed memo.
@@ -170,51 +202,111 @@ impl Planner {
         self.stats
     }
 
-    /// Plans a square `n × n` multiply, consulting the cache first.
-    ///
-    /// `n` must satisfy the service's divisibility invariants (validated
-    /// at admission, before planning).
+    /// Plans a square `n × n` multiply: [`Planner::plan_gemm`] with
+    /// `m = k = n`, the historical entry point.
     pub fn plan_square(&mut self, n: usize) -> Planned {
-        let key = ShapeClass::of(self.grid.size(), n);
+        self.plan_gemm(n, n, n)
+    }
+
+    /// Plans a general `C(m×n) = A(m×k)·B(k×n)` multiply, consulting the
+    /// cache first. Any positive extents are accepted: shapes the grid
+    /// does not divide route straight to the brick schedule, which needs
+    /// no divisibility at all.
+    pub fn plan_gemm(&mut self, m: usize, k: usize, n: usize) -> Planned {
+        if !self.grid_divides(m, k, n) {
+            // Cosma is the only executable plan for this shape; no model
+            // consultation or caching, just the decomposition search.
+            return Planned {
+                plan: self.materialize(CachedChoice::Cosma, m, k, n),
+                cached: false,
+            };
+        }
+        let key = ShapeClass::of_gemm(self.grid.size(), m, k, n);
         if let Some(&choice) = self.cache.get(&key) {
             self.stats.hits += 1;
             return Planned {
-                plan: self.materialize(choice, n),
+                plan: self.materialize(choice, m, k, n),
                 cached: true,
             };
         }
         self.stats.misses += 1;
-        let choice = self.compute_choice(n);
+        let choice = self.compute_choice(m, k, n);
         self.cache.insert(key, choice);
         Planned {
-            plan: self.materialize(choice, n),
+            plan: self.materialize(choice, m, k, n),
             cached: false,
         }
     }
 
+    /// Whether the grid algorithms' tile preconditions hold: `A`'s
+    /// `m × k` and `B`'s `k × n` must block-checkerboard evenly (the
+    /// shared dimension is cut both ways — see `rect::check_rect`).
+    fn grid_divides(&self, m: usize, k: usize, n: usize) -> bool {
+        m.is_multiple_of(self.grid.rows)
+            && k.is_multiple_of(self.grid.cols)
+            && k.is_multiple_of(self.grid.rows)
+            && n.is_multiple_of(self.grid.cols)
+    }
+
     /// The expensive half: model comparison plus (for HSUMMA) the
-    /// simulator sweep. Runs once per shape class.
-    fn compute_choice(&mut self, n: usize) -> CachedChoice {
+    /// simulator sweep. Runs once per shape class; only called for
+    /// shapes the grid divides.
+    fn compute_choice(&mut self, m: usize, k: usize, n: usize) -> CachedChoice {
         let p = self.grid.size();
-        let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
+        let square = m == n && k == n;
+        // The shared-dimension tile extents: every grid algorithm's
+        // panel width must divide these (for square shapes they equal
+        // the n-tile extents, matching the historical behavior).
+        let block = preferred_block(k / self.grid.rows, k / self.grid.cols);
         let params = ModelParams {
             alpha: self.config.platform.net.alpha,
             beta: self.config.platform.net.beta,
             gamma: self.config.platform.gamma,
         };
-        let advice = advise_square(&params, self.config.bcast, n as f64, p as f64, block as f64);
+        let advice = advise_gemm(
+            &params,
+            self.config.bcast,
+            m as f64,
+            n as f64,
+            k as f64,
+            p as f64,
+            block as f64,
+        );
         // Path decision: does the modeled overlap win justify the
-        // pipelined schedule for this shape class?
-        let pipelined = match self.config.pipeline {
-            PipelinePolicy::Auto => advice.overlap_win_fraction() > AUTO_MIN_WIN,
-            PipelinePolicy::Blocking => false,
-            PipelinePolicy::Pipelined => true,
+        // pipelined schedule for this shape class? The double-buffered
+        // pivot pipelines are square-only, so rectangular shapes always
+        // take the blocking collectives.
+        let pipelined = square
+            && match self.config.pipeline {
+                PipelinePolicy::Auto => advice.overlap_win_fraction() > AUTO_MIN_WIN,
+                PipelinePolicy::Blocking => false,
+                PipelinePolicy::Pipelined => true,
+            };
+        // A forced pipelined path restricts the candidates to schedules
+        // that *have* one: Cosma (like Cannon) is blocking-only, so the
+        // operator's policy overrides the scoreboard with its best 2-D
+        // pipelined candidate.
+        let choice = match (advice.choice, self.config.pipeline) {
+            (AlgoChoice::Cosma { .. }, PipelinePolicy::Pipelined) if square => {
+                let (g, h) = advice.hsumma;
+                if h.comm() < advice.summa.comm() {
+                    AlgoChoice::Hsumma { g }
+                } else {
+                    AlgoChoice::Summa
+                }
+            }
+            (c, _) => c,
         };
-        match advice.choice {
-            AlgoChoice::Cannon if self.grid.rows == self.grid.cols => CachedChoice::Cannon,
+        match choice {
+            AlgoChoice::Cosma { .. } => CachedChoice::Cosma,
+            AlgoChoice::Cannon if square && self.grid.rows == self.grid.cols => {
+                CachedChoice::Cannon
+            }
             AlgoChoice::Summa | AlgoChoice::Cannon => CachedChoice::Summa { pipelined },
             AlgoChoice::Hsumma { g } => {
-                let g = if self.config.refine_with_sim {
+                // The simulator sweep prices the square schedule only;
+                // rectangular shapes keep the analytic G.
+                let g = if self.config.refine_with_sim && square {
                     self.refine_g(n, block)
                 } else {
                     g as usize
@@ -230,9 +322,10 @@ impl Planner {
     }
 
     /// The cheap half: turn a cached decision into an executable plan for
-    /// this exact `n` — the panel width must divide this job's tiles.
-    fn materialize(&self, choice: CachedChoice, n: usize) -> PlannedAlgo {
-        let block = preferred_block(n / self.grid.rows, n / self.grid.cols);
+    /// this exact `(m, k, n)` — the panel width must divide this job's
+    /// tiles, and the brick decomposition fits this job's cube.
+    fn materialize(&self, choice: CachedChoice, m: usize, k: usize, n: usize) -> PlannedAlgo {
+        let block = preferred_block(k / self.grid.rows, k / self.grid.cols);
         match choice {
             CachedChoice::Summa { pipelined } => {
                 let cfg = SummaConfig {
@@ -256,6 +349,9 @@ impl Planner {
             CachedChoice::Cannon => PlannedAlgo::Cannon {
                 kernel: GemmKernel::Packed,
             },
+            CachedChoice::Cosma => {
+                PlannedAlgo::Cosma(CosmaConfig::for_problem(self.grid.size(), m, n, k))
+            }
         }
     }
 
@@ -381,6 +477,17 @@ mod tests {
     }
 
     #[test]
+    fn shape_class_distinguishes_every_extent() {
+        // The memo key carries m, k and n independently: a tall-skinny
+        // job must not collide with the square job of the same n.
+        let square = ShapeClass::of_gemm(16, 256, 256, 256);
+        assert_eq!(square, ShapeClass::of(16, 256));
+        assert_ne!(square, ShapeClass::of_gemm(16, 1024, 256, 256));
+        assert_ne!(square, ShapeClass::of_gemm(16, 256, 1024, 256));
+        assert_ne!(square, ShapeClass::of_gemm(16, 256, 256, 1024));
+    }
+
+    #[test]
     fn second_same_shape_plan_is_a_cache_hit_with_no_new_sims() {
         let mut planner = Planner::new(GridShape::new(4, 4), PlannerConfig::default());
         let first = planner.plan_square(256);
@@ -430,8 +537,47 @@ mod tests {
                     assert_eq!(grid.cols % cfg.groups.cols, 0);
                 }
                 PlannedAlgo::Cannon { .. } => assert_eq!(grid.rows, grid.cols),
+                PlannedAlgo::Cosma(cfg) => {
+                    assert!(cfg.decomp.ranks() <= grid.size());
+                    assert!(cfg.steps >= 1);
+                }
             }
         }
+    }
+
+    #[test]
+    fn non_divisible_shapes_plan_to_cosma_without_caching() {
+        // 7 × 5 × 9 on a 2 × 2 grid: no grid algorithm can tile it, so
+        // the planner must route to the brick schedule, and must do so
+        // without polluting the shape-class cache.
+        let mut planner = Planner::new(GridShape::new(2, 2), PlannerConfig::default());
+        let planned = planner.plan_gemm(7, 9, 5);
+        assert!(!planned.cached);
+        assert!(
+            matches!(planned.plan, PlannedAlgo::Cosma(_)),
+            "got {}",
+            planned.plan.describe()
+        );
+        let stats = planner.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        // Same shape again: still uncached (the brick search is the
+        // whole cost), still executable.
+        assert!(!planner.plan_gemm(7, 9, 5).cached);
+    }
+
+    #[test]
+    fn rectangular_divisible_shapes_are_planned_and_memoized() {
+        // A grid-divisible rectangular job flows through the ordinary
+        // model + cache pipeline.
+        let grid = GridShape::new(2, 2);
+        let mut planner = Planner::new(grid, PlannerConfig::default());
+        let first = planner.plan_gemm(64, 32, 16);
+        assert!(!first.cached);
+        let second = planner.plan_gemm(64, 32, 16);
+        assert!(second.cached);
+        assert_eq!(format!("{:?}", second.plan), format!("{:?}", first.plan));
+        // Rectangular shapes never take the square-only pipelined paths.
+        assert_eq!(first.plan.gemm_path(), "blocking");
     }
 
     #[test]
@@ -454,7 +600,10 @@ mod tests {
     #[test]
     fn auto_policy_agrees_with_the_model_overlap_win() {
         // Auto's decision must be exactly the model's: pipeline iff the
-        // predicted overlap hides more than the threshold fraction.
+        // predicted overlap hides more than the threshold fraction. The
+        // equivalence applies to the plans that *have* a pipelined
+        // variant — a Cosma or Cannon winner is blocking by
+        // construction, whatever the model's overlap term says.
         let grid = GridShape::new(2, 4);
         let config = PlannerConfig::default();
         for n in [64usize, 256, 1024] {
@@ -464,7 +613,7 @@ mod tests {
                 gamma: config.platform.gamma,
             };
             let block = preferred_block(n / grid.rows, n / grid.cols);
-            let advice = advise_square(
+            let advice = hsumma_model::advise_square(
                 &params,
                 config.bcast,
                 n as f64,
@@ -473,6 +622,10 @@ mod tests {
             );
             let mut planner = Planner::new(grid, config.clone());
             let plan = planner.plan_square(n).plan;
+            if matches!(plan, PlannedAlgo::Cosma(_) | PlannedAlgo::Cannon { .. }) {
+                assert_eq!(plan.gemm_path(), "blocking");
+                continue;
+            }
             assert_eq!(
                 plan.gemm_path() == "pipelined",
                 advice.overlap_win_fraction() > AUTO_MIN_WIN,

@@ -31,7 +31,7 @@ use crate::job::{
     ServePlan, SubmitError, Workload,
 };
 use crate::planner::{sparsity_profile, Planned, Planner, PlannerConfig, PlannerStats};
-use hsumma_core::run_planned;
+use hsumma_core::{run_planned_gemm, Distribution};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{BlockDist, GridShape, Matrix};
 use hsumma_runtime::{Comm, CommStats, JobOptions, PoolRun, RankPool, RuntimeError};
@@ -175,11 +175,11 @@ impl GemmServer {
     /// job is either queued (returning a [`JobHandle`]) or refused with
     /// the reason.
     ///
-    /// `a` and `b` must match the spec's dimensions; the current service
-    /// additionally requires square shapes divisible by the grid (see
-    /// [`JobSpec`]).
+    /// `a` and `b` must match the spec's dimensions. Any positive
+    /// `(m, k, n)` is served: shapes the grid cannot tile run the brick
+    /// schedule, which needs no divisibility (see [`JobSpec`]).
     pub fn submit(&self, spec: JobSpec, a: Matrix, b: Matrix) -> Result<JobHandle, SubmitError> {
-        self.validate_square(&spec, Workload::DenseGemm)?;
+        self.validate_spec(&spec, Workload::DenseGemm)?;
         self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
         self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
         self.admit(spec, JobOperands::Dense { a, b })
@@ -196,7 +196,7 @@ impl GemmServer {
         a: CsrMatrix,
         b: CsrMatrix,
     ) -> Result<JobHandle, SubmitError> {
-        self.validate_square(&spec, Workload::SpGemm)?;
+        self.validate_spec(&spec, Workload::SpGemm)?;
         self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
         self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
         self.admit(spec, JobOperands::SpGemm { a, b })
@@ -211,7 +211,7 @@ impl GemmServer {
         a: Matrix,
         b: Matrix,
     ) -> Result<JobHandle, SubmitError> {
-        self.validate_square(&spec, Workload::Sddmm)?;
+        self.validate_spec(&spec, Workload::Sddmm)?;
         self.validate_shape("S", s.shape(), (spec.m, spec.n))?;
         self.validate_shape("A", a.shape(), (spec.m, spec.k))?;
         self.validate_shape("B", b.shape(), (spec.k, spec.n))?;
@@ -247,7 +247,12 @@ impl GemmServer {
 
     /// Spec-level admission validation — every rejection names its
     /// reason. `expected` is the workload implied by the entry point.
-    fn validate_square(&self, spec: &JobSpec, expected: Workload) -> Result<(), SubmitError> {
+    ///
+    /// Dense GEMM accepts any positive `(m, k, n)`: the planner routes
+    /// shapes the grid cannot tile to the brick schedule. The sparse
+    /// workloads' CSR scatter/gather still assumes square grid-divisible
+    /// operands, so they keep the stricter contract.
+    fn validate_spec(&self, spec: &JobSpec, expected: Workload) -> Result<(), SubmitError> {
         let invalid = |reason: String| Err(SubmitError::Invalid(reason));
         if spec.workload != expected {
             return invalid(format!(
@@ -258,9 +263,12 @@ impl GemmServer {
         if spec.n == 0 || spec.m == 0 || spec.k == 0 {
             return invalid("dimensions must be positive".into());
         }
+        if expected == Workload::DenseGemm {
+            return Ok(());
+        }
         if spec.m != spec.n || spec.k != spec.n {
             return invalid(format!(
-                "only square jobs are served (m = k = n); got m={}, k={}, n={}",
+                "sparse workloads are served square (m = k = n); got m={}, k={}, n={}",
                 spec.m, spec.k, spec.n
             ));
         }
@@ -367,7 +375,10 @@ fn execute(
     match &job.operands {
         JobOperands::Dense { a, b } => {
             let planned = match job.spec.hint {
-                PlanHint::Auto => planner.lock().expect("planner lock").plan_square(n),
+                PlanHint::Auto => planner
+                    .lock()
+                    .expect("planner lock")
+                    .plan_gemm(job.spec.m, job.spec.k, n),
                 PlanHint::Force(plan) => Planned {
                     plan,
                     cached: false,
@@ -428,6 +439,11 @@ fn execute(
 /// Dense schedule on dense tiles. With `sparsify`, the operands were
 /// densified CSR inputs and the product converts back to CSR — the
 /// product contract follows the submission, not the execution path.
+///
+/// Operands are dealt by the [`Distribution`] checkerboard descriptors
+/// (exact cover for *any* extents, no divisibility required) and the
+/// plan runs through [`run_planned_gemm`] — the same descriptors the
+/// planner's brick schedule redistributes from.
 #[allow(clippy::too_many_arguments)]
 fn run_dense(
     pool: &mut RankPool,
@@ -440,10 +456,10 @@ fn run_dense(
     b: &Matrix,
     sparsify: bool,
 ) -> Result<JobOutput, JobError> {
-    let n = job.spec.n;
-    let dist = BlockDist::new(grid, n, n);
-    let a_tiles = Arc::new(dist.scatter(a));
-    let b_tiles = Arc::new(dist.scatter(b));
+    let (m, k, n) = (job.spec.m, job.spec.k, job.spec.n);
+    let c_dist = Distribution::grid2d(grid, m, n);
+    let a_tiles = Arc::new(Distribution::grid2d(grid, m, k).scatter(a));
+    let b_tiles = Arc::new(Distribution::grid2d(grid, k, n).scatter(b));
     let plan = planned.plan;
     let serve_plan = if sparsify {
         ServePlan::Densified(plan)
@@ -461,10 +477,10 @@ fn run_dense(
         move |comm| {
             let at = a_tiles[comm.rank()].clone();
             let bt = b_tiles[comm.rank()].clone();
-            run_planned(comm, grid, n, &at, &bt, &plan)
+            run_planned_gemm(comm, grid, m, n, k, &at, &bt, &plan)
         },
     )?;
-    let c = dist.gather(&tiles);
+    let c = c_dist.gather(&tiles);
     let c = if sparsify {
         Product::Sparse(CsrMatrix::from_dense(&c))
     } else {

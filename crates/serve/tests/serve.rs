@@ -133,20 +133,34 @@ fn invalid_jobs_are_rejected_at_the_door_with_reasons() {
     let a = seeded_uniform(8, 8, 1);
     let b = seeded_uniform(8, 8, 2);
 
-    // Non-square spec.
+    // A zero dimension.
     let spec = JobSpec {
-        m: 16,
+        k: 0,
         ..JobSpec::square(8)
     };
     match server.submit(spec, a.clone(), b.clone()) {
+        Err(SubmitError::Invalid(reason)) => assert!(reason.contains("positive")),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+
+    // Non-square spec on a *sparse* workload (dense accepts any shape;
+    // the CSR scatter path still requires square grid-divisible
+    // operands).
+    let sa = hsumma_matrix::seeded_sparse(16, 8, 0.2, 11);
+    let sb = hsumma_matrix::seeded_sparse(8, 8, 0.2, 12);
+    let spec = JobSpec {
+        m: 16,
+        ..JobSpec::spgemm(8)
+    };
+    match server.submit_spgemm(spec, sa, sb) {
         Err(SubmitError::Invalid(reason)) => assert!(reason.contains("square")),
         other => panic!("expected Invalid, got {other:?}"),
     }
 
-    // n not divisible by the grid.
-    let a9 = seeded_uniform(9, 9, 1);
-    let b9 = seeded_uniform(9, 9, 2);
-    match server.submit(JobSpec::square(9), a9, b9) {
+    // Sparse n not divisible by the grid.
+    let s9a = hsumma_matrix::seeded_sparse(9, 9, 0.2, 13);
+    let s9b = hsumma_matrix::seeded_sparse(9, 9, 0.2, 14);
+    match server.submit_spgemm(JobSpec::spgemm(9), s9a, s9b) {
         Err(SubmitError::Invalid(reason)) => assert!(reason.contains("divisible")),
         other => panic!("expected Invalid, got {other:?}"),
     }
@@ -168,6 +182,39 @@ fn invalid_jobs_are_rejected_at_the_door_with_reasons() {
         .unwrap();
     assert!(out.c.dense().approx_eq(&want, 1e-9));
     assert_eq!(server.stats().submitted, 1);
+}
+
+#[test]
+fn rectangular_and_awkward_dense_jobs_are_served() {
+    // The planner routes grid-divisible rectangular shapes to the rect
+    // grid forms and shapes nothing divides to the brick schedule; both
+    // must come back bit-correct against the serial reference.
+    let server = GemmServer::new(ServerConfig::new(GridShape::new(2, 2))).unwrap();
+    for (i, (m, k, n)) in [
+        (24usize, 8usize, 16usize), // grid-divisible rectangular
+        (7, 9, 5),                  // nothing divides: cosma only
+        (33, 33, 33),               // square but off-grid
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let seed = 500 + 2 * i as u64;
+        let a = seeded_uniform(m, k, seed);
+        let b = seeded_uniform(k, n, seed + 1);
+        let want = reference(&a, &b);
+        let out = server
+            .submit(JobSpec::gemm(m, k, n), a, b)
+            .expect("rectangular dense jobs are admitted")
+            .wait()
+            .expect("job must succeed");
+        assert!(
+            out.c.dense().approx_eq(&want, 1e-9),
+            "({m}x{k}x{n}) wrong under plan {}",
+            out.report.plan_desc
+        );
+    }
+    // The awkward shapes must have gone through the brick schedule.
+    assert_eq!(server.stats().submitted, 3);
 }
 
 #[test]

@@ -13,7 +13,9 @@
 //! eligibility. This is what makes a failure schedule *portable*: debug
 //! it in simulation, then reproduce it on real threads (or vice versa).
 
-use hsumma_repro::core::{summa, summa_overlap, PhantomMat, SummaConfig};
+use hsumma_repro::core::{
+    cosma, summa, summa_overlap, BrickDecomp, CosmaConfig, PhantomMat, SummaConfig,
+};
 use hsumma_repro::matrix::{seeded_uniform, BlockDist, GemmKernel, GridShape};
 use hsumma_repro::netsim::{Platform, SimNet, SimRunOptions, SimWorld};
 use hsumma_repro::runtime::{JobOptions, Runtime};
@@ -246,6 +248,151 @@ fn delayed_in_flight_ibcast_within_deadline_completes_cleanly_on_both() {
         kinds.iter().all(Option::is_none),
         "a late panel inside the deadline must not change the outcome: {kinds:?}"
     );
+}
+
+// ---------------------------------------------------------------------
+// The same machinery against the COSMA brick schedule: faults land on
+// the reduce-scatter ring of the replication fiber, a communication
+// pattern (sub-communicator ring, collective-band tags) none of the 2-D
+// schedules exercise.
+// ---------------------------------------------------------------------
+
+/// A pure-replication decomposition: `p = 4` ranks as a `1·1·4` fiber,
+/// so the only traffic is the reduce-scatter ring plus the gather onto
+/// the `l = 0` layer — the fragment drop lands exactly there.
+fn cosma_cfg() -> CosmaConfig {
+    CosmaConfig {
+        decomp: BrickDecomp::new(1, 1, 4),
+        ..CosmaConfig::for_problem(4, N, N, N)
+    }
+}
+
+/// Replays `plan` through COSMA on the threaded runtime.
+fn replay_threaded_cosma(plan: &Arc<FaultPlan>) -> Replay {
+    let ccfg = cosma_cfg();
+    let d = ccfg.decomp;
+    let p = 4;
+    let at = d.a_distribution(N, N, p).scatter(&seeded_uniform(N, N, 81));
+    let bt = d.b_distribution(N, N, p).scatter(&seeded_uniform(N, N, 82));
+    let opts = JobOptions::default()
+        .with_deadline(Duration::from_millis(300))
+        .with_faults(Arc::clone(plan));
+    let per_rank = Runtime::try_run_opts(p, &Tracer::disabled(), &opts, |comm| {
+        let r = cosma(comm, N, N, N, &at[comm.rank()], &bt[comm.rank()], &ccfg);
+        (
+            r.map(|_| ()).map_err(|e| e.kind()),
+            comm.stats().faults_injected,
+        )
+    })
+    .expect("faults surface as Err results, not rank panics");
+    let kinds = per_rank
+        .iter()
+        .map(|(r, _)| r.as_ref().err().copied())
+        .collect();
+    let injected = per_rank.iter().map(|(_, n)| n).sum();
+    (kinds, injected)
+}
+
+/// Replays `plan` through the *same* COSMA source on the simulator.
+fn replay_sim_cosma(plan: &Arc<FaultPlan>) -> Replay {
+    let ccfg = cosma_cfg();
+    let d = ccfg.decomp;
+    let p = 4;
+    let pm = PhantomMat { rows: N, cols: N };
+    let at = d.a_distribution(N, N, p).scatter(&pm);
+    let bt = d.b_distribution(N, N, p).scatter(&pm);
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(plan));
+    let net = SimNet::new(p, Platform::bluegene_p_effective().net);
+    let out = SimWorld::run_with(
+        net,
+        Platform::bluegene_p_effective().gamma,
+        false,
+        &opts,
+        |comm| {
+            cosma(comm, N, N, N, &at[comm.rank()], &bt[comm.rank()], &ccfg)
+                .map(|_| ())
+                .map_err(|e| e.kind())
+        },
+    );
+    let kinds = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().err().copied())
+        .collect();
+    (kinds, out.faults_injected)
+}
+
+#[test]
+fn dropped_reduce_scatter_fragment_times_out_identically_on_both_substrates() {
+    // Drop rank 1's first collective-class send — its step-0 fragment to
+    // ring successor 2. Rank 2 stalls at the matching recv; the stall
+    // walks *backwards* around the ring (3 waits on 2's next fragment,
+    // 0 waits on 3's), while rank 1 itself finishes clean: its sends are
+    // fire-and-forget and its own recv side (rank 0's fragments) was
+    // fully posted before rank 0 stalled. Identical on both substrates.
+    let plan = Arc::new(FaultPlan::new().drop_nth(Some(1), Some(2), TagClass::Collective, 0));
+    let threaded = replay_threaded_cosma(&plan);
+    let sim = replay_sim_cosma(&plan);
+    assert_eq!(
+        threaded, sim,
+        "threaded and simulated replays of the cosma fault plan disagree"
+    );
+    let (kinds, injected) = threaded;
+    assert_eq!(injected, 1, "exactly the one planned drop");
+    assert_eq!(
+        kinds,
+        vec![
+            Some(CommErrorKind::Timeout),
+            None,
+            Some(CommErrorKind::Timeout),
+            Some(CommErrorKind::Timeout),
+        ],
+        "the stall must walk the ring's dependents and spare the dropper"
+    );
+}
+
+/// The cosma diagnostic: the timeout's edge must name the ring
+/// predecessor whose fragment vanished and carry a collective-band tag.
+#[test]
+fn dropped_reduce_scatter_timeout_names_the_ring_edge() {
+    use hsumma_repro::trace::{CommError, COLLECTIVE_TAG_FLOOR};
+
+    let ccfg = cosma_cfg();
+    let d = ccfg.decomp;
+    let p = 4;
+    let pm = PhantomMat { rows: N, cols: N };
+    let at = d.a_distribution(N, N, p).scatter(&pm);
+    let bt = d.b_distribution(N, N, p).scatter(&pm);
+    let plan = Arc::new(FaultPlan::new().drop_nth(Some(1), Some(2), TagClass::Collective, 0));
+    let opts = SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(&plan));
+    let net = SimNet::new(p, Platform::bluegene_p_effective().net);
+    let out = SimWorld::run_with(
+        net,
+        Platform::bluegene_p_effective().gamma,
+        false,
+        &opts,
+        |comm| cosma(comm, N, N, N, &at[comm.rank()], &bt[comm.rank()], &ccfg).map(|_| ()),
+    );
+
+    let err = out.results[2]
+        .as_ref()
+        .expect_err("rank 2's dropped fragment must surface as an error");
+    match err {
+        CommError::Timeout { edge, .. } => {
+            assert_eq!(edge.rank, 2, "the error is reported by the stalled rank");
+            assert_eq!(edge.peer, 1, "the edge names the ring predecessor");
+            assert!(
+                edge.tag >= COLLECTIVE_TAG_FLOOR,
+                "the stalled tag must be collective-class, got {:#x}",
+                edge.tag
+            );
+        }
+        other => panic!("expected Timeout naming the stalled edge, got: {other}"),
+    }
 }
 
 /// The diagnostic itself (sim substrate, where the full error is easy to
