@@ -204,9 +204,10 @@ fn main() {
         "  \"pooled_total_s\": {pooled_total:.6},\n  \"pooled_jobs_per_s\": {pooled_rate:.3},\n  \
          \"cold_total_s\": {cold_total:.6},\n  \"cold_jobs_per_s\": {cold_rate:.3},\n  \
          \"pooled_mean_job_wall_s\": {mean_wall:.6},\n  \
-         \"pooled_over_cold\": {speedup:.3},\n  \"pooled_beats_cold\": {}\n}}\n",
+         \"pooled_over_cold\": {speedup:.3},\n  \"pooled_beats_cold\": {}\n}}",
         speedup > 1.0
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    hsumma_bench::write_bench_section("BENCH_serve.json", "throughput", &json)
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json (throughput section)");
 }

@@ -72,8 +72,16 @@ impl CosmaConfig {
     /// `p` ranks: searched brick decomposition, single-slice
     /// replication, binomial broadcasts.
     pub fn for_problem(p: usize, m: usize, n: usize, k: usize) -> Self {
+        Self::with_decomp(BrickDecomp::search(p, m, n, k))
+    }
+
+    /// The [`CosmaConfig::for_problem`] defaults around an
+    /// already-searched decomposition — the entry point for callers that
+    /// memoize [`BrickDecomp::search`] (the expensive part) across jobs
+    /// of the same exact shape.
+    pub fn with_decomp(decomp: BrickDecomp) -> Self {
         CosmaConfig {
-            decomp: BrickDecomp::search(p, m, n, k),
+            decomp,
             steps: 1,
             bcast: BcastAlgorithm::Binomial,
             kernel: GemmKernel::Packed,

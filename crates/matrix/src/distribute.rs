@@ -111,7 +111,7 @@ impl BlockRange {
 }
 
 /// An `s × t` arrangement of `p = s·t` processors, row-major rank order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridShape {
     /// Grid rows (`s` in the paper).
     pub rows: usize,

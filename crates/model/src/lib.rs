@@ -50,7 +50,9 @@ pub use cosma::{
 pub use cost::{
     hsumma_cost, hsumma_gemm_cost, summa_cost, summa_gemm_cost, CostBreakdown, ModelParams,
 };
-pub use plan::{advise_gemm, advise_square, AlgoChoice, PlanAdvice};
+pub use plan::{
+    advise_gemm, advise_ranks, advise_square, AlgoChoice, PlanAdvice, RankAdvice, ScalePoint,
+};
 pub use predict::{sweep_groups, SweepPoint};
 pub use regime::{classify_regime, dtheta_dg_vdg, Regime};
 pub use sparse::{

@@ -212,6 +212,81 @@ pub fn advise_gemm(
     }
 }
 
+/// One point on a strong-scaling curve: predicted best-algorithm total
+/// time for the problem at a candidate rank count.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Candidate rank count (a power of two).
+    pub ranks: usize,
+    /// Predicted total seconds of the scoreboard winner at that count.
+    pub total: f64,
+}
+
+/// Strong-scaling advice: how many ranks a job is actually worth.
+#[derive(Clone, Debug)]
+pub struct RankAdvice {
+    /// Smallest candidate within `tolerance` of the best predicted
+    /// total — the job's "perfect-scaling range" endpoint. Giving the
+    /// job more ranks than this buys < `tolerance` speedup.
+    pub preferred: usize,
+    /// The candidate with the outright best predicted total.
+    pub best: usize,
+    /// The full curve, ascending in rank count.
+    pub curve: Vec<ScalePoint>,
+}
+
+/// Sweeps power-of-two rank counts in `[1, p_max]` and reports the
+/// smallest count whose predicted total is within `tolerance`
+/// (fractional, e.g. `0.10`) of the sweep's best.
+///
+/// This is the Ballard–Demmel strong-scaling observation turned into a
+/// packing policy: past its perfect-scaling range a job's communication
+/// terms flatten or grow while compute shrinks sublinearly, so the
+/// marginal ranks are better spent running another job concurrently.
+/// Each candidate is scored by the full [`advise_gemm`] scoreboard, so
+/// the curve accounts for algorithm switches along the way (e.g. the
+/// winner flipping from SUMMA to HSUMMA as `p` grows).
+///
+/// # Panics
+/// Panics unless `p_max ≥ 1` and `m, n, k ≥ b ≥ 1` (inherited from
+/// [`advise_gemm`]).
+#[allow(clippy::too_many_arguments)]
+pub fn advise_ranks(
+    params: &ModelParams,
+    bcast: BcastModel,
+    m: f64,
+    n: f64,
+    k: f64,
+    p_max: usize,
+    b: f64,
+    tolerance: f64,
+) -> RankAdvice {
+    assert!(p_max >= 1, "advise_ranks needs at least one rank");
+    let curve: Vec<ScalePoint> = pow2s_upto(p_max)
+        .map(|p| ScalePoint {
+            ranks: p,
+            total: advise_gemm(params, bcast, m, n, k, p as f64, b)
+                .predicted
+                .total(),
+        })
+        .collect();
+    let best = curve
+        .iter()
+        .min_by(|a, b| a.total.total_cmp(&b.total))
+        .expect("curve has at least one point");
+    let cutoff = best.total * (1.0 + tolerance);
+    let preferred = curve
+        .iter()
+        .find(|pt| pt.total <= cutoff)
+        .expect("best point itself is within tolerance")
+        .ranks;
+    RankAdvice {
+        preferred,
+        best: best.ranks,
+        curve,
+    }
+}
+
 /// Square-shape shim over [`advise_gemm`]: the historical entry point
 /// for `n × n` multiplies, kept so existing callers read naturally.
 pub fn advise_square(
@@ -337,5 +412,48 @@ mod tests {
         let expected = cannon_cost(&params, 1024.0, 16.0);
         let got = advice.cannon.expect("square grid");
         assert_eq!(got.comm(), expected.comm());
+    }
+
+    #[test]
+    fn rank_advice_caps_small_jobs_below_the_pool() {
+        let params = ModelParams::grid5000();
+        // A small job: past its scaling range, extra ranks only add
+        // communication. A job 64× bigger in every dimension keeps
+        // scaling further.
+        let small = advise_ranks(
+            &params,
+            BcastModel::Binomial,
+            128.0,
+            128.0,
+            128.0,
+            64,
+            8.0,
+            0.1,
+        );
+        let big = advise_ranks(
+            &params,
+            BcastModel::Binomial,
+            8192.0,
+            8192.0,
+            8192.0,
+            64,
+            8.0,
+            0.1,
+        );
+        assert!(small.preferred <= small.best);
+        assert!(small.preferred.is_power_of_two());
+        assert_eq!(small.curve.len(), 7, "1..=64 powers of two");
+        assert!(
+            small.preferred < 64,
+            "a 128³ job should not be worth the whole 64-rank pool \
+             (preferred {})",
+            small.preferred
+        );
+        assert!(
+            big.preferred >= small.preferred,
+            "bigger problems scale at least as far ({} vs {})",
+            big.preferred,
+            small.preferred
+        );
     }
 }

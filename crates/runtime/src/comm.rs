@@ -135,7 +135,44 @@ impl Comm {
         faults: Option<FaultState>,
     ) -> Self {
         let size = senders.len();
+        Comm::group_opts(
+            senders,
+            mailbox,
+            world_rank,
+            (0..size).collect(),
+            sink,
+            epoch,
+            ctl,
+            faults,
+        )
+    }
+
+    /// Builds a communicator over a *subset* of the world's ranks — the
+    /// non-collective analogue of [`Comm::split`], used by the rank
+    /// pool's carved sub-pools where the member table is known up front
+    /// (so no gather/broadcast round is needed, and disjoint sub-pools
+    /// can enter their jobs at independent times). `members` are world
+    /// ranks ordered by local rank; the calling thread's world rank must
+    /// be among them. Traffic is isolated from concurrent sub-pool jobs
+    /// twice over: by the epoch stamped on every envelope (sub-pools
+    /// draw epochs from one shared counter, so no two in-flight jobs
+    /// share one) and by the epoch-derived context.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn group_opts(
+        senders: Arc<Vec<MailboxSender>>,
+        mailbox: Mailbox,
+        world_rank: usize,
+        members: Vec<usize>,
+        sink: TraceSink,
+        epoch: u64,
+        ctl: JobCtl,
+        faults: Option<FaultState>,
+    ) -> Self {
         debug_assert_eq!(mailbox.epoch(), epoch, "mailbox not at the job epoch");
+        let my_rank = members
+            .iter()
+            .position(|&w| w == world_rank)
+            .expect("calling rank must be a member of its own group");
         Comm {
             shared: Rc::new(RankShared {
                 senders,
@@ -152,8 +189,8 @@ impl Comm {
             } else {
                 derive_context(epoch, 0, 0)
             },
-            members: Rc::new((0..size).collect()),
-            my_rank: world_rank,
+            members: Rc::new(members),
+            my_rank,
             derive_epoch: Rc::new(Cell::new(0)),
         }
     }

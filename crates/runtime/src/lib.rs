@@ -50,7 +50,7 @@ pub use collectives::BcastAlgorithm;
 pub use comm::Comm;
 pub use error::RuntimeError;
 pub use message::{CancelToken, JobCtl};
-pub use pool::{PoolRun, RankPool};
+pub use pool::{PoolExec, PoolRun, RankPool, SubPool};
 pub use runtime::{JobOptions, Runtime};
 pub use stats::CommStats;
 

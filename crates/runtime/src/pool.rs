@@ -32,11 +32,13 @@
 use crate::comm::Comm;
 use crate::error::RuntimeError;
 use crate::message::{JobCtl, Mailbox, MailboxSender};
-use crate::runtime::{panic_message, poison_peers, primary_panic, JobOptions};
+use crate::runtime::{panic_message, poison_members, primary_panic, JobOptions};
 use crate::stats::CommStats;
 use hsumma_trace::{FaultPlan, FaultState, TraceSink, Tracer};
 use std::any::Any;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,6 +65,10 @@ struct Job {
     sink: TraceSink,
     ctl: JobCtl,
     faults: Option<Arc<FaultPlan>>,
+    /// World ranks participating in this job, ordered by local rank. The
+    /// whole pool for ordinary jobs; a carved subset for sub-pool jobs.
+    members: Arc<Vec<usize>>,
+    /// Reports `(local rank, result, stats)` back to the dispatcher.
     result_tx: mpsc::Sender<(usize, RankResult, CommStats)>,
 }
 
@@ -99,10 +105,14 @@ pub struct RankPool {
     senders: Arc<Vec<MailboxSender>>,
     /// Per-rank stats merged over every completed job (pool lifetime).
     lifetime: Arc<Vec<Mutex<CommStats>>>,
-    /// Epoch of the next job. Starts at 1: epoch 0 is the one-shot
-    /// [`crate::Runtime`] world, so pooled traffic never collides with it.
-    next_epoch: u64,
-    jobs_run: u64,
+    /// Epoch allocator shared with every carved [`SubPool`]: each
+    /// dispatched job draws a fresh epoch, so no two in-flight jobs —
+    /// concurrent sub-pool jobs included — can ever share one. Starts
+    /// at 1: epoch 0 is the one-shot [`crate::Runtime`] world, so pooled
+    /// traffic never collides with it.
+    epochs: Arc<AtomicU64>,
+    /// Jobs dispatched (whole-pool and sub-pool alike).
+    jobs_run: Arc<AtomicU64>,
     p: usize,
 }
 
@@ -158,8 +168,8 @@ impl RankPool {
             handles,
             senders,
             lifetime,
-            next_epoch: 1,
-            jobs_run: 0,
+            epochs: Arc::new(AtomicU64::new(1)),
+            jobs_run: Arc::new(AtomicU64::new(0)),
             p,
         })
     }
@@ -169,9 +179,63 @@ impl RankPool {
         self.p
     }
 
-    /// Jobs completed (successfully or not) so far.
+    /// Jobs completed (successfully or not) so far, sub-pool jobs
+    /// included.
     pub fn jobs_run(&self) -> u64 {
-        self.jobs_run
+        self.jobs_run.load(Ordering::Relaxed)
+    }
+
+    /// Carves the pool into disjoint **sub-pools** of the given sizes —
+    /// gang scheduling's substrate. Each [`SubPool`] owns a contiguous
+    /// band of the pool's world ranks and dispatches SPMD jobs to *its*
+    /// ranks only, so a 64-rank pool can run four 16-rank jobs
+    /// concurrently instead of serializing them. Sub-pools may be moved
+    /// to other threads (e.g. one dispatcher thread per concurrent job
+    /// under [`std::thread::scope`]).
+    ///
+    /// The borrow checker enforces the ownership handoff: the sub-pools
+    /// mutably borrow the pool, so no whole-pool job can be dispatched
+    /// while any carve is alive, and dropping the sub-pools returns the
+    /// pool whole — the workers never notice, they just see jobs from a
+    /// different dispatcher.
+    ///
+    /// Every per-job mechanism survives the carve unchanged: epochs come
+    /// from the pool-wide allocator (concurrent jobs never share one),
+    /// deadlines get a per-sub-pool watchdog, fault plans see the job's
+    /// *local* ranks, a panicking rank poisons only its own sub-pool's
+    /// members, and per-job [`CommStats`]/trace demarcation is identical
+    /// to whole-pool jobs.
+    ///
+    /// Ranks not covered by `sizes` stay parked (idle) until the carve
+    /// is dropped.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty, any size is zero, or the sizes sum to
+    /// more than the pool's rank count.
+    pub fn carve(&mut self, sizes: &[usize]) -> Vec<SubPool<'_>> {
+        assert!(!sizes.is_empty(), "carve needs at least one sub-pool");
+        let total: usize = sizes.iter().sum();
+        assert!(
+            sizes.iter().all(|&s| s > 0) && total <= self.p,
+            "carve sizes {sizes:?} must be positive and sum to ≤ {}",
+            self.p
+        );
+        let mut next = 0;
+        sizes
+            .iter()
+            .map(|&s| {
+                let members: Vec<usize> = (next..next + s).collect();
+                next += s;
+                SubPool {
+                    job_txs: members.iter().map(|&r| self.job_txs[r].clone()).collect(),
+                    members: Arc::new(members),
+                    senders: Arc::clone(&self.senders),
+                    epochs: Arc::clone(&self.epochs),
+                    jobs_run: Arc::clone(&self.jobs_run),
+                    _pool: PhantomData,
+                }
+            })
+            .collect()
     }
 
     /// Runs one SPMD job on all ranks and returns their results with the
@@ -222,100 +286,17 @@ impl RankPool {
         R: Send + 'static,
         F: Fn(&mut Comm) -> R + Send + Sync + 'static,
     {
-        assert!(
-            !tracer.enabled() || tracer.ranks() >= self.p,
-            "tracer sized for {} ranks, pool has {}",
-            tracer.ranks(),
-            self.p
-        );
-        let epoch = self.next_epoch;
-        self.next_epoch += 1;
-        self.jobs_run += 1;
-
-        // One absolute deadline and one shared cancellation flag for the
-        // whole job, fixed at dispatch.
-        let ctl = JobCtl::with_timeout(opts.deadline);
-        let token = ctl.cancel_token();
-
-        let f: JobFn =
-            Arc::new(move |comm: &mut Comm| -> Box<dyn Any + Send> { Box::new(f(comm)) });
-        let (result_tx, result_rx) = mpsc::channel();
-        for (rank, tx) in self.job_txs.iter().enumerate() {
-            let job = Job {
-                epoch,
-                f: Arc::clone(&f),
-                sink: tracer.sink(rank),
-                ctl: ctl.clone(),
-                faults: opts.faults.clone(),
-                result_tx: result_tx.clone(),
-            };
-            if tx.send(job).is_err() {
-                return Err(RuntimeError::WorkerLost { rank });
-            }
-        }
-        drop(result_tx);
-
-        let mut results: Vec<Option<(RankResult, CommStats)>> = (0..self.p).map(|_| None).collect();
-        let mut watchdog_armed = ctl.deadline();
-        let mut received = 0;
-        while received < self.p {
-            let msg = if let Some(d) = watchdog_armed {
-                let wait = (d + WATCHDOG_GRACE).saturating_duration_since(Instant::now());
-                match result_rx.recv_timeout(wait) {
-                    Ok(msg) => Ok(msg),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        // Deadline (plus grace) passed with ranks still
-                        // out: cancel the job and wake every rank, then
-                        // keep collecting — the ranks unwind with
-                        // `Timeout`/`Cancelled` and the workers survive.
-                        token.cancel();
-                        for tx in self.senders.iter() {
-                            tx.deliver_cancel(epoch);
-                        }
-                        watchdog_armed = None;
-                        continue;
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
-                }
-            } else {
-                result_rx.recv().map_err(|_| ())
-            };
-            match msg {
-                Ok((rank, res, stats)) => {
-                    results[rank] = Some((res, stats));
-                    received += 1;
-                }
-                Err(()) => {
-                    // A worker died before reporting; identify which.
-                    let rank = results.iter().position(Option::is_none).unwrap_or(0);
-                    return Err(RuntimeError::WorkerLost { rank });
-                }
-            }
-        }
-
-        let mut out = Vec::with_capacity(self.p);
-        let mut stats = Vec::with_capacity(self.p);
-        let mut panics: Vec<(usize, String)> = Vec::new();
-        for (rank, slot) in results.into_iter().enumerate() {
-            let (res, st) = slot.expect("all ranks reported");
-            stats.push(st);
-            match res {
-                Ok(boxed) => out.push(
-                    *boxed
-                        .downcast::<R>()
-                        .expect("job closure returned its own result type"),
-                ),
-                Err(message) => panics.push((rank, message)),
-            }
-        }
-        if !panics.is_empty() {
-            let (rank, message) = primary_panic(&panics);
-            return Err(RuntimeError::RankPanicked { rank, message });
-        }
-        Ok(PoolRun {
-            results: out,
-            stats,
-        })
+        let members: Arc<Vec<usize>> = Arc::new((0..self.p).collect());
+        dispatch_job(
+            &self.job_txs,
+            &members,
+            &self.senders,
+            &self.epochs,
+            &self.jobs_run,
+            tracer,
+            opts,
+            f,
+        )
     }
 
     /// Per-rank statistics accumulated across every job the pool has run
@@ -326,6 +307,256 @@ impl RankPool {
             .map(|m| m.lock().expect("stats lock").clone())
             .collect()
     }
+}
+
+/// A disjoint band of a [`RankPool`]'s ranks, produced by
+/// [`RankPool::carve`], running SPMD jobs on *its* members only. Jobs
+/// see an ordinary [`Comm`] of `size()` ranks (local ranks `0..size`);
+/// epochs, deadlines, watchdog cancellation, fault injection, per-job
+/// stats and tracing all behave exactly as on the whole pool.
+///
+/// `SubPool` is `Send`: carve on one thread, dispatch from another —
+/// the intended shape is one dispatcher thread per concurrent gang
+/// member under [`std::thread::scope`].
+pub struct SubPool<'pool> {
+    /// World ranks of this sub-pool, ordered by local rank.
+    members: Arc<Vec<usize>>,
+    /// Job queues of exactly the member ranks, by local rank.
+    job_txs: Vec<mpsc::Sender<Job>>,
+    senders: Arc<Vec<MailboxSender>>,
+    epochs: Arc<AtomicU64>,
+    jobs_run: Arc<AtomicU64>,
+    /// The carve mutably borrows the pool: no whole-pool job can be
+    /// dispatched while sub-pools are alive.
+    _pool: PhantomData<&'pool mut RankPool>,
+}
+
+impl SubPool<'_> {
+    /// Number of ranks in this sub-pool.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The pool world ranks this sub-pool owns, ordered by local rank.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Runs one SPMD job on this sub-pool's ranks; the closure's `Comm`
+    /// has `size()` ranks. Results and per-job [`CommStats`] are indexed
+    /// by *local* rank. See [`RankPool::run_opts`] for the deadline /
+    /// watchdog / fault semantics, which are identical.
+    pub fn run_opts<R, F>(
+        &mut self,
+        tracer: &Tracer,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        dispatch_job(
+            &self.job_txs,
+            &self.members,
+            &self.senders,
+            &self.epochs,
+            &self.jobs_run,
+            tracer,
+            opts,
+            f,
+        )
+    }
+
+    /// Like [`SubPool::run_opts`] with default options and no tracing.
+    pub fn run<R, F>(&mut self, f: F) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        self.run_opts(&Tracer::disabled(), &JobOptions::default(), f)
+    }
+}
+
+/// The one capability the serving layer needs from an execution target:
+/// "run this SPMD job on however many ranks you have". Implemented by
+/// the whole [`RankPool`] and by carved [`SubPool`]s, so job-execution
+/// code is written once and gang scheduling is purely a dispatch-layer
+/// decision.
+pub trait PoolExec {
+    /// Ranks a job dispatched here will run on.
+    fn ranks(&self) -> usize;
+
+    /// Runs one SPMD job under `opts`, tracing into `tracer`.
+    fn run_job<R, F>(
+        &mut self,
+        tracer: &Tracer,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static;
+}
+
+impl PoolExec for RankPool {
+    fn ranks(&self) -> usize {
+        self.size()
+    }
+
+    fn run_job<R, F>(
+        &mut self,
+        tracer: &Tracer,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        RankPool::run_opts(self, tracer, opts, f)
+    }
+}
+
+impl PoolExec for SubPool<'_> {
+    fn ranks(&self) -> usize {
+        self.size()
+    }
+
+    fn run_job<R, F>(
+        &mut self,
+        tracer: &Tracer,
+        opts: &JobOptions,
+        f: F,
+    ) -> Result<PoolRun<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        SubPool::run_opts(self, tracer, opts, f)
+    }
+}
+
+/// The dispatch-and-collect tail shared by whole-pool and sub-pool runs:
+/// draw a fresh epoch, ship the job to every member's queue, then gather
+/// `(local rank, result, stats)` — arming the deadline watchdog when the
+/// job has one. `job_txs` and results are ordered by local rank;
+/// `members` maps local ranks to world ranks (for error reporting and
+/// watchdog wake-ups, which touch member mailboxes only).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_job<R, F>(
+    job_txs: &[mpsc::Sender<Job>],
+    members: &Arc<Vec<usize>>,
+    senders: &Arc<Vec<MailboxSender>>,
+    epochs: &AtomicU64,
+    jobs_run: &AtomicU64,
+    tracer: &Tracer,
+    opts: &JobOptions,
+    f: F,
+) -> Result<PoolRun<R>, RuntimeError>
+where
+    R: Send + 'static,
+    F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+{
+    let p = members.len();
+    assert!(
+        !tracer.enabled() || tracer.ranks() >= p,
+        "tracer sized for {} ranks, job has {}",
+        tracer.ranks(),
+        p
+    );
+    let epoch = epochs.fetch_add(1, Ordering::SeqCst);
+    jobs_run.fetch_add(1, Ordering::Relaxed);
+
+    // One absolute deadline and one shared cancellation flag for the
+    // whole job, fixed at dispatch.
+    let ctl = JobCtl::with_timeout(opts.deadline);
+    let token = ctl.cancel_token();
+
+    let f: JobFn = Arc::new(move |comm: &mut Comm| -> Box<dyn Any + Send> { Box::new(f(comm)) });
+    let (result_tx, result_rx) = mpsc::channel();
+    for (local, tx) in job_txs.iter().enumerate() {
+        let job = Job {
+            epoch,
+            f: Arc::clone(&f),
+            sink: tracer.sink(local),
+            ctl: ctl.clone(),
+            faults: opts.faults.clone(),
+            members: Arc::clone(members),
+            result_tx: result_tx.clone(),
+        };
+        if tx.send(job).is_err() {
+            return Err(RuntimeError::WorkerLost {
+                rank: members[local],
+            });
+        }
+    }
+    drop(result_tx);
+
+    let mut results: Vec<Option<(RankResult, CommStats)>> = (0..p).map(|_| None).collect();
+    let mut watchdog_armed = ctl.deadline();
+    let mut received = 0;
+    while received < p {
+        let msg = if let Some(d) = watchdog_armed {
+            let wait = (d + WATCHDOG_GRACE).saturating_duration_since(Instant::now());
+            match result_rx.recv_timeout(wait) {
+                Ok(msg) => Ok(msg),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Deadline (plus grace) passed with ranks still
+                    // out: cancel the job and wake every member rank,
+                    // then keep collecting — the ranks unwind with
+                    // `Timeout`/`Cancelled` and the workers survive.
+                    // Sibling sub-pools' ranks are not touched.
+                    token.cancel();
+                    for &world in members.iter() {
+                        senders[world].deliver_cancel(epoch);
+                    }
+                    watchdog_armed = None;
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
+            }
+        } else {
+            result_rx.recv().map_err(|_| ())
+        };
+        match msg {
+            Ok((local, res, stats)) => {
+                results[local] = Some((res, stats));
+                received += 1;
+            }
+            Err(()) => {
+                // A worker died before reporting; identify which.
+                let local = results.iter().position(Option::is_none).unwrap_or(0);
+                return Err(RuntimeError::WorkerLost {
+                    rank: members[local],
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(p);
+    let mut stats = Vec::with_capacity(p);
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    for (local, slot) in results.into_iter().enumerate() {
+        let (res, st) = slot.expect("all ranks reported");
+        stats.push(st);
+        match res {
+            Ok(boxed) => out.push(
+                *boxed
+                    .downcast::<R>()
+                    .expect("job closure returned its own result type"),
+            ),
+            Err(message) => panics.push((members[local], message)),
+        }
+    }
+    if !panics.is_empty() {
+        let (rank, message) = primary_panic(&panics);
+        return Err(RuntimeError::RankPanicked { rank, message });
+    }
+    Ok(PoolRun {
+        results: out,
+        stats,
+    })
 }
 
 impl Drop for RankPool {
@@ -357,18 +588,24 @@ fn worker_loop(
             sink,
             ctl,
             faults,
+            members,
             result_tx,
         } = job;
+        let local = members
+            .iter()
+            .position(|&w| w == rank)
+            .expect("worker received a job it is not a member of");
         let mut mailbox = parked.take().expect("mailbox parked between jobs");
         // Entering the epoch purges everything a previous job left behind
         // (stale payloads and stale poison); messages already sent by
         // faster peers of *this* job are kept.
         mailbox.begin_epoch(epoch);
-        let fault_state = faults.map(|plan| FaultState::new(plan, rank));
-        let mut comm = Comm::world_opts(
+        let fault_state = faults.map(|plan| FaultState::new(plan, local));
+        let mut comm = Comm::group_opts(
             Arc::clone(&senders),
             mailbox,
             rank,
+            (*members).clone(),
             sink,
             epoch,
             ctl,
@@ -378,9 +615,10 @@ fn worker_loop(
         let result: RankResult = match outcome {
             Ok(v) => Ok(v),
             Err(payload) => {
-                // Fail the job, not the pool: unblock peers waiting on
-                // this rank (poison scoped to this epoch) and report.
-                poison_peers(&senders, rank, epoch);
+                // Fail the job, not the pool: unblock the job's *member*
+                // peers waiting on this rank (poison scoped to this
+                // epoch); sibling sub-pools never see it.
+                poison_members(&senders, &members, rank, epoch);
                 Err(panic_message(payload.as_ref()))
             }
         };
@@ -393,7 +631,7 @@ fn worker_loop(
             .expect("stats lock")
             .merge_in_place(&stats);
         // Send last: the job is only "done" once the mailbox is parked.
-        let _ = result_tx.send((rank, result, stats));
+        let _ = result_tx.send((local, result, stats));
     }
 }
 
@@ -662,5 +900,105 @@ mod tests {
         assert_eq!(run.stats[1].timeouts, 1);
         assert_eq!(total.msgs_sent, total.msgs_recv);
         assert_eq!(total.bytes_sent, total.bytes_recv);
+    }
+
+    /// The ring-shift job used by the carve tests: every rank sends its
+    /// value to the next local rank and returns what it received, so any
+    /// cross-sub-pool leakage (a message from a world rank outside the
+    /// group) changes the result.
+    fn ring_shift(seed: u64) -> impl Fn(&mut Comm) -> u64 + Send + Sync + 'static {
+        move |comm: &mut Comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, seed + comm.rank() as u64).unwrap();
+            comm.recv::<u64>(prev, 7).unwrap()
+        }
+    }
+
+    #[test]
+    fn carved_sub_pools_run_concurrent_jobs_identical_to_serial() {
+        // Serial reference: each job on its own dedicated pool.
+        let serial: Vec<Vec<u64>> = [(2, 100u64), (4, 200), (2, 300)]
+            .iter()
+            .map(|&(p, seed)| {
+                let mut pool = RankPool::new(p).unwrap();
+                pool.run(ring_shift(seed)).unwrap().results
+            })
+            .collect();
+
+        // Gang: the same three jobs concurrently on one 8-rank pool.
+        let mut pool = RankPool::new(8).unwrap();
+        let subs = pool.carve(&[2, 4, 2]);
+        assert_eq!(
+            subs.iter()
+                .map(|s| s.members().to_vec())
+                .collect::<Vec<_>>(),
+            vec![vec![0, 1], vec![2, 3, 4, 5], vec![6, 7]]
+        );
+        let mut gang: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subs
+                .into_iter()
+                .zip([100u64, 200, 300])
+                .map(|(mut sub, seed)| {
+                    scope.spawn(move || sub.run(ring_shift(seed)).unwrap().results)
+                })
+                .collect();
+            for h in handles {
+                gang.push(h.join().unwrap());
+            }
+        });
+        assert_eq!(gang, serial);
+
+        // Carve dropped: the whole pool is usable again for full-width jobs.
+        let whole = pool.run(ring_shift(400)).unwrap();
+        assert_eq!(whole.results.len(), 8);
+        for (rank, got) in whole.results.iter().enumerate() {
+            assert_eq!(*got, 400 + ((rank + 7) % 8) as u64);
+        }
+    }
+
+    #[test]
+    fn fault_killed_sub_pool_job_leaves_sibling_untouched() {
+        use hsumma_trace::FaultPlan;
+        let mut pool = RankPool::new(6).unwrap();
+        let mut subs = pool.carve(&[3, 3]);
+        let victim_plan = Arc::new(FaultPlan::new().kill_rank(1, 0));
+        let opts = JobOptions::default()
+            .with_deadline(Duration::from_millis(100))
+            .with_faults(victim_plan);
+        std::thread::scope(|scope| {
+            let mut sub_victim = subs.remove(0);
+            let mut sub_ok = subs.remove(0);
+            let victim = scope.spawn(move || {
+                sub_victim.run_opts(&Tracer::disabled(), &opts, |comm| {
+                    // Local rank 1 dies at its first send; its ring
+                    // neighbours unwind with Shutdown/Timeout.
+                    let next = (comm.rank() + 1) % comm.size();
+                    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                    comm.send(next, 7, comm.rank() as u64)?;
+                    comm.recv::<u64>(prev, 7)
+                })
+            });
+            let ok = scope.spawn(move || sub_ok.run(ring_shift(500)));
+            // The killed local rank 1 poisons only its own members; the
+            // sibling's ring completes with correct values.
+            let run = ok.join().unwrap().unwrap();
+            assert_eq!(run.results, vec![502, 500, 501]);
+            let failed = victim.join().unwrap().unwrap();
+            assert!(failed.results.iter().any(|r| r.is_err()));
+        });
+        // Both bands of workers survive for the next whole-pool job.
+        let next = pool.run(|comm| comm.rank()).unwrap();
+        assert_eq!(next.results, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn carve_rejects_oversubscription() {
+        let mut pool = RankPool::new(4).unwrap();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.carve(&[3, 2]);
+        }));
+        assert!(err.is_err());
     }
 }

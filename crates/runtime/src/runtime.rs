@@ -44,9 +44,24 @@ impl JobOptions {
 /// Delivers a poison envelope (at `epoch`) to every peer of `rank`, so
 /// ranks blocked in a receive on it fail fast instead of hanging.
 pub(crate) fn poison_peers(senders: &[MailboxSender], rank: usize, epoch: u64) {
-    for (peer, tx) in senders.iter().enumerate() {
+    let members: Vec<usize> = (0..senders.len()).collect();
+    poison_members(senders, &members, rank, epoch);
+}
+
+/// Like [`poison_peers`] but scoped to a member subset: a rank dying
+/// inside a carved sub-pool poisons only its *own job's* members, so a
+/// sibling sub-pool's concurrently running job never even sees a stale
+/// envelope from the failure (isolation by construction, not just by
+/// epoch filtering).
+pub(crate) fn poison_members(
+    senders: &[MailboxSender],
+    members: &[usize],
+    rank: usize,
+    epoch: u64,
+) {
+    for &peer in members {
         if peer != rank {
-            tx.deliver(Envelope {
+            senders[peer].deliver(Envelope {
                 ctx: POISON_CTX,
                 src: rank,
                 tag: 0,

@@ -176,6 +176,19 @@ pub enum SubmitError {
     },
     /// The spec or operands cannot be executed on this service.
     Invalid(String),
+    /// Feasibility admission rejected the deadline: the planner's
+    /// calibrated duration prediction, plus the work already queued
+    /// ahead of this deadline, provably overruns it. The two fields name
+    /// the margin — `predicted ≥ deadline` always holds here, and
+    /// `predicted − deadline` is how much the client must relax (or how
+    /// much queue must drain) before resubmitting.
+    Infeasible {
+        /// Modeled completion time from now: queue backlog ahead of this
+        /// deadline plus this job's own predicted duration.
+        predicted: Duration,
+        /// The deadline the client asked for.
+        deadline: Duration,
+    },
     /// The service is shutting down and takes no new work.
     Shutdown,
 }
@@ -188,6 +201,15 @@ impl fmt::Display for SubmitError {
                 "admission queue full ({queued}/{capacity} jobs queued); retry later"
             ),
             SubmitError::Invalid(reason) => write!(f, "invalid job: {reason}"),
+            SubmitError::Infeasible {
+                predicted,
+                deadline,
+            } => write!(
+                f,
+                "deadline infeasible: predicted completion {predicted:?} vs deadline \
+                 {deadline:?} (short by {:?})",
+                predicted.saturating_sub(*deadline)
+            ),
             SubmitError::Shutdown => write!(f, "service is shutting down"),
         }
     }

@@ -12,11 +12,17 @@
 //!   living world and demarcated by an epoch (per-job communication
 //!   stats, per-job traces, stale-message purging);
 //! * **Job service** — [`GemmServer`] with `submit(JobSpec, A, B) →
-//!   JobHandle`: a bounded FIFO admission queue that rejects with a
-//!   reason when full (backpressure, never silent blocking), job states
-//!   `Queued → Running → Done/Failed`, and a per-job [`JobReport`]
-//!   carrying the executed plan, wall time and this job's [`CommStats`]
-//!   deltas. Beyond dense GEMM the same queue serves sparse workloads:
+//!   JobHandle`: a bounded admission gate that rejects with a reason
+//!   when full (backpressure, never silent blocking) and, by default,
+//!   rejects deadlines the calibrated cost model proves unmeetable
+//!   ([`SubmitError::Infeasible`]); an earliest-deadline-first ready
+//!   queue with an aging background class; gang scheduling that carves
+//!   the pool into sub-pools sized by the planner's strong-scaling
+//!   curve so small jobs run concurrently (see `docs/scheduling.md`);
+//!   job states `Queued → Running → Done/Failed`, and a per-job
+//!   [`JobReport`] carrying the executed plan, wall time and this job's
+//!   [`CommStats`] deltas. Beyond dense GEMM the same queue serves
+//!   sparse workloads:
 //!   `submit_spgemm(spec, A, B)` with CSR operands (routed by the
 //!   nnz-aware scoreboard to densify-and-SUMMA or the native 2-D SpGEMM
 //!   schedule) and `submit_sddmm(spec, S, A, B)`, both yielding a
@@ -45,6 +51,7 @@
 
 pub mod job;
 pub mod planner;
+pub mod sched;
 pub mod server;
 
 pub use job::{
@@ -52,7 +59,8 @@ pub use job::{
     ServePlan, SubmitError, Workload,
 };
 pub use planner::{
-    sparsity_profile, PipelinePolicy, Planned, Planner, PlannerConfig, PlannerStats, ShapeClass,
-    SparsePlanned,
+    sparsity_profile, JobEstimate, PipelinePolicy, Planned, Planner, PlannerConfig, PlannerStats,
+    ShapeClass, SparsePlanned, RANK_TOLERANCE,
 };
-pub use server::{GemmServer, ServerConfig, ServerStats};
+pub use sched::{subgrid, Calibration, PriorityClass, ReadyQueue, AGING_BOUND};
+pub use server::{Admission, GemmServer, SchedPolicy, ServerConfig, ServerStats};

@@ -29,12 +29,12 @@
 //! decomposition search per job.
 
 use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
-use hsumma_core::{CosmaConfig, HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
+use hsumma_core::{BrickDecomp, CosmaConfig, HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_model::{
-    advise_gemm, advise_sparse, AlgoChoice, BcastModel, ModelParams, SparseAdvice, SparseChoice,
-    SparsityProfile,
+    advise_gemm, advise_ranks, advise_sparse, AlgoChoice, BcastModel, ModelParams, SparseAdvice,
+    SparseChoice, SparsityProfile,
 };
 use hsumma_netsim::{Platform, SimBcast};
 use std::collections::HashMap;
@@ -141,6 +141,10 @@ pub struct PlannerStats {
     /// Individual simulator evaluations run (one per candidate `G` per
     /// refinement sweep). Stays flat across cache hits.
     pub sims_run: u64,
+    /// Brick decomposition searches run ([`BrickDecomp::search`]). Stays
+    /// flat when a cosma job of an exact `(m, k, n)` repeats — the
+    /// decomposition is memoized.
+    pub brick_searches: u64,
 }
 
 /// What the cache remembers per shape class: the *decision* — which
@@ -169,8 +173,36 @@ pub struct Planner {
     config: PlannerConfig,
     grid: GridShape,
     cache: HashMap<ShapeClass, CachedChoice>,
+    /// Searched brick decompositions by *exact* `(m, k, n)` — unlike the
+    /// choice cache, a decomposition is only valid for the extents it
+    /// was searched for, so the key is not coarsened to a shape class.
+    brick_cache: HashMap<(usize, usize, usize), BrickDecomp>,
+    /// Scheduler-facing estimates (preferred rank count + modeled
+    /// duration), memoized per shape class like the plan choice.
+    estimate_cache: HashMap<ShapeClass, JobEstimate>,
     stats: PlannerStats,
 }
+
+/// What the scheduler asks the planner about a job before running it:
+/// how many ranks it is worth, and how long the model thinks it takes
+/// there. See [`Planner::estimate`].
+#[derive(Clone, Copy, Debug)]
+pub struct JobEstimate {
+    /// Smallest rank count within [`RANK_TOLERANCE`] of the best
+    /// predicted total — the job's perfect-scaling range endpoint
+    /// (capped at the planner's grid size).
+    pub ranks: usize,
+    /// Predicted total seconds of the scoreboard winner at `ranks`, in
+    /// *model* time (the configured platform's `(α, β, γ)`), not
+    /// wall-clock — the scheduler's calibration maps between the two.
+    pub model_secs: f64,
+}
+
+/// How much predicted slowdown the packing policy tolerates for running
+/// a job on fewer ranks: a job is given the smallest rank count within
+/// 10% of its best predicted total, freeing the rest of the pool for
+/// concurrent jobs.
+pub const RANK_TOLERANCE: f64 = 0.10;
 
 /// A planning outcome plus its provenance.
 #[derive(Clone, Copy, Debug)]
@@ -188,6 +220,8 @@ impl Planner {
             config,
             grid,
             cache: HashMap::new(),
+            brick_cache: HashMap::new(),
+            estimate_cache: HashMap::new(),
             stats: PlannerStats::default(),
         }
     }
@@ -324,7 +358,7 @@ impl Planner {
     /// The cheap half: turn a cached decision into an executable plan for
     /// this exact `(m, k, n)` — the panel width must divide this job's
     /// tiles, and the brick decomposition fits this job's cube.
-    fn materialize(&self, choice: CachedChoice, m: usize, k: usize, n: usize) -> PlannedAlgo {
+    fn materialize(&mut self, choice: CachedChoice, m: usize, k: usize, n: usize) -> PlannedAlgo {
         let block = preferred_block(k / self.grid.rows, k / self.grid.cols);
         match choice {
             CachedChoice::Summa { pipelined } => {
@@ -350,9 +384,59 @@ impl Planner {
                 kernel: GemmKernel::Packed,
             },
             CachedChoice::Cosma => {
-                PlannedAlgo::Cosma(CosmaConfig::for_problem(self.grid.size(), m, n, k))
+                // The decomposition search is the whole planning cost of
+                // a cosma job; memoize it by exact extents so repeats of
+                // the same shape pay a map lookup.
+                let p = self.grid.size();
+                let decomp = *self.brick_cache.entry((m, k, n)).or_insert_with(|| {
+                    self.stats.brick_searches += 1;
+                    BrickDecomp::search(p, m, n, k)
+                });
+                PlannedAlgo::Cosma(CosmaConfig::with_decomp(decomp))
             }
         }
+    }
+
+    /// The scheduler's pre-dispatch question, memoized per shape class:
+    /// how many ranks is a `C(m×n) = A(m×k)·B(k×n)` job worth
+    /// ([`hsumma_model::advise_ranks`] over power-of-two sub-pool sizes,
+    /// tolerance [`RANK_TOLERANCE`]), and what total does the model
+    /// predict at that count? Feasibility admission compares the
+    /// calibrated prediction against the client's deadline; the packing
+    /// policy uses `ranks` to size the job's sub-pool.
+    pub fn estimate(&mut self, m: usize, k: usize, n: usize) -> JobEstimate {
+        let key = ShapeClass::of_gemm(self.grid.size(), m, k, n);
+        if let Some(&est) = self.estimate_cache.get(&key) {
+            return est;
+        }
+        let params = ModelParams {
+            alpha: self.config.platform.net.alpha,
+            beta: self.config.platform.net.beta,
+            gamma: self.config.platform.gamma,
+        };
+        let block = m.min(k).min(n).clamp(1, 32);
+        let advice = advise_ranks(
+            &params,
+            self.config.bcast,
+            m as f64,
+            n as f64,
+            k as f64,
+            self.grid.size(),
+            block as f64,
+            RANK_TOLERANCE,
+        );
+        let model_secs = advice
+            .curve
+            .iter()
+            .find(|pt| pt.ranks == advice.preferred)
+            .expect("preferred rank count came from the curve")
+            .total;
+        let est = JobEstimate {
+            ranks: advice.preferred,
+            model_secs,
+        };
+        self.estimate_cache.insert(key, est);
+        est
     }
 
     /// Plans a square `n × n` SpGEMM from the operands' sampled sparsity
@@ -662,6 +746,34 @@ mod tests {
         let sp = planner.plan_spgemm(n, &hi, &hi);
         assert_eq!(sp.advice.choice, SparseChoice::DenseGemm);
         assert!(sp.dense.is_some());
+    }
+
+    #[test]
+    fn repeated_cosma_shapes_search_the_brick_decomposition_once() {
+        // 7 × 5 × 9 routes to cosma (nothing divides the 2 × 2 grid).
+        // The decision is uncached by design, but the decomposition
+        // search — the actual cost — must be memoized by exact extents.
+        let mut planner = Planner::new(GridShape::new(2, 2), PlannerConfig::default());
+        let first = planner.plan_gemm(7, 9, 5);
+        assert_eq!(planner.stats().brick_searches, 1);
+        let second = planner.plan_gemm(7, 9, 5);
+        assert_eq!(planner.stats().brick_searches, 1, "second search memoized");
+        assert_eq!(format!("{:?}", second.plan), format!("{:?}", first.plan));
+        // A different exact shape is a different decomposition.
+        planner.plan_gemm(7, 9, 10);
+        assert_eq!(planner.stats().brick_searches, 2);
+    }
+
+    #[test]
+    fn estimate_is_memoized_and_capped_at_the_grid() {
+        let mut planner = Planner::new(GridShape::new(8, 8), PlannerConfig::default());
+        let est = planner.estimate(128, 128, 128);
+        assert!(est.ranks >= 1 && est.ranks <= 64);
+        assert!(est.ranks.is_power_of_two());
+        assert!(est.model_secs > 0.0);
+        let again = planner.estimate(128, 128, 128);
+        assert_eq!(est.ranks, again.ranks);
+        assert_eq!(est.model_secs, again.model_secs);
     }
 
     #[test]

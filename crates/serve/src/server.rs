@@ -1,17 +1,27 @@
-//! The GEMM job service: bounded admission, FIFO scheduling, pooled
-//! execution.
+//! The GEMM job service: feasibility admission, EDF scheduling, gang
+//! execution on carved sub-pools.
 //!
-//! One [`GemmServer`] owns three things:
+//! One [`GemmServer`] owns four things:
 //!
 //! * a **[`RankPool`]** of `p` worker threads, created once at server
 //!   start — jobs pay no thread spawn/teardown (the reason the pooled
 //!   throughput benchmark beats back-to-back `Runtime::run` calls);
-//! * a **bounded FIFO queue** guarding admission. `submit` never blocks:
-//!   a full queue rejects with [`SubmitError::QueueFull`] carrying the
-//!   numbers (backpressure is the client's signal to shed or retry);
-//! * a **scheduler thread** that drains the queue in order: plan (via
-//!   the memoizing [`Planner`]) → scatter → run the SPMD plan on the
-//!   pool → gather → complete the client's [`JobHandle`].
+//! * a **bounded admission gate**. `submit` never blocks: a full queue
+//!   rejects with [`SubmitError::QueueFull`], and under
+//!   [`Admission::Feasible`] a deadline the calibrated model proves
+//!   unmeetable rejects with [`SubmitError::Infeasible`] naming the
+//!   predicted-vs-deadline margin;
+//! * a **[`ReadyQueue`]** ordering admitted jobs: earliest-deadline-
+//!   first for the deadline class, an aging FIFO for deadline-less
+//!   background jobs (see `crate::sched`). The legacy
+//!   [`SchedPolicy::Fifo`] mode keeps strict submission order instead;
+//! * a **scheduler thread** dispatching in *waves*: the queue head gets
+//!   a sub-pool sized by the planner's strong-scaling curve, leftover
+//!   ranks are backfilled with the next queued jobs that fit, the pool
+//!   is carved ([`RankPool::carve`]) and every job of the wave runs
+//!   concurrently — each on its own grid, with the full per-job
+//!   deadline/fault/stats/trace machinery. A job alone in the queue
+//!   still gets the whole pool.
 //!
 //! The queue carries three workloads through one pipeline: dense GEMM
 //! ([`GemmServer::submit`]), sparse SpGEMM ([`GemmServer::submit_spgemm`]
@@ -19,7 +29,9 @@
 //! the native 2-D CSR schedule) and SDDMM
 //! ([`GemmServer::submit_sddmm`]). Deadlines, fault injection, per-job
 //! stats demarcation and tracing apply identically to all three — they
-//! live in the pooled-run tail every workload shares.
+//! live in the pooled-run tail every workload shares. Sparse and
+//! forced-plan jobs always run on the whole pool (their plans are bound
+//! to the configured grid); only planner-routed dense jobs gang.
 //!
 //! Failure containment mirrors the pool's: a job whose plan panics on a
 //! rank fails *that job* ([`JobError::Execution`]) and the server keeps
@@ -31,42 +43,74 @@ use crate::job::{
     ServePlan, SubmitError, Workload,
 };
 use crate::planner::{sparsity_profile, Planned, Planner, PlannerConfig, PlannerStats};
+use crate::sched::{subgrid, Calibration, ReadyQueue, AGING_BOUND};
 use hsumma_core::{run_planned_gemm, Distribution};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{BlockDist, GridShape, Matrix};
-use hsumma_runtime::{Comm, CommStats, JobOptions, PoolRun, RankPool, RuntimeError};
+use hsumma_runtime::{Comm, CommStats, JobOptions, PoolExec, PoolRun, RankPool, RuntimeError};
 use hsumma_sparse::{gather_csr, scatter_csr, sddmm_2d, spgemm_2d, SparseConfig};
 use hsumma_trace::{primary_comm_error, CommError, CommErrorKind, Tracer};
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Rows sampled per CSR operand when estimating a sparsity profile for
 /// the planner.
 const PROFILE_SAMPLES: usize = 64;
+
+/// How the scheduler orders and places admitted jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict submission order, one job at a time on the whole pool —
+    /// the pre-scheduler behaviour, kept as the benchmark baseline.
+    Fifo,
+    /// Earliest-deadline-first with priority classes and bounded aging,
+    /// gang-scheduled onto carved sub-pools sized by the planner's
+    /// strong-scaling curve. The default.
+    EdfGang,
+}
+
+/// Whether submit-time deadline feasibility is enforced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit any well-formed job (pre-scheduler behaviour).
+    Open,
+    /// Reject a deadline the calibrated model proves unmeetable —
+    /// [`SubmitError::Infeasible`] names the margin. Applies to jobs the
+    /// planner can price (dense GEMM under [`PlanHint::Auto`]); sparse
+    /// and forced-plan jobs are admitted as before. The default.
+    Feasible,
+}
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Processor grid; the pool has `grid.size()` ranks.
     pub grid: GridShape,
-    /// Admission queue bound (jobs waiting, excluding the running one).
+    /// Admission queue bound (jobs waiting, excluding running ones).
     pub queue_capacity: usize,
     /// Record a per-job [`hsumma_trace::Trace`] into every report.
     pub trace_jobs: bool,
     /// Planner configuration (cost model, simulator, refinement).
     pub planner: PlannerConfig,
+    /// Dispatch order and placement policy.
+    pub sched: SchedPolicy,
+    /// Submit-time deadline feasibility.
+    pub admission: Admission,
 }
 
 impl ServerConfig {
-    /// Defaults: queue of 32, no tracing, default planner.
+    /// Defaults: queue of 32, no tracing, default planner, EDF + gang
+    /// scheduling with feasibility admission.
     pub fn new(grid: GridShape) -> Self {
         ServerConfig {
             grid,
             queue_capacity: 32,
             trace_jobs: false,
             planner: PlannerConfig::default(),
+            sched: SchedPolicy::EdfGang,
+            admission: Admission::Feasible,
         }
     }
 }
@@ -83,21 +127,63 @@ struct QueuedJob {
     spec: JobSpec,
     operands: JobOperands,
     cell: Arc<JobCell>,
+    /// Sub-pool size the packing policy will give this job — the
+    /// planner's preferred rank count for plannable dense jobs, the
+    /// whole pool otherwise.
+    ranks: usize,
+    /// The planner's modeled duration at `ranks`, in model seconds;
+    /// `0.0` when the job is not plannable (sparse / forced plans), in
+    /// which case it contributes nothing to the feasibility backlog.
+    model_secs: f64,
 }
 
 struct QueueState {
-    jobs: VecDeque<QueuedJob>,
+    ready: ReadyQueue<QueuedJob>,
     shutdown: bool,
     /// Jobs submitted (admitted) so far; also the next job id.
     submitted: u64,
     /// Submissions refused because the queue was full.
     rejected: u64,
+    /// Submissions refused by feasibility admission.
+    infeasible: u64,
+    /// Dispatch waves that ran more than one job concurrently.
+    gangs: u64,
+    /// Jobs that ran on carved sub-pools (members of those waves).
+    gang_jobs: u64,
 }
 
 struct Shared {
     state: Mutex<QueueState>,
     /// Signals the scheduler: work available or shutdown requested.
     cv: Condvar,
+}
+
+/// The per-grid planner registry. The whole-pool grid's planner exists
+/// from server start; gang scheduling lazily adds one planner per
+/// sub-pool grid it actually uses, each with its own shape-class cache.
+struct Planners {
+    config: PlannerConfig,
+    map: Mutex<HashMap<GridShape, Planner>>,
+}
+
+impl Planners {
+    fn new(whole: GridShape, config: PlannerConfig) -> Self {
+        let mut map = HashMap::new();
+        map.insert(whole, Planner::new(whole, config.clone()));
+        Planners {
+            config,
+            map: Mutex::new(map),
+        }
+    }
+
+    /// Runs `f` with the planner for `grid`, creating it on first use.
+    fn with<R>(&self, grid: GridShape, f: impl FnOnce(&mut Planner) -> R) -> R {
+        let mut map = self.map.lock().expect("planner lock");
+        let planner = map
+            .entry(grid)
+            .or_insert_with(|| Planner::new(grid, self.config.clone()));
+        f(planner)
+    }
 }
 
 /// Aggregate service counters (see also [`GemmServer::planner_stats`]).
@@ -107,18 +193,29 @@ pub struct ServerStats {
     pub submitted: u64,
     /// Submissions rejected by backpressure.
     pub rejected: u64,
-    /// Jobs currently waiting (excludes the running job).
+    /// Submissions rejected by feasibility admission
+    /// ([`SubmitError::Infeasible`]).
+    pub infeasible: u64,
+    /// Jobs currently waiting (excludes running jobs).
     pub queued: usize,
+    /// Dispatch waves that ran more than one job concurrently on carved
+    /// sub-pools.
+    pub gangs: u64,
+    /// Jobs executed as members of those concurrent waves.
+    pub gang_jobs: u64,
 }
 
 /// A persistent GEMM job service over a pooled rank runtime. See the
 /// [module docs](self).
 pub struct GemmServer {
     shared: Arc<Shared>,
-    planner: Arc<Mutex<Planner>>,
+    planners: Arc<Planners>,
+    calibration: Arc<Mutex<Calibration>>,
     scheduler: Option<JoinHandle<()>>,
     grid: GridShape,
     capacity: usize,
+    admission: Admission,
+    sched: SchedPolicy,
 }
 
 impl GemmServer {
@@ -131,27 +228,32 @@ impl GemmServer {
     pub fn new(config: ServerConfig) -> Result<Self, RuntimeError> {
         assert!(config.queue_capacity > 0, "queue capacity must be ≥ 1");
         let pool = RankPool::new(config.grid.size())?;
-        let planner = Arc::new(Mutex::new(Planner::new(
-            config.grid,
-            config.planner.clone(),
-        )));
+        let planners = Arc::new(Planners::new(config.grid, config.planner.clone()));
+        let calibration = Arc::new(Mutex::new(Calibration::new()));
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                ready: ReadyQueue::new(AGING_BOUND),
                 shutdown: false,
                 submitted: 0,
                 rejected: 0,
+                infeasible: 0,
+                gangs: 0,
+                gang_jobs: 0,
             }),
             cv: Condvar::new(),
         });
         let scheduler = {
             let shared = Arc::clone(&shared);
-            let planner = Arc::clone(&planner);
+            let planners = Arc::clone(&planners);
+            let calibration = Arc::clone(&calibration);
             let grid = config.grid;
             let trace_jobs = config.trace_jobs;
+            let sched = config.sched;
             std::thread::Builder::new()
                 .name("gemm-scheduler".into())
-                .spawn(move || scheduler_loop(shared, planner, pool, grid, trace_jobs))
+                .spawn(move || {
+                    scheduler_loop(shared, planners, calibration, pool, grid, trace_jobs, sched)
+                })
                 .map_err(|source| RuntimeError::Spawn {
                     rank: config.grid.size(),
                     source,
@@ -159,10 +261,13 @@ impl GemmServer {
         };
         Ok(GemmServer {
             shared,
-            planner,
+            planners,
+            calibration,
             scheduler: Some(scheduler),
             grid: config.grid,
             capacity: config.queue_capacity,
+            admission: config.admission,
+            sched: config.sched,
         })
     }
 
@@ -218,28 +323,65 @@ impl GemmServer {
         self.admit(spec, JobOperands::Sddmm { s, a, b })
     }
 
-    /// Shared admission tail: queue bound, id assignment, handle.
+    /// Shared admission tail: queue bound, feasibility, id assignment,
+    /// handle.
     fn admit(&self, spec: JobSpec, operands: JobOperands) -> Result<JobHandle, SubmitError> {
+        // Price the job before taking the queue lock: the planner has
+        // its own lock, and the estimate is memoized per shape class.
+        let estimate = match (spec.workload, &spec.hint) {
+            (Workload::DenseGemm, PlanHint::Auto) => Some(
+                self.planners
+                    .with(self.grid, |p| p.estimate(spec.m, spec.k, spec.n)),
+            ),
+            _ => None,
+        };
+        let now = Instant::now();
         let mut st = self.shared.state.lock().expect("queue lock");
         if st.shutdown {
             return Err(SubmitError::Shutdown);
         }
-        if st.jobs.len() >= self.capacity {
+        if st.ready.len() >= self.capacity {
             st.rejected += 1;
             return Err(SubmitError::QueueFull {
                 capacity: self.capacity,
-                queued: st.jobs.len(),
+                queued: st.ready.len(),
             });
+        }
+        if self.admission == Admission::Feasible {
+            if let (Some(est), Some(deadline)) = (estimate, spec.deadline) {
+                // Feasibility bound: the job's own calibrated duration
+                // plus the deadline-class work queued ahead of it. With
+                // an empty queue this reduces to the invariant the tests
+                // pin: admitted ⇒ calibrated(model) ≤ deadline.
+                let calibration = *self.calibration.lock().expect("calibration lock");
+                let predicted = calibration.wall_secs(est.model_secs)
+                    + backlog_ahead(&st.ready, &calibration, now + deadline, self.grid.size());
+                if predicted > deadline.as_secs_f64() {
+                    st.infeasible += 1;
+                    return Err(SubmitError::Infeasible {
+                        predicted: Duration::from_secs_f64(predicted),
+                        deadline,
+                    });
+                }
+            }
         }
         let id = st.submitted;
         st.submitted += 1;
         let cell = JobCell::new();
-        st.jobs.push_back(QueuedJob {
+        let job = QueuedJob {
             id,
-            spec,
-            operands,
             cell: Arc::clone(&cell),
-        });
+            ranks: estimate.map_or(self.grid.size(), |e| e.ranks),
+            model_secs: estimate.map_or(0.0, |e| e.model_secs),
+            operands,
+            spec,
+        };
+        match (self.sched, job.spec.deadline) {
+            // FIFO keeps strict submission order: every job goes to the
+            // background lane, where order is always submission order.
+            (SchedPolicy::EdfGang, Some(d)) => st.ready.push_deadline(now + d, job),
+            _ => st.ready.push_background(now, job),
+        }
         drop(st);
         self.shared.cv.notify_all();
         Ok(JobHandle { id, cell })
@@ -302,13 +444,25 @@ impl GemmServer {
         ServerStats {
             submitted: st.submitted,
             rejected: st.rejected,
-            queued: st.jobs.len(),
+            infeasible: st.infeasible,
+            queued: st.ready.len(),
+            gangs: st.gangs,
+            gang_jobs: st.gang_jobs,
         }
     }
 
-    /// The planner's cache/sweep counters (see [`PlannerStats`]).
+    /// The whole-pool planner's cache/sweep counters (see
+    /// [`PlannerStats`]). Sub-pool grids' planners are created lazily by
+    /// gang scheduling and keep their own counters.
     pub fn planner_stats(&self) -> PlannerStats {
-        self.planner.lock().expect("planner lock").stats()
+        self.planners.with(self.grid, |p| p.stats())
+    }
+
+    /// The scheduler's current model-to-wall calibration ratio
+    /// (`wall / model`, EWMA over completed plannable jobs; `1.0` until
+    /// the first one).
+    pub fn calibration_ratio(&self) -> f64 {
+        self.calibration.lock().expect("calibration lock").ratio()
     }
 
     /// Graceful shutdown: stops admitting, runs every queued job to
@@ -335,37 +489,149 @@ impl Drop for GemmServer {
     }
 }
 
-/// The scheduler: FIFO over the queue until shutdown *and* empty.
+/// Rank-seconds of deadline-class work queued ahead of `deadline_at`,
+/// normalized by the pool width: under EDF every queued job with an
+/// earlier deadline runs first, so its calibrated duration × its rank
+/// share delays the candidate. Jobs the model cannot price
+/// (`model_secs == 0`) contribute nothing — the bound stays a *provable*
+/// under-estimate, so a rejection is always justified.
+fn backlog_ahead(
+    ready: &ReadyQueue<QueuedJob>,
+    calibration: &Calibration,
+    deadline_at: Instant,
+    p: usize,
+) -> f64 {
+    let rank_seconds: f64 = ready
+        .deadline_iter()
+        .take_while(|(d, _)| *d <= deadline_at)
+        .map(|(_, j)| calibration.wall_secs(j.model_secs) * j.ranks as f64)
+        .sum();
+    rank_seconds / p as f64
+}
+
+/// One dispatch wave: the popped head plus any backfilled jobs, with
+/// the sub-pool size each will get.
+struct Wave {
+    jobs: Vec<QueuedJob>,
+}
+
+/// The scheduler: waves until shutdown *and* empty.
 fn scheduler_loop(
     shared: Arc<Shared>,
-    planner: Arc<Mutex<Planner>>,
+    planners: Arc<Planners>,
+    calibration: Arc<Mutex<Calibration>>,
     mut pool: RankPool,
     grid: GridShape,
     trace_jobs: bool,
+    sched: SchedPolicy,
 ) {
+    let p = grid.size();
     loop {
-        let job = {
+        let wave = {
             let mut st = shared.state.lock().expect("queue lock");
-            loop {
-                if let Some(job) = st.jobs.pop_front() {
-                    break job;
+            let wave = loop {
+                let now = Instant::now();
+                if let Some((_, head)) = st.ready.pop(now) {
+                    break collect_wave(&mut st, head, now, p, sched);
                 }
                 if st.shutdown {
                     return;
                 }
                 st = shared.cv.wait(st).expect("queue lock");
+            };
+            if wave.jobs.len() > 1 {
+                st.gangs += 1;
+                st.gang_jobs += wave.jobs.len() as u64;
             }
+            wave
         };
-        job.cell.set_running();
-        let outcome = execute(&planner, &mut pool, grid, trace_jobs, &job);
-        job.cell.finish(outcome);
+        run_wave(wave, &planners, &calibration, &mut pool, grid, trace_jobs);
     }
 }
 
-/// Plan → scatter → pooled SPMD run → gather, routed by workload.
-fn execute(
-    planner: &Arc<Mutex<Planner>>,
+/// Packs one wave under the queue lock: the head claims its preferred
+/// rank count, then the leftover ranks are backfilled with the
+/// highest-priority queued jobs that fit. A head that wants the whole
+/// pool — or a queue with nothing else that fits — yields a singleton
+/// wave, which runs on the whole pool.
+fn collect_wave(
+    st: &mut QueueState,
+    head: QueuedJob,
+    now: Instant,
+    p: usize,
+    sched: SchedPolicy,
+) -> Wave {
+    let mut jobs = vec![head];
+    if sched == SchedPolicy::EdfGang {
+        let mut remaining = p.saturating_sub(jobs[0].ranks);
+        while remaining > 0 {
+            match st.ready.pop_fitting(now, |j| j.ranks <= remaining) {
+                Some((_, job)) => {
+                    remaining -= job.ranks;
+                    jobs.push(job);
+                }
+                None => break,
+            }
+        }
+    }
+    Wave { jobs }
+}
+
+/// Executes one wave: a singleton runs on the whole pool (a lone job
+/// has no reason to leave ranks idle); a gang carves the pool and runs
+/// every member concurrently, one dispatcher thread per sub-pool.
+fn run_wave(
+    mut wave: Wave,
+    planners: &Planners,
+    calibration: &Mutex<Calibration>,
     pool: &mut RankPool,
+    grid: GridShape,
+    trace_jobs: bool,
+) {
+    if wave.jobs.len() == 1 {
+        let job = wave.jobs.pop().expect("singleton wave");
+        finish_job(job, planners, calibration, pool, grid, trace_jobs);
+        return;
+    }
+    let sizes: Vec<usize> = wave.jobs.iter().map(|j| j.ranks).collect();
+    let subs = pool.carve(&sizes);
+    std::thread::scope(|scope| {
+        for (mut sub, job) in subs.into_iter().zip(wave.jobs.drain(..)) {
+            scope.spawn(move || {
+                let sub_grid = subgrid(sub.size());
+                finish_job(job, planners, calibration, &mut sub, sub_grid, trace_jobs);
+            });
+        }
+    });
+}
+
+/// Runs one job on its execution target, feeds the calibration, and
+/// completes the client's handle.
+fn finish_job<P: PoolExec>(
+    job: QueuedJob,
+    planners: &Planners,
+    calibration: &Mutex<Calibration>,
+    pool: &mut P,
+    grid: GridShape,
+    trace_jobs: bool,
+) {
+    job.cell.set_running();
+    let outcome = execute(planners, pool, grid, trace_jobs, &job);
+    if job.model_secs > 0.0 {
+        if let Ok(out) = &outcome {
+            calibration
+                .lock()
+                .expect("calibration lock")
+                .observe(job.model_secs, out.report.wall.as_secs_f64());
+        }
+    }
+    job.cell.finish(outcome);
+}
+
+/// Plan → scatter → pooled SPMD run → gather, routed by workload.
+fn execute<P: PoolExec>(
+    planners: &Planners,
+    pool: &mut P,
     grid: GridShape,
     trace_jobs: bool,
     job: &QueuedJob,
@@ -375,10 +641,7 @@ fn execute(
     match &job.operands {
         JobOperands::Dense { a, b } => {
             let planned = match job.spec.hint {
-                PlanHint::Auto => planner
-                    .lock()
-                    .expect("planner lock")
-                    .plan_gemm(job.spec.m, job.spec.k, n),
+                PlanHint::Auto => planners.with(grid, |p| p.plan_gemm(job.spec.m, job.spec.k, n)),
                 PlanHint::Force(plan) => Planned {
                     plan,
                     cached: false,
@@ -408,10 +671,7 @@ fn execute(
             }
             let prof_a = sparsity_profile(a, PROFILE_SAMPLES);
             let prof_b = sparsity_profile(b, PROFILE_SAMPLES);
-            let sp = planner
-                .lock()
-                .expect("planner lock")
-                .plan_spgemm(n, &prof_a, &prof_b);
+            let sp = planners.with(grid, |p| p.plan_spgemm(n, &prof_a, &prof_b));
             match sp.dense {
                 // The scoreboard says the operands are full enough that
                 // dense panels win: densify and run the dense plan.
@@ -430,7 +690,7 @@ fn execute(
             }
         }
         JobOperands::Sddmm { s, a, b } => {
-            let block = planner.lock().expect("planner lock").sddmm_block(n);
+            let block = planners.with(grid, |p| p.sddmm_block(n));
             run_sddmm(pool, grid, trace_jobs, job, started, block, s, a, b)
         }
     }
@@ -445,8 +705,8 @@ fn execute(
 /// plan runs through [`run_planned_gemm`] — the same descriptors the
 /// planner's brick schedule redistributes from.
 #[allow(clippy::too_many_arguments)]
-fn run_dense(
-    pool: &mut RankPool,
+fn run_dense<P: PoolExec>(
+    pool: &mut P,
     grid: GridShape,
     trace_jobs: bool,
     job: &QueuedJob,
@@ -491,8 +751,8 @@ fn run_dense(
 
 /// Native 2-D SpGEMM on CSR tiles.
 #[allow(clippy::too_many_arguments)]
-fn run_spgemm(
-    pool: &mut RankPool,
+fn run_spgemm<P: PoolExec>(
+    pool: &mut P,
     grid: GridShape,
     trace_jobs: bool,
     job: &QueuedJob,
@@ -532,8 +792,8 @@ fn run_spgemm(
 
 /// 2-D SDDMM: CSR sample tiles, dense operand tiles.
 #[allow(clippy::too_many_arguments)]
-fn run_sddmm(
-    pool: &mut RankPool,
+fn run_sddmm<P: PoolExec>(
+    pool: &mut P,
     grid: GridShape,
     trace_jobs: bool,
     job: &QueuedJob,
@@ -578,8 +838,8 @@ fn run_sddmm(
 /// either hand back the per-rank values with a `Completed` report or
 /// diagnose the primary failure into a [`JobError`] carrying the report.
 #[allow(clippy::too_many_arguments)]
-fn run_pooled<T: Send + 'static>(
-    pool: &mut RankPool,
+fn run_pooled<P: PoolExec, T: Send + 'static>(
+    pool: &mut P,
     grid: GridShape,
     trace_jobs: bool,
     job: &QueuedJob,
@@ -600,7 +860,7 @@ fn run_pooled<T: Send + 'static>(
     if let Some(fp) = &job.spec.faults {
         opts = opts.with_faults(Arc::clone(fp));
     }
-    let run = pool.run_opts(&tracer, &opts, f);
+    let run = pool.run_job(&tracer, &opts, f);
     let PoolRun { results, stats } = match run {
         Ok(run) => run,
         Err(e) => return Err(JobError::Execution(e.to_string())),

@@ -1,0 +1,180 @@
+//! Gang-scheduling tests: concurrent sub-pool runs are bit-identical to
+//! dedicated-pool runs, and a fault-killed gang member leaves its
+//! sibling sub-pool's job untouched.
+
+use hsumma_core::{PlannedAlgo, SummaConfig};
+use hsumma_matrix::{gemm, seeded_uniform, GemmKernel, GridShape, Matrix};
+use hsumma_serve::{
+    subgrid, GemmServer, JobSpec, PlanHint, Planner, PlannerConfig, SchedPolicy, ServerConfig,
+};
+use hsumma_trace::{FaultPlan, TagClass};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(GemmKernel::Naive, a, b, &mut c);
+    c
+}
+
+/// A job that occupies the scheduler for ~`ms` while the queue behind it
+/// fills: a dropped message stalls a rank until the deadline's watchdog
+/// fires. Waves only form from jobs that are *queued together*, so the
+/// stall makes gang formation deterministic. The plan is *forced* so the
+/// packing policy gives the filler the whole pool (forced plans are
+/// unpriceable): it can never be packed into a wave next to the jobs it
+/// is supposed to shield, and a multi-rank run guarantees the dropped
+/// message is actually waited on.
+fn stalled_filler(server: &GemmServer, ms: u64) -> hsumma_serve::JobHandle {
+    let n = 64;
+    let a = seeded_uniform(n, n, 9001);
+    let b = seeded_uniform(n, n, 9002);
+    let stall = Arc::new(FaultPlan::new().drop_nth(Some(0), None, TagClass::Any, 0));
+    let spec = JobSpec::square(n)
+        .with_hint(PlanHint::Force(PlannedAlgo::Summa(SummaConfig {
+            block: 8,
+            ..SummaConfig::default()
+        })))
+        .with_deadline(Duration::from_millis(ms))
+        .with_faults(stall);
+    server.submit(spec, a, b).expect("filler is admitted")
+}
+
+#[test]
+fn gang_scheduled_jobs_are_bit_identical_to_dedicated_pool_runs() {
+    // On the 2x4 pool the planner's strong-scaling curve caps an n=256
+    // job at 4 ranks — pin that precondition, since the whole test rides
+    // on two such jobs ganging side by side.
+    let n = 256;
+    let whole = GridShape::new(2, 4);
+    let est = Planner::new(whole, PlannerConfig::default()).estimate(n, n, n);
+    assert_eq!(est.ranks, 4, "n=256 prefers 4 of 8 ranks on this model");
+    let sub = subgrid(est.ranks);
+    assert_eq!(sub, GridShape::new(2, 2));
+
+    // Reference: a dedicated FIFO server whose *whole* grid is the
+    // sub-pool grid. Same planner config + same grid ⇒ same plan ⇒ same
+    // floating-point schedule, so the gang runs must match bitwise.
+    let dedicated = GemmServer::new(ServerConfig {
+        sched: SchedPolicy::Fifo,
+        ..ServerConfig::new(sub)
+    })
+    .unwrap();
+    let seeds = [41u64, 43];
+    let mut wants = Vec::new();
+    for &seed in &seeds {
+        let a = seeded_uniform(n, n, seed);
+        let b = seeded_uniform(n, n, seed + 1);
+        let out = dedicated
+            .submit(JobSpec::square(n), a, b)
+            .unwrap()
+            .wait()
+            .unwrap();
+        wants.push(out.c.dense().clone());
+    }
+
+    // The gang: stall the pool, queue both jobs behind the stall so the
+    // scheduler's next wave packs them into [4, 4] sub-pools.
+    let server = GemmServer::new(ServerConfig::new(whole)).unwrap();
+    let filler = stalled_filler(&server, 200);
+    let handles: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            let a = seeded_uniform(n, n, seed);
+            let b = seeded_uniform(n, n, seed + 1);
+            server.submit(JobSpec::square(n), a, b).unwrap()
+        })
+        .collect();
+    assert!(filler.wait().is_err(), "the stalled filler times out");
+    for (handle, want) in handles.into_iter().zip(&wants) {
+        let out = handle.wait().expect("gang member succeeds");
+        assert_eq!(
+            out.report.stats.len(),
+            4,
+            "the job ran on a 4-rank sub-pool, not the whole pool"
+        );
+        assert!(
+            out.report.merged_stats().msgs_sent > 0,
+            "4-rank runs communicate"
+        );
+        assert_eq!(
+            out.c.dense().as_slice(),
+            want.as_slice(),
+            "sub-pool product differs bitwise from the dedicated run"
+        );
+    }
+    let stats = server.stats();
+    assert!(stats.gangs >= 1, "the two jobs formed a wave: {stats:?}");
+    assert!(stats.gang_jobs >= 2);
+
+    // The pool is whole again: a big job takes all 8 ranks.
+    let a = seeded_uniform(512, 512, 77);
+    let b = seeded_uniform(512, 512, 78);
+    let want = reference(&a, &b);
+    let out = server
+        .submit(JobSpec::square(512), a, b)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(out.report.stats.len(), 8, "whole-pool job after the gang");
+    assert!(out.c.dense().approx_eq(&want, 1e-9));
+}
+
+#[test]
+fn fault_killed_gang_member_leaves_the_sibling_sub_pool_untouched() {
+    let n = 256;
+    let whole = GridShape::new(2, 4);
+    let server = GemmServer::new(ServerConfig::new(whole)).unwrap();
+
+    // Operands and the (slow, naive) serial reference are prepared
+    // before the filler starts its stall, so all three submissions land
+    // inside the stall window.
+    let va = seeded_uniform(n, n, 201);
+    let vb = seeded_uniform(n, n, 202);
+    let sa = seeded_uniform(n, n, 301);
+    let sb = seeded_uniform(n, n, 302);
+    let want = reference(&sa, &sb);
+
+    let filler = stalled_filler(&server, 200);
+    // Victim: killed on its sub-pool's local rank 1 at the first send;
+    // the deadline bounds how long its peers wait on the dead rank.
+    let kill = Arc::new(FaultPlan::new().kill_rank(1, 0));
+    let victim = server
+        .submit(
+            JobSpec::square(n)
+                .with_deadline(Duration::from_millis(400))
+                .with_faults(kill),
+            va,
+            vb,
+        )
+        .unwrap();
+    // Sibling: a clean job that the wave packs next to the victim.
+    let sibling = server.submit(JobSpec::square(n), sa, sb).unwrap();
+
+    assert!(filler.wait().is_err(), "the stalled filler times out");
+    assert!(
+        victim.wait().is_err(),
+        "a killed rank must fail the victim job"
+    );
+    let out = sibling.wait().expect("sibling survives the kill next door");
+    assert_eq!(out.report.stats.len(), 4, "sibling ran on its sub-pool");
+    assert!(
+        out.c.dense().approx_eq(&want, 1e-9),
+        "sibling product corrupted by the neighbouring fault"
+    );
+    assert!(
+        server.stats().gangs >= 1,
+        "victim and sibling shared a wave"
+    );
+
+    // The server keeps serving on the whole pool afterwards.
+    let a = seeded_uniform(64, 64, 401);
+    let b = seeded_uniform(64, 64, 402);
+    let want = reference(&a, &b);
+    let out = server
+        .submit(JobSpec::square(64), a, b)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(out.c.dense().approx_eq(&want, 1e-9));
+}

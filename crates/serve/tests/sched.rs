@@ -1,0 +1,269 @@
+//! Scheduler-subsystem tests: EDF/aging ordering properties of the
+//! ready queue, and feasibility admission end to end on a live server.
+
+use hsumma_matrix::{seeded_uniform, GridShape};
+use hsumma_serve::{
+    Admission, GemmServer, JobSpec, Planner, PlannerConfig, PriorityClass, ReadyQueue, SchedPolicy,
+    ServerConfig, SubmitError,
+};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// ReadyQueue ordering properties
+// ---------------------------------------------------------------------
+
+/// Mirror of the queue used to check invariants: what was pushed, what
+/// was popped, and when.
+#[derive(Debug)]
+enum Op {
+    PushDeadline(Duration),
+    PushBackground,
+    Pop(Duration),
+}
+
+/// Decodes a deterministic op sequence from a seed (SplitMix-style), so
+/// the proptest shim's integer strategies drive arbitrarily-shaped
+/// interleavings.
+fn decode_ops(len: usize, mut seed: u64) -> Vec<Op> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..len)
+        .map(|_| match next() % 3 {
+            0 => Op::PushDeadline(Duration::from_millis(next() % 100)),
+            1 => Op::PushBackground,
+            // Advances up to 2x the aging bound so promotions happen.
+            _ => Op::Pop(Duration::from_millis(next() % 100)),
+        })
+        .collect()
+}
+
+const AGING: Duration = Duration::from_millis(50);
+
+proptest! {
+    /// The ordering contract under arbitrary interleavings:
+    /// 1. a popped deadline job has the minimum deadline of all
+    ///    deadline jobs waiting (EDF);
+    /// 2. a background job pops ahead of a waiting deadline job only
+    ///    when it has aged past the bound (classes never invert);
+    /// 3. background jobs pop in submission order.
+    #[test]
+    fn edf_and_aging_never_invert_priority_classes(
+        len in 1usize..60, seed in 0u64..1_000_000,
+    ) {
+        let t0 = Instant::now();
+        let mut now = t0;
+        let mut q: ReadyQueue<u64> = ReadyQueue::new(AGING);
+        // Mirrors: waiting deadline jobs' deadlines; background jobs as
+        // (id, submitted-at) in submission order.
+        let mut urgent: Vec<(Instant, u64)> = Vec::new();
+        let mut background: Vec<(u64, Instant)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut last_bg_popped: Option<u64> = None;
+
+        for op in decode_ops(len, seed) {
+            match op {
+                Op::PushDeadline(offset) => {
+                    let d = now + offset;
+                    q.push_deadline(d, next_id);
+                    urgent.push((d, next_id));
+                    next_id += 1;
+                }
+                Op::PushBackground => {
+                    q.push_background(now, next_id);
+                    background.push((next_id, now));
+                    next_id += 1;
+                }
+                Op::Pop(advance) => {
+                    now += advance;
+                    let popped = q.pop(now);
+                    prop_assert_eq!(popped.is_none(), urgent.is_empty() && background.is_empty());
+                    let Some((class, id)) = popped else { continue };
+                    match class {
+                        PriorityClass::Deadline => {
+                            let min = urgent
+                                .iter()
+                                .map(|&(d, _)| d)
+                                .min()
+                                .expect("popped a deadline job: one must be waiting");
+                            let pos = urgent
+                                .iter()
+                                .position(|&(_, i)| i == id)
+                                .expect("popped job was pushed");
+                            // (1) EDF: the popped deadline is the minimum.
+                            prop_assert_eq!(urgent[pos].0, min);
+                            urgent.remove(pos);
+                        }
+                        PriorityClass::Background => {
+                            let (front, submitted) = background.remove(0);
+                            // (3) FIFO among background jobs.
+                            prop_assert_eq!(front, id);
+                            // (2) ahead of waiting deadline work only if aged.
+                            if !urgent.is_empty() {
+                                prop_assert!(
+                                    now.duration_since(submitted) >= AGING,
+                                    "unaged background popped past a deadline job"
+                                );
+                            }
+                            if let Some(prev) = last_bg_popped {
+                                prop_assert!(prev < id, "background order inverted");
+                            }
+                            last_bg_popped = Some(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Feasibility admission on a live server
+// ---------------------------------------------------------------------
+
+#[test]
+fn admitted_deadline_job_run_alone_meets_its_deadline() {
+    // The admission invariant: with an empty queue, admitted means the
+    // calibrated model prediction fits the deadline — and the run
+    // itself, alone on the service, completes (the runtime enforces the
+    // same deadline, so Ok(..) is "met").
+    let server = GemmServer::new(ServerConfig::new(GridShape::new(2, 2))).unwrap();
+    for n in [32usize, 64, 128] {
+        let a = seeded_uniform(n, n, 2 * n as u64);
+        let b = seeded_uniform(n, n, 2 * n as u64 + 1);
+        let spec = JobSpec::square(n).with_deadline(Duration::from_secs(5));
+        let handle = server.submit(spec, a, b).expect("5s is feasible");
+        let out = handle
+            .wait()
+            .expect("admitted job alone meets its deadline");
+        assert_eq!(out.c.shape(), (n, n));
+    }
+    assert_eq!(server.stats().infeasible, 0);
+}
+
+#[test]
+fn provably_unmeetable_deadline_is_rejected_at_submit_with_the_margin() {
+    let server = GemmServer::new(ServerConfig::new(GridShape::new(2, 2))).unwrap();
+    let n = 256;
+    let a = seeded_uniform(n, n, 1);
+    let b = seeded_uniform(n, n, 2);
+    let deadline = Duration::from_nanos(1);
+    let err = server
+        .submit(JobSpec::square(n).with_deadline(deadline), a, b)
+        .expect_err("1ns is provably unmeetable");
+    match err {
+        SubmitError::Infeasible {
+            predicted,
+            deadline: d,
+        } => {
+            assert_eq!(d, deadline);
+            assert!(
+                predicted > deadline,
+                "rejection names the margin: {predicted:?} vs {deadline:?}"
+            );
+            // With an empty queue and an uncalibrated server (no job has
+            // completed), the prediction IS the model's estimate.
+            let mut planner = Planner::new(GridShape::new(2, 2), PlannerConfig::default());
+            let est = planner.estimate(n, n, n);
+            let rel = (predicted.as_secs_f64() - est.model_secs).abs() / est.model_secs;
+            assert!(
+                rel < 1e-6,
+                "predicted {predicted:?} vs model {}",
+                est.model_secs
+            );
+        }
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.infeasible, 1);
+    assert_eq!(stats.submitted, 0, "rejected jobs are not admitted");
+    assert!(err.to_string().contains("short by"));
+}
+
+#[test]
+fn open_admission_keeps_the_legacy_runtime_deadline_path() {
+    // Admission::Open admits the unmeetable deadline; the runtime
+    // watchdog then fails the job in-flight — the pre-scheduler
+    // contract, preserved for operators that opt out.
+    let config = ServerConfig {
+        admission: Admission::Open,
+        sched: SchedPolicy::Fifo,
+        ..ServerConfig::new(GridShape::new(2, 2))
+    };
+    let server = GemmServer::new(config).unwrap();
+    let n = 64;
+    let a = seeded_uniform(n, n, 1);
+    let b = seeded_uniform(n, n, 2);
+    let handle = server
+        .submit(
+            JobSpec::square(n).with_deadline(Duration::from_nanos(1)),
+            a,
+            b,
+        )
+        .expect("open admission takes any deadline");
+    assert!(
+        handle.wait().is_err(),
+        "a 1ns deadline job must fail at runtime"
+    );
+    assert_eq!(server.stats().infeasible, 0);
+}
+
+#[test]
+fn feasibility_accounts_for_queued_work_ahead_of_the_deadline() {
+    // Admission prices the backlog, not just the candidate: a deadline
+    // that is comfortably feasible on an idle service becomes infeasible
+    // once enough same-deadline work is queued ahead. A stalled head job
+    // (dropped message + its own deadline) keeps the pool busy so the
+    // queue actually accumulates.
+    use hsumma_trace::{FaultPlan, TagClass};
+    use std::sync::Arc;
+    let server = GemmServer::new(ServerConfig::new(GridShape::new(2, 2))).unwrap();
+    let n = 256;
+    let submit = |deadline: Duration, faults: Option<Arc<FaultPlan>>, seed: u64| {
+        let a = seeded_uniform(n, n, seed);
+        let b = seeded_uniform(n, n, seed + 1);
+        let mut spec = JobSpec::square(n).with_deadline(deadline);
+        if let Some(f) = faults {
+            spec = spec.with_faults(f);
+        }
+        server.submit(spec, a, b)
+    };
+    // The model's duration for this shape; the server is uncalibrated
+    // (nothing completes while the head stalls), so each queued job adds
+    // exactly one model-duration of backlog. A 9.5x-model deadline is
+    // therefore feasible until ~9 jobs wait ahead of it — and the tenth
+    // prediction (10x) overshoots it by a strict margin.
+    let model = Planner::new(GridShape::new(2, 2), PlannerConfig::default())
+        .estimate(n, n, n)
+        .model_secs;
+    assert!(model > 0.0, "a dense Auto job is priceable");
+    let deadline = Duration::from_secs_f64(9.5 * model);
+    // Head: stalls ~300ms on a dropped message, occupying the pool.
+    let stall = Arc::new(FaultPlan::new().drop_nth(Some(0), None, TagClass::Any, 0));
+    let head = submit(Duration::from_millis(300), Some(stall), 1).expect("head is feasible");
+    let mut admitted = 0u32;
+    let mut rejection = None;
+    for i in 0..32u64 {
+        match submit(deadline, None, 100 + 2 * i) {
+            Ok(_) => admitted += 1,
+            Err(SubmitError::Infeasible { predicted, .. }) => {
+                rejection = Some(predicted);
+                break;
+            }
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+    }
+    let predicted = rejection.expect("backlog must eventually exhaust a 10x-model deadline");
+    assert!(
+        admitted >= 1,
+        "the identical deadline was feasible while the queue was emptier"
+    );
+    assert!(predicted > deadline, "the margin names the backlog");
+    assert!(server.stats().infeasible >= 1);
+    let _ = head.wait();
+}

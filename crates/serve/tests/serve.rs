@@ -36,10 +36,15 @@ fn concurrent_mixed_size_clients_all_get_correct_products() {
                     "client {client} job {i} (n={n}) wrong, plan {}",
                     out.report.plan_desc
                 );
-                // The report describes this job: some communication
-                // happened and the stats cover every rank.
-                assert_eq!(out.report.stats.len(), 4);
-                assert!(out.report.merged_stats().msgs_sent > 0);
+                // The report describes this job: the stats cover every
+                // rank of the (sub-)pool it ran on — gang scheduling may
+                // give a small job fewer ranks than the whole pool — and
+                // multi-rank runs show real communication.
+                let ranks = out.report.stats.len();
+                assert!((1..=4).contains(&ranks), "ran on {ranks} ranks");
+                if ranks > 1 {
+                    assert!(out.report.merged_stats().msgs_sent > 0);
+                }
             }
         }));
     }
