@@ -15,6 +15,11 @@
 //!   checkerboard→brick redistribution toll) agrees with the measured
 //!   ranking at each point where both algorithms run.
 //!
+//! Points up to `p = 8192` run thread-per-rank; beyond the VM-map
+//! ceiling the record-and-replay engine carries the ladder to
+//! `p = 2¹⁶` here (and to the paper's `2²⁰` in `fig10`). Wherever a
+//! problem runs on both engines the rows must agree exactly.
+//!
 //! Also sweeps [`best_brick`] memory budgets at the paper's scale.
 //! Counter-intuitively, replication is the memory-*lean* end here: a
 //! deeper `c` partitions `k`, shrinking each rank's resident A/B
@@ -29,7 +34,7 @@
 //! ```
 
 use hsumma_bench::{model_params, render_table, secs};
-use hsumma_core::{sim_cosma, sim_hsumma, CosmaConfig, HierGrid};
+use hsumma_core::{sim_cosma_engine, sim_hsumma_engine, CosmaConfig, HierGrid, SimEngine};
 use hsumma_matrix::GridShape;
 use hsumma_model::{
     advise_gemm, best_brick, cosma_footprint_elems, cosma_volume, AlgoChoice, BcastModel,
@@ -41,6 +46,7 @@ use std::fmt::Write as _;
 /// One measured point of the sweep.
 struct Point {
     label: &'static str,
+    engine: SimEngine,
     p: usize,
     m: usize,
     n: usize,
@@ -60,9 +66,13 @@ struct Point {
 
 /// Measures one point: cosma on the simulator, the analytic volume, and
 /// — when the problem is square and `√p` is a usable grid — HSUMMA at
-/// the model's best grouping for comparison.
+/// the model's best grouping for comparison. The `engine` picks the
+/// substrate: thread-per-rank up to the VM-map ceiling, record-and-replay
+/// (bit-identical, threadless) beyond it.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     platform: &Platform,
+    engine: SimEngine,
     label: &'static str,
     p: usize,
     m: usize,
@@ -77,7 +87,7 @@ fn measure(
         b: d.b,
         c: d.c,
     };
-    let report = sim_cosma(platform, p, m, n, k, &cfg);
+    let report = sim_cosma_engine(engine, platform, p, m, n, k, &cfg);
     let model_bytes = cosma_volume(shape, m as f64, n as f64, k as f64);
     let rel_err = (report.bytes as f64 - model_bytes).abs() / model_bytes.max(1.0);
 
@@ -110,7 +120,8 @@ fn measure(
                 let g = advice.hsumma.0.round().max(1.0) as usize;
                 let groups = HierGrid::factor_groups(grid, g).unwrap_or(GridShape::new(1, 1));
                 let outer = (b * 2).min(n / q);
-                sim_hsumma(
+                sim_hsumma_engine(
+                    engine,
                     platform,
                     grid,
                     groups,
@@ -131,6 +142,7 @@ fn measure(
 
     Point {
         label,
+        engine,
         p,
         m,
         n,
@@ -152,28 +164,82 @@ fn main() {
 
     // Block size fed to the scoreboard (and HSUMMA's inner pivot width).
     let b = if smoke { 16 } else { 128 };
+    use SimEngine::{Replay, Threads};
     let points: Vec<Point> = if smoke {
         vec![
-            measure(&platform, "square", 64, 512, 512, 512, b),
-            measure(&platform, "awkward", 13, 97, 61, 83, b),
-            measure(&platform, "tall-skinny", 64, 1 << 14, 128, 128, b),
+            measure(&platform, Threads, "square", 64, 512, 512, 512, b),
+            measure(&platform, Threads, "awkward", 13, 97, 61, 83, b),
+            measure(&platform, Threads, "tall-skinny", 64, 1 << 14, 128, 128, b),
+            // The same square point on the record-and-replay engine:
+            // both rows of the table must agree byte for byte.
+            measure(&platform, Replay, "square-replay", 64, 512, 512, 512, b),
         ]
     } else {
         vec![
             // The paper's BlueGene/P scale: p = 4096 = 16³ ranks.
-            measure(&platform, "square-4k", 4096, 8192, 8192, 8192, b),
-            measure(&platform, "square-4k-big", 4096, 16384, 16384, 16384, b),
+            measure(&platform, Threads, "square-4k", 4096, 8192, 8192, 8192, b),
+            measure(
+                &platform,
+                Threads,
+                "square-4k-big",
+                4096,
+                16384,
+                16384,
+                16384,
+                b,
+            ),
             // Prime rank count, prime-ish extents: uneven bricks and
             // fragments everywhere the closed form can wobble.
-            measure(&platform, "awkward-4k", 4093, 8191, 8191, 8191, b),
+            measure(&platform, Threads, "awkward-4k", 4093, 8191, 8191, 8191, b),
             // Tall-skinny: the regime 2-D checkerboards fundamentally
             // waste — the search spends every rank along m.
-            measure(&platform, "tall-skinny-4k", 4096, 1 << 20, 512, 512, b),
-            // Upper end of the validation range. The simulator spawns
-            // one OS thread per rank (~4 VM maps each), so the default
-            // `vm.max_map_count` of 65530 caps runs just short of
-            // p = 16384; 8192 is the largest comfortable power of two.
-            measure(&platform, "square-8k", 8192, 16384, 16384, 16384, b),
+            measure(
+                &platform,
+                Threads,
+                "tall-skinny-4k",
+                4096,
+                1 << 20,
+                512,
+                512,
+                b,
+            ),
+            // Upper end of the *threaded* range. One OS thread per rank
+            // (~4 VM maps each) means the default `vm.max_map_count` of
+            // 65530 caps thread-per-rank runs just short of p = 16384;
+            // 8192 is the largest comfortable power of two.
+            measure(
+                &platform,
+                Threads,
+                "square-8k",
+                8192,
+                16384,
+                16384,
+                16384,
+                b,
+            ),
+            // Past the thread ceiling the record-and-replay engine takes
+            // over: same schedule, same bytes, zero threads. The ladder
+            // continues to the paper's 2²⁰ ranks in `fig10`.
+            measure(
+                &platform,
+                Replay,
+                "square-16k",
+                16384,
+                16384,
+                16384,
+                16384,
+                b,
+            ),
+            measure(
+                &platform,
+                Replay,
+                "square-64k",
+                65536,
+                32768,
+                32768,
+                32768,
+                b,
+            ),
         ]
     };
 
@@ -182,6 +248,10 @@ fn main() {
         .map(|pt| {
             vec![
                 pt.label.to_string(),
+                match pt.engine {
+                    SimEngine::Threads => "threads".to_string(),
+                    SimEngine::Replay => "replay".to_string(),
+                },
                 format!("{}", pt.p),
                 format!("{}x{}x{}", pt.m, pt.k, pt.n),
                 format!("{}x{}x{}", pt.shape.a, pt.shape.b, pt.shape.c),
@@ -202,6 +272,7 @@ fn main() {
         render_table(
             &[
                 "point",
+                "engine",
                 "p",
                 "m x k x n",
                 "bricks",
@@ -255,12 +326,21 @@ fn main() {
         }
     }
 
+    // Any problem measured on both engines must agree exactly — the
+    // replay engine's contract is bit-identity, not approximation.
+    let engines_agree = points.iter().all(|pt| {
+        points
+            .iter()
+            .filter(|o| (o.p, o.m, o.n, o.k) == (pt.p, pt.m, pt.n, pt.k))
+            .all(|o| o.sim_bytes == pt.sim_bytes && o.cosma_s == pt.cosma_s)
+    });
     let volume_ok = points.iter().all(|pt| pt.rel_err <= 0.10);
     let displaced = points
         .iter()
         .any(|pt| pt.hsumma_s.is_some_and(|h| pt.cosma_s < h) && pt.advised.starts_with("cosma"));
     let scoreboard_ok = points.iter().all(|pt| pt.agree != Some(false));
-    println!("\nsim wire bytes within 10% of the closed form at every point: {volume_ok}");
+    println!("\nthreaded and replay engines agree exactly where both ran: {engines_agree}");
+    println!("sim wire bytes within 10% of the closed form at every point: {volume_ok}");
     println!("cosma displaces hsumma (measured AND on the scoreboard): {displaced}");
     println!("scoreboard agrees with the measured ranking everywhere both ran: {scoreboard_ok}");
 
@@ -272,11 +352,15 @@ fn main() {
     for (i, pt) in points.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"label\": \"{}\", \"p\": {}, \"m\": {}, \"k\": {}, \"n\": {}, \
-             \"bricks\": \"{}x{}x{}\", \"sim_bytes\": {}, \"model_bytes\": {:.0}, \
+            "    {{\"label\": \"{}\", \"engine\": \"{}\", \"p\": {}, \"m\": {}, \"k\": {}, \
+             \"n\": {}, \"bricks\": \"{}x{}x{}\", \"sim_bytes\": {}, \"model_bytes\": {:.0}, \
              \"volume_rel_err\": {:.6}, \"cosma_s\": {:.6}, \"hsumma_s\": {}, \
              \"advised\": \"{}\", \"scoreboard_agrees\": {}}}{}",
             pt.label,
+            match pt.engine {
+                SimEngine::Threads => "threads",
+                SimEngine::Replay => "replay",
+            },
             pt.p,
             pt.m,
             pt.k,
@@ -297,7 +381,8 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"volume_within_10pct\": {volume_ok},\n  \
+        "  ],\n  \"engines_agree\": {engines_agree},\n  \
+         \"volume_within_10pct\": {volume_ok},\n  \
          \"cosma_displaces_hsumma\": {displaced},\n  \
          \"scoreboard_agrees\": {scoreboard_ok}\n}}\n"
     );

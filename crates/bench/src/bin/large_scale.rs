@@ -8,16 +8,23 @@
 //! payloads on `p = 4096` simulated ranks (64 × 64 grid / 32 × 32 × 4
 //! for 2.5D), priced with the paper's BlueGene/P `(α, β, γ)`.
 //!
+//! Since PR 10 a second table runs the same generic schedules at
+//! `p = 2¹⁶` — past the thread-per-rank simulator's VM-map ceiling —
+//! on the record-and-replay engine (`docs/simulation.md`): record each
+//! rank's op program once, execute all of them on one thread.
+//!
 //! Output is appended (manually) to `EXPERIMENTS.md` § "Large-scale
 //! substrate demo".
 //!
 //! [`Communicator`]: hsumma_core::Communicator
 
 use hsumma_bench::{render_table, secs};
-use hsumma_core::simdrive::{sim_lu, sim_overlap, sim_summa, sim_summa_sync, sim_twodotfive};
-use hsumma_core::{SummaConfig, TwoDotFiveConfig};
+use hsumma_core::simdrive::{
+    record_twodotfive, replay_on, sim_lu, sim_overlap, sim_summa, sim_summa_sync, sim_twodotfive,
+};
+use hsumma_core::{sim_hsumma_engine, sim_summa_engine, SimEngine, SummaConfig, TwoDotFiveConfig};
 use hsumma_matrix::{GemmKernel, GridShape};
-use hsumma_netsim::{Platform, SimBcast, SimReport};
+use hsumma_netsim::{Platform, SimBcast, SimNet, SimReport};
 use hsumma_runtime::BcastAlgorithm;
 
 const P: usize = 4096;
@@ -96,6 +103,58 @@ fn main() {
         render_table(
             &["algorithm", "config", "comm s", "total s", "msgs", "GB"],
             &rows
+        )
+    );
+
+    // The same schedules, four doublings past the thread ceiling, on
+    // the record-and-replay engine. No threads: each row records every
+    // rank's op program sequentially and replays all 65536 of them on
+    // a single-threaded event loop.
+    let rp = 1 << 16;
+    let rgrid = GridShape::new(256, 256);
+    let (rn, rb) = (16384, 64);
+    println!("\n== same schedules, p = {rp} (replay engine) ==\n");
+    let mut rrows = Vec::new();
+    let rsumma = sim_summa_engine(
+        SimEngine::Replay,
+        &platform,
+        rgrid,
+        rn,
+        rb,
+        SimBcast::Binomial,
+    );
+    rrows.push(row("summa", "256x256, free-run", &rsumma));
+    let rhsumma = sim_hsumma_engine(
+        SimEngine::Replay,
+        &platform,
+        rgrid,
+        GridShape::new(16, 16),
+        rn,
+        rb,
+        rb,
+        SimBcast::Binomial,
+        SimBcast::Binomial,
+    );
+    rrows.push(row("hsumma", "G=256 (sqrt p)", &rhsumma));
+    let rc4 = TwoDotFiveConfig {
+        q: 128,
+        c: 4,
+        summa: SummaConfig {
+            block: B,
+            bcast: BcastAlgorithm::Binomial,
+            kernel: GemmKernel::Blocked,
+        },
+    };
+    let r25 = {
+        let mut net = SimNet::new(rc4.q * rc4.q * rc4.c, platform.net);
+        replay_on(&mut net, platform.gamma, &record_twodotfive(rn, &rc4))
+    };
+    rrows.push(row("2.5d", "q=128, c=4", &r25));
+    println!(
+        "{}",
+        render_table(
+            &["algorithm", "config", "comm s", "total s", "msgs", "GB"],
+            &rrows
         )
     );
 

@@ -26,7 +26,7 @@
 
 use hsumma_matrix::factor::{lu_nopiv_inplace, qr_thin, trsm_left_lower_unit, trsm_right_upper};
 use hsumma_matrix::{gemm, gemm_scaled, GemmKernel, Matrix};
-use hsumma_netsim::SimComm;
+use hsumma_netsim::{RecordComm, SimComm};
 use hsumma_runtime::collectives::{self, chunk_range};
 use hsumma_runtime::{BcastAlgorithm, Comm, CommError, WirePayload};
 use std::sync::Arc;
@@ -577,6 +577,51 @@ const SIM_TAG_SCATTER: u64 = (1 << 62) + 2;
 const SIM_TAG_ALLGATHER: u64 = (1 << 62) + 3;
 const SIM_TAG_REDUCE: u64 = (1 << 62) + 4;
 
+/// Rank algebra plus raw byte point-to-point: the minimal surface the
+/// simulator-side collective schedules below need. Implemented by the
+/// clock-advancing [`SimComm`] and the schedule-recording [`RecordComm`],
+/// so one transliteration of the runtime's collectives serves both — the
+/// recorded tree edges are definitionally the ones the threaded simulator
+/// walks.
+trait ByteComm {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    fn send_bytes(&self, dst: usize, tag: u64, bytes: u64) -> Result<(), CommError>;
+    fn recv_bytes(&self, src: usize, tag: u64) -> Result<u64, CommError>;
+}
+
+impl ByteComm for SimComm<'_> {
+    fn rank(&self) -> usize {
+        SimComm::rank(self)
+    }
+    fn size(&self) -> usize {
+        SimComm::size(self)
+    }
+    fn send_bytes(&self, dst: usize, tag: u64, bytes: u64) -> Result<(), CommError> {
+        SimComm::send_bytes(self, dst, tag, bytes)
+    }
+    fn recv_bytes(&self, src: usize, tag: u64) -> Result<u64, CommError> {
+        SimComm::recv_bytes(self, src, tag)
+    }
+}
+
+impl ByteComm for RecordComm<'_> {
+    fn rank(&self) -> usize {
+        RecordComm::rank(self)
+    }
+    fn size(&self) -> usize {
+        RecordComm::size(self)
+    }
+    fn send_bytes(&self, dst: usize, tag: u64, bytes: u64) -> Result<(), CommError> {
+        RecordComm::send_bytes(self, dst, tag, bytes)
+    }
+    fn recv_bytes(&self, src: usize, tag: u64) -> Result<u64, CommError> {
+        // Collective receives never inspect the byte count (the shapes
+        // are globally known), so the recorded op is unchecked.
+        self.recv_bytes_unchecked(src, tag)
+    }
+}
+
 impl<'w> Communicator for SimComm<'w> {
     type Mat = PhantomMat;
     type Shared = PhantomMat;
@@ -675,13 +720,110 @@ impl<'w> Communicator for SimComm<'w> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Recording substrate: phantom payloads into a flat op program.
+// ---------------------------------------------------------------------------
+
+impl<'r> Communicator for RecordComm<'r> {
+    type Mat = PhantomMat;
+    type Shared = PhantomMat;
+
+    fn rank(&self) -> usize {
+        RecordComm::rank(self)
+    }
+    fn size(&self) -> usize {
+        RecordComm::size(self)
+    }
+    fn split(&self, color: u64, key: i64) -> Result<Self, CommError> {
+        RecordComm::split(self, color, key)
+    }
+
+    fn send_mat(&self, dst: usize, tag: u64, mat: PhantomMat) -> Result<(), CommError> {
+        RecordComm::send_bytes(self, dst, tag, mat.payload_bytes())
+    }
+    fn recv_mat(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<PhantomMat, CommError> {
+        // The shape is known here, so the recorded op carries the exact
+        // byte count and the replay engine re-asserts it — the same
+        // check `SimComm::recv_mat` performs at run time.
+        self.recv_bytes_expect(src, tag, mat_bytes(rows, cols))?;
+        Ok(PhantomMat { rows, cols })
+    }
+
+    fn share(mat: PhantomMat) -> PhantomMat {
+        mat
+    }
+    fn shared_ref(shared: &PhantomMat) -> &PhantomMat {
+        shared
+    }
+    fn send_shared(&self, dst: usize, tag: u64, shared: &PhantomMat) -> Result<(), CommError> {
+        RecordComm::send_bytes(self, dst, tag, shared.payload_bytes())
+    }
+    fn recv_shared(
+        &self,
+        src: usize,
+        tag: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<PhantomMat, CommError> {
+        Communicator::recv_mat(self, src, tag, rows, cols)
+    }
+
+    fn ibcast_test(&self, _handle: &mut PanelBcast<PhantomMat>) -> Result<bool, CommError> {
+        // `ibcast_test` asks "has the message arrived *yet*?" — a
+        // question about the virtual clock that a sequential recording
+        // pass cannot answer. Schedules that poll (hsumma_overlap's
+        // adaptive handoff) are data-dependent on timing and therefore
+        // not schedule-as-data; run them on the threaded sim engine.
+        // The default `ibcast_shared`/`ibcast_wait` pair (summa_overlap)
+        // records fine: its message schedule is timing-independent.
+        unimplemented!(
+            "ibcast_test polls the virtual clock, which a sequential recording pass \
+             cannot observe; timing-adaptive schedules are not recordable"
+        )
+    }
+
+    fn bcast_mat(
+        &self,
+        algo: BcastAlgorithm,
+        root: usize,
+        mat: &mut PhantomMat,
+    ) -> Result<(), CommError> {
+        assert!(root < self.size(), "root out of range");
+        sim_bcast(self, algo, root, mat.elems())
+    }
+    fn reduce_sum_mat(&self, root: usize, mat: &mut PhantomMat) -> Result<(), CommError> {
+        assert!(root < self.size(), "root out of range");
+        sim_reduce(self, root, mat.elems())
+    }
+    fn barrier(&self) -> Result<(), CommError> {
+        RecordComm::barrier(self)
+    }
+    fn maybe_step_sync(&self) -> Result<(), CommError> {
+        RecordComm::maybe_step_sync(self)
+    }
+
+    fn compute<R>(&self, pairs: f64, flops: u64, f: impl FnOnce() -> R) -> R {
+        RecordComm::compute(self, pairs, flops);
+        f()
+    }
+    fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        RecordComm::trace_step(self, k, outer, inner, f)
+    }
+}
+
 /// Phantom-payload broadcast of `elems` `f64`s: the same per-rank message
 /// schedules as `hsumma_runtime::collectives::bcast_f64`, expressed SPMD
 /// over virtual clocks. Segmenting algorithms deal *elements* with
 /// [`chunk_range`], exactly like the runtime, so segment wire sizes match
 /// message-for-message.
-fn sim_bcast(
-    comm: &SimComm<'_>,
+fn sim_bcast<C: ByteComm>(
+    comm: &C,
     algo: BcastAlgorithm,
     root: usize,
     elems: usize,
@@ -798,7 +940,7 @@ fn sim_bcast(
 /// Phantom binomial-tree sum reduction, mirroring
 /// `hsumma_runtime::collectives::reduce_sum_f64` (leaves send first; the
 /// element-wise adds are uncharged there and so charge nothing here).
-fn sim_reduce(comm: &SimComm<'_>, root: usize, elems: usize) -> Result<(), CommError> {
+fn sim_reduce<C: ByteComm>(comm: &C, root: usize, elems: usize) -> Result<(), CommError> {
     let p = comm.size();
     let vrank = (comm.rank() + p - root) % p;
     let unvirt = |v: usize| (v + root) % p;
@@ -969,6 +1111,49 @@ mod tests {
         let b = PhantomMat { rows: 5, cols: 3 };
         let mut c = PhantomMat { rows: 4, cols: 3 };
         PhantomMat::gemm(GemmKernel::Naive, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn recorded_collectives_replay_bit_identical_to_threaded() {
+        use hsumma_netsim::{record, EventLoopSim, SimRunOptions};
+        for algo in [
+            BcastAlgorithm::Flat,
+            BcastAlgorithm::Binomial,
+            BcastAlgorithm::Binary,
+            BcastAlgorithm::Ring,
+            BcastAlgorithm::Pipelined { segments: 3 },
+            BcastAlgorithm::ScatterAllgather,
+        ] {
+            for (p, root) in [(3usize, 1usize), (5, 2), (8, 0)] {
+                let threaded = run_bcast(p, algo, root, 96);
+                let prog = record(p, false, |comm| {
+                    let mut m = PhantomMat { rows: 1, cols: 96 };
+                    Communicator::bcast_mat(comm, algo, root, &mut m)
+                });
+                let net = SimNet::new(p, Hockney::new(ALPHA, BETA));
+                let out = EventLoopSim::new(net, 0.0).run(&prog, &SimRunOptions::unbounded());
+                let (_, report) = out.expect_clean();
+                assert_eq!(report, threaded, "{algo:?} p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_reduce_replays_bit_identical_to_threaded() {
+        use hsumma_netsim::{record, EventLoopSim, SimRunOptions};
+        let net = SimNet::new(6, Hockney::new(ALPHA, BETA));
+        let (net, _) = SimWorld::run(net, 0.0, false, |comm| {
+            let mut m = PhantomMat { rows: 4, cols: 8 };
+            Communicator::reduce_sum_mat(comm, 2, &mut m).unwrap();
+        });
+        let prog = record(6, false, |comm| {
+            let mut m = PhantomMat { rows: 4, cols: 8 };
+            Communicator::reduce_sum_mat(comm, 2, &mut m)
+        });
+        let rnet = SimNet::new(6, Hockney::new(ALPHA, BETA));
+        let out = EventLoopSim::new(rnet, 0.0).run(&prog, &SimRunOptions::unbounded());
+        let (_, report) = out.expect_clean();
+        assert_eq!(report, net.report());
     }
 
     #[test]

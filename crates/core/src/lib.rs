@@ -73,7 +73,10 @@ pub use partition::{
 };
 pub use plan::{run_planned, run_planned_gemm, PlannedAlgo};
 pub use rect::{hsumma_rect, summa_rect, MatMulDims};
-pub use simdrive::{sim_cosma, sim_hsumma, sim_summa};
+pub use simdrive::{
+    record_cosma, record_hsumma, record_summa, replay_on, sim_cosma, sim_cosma_engine, sim_hsumma,
+    sim_hsumma_engine, sim_summa, sim_summa_engine, SimEngine,
+};
 pub use summa::{summa, SummaConfig};
 pub use tsqr::tsqr;
 pub use tuning::tuned_hsumma;

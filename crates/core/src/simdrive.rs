@@ -14,7 +14,7 @@
 //! results (Figs. 8–9) and Grid5000 results (Figs. 5–7).
 
 use crate::cannon::cannon;
-use crate::comm::{MatLike, PhantomMat};
+use crate::comm::{Communicator, MatLike, PhantomMat};
 use crate::cosma::{cosma, CosmaConfig};
 use crate::fox::fox_with;
 use crate::hsumma::{hsumma, HsummaConfig};
@@ -23,7 +23,11 @@ use crate::summa::{summa, SummaConfig};
 use crate::twodotfive::{twodotfive, TwoDotFiveConfig};
 use hsumma_matrix::{GemmKernel, GridShape};
 use hsumma_netsim::spmd::SimWorld;
-use hsumma_netsim::{Hockney, Platform, SimBcast, SimNet, SimReport};
+use hsumma_netsim::{
+    record, EventLoopSim, Hockney, Platform, RecordedProgram, SimBcast, SimNet, SimReport,
+    SimRunOptions,
+};
+use hsumma_runtime::CommError;
 
 pub use crate::lu::sim_block_lu as sim_lu;
 pub use crate::lu::sim_block_lu_on as sim_lu_on;
@@ -39,6 +43,373 @@ where
     let (done, _) = SimWorld::run(owned, gamma, step_sync, f);
     *net = done;
     net.report()
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank programs: the SPMD bodies, written once against `Communicator`
+// so the thread-per-rank engine and the recording pass share them.
+// ---------------------------------------------------------------------------
+
+/// The SPMD body of a simulated SUMMA rank: phantom `n × n` operands on
+/// `grid`, panel width `b`. Runs on any phantom-payload substrate —
+/// [`hsumma_netsim::SimComm`] (threads) or [`hsumma_netsim::RecordComm`]
+/// (schedule recording).
+pub fn summa_program<C>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let (th, tw) = crate::partition::tile_shape(grid, n);
+    let cfg = SummaConfig {
+        block: b,
+        bcast,
+        ..Default::default()
+    };
+    let tile = PhantomMat { rows: th, cols: tw };
+    summa(comm, grid, n, &tile, &tile, &cfg)?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated HSUMMA rank (see [`sim_hsumma`]).
+#[allow(clippy::too_many_arguments)]
+pub fn hsumma_program<C>(
+    comm: &C,
+    grid: GridShape,
+    groups: GridShape,
+    n: usize,
+    outer_b: usize,
+    inner_b: usize,
+    outer_bcast: SimBcast,
+    inner_bcast: SimBcast,
+) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let (th, tw) = crate::partition::tile_shape(grid, n);
+    let cfg = HsummaConfig {
+        groups,
+        outer_block: outer_b,
+        inner_block: inner_b,
+        outer_bcast,
+        inner_bcast,
+        kernel: GemmKernel::default(),
+    };
+    let tile = PhantomMat { rows: th, cols: tw };
+    hsumma(comm, grid, n, &tile, &tile, &cfg)?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated Cannon rank (see [`sim_cannon`]).
+pub fn cannon_program<C>(comm: &C, q: usize, n: usize) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let ts = n / q;
+    let tile = PhantomMat { rows: ts, cols: ts };
+    cannon(
+        comm,
+        GridShape::new(q, q),
+        n,
+        &tile,
+        &tile,
+        GemmKernel::default(),
+    )?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated Fox rank (see [`sim_fox`]).
+pub fn fox_program<C>(comm: &C, q: usize, n: usize, bcast: SimBcast) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let ts = n / q;
+    let tile = PhantomMat { rows: ts, cols: ts };
+    fox_with(
+        comm,
+        GridShape::new(q, q),
+        n,
+        &tile,
+        &tile,
+        GemmKernel::default(),
+        bcast,
+    )?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated overlapped-SUMMA rank (see
+/// [`sim_overlap`]). Recordable: the two-slot pipeline starts and waits
+/// broadcasts through the default (timing-independent) `ibcast` path.
+pub fn overlap_program<C>(
+    comm: &C,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let (th, tw) = crate::partition::tile_shape(grid, n);
+    let cfg = SummaConfig {
+        block: b,
+        bcast,
+        ..Default::default()
+    };
+    let tile = PhantomMat { rows: th, cols: tw };
+    summa_overlap(comm, grid, n, &tile, &tile, &cfg)?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated 2.5D rank (see [`sim_twodotfive`]).
+pub fn twodotfive_program<C>(comm: &C, n: usize, cfg: &TwoDotFiveConfig) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let ts = n / cfg.q;
+    let tile = PhantomMat { rows: ts, cols: ts };
+    twodotfive(comm, n, &tile, &tile, cfg)?;
+    Ok(())
+}
+
+/// The SPMD body of a simulated COSMA rank (see [`sim_cosma`]): operands
+/// in their native brick layouts, idle ranks (beyond the decomposition)
+/// participating only in the split rendezvous.
+pub fn cosma_program<C>(
+    comm: &C,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: &CosmaConfig,
+) -> Result<(), CommError>
+where
+    C: Communicator<Mat = PhantomMat>,
+{
+    let d = cfg.decomp;
+    let me = comm.rank();
+    let (a, b) = if me < d.ranks() {
+        let (i, j, l) = d.coords(me);
+        let (m0, m1) = d.m_range(i, m);
+        let (n0, n1) = d.n_range(j, n);
+        let (k0, k1) = d.k_range(l, k);
+        (
+            if j == 0 {
+                PhantomMat::zeros(m1 - m0, k1 - k0)
+            } else {
+                PhantomMat::zeros(0, 0)
+            },
+            if i == 0 {
+                PhantomMat::zeros(k1 - k0, n1 - n0)
+            } else {
+                PhantomMat::zeros(0, 0)
+            },
+        )
+    } else {
+        (PhantomMat::zeros(0, 0), PhantomMat::zeros(0, 0))
+    };
+    cosma(comm, m, n, k, &a, &b, cfg)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection: thread-per-rank SPMD vs. record + event-loop replay.
+// ---------------------------------------------------------------------------
+
+/// Which execution engine prices a simulated schedule.
+///
+/// Both produce bit-identical [`SimReport`]s and per-rank trace multisets
+/// for every dense schedule (pinned by `tests/replay_parity.rs`); they
+/// differ only in scale. Threads cap out where the OS does (p ≈ 8192
+/// under the default `vm.max_map_count` — each rank is a stack and two
+/// mappings); replay holds O(p) cursors and reaches p = 2²⁰.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEngine {
+    /// One OS thread per simulated rank, parking on virtual-clock
+    /// mailboxes. Required for timing-adaptive schedules
+    /// (`hsumma_overlap`'s `ibcast_test` polling).
+    Threads,
+    /// Record each rank's op program sequentially, then execute all
+    /// programs on a single-threaded event loop ([`EventLoopSim`]).
+    Replay,
+}
+
+/// Replays a recorded program on a caller-provided network (one with a
+/// tracer, topology or noise model attached), asserting a clean run.
+pub fn replay_on(net: &mut SimNet, gamma: f64, prog: &RecordedProgram) -> SimReport {
+    let owned = std::mem::replace(net, SimNet::new(1, Hockney::new(0.0, 0.0)));
+    let out = EventLoopSim::new(owned, gamma).run(prog, &SimRunOptions::unbounded());
+    let (done, report) = out.expect_clean();
+    *net = done;
+    report
+}
+
+/// Records the SUMMA schedule of [`sim_summa`] as a replayable program.
+pub fn record_summa(
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+    step_sync: bool,
+) -> RecordedProgram {
+    let (th, tw) = crate::partition::tile_shape(grid, n);
+    assert!(
+        b > 0 && tw % b == 0 && th % b == 0,
+        "block must divide tile extents"
+    );
+    record(grid.size(), step_sync, |comm| {
+        summa_program(comm, grid, n, b, bcast)
+    })
+}
+
+/// Records the HSUMMA schedule of [`sim_hsumma`] as a replayable program.
+#[allow(clippy::too_many_arguments)]
+pub fn record_hsumma(
+    grid: GridShape,
+    groups: GridShape,
+    n: usize,
+    outer_b: usize,
+    inner_b: usize,
+    outer_bcast: SimBcast,
+    inner_bcast: SimBcast,
+    step_sync: bool,
+) -> RecordedProgram {
+    record(grid.size(), step_sync, |comm| {
+        hsumma_program(
+            comm,
+            grid,
+            groups,
+            n,
+            outer_b,
+            inner_b,
+            outer_bcast,
+            inner_bcast,
+        )
+    })
+}
+
+/// Records the Cannon schedule of [`sim_cannon`] as a replayable program.
+pub fn record_cannon(q: usize, n: usize, step_sync: bool) -> RecordedProgram {
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "n must be divisible by the grid side"
+    );
+    record(q * q, step_sync, |comm| cannon_program(comm, q, n))
+}
+
+/// Records the Fox schedule of [`sim_fox`] as a replayable program.
+pub fn record_fox(q: usize, n: usize, bcast: SimBcast, step_sync: bool) -> RecordedProgram {
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "n must be divisible by the grid side"
+    );
+    record(q * q, step_sync, |comm| fox_program(comm, q, n, bcast))
+}
+
+/// Records the overlapped-SUMMA schedule of [`sim_overlap`].
+pub fn record_overlap(grid: GridShape, n: usize, b: usize, bcast: SimBcast) -> RecordedProgram {
+    record(grid.size(), false, |comm| {
+        overlap_program(comm, grid, n, b, bcast)
+    })
+}
+
+/// Records the 2.5D schedule of [`sim_twodotfive`].
+pub fn record_twodotfive(n: usize, cfg: &TwoDotFiveConfig) -> RecordedProgram {
+    let (q, c) = (cfg.q, cfg.c);
+    assert!(q > 0 && c > 0, "arrangement extents must be positive");
+    assert_eq!(n % q, 0, "n must be divisible by the layer grid side");
+    record(q * q * c, false, |comm| twodotfive_program(comm, n, cfg))
+}
+
+/// Records the COSMA schedule of [`sim_cosma`] over `p` ranks.
+pub fn record_cosma(p: usize, m: usize, n: usize, k: usize, cfg: &CosmaConfig) -> RecordedProgram {
+    record(p, false, |comm| cosma_program(comm, m, n, k, cfg))
+}
+
+/// [`sim_summa`] under the selected engine.
+pub fn sim_summa_engine(
+    engine: SimEngine,
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+) -> SimReport {
+    match engine {
+        SimEngine::Threads => sim_summa(platform, grid, n, b, bcast),
+        SimEngine::Replay => {
+            let mut net = SimNet::new(grid.size(), platform.net);
+            replay_on(
+                &mut net,
+                platform.gamma,
+                &record_summa(grid, n, b, bcast, false),
+            )
+        }
+    }
+}
+
+/// [`sim_hsumma`] under the selected engine.
+#[allow(clippy::too_many_arguments)]
+pub fn sim_hsumma_engine(
+    engine: SimEngine,
+    platform: &Platform,
+    grid: GridShape,
+    groups: GridShape,
+    n: usize,
+    outer_b: usize,
+    inner_b: usize,
+    outer_bcast: SimBcast,
+    inner_bcast: SimBcast,
+) -> SimReport {
+    match engine {
+        SimEngine::Threads => sim_hsumma(
+            platform,
+            grid,
+            groups,
+            n,
+            outer_b,
+            inner_b,
+            outer_bcast,
+            inner_bcast,
+        ),
+        SimEngine::Replay => {
+            let mut net = SimNet::new(grid.size(), platform.net);
+            let prog = record_hsumma(
+                grid,
+                groups,
+                n,
+                outer_b,
+                inner_b,
+                outer_bcast,
+                inner_bcast,
+                false,
+            );
+            replay_on(&mut net, platform.gamma, &prog)
+        }
+    }
+}
+
+/// [`sim_cosma`] under the selected engine. The replay path is what
+/// reaches the paper-scale p = 2²⁰ validation points.
+pub fn sim_cosma_engine(
+    engine: SimEngine,
+    platform: &Platform,
+    p: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: &CosmaConfig,
+) -> SimReport {
+    match engine {
+        SimEngine::Threads => sim_cosma(platform, p, m, n, k, cfg),
+        SimEngine::Replay => {
+            let mut net = SimNet::new(p, platform.net);
+            replay_on(&mut net, platform.gamma, &record_cosma(p, m, n, k, cfg))
+        }
+    }
 }
 
 /// Simulated SUMMA: `n × n` operands on `grid`, panel width `b`,
@@ -88,14 +459,8 @@ pub fn sim_summa_on(
         b > 0 && tw % b == 0 && th % b == 0,
         "block must divide tile extents"
     );
-    let cfg = SummaConfig {
-        block: b,
-        bcast,
-        ..Default::default()
-    };
     run_on(net, gamma, step_sync, move |comm| {
-        let tile = PhantomMat { rows: th, cols: tw };
-        summa(comm, grid, n, &tile, &tile, &cfg).unwrap();
+        summa_program(comm, grid, n, b, bcast).unwrap();
     })
 }
 
@@ -169,18 +534,18 @@ pub fn sim_hsumma_on(
     step_sync: bool,
 ) -> SimReport {
     assert_eq!(net.size(), grid.size(), "network must span the grid");
-    let (th, tw) = crate::partition::tile_shape(grid, n);
-    let cfg = HsummaConfig {
-        groups,
-        outer_block: outer_b,
-        inner_block: inner_b,
-        outer_bcast,
-        inner_bcast,
-        kernel: GemmKernel::default(),
-    };
     run_on(net, gamma, step_sync, move |comm| {
-        let tile = PhantomMat { rows: th, cols: tw };
-        hsumma(comm, grid, n, &tile, &tile, &cfg).unwrap();
+        hsumma_program(
+            comm,
+            grid,
+            groups,
+            n,
+            outer_b,
+            inner_b,
+            outer_bcast,
+            inner_bcast,
+        )
+        .unwrap();
     })
 }
 
@@ -205,12 +570,9 @@ pub fn sim_cannon_on(
         q > 0 && n.is_multiple_of(q),
         "n must be divisible by the grid side"
     );
-    let grid = GridShape::new(q, q);
-    assert_eq!(net.size(), grid.size(), "network must span the grid");
-    let ts = n / q;
+    assert_eq!(net.size(), q * q, "network must span the grid");
     run_on(net, gamma, step_sync, move |comm| {
-        let tile = PhantomMat { rows: ts, cols: ts };
-        cannon(comm, grid, n, &tile, &tile, GemmKernel::default()).unwrap();
+        cannon_program(comm, q, n).unwrap();
     })
 }
 
@@ -241,12 +603,9 @@ pub fn sim_fox_on(
         q > 0 && n.is_multiple_of(q),
         "n must be divisible by the grid side"
     );
-    let grid = GridShape::new(q, q);
-    assert_eq!(net.size(), grid.size(), "network must span the grid");
-    let ts = n / q;
+    assert_eq!(net.size(), q * q, "network must span the grid");
     run_on(net, gamma, step_sync, move |comm| {
-        let tile = PhantomMat { rows: ts, cols: ts };
-        fox_with(comm, grid, n, &tile, &tile, GemmKernel::default(), bcast).unwrap();
+        fox_program(comm, q, n, bcast).unwrap();
     })
 }
 
@@ -261,43 +620,50 @@ pub fn sim_overlap(
     b: usize,
     bcast: SimBcast,
 ) -> SimReport {
-    let (th, tw) = crate::partition::tile_shape(grid, n);
-    let cfg = SummaConfig {
-        block: b,
-        bcast,
-        ..Default::default()
-    };
-    let (net, _) = SimWorld::run(
-        SimNet::new(grid.size(), platform.net),
-        platform.gamma,
-        false,
-        move |comm| {
-            let tile = PhantomMat { rows: th, cols: tw };
-            summa_overlap(comm, grid, n, &tile, &tile, &cfg).unwrap();
-        },
-    );
-    net.report()
+    let mut net = SimNet::new(grid.size(), platform.net);
+    sim_overlap_on(&mut net, platform.gamma, grid, n, b, bcast)
+}
+
+/// Simulated overlapped SUMMA on a caller-provided network (so a tracer
+/// can be attached beforehand).
+pub fn sim_overlap_on(
+    net: &mut SimNet,
+    gamma: f64,
+    grid: GridShape,
+    n: usize,
+    b: usize,
+    bcast: SimBcast,
+) -> SimReport {
+    assert_eq!(net.size(), grid.size(), "network must span the grid");
+    run_on(net, gamma, false, move |comm| {
+        overlap_program(comm, grid, n, b, bcast).unwrap();
+    })
 }
 
 /// Simulated 2.5D multiplication ([`crate::twodotfive::twodotfive`]) over `q²·c` virtual
 /// ranks: replicate down the depth communicators, per-layer partial
 /// SUMMA, reduce back onto layer 0.
 pub fn sim_twodotfive(platform: &Platform, n: usize, cfg: &TwoDotFiveConfig) -> SimReport {
+    let mut net = SimNet::new(cfg.q * cfg.q * cfg.c, platform.net);
+    sim_twodotfive_on(&mut net, platform.gamma, n, cfg)
+}
+
+/// Simulated 2.5D multiplication on a caller-provided network (so a
+/// tracer can be attached beforehand).
+pub fn sim_twodotfive_on(
+    net: &mut SimNet,
+    gamma: f64,
+    n: usize,
+    cfg: &TwoDotFiveConfig,
+) -> SimReport {
     let (q, c) = (cfg.q, cfg.c);
     assert!(q > 0 && c > 0, "arrangement extents must be positive");
     assert_eq!(n % q, 0, "n must be divisible by the layer grid side");
-    let ts = n / q;
+    assert_eq!(net.size(), q * q * c, "network must span the arrangement");
     let cfg = *cfg;
-    let (net, _) = SimWorld::run(
-        SimNet::new(q * q * c, platform.net),
-        platform.gamma,
-        false,
-        move |comm| {
-            let tile = PhantomMat { rows: ts, cols: ts };
-            twodotfive(comm, n, &tile, &tile, &cfg).unwrap();
-        },
-    );
-    net.report()
+    run_on(net, gamma, false, move |comm| {
+        twodotfive_program(comm, n, &cfg).unwrap();
+    })
 }
 
 /// Simulated COSMA: `C(m×n) = A(m×k) · B(k×n)` over `p` virtual ranks
@@ -328,30 +694,8 @@ pub fn sim_cosma_on(
     cfg: &CosmaConfig,
 ) -> SimReport {
     let cfg = *cfg;
-    let d = cfg.decomp;
     run_on(net, gamma, false, move |comm| {
-        let me = comm.rank();
-        let (a, b) = if me < d.ranks() {
-            let (i, j, l) = d.coords(me);
-            let (m0, m1) = d.m_range(i, m);
-            let (n0, n1) = d.n_range(j, n);
-            let (k0, k1) = d.k_range(l, k);
-            (
-                if j == 0 {
-                    PhantomMat::zeros(m1 - m0, k1 - k0)
-                } else {
-                    PhantomMat::zeros(0, 0)
-                },
-                if i == 0 {
-                    PhantomMat::zeros(k1 - k0, n1 - n0)
-                } else {
-                    PhantomMat::zeros(0, 0)
-                },
-            )
-        } else {
-            (PhantomMat::zeros(0, 0), PhantomMat::zeros(0, 0))
-        };
-        cosma(comm, m, n, k, &a, &b, &cfg).unwrap();
+        cosma_program(comm, m, n, k, &cfg).unwrap();
     })
 }
 

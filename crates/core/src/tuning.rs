@@ -7,7 +7,7 @@
 //! subset, e.g. powers of two as in Fig. 8) and return the best.
 
 use crate::grid::HierGrid;
-use crate::simdrive::{sim_hsumma, sim_hsumma_sync};
+use crate::simdrive::{sim_hsumma, sim_hsumma_engine, sim_hsumma_sync, SimEngine};
 use hsumma_matrix::GridShape;
 use hsumma_netsim::{Platform, SimBcast, SimReport};
 
@@ -89,6 +89,42 @@ pub fn sweep_groups_with(
                     inner_bcast,
                 )
             };
+            Some(GroupPoint { g, groups, report })
+        })
+        .collect()
+}
+
+/// [`sweep_groups`] under a selected execution engine. With
+/// [`SimEngine::Replay`] the sweep prices each grouping on the
+/// threadless event loop — the same bit-identical reports, but usable at
+/// grids far past the thread-per-rank cap (a G sweep at p = 2¹⁶ is a
+/// planner call, not an overnight job).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_groups_engine(
+    engine: SimEngine,
+    platform: &Platform,
+    grid: GridShape,
+    n: usize,
+    outer_b: usize,
+    inner_b: usize,
+    outer_bcast: SimBcast,
+    inner_bcast: SimBcast,
+    gs: &[usize],
+) -> Vec<GroupPoint> {
+    gs.iter()
+        .filter_map(|&g| {
+            let groups = HierGrid::factor_groups(grid, g)?;
+            let report = sim_hsumma_engine(
+                engine,
+                platform,
+                grid,
+                groups,
+                n,
+                outer_b,
+                inner_b,
+                outer_bcast,
+                inner_bcast,
+            );
             Some(GroupPoint { g, groups, report })
         })
         .collect()
@@ -308,6 +344,39 @@ mod tests {
         let best = best_by_comm(&sweep);
         let summa_like = sweep.iter().find(|p| p.g == 1).expect("G=1 present");
         assert!(best.report.comm_time <= summa_like.report.comm_time + 1e-12);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_to_threaded_sweep() {
+        let plat = Platform::bluegene_p();
+        let grid = GridShape::new(8, 8);
+        let gs = power_of_two_gs(grid.size());
+        let threaded = sweep_groups(
+            &plat,
+            grid,
+            64,
+            8,
+            8,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+            &gs,
+        );
+        let replayed = sweep_groups_engine(
+            SimEngine::Replay,
+            &plat,
+            grid,
+            64,
+            8,
+            8,
+            SimBcast::Binomial,
+            SimBcast::Binomial,
+            &gs,
+        );
+        assert_eq!(threaded.len(), replayed.len());
+        for (t, r) in threaded.iter().zip(&replayed) {
+            assert_eq!((t.g, t.groups), (r.g, r.groups));
+            assert_eq!(t.report, r.report, "G={}", t.g);
+        }
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use plan::{
 pub use predict::{sweep_groups, SweepPoint};
 pub use regime::{classify_regime, dtheta_dg_vdg, Regime};
 pub use sparse::{
-    advise_sparse, sddmm_cost, spgemm_cost, spgemm_flops, SparseAdvice, SparseChoice,
-    SparsityProfile,
+    advise_sddmm_ranks, advise_sparse, advise_spgemm_ranks, sddmm_cost, spgemm_cost, spgemm_flops,
+    SparseAdvice, SparseChoice, SparsityProfile,
 };
 
 /// Bytes per matrix element (`f64`).

@@ -92,7 +92,7 @@ impl PlanAdvice {
 }
 
 /// Powers of two not exceeding `limit` (always contains 1).
-fn pow2s_upto(limit: usize) -> impl Iterator<Item = usize> {
+pub(crate) fn pow2s_upto(limit: usize) -> impl Iterator<Item = usize> {
     std::iter::successors(Some(1usize), |v| v.checked_mul(2)).take_while(move |v| *v <= limit)
 }
 
@@ -270,6 +270,12 @@ pub fn advise_ranks(
                 .total(),
         })
         .collect();
+    rank_advice_from_curve(curve, tolerance)
+}
+
+/// The advice tail shared with the sparse sweeps: the smallest rank
+/// count within `tolerance` of the curve's best predicted total.
+pub(crate) fn rank_advice_from_curve(curve: Vec<ScalePoint>, tolerance: f64) -> RankAdvice {
     let best = curve
         .iter()
         .min_by(|a, b| a.total.total_cmp(&b.total))
@@ -280,9 +286,10 @@ pub fn advise_ranks(
         .find(|pt| pt.total <= cutoff)
         .expect("best point itself is within tolerance")
         .ranks;
+    let best = best.ranks;
     RankAdvice {
         preferred,
-        best: best.ranks,
+        best,
         curve,
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::bcast::BcastModel;
 use crate::cost::{summa_cost, CostBreakdown, ModelParams};
+use crate::plan::{pow2s_upto, rank_advice_from_curve, RankAdvice, ScalePoint};
 
 /// CSR wire-format constants, mirroring `hsumma_matrix::sparse` (fixed
 /// header; one 8-byte offset per row boundary; 12 bytes per stored
@@ -206,6 +207,61 @@ pub fn advise_sparse(
     }
 }
 
+/// Strong-scaling advice for a square `n × n` SpGEMM: the
+/// [`advise_ranks`](crate::plan::advise_ranks) sweep with the sparse
+/// scoreboard as its oracle. Each power-of-two rank count in
+/// `[1, p_max]` is scored by [`advise_sparse`]'s predicted winner
+/// (densify-and-SUMMA or native SpGEMM — the winner may flip along the
+/// curve), and the smallest count within `tolerance` of the best total
+/// is preferred. This is what lets sparse jobs carve sub-pools instead
+/// of monopolizing the whole rank pool: a hypersparse product's
+/// communication terms flatten long before the pool is exhausted.
+///
+/// # Panics
+/// Panics unless `p_max ≥ 1` (the per-point costs inherit
+/// [`spgemm_cost`]'s own contracts).
+pub fn advise_spgemm_ranks(
+    params: &ModelParams,
+    n: f64,
+    p_max: usize,
+    b: f64,
+    a: &SparsityProfile,
+    bp: &SparsityProfile,
+    tolerance: f64,
+) -> RankAdvice {
+    assert!(p_max >= 1, "advise_spgemm_ranks needs at least one rank");
+    let curve: Vec<ScalePoint> = pow2s_upto(p_max)
+        .map(|p| ScalePoint {
+            ranks: p,
+            total: advise_sparse(params, n, p as f64, b, a, bp)
+                .predicted
+                .total(),
+        })
+        .collect();
+    rank_advice_from_curve(curve, tolerance)
+}
+
+/// Strong-scaling advice for a square `n × n` SDDMM, scored by
+/// [`sddmm_cost`] (dense SUMMA wire terms, sampled compute) at each
+/// power-of-two rank count. Same contract as [`advise_spgemm_ranks`].
+pub fn advise_sddmm_ranks(
+    params: &ModelParams,
+    n: f64,
+    p_max: usize,
+    b: f64,
+    s: &SparsityProfile,
+    tolerance: f64,
+) -> RankAdvice {
+    assert!(p_max >= 1, "advise_sddmm_ranks needs at least one rank");
+    let curve: Vec<ScalePoint> = pow2s_upto(p_max)
+        .map(|p| ScalePoint {
+            ranks: p,
+            total: sddmm_cost(params, BcastModel::Binomial, n, p as f64, b, s).total(),
+        })
+        .collect();
+    rank_advice_from_curve(curve, tolerance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +355,48 @@ mod tests {
         assert_eq!(c.bandwidth, dense.bandwidth);
         assert!(c.compute < dense.compute, "sampled flops must be fewer");
         assert!((c.compute - params.gamma * s.nnz() * n / p).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sparse_rank_advice_caps_hypersparse_jobs_below_the_pool() {
+        // A hypersparse 256² product has almost no compute to amortize:
+        // past a handful of ranks every extra rank only deepens the
+        // broadcast trees. A dense-fill product of the same shape keeps
+        // scaling further because its compute term still dominates.
+        let params = ModelParams::grid5000();
+        let sparse = SparsityProfile::uniform(256.0, 256.0, 0.01);
+        let dense = SparsityProfile::uniform(256.0, 256.0, 1.0);
+        let thin = advise_spgemm_ranks(&params, 256.0, 64, 16.0, &sparse, &sparse, 0.1);
+        let full = advise_spgemm_ranks(&params, 256.0, 64, 16.0, &dense, &dense, 0.1);
+        assert_eq!(thin.curve.len(), 7, "1..=64 powers of two");
+        assert!(thin.preferred.is_power_of_two());
+        assert!(thin.preferred <= thin.best);
+        assert!(
+            thin.preferred < 64,
+            "a hypersparse 256² job should not be worth the whole pool \
+             (preferred {})",
+            thin.preferred
+        );
+        assert!(
+            full.preferred >= thin.preferred,
+            "denser products scale at least as far ({} vs {})",
+            full.preferred,
+            thin.preferred
+        );
+    }
+
+    #[test]
+    fn sddmm_rank_advice_tracks_the_sampled_compute() {
+        // SDDMM's wire cost is dense SUMMA's, so a near-empty sample
+        // matrix leaves nothing to parallelize — the sweep caps low —
+        // while a full sample matrix behaves like dense GEMM.
+        let params = ModelParams::grid5000();
+        let empty = SparsityProfile::uniform(512.0, 512.0, 0.001);
+        let full = SparsityProfile::uniform(512.0, 512.0, 1.0);
+        let thin = advise_sddmm_ranks(&params, 512.0, 64, 16.0, &empty, 0.1);
+        let fat = advise_sddmm_ranks(&params, 512.0, 64, 16.0, &full, 0.1);
+        assert!(thin.preferred <= fat.preferred);
+        assert!(thin.preferred < 64);
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! `(sender, message index)` rather than a global sequence.
 
 pub mod model;
+pub mod record;
+pub mod replay;
 pub mod sim;
 pub mod spmd;
 pub mod topology;
@@ -42,6 +44,8 @@ pub mod topology;
 /// the simulator APIs have always used.
 pub use hsumma_trace::BcastAlgorithm as SimBcast;
 pub use model::{Hockney, Platform};
+pub use record::{record, Op, RecordComm, RecordedProgram};
+pub use replay::{EventLoopSim, ReplayOutcome};
 pub use sim::{NoiseModel, SimNet, SimReport};
 pub use spmd::{SimComm, SimOutcome, SimRunOptions, SimWorld};
 pub use topology::{Topology, Torus3D};

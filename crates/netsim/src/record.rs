@@ -1,0 +1,567 @@
+//! Schedule-as-data: record each rank's communication program once.
+//!
+//! The SPMD simulator ([`crate::spmd`]) runs one thread per simulated
+//! rank, which caps validated scale at p ≈ 8192 under the default
+//! `vm.max_map_count` (each thread maps a stack). The schedules being
+//! simulated, however, are *deterministic and data-independent*: every
+//! send, receive, collective edge and compute charge is a function of
+//! (rank, problem shape, configuration) alone — never of payload values
+//! or timing. That determinism is what makes phantom payloads sound, and
+//! it makes something stronger possible: run each rank's SPMD closure
+//! **sequentially**, once, against a [`RecordComm`] that performs no
+//! synchronization at all and simply writes down the rank's operations as
+//! a flat [`Op`] program. The p recorded programs are then executed by
+//! the threadless event loop in [`crate::replay`] — O(p) cursor state,
+//! zero threads, p = 2²⁰ within reach.
+//!
+//! Recording is a *clean* run by construction: no deadline, no faults.
+//! Deadlines and fault plans are applied at replay time, where the exact
+//! per-operation semantics of the threaded world are mirrored (see
+//! `replay.rs`), so one recording serves every failure scenario.
+//!
+//! The one collective that needs care is `split`: its result (child
+//! membership and rank order) depends on every member's `(color, key)`
+//! deposit, which a sequential recorder does not have until the *other*
+//! ranks have run. The recorder therefore runs in passes: a rank that
+//! reaches an unresolved split rendezvous aborts its pass with a sentinel
+//! error (the deposit is kept), and once all members of a rendezvous have
+//! deposited, the split is resolved exactly the way the SPMD world
+//! resolves it — colors sorted, members ordered by `(key, parent rank)` —
+//! and the aborted ranks re-run from the top. Re-runs are deterministic,
+//! so re-deposits are asserted identical. Dense schedules split a handful
+//! of times before their step loops, so recording converges in a few
+//! passes (SUMMA: 3, HSUMMA: 5, COSMA: 4).
+//!
+//! What is *not* recordable: schedules whose control flow depends on the
+//! outcome of a non-blocking probe (`ibcast_test`), i.e. the polling
+//! variant of the overlap pipelines (`hsumma_overlap`). The probe's
+//! answer depends on virtual arrival times the recorder does not know.
+//! The blocking-wait pipeline (`summa_overlap`) records fine — its
+//! schedule is a fixed sequence of starts and waits.
+
+use hsumma_trace::{CommEdge, CommError};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One recorded operation of one rank's program. Peers are **world**
+/// ranks (communicator-local ranks are resolved at record time), and
+/// point-to-point endpoints are addressed through a channel id that
+/// interns the `(communicator, tag)` pair — a `u32` per side keeps the
+/// op compact (~24 bytes), which is what bounds recording memory at
+/// `total ops · 24 B`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Send `bytes` to world rank `dst` on channel `chan`.
+    Send { chan: u32, dst: u32, bytes: u64 },
+    /// Receive the next message from world rank `src` on channel `chan`.
+    /// `bytes` is the expected payload size, checked at replay —
+    /// `u64::MAX` means unchecked (collective internals discard sizes).
+    Recv { chan: u32, src: u32, bytes: u64 },
+    /// Charge `γ · pairs` seconds of local compute (stamped `flops`).
+    Compute { pairs: f64, flops: u64 },
+    /// Group barrier number `seq` on communicator `comm`.
+    Barrier { comm: u32, seq: u32 },
+    /// Split rendezvous number `seq` on communicator `comm`. Pure
+    /// synchronization at replay: membership was resolved at record
+    /// time, but the rendezvous itself must still hold ranks back so
+    /// deadline/fault quiescence matches the threaded world.
+    Split { comm: u32, seq: u32 },
+    /// Open a pivot-step trace span (`k`, outer, inner block sizes).
+    StepPush { k: u32, outer: u32, inner: u32 },
+    /// Close the innermost open pivot-step span.
+    StepPop,
+}
+
+/// The output of [`record`]: one flat op program per world rank, plus the
+/// interning tables the ops index into. Platform-independent — the same
+/// recording replays under any Hockney parameters, topology, noise seed,
+/// deadline or fault plan.
+pub struct RecordedProgram {
+    /// `programs[r]` is world rank `r`'s complete op sequence.
+    pub(crate) programs: Vec<Vec<Op>>,
+    /// Channel id → `(communicator id, wire tag)`. The original tag is
+    /// retained so fault-plan rules (which match on tag class) apply at
+    /// replay exactly as they would on the live substrates.
+    pub(crate) chans: Vec<(u32, u64)>,
+    /// Communicator id → world ranks of its members, in rank order.
+    /// Id 0 is the world.
+    pub(crate) comms: Vec<Arc<Vec<usize>>>,
+}
+
+impl RecordedProgram {
+    /// Number of world ranks.
+    pub fn ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total recorded operations across all ranks — the recording's
+    /// memory footprint is this times ~24 bytes.
+    pub fn total_ops(&self) -> usize {
+        self.programs.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct communicators the program created (including
+    /// the world).
+    pub fn comm_count(&self) -> usize {
+        self.comms.len()
+    }
+}
+
+/// One in-progress split rendezvous: `(color, key)` deposits by parent
+/// rank, and (once every member has deposited and a pass boundary
+/// resolved it) the child communicator id per color.
+struct SplitRec {
+    deposits: Vec<Option<(u64, i64)>>,
+    resolved: Option<HashMap<u64, u32>>,
+}
+
+/// Shared recording state, threaded through every [`RecordComm`] handle
+/// of the rank currently being recorded.
+struct RecordState {
+    step_sync: bool,
+    /// The current rank's op buffer (reset per pass).
+    ops: Vec<Op>,
+    /// Raised when the current rank aborted at an unresolved split; the
+    /// driver distinguishes this expected abort from a real error.
+    stalled: bool,
+    chans: Vec<(u32, u64)>,
+    chan_ids: HashMap<(u32, u64), u32>,
+    comms: Vec<Arc<Vec<usize>>>,
+    splits: HashMap<(u32, u64), SplitRec>,
+}
+
+impl RecordState {
+    fn chan(&mut self, comm: u32, tag: u64) -> u32 {
+        if let Some(&id) = self.chan_ids.get(&(comm, tag)) {
+            return id;
+        }
+        let id = u32::try_from(self.chans.len()).expect("too many channels");
+        self.chans.push((comm, tag));
+        self.chan_ids.insert((comm, tag), id);
+        id
+    }
+
+    /// Resolves every fully-deposited, still-unresolved split, in
+    /// deterministic `(parent communicator, epoch)` order so child
+    /// communicator ids do not depend on the pass's rank iteration.
+    /// Mirrors the SPMD world's resolution exactly: colors sorted and
+    /// deduplicated, members ordered by `(key, parent rank)`, one fresh
+    /// communicator per color in color order. Returns how many
+    /// rendezvous were resolved.
+    fn resolve_splits(&mut self) -> usize {
+        let mut ready: Vec<(u32, u64)> = self
+            .splits
+            .iter()
+            .filter(|(_, s)| s.resolved.is_none() && s.deposits.iter().all(Option::is_some))
+            .map(|(&k, _)| k)
+            .collect();
+        ready.sort_unstable();
+        for &(parent, epoch) in &ready {
+            let parent_members = Arc::clone(&self.comms[parent as usize]);
+            let table: Vec<(u64, i64)> = self.splits[&(parent, epoch)]
+                .deposits
+                .iter()
+                .map(|d| d.unwrap())
+                .collect();
+            let mut colors: Vec<u64> = table.iter().map(|&(c, _)| c).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut children = HashMap::new();
+            for &c in &colors {
+                let mut members: Vec<(i64, usize)> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(mc, _))| mc == c)
+                    .map(|(parent_rank, &(_, k))| (k, parent_rank))
+                    .collect();
+                members.sort_unstable();
+                let world: Vec<usize> = members
+                    .into_iter()
+                    .map(|(_, parent_rank)| parent_members[parent_rank])
+                    .collect();
+                let id = u32::try_from(self.comms.len()).expect("too many communicators");
+                self.comms.push(Arc::new(world));
+                children.insert(c, id);
+            }
+            self.splits
+                .get_mut(&(parent, epoch))
+                .expect("rendezvous vanished")
+                .resolved = Some(children);
+        }
+        ready.len()
+    }
+}
+
+/// One rank's recording handle: the third `Communicator` substrate.
+/// Every operation appends to the shared op buffer and returns
+/// immediately — no clocks, no blocking, no other ranks.
+pub struct RecordComm<'r> {
+    st: &'r RefCell<RecordState>,
+    comm: u32,
+    /// World ranks of this communicator's members, in rank order.
+    members: Arc<Vec<usize>>,
+    my_rank: usize,
+    /// Per-communicator split counter, mirroring [`crate::spmd::SimComm`].
+    epoch: Cell<u64>,
+    /// Per-communicator barrier counter.
+    barrier_seq: Cell<u64>,
+}
+
+impl<'r> RecordComm<'r> {
+    /// Rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn world_me(&self) -> usize {
+        self.members[self.my_rank]
+    }
+
+    /// Records a send of `bytes` to `dst` (communicator rank).
+    pub fn send_bytes(&self, dst: usize, tag: u64, bytes: u64) -> Result<(), CommError> {
+        let dst_w = self.members[dst] as u32;
+        let mut st = self.st.borrow_mut();
+        let chan = st.chan(self.comm, tag);
+        st.ops.push(Op::Send {
+            chan,
+            dst: dst_w,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Records a receive from `src` with no payload-size expectation
+    /// (the returned size is a placeholder — collective internals
+    /// discard it). The replay delivers whatever the matching send
+    /// carried.
+    pub fn recv_bytes_unchecked(&self, src: usize, tag: u64) -> Result<u64, CommError> {
+        self.record_recv(src, tag, u64::MAX);
+        Ok(0)
+    }
+
+    /// Records a receive from `src` expecting exactly `bytes`; the
+    /// replay asserts the matching message's size.
+    pub fn recv_bytes_expect(&self, src: usize, tag: u64, bytes: u64) -> Result<(), CommError> {
+        assert_ne!(bytes, u64::MAX, "u64::MAX is the unchecked sentinel");
+        self.record_recv(src, tag, bytes);
+        Ok(())
+    }
+
+    fn record_recv(&self, src: usize, tag: u64, bytes: u64) {
+        let src_w = self.members[src] as u32;
+        let mut st = self.st.borrow_mut();
+        let chan = st.chan(self.comm, tag);
+        st.ops.push(Op::Recv {
+            chan,
+            src: src_w,
+            bytes,
+        });
+    }
+
+    /// Records a compute charge of `pairs` multiply-add pairs (stamped
+    /// with `flops` for the trace), mirroring `SimComm::compute`.
+    pub fn compute(&self, pairs: f64, flops: u64) {
+        self.st.borrow_mut().ops.push(Op::Compute { pairs, flops });
+    }
+
+    /// Records a pivot-step span around `f`.
+    pub fn trace_step<R>(&self, k: usize, outer: usize, inner: usize, f: impl FnOnce() -> R) -> R {
+        self.st.borrow_mut().ops.push(Op::StepPush {
+            k: k as u32,
+            outer: outer as u32,
+            inner: inner as u32,
+        });
+        let out = f();
+        self.st.borrow_mut().ops.push(Op::StepPop);
+        out
+    }
+
+    /// Records a group barrier.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        let seq = self.barrier_seq.get();
+        self.barrier_seq.set(seq + 1);
+        self.st.borrow_mut().ops.push(Op::Barrier {
+            comm: self.comm,
+            seq: seq as u32,
+        });
+        Ok(())
+    }
+
+    /// Records a world-wide clock alignment when the recording was made
+    /// with `step_sync`, mirroring `SimComm::maybe_step_sync`.
+    pub fn maybe_step_sync(&self) -> Result<(), CommError> {
+        if self.st.borrow().step_sync {
+            assert_eq!(
+                self.members.len(),
+                self.st.borrow().programs_len_hint(),
+                "maybe_step_sync must be called on the world communicator"
+            );
+            self.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Splits this communicator by `color`, members ordered by
+    /// `(key, parent rank)` — same contract as the live substrates.
+    ///
+    /// If the rendezvous is not yet resolved (some member has not
+    /// deposited in an earlier pass), the deposit is kept and the pass
+    /// aborts with a sentinel error the driver recognizes; the rank
+    /// re-runs after the next resolution round.
+    pub fn split(&self, color: u64, key: i64) -> Result<RecordComm<'r>, CommError> {
+        let epoch = self.epoch.get();
+        self.epoch.set(epoch + 1);
+        let rkey = (self.comm, epoch);
+        let me_w = self.world_me();
+        let group = self.members.len();
+        let mut st = self.st.borrow_mut();
+        let entry = st.splits.entry(rkey).or_insert_with(|| SplitRec {
+            deposits: vec![None; group],
+            resolved: None,
+        });
+        match entry.deposits[self.my_rank] {
+            None => entry.deposits[self.my_rank] = Some((color, key)),
+            Some(prev) => assert_eq!(
+                prev,
+                (color, key),
+                "rank {me_w} deposited a different (color, key) on re-run: \
+                 the schedule is not deterministic and cannot be recorded"
+            ),
+        }
+        let Some(children) = entry.resolved.as_ref() else {
+            st.stalled = true;
+            // Sentinel abort: the driver re-runs this rank once the
+            // rendezvous resolves. `Cancelled` (not `Timeout`) so a
+            // buggy non-collective split that never resolves is
+            // distinguishable in the panic message.
+            return Err(CommError::Cancelled {
+                edge: CommEdge {
+                    rank: me_w,
+                    peer: me_w,
+                    ctx: self.comm as u64,
+                    tag: 0,
+                    epoch,
+                },
+                op: "split",
+            });
+        };
+        let child = children[&color];
+        st.ops.push(Op::Split {
+            comm: self.comm,
+            seq: epoch as u32,
+        });
+        let members = Arc::clone(&st.comms[child as usize]);
+        drop(st);
+        let my_rank = members
+            .iter()
+            .position(|&w| w == me_w)
+            .expect("caller must be a member of its own color group");
+        Ok(RecordComm {
+            st: self.st,
+            comm: child,
+            members,
+            my_rank,
+            epoch: Cell::new(0),
+            barrier_seq: Cell::new(0),
+        })
+    }
+}
+
+impl RecordState {
+    /// World size, for the `maybe_step_sync` world-communicator assert.
+    fn programs_len_hint(&self) -> usize {
+        self.comms[0].len()
+    }
+}
+
+/// Records the SPMD program `f` for a `p`-rank world: runs each rank's
+/// closure to completion sequentially (re-running ranks that stall at
+/// split rendezvous, see module docs) and returns the per-rank op
+/// programs.
+///
+/// `step_sync` selects the per-step-synchronized semantics, exactly like
+/// the `step_sync` flag of [`crate::spmd::SimWorld::run`].
+///
+/// # Panics
+/// Panics if a rank's closure returns a real error (recording is a clean
+/// run: deadlines and faults belong to replay), or if recording cannot
+/// make progress (a split that is not collective over its communicator).
+pub fn record<F>(p: usize, step_sync: bool, f: F) -> RecordedProgram
+where
+    F: for<'r> Fn(&RecordComm<'r>) -> Result<(), CommError>,
+{
+    assert!(p > 0, "need at least one rank");
+    let world: Arc<Vec<usize>> = Arc::new((0..p).collect());
+    let st = RefCell::new(RecordState {
+        step_sync,
+        ops: Vec::new(),
+        stalled: false,
+        chans: Vec::new(),
+        chan_ids: HashMap::new(),
+        comms: vec![Arc::clone(&world)],
+        splits: HashMap::new(),
+    });
+    let mut programs: Vec<Option<Vec<Op>>> = (0..p).map(|_| None).collect();
+    loop {
+        let mut completed_this_pass = 0usize;
+        for (rank, slot) in programs.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            {
+                let mut s = st.borrow_mut();
+                s.ops = Vec::new();
+                s.stalled = false;
+            }
+            let comm = RecordComm {
+                st: &st,
+                comm: 0,
+                members: Arc::clone(&world),
+                my_rank: rank,
+                epoch: Cell::new(0),
+                barrier_seq: Cell::new(0),
+            };
+            match f(&comm) {
+                Ok(()) => {
+                    *slot = Some(std::mem::take(&mut st.borrow_mut().ops));
+                    completed_this_pass += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        st.borrow().stalled,
+                        "recording must be a clean run, but rank {rank} failed: {e:?}"
+                    );
+                }
+            }
+        }
+        if programs.iter().all(Option::is_some) {
+            break;
+        }
+        let resolved = st.borrow_mut().resolve_splits();
+        assert!(
+            resolved > 0 || completed_this_pass > 0,
+            "recording made no progress: a split rendezvous never completed \
+             (is the split collective over its communicator?)"
+        );
+    }
+    let st = st.into_inner();
+    RecordedProgram {
+        programs: programs.into_iter().map(Option::unwrap).collect(),
+        chans: st.chans,
+        comms: st.comms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_records_world_ranks_and_bytes() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 7, 1000)?;
+            } else {
+                comm.recv_bytes_expect(0, 7, 1000)?;
+            }
+            Ok(())
+        });
+        assert_eq!(prog.ranks(), 2);
+        assert_eq!(
+            prog.programs[0],
+            vec![Op::Send {
+                chan: 0,
+                dst: 1,
+                bytes: 1000
+            }]
+        );
+        assert_eq!(
+            prog.programs[1],
+            vec![Op::Recv {
+                chan: 0,
+                src: 0,
+                bytes: 1000
+            }]
+        );
+        assert_eq!(prog.chans, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn split_resolves_like_the_spmd_world() {
+        // Mirrors spmd's split_is_free_and_orders_by_key_then_parent_rank.
+        let prog = record(4, false, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, -(comm.rank() as i64))?;
+            // Color 0 = world {0, 2}, keys {0, -2}: order [2, 0].
+            // Color 1 = world {1, 3}, keys {-1, -3}: order [3, 1].
+            match comm.rank() {
+                0 => assert_eq!((sub.rank(), sub.size()), (1, 2)),
+                2 => assert_eq!((sub.rank(), sub.size()), (0, 2)),
+                1 => assert_eq!((sub.rank(), sub.size()), (1, 2)),
+                3 => assert_eq!((sub.rank(), sub.size()), (0, 2)),
+                _ => unreachable!(),
+            }
+            sub.send_bytes((sub.rank() + 1) % 2, 5, 8)?;
+            sub.recv_bytes_unchecked((sub.rank() + 1) % 2, 5)?;
+            Ok(())
+        });
+        // Two children after the world: colors 0 and 1 in sorted order.
+        assert_eq!(prog.comm_count(), 3);
+        assert_eq!(*prog.comms[1], vec![2, 0]);
+        assert_eq!(*prog.comms[2], vec![3, 1]);
+    }
+
+    #[test]
+    fn nested_splits_converge_over_passes() {
+        let prog = record(4, false, |comm| {
+            let half = comm.split((comm.rank() / 2) as u64, comm.rank() as i64)?;
+            let single = half.split(half.rank() as u64, 0)?;
+            assert_eq!(single.size(), 1);
+            Ok(())
+        });
+        // World + 2 halves + 4 singletons.
+        assert_eq!(prog.comm_count(), 7);
+        for p in &prog.programs {
+            assert_eq!(
+                p.iter().filter(|o| matches!(o, Op::Split { .. })).count(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn step_sync_inserts_world_barriers() {
+        let prog = record(2, true, |comm| {
+            comm.compute(10.0, 20);
+            comm.maybe_step_sync()?;
+            Ok(())
+        });
+        assert_eq!(
+            prog.programs[0],
+            vec![
+                Op::Compute {
+                    pairs: 10.0,
+                    flops: 20
+                },
+                Op::Barrier { comm: 0, seq: 0 }
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clean run")]
+    fn real_errors_panic_the_recorder() {
+        let _ = record(1, false, |_| {
+            Err(CommError::Shutdown {
+                rank: 0,
+                detail: "boom".into(),
+            })
+        });
+    }
+}

@@ -1,0 +1,721 @@
+//! Threadless event-loop execution of recorded op programs.
+//!
+//! [`EventLoopSim`] runs the p programs of a [`RecordedProgram`] over a
+//! [`SimNet`] with a single host thread: a binary heap of rank cursors
+//! ordered by virtual clock (conservative PDES — O(log p) per
+//! scheduling decision), per-rank program counters, and FIFO mailboxes
+//! keyed `(channel, src, dst)`. Memory is O(p) cursor state plus the
+//! in-flight mail — no stacks, which is what lets p = 2²⁰ replays run
+//! under the default `vm.max_map_count`.
+//!
+//! **Parity contract.** Replay is bit-identical to the thread-per-rank
+//! [`crate::spmd::SimWorld`] run of the same schedule: same
+//! [`crate::SimReport`] (to the bit), same per-rank `(src, dst, bytes)`
+//! trace multisets, same errors under deadlines and fault plans. The
+//! argument: every [`SimNet`] operation moves only the acting rank's
+//! clock, so each rank's float timeline is a function of its own op
+//! order (fixed by the program) and of which messages it matched (fixed
+//! by per-`(channel, src, dst)` FIFO order — the same non-overtaking
+//! rule the SPMD mailboxes implement). Noise draws are keyed by
+//! `(sender, per-sender sequence)`, both preserved here. The aggregate
+//! `msgs`/`bytes` are order-free integer sums and the report's times are
+//! per-rank maxima, so heap pop order is unobservable. Every
+//! deadline/fault decision point below cites the `spmd.rs` behaviour it
+//! mirrors.
+//!
+//! One deliberate divergence, observably identical: a
+//! `FaultAction::Duplicate` ghost message is not enqueued (the SPMD
+//! world queues it on a reserved tag that no receive ever matches and
+//! never counts it — pure leftover mail, and the leftover assert is
+//! relaxed under faults on both engines).
+
+use crate::record::{Op, RecordedProgram};
+use crate::sim::SimNet;
+use crate::spmd::SimRunOptions;
+use hsumma_trace::{CommEdge, CommError, FaultDecision, FaultState};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+const DEADLOCK_MSG: &str = "replayed program deadlocked: every live rank is blocked on a message \
+     that can never arrive (set a deadline via SimRunOptions to turn stalls into timeouts)";
+
+/// Outcome of a replay: the network with final accounting, the per-rank
+/// errors (`None` = the rank's program completed), and the fault count —
+/// all comparable one-to-one with [`crate::spmd::SimOutcome`].
+pub struct ReplayOutcome {
+    /// The network after the run, with clocks and accounting final.
+    pub net: SimNet,
+    /// Per-rank failure, if any: a rank that errors halts the remainder
+    /// of its program, exactly as the SPMD closures `?`-propagate.
+    pub errors: Vec<Option<CommError>>,
+    /// Total faults injected across all ranks (kills count once).
+    pub faults_injected: u64,
+}
+
+impl ReplayOutcome {
+    /// The network's aggregate report.
+    pub fn report(&self) -> crate::SimReport {
+        self.net.report()
+    }
+
+    /// Asserts the replay was clean and returns the report.
+    pub fn expect_clean(self) -> (SimNet, crate::SimReport) {
+        for (r, e) in self.errors.iter().enumerate() {
+            assert!(e.is_none(), "rank {r} failed during replay: {e:?}");
+        }
+        let report = self.net.report();
+        (self.net, report)
+    }
+}
+
+/// What a blocked rank is waiting on — enough to synthesize the same
+/// `CommError::Timeout` the SPMD world produces when it quiesces.
+#[derive(Clone, Copy)]
+enum Blocked {
+    /// Waiting for mail on `(chan, src)`.
+    Recv { chan: u32, src: u32 },
+    /// Waiting at a barrier on communicator `comm`.
+    Barrier { comm: u32 },
+    /// Waiting at a split rendezvous on communicator `comm`.
+    Split { comm: u32 },
+}
+
+/// Heap key: total-ordered f64 clock (no NaNs arise — clocks are sums of
+/// non-negative finite times), min-first via `Reverse` at the call site.
+#[derive(PartialEq)]
+struct ClockKey(f64);
+impl Eq for ClockKey {}
+impl PartialOrd for ClockKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ClockKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Rendezvous bookkeeping for one `(comm, seq, kind)` barrier or split.
+struct Rendezvous {
+    arrived: usize,
+    waiters: Vec<usize>,
+}
+
+struct Replay<'p> {
+    prog: &'p RecordedProgram,
+    net: SimNet,
+    gamma: f64,
+    deadline: Option<f64>,
+    faults: Option<Vec<FaultState>>,
+    pc: Vec<usize>,
+    blocked: Vec<Option<Blocked>>,
+    finished: Vec<bool>,
+    live: usize,
+    errors: Vec<Option<CommError>>,
+    /// Open pivot-step spans per rank: `(k, outer, inner, t0)`.
+    steps: Vec<Vec<(u32, u32, u32, f64)>>,
+    mail: HashMap<(u32, u32, u32), VecDeque<crate::sim::PendingMsg>>,
+    /// `(comm, seq, kind)` → rendezvous state; kind 0 = barrier, 1 = split.
+    rendezvous: HashMap<(u32, u32, u8), Rendezvous>,
+    heap: BinaryHeap<std::cmp::Reverse<(ClockKey, usize)>>,
+    queued: Vec<bool>,
+}
+
+/// The threadless replay engine: prices a [`RecordedProgram`] on a
+/// [`SimNet`] at `gamma` seconds per multiply-add pair. The network and
+/// γ are supplied at replay time — recordings are platform-independent.
+pub struct EventLoopSim {
+    net: SimNet,
+    gamma: f64,
+}
+
+impl EventLoopSim {
+    /// Wraps a network (optionally carrying a tracer, topology or noise
+    /// model) for replay.
+    ///
+    /// # Panics
+    /// At `run` time, if the network does not span the program's ranks.
+    pub fn new(net: SimNet, gamma: f64) -> Self {
+        EventLoopSim { net, gamma }
+    }
+
+    /// Executes every rank's program to completion (or failure) under
+    /// `opts`, consuming the engine and returning the final network.
+    ///
+    /// # Panics
+    /// Panics if the program deadlocks with no deadline set, if a clean
+    /// run leaves undelivered mail behind, or if kill faults are
+    /// configured without a deadline — the same contracts as
+    /// [`crate::spmd::SimWorld::run_with`].
+    pub fn run(self, prog: &RecordedProgram, opts: &SimRunOptions) -> ReplayOutcome {
+        let p = prog.ranks();
+        assert_eq!(self.net.size(), p, "network must span the program's ranks");
+        if let Some(plan) = &opts.faults {
+            assert!(
+                !plan.has_kills() || opts.deadline.is_some(),
+                "kill faults require a deadline: a killed rank's peers can only unblock by timing out"
+            );
+        }
+        let relaxed = opts.deadline.is_some() || opts.faults.is_some();
+        let faults = opts.faults.as_ref().map(|plan| {
+            (0..p)
+                .map(|r| FaultState::new(Arc::clone(plan), r))
+                .collect()
+        });
+        let mut rp = Replay {
+            prog,
+            net: self.net,
+            gamma: self.gamma,
+            deadline: opts.deadline,
+            faults,
+            pc: vec![0; p],
+            blocked: vec![None; p],
+            finished: vec![false; p],
+            live: p,
+            errors: (0..p).map(|_| None).collect(),
+            steps: vec![Vec::new(); p],
+            mail: HashMap::new(),
+            rendezvous: HashMap::new(),
+            heap: BinaryHeap::with_capacity(p),
+            queued: vec![false; p],
+        };
+        for r in 0..p {
+            rp.push_runnable(r);
+        }
+        rp.drive();
+        if !relaxed {
+            assert!(
+                rp.mail.values().all(VecDeque::is_empty),
+                "replayed program left undelivered messages behind"
+            );
+        }
+        let faults_injected = rp
+            .faults
+            .as_ref()
+            .map(|v| v.iter().map(FaultState::injected).sum())
+            .unwrap_or(0);
+        ReplayOutcome {
+            net: rp.net,
+            errors: rp.errors,
+            faults_injected,
+        }
+    }
+}
+
+impl<'p> Replay<'p> {
+    fn push_runnable(&mut self, r: usize) {
+        if !self.queued[r] && !self.finished[r] {
+            self.queued[r] = true;
+            self.heap
+                .push(std::cmp::Reverse((ClockKey(self.net.now(r)), r)));
+        }
+    }
+
+    fn drive(&mut self) {
+        loop {
+            while let Some(std::cmp::Reverse((_, r))) = self.heap.pop() {
+                self.queued[r] = false;
+                if !self.finished[r] && self.blocked[r].is_none() {
+                    self.run_rank(r);
+                }
+            }
+            if self.live == 0 {
+                return;
+            }
+            // Quiescence: no rank is runnable and some are still live —
+            // every live rank is blocked on something that can never
+            // resolve. Mirrors SimWorld::check_quiescence: with a
+            // deadline every blocked wait becomes a Timeout *at* the
+            // deadline; without one, the deadlock diagnosis panics.
+            let Some(d) = self.deadline else {
+                panic!("{DEADLOCK_MSG}");
+            };
+            for r in 0..self.prog.ranks() {
+                if self.finished[r] {
+                    continue;
+                }
+                let b = self.blocked[r].take().expect("live rank must be blocked");
+                self.net.wait_until(r, d);
+                let err = match b {
+                    Blocked::Recv { chan, src } => {
+                        let (ctx, tag) = self.prog.chans[chan as usize];
+                        timeout(r, src as usize, ctx, tag, "recv")
+                    }
+                    Blocked::Barrier { comm } => timeout(r, r, comm, 0, "barrier"),
+                    Blocked::Split { comm } => timeout(r, r, comm, 0, "split"),
+                };
+                self.fail(r, err);
+            }
+        }
+    }
+
+    /// Fails `r`: record the error, close its open pivot-step spans
+    /// (innermost first, spans ending at the rank's current clock —
+    /// exactly what nested `trace_step`s record when their closure
+    /// returns an `Err` the caller then `?`-propagates), and halt the
+    /// rest of its program.
+    fn fail(&mut self, r: usize, err: CommError) {
+        while let Some((k, outer, inner, t0)) = self.steps[r].pop() {
+            self.net.record_step(
+                r,
+                k as usize,
+                outer as usize,
+                inner as usize,
+                t0,
+                self.net.now(r),
+            );
+        }
+        self.errors[r] = Some(err);
+        self.finish(r);
+    }
+
+    fn finish(&mut self, r: usize) {
+        if !self.finished[r] {
+            self.finished[r] = true;
+            self.live -= 1;
+        }
+    }
+
+    /// Runs rank `r`'s program until it blocks, fails or completes.
+    fn run_rank(&mut self, r: usize) {
+        let program = &self.prog.programs[r];
+        while let Some(&op) = program.get(self.pc[r]) {
+            match op {
+                Op::Send { chan, dst, bytes } => {
+                    let (ctx, tag) = self.prog.chans[chan as usize];
+                    // spmd send_bytes: the deadline check precedes the
+                    // fault cursor, which precedes the clock work.
+                    if let Some(d) = self.deadline {
+                        if self.net.now(r) >= d {
+                            self.fail(r, timeout(r, dst as usize, ctx, tag, "send"));
+                            return;
+                        }
+                    }
+                    let mut delay = None;
+                    if let Some(faults) = self.faults.as_mut() {
+                        match faults[r].on_send(dst as usize, tag) {
+                            FaultDecision::Deliver => {}
+                            FaultDecision::Drop => {
+                                // The sender does the work (clock, noise
+                                // draw, busy time); the message vanishes
+                                // from the ledger and from every mailbox.
+                                let msg = self.net.isend(r, dst as usize, bytes);
+                                self.net.uncount_send(msg.payload_bytes());
+                                self.pc[r] += 1;
+                                continue;
+                            }
+                            FaultDecision::DeliverDelayed(s) => delay = Some(s),
+                            FaultDecision::DeliverTwice => {
+                                // Ghost copy deliberately not enqueued —
+                                // see module docs.
+                            }
+                            FaultDecision::Kill => {
+                                self.fail(
+                                    r,
+                                    CommError::Shutdown {
+                                        rank: r,
+                                        detail: "killed by fault plan at send".to_string(),
+                                    },
+                                );
+                                return;
+                            }
+                        }
+                    }
+                    let mut msg = self.net.isend(r, dst as usize, bytes);
+                    if let Some(s) = delay {
+                        msg.delay(s);
+                    }
+                    self.mail
+                        .entry((chan, r as u32, dst))
+                        .or_default()
+                        .push_back(msg);
+                    self.pc[r] += 1;
+                    // Wake the receiver iff it is blocked on exactly
+                    // this (chan, src) — the SPMD world's targeted wake.
+                    let dst = dst as usize;
+                    if let Some(Blocked::Recv { chan: bc, src: bs }) = self.blocked[dst] {
+                        if bc == chan && bs as usize == r {
+                            self.blocked[dst] = None;
+                            self.push_runnable(dst);
+                        }
+                    }
+                }
+                Op::Recv { chan, src, bytes } => {
+                    let (ctx, tag) = self.prog.chans[chan as usize];
+                    // spmd recv_bytes: own-clock deadline check first
+                    // (no wait charged) …
+                    if let Some(d) = self.deadline {
+                        if self.net.now(r) >= d {
+                            self.fail(r, timeout(r, src as usize, ctx, tag, "recv"));
+                            return;
+                        }
+                    }
+                    let key = (chan, src, r as u32);
+                    let head = self.mail.get(&key).and_then(|q| q.front().copied());
+                    let Some(msg) = head else {
+                        self.blocked[r] = Some(Blocked::Recv { chan, src });
+                        return;
+                    };
+                    // … then the arrival-past-deadline check, which
+                    // *does* advance the clock to the deadline.
+                    if let Some(d) = self.deadline {
+                        if msg.arrival() > d {
+                            self.net.wait_until(r, d);
+                            self.fail(r, timeout(r, src as usize, ctx, tag, "recv"));
+                            return;
+                        }
+                    }
+                    let q = self.mail.get_mut(&key).expect("head mail vanished");
+                    let msg = q.pop_front().expect("head mail vanished");
+                    if q.is_empty() {
+                        // Keep the mailbox map O(in-flight), not
+                        // O(every channel ever used) — at p = 2²⁰ the
+                        // drained queues dominate memory otherwise.
+                        self.mail.remove(&key);
+                    }
+                    if bytes != u64::MAX {
+                        assert_eq!(msg.payload_bytes(), bytes, "phantom payload size mismatch");
+                    }
+                    self.net.deliver(r, msg);
+                    self.pc[r] += 1;
+                }
+                Op::Compute { pairs, flops } => {
+                    // spmd compute: no deadline check.
+                    self.net.compute_flops(r, self.gamma * pairs, flops);
+                    self.pc[r] += 1;
+                }
+                Op::Barrier { comm, seq } => {
+                    // spmd barrier: entry deadline check before the
+                    // arrival deposit; the last arriver aligns the group
+                    // unconditionally.
+                    if let Some(d) = self.deadline {
+                        if self.net.now(r) >= d {
+                            self.fail(r, timeout(r, r, comm, 0, "barrier"));
+                            return;
+                        }
+                    }
+                    self.pc[r] += 1;
+                    if !self.arrive(r, comm, seq, 0) {
+                        return;
+                    }
+                }
+                Op::Split { comm, seq } => {
+                    // spmd split: pure rendezvous — no entry deadline
+                    // check, no clock effect. It must still hold ranks
+                    // back so fault/deadline quiescence sees the same
+                    // blocked set as the threaded world.
+                    self.pc[r] += 1;
+                    if !self.arrive(r, comm, seq, 1) {
+                        return;
+                    }
+                }
+                Op::StepPush { k, outer, inner } => {
+                    self.steps[r].push((k, outer, inner, self.net.now(r)));
+                    self.pc[r] += 1;
+                }
+                Op::StepPop => {
+                    let (k, outer, inner, t0) =
+                        self.steps[r].pop().expect("unbalanced pivot-step spans");
+                    self.net.record_step(
+                        r,
+                        k as usize,
+                        outer as usize,
+                        inner as usize,
+                        t0,
+                        self.net.now(r),
+                    );
+                    self.pc[r] += 1;
+                }
+            }
+        }
+        debug_assert!(self.steps[r].is_empty(), "unbalanced pivot-step spans");
+        self.finish(r);
+    }
+
+    /// Deposits `r`'s arrival at rendezvous `(comm, seq, kind)`. Returns
+    /// `true` if the rank may continue (it completed the rendezvous),
+    /// `false` if it blocked waiting for the remaining members (its pc
+    /// has already advanced past the op; a wake simply resumes it).
+    fn arrive(&mut self, r: usize, comm: u32, seq: u32, kind: u8) -> bool {
+        let group = self.prog.comms[comm as usize].len();
+        let rv = self
+            .rendezvous
+            .entry((comm, seq, kind))
+            .or_insert(Rendezvous {
+                arrived: 0,
+                waiters: Vec::new(),
+            });
+        rv.arrived += 1;
+        if rv.arrived < group {
+            rv.waiters.push(r);
+            self.blocked[r] = Some(if kind == 0 {
+                Blocked::Barrier { comm }
+            } else {
+                Blocked::Split { comm }
+            });
+            return false;
+        }
+        let rv = self
+            .rendezvous
+            .remove(&(comm, seq, kind))
+            .expect("rendezvous vanished");
+        if kind == 0 {
+            let members = Arc::clone(&self.prog.comms[comm as usize]);
+            self.net.barrier_group(&members);
+        }
+        for w in rv.waiters {
+            self.blocked[w] = None;
+            self.push_runnable(w);
+        }
+        true
+    }
+}
+
+fn timeout(rank: usize, peer: usize, ctx: u32, tag: u64, op: &'static str) -> CommError {
+    CommError::Timeout {
+        edge: CommEdge {
+            rank,
+            peer,
+            ctx: ctx as u64,
+            tag,
+            epoch: 0,
+        },
+        op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hockney;
+    use crate::record::record;
+    use crate::spmd::SimWorld;
+    use hsumma_trace::{FaultPlan, TagClass};
+
+    fn net(p: usize) -> SimNet {
+        SimNet::new(p, Hockney::new(1e-3, 1e-6))
+    }
+
+    #[test]
+    fn replay_matches_threaded_point_to_point_bitwise() {
+        let spmd = |comm: &crate::spmd::SimComm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 7, 1000).unwrap();
+            } else {
+                assert_eq!(comm.recv_bytes(0, 7).unwrap(), 1000);
+            }
+        };
+        let (threaded, _) = SimWorld::run(net(2), 0.0, false, spmd);
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 7, 1000)
+            } else {
+                comm.recv_bytes_expect(0, 7, 1000)
+            }
+        });
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &SimRunOptions::unbounded());
+        let (_, report) = out.expect_clean();
+        assert_eq!(report, threaded.report());
+    }
+
+    #[test]
+    fn fifo_and_distinct_tags_behave_like_mailboxes() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 1, 10)?;
+                comm.send_bytes(1, 1, 20)?;
+                comm.send_bytes(1, 2, 99)?;
+            } else {
+                // Opposite-order tags, in-order FIFO within a tag.
+                comm.recv_bytes_expect(0, 2, 99)?;
+                comm.recv_bytes_expect(0, 1, 10)?;
+                comm.recv_bytes_expect(0, 1, 20)?;
+            }
+            Ok(())
+        });
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &SimRunOptions::unbounded());
+        out.expect_clean();
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_like_threaded() {
+        let gamma = 1e-6;
+        let (threaded, _) = SimWorld::run(net(3), gamma, false, |comm| {
+            if comm.rank() == 1 {
+                comm.compute(1_000_000.0, 2_000_000);
+            }
+            comm.barrier().unwrap();
+        });
+        let prog = record(3, false, |comm| {
+            if comm.rank() == 1 {
+                comm.compute(1_000_000.0, 2_000_000);
+            }
+            comm.barrier()
+        });
+        let out = EventLoopSim::new(net(3), gamma).run(&prog, &SimRunOptions::unbounded());
+        let (_, report) = out.expect_clean();
+        assert_eq!(report, threaded.report());
+    }
+
+    #[test]
+    fn stalled_recv_times_out_naming_the_edge() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 1 {
+                // Record against a phantom partner so the recv exists in
+                // the program; replay under a plan that drops the send.
+                comm.recv_bytes_unchecked(0, 9)?;
+            } else {
+                comm.send_bytes(1, 9, 8)?;
+            }
+            Ok(())
+        });
+        let plan = Arc::new(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::App, 0));
+        let opts = SimRunOptions::unbounded()
+            .with_deadline(2.5)
+            .with_faults(plan);
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &opts);
+        assert!(out.errors[0].is_none());
+        match out.errors[1].as_ref().expect("receiver times out") {
+            CommError::Timeout { edge, op } => {
+                assert_eq!((edge.rank, edge.peer, edge.tag), (1, 0, 9));
+                assert_eq!(*op, "recv");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(out.net.now(1), 2.5);
+        assert_eq!(out.net.comm_of(1), 2.5);
+        assert_eq!(out.faults_injected, 1);
+        // The dropped message is not in the send ledger.
+        assert_eq!(out.net.report().msgs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn unresolvable_stall_without_deadline_panics() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 1 {
+                comm.recv_bytes_unchecked(0, 9)?;
+            } else {
+                comm.send_bytes(1, 9, 8)?;
+            }
+            Ok(())
+        });
+        let plan = Arc::new(FaultPlan::new().drop_nth(Some(0), Some(1), TagClass::App, 0));
+        // No deadline: the dropped message leaves rank 1 stuck forever.
+        let opts = SimRunOptions::unbounded().with_faults(plan);
+        let _ = EventLoopSim::new(net(2), 0.0).run(&prog, &opts);
+    }
+
+    #[test]
+    fn killed_rank_shuts_down_and_peer_times_out() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 4, 100)?;
+            } else {
+                comm.recv_bytes_unchecked(0, 4)?;
+            }
+            Ok(())
+        });
+        let plan = Arc::new(FaultPlan::new().kill_rank(0, 0));
+        let opts = SimRunOptions::unbounded()
+            .with_deadline(1.0)
+            .with_faults(plan);
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &opts);
+        assert!(matches!(
+            out.errors[0],
+            Some(CommError::Shutdown { rank: 0, .. })
+        ));
+        assert!(matches!(out.errors[1], Some(CommError::Timeout { .. })));
+        assert_eq!(out.faults_injected, 1);
+    }
+
+    #[test]
+    fn delayed_message_beyond_deadline_times_out_at_the_deadline() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 4, 1000)?;
+            } else {
+                comm.recv_bytes_unchecked(0, 4)?;
+            }
+            Ok(())
+        });
+        let plan = Arc::new(FaultPlan::new().delay_nth(Some(0), Some(1), TagClass::App, 0, 5.0));
+        let opts = SimRunOptions::unbounded()
+            .with_deadline(2.0)
+            .with_faults(plan);
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &opts);
+        assert!(matches!(out.errors[1], Some(CommError::Timeout { .. })));
+        assert_eq!(out.net.now(1), 2.0, "failed at the deadline, not arrival");
+    }
+
+    #[test]
+    fn duplicate_counts_as_injected_but_not_in_the_ledger() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 4, 50)?;
+                comm.send_bytes(1, 4, 60)?;
+            } else {
+                comm.recv_bytes_expect(0, 4, 50)?;
+                comm.recv_bytes_expect(0, 4, 60)?;
+            }
+            Ok(())
+        });
+        let plan = Arc::new(FaultPlan::new().duplicate_nth(Some(0), Some(1), TagClass::App, 0));
+        let opts = SimRunOptions::unbounded()
+            .with_deadline(10.0)
+            .with_faults(plan);
+        let out = EventLoopSim::new(net(2), 0.0).run(&prog, &opts);
+        assert!(out.errors.iter().all(Option::is_none));
+        assert_eq!(out.faults_injected, 1);
+        assert_eq!(out.net.report().msgs, 2);
+    }
+
+    #[test]
+    fn noise_draws_match_the_threaded_engine() {
+        use crate::sim::NoiseModel;
+        let spmd = |comm: &crate::spmd::SimComm| {
+            if comm.rank() == 0 {
+                for i in 0..10u64 {
+                    comm.send_bytes(1, i, 1000).unwrap();
+                }
+            } else {
+                for i in 0..10u64 {
+                    comm.recv_bytes(0, i).unwrap();
+                }
+            }
+        };
+        let mut tnet = net(2);
+        tnet.set_noise(NoiseModel::new(42, 0.3));
+        let (threaded, _) = SimWorld::run(tnet, 0.0, false, spmd);
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u64 {
+                    comm.send_bytes(1, i, 1000)?;
+                }
+            } else {
+                for i in 0..10u64 {
+                    comm.recv_bytes_unchecked(0, i)?;
+                }
+            }
+            Ok(())
+        });
+        let mut rnet = net(2);
+        rnet.set_noise(NoiseModel::new(42, 0.3));
+        let out = EventLoopSim::new(rnet, 0.0).run(&prog, &SimRunOptions::unbounded());
+        let (_, report) = out.expect_clean();
+        assert_eq!(report, threaded.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "undelivered messages")]
+    fn leftover_mail_is_detected_on_clean_runs() {
+        let prog = record(2, false, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 9, 8)?;
+            }
+            Ok(())
+        });
+        let _ = EventLoopSim::new(net(2), 0.0).run(&prog, &SimRunOptions::unbounded());
+    }
+}

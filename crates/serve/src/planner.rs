@@ -28,7 +28,8 @@
 //! schedule ([`hsumma_core::cosma()`]) can serve them, so planning is one
 //! decomposition search per job.
 
-use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups};
+use hsumma_core::tuning::{best_by_comm, power_of_two_gs, sweep_groups_engine};
+use hsumma_core::SimEngine;
 use hsumma_core::{BrickDecomp, CosmaConfig, HierGrid, HsummaConfig, PlannedAlgo, SummaConfig};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{GemmKernel, GridShape};
@@ -484,10 +485,15 @@ impl Planner {
     }
 
     /// Pass 2: pick `G` by simulated communication time over the
-    /// power-of-two candidates (the paper's Fig. 8 sweep).
+    /// power-of-two candidates (the paper's Fig. 8 sweep). Priced on the
+    /// record-and-replay engine: bit-identical reports to the threaded
+    /// simulator (so identical decisions), but no thread spawning per
+    /// candidate, which keeps the sweep a planner-budget call even on
+    /// pools far past the thread-per-rank scale cap.
     fn refine_g(&mut self, n: usize, block: usize) -> usize {
         let gs = power_of_two_gs(self.grid.size());
-        let sweep = sweep_groups(
+        let sweep = sweep_groups_engine(
+            SimEngine::Replay,
             &self.config.platform,
             self.grid,
             n,

@@ -28,8 +28,9 @@
 //! [`GemmServer`]: crate::GemmServer
 //! [`Planner::estimate`]: crate::Planner::estimate
 
+use crate::planner::ShapeClass;
 use hsumma_matrix::GridShape;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Which of the two scheduling classes a job belongs to.
@@ -177,46 +178,85 @@ impl<T> ReadyQueue<T> {
 }
 
 /// Exponentially-weighted online calibration from the planner's *model*
-/// seconds to observed wall-clock seconds.
+/// seconds to observed wall-clock seconds, resolved per shape class.
 ///
 /// The cost models price algorithms on a simulated platform's
 /// `(α, β, γ)` — the right *relative* signal (which algorithm, which
 /// `G`, how many ranks) but not in-process wall time. Feasibility
-/// admission needs absolute time, so the scheduler maintains the EWMA
-/// of `wall / model` over completed jobs and scales predictions by it.
-#[derive(Clone, Copy, Debug)]
+/// admission needs absolute time, so the scheduler maintains EWMAs of
+/// `wall / model` over completed jobs and scales predictions by them.
+///
+/// A single global ratio systematically mis-prices a mixed workload:
+/// small jobs are dominated by per-message overheads the model's `α`
+/// under-weights in-process, large jobs by bandwidth and compute the
+/// model tracks well, so their true `wall / model` ratios differ by
+/// orders of magnitude. The calibration therefore keeps one EWMA per
+/// [`ShapeClass`] — the same coarsening the planner memoizes plans
+/// under — and falls back to the global EWMA (over *all* completions)
+/// until a class has seen its first completion.
+#[derive(Clone, Debug)]
 pub struct Calibration {
-    ratio: f64,
+    /// EWMA over every completed plannable job — the fallback for
+    /// classes with no completions yet. Starts at the identity.
+    global: f64,
+    /// Per-class EWMAs; a class's first sample seeds its cell directly
+    /// (no decay from the identity), so one completion is enough to
+    /// price that class near its own regime.
+    per_class: HashMap<ShapeClass, f64>,
 }
 
 /// EWMA weight of the newest observation.
 const CALIBRATION_ALPHA: f64 = 0.3;
 
+fn fold(ratio: f64, sample: f64) -> f64 {
+    (1.0 - CALIBRATION_ALPHA) * ratio + CALIBRATION_ALPHA * sample
+}
+
 impl Calibration {
     /// Starts uncalibrated: model seconds are taken at face value until
     /// the first observation.
     pub fn new() -> Self {
-        Calibration { ratio: 1.0 }
-    }
-
-    /// Folds in one completed job's `(model prediction, observed wall)`
-    /// pair. Degenerate observations (non-positive either side) are
-    /// dropped rather than poisoning the ratio.
-    pub fn observe(&mut self, model_secs: f64, wall_secs: f64) {
-        if model_secs > 0.0 && wall_secs > 0.0 {
-            let sample = wall_secs / model_secs;
-            self.ratio = (1.0 - CALIBRATION_ALPHA) * self.ratio + CALIBRATION_ALPHA * sample;
+        Calibration {
+            global: 1.0,
+            per_class: HashMap::new(),
         }
     }
 
-    /// Maps a model prediction to expected wall-clock seconds.
-    pub fn wall_secs(&self, model_secs: f64) -> f64 {
-        model_secs * self.ratio
+    /// Folds in one completed job's `(model prediction, observed wall)`
+    /// pair, attributed to `class` when the job was priced under one.
+    /// Degenerate observations (non-positive either side) are dropped
+    /// rather than poisoning the ratios.
+    pub fn observe(&mut self, class: Option<ShapeClass>, model_secs: f64, wall_secs: f64) {
+        if model_secs <= 0.0 || wall_secs <= 0.0 {
+            return;
+        }
+        let sample = wall_secs / model_secs;
+        self.global = fold(self.global, sample);
+        if let Some(class) = class {
+            self.per_class
+                .entry(class)
+                .and_modify(|r| *r = fold(*r, sample))
+                .or_insert(sample);
+        }
     }
 
-    /// The current `wall / model` ratio.
+    /// Maps a model prediction to expected wall-clock seconds using the
+    /// class's own ratio when that class has completed at least one job,
+    /// the global ratio otherwise.
+    pub fn wall_secs(&self, class: Option<ShapeClass>, model_secs: f64) -> f64 {
+        model_secs * self.ratio_for(class)
+    }
+
+    /// The ratio [`Calibration::wall_secs`] would apply for `class`.
+    pub fn ratio_for(&self, class: Option<ShapeClass>) -> f64 {
+        class
+            .and_then(|c| self.per_class.get(&c).copied())
+            .unwrap_or(self.global)
+    }
+
+    /// The global `wall / model` ratio (EWMA over all completions).
     pub fn ratio(&self) -> f64 {
-        self.ratio
+        self.global
     }
 }
 
@@ -313,16 +353,52 @@ mod tests {
     #[test]
     fn calibration_tracks_the_wall_model_ratio() {
         let mut c = Calibration::new();
-        assert_eq!(c.wall_secs(2.0), 2.0, "uncalibrated is identity");
+        assert_eq!(c.wall_secs(None, 2.0), 2.0, "uncalibrated is identity");
         for _ in 0..64 {
-            c.observe(1.0, 3.0);
+            c.observe(None, 1.0, 3.0);
         }
         assert!((c.ratio() - 3.0).abs() < 0.01, "converges to 3x");
         // Degenerate samples are ignored.
         let before = c.ratio();
-        c.observe(0.0, 5.0);
-        c.observe(1.0, 0.0);
+        c.observe(None, 0.0, 5.0);
+        c.observe(None, 1.0, 0.0);
         assert_eq!(c.ratio(), before);
+    }
+
+    #[test]
+    fn interleaved_classes_converge_to_their_own_ratios() {
+        // A small class running 8× slower than the model and a large
+        // class running 2× slower, strictly interleaved: under a single
+        // global EWMA each completion drags the shared ratio toward the
+        // other regime, so neither class is ever priced correctly. With
+        // per-class cells each converges to its own ratio.
+        let small = ShapeClass::of(16, 64);
+        let large = ShapeClass::of(16, 4096);
+        let mut c = Calibration::new();
+        for _ in 0..64 {
+            c.observe(Some(small), 1.0, 8.0);
+            c.observe(Some(large), 1.0, 2.0);
+        }
+        assert!(
+            (c.ratio_for(Some(small)) - 8.0).abs() < 1e-9,
+            "small class pinned to its own 8x regime, got {}",
+            c.ratio_for(Some(small))
+        );
+        assert!(
+            (c.ratio_for(Some(large)) - 2.0).abs() < 1e-9,
+            "large class pinned to its own 2x regime, got {}",
+            c.ratio_for(Some(large))
+        );
+        assert_eq!(
+            c.wall_secs(Some(small), 2.0),
+            2.0 * c.ratio_for(Some(small))
+        );
+        // The global EWMA sits strictly between the two regimes and is
+        // what an unseen class falls back to.
+        let unseen = ShapeClass::of(16, 1 << 20);
+        let g = c.ratio_for(Some(unseen));
+        assert_eq!(g, c.ratio(), "unseen class falls back to global");
+        assert!(g > 2.0 && g < 8.0, "global blends the regimes, got {g}");
     }
 
     #[test]

@@ -29,9 +29,12 @@
 //! the native 2-D CSR schedule) and SDDMM
 //! ([`GemmServer::submit_sddmm`]). Deadlines, fault injection, per-job
 //! stats demarcation and tracing apply identically to all three — they
-//! live in the pooled-run tail every workload shares. Sparse and
-//! forced-plan jobs always run on the whole pool (their plans are bound
-//! to the configured grid); only planner-routed dense jobs gang.
+//! live in the pooled-run tail every workload shares. Planner-routed
+//! jobs gang regardless of workload: dense jobs are sized by the dense
+//! strong-scaling curve, sparse jobs by the nnz-aware sweep over their
+//! sampled profiles (clamped to sub-grids the CSR scatter can tile).
+//! Only forced-plan jobs always run on the whole pool — their plans are
+//! bound to the configured grid.
 //!
 //! Failure containment mirrors the pool's: a job whose plan panics on a
 //! rank fails *that job* ([`JobError::Execution`]) and the server keeps
@@ -42,11 +45,14 @@ use crate::job::{
     JobCell, JobError, JobHandle, JobOutcome, JobOutput, JobReport, JobSpec, PlanHint, Product,
     ServePlan, SubmitError, Workload,
 };
-use crate::planner::{sparsity_profile, Planned, Planner, PlannerConfig, PlannerStats};
+use crate::planner::{
+    sparsity_profile, Planned, Planner, PlannerConfig, PlannerStats, ShapeClass, RANK_TOLERANCE,
+};
 use crate::sched::{subgrid, Calibration, ReadyQueue, AGING_BOUND};
 use hsumma_core::{run_planned_gemm, Distribution};
 use hsumma_matrix::sparse::CsrMatrix;
 use hsumma_matrix::{BlockDist, GridShape, Matrix};
+use hsumma_model::{advise_sddmm_ranks, advise_spgemm_ranks, ModelParams};
 use hsumma_runtime::{Comm, CommStats, JobOptions, PoolExec, PoolRun, RankPool, RuntimeError};
 use hsumma_sparse::{gather_csr, scatter_csr, sddmm_2d, spgemm_2d, SparseConfig};
 use hsumma_trace::{primary_comm_error, CommError, CommErrorKind, Tracer};
@@ -135,6 +141,10 @@ struct QueuedJob {
     /// `0.0` when the job is not plannable (sparse / forced plans), in
     /// which case it contributes nothing to the feasibility backlog.
     model_secs: f64,
+    /// The shape class the job was priced under, so its completion
+    /// feeds that class's calibration cell; `None` for jobs the model
+    /// cannot price.
+    class: Option<ShapeClass>,
 }
 
 struct QueueState {
@@ -335,6 +345,16 @@ impl GemmServer {
             ),
             _ => None,
         };
+        let class = estimate
+            .is_some()
+            .then(|| ShapeClass::of_gemm(self.grid.size(), spec.m, spec.k, spec.n));
+        // Sparse jobs gang too: the nnz-aware strong-scaling sweep sizes
+        // their sub-pool; anything else unpriceable keeps the whole pool.
+        let ranks = match estimate {
+            Some(e) => e.ranks,
+            None => sparse_ranks(&self.planners.config, self.grid.size(), &spec, &operands)
+                .unwrap_or(self.grid.size()),
+        };
         let now = Instant::now();
         let mut st = self.shared.state.lock().expect("queue lock");
         if st.shutdown {
@@ -353,9 +373,10 @@ impl GemmServer {
                 // plus the deadline-class work queued ahead of it. With
                 // an empty queue this reduces to the invariant the tests
                 // pin: admitted ⇒ calibrated(model) ≤ deadline.
-                let calibration = *self.calibration.lock().expect("calibration lock");
-                let predicted = calibration.wall_secs(est.model_secs)
+                let calibration = self.calibration.lock().expect("calibration lock");
+                let predicted = calibration.wall_secs(class, est.model_secs)
                     + backlog_ahead(&st.ready, &calibration, now + deadline, self.grid.size());
+                drop(calibration);
                 if predicted > deadline.as_secs_f64() {
                     st.infeasible += 1;
                     return Err(SubmitError::Infeasible {
@@ -371,8 +392,9 @@ impl GemmServer {
         let job = QueuedJob {
             id,
             cell: Arc::clone(&cell),
-            ranks: estimate.map_or(self.grid.size(), |e| e.ranks),
+            ranks,
             model_secs: estimate.map_or(0.0, |e| e.model_secs),
+            class,
             operands,
             spec,
         };
@@ -458,9 +480,11 @@ impl GemmServer {
         self.planners.with(self.grid, |p| p.stats())
     }
 
-    /// The scheduler's current model-to-wall calibration ratio
+    /// The scheduler's current *global* model-to-wall calibration ratio
     /// (`wall / model`, EWMA over completed plannable jobs; `1.0` until
-    /// the first one).
+    /// the first one). Feasibility admission resolves per shape class
+    /// where a class has completions — this is the fallback ratio new
+    /// classes start from (see [`Calibration`]).
     pub fn calibration_ratio(&self) -> f64 {
         self.calibration.lock().expect("calibration lock").ratio()
     }
@@ -489,6 +513,53 @@ impl Drop for GemmServer {
     }
 }
 
+/// The sub-pool size a planner-routed sparse job is worth: the
+/// nnz-aware strong-scaling sweep ([`advise_spgemm_ranks`] /
+/// [`advise_sddmm_ranks`] over sampled operand profiles, tolerance
+/// [`RANK_TOLERANCE`]), clamped down to a power of two whose
+/// near-square [`subgrid`] divides `n` — the CSR scatter's contract.
+/// `r = 1` always qualifies (a 1 × 1 grid tiles anything), so the clamp
+/// terminates. `None` for dense operands or a forced plan (forced plans
+/// are bound to the configured grid and keep the whole pool).
+fn sparse_ranks(
+    config: &PlannerConfig,
+    p_max: usize,
+    spec: &JobSpec,
+    operands: &JobOperands,
+) -> Option<usize> {
+    if !matches!(spec.hint, PlanHint::Auto) {
+        return None;
+    }
+    let params = ModelParams {
+        alpha: config.platform.net.alpha,
+        beta: config.platform.net.beta,
+        gamma: config.platform.gamma,
+    };
+    let n = spec.n as f64;
+    let block = spec.n.clamp(1, 32) as f64;
+    let advice = match operands {
+        JobOperands::Dense { .. } => return None,
+        JobOperands::SpGemm { a, b } => {
+            let pa = sparsity_profile(a, PROFILE_SAMPLES);
+            let pb = sparsity_profile(b, PROFILE_SAMPLES);
+            advise_spgemm_ranks(&params, n, p_max, block, &pa, &pb, RANK_TOLERANCE)
+        }
+        JobOperands::Sddmm { s, .. } => {
+            let ps = sparsity_profile(s, PROFILE_SAMPLES);
+            advise_sddmm_ranks(&params, n, p_max, block, &ps, RANK_TOLERANCE)
+        }
+    };
+    let mut r = advice.preferred;
+    while r > 1 {
+        let g = subgrid(r);
+        if spec.n.is_multiple_of(g.rows) && spec.n.is_multiple_of(g.cols) {
+            break;
+        }
+        r /= 2;
+    }
+    Some(r)
+}
+
 /// Rank-seconds of deadline-class work queued ahead of `deadline_at`,
 /// normalized by the pool width: under EDF every queued job with an
 /// earlier deadline runs first, so its calibrated duration × its rank
@@ -504,7 +575,7 @@ fn backlog_ahead(
     let rank_seconds: f64 = ready
         .deadline_iter()
         .take_while(|(d, _)| *d <= deadline_at)
-        .map(|(_, j)| calibration.wall_secs(j.model_secs) * j.ranks as f64)
+        .map(|(_, j)| calibration.wall_secs(j.class, j.model_secs) * j.ranks as f64)
         .sum();
     rank_seconds / p as f64
 }
@@ -619,10 +690,11 @@ fn finish_job<P: PoolExec>(
     let outcome = execute(planners, pool, grid, trace_jobs, &job);
     if job.model_secs > 0.0 {
         if let Ok(out) = &outcome {
-            calibration
-                .lock()
-                .expect("calibration lock")
-                .observe(job.model_secs, out.report.wall.as_secs_f64());
+            calibration.lock().expect("calibration lock").observe(
+                job.class,
+                job.model_secs,
+                out.report.wall.as_secs_f64(),
+            );
         }
     }
     job.cell.finish(outcome);

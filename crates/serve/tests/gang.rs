@@ -3,7 +3,9 @@
 //! sibling sub-pool's job untouched.
 
 use hsumma_core::{PlannedAlgo, SummaConfig};
+use hsumma_matrix::sparse::{seeded_sparse, spgemm};
 use hsumma_matrix::{gemm, seeded_uniform, GemmKernel, GridShape, Matrix};
+use hsumma_model::{advise_spgemm_ranks, ModelParams, SparsityProfile};
 use hsumma_serve::{
     subgrid, GemmServer, JobSpec, PlanHint, Planner, PlannerConfig, SchedPolicy, ServerConfig,
 };
@@ -118,6 +120,70 @@ fn gang_scheduled_jobs_are_bit_identical_to_dedicated_pool_runs() {
         .unwrap();
     assert_eq!(out.report.stats.len(), 8, "whole-pool job after the gang");
     assert!(out.c.dense().approx_eq(&want, 1e-9));
+}
+
+#[test]
+fn sparse_and_dense_jobs_pack_into_one_wave() {
+    let n = 256;
+    let whole = GridShape::new(2, 4);
+
+    // Preconditions the wave rides on: the dense n=256 job prefers 4 of
+    // the 8 ranks (pinned by the first test too), and the nnz-aware
+    // sweep caps a 2%-fill SpGEMM of the same shape at ≤ 4 ranks, so
+    // both fit in one wave.
+    let est = Planner::new(whole, PlannerConfig::default()).estimate(n, n, n);
+    assert_eq!(est.ranks, 4, "n=256 prefers 4 of 8 ranks on this model");
+    let platform = PlannerConfig::default().platform;
+    let params = ModelParams {
+        alpha: platform.net.alpha,
+        beta: platform.net.beta,
+        gamma: platform.gamma,
+    };
+    let prof = SparsityProfile::uniform(n as f64, n as f64, 0.02);
+    let advice = advise_spgemm_ranks(&params, n as f64, whole.size(), 32.0, &prof, &prof, 0.1);
+    assert!(
+        advice.preferred <= 4,
+        "a 2%-fill 256² SpGEMM must not be worth more than half the pool \
+         (preferred {})",
+        advice.preferred
+    );
+
+    let da = seeded_uniform(n, n, 501);
+    let db = seeded_uniform(n, n, 502);
+    let dense_want = reference(&da, &db);
+    let sa = seeded_sparse(n, n, 0.02, 503);
+    let sb = seeded_sparse(n, n, 0.02, 504);
+    let sparse_want = spgemm(&sa, &sb);
+
+    // Stall the pool so both jobs queue together, then let the next wave
+    // pack the dense job and the sparse job side by side.
+    let server = GemmServer::new(ServerConfig::new(whole)).unwrap();
+    let filler = stalled_filler(&server, 200);
+    let dense = server.submit(JobSpec::square(n), da, db).unwrap();
+    let sparse = server.submit_spgemm(JobSpec::spgemm(n), sa, sb).unwrap();
+    assert!(filler.wait().is_err(), "the stalled filler times out");
+
+    let dout = dense.wait().expect("dense gang member succeeds");
+    assert_eq!(dout.report.stats.len(), 4, "dense job ran on its sub-pool");
+    assert!(dout.c.dense().approx_eq(&dense_want, 1e-9));
+
+    let sout = sparse.wait().expect("sparse gang member succeeds");
+    assert!(
+        sout.report.stats.len() < whole.size(),
+        "sparse job ran on a carved sub-pool, not the whole pool \
+         ({} ranks)",
+        sout.report.stats.len()
+    );
+    assert!(
+        sout.report.plan_desc.starts_with("spgemm_2d"),
+        "2% fill must route to the native CSR schedule, ran {}",
+        sout.report.plan_desc
+    );
+    assert!(sout.c.sparse().max_abs_diff(&sparse_want) < 1e-12);
+
+    let stats = server.stats();
+    assert!(stats.gangs >= 1, "the two jobs formed a wave: {stats:?}");
+    assert!(stats.gang_jobs >= 2);
 }
 
 #[test]

@@ -1,0 +1,360 @@
+//! Golden parity between the two simulation engines, in the style of
+//! `sim_golden_parity.rs`: for every dense schedule, the record-and-
+//! replay engine (`RecordComm` → `EventLoopSim`) must produce
+//!
+//! 1. a [`SimReport`] **bit-identical** (`f64::to_bits`) to the
+//!    thread-per-rank `SimComm` run, and
+//! 2. identical per-rank `(src, dst, bytes)` send multisets through the
+//!    same tracer hooks,
+//!
+//! at p ≤ 256, faults and deadlines included. This is the load-bearing
+//! anchor of the schedule-as-data refactor: it is what licenses running
+//! the planner's G sweeps and the p = 2²⁰ Fig. 10 validation on the
+//! threadless engine and attributing the numbers to the same simulator
+//! the rest of the test suite pins.
+
+use hsumma_repro::core::simdrive::{self as sd, cosma_program, replay_on, SimEngine};
+use hsumma_repro::core::{BrickDecomp, CosmaConfig, SummaConfig, TwoDotFiveConfig};
+use hsumma_repro::matrix::GridShape;
+use hsumma_repro::netsim::{
+    EventLoopSim, NoiseModel, Platform, RecordedProgram, SimBcast, SimNet, SimReport,
+    SimRunOptions, SimWorld,
+};
+use hsumma_repro::trace::{
+    CommError, CommErrorKind, FaultPlan, TagClass, Tracer, COLLECTIVE_TAG_FLOOR,
+};
+use std::sync::Arc;
+
+fn platform() -> Platform {
+    Platform::grid5000()
+}
+
+fn bits(r: &SimReport) -> (u64, u64, u64, u64, u64) {
+    (
+        r.total_time.to_bits(),
+        r.comm_time.to_bits(),
+        r.comp_time.to_bits(),
+        r.msgs,
+        r.bytes,
+    )
+}
+
+type Multisets = Vec<Vec<(usize, usize, u64)>>;
+
+/// Runs `f` over a tracer-attached fresh network and returns the report
+/// plus the per-rank send multisets (asserting the tracer kept every
+/// event — a dropped event would make the comparison vacuous).
+fn traced(
+    p: usize,
+    f: impl FnOnce(&mut SimNet) -> SimReport,
+) -> ((u64, u64, u64, u64, u64), Multisets) {
+    let tracer = Tracer::with_capacity(p, 1 << 16);
+    let mut net = SimNet::new(p, platform().net);
+    net.attach_tracer(&tracer);
+    let report = f(&mut net);
+    let trace = tracer.collect();
+    assert_eq!(trace.dropped, 0, "tracer overflow");
+    (bits(&report), trace.per_rank_send_multisets())
+}
+
+/// Asserts the threaded run and the replay of `prog` agree bit-for-bit
+/// on the report and exactly on every rank's send multiset.
+fn assert_engine_parity(
+    label: &str,
+    p: usize,
+    prog: &RecordedProgram,
+    threaded: impl FnOnce(&mut SimNet) -> SimReport,
+) {
+    let gamma = platform().gamma;
+    let (t_report, t_sets) = traced(p, threaded);
+    let (r_report, r_sets) = traced(p, |net| replay_on(net, gamma, prog));
+    assert_eq!(t_report, r_report, "{label}: reports diverged");
+    assert_eq!(t_sets, r_sets, "{label}: per-rank send multisets diverged");
+}
+
+#[test]
+fn summa_replay_is_bit_identical() {
+    let grid = GridShape::new(8, 8);
+    let (n, b) = (128, 16);
+    for step_sync in [false, true] {
+        let prog = sd::record_summa(grid, n, b, SimBcast::Binomial, step_sync);
+        assert_engine_parity("summa", grid.size(), &prog, |net| {
+            sd::sim_summa_on(
+                net,
+                platform().gamma,
+                grid,
+                n,
+                b,
+                SimBcast::Binomial,
+                step_sync,
+            )
+        });
+    }
+}
+
+#[test]
+fn summa_replay_matches_at_p_256() {
+    let grid = GridShape::new(16, 16);
+    let (n, b) = (256, 16);
+    let prog = sd::record_summa(grid, n, b, SimBcast::ScatterAllgather, false);
+    assert_engine_parity("summa-256", grid.size(), &prog, |net| {
+        sd::sim_summa_on(
+            net,
+            platform().gamma,
+            grid,
+            n,
+            b,
+            SimBcast::ScatterAllgather,
+            false,
+        )
+    });
+}
+
+#[test]
+fn hsumma_replay_is_bit_identical() {
+    let grid = GridShape::new(8, 8);
+    let groups = GridShape::new(4, 2);
+    let (n, ob, ib) = (128, 16, 16);
+    for (obc, ibc) in [
+        (SimBcast::Binomial, SimBcast::Binomial),
+        (SimBcast::Pipelined { segments: 3 }, SimBcast::Ring),
+    ] {
+        let prog = sd::record_hsumma(grid, groups, n, ob, ib, obc, ibc, false);
+        assert_engine_parity("hsumma", grid.size(), &prog, |net| {
+            sd::sim_hsumma_on(
+                net,
+                platform().gamma,
+                grid,
+                groups,
+                n,
+                ob,
+                ib,
+                obc,
+                ibc,
+                false,
+            )
+        });
+    }
+}
+
+#[test]
+fn cannon_replay_is_bit_identical() {
+    let (q, n) = (8, 64);
+    let prog = sd::record_cannon(q, n, false);
+    assert_engine_parity("cannon", q * q, &prog, |net| {
+        sd::sim_cannon_on(net, platform().gamma, q, n, false)
+    });
+}
+
+#[test]
+fn fox_replay_is_bit_identical() {
+    let (q, n) = (8, 64);
+    let prog = sd::record_fox(q, n, SimBcast::Binomial, false);
+    assert_engine_parity("fox", q * q, &prog, |net| {
+        sd::sim_fox_on(net, platform().gamma, q, n, SimBcast::Binomial, false)
+    });
+}
+
+#[test]
+fn overlap_replay_is_bit_identical() {
+    // summa_overlap's two-slot pipeline starts and waits its broadcasts
+    // through the default (timing-independent) ibcast path, so it
+    // records; its message schedule includes in-flight collective-band
+    // traffic none of the blocking schedules exercise.
+    let grid = GridShape::new(4, 4);
+    let (n, b) = (64, 8);
+    let prog = sd::record_overlap(grid, n, b, SimBcast::Flat);
+    assert_engine_parity("overlap", grid.size(), &prog, |net| {
+        sd::sim_overlap_on(net, platform().gamma, grid, n, b, SimBcast::Flat)
+    });
+}
+
+#[test]
+fn twodotfive_replay_is_bit_identical() {
+    let cfg = TwoDotFiveConfig {
+        q: 4,
+        c: 4,
+        summa: SummaConfig {
+            block: 8,
+            ..Default::default()
+        },
+    };
+    let n = 64;
+    let prog = sd::record_twodotfive(n, &cfg);
+    assert_engine_parity("2.5d", cfg.q * cfg.q * cfg.c, &prog, |net| {
+        sd::sim_twodotfive_on(net, platform().gamma, n, &cfg)
+    });
+}
+
+#[test]
+fn cosma_replay_is_bit_identical() {
+    let (p, m, n, k) = (64, 256, 256, 256);
+    let cfg = CosmaConfig::for_problem(p, m, n, k);
+    let prog = sd::record_cosma(p, m, n, k, &cfg);
+    assert_engine_parity("cosma", p, &prog, |net| {
+        sd::sim_cosma_on(net, platform().gamma, m, n, k, &cfg)
+    });
+}
+
+#[test]
+fn cosma_replay_matches_on_awkward_shapes_with_idle_ranks() {
+    // A prime rank count over non-dividing extents: the decomposition
+    // uses fewer ranks than the world, so the recording must capture the
+    // idle ranks' singleton splits for the rendezvous to line up.
+    let (p, m, n, k) = (13, 96, 80, 72);
+    let cfg = CosmaConfig::for_problem(p, m, n, k);
+    let prog = sd::record_cosma(p, m, n, k, &cfg);
+    assert_engine_parity("cosma-13", p, &prog, |net| {
+        sd::sim_cosma_on(net, platform().gamma, m, n, k, &cfg)
+    });
+}
+
+#[test]
+fn replay_parity_holds_under_noise() {
+    // Noise draws are keyed by (sender, per-sender sequence), both of
+    // which the recording preserves — jittered runs must still match to
+    // the bit.
+    let grid = GridShape::new(4, 4);
+    let (n, b) = (64, 8);
+    let gamma = platform().gamma;
+    let mut tnet = SimNet::new(grid.size(), platform().net);
+    tnet.set_noise(NoiseModel::new(7, 0.25));
+    let threaded = sd::sim_summa_on(&mut tnet, gamma, grid, n, b, SimBcast::Binomial, false);
+    let mut rnet = SimNet::new(grid.size(), platform().net);
+    rnet.set_noise(NoiseModel::new(7, 0.25));
+    let prog = sd::record_summa(grid, n, b, SimBcast::Binomial, false);
+    let replayed = replay_on(&mut rnet, gamma, &prog);
+    assert_eq!(bits(&threaded), bits(&replayed));
+}
+
+#[test]
+fn engine_selector_agrees_with_direct_calls() {
+    let grid = GridShape::new(4, 4);
+    let plat = platform();
+    let t = sd::sim_summa_engine(SimEngine::Threads, &plat, grid, 64, 8, SimBcast::Binomial);
+    let r = sd::sim_summa_engine(SimEngine::Replay, &plat, grid, 64, 8, SimBcast::Binomial);
+    assert_eq!(bits(&t), bits(&r));
+}
+
+// ---------------------------------------------------------------------
+// Faults and deadlines: the same FaultPlan driven through both engines
+// must produce the same per-rank outcomes, the same stalled edge, the
+// same injected-fault count, and bit-identical reports.
+// ---------------------------------------------------------------------
+
+/// A pure-replication cosma fiber (p = 4 as 1·1·4 bricks): the only
+/// traffic is the reduce-scatter ring plus the gather, so the dropped
+/// collective fragment lands on a ring edge — the same scenario
+/// `fault_parity.rs` pins between real threads and the simulator.
+fn fiber_cfg() -> CosmaConfig {
+    CosmaConfig {
+        decomp: BrickDecomp::new(1, 1, 4),
+        ..CosmaConfig::for_problem(4, 8, 8, 8)
+    }
+}
+
+fn fault_opts(plan: &Arc<FaultPlan>) -> SimRunOptions {
+    SimRunOptions::unbounded()
+        .with_deadline(1.0)
+        .with_faults(Arc::clone(plan))
+}
+
+#[test]
+fn dropped_collective_fragment_names_the_same_edge_on_both_engines() {
+    let cfg = fiber_cfg();
+    let plan = Arc::new(FaultPlan::new().drop_nth(Some(1), Some(2), TagClass::Collective, 0));
+    let plat = Platform::bluegene_p_effective();
+
+    // Thread-per-rank engine.
+    let net = SimNet::new(4, plat.net);
+    let out = SimWorld::run_with(net, plat.gamma, false, &fault_opts(&plan), |comm| {
+        cosma_program(comm, 8, 8, 8, &cfg)
+    });
+    let threaded_kinds: Vec<Option<CommErrorKind>> = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().err().map(CommError::kind))
+        .collect();
+
+    // Record clean, replay under the same options.
+    let prog = sd::record_cosma(4, 8, 8, 8, &cfg);
+    let rnet = SimNet::new(4, plat.net);
+    let rout = EventLoopSim::new(rnet, plat.gamma).run(&prog, &fault_opts(&plan));
+    let replay_kinds: Vec<Option<CommErrorKind>> = rout
+        .errors
+        .iter()
+        .map(|e| e.as_ref().map(CommError::kind))
+        .collect();
+
+    assert_eq!(
+        threaded_kinds, replay_kinds,
+        "per-rank outcome kinds diverged"
+    );
+    assert_eq!(
+        threaded_kinds,
+        vec![
+            Some(CommErrorKind::Timeout),
+            None,
+            Some(CommErrorKind::Timeout),
+            Some(CommErrorKind::Timeout),
+        ],
+        "the stall must walk the ring's dependents and spare the dropper"
+    );
+    assert_eq!(out.faults_injected, 1);
+    assert_eq!(rout.faults_injected, 1);
+    assert_eq!(
+        bits(&out.net.report()),
+        bits(&rout.net.report()),
+        "faulted reports diverged"
+    );
+
+    // Both engines must name the *same* stalled edge: rank 2 waiting on
+    // its ring predecessor 1, on a collective-band tag. (Context ids are
+    // scheduling-dependent on the threaded engine and deliberately not
+    // compared.)
+    let edge_of = |e: &CommError| match e {
+        CommError::Timeout { edge, op } => (edge.rank, edge.peer, edge.tag, *op),
+        other => panic!("expected Timeout, got {other:?}"),
+    };
+    let t_err = out.results[2].as_ref().expect_err("rank 2 stalls");
+    let r_err = rout.errors[2].as_ref().expect("rank 2 stalls");
+    let (t_rank, t_peer, t_tag, t_op) = edge_of(t_err);
+    let (r_rank, r_peer, r_tag, r_op) = edge_of(r_err);
+    assert_eq!((t_rank, t_peer, t_op), (2, 1, "recv"));
+    assert_eq!((r_rank, r_peer, r_op), (2, 1, "recv"));
+    assert_eq!(t_tag, r_tag, "the stalled wire tag must agree");
+    assert!(
+        t_tag >= COLLECTIVE_TAG_FLOOR,
+        "the stalled tag must be collective-class, got {t_tag:#x}"
+    );
+}
+
+#[test]
+fn killed_rank_parity_between_engines() {
+    let cfg = fiber_cfg();
+    let plan = Arc::new(FaultPlan::new().kill_rank(1, 0));
+    let plat = Platform::bluegene_p_effective();
+
+    let net = SimNet::new(4, plat.net);
+    let out = SimWorld::run_with(net, plat.gamma, false, &fault_opts(&plan), |comm| {
+        cosma_program(comm, 8, 8, 8, &cfg)
+    });
+    let prog = sd::record_cosma(4, 8, 8, 8, &cfg);
+    let rout =
+        EventLoopSim::new(SimNet::new(4, plat.net), plat.gamma).run(&prog, &fault_opts(&plan));
+
+    let t_kinds: Vec<_> = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().err().map(CommError::kind))
+        .collect();
+    let r_kinds: Vec<_> = rout
+        .errors
+        .iter()
+        .map(|e| e.as_ref().map(CommError::kind))
+        .collect();
+    assert_eq!(t_kinds, r_kinds);
+    assert_eq!(t_kinds[1], Some(CommErrorKind::Shutdown));
+    assert_eq!(out.faults_injected, rout.faults_injected);
+    assert_eq!(bits(&out.net.report()), bits(&rout.net.report()));
+}

@@ -1,0 +1,167 @@
+//! Property-based engine parity: for *random* (algorithm, p, n, G,
+//! broadcast) configurations, the recorded op-program replay must
+//! reproduce the thread-per-rank run exactly — bit-identical reports and
+//! identical per-rank `(src, dst, bytes)` send multisets — and a random
+//! dropped collective fragment must stall the same edge on both engines.
+//! The deterministic golden cases live in `replay_parity.rs`; this file
+//! walks the configuration space around them.
+
+use hsumma_repro::core::simdrive::{self as sd, cosma_program, replay_on};
+use hsumma_repro::core::{BrickDecomp, CosmaConfig, HierGrid};
+use hsumma_repro::matrix::GridShape;
+use hsumma_repro::netsim::{
+    EventLoopSim, Platform, RecordedProgram, SimBcast, SimNet, SimReport, SimRunOptions, SimWorld,
+};
+use hsumma_repro::trace::{CommError, CommErrorKind, FaultPlan, TagClass, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const BCASTS: [SimBcast; 4] = [
+    SimBcast::Flat,
+    SimBcast::Binomial,
+    SimBcast::Ring,
+    SimBcast::ScatterAllgather,
+];
+
+fn platform() -> Platform {
+    Platform::grid5000()
+}
+
+type ReportBits = (u64, u64, u64, u64, u64);
+type SendMultisets = Vec<Vec<(usize, usize, u64)>>;
+
+fn bits(r: &SimReport) -> ReportBits {
+    (
+        r.total_time.to_bits(),
+        r.comm_time.to_bits(),
+        r.comp_time.to_bits(),
+        r.msgs,
+        r.bytes,
+    )
+}
+
+fn traced(p: usize, f: impl FnOnce(&mut SimNet) -> SimReport) -> (ReportBits, SendMultisets) {
+    let tracer = Tracer::with_capacity(p, 1 << 16);
+    let mut net = SimNet::new(p, platform().net);
+    net.attach_tracer(&tracer);
+    let report = f(&mut net);
+    let trace = tracer.collect();
+    assert_eq!(trace.dropped, 0, "tracer overflow");
+    (bits(&report), trace.per_rank_send_multisets())
+}
+
+/// The engine-parity oracle shared by every case below.
+fn check(
+    label: &str,
+    p: usize,
+    prog: &RecordedProgram,
+    threaded: impl FnOnce(&mut SimNet) -> SimReport,
+) {
+    let gamma = platform().gamma;
+    let (t_report, t_sets) = traced(p, threaded);
+    let (r_report, r_sets) = traced(p, |net| replay_on(net, gamma, prog));
+    assert_eq!(t_report, r_report, "{label}: reports diverged");
+    assert_eq!(t_sets, r_sets, "{label}: multisets diverged");
+}
+
+/// Every error collapses to a schedule-meaningful signature: kind, the
+/// stalled edge's endpoints and wire tag, and the operation. Context ids
+/// are deliberately excluded — they are assigned in thread-scheduling
+/// order on the threaded engine and are not part of the contract.
+fn sig(e: &CommError) -> (CommErrorKind, usize, usize, u64, &'static str) {
+    match e {
+        CommError::Timeout { edge, op }
+        | CommError::Cancelled { edge, op }
+        | CommError::PeerDead { edge, op } => (e.kind(), edge.rank, edge.peer, edge.tag, *op),
+        CommError::Shutdown { rank, .. } => (e.kind(), *rank, *rank, 0, "shutdown"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn recorded_replay_matches_threaded_for_random_schedules(
+        algo_ix in 0usize..4,
+        side_pow in 1u32..4,
+        n_mult in 1usize..4,
+        g_pow in 0u32..4,
+        bcast_ix in 0usize..4,
+    ) {
+        let q = 1usize << side_pow;
+        let grid = GridShape::new(q, q);
+        let n = q * 8 * n_mult;
+        let b = 4;
+        let bcast = BCASTS[bcast_ix];
+        let gamma = platform().gamma;
+        match algo_ix {
+            0 => {
+                let prog = sd::record_summa(grid, n, b, bcast, false);
+                check("summa", grid.size(), &prog, |net| {
+                    sd::sim_summa_on(net, gamma, grid, n, b, bcast, false)
+                });
+            }
+            1 => {
+                // Clamp the random G to one the grid can factor.
+                let g = (1usize << g_pow).min(grid.size());
+                let groups = HierGrid::factor_groups(grid, g)
+                    .unwrap_or_else(|| GridShape::new(1, 1));
+                let prog = sd::record_hsumma(grid, groups, n, b, b, bcast, bcast, false);
+                check("hsumma", grid.size(), &prog, |net| {
+                    sd::sim_hsumma_on(net, gamma, grid, groups, n, b, b, bcast, bcast, false)
+                });
+            }
+            2 => {
+                let prog = sd::record_cannon(q, n, false);
+                check("cannon", q * q, &prog, |net| {
+                    sd::sim_cannon_on(net, gamma, q, n, false)
+                });
+            }
+            _ => {
+                let prog = sd::record_fox(q, n, bcast, false);
+                check("fox", q * q, &prog, |net| {
+                    sd::sim_fox_on(net, gamma, q, n, bcast, false)
+                });
+            }
+        }
+    }
+
+    /// A dropped collective fragment at a random ring position must
+    /// produce the same per-rank error signatures — same kinds, same
+    /// stalled edges, same wire tags — on both engines.
+    #[test]
+    fn random_dropped_fragment_names_the_same_edge_on_both_engines(
+        victim in 0usize..4,
+        nth in 0u64..3,
+    ) {
+        let p = 4;
+        let cfg = CosmaConfig {
+            decomp: BrickDecomp::new(1, 1, p),
+            ..CosmaConfig::for_problem(p, 8, 8, 8)
+        };
+        let dst = (victim + 1) % p;
+        let plan = Arc::new(
+            FaultPlan::new().drop_nth(Some(victim), Some(dst), TagClass::Collective, nth),
+        );
+        let opts = SimRunOptions::unbounded()
+            .with_deadline(1.0)
+            .with_faults(Arc::clone(&plan));
+        let plat = Platform::bluegene_p_effective();
+
+        let out = SimWorld::run_with(SimNet::new(p, plat.net), plat.gamma, false, &opts, |comm| {
+            cosma_program(comm, 8, 8, 8, &cfg)
+        });
+        let prog = sd::record_cosma(p, 8, 8, 8, &cfg);
+        let rout = EventLoopSim::new(SimNet::new(p, plat.net), plat.gamma).run(&prog, &opts);
+
+        let t_sigs: Vec<_> = out
+            .results
+            .iter()
+            .map(|r| r.as_ref().err().map(sig))
+            .collect();
+        let r_sigs: Vec<_> = rout.errors.iter().map(|e| e.as_ref().map(sig)).collect();
+        prop_assert_eq!(&t_sigs, &r_sigs, "error signatures diverged");
+        prop_assert_eq!(out.faults_injected, rout.faults_injected);
+        prop_assert_eq!(bits(&out.net.report()), bits(&rout.net.report()));
+    }
+}
